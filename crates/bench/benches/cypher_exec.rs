@@ -1,0 +1,84 @@
+//! Cypher engine throughput over the synthetic IYP graph: index seeks,
+//! label scans, expansions, aggregations and variable-length paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_cypher::query;
+use iyp_data::{generate, IypConfig};
+use std::hint::black_box;
+
+fn bench_cypher(c: &mut Criterion) {
+    let d = generate(&IypConfig::default());
+    let g = &d.graph;
+    let mut group = c.benchmark_group("cypher_exec");
+
+    group.bench_function("index_seek", |b| {
+        b.iter(|| black_box(query(g, "MATCH (a:AS {asn: 2497}) RETURN a.name").unwrap()))
+    });
+    group.bench_function("one_hop_expand", |b| {
+        b.iter(|| {
+            black_box(
+                query(
+                    g,
+                    "MATCH (a:AS {asn: 2497})-[:ORIGINATE]->(p:Prefix) RETURN count(p)",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("label_scan_aggregate", |b| {
+        b.iter(|| {
+            black_box(
+                query(
+                    g,
+                    "MATCH (a:AS)-[:COUNTRY]->(c:Country) \
+                     RETURN c.country_code, count(a) ORDER BY count(a) DESC LIMIT 10",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("two_hop_join", |b| {
+        b.iter(|| {
+            black_box(
+                query(
+                    g,
+                    "MATCH (a:AS)-[:MEMBER_OF]->(x:IXP {name: 'Tokyo-IX'}), \
+                     (a)-[:COUNTRY]->(c:Country {country_code: 'JP'}) RETURN count(a)",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("varlength_1_3", |b| {
+        b.iter(|| {
+            black_box(
+                query(
+                    g,
+                    "MATCH (a:AS {asn: 64500})-[:DEPENDS_ON*1..3]->(u:AS) \
+                     RETURN count(DISTINCT u.asn)",
+                )
+                .unwrap_or_default(),
+            )
+        })
+    });
+    group.bench_function("ordered_top_k", |b| {
+        b.iter(|| {
+            black_box(
+                query(
+                    g,
+                    "MATCH (d:DomainName)-[r:RANK]->(:Ranking {name: 'Tranco'}) \
+                     RETURN d.name, r.rank ORDER BY r.rank LIMIT 10",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_cypher
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Metric computation cost: BLEU vs ROUGE vs BERTScore vs G-Eval on a
+//! representative answer/reference pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_metrics::{bertscore, bleu, rouge, GEval};
+use std::hint::black_box;
+
+fn bench_metrics(c: &mut Criterion) {
+    let question = "What is the percentage of Japan's population in AS2497?";
+    let answer =
+        "According to IYP, the share of Japan's population served by AS2497 is 33.3 percent, \
+         making it one of the largest eyeball networks in the country.";
+    let reference =
+        "The correct share of Japan's population served by AS2497 equals 33.3; it is the \
+         largest eyeball network registered in Japan per the annotated query.";
+    let geval = GEval::new(42);
+
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("bleu", |b| {
+        b.iter(|| black_box(bleu(black_box(answer), black_box(reference))))
+    });
+    group.bench_function("rouge", |b| {
+        b.iter(|| black_box(rouge(black_box(answer), black_box(reference))))
+    });
+    group.bench_function("bertscore", |b| {
+        b.iter(|| black_box(bertscore(black_box(answer), black_box(reference))))
+    });
+    group.bench_function("geval", |b| {
+        b.iter(|| {
+            black_box(geval.score(
+                black_box(question),
+                black_box(answer),
+                black_box(reference),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_metrics
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! End-to-end pipeline latency: `ask()` by question difficulty and route.
+
+use chatiyp_core::{ChatIyp, ChatIypConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_data::{generate, IypConfig};
+use iyp_llm::LmConfig;
+use std::hint::black_box;
+
+fn build() -> ChatIyp {
+    ChatIyp::new(
+        generate(&IypConfig::tiny()),
+        ChatIypConfig {
+            lm: LmConfig {
+                seed: 42,
+                skill: 1.0,
+                variety: 0.0,
+            },
+            ..Default::default()
+        },
+    )
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let chat = build();
+    let mut group = c.benchmark_group("pipeline");
+    group.bench_function("ask_easy_lookup", |b| {
+        b.iter(|| black_box(chat.ask(black_box("What is the name of AS2497?"))))
+    });
+    group.bench_function("ask_easy_population", |b| {
+        b.iter(|| {
+            black_box(chat.ask(black_box(
+                "What is the percentage of Japan's population in AS2497?",
+            )))
+        })
+    });
+    group.bench_function("ask_medium_aggregation", |b| {
+        b.iter(|| {
+            black_box(chat.ask(black_box(
+                "Which AS serves the largest share of the population of Japan?",
+            )))
+        })
+    });
+    group.bench_function("ask_hard_varlength", |b| {
+        b.iter(|| {
+            black_box(chat.ask(black_box(
+                "Which ASes does AS2497 depend on directly or indirectly?",
+            )))
+        })
+    });
+    group.bench_function("ask_vector_fallback", |b| {
+        b.iter(|| {
+            black_box(chat.ask(black_box(
+                "Tell me everything interesting about IIJ in Japan",
+            )))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Diagnostic: list benchmark questions the oracle-skill pipeline still
+//! answers incorrectly (parser/benchmark bugs rather than model errors).
+
+use chatiyp_bench::{run_evaluation, ExperimentConfig};
+use iyp_llm::LmConfig;
+
+fn main() {
+    let mut config = ExperimentConfig::default();
+    config.pipeline.lm = LmConfig {
+        seed: 42,
+        skill: 1.0,
+        variety: 0.0,
+    };
+    let run = run_evaluation(&config);
+    let misses: Vec<_> = run.records.iter().filter(|r| !r.correct).collect();
+    println!("oracle misses: {}/{}", misses.len(), run.records.len());
+    for m in misses {
+        println!("#{} [{}] {}", m.id, m.kind, m.question);
+        println!("  gold: {}", m.gold_cypher);
+        println!(
+            "  generated: {}",
+            m.generated_cypher.as_deref().unwrap_or("—")
+        );
+    }
+}

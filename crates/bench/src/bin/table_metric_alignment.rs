@@ -1,0 +1,95 @@
+//! Finding 1 — metric alignment with ground-truth correctness.
+//!
+//! The paper adopts G-Eval because it "aligns closely with human
+//! judgment". Our human-judgment proxy is the validation model's binary
+//! correctness label (gold-result reproduction). For each metric this
+//! table reports correlation with that label and the separation between
+//! correct and incorrect answers; G-Eval should dominate.
+
+use chatiyp_bench::{row, run_evaluation, ExperimentConfig};
+use iyp_metrics::correlation::{kendall_tau, pearson_ci, point_biserial, spearman};
+use iyp_metrics::stats::summarize;
+use iyp_metrics::MetricKind;
+
+fn main() {
+    let config = ExperimentConfig::default();
+    eprintln!(
+        "running {} questions against the {}-AS synthetic IYP (seed {}) ...",
+        config.eval.target_size, config.data.n_as, config.data.seed
+    );
+    let run = run_evaluation(&config);
+    let labels = run.correctness();
+    let label_f: Vec<f64> = labels.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+
+    println!(
+        "Finding 1 — alignment of metrics with correctness (n = {}, accuracy = {:.1}%)",
+        run.records.len(),
+        100.0 * run.accuracy()
+    );
+    println!("================================================================================");
+    let widths = [10, 12, 10, 10, 12, 14, 18];
+    println!(
+        "{}",
+        row(
+            &[
+                "metric".into(),
+                "point-bis.".into(),
+                "spearman".into(),
+                "kendall".into(),
+                "separation".into(),
+                "mean|correct".into(),
+                "mean|incorrect".into(),
+            ],
+            &widths
+        )
+    );
+    let mut best: Option<(f64, &str)> = None;
+    for kind in MetricKind::ALL {
+        let scores = run.scores(kind);
+        let pb = point_biserial(&scores, &labels);
+        let sp = spearman(&scores, &label_f);
+        let kt = kendall_tau(&scores, &label_f);
+        let correct: Vec<f64> = scores
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| l)
+            .map(|(s, _)| *s)
+            .collect();
+        let incorrect: Vec<f64> = scores
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| !l)
+            .map(|(s, _)| *s)
+            .collect();
+        let mc = summarize(&correct).mean;
+        let mi = summarize(&incorrect).mean;
+        println!(
+            "{}",
+            row(
+                &[
+                    kind.name().into(),
+                    format!("{pb:.3}"),
+                    format!("{sp:.3}"),
+                    format!("{kt:.3}"),
+                    format!("{:.3}", mc - mi),
+                    format!("{mc:.3}"),
+                    format!("{mi:.3}"),
+                ],
+                &widths
+            )
+        );
+        if best.map(|(b, _)| pb > b).unwrap_or(true) {
+            best = Some((pb, kind.name()));
+        }
+    }
+    let (best_r, best_name) = best.expect("four metrics scored");
+    let geval_scores = run.scores(MetricKind::GEval);
+    let (lo, hi) = pearson_ci(&geval_scores, &label_f, 200);
+
+    println!();
+    println!("G-Eval point-biserial 95% bootstrap CI: [{lo:.3}, {hi:.3}]");
+    println!(
+        "Best-aligned metric: {best_name} (r = {best_r:.3}) [{}]",
+        if best_name == "G-Eval" { "OK — matches the paper" } else { "MISMATCH" }
+    );
+}

@@ -1,0 +1,291 @@
+//! # chatiyp-bench
+//!
+//! The experiment harness: runs the full ChatIYP pipeline over the
+//! CypherEval benchmark and scores every answer under all four metrics,
+//! producing the records behind each figure and table of the paper (see
+//! the binaries in `src/bin/`).
+
+#![warn(missing_docs)]
+
+use chatiyp_core::{ChatIyp, ChatIypConfig, Route};
+use cypher_eval::{build_dataset, results_match, CypherEvalDataset, EvalConfig, Validator};
+use iyp_data::{generate, IypConfig, IypDataset};
+use iyp_llm::{Difficulty, Domain, TranslationError};
+use iyp_metrics::{geval, GEval, MetricKind};
+use serde::Serialize;
+
+/// Everything recorded about one benchmark question.
+#[derive(Debug, Clone, Serialize)]
+pub struct ItemRecord {
+    /// Question id.
+    pub id: usize,
+    /// Difficulty label.
+    pub difficulty: Difficulty,
+    /// Domain label.
+    pub domain: Domain,
+    /// Intent kind (stable template id).
+    pub kind: String,
+    /// The question.
+    pub question: String,
+    /// Gold Cypher.
+    pub gold_cypher: String,
+    /// Generated Cypher (if any).
+    pub generated_cypher: Option<String>,
+    /// Which route answered.
+    pub route: Route,
+    /// Error the simulated model injected, if any.
+    pub injected_error: Option<TranslationError>,
+    /// Ground truth: did the generated query reproduce the gold result?
+    pub correct: bool,
+    /// Reference answer from the validation model.
+    pub reference: String,
+    /// The system's answer.
+    pub answer: String,
+    /// BLEU score.
+    pub bleu: f64,
+    /// ROUGE score.
+    pub rouge: f64,
+    /// BERTScore.
+    pub bertscore: f64,
+    /// G-Eval score.
+    pub geval: f64,
+    /// End-to-end latency in microseconds.
+    pub latency_us: u64,
+}
+
+impl ItemRecord {
+    /// The score under a metric.
+    pub fn score(&self, kind: MetricKind) -> f64 {
+        match kind {
+            MetricKind::Bleu => self.bleu,
+            MetricKind::Rouge => self.rouge,
+            MetricKind::BertScore => self.bertscore,
+            MetricKind::GEval => self.geval,
+        }
+    }
+}
+
+/// Experiment configuration: dataset scale, benchmark size and pipeline
+/// knobs. The defaults regenerate the paper's setting.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Dataset generation parameters.
+    pub data: IypConfig,
+    /// Benchmark construction parameters.
+    pub eval: EvalConfig,
+    /// Pipeline configuration (stage toggles + LM knobs).
+    pub pipeline: ChatIypConfig,
+    /// Seed of the independent validation model and judge.
+    pub judge_seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            data: IypConfig::default(),
+            eval: EvalConfig::default(),
+            pipeline: ChatIypConfig::default(),
+            judge_seed: 4242,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for tests and smoke runs.
+    pub fn small() -> Self {
+        ExperimentConfig {
+            data: IypConfig::tiny(),
+            eval: EvalConfig {
+                seed: 42,
+                target_size: 81,
+            },
+            pipeline: ChatIypConfig::default(),
+            judge_seed: 4242,
+        }
+    }
+}
+
+/// The full evaluation output.
+#[derive(Debug, Clone, Serialize)]
+pub struct EvaluationRun {
+    /// Per-question records.
+    pub records: Vec<ItemRecord>,
+}
+
+/// Runs the complete evaluation: generate data, build benchmark, answer
+/// every question, validate, and score under all four metrics.
+pub fn run_evaluation(config: &ExperimentConfig) -> EvaluationRun {
+    let dataset = generate(&config.data);
+    let bench = build_dataset(&dataset, &config.eval);
+    run_evaluation_on(config, dataset, &bench)
+}
+
+/// Runs the evaluation against an already-generated dataset/benchmark
+/// (used by the ablation sweep to share the expensive generation).
+pub fn run_evaluation_on(
+    config: &ExperimentConfig,
+    dataset: IypDataset,
+    bench: &CypherEvalDataset,
+) -> EvaluationRun {
+    let validator = Validator::new(config.judge_seed);
+    let judge = GEval::new(config.judge_seed);
+    // Validate against the graph before it moves into the pipeline.
+    let validations: Vec<_> = bench
+        .items
+        .iter()
+        .map(|item| {
+            validator
+                .validate(&dataset.graph, item)
+                .expect("gold queries are well-formed by construction")
+        })
+        .collect();
+    let chat = ChatIyp::new(dataset, config.pipeline.clone());
+
+    let mut records = Vec::with_capacity(bench.items.len());
+    for (item, validation) in bench.items.iter().zip(validations) {
+        let response = chat.ask(&item.question);
+        let correct = response
+            .query_result
+            .as_ref()
+            .map(|got| results_match(&validation.gold_result, got))
+            .unwrap_or(false);
+        let reference = validation.reference_answer;
+        let answer = response.answer.clone();
+        let mut rec = ItemRecord {
+            id: item.id,
+            difficulty: item.difficulty,
+            domain: item.domain,
+            kind: item.intent.kind().to_string(),
+            question: item.question.clone(),
+            gold_cypher: item.gold_cypher.clone(),
+            generated_cypher: response.cypher.clone(),
+            route: response.route,
+            injected_error: response.injected_error,
+            correct,
+            bleu: 0.0,
+            rouge: 0.0,
+            bertscore: 0.0,
+            geval: 0.0,
+            latency_us: response.timings.total.as_micros() as u64,
+            reference,
+            answer,
+        };
+        rec.bleu = geval::score(
+            MetricKind::Bleu,
+            &judge,
+            &item.question,
+            &rec.answer,
+            &rec.reference,
+        );
+        rec.rouge = geval::score(
+            MetricKind::Rouge,
+            &judge,
+            &item.question,
+            &rec.answer,
+            &rec.reference,
+        );
+        rec.bertscore = geval::score(
+            MetricKind::BertScore,
+            &judge,
+            &item.question,
+            &rec.answer,
+            &rec.reference,
+        );
+        rec.geval = geval::score(
+            MetricKind::GEval,
+            &judge,
+            &item.question,
+            &rec.answer,
+            &rec.reference,
+        );
+        records.push(rec);
+    }
+    EvaluationRun { records }
+}
+
+impl EvaluationRun {
+    /// Scores of one metric across all records.
+    pub fn scores(&self, kind: MetricKind) -> Vec<f64> {
+        self.records.iter().map(|r| r.score(kind)).collect()
+    }
+
+    /// Records of one (difficulty, optional domain) group.
+    pub fn group(&self, difficulty: Difficulty, domain: Option<Domain>) -> Vec<&ItemRecord> {
+        self.records
+            .iter()
+            .filter(|r| {
+                r.difficulty == difficulty && domain.map(|d| r.domain == d).unwrap_or(true)
+            })
+            .collect()
+    }
+
+    /// Overall accuracy (gold-result reproduction rate).
+    pub fn accuracy(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.correct).count() as f64 / self.records.len() as f64
+    }
+
+    /// Correctness labels aligned with [`EvaluationRun::scores`].
+    pub fn correctness(&self) -> Vec<bool> {
+        self.records.iter().map(|r| r.correct).collect()
+    }
+}
+
+/// Renders one fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:w$}", w = *w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_produces_sane_records() {
+        let run = run_evaluation(&ExperimentConfig::small());
+        assert!(run.records.len() >= 80);
+        for r in &run.records {
+            for kind in MetricKind::ALL {
+                let s = r.score(kind);
+                assert!((0.0..=1.0).contains(&s), "{} {s}", kind.name());
+            }
+        }
+        let acc = run.accuracy();
+        assert!(acc > 0.3, "accuracy suspiciously low: {acc}");
+        assert!(acc < 0.99, "accuracy suspiciously perfect: {acc}");
+    }
+
+    #[test]
+    fn difficulty_gradient_holds() {
+        let run = run_evaluation(&ExperimentConfig::small());
+        let acc = |d| {
+            let g = run.group(d, None);
+            g.iter().filter(|r| r.correct).count() as f64 / g.len().max(1) as f64
+        };
+        let easy = acc(Difficulty::Easy);
+        let hard = acc(Difficulty::Hard);
+        assert!(
+            easy > hard,
+            "no difficulty gradient: easy={easy:.2} hard={hard:.2}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_evaluation(&ExperimentConfig::small());
+        let b = run_evaluation(&ExperimentConfig::small());
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.answer, y.answer);
+            assert_eq!(x.geval, y.geval);
+            assert_eq!(x.correct, y.correct);
+        }
+    }
+}

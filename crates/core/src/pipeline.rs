@@ -1,0 +1,347 @@
+//! The ChatIYP pipeline: user query → retrieval (symbolic, with semantic
+//! fallback and reranking) → generation, with transparency output.
+
+use crate::config::ChatIypConfig;
+use crate::response::{ChatResponse, ContextChunk, Route, Timings};
+use crate::retriever::{StructuredRetrieval, TextToCypherRetriever, VectorContextRetriever};
+use iyp_data::IypDataset;
+use iyp_embed::tokenize::words;
+use iyp_graphdb::Graph;
+use iyp_llm::{generate_answer, EntityCatalog, Reranker, SimLm, Translator};
+use std::time::Instant;
+
+/// The assembled ChatIYP system.
+pub struct ChatIyp {
+    graph: Graph,
+    config: ChatIypConfig,
+    lm: SimLm,
+    text2cypher: TextToCypherRetriever,
+    vector: VectorContextRetriever,
+    reranker: Reranker,
+}
+
+impl ChatIyp {
+    /// Builds the pipeline over a generated dataset.
+    pub fn new(dataset: IypDataset, config: ChatIypConfig) -> Self {
+        let catalog = EntityCatalog::from_dataset(&dataset);
+        let lm = SimLm::new(config.lm.clone());
+        let translator = Translator::new(lm.clone(), catalog);
+        let vector = VectorContextRetriever::from_graph(&dataset.graph);
+        ChatIyp {
+            graph: dataset.graph,
+            config,
+            lm: lm.clone(),
+            text2cypher: TextToCypherRetriever::new(translator),
+            vector,
+            reranker: Reranker::new(lm),
+        }
+    }
+
+    /// The underlying graph (read access for direct Cypher, stats, …).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ChatIypConfig {
+        &self.config
+    }
+
+    /// Answers a natural-language question.
+    pub fn ask(&self, question: &str) -> ChatResponse {
+        let t_start = Instant::now();
+
+        // Stage 2a: TextToCypherRetriever (with optional self-correction
+        // retries on failed/empty executions).
+        let structured: Option<StructuredRetrieval> = if self.config.enable_text2cypher {
+            Some(self.text2cypher.retrieve_with_retries(
+                &self.graph,
+                question,
+                self.config.max_retries,
+            ))
+        } else {
+            None
+        };
+
+        let structured_ok = structured
+            .as_ref()
+            .map(StructuredRetrieval::has_rows)
+            .unwrap_or(false);
+
+        // Stage 2b/2c: semantic fallback when the symbolic path failed or
+        // came back empty.
+        let mut contexts: Vec<ContextChunk> = Vec::new();
+        if !structured_ok && self.config.enable_vector_fallback {
+            let mut candidates = self.vector.retrieve(question, self.config.vector_top_k);
+            if self.config.enable_reranker && !candidates.is_empty() {
+                let texts: Vec<String> = candidates
+                    .iter()
+                    .map(|c| format!("{} {}", c.title, c.text))
+                    .collect();
+                let ranked = self
+                    .reranker
+                    .rerank(question, &texts, self.config.rerank_top_k);
+                contexts = ranked
+                    .into_iter()
+                    .map(|r| {
+                        let mut c = candidates[r.index].clone();
+                        c.score = r.score;
+                        c
+                    })
+                    .collect();
+            } else {
+                candidates.truncate(self.config.rerank_top_k);
+                contexts = candidates;
+            }
+        }
+        let t_retrieval = t_start.elapsed();
+
+        // Stage 3: generation.
+        let t_gen_start = Instant::now();
+        // Did the structured stage run a query that legitimately returned
+        // nothing? Then the truthful core of the answer is "no data", and
+        // the semantic context is supplementary — not a replacement fact.
+        let structured_empty = structured
+            .as_ref()
+            .map(|s| s.result.as_ref().map(|r| r.is_empty()).unwrap_or(false))
+            .unwrap_or(false);
+        let (answer, route) = if structured_ok {
+            let s = structured.as_ref().expect("structured_ok implies Some");
+            let result = s.result.as_ref().expect("has_rows implies result");
+            (
+                generate_answer(&self.lm, question, s.translation.intent.as_ref(), result),
+                Route::Cypher,
+            )
+        } else if structured_empty {
+            let s = structured.as_ref().expect("structured_empty implies Some");
+            let refusal = generate_answer(
+                &self.lm,
+                question,
+                s.translation.intent.as_ref(),
+                &iyp_cypher::QueryResult::empty(),
+            );
+            match contexts.first() {
+                Some(best) => (
+                    format!("{refusal} Closest related IYP entity: {}.", best.title),
+                    Route::VectorFallback,
+                ),
+                // No fallback configured: the empty answer is still a
+                // legitimate outcome of the structured route.
+                None => (refusal, Route::Cypher),
+            }
+        } else if let Some(best) = contexts.first() {
+            (answer_from_context(question, best), Route::VectorFallback)
+        } else {
+            (
+                generate_answer(
+                    &self.lm,
+                    question,
+                    structured
+                        .as_ref()
+                        .and_then(|s| s.translation.intent.as_ref()),
+                    &iyp_cypher::QueryResult::empty(),
+                ),
+                Route::Failed,
+            )
+        };
+        let t_generation = t_gen_start.elapsed();
+
+        let (cypher, query_result, intent, injected_error) = match structured {
+            Some(s) => (
+                s.translation.cypher,
+                s.result,
+                s.translation.intent,
+                s.translation.injected_error,
+            ),
+            None => (None, None, None, None),
+        };
+
+        ChatResponse {
+            question: question.to_string(),
+            answer,
+            cypher,
+            query_result,
+            contexts,
+            route,
+            intent,
+            injected_error,
+            timings: Timings {
+                retrieval: t_retrieval,
+                generation: t_generation,
+                total: t_start.elapsed(),
+            },
+        }
+    }
+}
+
+/// Builds an answer from the best semantic context: the sentence of the
+/// context most lexically aligned with the question, attributed to IYP.
+fn answer_from_context(question: &str, ctx: &ContextChunk) -> String {
+    let q_tokens = words(question);
+    let best_sentence = ctx
+        .text
+        .split('.')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .max_by_key(|s| {
+            let s_tokens = words(s);
+            q_tokens.iter().filter(|t| s_tokens.contains(t)).count()
+        })
+        .unwrap_or(ctx.text.as_str());
+    format!("Based on related IYP records about {}: {best_sentence}.", ctx.title)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_data::{generate, IypConfig};
+    use iyp_llm::LmConfig;
+
+    fn perfect() -> ChatIyp {
+        let config = ChatIypConfig {
+            lm: LmConfig {
+                seed: 42,
+                skill: 1.0,
+                variety: 0.0,
+            },
+            ..Default::default()
+        };
+        ChatIyp::new(generate(&IypConfig::tiny()), config)
+    }
+
+    #[test]
+    fn answers_the_paper_example_via_cypher_route() {
+        let chat = perfect();
+        let r = chat.ask("What is the percentage of Japan's population in AS2497?");
+        assert_eq!(r.route, Route::Cypher);
+        let cy = r.cypher.as_deref().unwrap();
+        assert!(cy.contains("POPULATION"), "cypher: {cy}");
+        assert!(cy.contains("2497"));
+        // The answer carries the actual percent from the graph.
+        let pct = chat
+            .graph()
+            .clone();
+        let gold = iyp_cypher::query(
+            &pct,
+            "MATCH (a:AS {asn: 2497})-[p:POPULATION]->(c:Country {country_code: 'JP'}) RETURN p.percent",
+        )
+        .unwrap();
+        let expect = gold.single_value().unwrap().as_f64().unwrap();
+        assert!(
+            r.answer.contains(&format!("{expect}")) || r.answer.contains(&format!("{expect:.2}")),
+            "answer '{}' lacks {expect}",
+            r.answer
+        );
+    }
+
+    #[test]
+    fn unparseable_question_falls_back_to_vector() {
+        let chat = perfect();
+        let r = chat.ask("Tell me everything interesting about IIJ in Japan");
+        // This phrasing has no intent template; the vector path answers.
+        assert_eq!(r.route, Route::VectorFallback);
+        assert!(!r.contexts.is_empty());
+        assert!(r.answer.contains("IYP"));
+    }
+
+    #[test]
+    fn fallback_disabled_yields_failed_route() {
+        let config = ChatIypConfig {
+            lm: LmConfig {
+                seed: 42,
+                skill: 1.0,
+                variety: 0.0,
+            },
+            ..ChatIypConfig::cypher_only()
+        };
+        let chat = ChatIyp::new(generate(&IypConfig::tiny()), config);
+        let r = chat.ask("Tell me everything interesting please");
+        assert_eq!(r.route, Route::Failed);
+        assert!(r.contexts.is_empty());
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let chat = perfect();
+        let r = chat.ask("What is the name of AS2497?");
+        assert!(r.timings.total >= r.timings.generation);
+        assert!(r.timings.total.as_nanos() > 0);
+    }
+
+    #[test]
+    fn responses_are_deterministic() {
+        let a = perfect().ask("How many ASes are registered in Japan?");
+        let b = perfect().ask("How many ASes are registered in Japan?");
+        assert_eq!(a.answer, b.answer);
+        assert_eq!(a.cypher, b.cypher);
+        assert_eq!(a.route, b.route);
+    }
+
+    /// At a low skill, self-correction retries should answer strictly
+    /// more questions correctly over a batch than no retries.
+    fn count_correct_with_retries(max_retries: u32) -> usize {
+        let data = generate(&IypConfig::tiny());
+        let gold_answers: Vec<(String, String)> = (0..30)
+            .map(|i| {
+                let asn = data.ases[i % data.ases.len()].asn;
+                (
+                    // A non-aggregating question: a mistranslation usually
+                    // returns nothing, which is what arms the retry.
+                    format!("In which country is AS{asn} registered?"),
+                    format!(
+                        "MATCH (a:AS {{asn: {asn}}})-[:COUNTRY]->(c:Country) RETURN c.country_code"
+                    ),
+                )
+            })
+            .collect();
+        let golds: Vec<_> = gold_answers
+            .iter()
+            .map(|(_, cy)| iyp_cypher::query(&data.graph, cy).unwrap())
+            .collect();
+        let chat = ChatIyp::new(
+            data,
+            ChatIypConfig {
+                lm: LmConfig {
+                    seed: 9,
+                    skill: 0.2,
+                    variety: 0.0,
+                },
+                max_retries,
+                ..Default::default()
+            },
+        );
+        gold_answers
+            .iter()
+            .zip(&golds)
+            .filter(|((q, _), gold)| {
+                chat.ask(q)
+                    .query_result
+                    .map(|got| got.fingerprint(false) == gold.fingerprint(false))
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+
+    #[test]
+    fn retry_recovers_failed_translations() {
+        let without = count_correct_with_retries(0);
+        let with = count_correct_with_retries(2);
+        assert!(with > without, "retries did not help: {with} vs {without}");
+    }
+
+    #[test]
+    fn vector_only_config_never_emits_cypher() {
+        let config = ChatIypConfig {
+            lm: LmConfig {
+                seed: 42,
+                skill: 1.0,
+                variety: 0.0,
+            },
+            ..ChatIypConfig::vector_only()
+        };
+        let chat = ChatIyp::new(generate(&IypConfig::tiny()), config);
+        let r = chat.ask("What is the name of AS2497?");
+        assert!(r.cypher.is_none());
+        assert_eq!(r.route, Route::VectorFallback);
+    }
+}

@@ -1,0 +1,149 @@
+//! The pipeline's transparency output: answer, generated Cypher, retrieved
+//! contexts and provenance.
+
+use iyp_cypher::QueryResult;
+use iyp_llm::{Intent, TranslationError};
+use serde::Serialize;
+use std::fmt;
+use std::time::Duration;
+
+/// Which retrieval path produced the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Route {
+    /// Structured retrieval: the generated Cypher ran and returned rows.
+    Cypher,
+    /// The structured stage failed or returned nothing; the vector
+    /// retriever supplied context.
+    VectorFallback,
+    /// Nothing usable was retrieved.
+    Failed,
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Route::Cypher => write!(f, "cypher"),
+            Route::VectorFallback => write!(f, "vector-fallback"),
+            Route::Failed => write!(f, "failed"),
+        }
+    }
+}
+
+/// One retrieved context chunk shown to the user.
+#[derive(Debug, Clone, Serialize)]
+pub struct ContextChunk {
+    /// Source title (e.g. "AS2497 IIJ").
+    pub title: String,
+    /// The context text.
+    pub text: String,
+    /// Relevance score after reranking (or raw vector score).
+    pub score: f64,
+}
+
+/// Stage timings.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Timings {
+    /// Retrieval (translation + execution + vector search + rerank).
+    #[serde(with = "duration_us")]
+    pub retrieval: Duration,
+    /// Answer generation.
+    #[serde(with = "duration_us")]
+    pub generation: Duration,
+    /// End-to-end.
+    #[serde(with = "duration_us")]
+    pub total: Duration,
+}
+
+mod duration_us {
+    use serde::Serializer;
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(d.as_micros() as u64)
+    }
+}
+
+/// The full response returned by [`crate::pipeline::ChatIyp::ask`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ChatResponse {
+    /// The input question.
+    pub question: String,
+    /// The natural-language answer.
+    pub answer: String,
+    /// The generated Cypher query (transparency output), if any.
+    pub cypher: Option<String>,
+    /// The structured query's result, if the Cypher route ran.
+    pub query_result: Option<QueryResult>,
+    /// Retrieved context chunks (vector route).
+    pub contexts: Vec<ContextChunk>,
+    /// Which path answered.
+    pub route: Route,
+    /// The parsed intent (provenance; `None` when parsing failed).
+    pub intent: Option<Intent>,
+    /// The simulated model's injected translation error, if any —
+    /// surfaced for evaluation analysis only.
+    pub injected_error: Option<TranslationError>,
+    /// Stage timings.
+    pub timings: Timings,
+}
+
+impl fmt::Display for ChatResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Q: {}", self.question)?;
+        writeln!(f, "A: {}", self.answer)?;
+        if let Some(cy) = &self.cypher {
+            writeln!(f, "Cypher: {cy}")?;
+        }
+        writeln!(f, "Route: {}", self.route)?;
+        if !self.contexts.is_empty() {
+            writeln!(f, "Contexts:")?;
+            for c in &self.contexts {
+                writeln!(f, "  [{:.3}] {} — {}", c.score, c.title, c.text)?;
+            }
+        }
+        write!(
+            f,
+            "Timing: total {:?} (retrieval {:?}, generation {:?})",
+            self.timings.total, self.timings.retrieval, self.timings.generation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChatResponse {
+        ChatResponse {
+            question: "What is the name of AS2497?".into(),
+            answer: "The name of AS2497 is IIJ.".into(),
+            cypher: Some("MATCH (a:AS {asn: 2497}) RETURN a.name".into()),
+            query_result: None,
+            contexts: vec![ContextChunk {
+                title: "AS2497 IIJ".into(),
+                text: "IIJ is an autonomous system in Japan.".into(),
+                score: 0.82,
+            }],
+            route: Route::Cypher,
+            intent: Some(Intent::AsName { asn: 2497 }),
+            injected_error: None,
+            timings: Timings::default(),
+        }
+    }
+
+    #[test]
+    fn display_shows_answer_and_cypher() {
+        let s = sample().to_string();
+        assert!(s.contains("A: The name of AS2497 is IIJ."));
+        assert!(s.contains("MATCH (a:AS {asn: 2497})"));
+        assert!(s.contains("Route: cypher"));
+        assert!(s.contains("AS2497 IIJ"));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let json = serde_json::to_string(&sample()).unwrap();
+        assert!(json.contains("\"route\":\"Cypher\""));
+        assert!(json.contains("\"answer\""));
+    }
+}

@@ -1,0 +1,177 @@
+//! The two retrieval stages: TextToCypherRetriever (symbolic) and
+//! VectorContextRetriever (semantic).
+
+use crate::response::ContextChunk;
+use iyp_cypher::QueryResult;
+use iyp_embed::DocStore;
+use iyp_graphdb::Graph;
+use iyp_llm::{Translation, Translator};
+
+/// The outcome of the structured retrieval stage.
+#[derive(Debug, Clone)]
+pub struct StructuredRetrieval {
+    /// The translation (Cypher + intent + any injected error).
+    pub translation: Translation,
+    /// The execution result; `None` when there was no query or execution
+    /// failed.
+    pub result: Option<QueryResult>,
+    /// Execution error text, if the generated query did not run.
+    pub exec_error: Option<String>,
+}
+
+impl StructuredRetrieval {
+    /// Did this stage produce at least one row?
+    pub fn has_rows(&self) -> bool {
+        self.result.as_ref().map(|r| !r.is_empty()).unwrap_or(false)
+    }
+}
+
+/// TextToCypherRetriever: maps the question to Cypher through the
+/// (simulated) LLM prompt chain and executes it against the graph.
+pub struct TextToCypherRetriever {
+    translator: Translator,
+}
+
+impl TextToCypherRetriever {
+    /// Creates the retriever.
+    pub fn new(translator: Translator) -> Self {
+        TextToCypherRetriever { translator }
+    }
+
+    /// Translates and executes.
+    pub fn retrieve(&self, graph: &Graph, question: &str) -> StructuredRetrieval {
+        self.retrieve_with_retries(graph, question, 0)
+    }
+
+    /// Translates and executes with up to `max_retries` self-correction
+    /// re-prompts: a failed or empty execution triggers a fresh
+    /// translation attempt, and the first attempt producing rows wins.
+    /// The last attempt is returned when none succeed.
+    pub fn retrieve_with_retries(
+        &self,
+        graph: &Graph,
+        question: &str,
+        max_retries: u32,
+    ) -> StructuredRetrieval {
+        let mut last = None;
+        for attempt in 0..=max_retries {
+            let translation = self.translator.translate_attempt(question, attempt);
+            // A question the model cannot parse at all won't improve with
+            // re-prompting; bail out immediately.
+            let no_query = translation.cypher.is_none();
+            let (result, exec_error) = match &translation.cypher {
+                None => (None, None),
+                Some(cy) => match iyp_cypher::query(graph, cy) {
+                    Ok(r) => (Some(r), None),
+                    Err(e) => (None, Some(e.to_string())),
+                },
+            };
+            let retrieval = StructuredRetrieval {
+                translation,
+                result,
+                exec_error,
+            };
+            if retrieval.has_rows() || no_query {
+                return retrieval;
+            }
+            last = Some(retrieval);
+        }
+        last.expect("loop ran at least once")
+    }
+}
+
+/// VectorContextRetriever: dense retrieval over node descriptions,
+/// used when structured retrieval fails or returns nothing.
+pub struct VectorContextRetriever {
+    store: DocStore,
+}
+
+impl VectorContextRetriever {
+    /// Builds the retriever from a pre-populated document store.
+    pub fn new(store: DocStore) -> Self {
+        VectorContextRetriever { store }
+    }
+
+    /// Builds the store from a graph's node descriptions.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut store = DocStore::new();
+        for doc in iyp_data::describe_all(graph) {
+            store.add(doc.title, doc.text, doc.node.0);
+        }
+        VectorContextRetriever { store }
+    }
+
+    /// Top-`k` context chunks for a question.
+    pub fn retrieve(&self, question: &str, k: usize) -> Vec<ContextChunk> {
+        self.store
+            .search(question, k)
+            .into_iter()
+            .map(|hit| ContextChunk {
+                title: hit.doc.title.clone(),
+                text: hit.doc.text.clone(),
+                score: f64::from(hit.score),
+            })
+            .collect()
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when no documents are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_data::{generate, IypConfig};
+    use iyp_llm::{EntityCatalog, LmConfig, SimLm};
+
+    #[test]
+    fn structured_retrieval_runs_gold_path() {
+        let d = generate(&IypConfig::tiny());
+        let cat = EntityCatalog::from_dataset(&d);
+        let t = Translator::new(
+            SimLm::new(LmConfig {
+                seed: 1,
+                skill: 1.0,
+                variety: 0.0,
+            }),
+            cat,
+        );
+        let r = TextToCypherRetriever::new(t).retrieve(&d.graph, "What is the name of AS2497?");
+        assert!(r.has_rows());
+        assert_eq!(
+            r.result.unwrap().rows[0][0].to_string(),
+            "IIJ"
+        );
+    }
+
+    #[test]
+    fn structured_retrieval_reports_no_query() {
+        let d = generate(&IypConfig::tiny());
+        let cat = EntityCatalog::from_dataset(&d);
+        let t = Translator::new(SimLm::with_seed(1), cat);
+        let r = TextToCypherRetriever::new(t).retrieve(&d.graph, "how is the weather?");
+        assert!(!r.has_rows());
+        assert!(r.translation.cypher.is_none());
+    }
+
+    #[test]
+    fn vector_retriever_finds_entity_docs() {
+        let d = generate(&IypConfig::tiny());
+        let v = VectorContextRetriever::from_graph(&d.graph);
+        assert!(!v.is_empty());
+        let hits = v.retrieve("tell me about AS2497 IIJ in Japan", 3);
+        assert_eq!(hits.len(), 3);
+        assert!(
+            hits.iter().any(|h| h.title.contains("2497")),
+            "hits: {:?}",
+            hits.iter().map(|h| &h.title).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,524 @@
+//! Benchmark dataset construction: instantiating 300+ labeled questions
+//! with gold Cypher against a generated IYP graph.
+
+use crate::templates::phrasings;
+use iyp_data::IypDataset;
+use iyp_llm::{canonical_cypher, Difficulty, Domain, Intent};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One benchmark question.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalItem {
+    /// Stable id within the dataset.
+    pub id: usize,
+    /// The natural-language question.
+    pub question: String,
+    /// The annotated gold Cypher query.
+    pub gold_cypher: String,
+    /// The underlying intent (kept for analysis; the system under test
+    /// never sees it).
+    pub intent: Intent,
+    /// Difficulty label.
+    pub difficulty: Difficulty,
+    /// Domain label.
+    pub domain: Domain,
+}
+
+/// Dataset construction parameters.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Seed for entity sampling and phrasing choice.
+    pub seed: u64,
+    /// Approximate number of questions (the paper's CypherEval has 300+).
+    pub target_size: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            seed: 42,
+            target_size: 312,
+        }
+    }
+}
+
+/// The benchmark dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CypherEvalDataset {
+    /// All questions.
+    pub items: Vec<EvalItem>,
+}
+
+impl CypherEvalDataset {
+    /// Items of one difficulty.
+    pub fn by_difficulty(&self, d: Difficulty) -> Vec<&EvalItem> {
+        self.items.iter().filter(|i| i.difficulty == d).collect()
+    }
+
+    /// Items of one domain.
+    pub fn by_domain(&self, d: Domain) -> Vec<&EvalItem> {
+        self.items.iter().filter(|i| i.domain == d).collect()
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dataset serializes")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Entity pools sampled from the dataset.
+struct Pools {
+    asns: Vec<u32>,
+    eyeball_pairs: Vec<(u32, String)>,
+    countries: Vec<String>,
+    ixps: Vec<String>,
+    ixp_countries: Vec<(String, String)>,
+    domains: Vec<String>,
+    prefixes: Vec<(String, u32)>,
+    tags: Vec<String>,
+    names: Vec<(String, u32)>,
+    /// AS pairs with a common DEPENDS_ON provider.
+    co_customers: Vec<(u32, u32)>,
+    /// AS pairs with a common IXP.
+    co_members: Vec<(u32, u32)>,
+    /// ASes that host at least one domain.
+    hosting_asns: Vec<u32>,
+    /// (customer, reachable-upstream) pairs over DEPENDS_ON.
+    dep_pairs: Vec<(u32, u32)>,
+}
+
+fn build_pools(d: &IypDataset) -> Pools {
+    use iyp_graphdb::Direction;
+    let mut asns: Vec<u32> = d.ases.iter().map(|a| a.asn).collect();
+    asns.sort_unstable();
+    let mut countries: Vec<String> = d
+        .ases
+        .iter()
+        .map(|a| a.country.to_string())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    countries.sort();
+    let mut eyeball_pairs = Vec::new();
+    for spec in &d.ases {
+        let id = d.as_by_asn[&spec.asn];
+        for (_, nbr) in d.graph.neighbors(id, Direction::Outgoing, Some(&["POPULATION"])) {
+            if let Some(cc) = d
+                .graph
+                .node(nbr)
+                .and_then(|n| n.props.get("country_code"))
+                .and_then(|v| v.as_str().map(String::from))
+            {
+                eyeball_pairs.push((spec.asn, cc));
+            }
+        }
+    }
+    let mut ixps: Vec<String> = d.ixp_by_name.keys().cloned().collect();
+    ixps.sort();
+    let mut ixp_countries = Vec::new();
+    for (name, &id) in &d.ixp_by_name {
+        for (_, nbr) in d.graph.neighbors(id, Direction::Outgoing, Some(&["COUNTRY"])) {
+            if let Some(cc) = d
+                .graph
+                .node(nbr)
+                .and_then(|n| n.props.get("country_code"))
+                .and_then(|v| v.as_str().map(String::from))
+            {
+                ixp_countries.push((name.clone(), cc));
+            }
+        }
+    }
+    ixp_countries.sort();
+    let mut domains = Vec::new();
+    for id in d.graph.nodes_with_label("DomainName") {
+        if let Some(name) = d
+            .graph
+            .node(id)
+            .and_then(|n| n.props.get("name"))
+            .and_then(|v| v.as_str().map(String::from))
+        {
+            domains.push(name);
+        }
+    }
+    domains.sort();
+    let mut prefixes = Vec::new();
+    for spec in &d.ases {
+        let id = d.as_by_asn[&spec.asn];
+        for (_, nbr) in d.graph.neighbors(id, Direction::Outgoing, Some(&["ORIGINATE"])) {
+            if let Some(p) = d
+                .graph
+                .node(nbr)
+                .and_then(|n| n.props.get("prefix"))
+                .and_then(|v| v.as_str().map(String::from))
+            {
+                prefixes.push((p, spec.asn));
+            }
+        }
+    }
+    prefixes.sort();
+    let names: Vec<(String, u32)> = d.ases.iter().map(|a| (a.name.clone(), a.asn)).collect();
+
+    // Pairs of ASes sharing an upstream / an IXP, so hard join questions
+    // usually have non-empty answers (random pairs almost never overlap,
+    // which would let empty-vs-empty agreement inflate hard scores).
+    let mut upstream_customers: std::collections::HashMap<iyp_graphdb::NodeId, Vec<u32>> =
+        std::collections::HashMap::new();
+    let mut ixp_members: std::collections::HashMap<iyp_graphdb::NodeId, Vec<u32>> =
+        std::collections::HashMap::new();
+    for spec in &d.ases {
+        let id = d.as_by_asn[&spec.asn];
+        for (_, up) in d.graph.neighbors(id, Direction::Outgoing, Some(&["DEPENDS_ON"])) {
+            upstream_customers.entry(up).or_default().push(spec.asn);
+        }
+        for (_, ixp) in d.graph.neighbors(id, Direction::Outgoing, Some(&["MEMBER_OF"])) {
+            ixp_members.entry(ixp).or_default().push(spec.asn);
+        }
+    }
+    let sibling_pairs = |m: &std::collections::HashMap<iyp_graphdb::NodeId, Vec<u32>>| {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        let mut keys: Vec<_> = m.keys().copied().collect();
+        keys.sort();
+        for k in keys {
+            let members = &m[&k];
+            for w in members.windows(2) {
+                if w[0] != w[1] {
+                    out.push((w[0], w[1]));
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    };
+    let co_customers = sibling_pairs(&upstream_customers);
+    let co_members = sibling_pairs(&ixp_members);
+
+    // (customer, provider) and (customer, provider-of-provider) pairs, so
+    // shortest-path questions usually have a route to find.
+    let mut dep_pairs: Vec<(u32, u32)> = Vec::new();
+    for spec in &d.ases {
+        let id = d.as_by_asn[&spec.asn];
+        for (_, up) in d.graph.neighbors(id, Direction::Outgoing, Some(&["DEPENDS_ON"])) {
+            let up_asn = d
+                .graph
+                .node(up)
+                .and_then(|n| n.props.get("asn"))
+                .and_then(|v| v.as_int())
+                .map(|v| v as u32);
+            if let Some(up_asn) = up_asn {
+                dep_pairs.push((spec.asn, up_asn));
+            }
+            for (_, up2) in d.graph.neighbors(up, Direction::Outgoing, Some(&["DEPENDS_ON"])) {
+                let up2_asn = d
+                    .graph
+                    .node(up2)
+                    .and_then(|n| n.props.get("asn"))
+                    .and_then(|v| v.as_int())
+                    .map(|v| v as u32);
+                if let Some(up2_asn) = up2_asn {
+                    if up2_asn != spec.asn {
+                        dep_pairs.push((spec.asn, up2_asn));
+                    }
+                }
+            }
+        }
+    }
+    dep_pairs.sort_unstable();
+    dep_pairs.dedup();
+
+    // ASes with at least one domain resolving into their prefixes, so
+    // domain-hosting questions usually have answers.
+    let mut hosting_asns: Vec<u32> = Vec::new();
+    for spec in &d.ases {
+        let id = d.as_by_asn[&spec.asn];
+        let hosts = d
+            .graph
+            .neighbors(id, Direction::Outgoing, Some(&["ORIGINATE"]))
+            .into_iter()
+            .any(|(_, p)| {
+                !d.graph
+                    .neighbors(p, Direction::Incoming, Some(&["RESOLVES_TO"]))
+                    .is_empty()
+            });
+        if hosts {
+            hosting_asns.push(spec.asn);
+        }
+    }
+    hosting_asns.sort_unstable();
+
+    Pools {
+        asns,
+        eyeball_pairs,
+        countries,
+        ixps,
+        ixp_countries,
+        domains,
+        prefixes,
+        tags: iyp_data::schema::TAGS.iter().map(|t| t.to_string()).collect(),
+        names,
+        co_customers,
+        co_members,
+        hosting_asns,
+        dep_pairs,
+    }
+}
+
+fn pick<'a, T>(rng: &mut StdRng, v: &'a [T]) -> &'a T {
+    &v[rng.random_range(0..v.len())]
+}
+
+/// Builds the benchmark dataset for a generated IYP graph.
+pub fn build_dataset(d: &IypDataset, config: &EvalConfig) -> CypherEvalDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x43594550); // "CYEP"
+    let pools = build_pools(d);
+    let kinds: usize = 30;
+    let per_kind = config.target_size.div_ceil(kinds).max(1);
+
+    let mut items = Vec::new();
+    for round in 0..per_kind {
+        for kind in 0..kinds {
+            if items.len() >= config.target_size {
+                break;
+            }
+            let intent = sample_intent(kind, &mut rng, &pools);
+            let bank = phrasings(&intent);
+            let phrasing = bank[(round + items.len()) % bank.len()].clone();
+            let gold_cypher = canonical_cypher(&intent);
+            items.push(EvalItem {
+                id: items.len(),
+                question: phrasing,
+                gold_cypher,
+                difficulty: intent.difficulty(),
+                domain: intent.domain(),
+                intent,
+            });
+        }
+    }
+    CypherEvalDataset { items }
+}
+
+fn sample_intent(kind: usize, rng: &mut StdRng, p: &Pools) -> Intent {
+    let asn = |rng: &mut StdRng| *pick(rng, &p.asns);
+    let country = |rng: &mut StdRng| pick(rng, &p.countries).clone();
+    match kind {
+        0 => Intent::AsName { asn: asn(rng) },
+        1 => {
+            let (name, _) = pick(rng, &p.names).clone();
+            Intent::AsnOfName { name }
+        }
+        2 => Intent::AsCountry { asn: asn(rng) },
+        3 => Intent::CountAsInCountry { country: country(rng) },
+        4 => Intent::AsRank { asn: asn(rng) },
+        5 => Intent::CountPrefixes { asn: asn(rng) },
+        6 => {
+            let (prefix, _) = pick(rng, &p.prefixes).clone();
+            Intent::PrefixOrigin { prefix }
+        }
+        7 => Intent::DomainRank {
+            domain: pick(rng, &p.domains).clone(),
+        },
+        8 => Intent::IxpCountry {
+            ixp: pick(rng, &p.ixps).clone(),
+        },
+        9 => Intent::IxpMemberCount {
+            ixp: pick(rng, &p.ixps).clone(),
+        },
+        10 => {
+            // Mostly real (AS, country) population pairs; some misses so
+            // empty-result handling is exercised too.
+            if !p.eyeball_pairs.is_empty() && rng.random::<f64>() < 0.8 {
+                let (asn, country) = pick(rng, &p.eyeball_pairs).clone();
+                Intent::PopulationShare { asn, country }
+            } else {
+                Intent::PopulationShare {
+                    asn: asn(rng),
+                    country: country(rng),
+                }
+            }
+        }
+        11 => Intent::OrgOfAs { asn: asn(rng) },
+        12 => Intent::TopAsInCountryByPrefixes {
+            country: country(rng),
+            n: rng.random_range(3..=10),
+        },
+        13 => Intent::TopPopulationAs { country: country(rng) },
+        14 => Intent::PrefixesAfCount {
+            asn: asn(rng),
+            af: if rng.random::<bool>() { 4 } else { 6 },
+        },
+        15 => {
+            let (ixp, cc) = pick(rng, &p.ixp_countries).clone();
+            // Usually the IXP's own country (non-empty answers).
+            let country = if rng.random::<f64>() < 0.85 { cc } else { country(rng) };
+            Intent::IxpMembersFromCountry { ixp, country }
+        }
+        16 => {
+            if !p.co_members.is_empty() && rng.random::<f64>() < 0.85 {
+                let (a, b) = *pick(rng, &p.co_members);
+                Intent::SharedIxps { a, b }
+            } else {
+                let a = asn(rng);
+                let mut b = asn(rng);
+                while b == a {
+                    b = asn(rng);
+                }
+                Intent::SharedIxps { a, b }
+            }
+        }
+        17 => Intent::TopRankedInCountry { country: country(rng) },
+        18 => Intent::AvgPrefixesInCountry { country: country(rng) },
+        19 => Intent::TaggedAsInCountry {
+            tag: pick(rng, &p.tags).clone(),
+            country: country(rng),
+        },
+        20 => Intent::TransitiveUpstreams { asn: asn(rng) },
+        21 => {
+            if !p.co_customers.is_empty() && rng.random::<f64>() < 0.85 {
+                let (a, b) = *pick(rng, &p.co_customers);
+                Intent::CommonUpstreams { a, b }
+            } else {
+                let a = asn(rng);
+                let mut b = asn(rng);
+                while b == a {
+                    b = asn(rng);
+                }
+                Intent::CommonUpstreams { a, b }
+            }
+        }
+        22 => Intent::UpstreamCountries { asn: asn(rng) },
+        23 => Intent::TopDomainOnAs {
+            asn: if !p.hosting_asns.is_empty() && rng.random::<f64>() < 0.85 {
+                *pick(rng, &p.hosting_asns)
+            } else {
+                asn(rng)
+            },
+        },
+        24 => Intent::UpstreamPrefixCount { asn: asn(rng) },
+        25 => Intent::PopulationOfTopRanked { country: country(rng) },
+        26 => Intent::DomainsOnAs {
+            asn: if !p.hosting_asns.is_empty() && rng.random::<f64>() < 0.85 {
+                *pick(rng, &p.hosting_asns)
+            } else {
+                asn(rng)
+            },
+        },
+        27 => {
+            if !p.dep_pairs.is_empty() && rng.random::<f64>() < 0.85 {
+                let (a, b) = *pick(rng, &p.dep_pairs);
+                Intent::ShortestDependencyPath { a, b }
+            } else {
+                let a = asn(rng);
+                let mut b = asn(rng);
+                while b == a {
+                    b = asn(rng);
+                }
+                Intent::ShortestDependencyPath { a, b }
+            }
+        }
+        28 => {
+            // Bias toward countries that actually host transit-free
+            // (tier-1) networks, so the answer set is non-empty half the
+            // time; the rest exercise the empty-result path.
+            let tier1_homes = ["US", "SE", "JP", "DE", "IN"];
+            let country = if rng.random::<f64>() < 0.5 {
+                tier1_homes[rng.random_range(0..tier1_homes.len())].to_string()
+            } else {
+                country(rng)
+            };
+            Intent::TransitFreeInCountry { country }
+        }
+        _ => Intent::HegemonyOfAs { asn: asn(rng) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_data::{generate, IypConfig};
+
+    fn dataset() -> CypherEvalDataset {
+        let d = generate(&IypConfig::tiny());
+        build_dataset(&d, &EvalConfig::default())
+    }
+
+    #[test]
+    fn reaches_target_size() {
+        let ds = dataset();
+        assert!(ds.items.len() >= 300, "only {} items", ds.items.len());
+    }
+
+    #[test]
+    fn covers_all_difficulties_and_domains() {
+        let ds = dataset();
+        for d in [Difficulty::Easy, Difficulty::Medium, Difficulty::Hard] {
+            assert!(
+                ds.by_difficulty(d).len() >= 30,
+                "{d}: {}",
+                ds.by_difficulty(d).len()
+            );
+        }
+        for dom in [Domain::General, Domain::Technical] {
+            assert!(ds.by_domain(dom).len() >= 80, "{dom}");
+        }
+        // Both domains present within each difficulty.
+        for d in [Difficulty::Easy, Difficulty::Medium, Difficulty::Hard] {
+            let items = ds.by_difficulty(d);
+            assert!(items.iter().any(|i| i.domain == Domain::General));
+            assert!(items.iter().any(|i| i.domain == Domain::Technical));
+        }
+    }
+
+    #[test]
+    fn gold_queries_all_execute() {
+        let d = generate(&IypConfig::tiny());
+        let ds = build_dataset(&d, &EvalConfig { seed: 42, target_size: 60 });
+        for item in &ds.items {
+            let r = iyp_cypher::query(&d.graph, &item.gold_cypher);
+            assert!(
+                r.is_ok(),
+                "gold query of item {} failed: {}\n{:?}",
+                item.id,
+                item.gold_cypher,
+                r.err()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let d = generate(&IypConfig::tiny());
+        let a = build_dataset(&d, &EvalConfig::default());
+        let b = build_dataset(&d, &EvalConfig::default());
+        assert_eq!(a.items.len(), b.items.len());
+        assert!(a
+            .items
+            .iter()
+            .zip(&b.items)
+            .all(|(x, y)| x.question == y.question && x.gold_cypher == y.gold_cypher));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ds = dataset();
+        let json = ds.to_json();
+        let back = CypherEvalDataset::from_json(&json).unwrap();
+        assert_eq!(back.items.len(), ds.items.len());
+        assert_eq!(back.items[0].question, ds.items[0].question);
+    }
+
+    #[test]
+    fn labels_match_intent_metadata() {
+        let ds = dataset();
+        for item in &ds.items {
+            assert_eq!(item.difficulty, item.intent.difficulty());
+            assert_eq!(item.domain, item.intent.domain());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # cypher-eval
+//!
+//! A CypherEval-style benchmark (Giakatos, Tashiro & Fontugne, LCN 2025):
+//! 300+ natural-language questions over the IYP graph, each annotated with
+//! a gold Cypher query and labeled by difficulty (Easy/Medium/Hard) and
+//! domain (general/technical).
+//!
+//! The real dataset lives on Codeberg and targets the public IYP dump;
+//! this crate regenerates an equivalent benchmark against our synthetic
+//! graph: [`templates`] holds per-intent phrasing banks, [`dataset`]
+//! instantiates questions with entities sampled from the graph, and
+//! [`validate`] implements the paper's validation model (gold-query
+//! execution → reference answer) plus ground-truth correctness scoring.
+//!
+//! ```
+//! use iyp_data::{generate, IypConfig};
+//! use cypher_eval::{build_dataset, EvalConfig, Validator};
+//!
+//! let data = generate(&IypConfig::tiny());
+//! let bench = build_dataset(&data, &EvalConfig { seed: 42, target_size: 30 });
+//! let validator = Validator::new(42);
+//! let v = validator.validate(&data.graph, &bench.items[0]).unwrap();
+//! assert!(!v.reference_answer.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod templates;
+pub mod validate;
+
+pub use dataset::{build_dataset, CypherEvalDataset, EvalConfig, EvalItem};
+pub use validate::{results_match, Validation, Validator};

@@ -1,0 +1,329 @@
+//! Question phrasing banks: each intent kind renders to several English
+//! phrasings, mirroring CypherEval's natural-language variety.
+
+use iyp_llm::Intent;
+
+/// Renders all phrasings of an intent. The first phrasing is the
+//  canonical one; the rest are paraphrases.
+pub fn phrasings(intent: &Intent) -> Vec<String> {
+    use Intent::*;
+    match intent {
+        AsName { asn } => vec![
+            format!("What is the name of AS{asn}?"),
+            format!("What name is registered for AS{asn}?"),
+            format!("Tell me the name of AS{asn}."),
+        ],
+        AsnOfName { name } => vec![
+            format!("What is the ASN of {name}?"),
+            format!("Which AS number belongs to {name}?"),
+            format!("What is the autonomous system number of {name}?"),
+        ],
+        AsCountry { asn } => vec![
+            format!("In which country is AS{asn} registered?"),
+            format!("What country is AS{asn} registered in?"),
+            format!("Which country is AS{asn} based in?"),
+        ],
+        CountAsInCountry { country } => vec![
+            format!("How many ASes are registered in {}?", country_name(country)),
+            format!(
+                "What is the number of autonomous systems in {}?",
+                country_name(country)
+            ),
+            format!("Count the networks registered in {}.", country_name(country)),
+        ],
+        AsRank { asn } => vec![
+            format!("What is the CAIDA ASRank of AS{asn}?"),
+            format!("What rank does AS{asn} hold in CAIDA's ASRank?"),
+            format!("How is AS{asn} ranked by CAIDA?"),
+        ],
+        CountPrefixes { asn } => vec![
+            format!("How many prefixes does AS{asn} originate?"),
+            format!("How many prefixes are originated by AS{asn}?"),
+            format!("What is the number of prefixes announced by AS{asn}?"),
+        ],
+        PrefixOrigin { prefix } => vec![
+            format!("Which AS originates {prefix}?"),
+            format!("Who originates the prefix {prefix}?"),
+            format!("What is the origin AS of prefix {prefix}?"),
+        ],
+        DomainRank { domain } => vec![
+            format!("What is the Tranco rank of {domain}?"),
+            format!("How is {domain} ranked in the Tranco list?"),
+            format!("What rank does {domain} have in Tranco?"),
+        ],
+        IxpCountry { ixp } => vec![
+            format!("In which country is {ixp} located?"),
+            format!("Where is the {ixp} exchange point located?"),
+            format!("What country is {ixp} in?"),
+        ],
+        IxpMemberCount { ixp } => vec![
+            format!("How many members does {ixp} have?"),
+            format!("How many networks are members of {ixp}?"),
+            format!("What is the member count of {ixp}?"),
+        ],
+        PopulationShare { asn, country } => vec![
+            format!(
+                "What is the percentage of {}'s population in AS{asn}?",
+                country_name(country)
+            ),
+            format!(
+                "What share of {}'s population does AS{asn} serve?",
+                country_name(country)
+            ),
+            format!(
+                "How much of the population of {} is served by AS{asn}?",
+                country_name(country)
+            ),
+        ],
+        OrgOfAs { asn } => vec![
+            format!("Which organization manages AS{asn}?"),
+            format!("Who runs AS{asn}?"),
+            format!("What is the operator organization of AS{asn}?"),
+        ],
+        TopAsInCountryByPrefixes { country, n } => vec![
+            format!(
+                "Which are the top {n} ASes in {} by number of originated prefixes?",
+                country_name(country)
+            ),
+            format!(
+                "List the top {n} networks of {} by prefix count.",
+                country_name(country)
+            ),
+            format!(
+                "What are the top {n} prefix originators in {}?",
+                country_name(country)
+            ),
+        ],
+        TopPopulationAs { country } => vec![
+            format!(
+                "Which AS serves the largest share of the population of {}?",
+                country_name(country)
+            ),
+            format!(
+                "Which network serves most of {}'s population?",
+                country_name(country)
+            ),
+            format!(
+                "What is the biggest eyeball network by population share in {}?",
+                country_name(country)
+            ),
+        ],
+        PrefixesAfCount { asn, af } => vec![
+            format!("How many IPv{af} prefixes does AS{asn} originate?"),
+            format!("How many IPv{af} prefixes are announced by AS{asn}?"),
+            format!("What is the count of IPv{af} prefixes originated by AS{asn}?"),
+        ],
+        IxpMembersFromCountry { ixp, country } => vec![
+            format!(
+                "How many members of {ixp} are registered in {}?",
+                country_name(country)
+            ),
+            format!(
+                "How many {}-registered members does {ixp} have?",
+                country_name(country)
+            ),
+            format!(
+                "Count the members of {ixp} from {}.",
+                country_name(country)
+            ),
+        ],
+        SharedIxps { a, b } => vec![
+            format!("Which IXPs are AS{a} and AS{b} both members of?"),
+            format!("At which IXPs do AS{a} and AS{b} both peer?"),
+            format!("Which exchange points do AS{a} and AS{b} share?"),
+        ],
+        TopRankedInCountry { country } => vec![
+            format!(
+                "Which AS in {} has the best CAIDA rank?",
+                country_name(country)
+            ),
+            format!("What is the top-ranked AS of {}?", country_name(country)),
+            format!(
+                "Which network holds the highest CAIDA rank in {}?",
+                country_name(country)
+            ),
+        ],
+        AvgPrefixesInCountry { country } => vec![
+            format!(
+                "What is the average number of prefixes per AS in {}?",
+                country_name(country)
+            ),
+            format!(
+                "How many prefixes does an average AS in {} originate?",
+                country_name(country)
+            ),
+            format!(
+                "What is the mean prefix count of {}'s networks?",
+                country_name(country)
+            ),
+        ],
+        TaggedAsInCountry { tag, country } => vec![
+            format!(
+                "How many {tag} networks are registered in {}?",
+                country_name(country)
+            ),
+            format!(
+                "How many ASes in {} are categorized as {tag}?",
+                country_name(country)
+            ),
+            format!(
+                "Count the {tag} ASes registered in {}.",
+                country_name(country)
+            ),
+        ],
+        TransitiveUpstreams { asn } => vec![
+            format!("Which ASes does AS{asn} depend on directly or indirectly?"),
+            format!("What are the transitive upstream providers of AS{asn}?"),
+            format!("Which upstream networks can AS{asn} reach within three hops?"),
+        ],
+        CommonUpstreams { a, b } => vec![
+            format!("Which upstream providers do AS{a} and AS{b} have in common?"),
+            format!("Which transit providers are shared by AS{a} and AS{b}?"),
+            format!("What common upstreams do AS{a} and AS{b} use?"),
+        ],
+        UpstreamCountries { asn } => vec![
+            format!("In which countries are the upstream providers of AS{asn} registered?"),
+            format!("Which countries host the upstreams of AS{asn}?"),
+            format!("Where are AS{asn}'s transit providers registered? List the countries."),
+        ],
+        TopDomainOnAs { asn } => vec![
+            format!("What is the best-ranked domain hosted on AS{asn}?"),
+            format!("Which domain with the top Tranco rank resolves to AS{asn}?"),
+            format!("What is the highest-ranked domain served from AS{asn}?"),
+        ],
+        UpstreamPrefixCount { asn } => vec![
+            format!(
+                "How many prefixes in total do the upstream providers of AS{asn} originate?"
+            ),
+            format!("How many prefixes do AS{asn}'s upstreams announce in total?"),
+            format!(
+                "What is the total prefix count originated by the upstream providers of AS{asn}?"
+            ),
+        ],
+        PopulationOfTopRanked { country } => vec![
+            format!(
+                "What share of the population of {} is served by its top-ranked AS?",
+                country_name(country)
+            ),
+            format!(
+                "How much of {}'s population does its best-ranked AS serve?",
+                country_name(country)
+            ),
+            format!(
+                "What population share belongs to the top-ranked network of {}?",
+                country_name(country)
+            ),
+        ],
+        DomainsOnAs { asn } => vec![
+            format!("Which domains resolve to prefixes originated by AS{asn}?"),
+            format!("Which domain names are hosted on AS{asn}?"),
+            format!("List the domains that resolve into AS{asn}'s address space."),
+        ],
+        ShortestDependencyPath { a, b } => vec![
+            format!("What is the length of the shortest dependency path from AS{a} to AS{b}?"),
+            format!("How many hops separate AS{a} from AS{b} in the transit graph?"),
+            format!("What is the shortest transit path length between AS{a} and AS{b}?"),
+        ],
+        TransitFreeInCountry { country } => vec![
+            format!(
+                "Which ASes in {} have no upstream providers?",
+                country_name(country)
+            ),
+            format!(
+                "Which networks registered in {} are transit-free?",
+                country_name(country)
+            ),
+            format!(
+                "List the ASes in {} without any upstream provider.",
+                country_name(country)
+            ),
+        ],
+        HegemonyOfAs { asn } => vec![
+            format!("What is the hegemony score of AS{asn}?"),
+            format!("How high is AS{asn}'s hegemony in the transit graph?"),
+            format!("What transit centrality (hegemony) does AS{asn} have?"),
+        ],
+    }
+}
+
+/// Renders a country code as its English name (falling back to the code).
+fn country_name(code: &str) -> String {
+    iyp_data::countries::by_code(code)
+        .map(|c| c.name.to_string())
+        .unwrap_or_else(|| code.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_data::{generate, IypConfig};
+    use iyp_llm::intent::{parse_question, EntityCatalog};
+
+    /// Every phrasing of every intent kind must parse back to its intent:
+    /// the error model, not parser brittleness, must own the failure
+    /// distribution.
+    #[test]
+    fn all_phrasings_roundtrip_through_the_parser() {
+        let d = generate(&IypConfig::tiny());
+        let cat = EntityCatalog::from_dataset(&d);
+        let domain = d
+            .graph
+            .nodes_with_label("DomainName")
+            .next()
+            .and_then(|id| d.graph.node(id).unwrap().props.get("name").cloned())
+            .unwrap()
+            .to_string();
+        let ixp = d.ixp_by_name.keys().next().unwrap().clone();
+        let intents = vec![
+            Intent::AsName { asn: 2497 },
+            Intent::AsnOfName { name: "IIJ".into() },
+            Intent::AsCountry { asn: 2497 },
+            Intent::CountAsInCountry { country: "DE".into() },
+            Intent::AsRank { asn: 2497 },
+            Intent::CountPrefixes { asn: 2497 },
+            Intent::PrefixOrigin { prefix: "203.0.113.0/24".into() },
+            Intent::DomainRank { domain: domain.clone() },
+            Intent::IxpCountry { ixp: ixp.clone() },
+            Intent::IxpMemberCount { ixp: ixp.clone() },
+            Intent::PopulationShare { asn: 2497, country: "JP".into() },
+            Intent::OrgOfAs { asn: 2497 },
+            Intent::TopAsInCountryByPrefixes { country: "US".into(), n: 5 },
+            Intent::TopPopulationAs { country: "JP".into() },
+            Intent::PrefixesAfCount { asn: 2497, af: 4 },
+            Intent::IxpMembersFromCountry { ixp: ixp.clone(), country: "JP".into() },
+            Intent::SharedIxps { a: 2497, b: 2914 },
+            Intent::TopRankedInCountry { country: "US".into() },
+            Intent::AvgPrefixesInCountry { country: "JP".into() },
+            Intent::TaggedAsInCountry { tag: "Eyeball".into(), country: "JP".into() },
+            Intent::TransitiveUpstreams { asn: 2497 },
+            Intent::CommonUpstreams { a: 2497, b: 15169 },
+            Intent::UpstreamCountries { asn: 2497 },
+            Intent::TopDomainOnAs { asn: 15169 },
+            Intent::UpstreamPrefixCount { asn: 2497 },
+            Intent::PopulationOfTopRanked { country: "JP".into() },
+            Intent::DomainsOnAs { asn: 15169 },
+            Intent::ShortestDependencyPath { a: 2497, b: 1299 },
+            Intent::TransitFreeInCountry { country: "US".into() },
+            Intent::HegemonyOfAs { asn: 2497 },
+        ];
+        for intent in intents {
+            for (i, phrasing) in phrasings(&intent).iter().enumerate() {
+                let parsed = parse_question(phrasing, &cat);
+                assert_eq!(
+                    parsed.as_ref(),
+                    Some(&intent),
+                    "phrasing {i} of {} failed to round-trip: {phrasing:?} -> {parsed:?}",
+                    intent.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_intent_has_at_least_three_phrasings() {
+        let p = phrasings(&Intent::AsName { asn: 1 });
+        assert!(p.len() >= 3);
+        let p = phrasings(&Intent::PopulationOfTopRanked { country: "JP".into() });
+        assert!(p.len() >= 3);
+    }
+}

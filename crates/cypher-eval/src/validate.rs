@@ -1,0 +1,128 @@
+//! The validation model: executes gold Cypher on the graph and produces a
+//! reference answer (the paper's "validation model ... prompts GPT-3.5 to
+//! produce a reference answer"), plus ground-truth correctness scoring by
+//! result comparison.
+
+use crate::dataset::EvalItem;
+use iyp_cypher::QueryResult;
+use iyp_graphdb::Graph;
+use iyp_llm::{generate_reference, LmConfig, SimLm};
+use serde::Serialize;
+
+/// The validation output for one item.
+#[derive(Debug, Clone, Serialize)]
+pub struct Validation {
+    /// The reference (gold) answer text.
+    pub reference_answer: String,
+    /// The gold query's result.
+    pub gold_result: QueryResult,
+}
+
+/// A validator: executes gold queries and phrases reference answers with
+/// its own generation model (seeded independently of the system under
+/// test, like the paper's separate validation LLM).
+pub struct Validator {
+    lm: SimLm,
+}
+
+impl Validator {
+    /// Creates a validator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Validator {
+            // The validation model phrases references with its own
+            // (lower) paraphrase variety.
+            lm: SimLm::new(LmConfig {
+                seed: seed ^ 0x56414c, // "VAL"
+                skill: 1.0,
+                variety: 0.35,
+            }),
+        }
+    }
+
+    /// Runs the gold query and produces the reference answer.
+    ///
+    /// # Errors
+    /// Returns the underlying Cypher error when the gold query fails —
+    /// that is a benchmark bug, not a model failure.
+    pub fn validate(
+        &self,
+        graph: &Graph,
+        item: &EvalItem,
+    ) -> Result<Validation, iyp_cypher::CypherError> {
+        let gold_result = iyp_cypher::query(graph, &item.gold_cypher)?;
+        let reference_answer =
+            generate_reference(&self.lm, &item.question, Some(&item.intent), &gold_result);
+        Ok(Validation {
+            reference_answer,
+            gold_result,
+        })
+    }
+}
+
+/// Ground-truth correctness: do two results hold the same facts?
+/// Compared order-insensitively via canonical fingerprints (column names
+/// and float noise are ignored).
+pub fn results_match(gold: &QueryResult, candidate: &QueryResult) -> bool {
+    gold.fingerprint(false) == candidate.fingerprint(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{build_dataset, EvalConfig};
+    use iyp_data::{generate, IypConfig};
+
+    #[test]
+    fn validation_produces_reference_answers() {
+        let d = generate(&IypConfig::tiny());
+        let ds = build_dataset(&d, &EvalConfig { seed: 42, target_size: 54 });
+        let v = Validator::new(42);
+        let mut nonempty = 0;
+        for item in &ds.items {
+            let val = v.validate(&d.graph, item).expect("gold query runs");
+            assert!(!val.reference_answer.is_empty());
+            if !val.gold_result.is_empty() {
+                nonempty += 1;
+            }
+        }
+        // Most questions should have data behind them.
+        assert!(
+            nonempty * 10 >= ds.items.len() * 6,
+            "only {nonempty}/{} items have data",
+            ds.items.len()
+        );
+    }
+
+    #[test]
+    fn results_match_ignores_order_and_aliases() {
+        use iyp_graphdb::Value;
+        let a = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        };
+        let b = QueryResult {
+            columns: vec!["y".into()],
+            rows: vec![vec![Value::Int(2)], vec![Value::Int(1)]],
+        };
+        assert!(results_match(&a, &b));
+        let c = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(3)]],
+        };
+        assert!(!results_match(&a, &c));
+    }
+
+    #[test]
+    fn validator_is_deterministic() {
+        let d = generate(&IypConfig::tiny());
+        let ds = build_dataset(&d, &EvalConfig { seed: 42, target_size: 10 });
+        let v1 = Validator::new(7);
+        let v2 = Validator::new(7);
+        for item in &ds.items {
+            assert_eq!(
+                v1.validate(&d.graph, item).unwrap().reference_answer,
+                v2.validate(&d.graph, item).unwrap().reference_answer
+            );
+        }
+    }
+}

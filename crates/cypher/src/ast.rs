@@ -1,0 +1,493 @@
+//! Abstract syntax tree for the Cypher subset.
+
+use iyp_graphdb::Value;
+
+/// A complete query: a sequence of clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Clauses in source order.
+    pub clauses: Vec<Clause>,
+}
+
+/// A top-level clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `MATCH` / `OPTIONAL MATCH` with an optional `WHERE`.
+    Match(MatchClause),
+    /// `UNWIND expr AS var`.
+    Unwind {
+        /// The list expression.
+        expr: Expr,
+        /// The introduced variable.
+        var: String,
+    },
+    /// `WITH items [WHERE] [ORDER BY] [SKIP] [LIMIT]`.
+    With(ProjectionClause),
+    /// `RETURN items [ORDER BY] [SKIP] [LIMIT]`.
+    Return(ProjectionClause),
+    /// `CREATE pattern` (used by the dataset loader and tests).
+    Create {
+        /// Patterns to create.
+        patterns: Vec<PatternPart>,
+    },
+    /// `MERGE (n:Label {props})` — single-node merge.
+    Merge {
+        /// The node pattern to match-or-create.
+        node: NodePattern,
+    },
+    /// `SET var.key = expr, ...`.
+    Set {
+        /// Assignments.
+        items: Vec<SetItem>,
+    },
+    /// `DELETE` / `DETACH DELETE`.
+    Delete {
+        /// Variables to delete.
+        vars: Vec<String>,
+        /// Whether relationships are removed implicitly.
+        detach: bool,
+    },
+    /// `UNION [ALL]` — separates two complete sub-queries whose results
+    /// are combined (deduplicated unless `all`).
+    Union {
+        /// Keep duplicate rows?
+        all: bool,
+    },
+}
+
+/// One `SET` action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetItem {
+    /// `var.key = expr` (also the desugaring of `REMOVE var.key`, with a
+    /// null expression).
+    Prop {
+        /// Entity variable.
+        var: String,
+        /// Property key.
+        key: String,
+        /// Value expression.
+        expr: Expr,
+    },
+    /// `var += {map}` — merge every entry of a map expression into the
+    /// entity's properties (null values delete keys).
+    MergeMap {
+        /// Entity variable.
+        var: String,
+        /// Map expression.
+        expr: Expr,
+    },
+}
+
+/// A `MATCH` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchClause {
+    /// True for `OPTIONAL MATCH`.
+    pub optional: bool,
+    /// Comma-separated pattern parts.
+    pub patterns: Vec<PatternPart>,
+    /// Attached `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+}
+
+/// One comma-separated element of a pattern: a node followed by zero or
+/// more (relationship, node) hops. May be bound to a path variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternPart {
+    /// `p = (...)-[...]->(...)` path binding, if present.
+    pub path_var: Option<String>,
+    /// `shortestPath(...)` wrapper: keep only the minimal-length path per
+    /// distinct endpoint pair. Requires a path binding.
+    pub shortest: bool,
+    /// The first node.
+    pub start: NodePattern,
+    /// Subsequent hops.
+    pub hops: Vec<(RelPattern, NodePattern)>,
+}
+
+/// A node pattern `(var:Label1:Label2 {key: expr})`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodePattern {
+    /// Bound variable, if named.
+    pub var: Option<String>,
+    /// Required labels.
+    pub labels: Vec<String>,
+    /// Inline property equality constraints.
+    pub props: Vec<(String, Expr)>,
+}
+
+/// Direction of a relationship pattern in source syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelDir {
+    /// `-[..]->`
+    Right,
+    /// `<-[..]-`
+    Left,
+    /// `-[..]-`
+    Undirected,
+}
+
+/// A relationship pattern `-[var:TYPE1|TYPE2 *min..max {key: expr}]->`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelPattern {
+    /// Bound variable, if named.
+    pub var: Option<String>,
+    /// Allowed relationship types (empty = any).
+    pub types: Vec<String>,
+    /// Arrow direction.
+    pub dir: RelDir,
+    /// Variable-length range, if starred. `(1, Some(1))` is a plain hop.
+    pub hops: HopRange,
+    /// Inline property equality constraints.
+    pub props: Vec<(String, Expr)>,
+}
+
+/// Hop count range for variable-length patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopRange {
+    /// Minimum hops.
+    pub min: u32,
+    /// Maximum hops (`None` = unbounded, capped by the executor).
+    pub max: Option<u32>,
+}
+
+impl HopRange {
+    /// A single fixed hop (the non-starred case).
+    pub fn single() -> Self {
+        HopRange {
+            min: 1,
+            max: Some(1),
+        }
+    }
+
+    /// Is this a plain single hop?
+    pub fn is_single(&self) -> bool {
+        self.min == 1 && self.max == Some(1)
+    }
+}
+
+/// `WITH` / `RETURN` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectionClause {
+    /// `DISTINCT` flag.
+    pub distinct: bool,
+    /// Projected items; empty plus `star` for `RETURN *`.
+    pub items: Vec<ProjectionItem>,
+    /// `*` projection (keep all current variables).
+    pub star: bool,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `SKIP` expression.
+    pub skip: Option<Expr>,
+    /// `LIMIT` expression.
+    pub limit: Option<Expr>,
+    /// `WHERE` after `WITH`.
+    pub where_clause: Option<Expr>,
+}
+
+/// One projected expression with its output name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectionItem {
+    /// The expression.
+    pub expr: Expr,
+    /// `AS alias`, if given.
+    pub alias: Option<String>,
+}
+
+impl ProjectionItem {
+    /// The output column name: the alias if present, else the source text
+    /// rendering of the expression.
+    pub fn name(&self) -> String {
+        match &self.alias {
+            Some(a) => a.clone(),
+            None => crate::pretty::expr_to_string(&self.expr),
+        }
+    }
+}
+
+/// An `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Ascending?
+    pub ascending: bool,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Xor,
+    In,
+    StartsWith,
+    EndsWith,
+    Contains,
+    RegexMatch,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Lit(Value),
+    /// Variable reference.
+    Var(String),
+    /// `$param`.
+    Param(String),
+    /// `expr.key` property access (also map access).
+    Prop(Box<Expr>, String),
+    /// `expr[index]` subscript.
+    Index(Box<Expr>, Box<Expr>),
+    /// `expr[lo..hi]` list slice; either bound optional.
+    Slice(Box<Expr>, Option<Box<Expr>>, Option<Box<Expr>>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// `expr IS NULL` / `IS NOT NULL` (bool = negated).
+    IsNull(Box<Expr>, bool),
+    /// Function call. Aggregations are also parsed as calls and split out
+    /// during planning. `distinct` applies to aggregation arguments.
+    Call {
+        /// Lower-cased function name.
+        name: String,
+        /// `DISTINCT` inside the call parentheses.
+        distinct: bool,
+        /// Arguments; `count(*)` has a single `Star` argument.
+        args: Vec<Expr>,
+    },
+    /// `count(*)`'s star, and `RETURN *`'s marker inside calls.
+    Star,
+    /// List literal.
+    List(Vec<Expr>),
+    /// Map literal.
+    Map(Vec<(String, Expr)>),
+    /// `CASE [expr] WHEN .. THEN .. [ELSE ..] END`.
+    Case {
+        /// Operand for the simple form; `None` for the searched form.
+        operand: Option<Box<Expr>>,
+        /// `(when, then)` arms.
+        arms: Vec<(Expr, Expr)>,
+        /// `ELSE` result.
+        default: Option<Box<Expr>>,
+    },
+    /// List comprehension `[x IN list WHERE pred | map]`.
+    ListComp {
+        /// Iteration variable.
+        var: String,
+        /// Source list.
+        list: Box<Expr>,
+        /// Filter predicate.
+        pred: Option<Box<Expr>>,
+        /// Mapping expression (`None` keeps the element).
+        map: Option<Box<Expr>>,
+    },
+    /// `EXISTS { MATCH ... }` / `exists(expr)` simplified: property-exists.
+    ExistsProp(Box<Expr>, String),
+    /// `exists((a)-[:T]->(:Label))` — pattern-existence predicate. At
+    /// least one endpoint variable must be bound at evaluation time.
+    ExistsPattern(Box<PatternPart>),
+}
+
+impl Expr {
+    /// Does this expression contain an aggregation call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Call { name, args, .. } => {
+                is_aggregate_fn(name) || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Prop(e, _) => e.contains_aggregate(),
+            Expr::Index(a, b) => a.contains_aggregate() || b.contains_aggregate(),
+            Expr::Slice(a, lo, hi) => {
+                a.contains_aggregate()
+                    || lo.as_ref().is_some_and(|e| e.contains_aggregate())
+                    || hi.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+            Expr::Bin(_, a, b) => a.contains_aggregate() || b.contains_aggregate(),
+            Expr::Un(_, a) => a.contains_aggregate(),
+            Expr::IsNull(a, _) => a.contains_aggregate(),
+            Expr::List(items) => items.iter().any(Expr::contains_aggregate),
+            Expr::Map(items) => items.iter().any(|(_, e)| e.contains_aggregate()),
+            Expr::Case {
+                operand,
+                arms,
+                default,
+            } => {
+                operand.as_ref().is_some_and(|e| e.contains_aggregate())
+                    || arms
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || default.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+            Expr::ListComp { list, pred, map, .. } => {
+                list.contains_aggregate()
+                    || pred.as_ref().is_some_and(|e| e.contains_aggregate())
+                    || map.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+            Expr::ExistsProp(e, _) => e.contains_aggregate(),
+            Expr::ExistsPattern(_) => false,
+            Expr::Lit(_) | Expr::Var(_) | Expr::Param(_) | Expr::Star => false,
+        }
+    }
+
+    /// Free variables referenced by the expression (excluding
+    /// comprehension-bound names).
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Prop(e, _) | Expr::Un(_, e) | Expr::IsNull(e, _) | Expr::ExistsProp(e, _) => {
+                e.free_vars(out)
+            }
+            Expr::Index(a, b) | Expr::Bin(_, a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            Expr::Slice(a, lo, hi) => {
+                a.free_vars(out);
+                if let Some(e) = lo {
+                    e.free_vars(out);
+                }
+                if let Some(e) = hi {
+                    e.free_vars(out);
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.free_vars(out);
+                }
+            }
+            Expr::List(items) => {
+                for e in items {
+                    e.free_vars(out);
+                }
+            }
+            Expr::Map(items) => {
+                for (_, e) in items {
+                    e.free_vars(out);
+                }
+            }
+            Expr::Case {
+                operand,
+                arms,
+                default,
+            } => {
+                if let Some(e) = operand {
+                    e.free_vars(out);
+                }
+                for (w, t) in arms {
+                    w.free_vars(out);
+                    t.free_vars(out);
+                }
+                if let Some(e) = default {
+                    e.free_vars(out);
+                }
+            }
+            Expr::ListComp {
+                var,
+                list,
+                pred,
+                map,
+            } => {
+                list.free_vars(out);
+                let mut inner = Vec::new();
+                if let Some(e) = pred {
+                    e.free_vars(&mut inner);
+                }
+                if let Some(e) = map {
+                    e.free_vars(&mut inner);
+                }
+                for v in inner {
+                    if v != *var && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            Expr::ExistsPattern(part) => {
+                let mut push = |v: &Option<String>| {
+                    if let Some(v) = v {
+                        if !out.contains(v) {
+                            out.push(v.clone());
+                        }
+                    }
+                };
+                push(&part.start.var);
+                for (rel, node) in &part.hops {
+                    push(&rel.var);
+                    push(&node.var);
+                }
+            }
+            Expr::Lit(_) | Expr::Param(_) | Expr::Star => {}
+        }
+    }
+}
+
+/// Is `name` (lower-cased) an aggregation function?
+pub fn is_aggregate_fn(name: &str) -> bool {
+    matches!(
+        name,
+        "count" | "sum" | "avg" | "min" | "max" | "collect" | "stdev" | "percentilecont"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let e = Expr::Bin(
+            BinOp::Mul,
+            Box::new(Expr::Call {
+                name: "count".into(),
+                distinct: false,
+                args: vec![Expr::Star],
+            }),
+            Box::new(Expr::Lit(Value::Int(100))),
+        );
+        assert!(e.contains_aggregate());
+        assert!(!Expr::Var("x".into()).contains_aggregate());
+    }
+
+    #[test]
+    fn free_vars_skips_comprehension_binder() {
+        let e = Expr::ListComp {
+            var: "x".into(),
+            list: Box::new(Expr::Var("xs".into())),
+            pred: Some(Box::new(Expr::Bin(
+                BinOp::Gt,
+                Box::new(Expr::Var("x".into())),
+                Box::new(Expr::Var("threshold".into())),
+            ))),
+            map: None,
+        };
+        let mut vars = Vec::new();
+        e.free_vars(&mut vars);
+        assert_eq!(vars, vec!["xs".to_string(), "threshold".to_string()]);
+    }
+}

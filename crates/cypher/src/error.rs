@@ -1,0 +1,100 @@
+//! Positioned errors for every stage of query processing.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// Which stage produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Planning (semantic analysis).
+    Plan,
+    /// Execution.
+    Runtime,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Lex => write!(f, "lex"),
+            Stage::Parse => write!(f, "parse"),
+            Stage::Plan => write!(f, "plan"),
+            Stage::Runtime => write!(f, "runtime"),
+        }
+    }
+}
+
+/// A Cypher error with stage, message and (when known) source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CypherError {
+    /// The pipeline stage that failed.
+    pub stage: Stage,
+    /// Human-readable description.
+    pub message: String,
+    /// Source position, if the stage tracks one.
+    pub pos: Option<Pos>,
+}
+
+impl CypherError {
+    /// Lexer error at a position.
+    pub fn lex(message: impl Into<String>, pos: Pos) -> Self {
+        CypherError {
+            stage: Stage::Lex,
+            message: message.into(),
+            pos: Some(pos),
+        }
+    }
+
+    /// Parser error at a position.
+    pub fn parse(message: impl Into<String>, pos: Pos) -> Self {
+        CypherError {
+            stage: Stage::Parse,
+            message: message.into(),
+            pos: Some(pos),
+        }
+    }
+
+    /// Planner error (no position).
+    pub fn plan(message: impl Into<String>) -> Self {
+        CypherError {
+            stage: Stage::Plan,
+            message: message.into(),
+            pos: None,
+        }
+    }
+
+    /// Runtime error (no position).
+    pub fn runtime(message: impl Into<String>) -> Self {
+        CypherError {
+            stage: Stage::Runtime,
+            message: message.into(),
+            pos: None,
+        }
+    }
+}
+
+impl fmt::Display for CypherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(pos) => write!(f, "{} error at {}: {}", self.stage, pos, self.message),
+            None => write!(f, "{} error: {}", self.stage, self.message),
+        }
+    }
+}
+
+impl std::error::Error for CypherError {}
+
+impl From<iyp_graphdb::ValueError> for CypherError {
+    fn from(e: iyp_graphdb::ValueError) -> Self {
+        CypherError::runtime(e.to_string())
+    }
+}
+
+impl From<iyp_graphdb::GraphError> for CypherError {
+    fn from(e: iyp_graphdb::GraphError) -> Self {
+        CypherError::runtime(e.to_string())
+    }
+}

@@ -1,0 +1,1615 @@
+//! The query executor: a clause-by-clause interpreter over materialized
+//! row sets, with index-aware pattern matching planned by [`crate::plan`].
+
+use crate::ast::*;
+use crate::error::CypherError;
+use crate::eval::{Entry, Env, EvalCtx, Params, Row};
+use crate::plan::{self, Anchor, PartPlan};
+use crate::result::QueryResult;
+use iyp_graphdb::{Direction, Graph, NodeId, Props, RelId, Value, ValueKey};
+use std::collections::{HashMap, HashSet};
+
+/// Hard cap on intermediate row counts — protects against pattern
+/// explosions on dense graphs.
+pub const MAX_ROWS: usize = 2_000_000;
+
+/// Default cap for unbounded variable-length patterns (`*` / `*2..`).
+pub const VARLEN_CAP: u32 = 8;
+
+/// Execution limits: a wall-clock deadline checked during pattern
+/// expansion, protecting services that execute untrusted Cypher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecLimits {
+    /// Abort with a runtime error once this instant passes.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl ExecLimits {
+    /// No limits (library default).
+    pub fn none() -> Self {
+        ExecLimits::default()
+    }
+
+    /// A deadline `timeout` from now.
+    pub fn timeout(timeout: std::time::Duration) -> Self {
+        ExecLimits {
+            deadline: Some(std::time::Instant::now() + timeout),
+        }
+    }
+
+    #[inline]
+    fn check(&self) -> Result<(), CypherError> {
+        if let Some(d) = self.deadline {
+            if std::time::Instant::now() > d {
+                return Err(CypherError::runtime(
+                    "query exceeded its execution deadline",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses and executes a read-only query with no parameters.
+pub fn query(graph: &Graph, src: &str) -> Result<QueryResult, CypherError> {
+    let q = crate::parser::parse(src)?;
+    execute_read(graph, &q, &Params::new())
+}
+
+/// Parses and executes a read-only query under a wall-clock deadline —
+/// the entry point for services executing untrusted Cypher.
+pub fn query_with_deadline(
+    graph: &Graph,
+    src: &str,
+    params: &Params,
+    timeout: std::time::Duration,
+) -> Result<QueryResult, CypherError> {
+    let q = crate::parser::parse(src)?;
+    let mut src_graph = ReadOnly(graph);
+    run(&mut src_graph, &q, params, ExecLimits::timeout(timeout))
+}
+
+/// Parses and executes a read-only query with parameters.
+pub fn query_with(graph: &Graph, src: &str, params: &Params) -> Result<QueryResult, CypherError> {
+    let q = crate::parser::parse(src)?;
+    execute_read(graph, &q, params)
+}
+
+/// Parses and executes a query that may contain write clauses.
+pub fn update(graph: &mut Graph, src: &str) -> Result<QueryResult, CypherError> {
+    let q = crate::parser::parse(src)?;
+    execute(graph, &q, &Params::new())
+}
+
+/// Executes a parsed read-only query. Write clauses produce a plan error.
+pub fn execute_read(
+    graph: &Graph,
+    q: &Query,
+    params: &Params,
+) -> Result<QueryResult, CypherError> {
+    let mut src = ReadOnly(graph);
+    run(&mut src, q, params, ExecLimits::none())
+}
+
+/// Executes a parsed query, allowing writes.
+pub fn execute(graph: &mut Graph, q: &Query, params: &Params) -> Result<QueryResult, CypherError> {
+    let mut src = ReadWrite(graph);
+    run(&mut src, q, params, ExecLimits::none())
+}
+
+trait GraphSource {
+    fn g(&self) -> &Graph;
+    fn g_mut(&mut self) -> Result<&mut Graph, CypherError>;
+}
+
+struct ReadOnly<'a>(&'a Graph);
+impl GraphSource for ReadOnly<'_> {
+    fn g(&self) -> &Graph {
+        self.0
+    }
+    fn g_mut(&mut self) -> Result<&mut Graph, CypherError> {
+        Err(CypherError::plan(
+            "write clause not allowed in read-only execution",
+        ))
+    }
+}
+
+struct ReadWrite<'a>(&'a mut Graph);
+impl GraphSource for ReadWrite<'_> {
+    fn g(&self) -> &Graph {
+        self.0
+    }
+    fn g_mut(&mut self) -> Result<&mut Graph, CypherError> {
+        Ok(self.0)
+    }
+}
+
+fn run<G: GraphSource>(
+    src: &mut G,
+    q: &Query,
+    params: &Params,
+    limits: ExecLimits,
+) -> Result<QueryResult, CypherError> {
+    // Split on UNION separators: each segment is a complete sub-query.
+    let segments: Vec<(&[Clause], bool)> = {
+        let mut out: Vec<(&[Clause], bool)> = Vec::new();
+        let mut start = 0usize;
+        let mut keep_dups = false; // `all` flag of the *preceding* UNION
+        for (i, c) in q.clauses.iter().enumerate() {
+            if let Clause::Union { all } = c {
+                out.push((&q.clauses[start..i], keep_dups));
+                keep_dups = *all;
+                start = i + 1;
+            }
+        }
+        out.push((&q.clauses[start..], keep_dups));
+        out
+    };
+    if segments.len() > 1 {
+        let mut combined = QueryResult::empty();
+        let mut dedup_all = true;
+        for (i, (clauses, all_flag)) in segments.iter().enumerate() {
+            if clauses.is_empty() {
+                return Err(CypherError::plan("empty UNION branch"));
+            }
+            let sub = Query {
+                clauses: clauses.to_vec(),
+            };
+            let result = run_single(src, &sub, params, limits)?;
+            if i == 0 {
+                combined.columns = result.columns;
+            } else if combined.columns.len() != result.columns.len() {
+                return Err(CypherError::plan(format!(
+                    "UNION branches return different column counts ({} vs {})",
+                    combined.columns.len(),
+                    result.columns.len()
+                )));
+            }
+            if *all_flag {
+                dedup_all = false;
+            }
+            combined.rows.extend(result.rows);
+        }
+        if dedup_all {
+            let mut seen = HashSet::new();
+            combined
+                .rows
+                .retain(|row| seen.insert(row.iter().map(ValueKey::of).collect::<Vec<_>>()));
+        }
+        return Ok(combined);
+    }
+    run_single(src, q, params, limits)
+}
+
+fn run_single<G: GraphSource>(
+    src: &mut G,
+    q: &Query,
+    params: &Params,
+    limits: ExecLimits,
+) -> Result<QueryResult, CypherError> {
+    let mut env = Env::new();
+    let mut rows: Vec<Row> = vec![Vec::new()];
+    let mut result = QueryResult::empty();
+    for (i, clause) in q.clauses.iter().enumerate() {
+        let is_last = i + 1 == q.clauses.len();
+        match clause {
+            Clause::Match(m) => {
+                rows = apply_match(src.g(), &mut env, rows, m, params, limits)?;
+            }
+            Clause::Unwind { expr, var } => {
+                rows = apply_unwind(src.g(), &mut env, rows, expr, var, params)?;
+            }
+            Clause::With(p) => {
+                let (new_env, new_rows) = project(src.g(), &env, rows, p, params, false)?;
+                env = new_env;
+                rows = new_rows;
+            }
+            Clause::Return(p) => {
+                if !is_last {
+                    return Err(CypherError::plan("RETURN must be the final clause"));
+                }
+                let (new_env, new_rows) = project(src.g(), &env, rows, p, params, true)?;
+                result.columns = new_env.names;
+                result.rows = new_rows
+                    .into_iter()
+                    .map(|r| r.into_iter().map(|e| e.to_value(src.g())).collect())
+                    .collect();
+                return Ok(result);
+            }
+            Clause::Create { patterns } => {
+                rows = apply_create(src.g_mut()?, &mut env, rows, patterns, params)?;
+            }
+            Clause::Merge { node } => {
+                rows = apply_merge(src.g_mut()?, &mut env, rows, node, params)?;
+            }
+            Clause::Set { items } => {
+                apply_set(src, &env, &rows, items, params)?;
+            }
+            Clause::Delete { vars, detach } => {
+                apply_delete(src, &env, &rows, vars, *detach)?;
+            }
+            Clause::Union { .. } => {
+                unreachable!("UNION separators are split out before run_single")
+            }
+        }
+        if rows.len() > MAX_ROWS {
+            return Err(CypherError::runtime(format!(
+                "intermediate result exceeded {MAX_ROWS} rows"
+            )));
+        }
+    }
+    // No RETURN: a write-only query; report affected row count as shape.
+    Ok(result)
+}
+
+// ----------------------------------------------------------------------
+// MATCH
+// ----------------------------------------------------------------------
+
+fn apply_match(
+    graph: &Graph,
+    env: &mut Env,
+    rows: Vec<Row>,
+    clause: &MatchClause,
+    params: &Params,
+    limits: ExecLimits,
+) -> Result<Vec<Row>, CypherError> {
+    // Plan all parts with knowledge of previously bound variables.
+    let mut bound: Vec<String> = env.names.clone();
+    let plans = plan::plan_match(graph, clause, &mut bound);
+
+    // Extend the environment with this clause's new variables up front.
+    let mut new_slots: HashSet<usize> = HashSet::new();
+    for part in &clause.patterns {
+        let mut vars = Vec::new();
+        plan::collect_part_vars(part, &mut vars);
+        for v in vars {
+            if env.slot(&v).is_none() {
+                let slot = env.push(v);
+                new_slots.insert(slot);
+            }
+        }
+    }
+    let width = env.names.len();
+
+    let mut out = Vec::new();
+    for mut row in rows {
+        row.resize(width, Entry::Val(Value::Null));
+        // Match all parts for this row.
+        let mut current = vec![row.clone()];
+        for plan in &plans {
+            let mut next = Vec::new();
+            for r in &current {
+                limits.check()?;
+                expand_part(graph, env, r, plan, params, &new_slots, limits, &mut next)?;
+                if next.len() > MAX_ROWS {
+                    return Err(CypherError::runtime(format!(
+                        "pattern expansion exceeded {MAX_ROWS} rows"
+                    )));
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        // Apply WHERE.
+        if let Some(w) = &clause.where_clause {
+            let ctx = EvalCtx {
+                graph,
+                env,
+                params,
+            };
+            let mut kept = Vec::with_capacity(current.len());
+            for r in current {
+                if ctx.eval_value(w, &r)?.is_true() {
+                    kept.push(r);
+                }
+            }
+            current = kept;
+        }
+        if current.is_empty() && clause.optional {
+            // OPTIONAL MATCH: keep the input row, new vars stay null.
+            out.push(row);
+        } else {
+            out.extend(current);
+        }
+    }
+    Ok(out)
+}
+
+/// Expands one planned pattern part for one input row, pushing every
+/// complete binding into `out`.
+#[allow(clippy::too_many_arguments)]
+fn expand_part(
+    graph: &Graph,
+    env: &Env,
+    row: &Row,
+    plan: &PartPlan,
+    params: &Params,
+    new_slots: &HashSet<usize>,
+    limits: ExecLimits,
+    out: &mut Vec<Row>,
+) -> Result<(), CypherError> {
+    let ctx = EvalCtx {
+        graph,
+        env,
+        params,
+    };
+    let candidates: Vec<NodeId> = match &plan.anchor {
+        Anchor::Bound(var) => {
+            let slot = env
+                .slot(var)
+                .ok_or_else(|| CypherError::plan(format!("unbound anchor '{var}'")))?;
+            match &row[slot] {
+                Entry::Node(id) => vec![*id],
+                Entry::Val(Value::Null) => Vec::new(),
+                _ => {
+                    return Err(CypherError::runtime(format!(
+                        "variable '{var}' is not a node"
+                    )))
+                }
+            }
+        }
+        Anchor::IndexSeek { label, key, expr } => {
+            let v = ctx.eval_value(expr, row)?;
+            graph
+                .index_lookup(label, key, &v)
+                .unwrap_or_default()
+        }
+        Anchor::RangeSeek { label, key, lo, hi } => {
+            let lo_v = match lo {
+                Some((e, inc)) => Some((ctx.eval_value(e, row)?, *inc)),
+                None => None,
+            };
+            let hi_v = match hi {
+                Some((e, inc)) => Some((ctx.eval_value(e, row)?, *inc)),
+                None => None,
+            };
+            graph
+                .index_range(
+                    label,
+                    key,
+                    lo_v.as_ref().map(|(v, inc)| (v, *inc)),
+                    hi_v.as_ref().map(|(v, inc)| (v, *inc)),
+                )
+                .unwrap_or_default()
+        }
+        Anchor::LabelScan(label) => graph.nodes_with_label(label).collect(),
+        Anchor::AllNodes => graph.all_nodes().collect(),
+    };
+
+    let mut local: Vec<Row> = Vec::new();
+    let sink: &mut Vec<Row> = if plan.shortest { &mut local } else { out };
+    for cand in candidates {
+        if !node_matches(graph, &ctx, row, cand, &plan.anchor_node)? {
+            continue;
+        }
+        let mut r = row.clone();
+        if !bind_node(env, &mut r, &plan.anchor_node.var, cand, new_slots)? {
+            continue;
+        }
+        let mut used = HashSet::new();
+        let mut path: Vec<(Vec<RelId>, NodeId)> = Vec::new();
+        dfs_steps(
+            graph, env, params, plan, 0, cand, cand, &r, &mut used, &mut path, new_slots,
+            limits, sink,
+        )?;
+    }
+    if plan.shortest {
+        out.extend(keep_shortest(env, plan, local)?);
+    }
+    Ok(())
+}
+
+/// For `shortestPath`, keeps only the minimal-length binding per distinct
+/// (start, end) node pair, breaking ties deterministically by the path's
+/// relationship ids.
+fn keep_shortest(
+    env: &Env,
+    plan: &PartPlan,
+    rows: Vec<Row>,
+) -> Result<Vec<Row>, CypherError> {
+    let path_var = plan
+        .path_var
+        .as_ref()
+        .ok_or_else(|| CypherError::plan("shortestPath requires a path binding"))?;
+    let slot = env
+        .slot(path_var)
+        .ok_or_else(|| CypherError::plan("path variable missing from environment"))?;
+    let mut best: HashMap<(NodeId, NodeId), Row> = HashMap::new();
+    let mut order: Vec<(NodeId, NodeId)> = Vec::new();
+    for row in rows {
+        let Entry::Path(nodes, rels) = &row[slot] else {
+            return Err(CypherError::runtime("shortestPath binding is not a path"));
+        };
+        let (Some(&first), Some(&last)) = (nodes.first(), nodes.last()) else {
+            continue;
+        };
+        let key = (first, last);
+        match best.get(&key) {
+            None => {
+                order.push(key);
+                best.insert(key, row);
+            }
+            Some(cur) => {
+                let Entry::Path(_, cur_rels) = &cur[slot] else {
+                    unreachable!("only paths are inserted");
+                };
+                let replace = rels.len() < cur_rels.len()
+                    || (rels.len() == cur_rels.len() && rels < cur_rels);
+                if replace {
+                    best.insert(key, row);
+                }
+            }
+        }
+    }
+    Ok(order
+        .into_iter()
+        .filter_map(|k| best.remove(&k))
+        .collect())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_steps(
+    graph: &Graph,
+    env: &Env,
+    params: &Params,
+    plan: &PartPlan,
+    step_idx: usize,
+    anchor: NodeId,
+    cur: NodeId,
+    row: &Row,
+    used: &mut HashSet<RelId>,
+    path: &mut Vec<(Vec<RelId>, NodeId)>,
+    new_slots: &HashSet<usize>,
+    limits: ExecLimits,
+    out: &mut Vec<Row>,
+) -> Result<(), CypherError> {
+    limits.check()?;
+    if step_idx == plan.steps.len() {
+        let mut r = row.clone();
+        if let Some(pv) = &plan.path_var {
+            bind_path(env, &mut r, pv, plan, anchor, path)?;
+        }
+        out.push(r);
+        return Ok(());
+    }
+    let ctx = EvalCtx {
+        graph,
+        env,
+        params,
+    };
+    let (rel_pat, node_pat) = &plan.steps[step_idx];
+    let dir = match rel_pat.dir {
+        RelDir::Right => Direction::Outgoing,
+        RelDir::Left => Direction::Incoming,
+        RelDir::Undirected => Direction::Both,
+    };
+    let types: Option<Vec<&str>> = if rel_pat.types.is_empty() {
+        None
+    } else {
+        Some(rel_pat.types.iter().map(String::as_str).collect())
+    };
+
+    if rel_pat.hops.is_single() {
+        for (rid, nbr) in graph.neighbors(cur, dir, types.as_deref()) {
+            if used.contains(&rid) {
+                continue;
+            }
+            if !rel_matches(graph, &ctx, row, rid, rel_pat)? {
+                continue;
+            }
+            if !node_matches(graph, &ctx, row, nbr, node_pat)? {
+                continue;
+            }
+            let mut r = row.clone();
+            if !bind_node(env, &mut r, &node_pat.var, nbr, new_slots)? {
+                continue;
+            }
+            if let Some(rv) = &rel_pat.var {
+                if !bind_entry(env, &mut r, rv, Entry::Rel(rid), new_slots)? {
+                    continue;
+                }
+            }
+            used.insert(rid);
+            path.push((vec![rid], nbr));
+            dfs_steps(
+                graph, env, params, plan, step_idx + 1, anchor, nbr, &r, used, path, new_slots,
+                limits, out,
+            )?;
+            path.pop();
+            used.remove(&rid);
+        }
+    } else {
+        // Variable-length expansion. An explicit upper bound is honored;
+        // an open-ended `*` is capped to keep expansion bounded.
+        let min = rel_pat.hops.min;
+        let max = rel_pat.hops.max.unwrap_or(VARLEN_CAP);
+        let mut stack_rels: Vec<RelId> = Vec::new();
+        varlen_dfs(
+            graph, env, params, plan, step_idx, anchor, cur, row, used, path, new_slots, limits,
+            out, &ctx, rel_pat, node_pat, dir, types.as_deref(), min, max, &mut stack_rels,
+        )?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn varlen_dfs(
+    graph: &Graph,
+    env: &Env,
+    params: &Params,
+    plan: &PartPlan,
+    step_idx: usize,
+    anchor: NodeId,
+    cur: NodeId,
+    row: &Row,
+    used: &mut HashSet<RelId>,
+    path: &mut Vec<(Vec<RelId>, NodeId)>,
+    new_slots: &HashSet<usize>,
+    limits: ExecLimits,
+    out: &mut Vec<Row>,
+    ctx: &EvalCtx<'_>,
+    rel_pat: &RelPattern,
+    node_pat: &NodePattern,
+    dir: Direction,
+    types: Option<&[&str]>,
+    min: u32,
+    max: u32,
+    stack_rels: &mut Vec<RelId>,
+) -> Result<(), CypherError> {
+    limits.check()?;
+    let depth = stack_rels.len() as u32;
+    if depth >= min {
+        // Try ending the variable-length segment here.
+        if node_matches(graph, ctx, row, cur, node_pat)? {
+            let mut r = row.clone();
+            let mut ok = bind_node(env, &mut r, &node_pat.var, cur, new_slots)?;
+            if ok {
+                if let Some(rv) = &rel_pat.var {
+                    let rel_list = Value::List(
+                        stack_rels
+                            .iter()
+                            .map(|rid| Entry::Rel(*rid).to_value(graph))
+                            .collect(),
+                    );
+                    ok = bind_entry(env, &mut r, rv, Entry::Val(rel_list), new_slots)?;
+                }
+            }
+            if ok {
+                for rid in stack_rels.iter() {
+                    used.insert(*rid);
+                }
+                path.push((stack_rels.clone(), cur));
+                dfs_steps(
+                    graph, env, params, plan, step_idx + 1, anchor, cur, &r, used, path,
+                    new_slots, limits, out,
+                )?;
+                path.pop();
+                for rid in stack_rels.iter() {
+                    used.remove(rid);
+                }
+            }
+        }
+    }
+    if depth == max {
+        return Ok(());
+    }
+    for (rid, nbr) in graph.neighbors(cur, dir, types) {
+        if used.contains(&rid) || stack_rels.contains(&rid) {
+            continue;
+        }
+        if !rel_matches(graph, ctx, row, rid, rel_pat)? {
+            continue;
+        }
+        stack_rels.push(rid);
+        varlen_dfs(
+            graph, env, params, plan, step_idx, anchor, nbr, row, used, path, new_slots, limits,
+            out, ctx, rel_pat, node_pat, dir, types, min, max, stack_rels,
+        )?;
+        stack_rels.pop();
+    }
+    Ok(())
+}
+
+fn node_matches(
+    graph: &Graph,
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    node: NodeId,
+    pat: &NodePattern,
+) -> Result<bool, CypherError> {
+    for label in &pat.labels {
+        if !graph.node_has_label(node, label) {
+            return Ok(false);
+        }
+    }
+    for (key, expr) in &pat.props {
+        let want = ctx.eval_value(expr, row)?;
+        let have = graph
+            .node(node)
+            .map(|n| n.props.get_or_null(key))
+            .unwrap_or(Value::Null);
+        if have.cypher_eq(&want) != Some(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn rel_matches(
+    graph: &Graph,
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    rel: RelId,
+    pat: &RelPattern,
+) -> Result<bool, CypherError> {
+    for (key, expr) in &pat.props {
+        let want = ctx.eval_value(expr, row)?;
+        let have = graph
+            .rel(rel)
+            .map(|r| r.props.get_or_null(key))
+            .unwrap_or(Value::Null);
+        if have.cypher_eq(&want) != Some(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Binds `var` (if named) to a node, or checks equality when already bound.
+/// Returns false when the binding conflicts.
+fn bind_node(
+    env: &Env,
+    row: &mut Row,
+    var: &Option<String>,
+    node: NodeId,
+    new_slots: &HashSet<usize>,
+) -> Result<bool, CypherError> {
+    match var {
+        None => Ok(true),
+        Some(v) => bind_entry(env, row, v, Entry::Node(node), new_slots),
+    }
+}
+
+fn bind_entry(
+    env: &Env,
+    row: &mut Row,
+    var: &str,
+    entry: Entry,
+    new_slots: &HashSet<usize>,
+) -> Result<bool, CypherError> {
+    let slot = env
+        .slot(var)
+        .ok_or_else(|| CypherError::plan(format!("variable '{var}' missing from environment")))?;
+    match &row[slot] {
+        Entry::Val(Value::Null) if new_slots.contains(&slot) => {
+            row[slot] = entry;
+            Ok(true)
+        }
+        Entry::Val(Value::Null) => Ok(false), // pre-existing null binding never matches
+        existing => Ok(*existing == entry),
+    }
+}
+
+fn bind_path(
+    env: &Env,
+    row: &mut Row,
+    path_var: &str,
+    plan: &PartPlan,
+    anchor: NodeId,
+    path: &[(Vec<RelId>, NodeId)],
+) -> Result<(), CypherError> {
+    // Node/rel sequence: the anchor, then each step's end node.
+    let mut nodes: Vec<NodeId> = vec![anchor];
+    let mut rels: Vec<RelId> = Vec::new();
+    for (seg_rels, end) in path {
+        rels.extend(seg_rels.iter().copied());
+        nodes.push(*end);
+    }
+    if plan.reversed {
+        nodes.reverse();
+        rels.reverse();
+    }
+    let slot = env
+        .slot(path_var)
+        .ok_or_else(|| CypherError::plan(format!("path variable '{path_var}' missing")))?;
+    row[slot] = Entry::Path(nodes, rels);
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// UNWIND
+// ----------------------------------------------------------------------
+
+fn apply_unwind(
+    graph: &Graph,
+    env: &mut Env,
+    rows: Vec<Row>,
+    expr: &Expr,
+    var: &str,
+    params: &Params,
+) -> Result<Vec<Row>, CypherError> {
+    let values: Vec<(Row, Value)> = {
+        let ctx = EvalCtx {
+            graph,
+            env,
+            params,
+        };
+        let mut out = Vec::new();
+        for row in rows {
+            let v = ctx.eval_value(expr, &row)?;
+            out.push((row, v));
+        }
+        out
+    };
+    env.push(var.to_string());
+    let mut out = Vec::new();
+    for (row, v) in values {
+        match v {
+            Value::Null => {}
+            Value::List(items) => {
+                for item in items {
+                    let mut r = row.clone();
+                    r.push(Entry::Val(item));
+                    out.push(r);
+                }
+            }
+            other => {
+                let mut r = row;
+                r.push(Entry::Val(other));
+                out.push(r);
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// Projection (WITH / RETURN) incl. aggregation
+// ----------------------------------------------------------------------
+
+/// One aggregate call instance found in a projection.
+#[derive(Debug, Clone, PartialEq)]
+struct AggSpec {
+    name: String,
+    distinct: bool,
+    /// `None` = `count(*)`.
+    arg: Option<Expr>,
+    /// Second argument (percentileCont's p).
+    extra: Option<Expr>,
+}
+
+fn extract_aggs(expr: &Expr, specs: &mut Vec<AggSpec>) -> Expr {
+    match expr {
+        Expr::Call {
+            name,
+            distinct,
+            args,
+        } if is_aggregate_fn(name) => {
+            let spec = AggSpec {
+                name: name.clone(),
+                distinct: *distinct,
+                arg: match args.first() {
+                    Some(Expr::Star) | None => None,
+                    Some(e) => Some(e.clone()),
+                },
+                extra: args.get(1).cloned(),
+            };
+            let idx = match specs.iter().position(|s| *s == spec) {
+                Some(i) => i,
+                None => {
+                    specs.push(spec);
+                    specs.len() - 1
+                }
+            };
+            Expr::Var(format!("__agg{idx}"))
+        }
+        Expr::Prop(e, k) => Expr::Prop(Box::new(extract_aggs(e, specs)), k.clone()),
+        Expr::Index(a, b) => Expr::Index(
+            Box::new(extract_aggs(a, specs)),
+            Box::new(extract_aggs(b, specs)),
+        ),
+        Expr::Slice(a, lo, hi) => Expr::Slice(
+            Box::new(extract_aggs(a, specs)),
+            lo.as_ref().map(|e| Box::new(extract_aggs(e, specs))),
+            hi.as_ref().map(|e| Box::new(extract_aggs(e, specs))),
+        ),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(extract_aggs(a, specs)),
+            Box::new(extract_aggs(b, specs)),
+        ),
+        Expr::Un(op, a) => Expr::Un(*op, Box::new(extract_aggs(a, specs))),
+        Expr::IsNull(a, n) => Expr::IsNull(Box::new(extract_aggs(a, specs)), *n),
+        Expr::Call {
+            name,
+            distinct,
+            args,
+        } => Expr::Call {
+            name: name.clone(),
+            distinct: *distinct,
+            args: args.iter().map(|a| extract_aggs(a, specs)).collect(),
+        },
+        Expr::List(items) => Expr::List(items.iter().map(|e| extract_aggs(e, specs)).collect()),
+        Expr::Map(items) => Expr::Map(
+            items
+                .iter()
+                .map(|(k, e)| (k.clone(), extract_aggs(e, specs)))
+                .collect(),
+        ),
+        Expr::Case {
+            operand,
+            arms,
+            default,
+        } => Expr::Case {
+            operand: operand.as_ref().map(|e| Box::new(extract_aggs(e, specs))),
+            arms: arms
+                .iter()
+                .map(|(w, t)| (extract_aggs(w, specs), extract_aggs(t, specs)))
+                .collect(),
+            default: default.as_ref().map(|e| Box::new(extract_aggs(e, specs))),
+        },
+        other => other.clone(),
+    }
+}
+
+/// One aggregate accumulator: optional DISTINCT dedup in front of the
+/// kind-specific state (every aggregate supports DISTINCT, as in Neo4j).
+#[derive(Debug)]
+struct AggAccum {
+    seen: Option<HashSet<ValueKey>>,
+    state: AggState,
+}
+
+impl AggAccum {
+    fn new(spec: &AggSpec, p: f64) -> AggAccum {
+        AggAccum {
+            seen: spec.distinct.then(HashSet::new),
+            state: AggState::new(spec, p),
+        }
+    }
+
+    fn update(&mut self, value: Option<Value>) -> Result<(), CypherError> {
+        if let (Some(seen), Some(v)) = (self.seen.as_mut(), value.as_ref()) {
+            if !v.is_null() && !seen.insert(ValueKey::of(v)) {
+                return Ok(()); // duplicate under DISTINCT
+            }
+        }
+        self.state.update(value)
+    }
+
+    fn finish(self) -> Value {
+        self.state.finish()
+    }
+}
+
+#[derive(Debug)]
+enum AggState {
+    Count {
+        n: i64,
+    },
+    Sum {
+        int: i64,
+        float: f64,
+        saw_float: bool,
+    },
+    Avg {
+        sum: f64,
+        n: usize,
+    },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Collect {
+        items: Vec<Value>,
+    },
+    Stdev {
+        n: usize,
+        mean: f64,
+        m2: f64,
+    },
+    Percentile {
+        values: Vec<f64>,
+        p: f64,
+    },
+}
+
+impl AggState {
+    fn new(spec: &AggSpec, p: f64) -> AggState {
+        match spec.name.as_str() {
+            "count" => AggState::Count { n: 0 },
+            "sum" => AggState::Sum {
+                int: 0,
+                float: 0.0,
+                saw_float: false,
+            },
+            "avg" => AggState::Avg { sum: 0.0, n: 0 },
+            "min" => AggState::Min(None),
+            "max" => AggState::Max(None),
+            "collect" => AggState::Collect { items: Vec::new() },
+            "stdev" => AggState::Stdev {
+                n: 0,
+                mean: 0.0,
+                m2: 0.0,
+            },
+            "percentilecont" => AggState::Percentile {
+                values: Vec::new(),
+                p,
+            },
+            other => unreachable!("not an aggregate: {other}"),
+        }
+    }
+
+    fn update(&mut self, value: Option<Value>) -> Result<(), CypherError> {
+        match self {
+            AggState::Count { n } => match value {
+                None => *n += 1, // count(*)
+                Some(Value::Null) => {}
+                Some(_) => *n += 1,
+            },
+            AggState::Sum {
+                int,
+                float,
+                saw_float,
+            } => match value {
+                Some(Value::Int(i)) => *int += i,
+                Some(Value::Float(f)) => {
+                    *float += f;
+                    *saw_float = true;
+                }
+                Some(Value::Null) | None => {}
+                Some(other) => {
+                    return Err(CypherError::runtime(format!(
+                        "sum() expects numbers, got {}",
+                        other.type_name()
+                    )))
+                }
+            },
+            AggState::Avg { sum, n } => {
+                if let Some(v) = value {
+                    if let Some(f) = v.as_f64() {
+                        *sum += f;
+                        *n += 1;
+                    } else if !v.is_null() {
+                        return Err(CypherError::runtime(format!(
+                            "avg() expects numbers, got {}",
+                            v.type_name()
+                        )));
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        let replace = match cur {
+                            None => true,
+                            Some(c) => v.order_key_cmp(c) == std::cmp::Ordering::Less,
+                        };
+                        if replace {
+                            *cur = Some(v);
+                        }
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        let replace = match cur {
+                            None => true,
+                            Some(c) => v.order_key_cmp(c) == std::cmp::Ordering::Greater,
+                        };
+                        if replace {
+                            *cur = Some(v);
+                        }
+                    }
+                }
+            }
+            AggState::Collect { items } => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        items.push(v);
+                    }
+                }
+            }
+            AggState::Stdev { n, mean, m2 } => {
+                if let Some(v) = value {
+                    if let Some(x) = v.as_f64() {
+                        *n += 1;
+                        let delta = x - *mean;
+                        *mean += delta / *n as f64;
+                        *m2 += delta * (x - *mean);
+                    }
+                }
+            }
+            AggState::Percentile { values, .. } => {
+                if let Some(v) = value {
+                    if let Some(f) = v.as_f64() {
+                        values.push(f);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count { n } => Value::Int(n),
+            AggState::Sum {
+                int,
+                float,
+                saw_float,
+            } => {
+                if saw_float {
+                    Value::Float(float + int as f64)
+                } else {
+                    Value::Int(int)
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+            AggState::Collect { items } => Value::List(items),
+            AggState::Stdev { n, m2, .. } => {
+                if n < 2 {
+                    Value::Float(0.0)
+                } else {
+                    Value::Float((m2 / (n as f64 - 1.0)).sqrt())
+                }
+            }
+            AggState::Percentile { mut values, p } => {
+                if values.is_empty() {
+                    return Value::Null;
+                }
+                values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let rank = p.clamp(0.0, 1.0) * (values.len() - 1) as f64;
+                let lo = rank.floor() as usize;
+                let hi = rank.ceil() as usize;
+                let frac = rank - lo as f64;
+                Value::Float(values[lo] * (1.0 - frac) + values[hi] * frac)
+            }
+        }
+    }
+}
+
+fn entry_key(_graph: &Graph, e: &Entry) -> ValueKey {
+    match e {
+        Entry::Node(id) => ValueKey::List(vec![
+            ValueKey::Str("#node".into()),
+            ValueKey::Int(id.0 as i64),
+        ]),
+        Entry::Rel(id) => ValueKey::List(vec![
+            ValueKey::Str("#rel".into()),
+            ValueKey::Int(id.0 as i64),
+        ]),
+        Entry::Path(nodes, rels) => ValueKey::List(
+            std::iter::once(ValueKey::Str("#path".into()))
+                .chain(nodes.iter().map(|n| ValueKey::Int(n.0 as i64)))
+                .chain(rels.iter().map(|r| ValueKey::Int(r.0 as i64)))
+                .collect(),
+        ),
+        Entry::Val(v) => ValueKey::of(v),
+    }
+}
+
+fn project(
+    graph: &Graph,
+    env: &Env,
+    rows: Vec<Row>,
+    p: &ProjectionClause,
+    params: &Params,
+    _is_return: bool,
+) -> Result<(Env, Vec<Row>), CypherError> {
+    // Expand `*` into explicit items.
+    let mut items: Vec<ProjectionItem> = Vec::new();
+    if p.star {
+        for name in &env.names {
+            items.push(ProjectionItem {
+                expr: Expr::Var(name.clone()),
+                alias: Some(name.clone()),
+            });
+        }
+    }
+    items.extend(p.items.iter().cloned());
+    if items.is_empty() {
+        return Err(CypherError::plan("projection with no items"));
+    }
+
+    let has_agg = items.iter().any(|it| it.expr.contains_aggregate())
+        || p.order_by.iter().any(|k| k.expr.contains_aggregate());
+
+    // Rewrite aggregates out of item and order-key expressions.
+    let mut specs: Vec<AggSpec> = Vec::new();
+    let rewritten: Vec<Expr> = items
+        .iter()
+        .map(|it| extract_aggs(&it.expr, &mut specs))
+        .collect();
+    let order_rewritten: Vec<Expr> = p
+        .order_by
+        .iter()
+        .map(|k| extract_aggs(&k.expr, &mut specs))
+        .collect();
+
+    let out_names: Vec<String> = items.iter().map(|it| it.name()).collect();
+
+    // (projected row, context row for ORDER BY evaluation)
+    let mut projected: Vec<(Row, Row)> = Vec::new();
+
+    // Environment in which rewritten expressions are evaluated:
+    // original vars + __agg slots (aggregation case only).
+    let mut eval_env = env.clone();
+    for i in 0..specs.len() {
+        eval_env.push(format!("__agg{i}"));
+    }
+
+    if has_agg || !specs.is_empty() {
+        // Grouping keys: projection items without aggregates.
+        let key_exprs: Vec<&ProjectionItem> = items
+            .iter()
+            .filter(|it| !it.expr.contains_aggregate())
+            .collect();
+        let ctx = EvalCtx {
+            graph,
+            env,
+            params,
+        };
+        let mut groups: HashMap<Vec<ValueKey>, usize> = HashMap::new();
+        let mut group_data: Vec<(Row, Vec<AggAccum>)> = Vec::new();
+        for row in &rows {
+            let mut key = Vec::with_capacity(key_exprs.len());
+            for it in &key_exprs {
+                key.push(entry_key(graph, &ctx.eval(&it.expr, row)?));
+            }
+            let gi = match groups.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let mut states = Vec::with_capacity(specs.len());
+                    for spec in &specs {
+                        let pval = match &spec.extra {
+                            Some(e) => ctx.eval_value(e, row)?.as_f64().unwrap_or(0.5),
+                            None => 0.5,
+                        };
+                        states.push(AggAccum::new(spec, pval));
+                    }
+                    group_data.push((row.clone(), states));
+                    groups.insert(key, group_data.len() - 1);
+                    group_data.len() - 1
+                }
+            };
+            for (si, spec) in specs.iter().enumerate() {
+                let val = match &spec.arg {
+                    None => None,
+                    Some(e) => Some(ctx.eval_value(e, row)?),
+                };
+                group_data[gi].1[si].update(val)?;
+            }
+        }
+        // Global aggregation over zero rows still yields one group.
+        if group_data.is_empty() && key_exprs.is_empty() {
+            let states = specs.iter().map(|s| AggAccum::new(s, 0.5)).collect();
+            let null_row: Row = vec![Entry::Val(Value::Null); env.names.len()];
+            group_data.push((null_row, states));
+        }
+        let eval_ctx = EvalCtx {
+            graph,
+            env: &eval_env,
+            params,
+        };
+        for (rep_row, states) in group_data {
+            let mut ext = rep_row.clone();
+            for st in states {
+                ext.push(Entry::Val(st.finish()));
+            }
+            let mut out_row = Vec::with_capacity(rewritten.len());
+            for rexpr in &rewritten {
+                out_row.push(eval_ctx.eval(rexpr, &ext)?);
+            }
+            projected.push((out_row, ext));
+        }
+    } else {
+        let ctx = EvalCtx {
+            graph,
+            env,
+            params,
+        };
+        for row in rows {
+            let mut out_row = Vec::with_capacity(rewritten.len());
+            for rexpr in &rewritten {
+                out_row.push(ctx.eval(rexpr, &row)?);
+            }
+            projected.push((out_row, row));
+        }
+    }
+
+    // DISTINCT.
+    if p.distinct {
+        let mut seen = HashSet::new();
+        projected.retain(|(r, _)| {
+            let key: Vec<ValueKey> = r.iter().map(|e| entry_key(graph, e)).collect();
+            seen.insert(key)
+        });
+    }
+
+    // Environment for post-projection predicates: projected names first
+    // (aliases shadow originals; `slot` finds the first occurrence), then
+    // the evaluation context (original vars + agg slots).
+    let mut post_names = out_names.clone();
+    let appended: Vec<usize> = eval_env
+        .names
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !out_names.contains(n))
+        .map(|(i, _)| i)
+        .collect();
+    for &i in &appended {
+        post_names.push(eval_env.names[i].clone());
+    }
+    let post_env = Env { names: post_names };
+    let extend = |proj: &Row, ctx_row: &Row| -> Row {
+        let mut r = proj.clone();
+        for &i in &appended {
+            r.push(ctx_row.get(i).cloned().unwrap_or(Entry::Val(Value::Null)));
+        }
+        r
+    };
+
+    // WHERE (WITH ... WHERE).
+    if let Some(w) = &p.where_clause {
+        let mut w_specs = Vec::new();
+        let w_re = extract_aggs(w, &mut w_specs);
+        if !w_specs.is_empty() {
+            return Err(CypherError::plan(
+                "aggregate functions are not allowed in WITH ... WHERE; project them first",
+            ));
+        }
+        let ctx = EvalCtx {
+            graph,
+            env: &post_env,
+            params,
+        };
+        let mut kept = Vec::with_capacity(projected.len());
+        for (proj, ctx_row) in projected {
+            let ext = extend(&proj, &ctx_row);
+            if ctx.eval_value(&w_re, &ext)?.is_true() {
+                kept.push((proj, ctx_row));
+            }
+        }
+        projected = kept;
+    }
+
+    // ORDER BY.
+    if !p.order_by.is_empty() {
+        let ctx = EvalCtx {
+            graph,
+            env: &post_env,
+            params,
+        };
+        let mut keyed: Vec<(Vec<Value>, (Row, Row))> = Vec::with_capacity(projected.len());
+        for (proj, ctx_row) in projected {
+            let ext = extend(&proj, &ctx_row);
+            let mut keys = Vec::with_capacity(order_rewritten.len());
+            for oexpr in &order_rewritten {
+                keys.push(ctx.eval_value(oexpr, &ext)?);
+            }
+            keyed.push((keys, (proj, ctx_row)));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, ok) in p.order_by.iter().enumerate() {
+                let c = ka[i].order_key_cmp(&kb[i]);
+                let c = if ok.ascending { c } else { c.reverse() };
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        projected = keyed.into_iter().map(|(_, v)| v).collect();
+    }
+
+    // SKIP / LIMIT.
+    let eval_count = |e: &Expr| -> Result<usize, CypherError> {
+        let ctx = EvalCtx {
+            graph,
+            env,
+            params,
+        };
+        let v = ctx.eval_value(e, &Vec::new())?;
+        v.as_int()
+            .filter(|i| *i >= 0)
+            .map(|i| i as usize)
+            .ok_or_else(|| CypherError::runtime("SKIP/LIMIT must be a non-negative integer"))
+    };
+    if let Some(e) = &p.skip {
+        let n = eval_count(e)?;
+        projected = projected.into_iter().skip(n).collect();
+    }
+    if let Some(e) = &p.limit {
+        let n = eval_count(e)?;
+        projected.truncate(n);
+    }
+
+    let out_env = Env { names: out_names };
+    let out_rows = projected.into_iter().map(|(r, _)| r).collect();
+    Ok((out_env, out_rows))
+}
+
+// ----------------------------------------------------------------------
+// Write clauses
+// ----------------------------------------------------------------------
+
+fn apply_create(
+    graph: &mut Graph,
+    env: &mut Env,
+    rows: Vec<Row>,
+    patterns: &[PatternPart],
+    params: &Params,
+) -> Result<Vec<Row>, CypherError> {
+    // Extend env with new vars.
+    let mut new_slots = HashSet::new();
+    for part in patterns {
+        let mut vars = Vec::new();
+        plan::collect_part_vars(part, &mut vars);
+        for v in vars {
+            if env.slot(&v).is_none() {
+                new_slots.insert(env.push(v));
+            }
+        }
+    }
+    let width = env.names.len();
+    let mut out = Vec::with_capacity(rows.len());
+    for mut row in rows {
+        row.resize(width, Entry::Val(Value::Null));
+        for part in patterns {
+            let mut cur = create_node_or_reuse(graph, env, &mut row, &part.start, params, &new_slots)?;
+            for (rel_pat, node_pat) in &part.hops {
+                if !rel_pat.hops.is_single() {
+                    return Err(CypherError::plan(
+                        "CREATE does not allow variable-length relationships",
+                    ));
+                }
+                let next =
+                    create_node_or_reuse(graph, env, &mut row, node_pat, params, &new_slots)?;
+                let ty = rel_pat.types.first().ok_or_else(|| {
+                    CypherError::plan("CREATE relationships must have a type")
+                })?;
+                let (src, dst) = match rel_pat.dir {
+                    RelDir::Right => (cur, next),
+                    RelDir::Left => (next, cur),
+                    RelDir::Undirected => {
+                        return Err(CypherError::plan(
+                            "CREATE relationships must be directed",
+                        ))
+                    }
+                };
+                let props = eval_props(graph, env, &row, &rel_pat.props, params)?;
+                let rid = graph.add_rel(src, ty, dst, props)?;
+                if let Some(rv) = &rel_pat.var {
+                    let slot = env.slot(rv).expect("pushed above");
+                    row[slot] = Entry::Rel(rid);
+                }
+                cur = next;
+            }
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn create_node_or_reuse(
+    graph: &mut Graph,
+    env: &Env,
+    row: &mut Row,
+    pat: &NodePattern,
+    params: &Params,
+    new_slots: &HashSet<usize>,
+) -> Result<NodeId, CypherError> {
+    if let Some(v) = &pat.var {
+        let slot = env
+            .slot(v)
+            .ok_or_else(|| CypherError::plan(format!("variable '{v}' missing")))?;
+        if let Entry::Node(id) = &row[slot] {
+            // Reuse a node bound earlier (by MATCH or earlier in CREATE).
+            return Ok(*id);
+        }
+        if !new_slots.contains(&slot) && !row[slot].is_null() {
+            return Err(CypherError::runtime(format!(
+                "variable '{v}' is bound to a non-node value"
+            )));
+        }
+    }
+    let props = eval_props(graph, env, row, &pat.props, params)?;
+    let id = graph.add_node(pat.labels.iter().map(String::as_str), props);
+    if let Some(v) = &pat.var {
+        let slot = env.slot(v).expect("checked above");
+        row[slot] = Entry::Node(id);
+    }
+    Ok(id)
+}
+
+fn eval_props(
+    graph: &Graph,
+    env: &Env,
+    row: &Row,
+    props: &[(String, Expr)],
+    params: &Params,
+) -> Result<Props, CypherError> {
+    let ctx = EvalCtx {
+        graph,
+        env,
+        params,
+    };
+    let mut out = Props::new();
+    for (k, e) in props {
+        out.set(k.clone(), ctx.eval_value(e, row)?);
+    }
+    Ok(out)
+}
+
+fn apply_merge(
+    graph: &mut Graph,
+    env: &mut Env,
+    rows: Vec<Row>,
+    node: &NodePattern,
+    params: &Params,
+) -> Result<Vec<Row>, CypherError> {
+    let var_slot = node.var.as_ref().map(|v| match env.slot(v) {
+            Some(s) => s,
+            None => env.push(v.clone()),
+        });
+    let width = env.names.len();
+    let mut out = Vec::new();
+    for mut row in rows {
+        row.resize(width, Entry::Val(Value::Null));
+        let props = eval_props(graph, env, &row, &node.props, params)?;
+        // Find all nodes carrying every label with exactly-equal listed props.
+        let candidates: Vec<NodeId> = match node.labels.first() {
+            Some(first) => graph.nodes_with_label(first).collect(),
+            None => graph.all_nodes().collect(),
+        };
+        let matches: Vec<NodeId> = candidates
+            .into_iter()
+            .filter(|&id| {
+                node.labels.iter().all(|l| graph.node_has_label(id, l))
+                    && props.iter().all(|(k, v)| {
+                        graph
+                            .node(id)
+                            .map(|n| n.props.get_or_null(k).cypher_eq(v) == Some(true))
+                            .unwrap_or(false)
+                    })
+            })
+            .collect();
+        if matches.is_empty() {
+            let id = graph.add_node(node.labels.iter().map(String::as_str), props);
+            if let Some(slot) = var_slot {
+                row[slot] = Entry::Node(id);
+            }
+            out.push(row);
+        } else {
+            for id in matches {
+                let mut r = row.clone();
+                if let Some(slot) = var_slot {
+                    r[slot] = Entry::Node(id);
+                }
+                out.push(r);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn apply_set<G: GraphSource>(
+    src: &mut G,
+    env: &Env,
+    rows: &[Row],
+    items: &[SetItem],
+    params: &Params,
+) -> Result<(), CypherError> {
+    for row in rows {
+        for item in items {
+            let (var, updates) = match item {
+                SetItem::Prop { var, key, expr } => {
+                    let value = {
+                        let ctx = EvalCtx {
+                            graph: src.g(),
+                            env,
+                            params,
+                        };
+                        ctx.eval_value(expr, row)?
+                    };
+                    (var, vec![(key.clone(), value)])
+                }
+                SetItem::MergeMap { var, expr } => {
+                    let value = {
+                        let ctx = EvalCtx {
+                            graph: src.g(),
+                            env,
+                            params,
+                        };
+                        ctx.eval_value(expr, row)?
+                    };
+                    match value {
+                        Value::Map(m) => (var, m.into_iter().collect::<Vec<_>>()),
+                        Value::Null => (var, Vec::new()),
+                        other => {
+                            return Err(CypherError::runtime(format!(
+                                "SET += expects a map, got {}",
+                                other.type_name()
+                            )))
+                        }
+                    }
+                }
+            };
+            let slot = env.slot(var).ok_or_else(|| {
+                CypherError::runtime(format!("variable '{var}' is not defined"))
+            })?;
+            for (key, value) in updates {
+                match &row[slot] {
+                    Entry::Node(id) => src.g_mut()?.set_node_prop(*id, &key, value)?,
+                    Entry::Rel(id) => src.g_mut()?.set_rel_prop(*id, &key, value)?,
+                    Entry::Val(Value::Null) => {}
+                    _ => {
+                        return Err(CypherError::runtime(format!(
+                            "SET target '{var}' is not an entity"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn apply_delete<G: GraphSource>(
+    src: &mut G,
+    env: &Env,
+    rows: &[Row],
+    vars: &[String],
+    detach: bool,
+) -> Result<(), CypherError> {
+    let mut nodes: Vec<NodeId> = Vec::new();
+    let mut rels: Vec<RelId> = Vec::new();
+    for row in rows {
+        for var in vars {
+            let slot = env.slot(var).ok_or_else(|| {
+                CypherError::runtime(format!("variable '{var}' is not defined"))
+            })?;
+            match &row[slot] {
+                Entry::Node(id) => nodes.push(*id),
+                Entry::Rel(id) => rels.push(*id),
+                Entry::Val(Value::Null) => {}
+                _ => {
+                    return Err(CypherError::runtime(format!(
+                        "cannot DELETE non-entity '{var}'"
+                    )))
+                }
+            }
+        }
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    rels.sort_unstable();
+    rels.dedup();
+    let g = src.g_mut()?;
+    for r in rels {
+        if g.rel(r).is_some() {
+            g.remove_rel(r)?;
+        }
+    }
+    for n in nodes {
+        if g.node(n).is_some() {
+            if !detach && g.degree(n, Direction::Both) > 0 {
+                return Err(CypherError::runtime(
+                    "cannot delete a node with relationships; use DETACH DELETE",
+                ));
+            }
+            g.remove_node(n)?;
+        }
+    }
+    Ok(())
+}

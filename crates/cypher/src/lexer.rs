@@ -1,0 +1,464 @@
+//! Hand-written tokenizer for the Cypher subset.
+
+use crate::error::CypherError;
+use crate::token::{Keyword, Pos, Tok, Token};
+
+/// Tokenizes a query string. Returns the token list terminated by
+/// [`Tok::Eof`], or a positioned lexical error.
+pub fn lex(src: &str) -> Result<Vec<Token>, CypherError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+            offset: self.i,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CypherError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = self.pos();
+            let Some(b) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, pos });
+                return Ok(out);
+            };
+            let tok = match b {
+                b'(' => self.one(Tok::LParen),
+                b')' => self.one(Tok::RParen),
+                b'[' => self.one(Tok::LBracket),
+                b']' => self.one(Tok::RBracket),
+                b'{' => self.one(Tok::LBrace),
+                b'}' => self.one(Tok::RBrace),
+                b',' => self.one(Tok::Comma),
+                b':' => self.one(Tok::Colon),
+                b'|' => self.one(Tok::Pipe),
+                b'+' => self.one(Tok::Plus),
+                b'*' => self.one(Tok::Star),
+                b'%' => self.one(Tok::Percent),
+                b'^' => self.one(Tok::Caret),
+                b'.' => {
+                    if self.peek2() == Some(b'.') {
+                        self.bump();
+                        self.bump();
+                        Tok::DotDot
+                    } else if self.peek2().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                        self.number(pos)?
+                    } else {
+                        self.one(Tok::Dot)
+                    }
+                }
+                b'/' => {
+                    // Comments are stripped in skip_trivia; a lone slash is division.
+                    self.one(Tok::Slash)
+                }
+                b'-' => {
+                    if self.peek2() == Some(b'>') {
+                        self.bump();
+                        self.bump();
+                        Tok::ArrowRight
+                    } else {
+                        self.one(Tok::Minus)
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => self.one(Tok::Le),
+                        Some(b'>') => self.one(Tok::Neq),
+                        Some(b'-') => self.one(Tok::ArrowLeft),
+                        _ => Tok::Lt,
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => self.one(Tok::Ge),
+                        _ => Tok::Gt,
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'~') => self.one(Tok::RegexMatch),
+                        _ => Tok::Eq,
+                    }
+                }
+                b'\'' | b'"' => self.string(pos)?,
+                b'`' => self.backtick_ident(pos)?,
+                b'$' => {
+                    self.bump();
+                    let name = self.ident_text();
+                    if name.is_empty() {
+                        return Err(CypherError::lex("expected parameter name after '$'", pos));
+                    }
+                    Tok::Param(name)
+                }
+                b'0'..=b'9' => self.number(pos)?,
+                b if b.is_ascii_alphabetic() || b == b'_' => {
+                    let text = self.ident_text();
+                    match Keyword::from_ident(&text) {
+                        Some(kw) => Tok::Kw(kw),
+                        None => Tok::Ident(text),
+                    }
+                }
+                other => {
+                    return Err(CypherError::lex(
+                        format!("unexpected character '{}'", other as char),
+                        pos,
+                    ))
+                }
+            };
+            out.push(Token { tok, pos });
+        }
+    }
+
+    fn one(&mut self, tok: Tok) -> Tok {
+        self.bump();
+        tok
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CypherError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let pos = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => {
+                                return Err(CypherError::lex("unterminated block comment", pos))
+                            }
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident_text(&mut self) -> String {
+        let start = self.i;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.src[start..self.i].to_string()
+    }
+
+    fn string(&mut self, pos: Pos) -> Result<Tok, CypherError> {
+        let quote = self.bump().expect("caller saw a quote");
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(CypherError::lex("unterminated string literal", pos)),
+                Some(b) if b == quote => return Ok(Tok::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'\'') => out.push('\''),
+                    Some(b'"') => out.push('"'),
+                    Some(other) => {
+                        out.push('\\');
+                        out.push(other as char);
+                    }
+                    None => return Err(CypherError::lex("unterminated escape", pos)),
+                },
+                Some(b) => {
+                    // Collect full UTF-8 sequences.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let len = utf8_len(b);
+                        let start = self.i - 1;
+                        for _ in 1..len {
+                            self.bump();
+                        }
+                        out.push_str(&self.src[start..self.i]);
+                    }
+                }
+            }
+        }
+    }
+
+    fn backtick_ident(&mut self, pos: Pos) -> Result<Tok, CypherError> {
+        self.bump(); // opening backtick
+        let start = self.i;
+        loop {
+            match self.peek() {
+                None => return Err(CypherError::lex("unterminated backtick identifier", pos)),
+                Some(b'`') => {
+                    let text = self.src[start..self.i].to_string();
+                    self.bump();
+                    return Ok(Tok::Ident(text));
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<Tok, CypherError> {
+        let start = self.i;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' => {
+                    // `1..3` range syntax: the dot belongs to DotDot, not the number.
+                    if self.peek2() == Some(b'.') || is_float {
+                        break;
+                    }
+                    // `1.foo` property access on a literal is not supported;
+                    // treat digit-dot-digit as float, otherwise stop.
+                    if self
+                        .bytes
+                        .get(self.i + 1)
+                        .map(|c| c.is_ascii_digit())
+                        .unwrap_or(false)
+                    {
+                        is_float = true;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                b'e' | b'E' => {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.i];
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|e| CypherError::lex(format!("bad float literal '{text}': {e}"), pos))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|e| CypherError::lex(format!("bad integer literal '{text}': {e}"), pos))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first >= 0xF0 {
+        4
+    } else if first >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("match RETURN Where"),
+            vec![
+                Tok::Kw(Keyword::Match),
+                Tok::Kw(Keyword::Return),
+                Tok::Kw(Keyword::Where),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn pattern_tokens() {
+        assert_eq!(
+            toks("(a:AS)-[:ORIGINATE]->(p:Prefix)"),
+            vec![
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::Colon,
+                // `AS` the label lexes as the keyword; the parser maps it
+                // back to an identifier in label positions.
+                Tok::Kw(Keyword::As),
+                Tok::RParen,
+                Tok::Minus,
+                Tok::LBracket,
+                Tok::Colon,
+                Tok::Ident("ORIGINATE".into()),
+                Tok::RBracket,
+                Tok::ArrowRight,
+                Tok::LParen,
+                Tok::Ident("p".into()),
+                Tok::Colon,
+                Tok::Ident("Prefix".into()),
+                Tok::RParen,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42), Tok::Eof]);
+        assert_eq!(toks("2.75"), vec![Tok::Float(2.75), Tok::Eof]);
+        assert_eq!(toks("1e3"), vec![Tok::Float(1000.0), Tok::Eof]);
+        // Range syntax is not a float.
+        assert_eq!(
+            toks("*1..3"),
+            vec![Tok::Star, Tok::Int(1), Tok::DotDot, Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks("'IIJ'"), vec![Tok::Str("IIJ".into()), Tok::Eof]);
+        assert_eq!(toks("\"a\\n\""), vec![Tok::Str("a\n".into()), Tok::Eof]);
+        assert_eq!(toks("'日本'"), vec![Tok::Str("日本".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a <= b <> c >= d =~ e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Neq,
+                Tok::Ident("c".into()),
+                Tok::Ge,
+                Tok::Ident("d".into()),
+                Tok::RegexMatch,
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_vs_comparisons() {
+        assert_eq!(
+            toks("<-[r]-"),
+            vec![
+                Tok::ArrowLeft,
+                Tok::LBracket,
+                Tok::Ident("r".into()),
+                Tok::RBracket,
+                Tok::Minus,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_stripped() {
+        assert_eq!(
+            toks("RETURN 1 // trailing\n/* block\ncomment */ + 2"),
+            vec![
+                Tok::Kw(Keyword::Return),
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(2),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn params_and_backticks() {
+        assert_eq!(
+            toks("$asn `weird name`"),
+            vec![
+                Tok::Param("asn".into()),
+                Tok::Ident("weird name".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = lex("RETURN 'oops").unwrap_err();
+        assert_eq!(err.pos.unwrap().col, 8);
+        let err = lex("RETURN @").unwrap_err();
+        assert!(err.message.contains('@'));
+    }
+}

@@ -1,0 +1,1147 @@
+//! Recursive-descent parser for the Cypher subset.
+
+use crate::ast::*;
+use crate::error::CypherError;
+use crate::lexer::lex;
+use crate::token::{Keyword, Pos, Tok, Token};
+use iyp_graphdb::Value;
+
+/// Parses a query string into an AST.
+pub fn parse(src: &str) -> Result<Query, CypherError> {
+    let tokens = lex(src)?;
+    Parser { tokens, i: 0 }.query()
+}
+
+/// Parses a standalone expression (used by tests and the text-to-Cypher
+/// validator).
+pub fn parse_expression(src: &str) -> Result<Expr, CypherError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, i: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.i].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        self.tokens
+            .get(self.i + 1)
+            .map(|t| &t.tok)
+            .unwrap_or(&Tok::Eof)
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.i].tok.clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat(&Tok::Kw(kw))
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), CypherError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(CypherError::parse(
+                format!("expected '{tok}', found '{}'", self.peek()),
+                self.pos(),
+            ))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<(), CypherError> {
+        self.expect(&Tok::Kw(kw))
+    }
+
+    fn expect_eof(&mut self) -> Result<(), CypherError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(CypherError::parse(
+                format!("unexpected trailing input '{}'", self.peek()),
+                self.pos(),
+            ))
+        }
+    }
+
+    /// An identifier, also accepting keywords that double as names
+    /// (e.g. a property called `count` or `end`).
+    fn ident_like(&mut self) -> Result<String, CypherError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            Tok::Kw(k) => {
+                // Allow keyword-as-identifier for names that commonly
+                // appear as properties/labels.
+                let text = match k {
+                    // The IYP schema's main label is literally `AS`, which
+                    // collides with the aliasing keyword. Alias positions
+                    // consume the keyword explicitly before calling here,
+                    // so treating it as an identifier elsewhere is safe.
+                    Keyword::As => "AS",
+                    Keyword::Count => "count",
+                    Keyword::End => "end",
+                    Keyword::Set => "set",
+                    Keyword::In => "in",
+                    Keyword::Contains => "contains",
+                    Keyword::Order => "order",
+                    Keyword::By => "by",
+                    Keyword::Limit => "limit",
+                    Keyword::Skip => "skip",
+                    Keyword::Asc => "asc",
+                    Keyword::Desc => "desc",
+                    Keyword::All => "all",
+                    Keyword::Union => "union",
+                    _ => {
+                        return Err(CypherError::parse(
+                            format!("expected identifier, found keyword '{k:?}'"),
+                            self.pos(),
+                        ))
+                    }
+                };
+                self.bump();
+                Ok(text.to_string())
+            }
+            other => Err(CypherError::parse(
+                format!("expected identifier, found '{other}'"),
+                self.pos(),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Clauses
+    // ------------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, CypherError> {
+        let mut clauses = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Kw(Keyword::Match) => {
+                    self.bump();
+                    clauses.push(Clause::Match(self.match_clause(false)?));
+                }
+                Tok::Kw(Keyword::Optional) => {
+                    self.bump();
+                    self.expect_kw(Keyword::Match)?;
+                    clauses.push(Clause::Match(self.match_clause(true)?));
+                }
+                Tok::Kw(Keyword::Unwind) => {
+                    self.bump();
+                    let expr = self.expr()?;
+                    self.expect_kw(Keyword::As)?;
+                    let var = self.ident_like()?;
+                    clauses.push(Clause::Unwind { expr, var });
+                }
+                Tok::Kw(Keyword::With) => {
+                    self.bump();
+                    clauses.push(Clause::With(self.projection_clause(true)?));
+                }
+                Tok::Kw(Keyword::Return) => {
+                    self.bump();
+                    clauses.push(Clause::Return(self.projection_clause(false)?));
+                }
+                Tok::Kw(Keyword::Create) => {
+                    self.bump();
+                    let patterns = self.pattern_parts()?;
+                    clauses.push(Clause::Create { patterns });
+                }
+                Tok::Kw(Keyword::Merge) => {
+                    self.bump();
+                    let mut parts = self.pattern_parts()?;
+                    if parts.len() != 1 || !parts[0].hops.is_empty() {
+                        return Err(CypherError::parse(
+                            "MERGE supports a single node pattern",
+                            self.pos(),
+                        ));
+                    }
+                    clauses.push(Clause::Merge {
+                        node: parts.remove(0).start,
+                    });
+                }
+                Tok::Kw(Keyword::Set) => {
+                    self.bump();
+                    let mut items = Vec::new();
+                    loop {
+                        let var = self.ident_like()?;
+                        if self.eat(&Tok::Plus) {
+                            // `var += {map}`
+                            self.expect(&Tok::Eq)?;
+                            let expr = self.expr()?;
+                            items.push(SetItem::MergeMap { var, expr });
+                        } else {
+                            self.expect(&Tok::Dot)?;
+                            let key = self.ident_like()?;
+                            self.expect(&Tok::Eq)?;
+                            let expr = self.expr()?;
+                            items.push(SetItem::Prop { var, key, expr });
+                        }
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    clauses.push(Clause::Set { items });
+                }
+                Tok::Kw(Keyword::Remove) => {
+                    // `REMOVE var.key` desugars to `SET var.key = null`.
+                    self.bump();
+                    let mut items = Vec::new();
+                    loop {
+                        let var = self.ident_like()?;
+                        self.expect(&Tok::Dot)?;
+                        let key = self.ident_like()?;
+                        items.push(SetItem::Prop {
+                            var,
+                            key,
+                            expr: Expr::Lit(Value::Null),
+                        });
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    clauses.push(Clause::Set { items });
+                }
+                Tok::Kw(Keyword::Detach) => {
+                    self.bump();
+                    self.expect_kw(Keyword::Delete)?;
+                    clauses.push(self.delete_clause(true)?);
+                }
+                Tok::Kw(Keyword::Delete) => {
+                    self.bump();
+                    clauses.push(self.delete_clause(false)?);
+                }
+                Tok::Kw(Keyword::Union) => {
+                    self.bump();
+                    let all = self.eat_kw(Keyword::All);
+                    clauses.push(Clause::Union { all });
+                }
+                Tok::Eof => break,
+                other => {
+                    return Err(CypherError::parse(
+                        format!("expected a clause keyword, found '{other}'"),
+                        self.pos(),
+                    ))
+                }
+            }
+        }
+        if clauses.is_empty() {
+            return Err(CypherError::parse("empty query", self.pos()));
+        }
+        Ok(Query { clauses })
+    }
+
+    fn delete_clause(&mut self, detach: bool) -> Result<Clause, CypherError> {
+        let mut vars = vec![self.ident_like()?];
+        while self.eat(&Tok::Comma) {
+            vars.push(self.ident_like()?);
+        }
+        Ok(Clause::Delete { vars, detach })
+    }
+
+    fn match_clause(&mut self, optional: bool) -> Result<MatchClause, CypherError> {
+        let patterns = self.pattern_parts()?;
+        let where_clause = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(MatchClause {
+            optional,
+            patterns,
+            where_clause,
+        })
+    }
+
+    fn pattern_parts(&mut self) -> Result<Vec<PatternPart>, CypherError> {
+        let mut parts = vec![self.pattern_part()?];
+        while self.eat(&Tok::Comma) {
+            parts.push(self.pattern_part()?);
+        }
+        Ok(parts)
+    }
+
+    fn pattern_part(&mut self) -> Result<PatternPart, CypherError> {
+        // Optional path binding: `p = (...)`
+        let path_var = if matches!(self.peek(), Tok::Ident(_)) && *self.peek2() == Tok::Eq {
+            let v = self.ident_like()?;
+            self.bump(); // '='
+            Some(v)
+        } else {
+            None
+        };
+        // Optional `shortestPath( ... )` wrapper.
+        let shortest = match self.peek() {
+            Tok::Ident(name) if name.eq_ignore_ascii_case("shortestPath") => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                true
+            }
+            _ => false,
+        };
+        if shortest && path_var.is_none() {
+            return Err(CypherError::parse(
+                "shortestPath(...) requires a path binding: p = shortestPath(...)",
+                self.pos(),
+            ));
+        }
+        let start = self.node_pattern()?;
+        let mut hops = Vec::new();
+        while matches!(self.peek(), Tok::Minus | Tok::ArrowLeft) {
+            let rel = self.rel_pattern()?;
+            let node = self.node_pattern()?;
+            hops.push((rel, node));
+        }
+        if shortest {
+            self.expect(&Tok::RParen)?;
+            if hops.len() != 1 {
+                return Err(CypherError::parse(
+                    "shortestPath(...) expects exactly one relationship pattern",
+                    self.pos(),
+                ));
+            }
+        }
+        Ok(PatternPart {
+            path_var,
+            shortest,
+            start,
+            hops,
+        })
+    }
+
+    fn node_pattern(&mut self) -> Result<NodePattern, CypherError> {
+        self.expect(&Tok::LParen)?;
+        let mut np = NodePattern::default();
+        if matches!(self.peek(), Tok::Ident(_)) {
+            np.var = Some(self.ident_like()?);
+        }
+        while self.eat(&Tok::Colon) {
+            np.labels.push(self.ident_like()?);
+        }
+        if matches!(self.peek(), Tok::LBrace) {
+            np.props = self.map_props()?;
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(np)
+    }
+
+    fn rel_pattern(&mut self) -> Result<RelPattern, CypherError> {
+        // Leading: '-' or '<-'
+        let from_left = match self.bump() {
+            Tok::Minus => false,
+            Tok::ArrowLeft => true,
+            other => {
+                return Err(CypherError::parse(
+                    format!("expected relationship pattern, found '{other}'"),
+                    self.pos(),
+                ))
+            }
+        };
+        let mut rel = RelPattern {
+            var: None,
+            types: Vec::new(),
+            dir: RelDir::Undirected,
+            hops: HopRange::single(),
+            props: Vec::new(),
+        };
+        if self.eat(&Tok::LBracket) {
+            if matches!(self.peek(), Tok::Ident(_)) {
+                rel.var = Some(self.ident_like()?);
+            }
+            if self.eat(&Tok::Colon) {
+                rel.types.push(self.ident_like()?);
+                while self.eat(&Tok::Pipe) {
+                    self.eat(&Tok::Colon); // `|:TYPE` and `|TYPE` both allowed
+                    rel.types.push(self.ident_like()?);
+                }
+            }
+            if self.eat(&Tok::Star) {
+                rel.hops = self.hop_range()?;
+            }
+            if matches!(self.peek(), Tok::LBrace) {
+                rel.props = self.map_props()?;
+            }
+            self.expect(&Tok::RBracket)?;
+        }
+        // Trailing: '->' or '-'
+        let to_right = match self.bump() {
+            Tok::ArrowRight => true,
+            Tok::Minus => false,
+            other => {
+                return Err(CypherError::parse(
+                    format!("expected '-' or '->' after relationship, found '{other}'"),
+                    self.pos(),
+                ))
+            }
+        };
+        rel.dir = match (from_left, to_right) {
+            (true, true) => {
+                return Err(CypherError::parse(
+                    "relationship cannot point both ways",
+                    self.pos(),
+                ))
+            }
+            (true, false) => RelDir::Left,
+            (false, true) => RelDir::Right,
+            (false, false) => RelDir::Undirected,
+        };
+        Ok(rel)
+    }
+
+    fn hop_range(&mut self) -> Result<HopRange, CypherError> {
+        // Forms: * | *n | *n..m | *n.. | *..m
+        let min = if let Tok::Int(n) = self.peek() {
+            let n = *n;
+            self.bump();
+            Some(n)
+        } else {
+            None
+        };
+        if self.eat(&Tok::DotDot) {
+            let max = if let Tok::Int(n) = self.peek() {
+                let n = *n;
+                self.bump();
+                Some(n as u32)
+            } else {
+                None
+            };
+            Ok(HopRange {
+                min: min.unwrap_or(1) as u32,
+                max,
+            })
+        } else {
+            match min {
+                Some(n) => Ok(HopRange {
+                    min: n as u32,
+                    max: Some(n as u32),
+                }),
+                None => Ok(HopRange { min: 1, max: None }),
+            }
+        }
+    }
+
+    fn map_props(&mut self) -> Result<Vec<(String, Expr)>, CypherError> {
+        self.expect(&Tok::LBrace)?;
+        let mut props = Vec::new();
+        if !matches!(self.peek(), Tok::RBrace) {
+            loop {
+                let key = self.ident_like()?;
+                self.expect(&Tok::Colon)?;
+                let val = self.expr()?;
+                props.push((key, val));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(props)
+    }
+
+    fn projection_clause(&mut self, is_with: bool) -> Result<ProjectionClause, CypherError> {
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let mut items = Vec::new();
+        let mut star = false;
+        if self.eat(&Tok::Star) {
+            star = true;
+            while self.eat(&Tok::Comma) {
+                items.push(self.projection_item()?);
+            }
+        } else {
+            items.push(self.projection_item()?);
+            while self.eat(&Tok::Comma) {
+                items.push(self.projection_item()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_kw(Keyword::Desc) {
+                    false
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    true
+                };
+                order_by.push(OrderKey { expr, ascending });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let skip = if self.eat_kw(Keyword::Skip) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let limit = if self.eat_kw(Keyword::Limit) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let where_clause = if is_with && self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(ProjectionClause {
+            distinct,
+            items,
+            star,
+            order_by,
+            skip,
+            limit,
+            where_clause,
+        })
+    }
+
+    fn projection_item(&mut self) -> Result<ProjectionItem, CypherError> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident_like()?)
+        } else {
+            None
+        };
+        Ok(ProjectionItem { expr, alias })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn expr(&mut self) -> Result<Expr, CypherError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CypherError> {
+        let mut lhs = self.xor_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let rhs = self.xor_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn xor_expr(&mut self) -> Result<Expr, CypherError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw(Keyword::Xor) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Xor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CypherError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, CypherError> {
+        if self.eat_kw(Keyword::Not) {
+            let inner = self.not_expr()?;
+            Ok(Expr::Un(UnOp::Not, Box::new(inner)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, CypherError> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            Tok::Eq => Some(BinOp::Eq),
+            Tok::Neq => Some(BinOp::Neq),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Ge => Some(BinOp::Ge),
+            Tok::RegexMatch => Some(BinOp::RegexMatch),
+            Tok::Kw(Keyword::In) => Some(BinOp::In),
+            Tok::Kw(Keyword::Contains) => Some(BinOp::Contains),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.additive()?;
+            return Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.eat_kw(Keyword::Starts) {
+            self.expect_kw(Keyword::With)?;
+            let rhs = self.additive()?;
+            return Ok(Expr::Bin(BinOp::StartsWith, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.eat_kw(Keyword::Ends) {
+            self.expect_kw(Keyword::With)?;
+            let rhs = self.additive()?;
+            return Ok(Expr::Bin(BinOp::EndsWith, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.eat_kw(Keyword::Is) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull(Box::new(lhs), negated));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, CypherError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CypherError> {
+        let mut lhs = self.power()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.power()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn power(&mut self) -> Result<Expr, CypherError> {
+        let lhs = self.unary()?;
+        if self.eat(&Tok::Caret) {
+            // Right-associative.
+            let rhs = self.power()?;
+            return Ok(Expr::Bin(BinOp::Pow, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CypherError> {
+        if self.eat(&Tok::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Un(UnOp::Neg, Box::new(inner)));
+        }
+        if self.eat(&Tok::Plus) {
+            return self.unary();
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CypherError> {
+        let mut e = self.atom()?;
+        loop {
+            match self.peek() {
+                Tok::Dot => {
+                    self.bump();
+                    let key = self.ident_like()?;
+                    e = Expr::Prop(Box::new(e), key);
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    // Slice or index.
+                    if self.eat(&Tok::DotDot) {
+                        let hi = if matches!(self.peek(), Tok::RBracket) {
+                            None
+                        } else {
+                            Some(Box::new(self.expr()?))
+                        };
+                        self.expect(&Tok::RBracket)?;
+                        e = Expr::Slice(Box::new(e), None, hi);
+                    } else {
+                        let idx = self.expr()?;
+                        if self.eat(&Tok::DotDot) {
+                            let hi = if matches!(self.peek(), Tok::RBracket) {
+                                None
+                            } else {
+                                Some(Box::new(self.expr()?))
+                            };
+                            self.expect(&Tok::RBracket)?;
+                            e = Expr::Slice(Box::new(e), Some(Box::new(idx)), hi);
+                        } else {
+                            self.expect(&Tok::RBracket)?;
+                            e = Expr::Index(Box::new(e), Box::new(idx));
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, CypherError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Int(n)))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Float(x)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Str(s)))
+            }
+            Tok::Kw(Keyword::True) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Bool(true)))
+            }
+            Tok::Kw(Keyword::False) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Bool(false)))
+            }
+            Tok::Kw(Keyword::Null) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Null))
+            }
+            Tok::Param(p) => {
+                self.bump();
+                Ok(Expr::Param(p))
+            }
+            Tok::Kw(Keyword::Count) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let distinct = self.eat_kw(Keyword::Distinct);
+                let args = if self.eat(&Tok::Star) {
+                    vec![Expr::Star]
+                } else {
+                    vec![self.expr()?]
+                };
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Call {
+                    name: "count".into(),
+                    distinct,
+                    args,
+                })
+            }
+            Tok::Kw(Keyword::Exists) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                // `exists((a)-[:T]->(b))` — a pattern, not an expression.
+                if matches!(self.peek(), Tok::LParen) {
+                    let part = self.pattern_part()?;
+                    self.expect(&Tok::RParen)?;
+                    if part.hops.is_empty() {
+                        return Err(CypherError::parse(
+                            "exists(pattern) requires at least one relationship",
+                            pos,
+                        ));
+                    }
+                    return Ok(Expr::ExistsPattern(Box::new(part)));
+                }
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                match inner {
+                    Expr::Prop(base, key) => Ok(Expr::ExistsProp(base, key)),
+                    other => Ok(Expr::IsNull(Box::new(other), true)),
+                }
+            }
+            Tok::Kw(Keyword::Case) => {
+                self.bump();
+                self.case_expr()
+            }
+            Tok::Ident(name) => {
+                if *self.peek2() == Tok::LParen {
+                    self.bump();
+                    self.bump(); // '('
+                    let distinct = self.eat_kw(Keyword::Distinct);
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Tok::RParen) {
+                        if self.eat(&Tok::Star) {
+                            args.push(Expr::Star);
+                        } else {
+                            args.push(self.expr()?);
+                            while self.eat(&Tok::Comma) {
+                                args.push(self.expr()?);
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Call {
+                        name: name.to_ascii_lowercase(),
+                        distinct,
+                        args,
+                    })
+                } else {
+                    self.bump();
+                    Ok(Expr::Var(name))
+                }
+            }
+            Tok::LParen => {
+                // Could be a parenthesized expression `(a + b)` or a bare
+                // pattern predicate `(a)-[:T]->(b)`. Try the pattern first
+                // with backtracking: it must parse a node pattern and be
+                // followed by a relationship arrow.
+                let mark = self.i;
+                if let Ok(part) = self.pattern_part() {
+                    if !part.hops.is_empty() {
+                        return Ok(Expr::ExistsPattern(Box::new(part)));
+                    }
+                    self.i = mark;
+                } else {
+                    self.i = mark;
+                }
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBracket => self.list_or_comprehension(),
+            Tok::LBrace => {
+                let props = self.map_props()?;
+                Ok(Expr::Map(props))
+            }
+            other => Err(CypherError::parse(
+                format!("expected expression, found '{other}'"),
+                pos,
+            )),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr, CypherError> {
+        let operand = if !matches!(self.peek(), Tok::Kw(Keyword::When)) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        let mut arms = Vec::new();
+        while self.eat_kw(Keyword::When) {
+            let when = self.expr()?;
+            self.expect_kw(Keyword::Then)?;
+            let then = self.expr()?;
+            arms.push((when, then));
+        }
+        if arms.is_empty() {
+            return Err(CypherError::parse("CASE requires at least one WHEN", self.pos()));
+        }
+        let default = if self.eat_kw(Keyword::Else) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw(Keyword::End)?;
+        Ok(Expr::Case {
+            operand,
+            arms,
+            default,
+        })
+    }
+
+    fn list_or_comprehension(&mut self) -> Result<Expr, CypherError> {
+        self.expect(&Tok::LBracket)?;
+        // `[x IN list ...]` comprehension?
+        if matches!(self.peek(), Tok::Ident(_)) && *self.peek2() == Tok::Kw(Keyword::In) {
+            let var = self.ident_like()?;
+            self.bump(); // IN
+            let list = Box::new(self.expr()?);
+            let pred = if self.eat_kw(Keyword::Where) {
+                Some(Box::new(self.expr()?))
+            } else {
+                None
+            };
+            let map = if self.eat(&Tok::Pipe) {
+                Some(Box::new(self.expr()?))
+            } else {
+                None
+            };
+            self.expect(&Tok::RBracket)?;
+            return Ok(Expr::ListComp {
+                var,
+                list,
+                pred,
+                map,
+            });
+        }
+        let mut items = Vec::new();
+        if !matches!(self.peek(), Tok::RBracket) {
+            items.push(self.expr()?);
+            while self.eat(&Tok::Comma) {
+                items.push(self.expr()?);
+            }
+        }
+        self.expect(&Tok::RBracket)?;
+        Ok(Expr::List(items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: &str) -> Query {
+        parse(src).unwrap_or_else(|e| panic!("parse failed for {src}: {e}"))
+    }
+
+    #[test]
+    fn simple_match_return() {
+        let query = q("MATCH (a:AS {asn: 2497}) RETURN a.name");
+        assert_eq!(query.clauses.len(), 2);
+        match &query.clauses[0] {
+            Clause::Match(m) => {
+                assert!(!m.optional);
+                let p = &m.patterns[0];
+                assert_eq!(p.start.var.as_deref(), Some("a"));
+                assert_eq!(p.start.labels, vec!["AS"]);
+                assert_eq!(p.start.props.len(), 1);
+            }
+            other => panic!("expected MATCH, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_hop_pattern_with_direction() {
+        let query = q("MATCH (a:AS)-[:ORIGINATE]->(p:Prefix)<-[d:DEPENDS_ON]-(b) RETURN a, b");
+        match &query.clauses[0] {
+            Clause::Match(m) => {
+                let part = &m.patterns[0];
+                assert_eq!(part.hops.len(), 2);
+                assert_eq!(part.hops[0].0.dir, RelDir::Right);
+                assert_eq!(part.hops[0].0.types, vec!["ORIGINATE"]);
+                assert_eq!(part.hops[1].0.dir, RelDir::Left);
+                assert_eq!(part.hops[1].0.var.as_deref(), Some("d"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_length_and_type_alternatives() {
+        let query = q("MATCH (a)-[:PEERS_WITH|DEPENDS_ON*1..3]-(b) RETURN count(*)");
+        match &query.clauses[0] {
+            Clause::Match(m) => {
+                let rel = &m.patterns[0].hops[0].0;
+                assert_eq!(rel.types, vec!["PEERS_WITH", "DEPENDS_ON"]);
+                assert_eq!(rel.hops, HopRange { min: 1, max: Some(3) });
+                assert_eq!(rel.dir, RelDir::Undirected);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_with_boolean_precedence() {
+        let query = q("MATCH (a) WHERE a.x = 1 OR a.y = 2 AND NOT a.z = 3 RETURN a");
+        match &query.clauses[0] {
+            Clause::Match(m) => {
+                // OR at top: AND binds tighter.
+                match m.where_clause.as_ref().unwrap() {
+                    Expr::Bin(BinOp::Or, _, rhs) => match rhs.as_ref() {
+                        Expr::Bin(BinOp::And, _, _) => {}
+                        other => panic!("expected AND under OR, got {other:?}"),
+                    },
+                    other => panic!("expected OR, got {other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn return_modifiers() {
+        let query = q(
+            "MATCH (a:AS) RETURN DISTINCT a.asn AS asn ORDER BY asn DESC SKIP 5 LIMIT 10",
+        );
+        match &query.clauses[1] {
+            Clause::Return(p) => {
+                assert!(p.distinct);
+                assert_eq!(p.items[0].alias.as_deref(), Some("asn"));
+                assert!(!p.order_by[0].ascending);
+                assert!(p.skip.is_some());
+                assert!(p.limit.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_chaining_and_aggregation() {
+        let query = q(
+            "MATCH (a:AS)-[:MEMBER_OF]->(x:IXP) WITH x, count(a) AS members WHERE members > 10 RETURN x.name, members ORDER BY members DESC",
+        );
+        assert_eq!(query.clauses.len(), 3);
+        match &query.clauses[1] {
+            Clause::With(p) => {
+                assert!(p.where_clause.is_some());
+                assert!(p.items[1].expr.contains_aggregate());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let query = q("MATCH (n) RETURN count(*), count(DISTINCT n.cc)");
+        match &query.clauses[1] {
+            Clause::Return(p) => {
+                match &p.items[0].expr {
+                    Expr::Call { name, args, .. } => {
+                        assert_eq!(name, "count");
+                        assert_eq!(args[0], Expr::Star);
+                    }
+                    other => panic!("{other:?}"),
+                }
+                match &p.items[1].expr {
+                    Expr::Call { distinct, .. } => assert!(distinct),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_predicates() {
+        let e = parse_expression("a.name STARTS WITH 'Goo' AND a.name CONTAINS 'g'").unwrap();
+        match e {
+            Expr::Bin(BinOp::And, lhs, rhs) => {
+                assert!(matches!(*lhs, Expr::Bin(BinOp::StartsWith, _, _)));
+                assert!(matches!(*rhs, Expr::Bin(BinOp::Contains, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_and_exists() {
+        let e = parse_expression("a.x IS NOT NULL").unwrap();
+        assert!(matches!(e, Expr::IsNull(_, true)));
+        let e = parse_expression("exists(a.x)").unwrap();
+        assert!(matches!(e, Expr::ExistsProp(_, _)));
+    }
+
+    #[test]
+    fn case_expression() {
+        let e = parse_expression(
+            "CASE WHEN a.rank < 10 THEN 'top' WHEN a.rank < 100 THEN 'mid' ELSE 'tail' END",
+        )
+        .unwrap();
+        match e {
+            Expr::Case { operand, arms, default } => {
+                assert!(operand.is_none());
+                assert_eq!(arms.len(), 2);
+                assert!(default.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_comprehension() {
+        let e = parse_expression("[x IN a.prefixes WHERE x CONTAINS '/24' | toUpper(x)]").unwrap();
+        match e {
+            Expr::ListComp { var, pred, map, .. } => {
+                assert_eq!(var, "x");
+                assert!(pred.is_some());
+                assert!(map.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_expression("1 + 2 * 3 ^ 2").unwrap();
+        // 1 + (2 * (3 ^ 2))
+        match e {
+            Expr::Bin(BinOp::Add, _, rhs) => match *rhs {
+                Expr::Bin(BinOp::Mul, _, rhs2) => {
+                    assert!(matches!(*rhs2, Expr::Bin(BinOp::Pow, _, _)))
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unwind_and_params() {
+        let query = q("UNWIND $asns AS asn MATCH (a:AS {asn: asn}) RETURN a.name");
+        assert!(matches!(&query.clauses[0], Clause::Unwind { .. }));
+    }
+
+    #[test]
+    fn create_merge_set() {
+        let query = q(
+            "CREATE (a:AS {asn: 1})-[:COUNTRY]->(c:Country {country_code: 'JP'})",
+        );
+        assert!(matches!(&query.clauses[0], Clause::Create { .. }));
+        let query = q("MERGE (c:Country {country_code: 'JP'}) SET c.name = 'Japan'");
+        assert!(matches!(&query.clauses[0], Clause::Merge { .. }));
+        assert!(matches!(&query.clauses[1], Clause::Set { .. }));
+    }
+
+    #[test]
+    fn index_and_slice() {
+        let e = parse_expression("xs[0]").unwrap();
+        assert!(matches!(e, Expr::Index(_, _)));
+        let e = parse_expression("xs[1..3]").unwrap();
+        assert!(matches!(e, Expr::Slice(_, Some(_), Some(_))));
+        let e = parse_expression("xs[..2]").unwrap();
+        assert!(matches!(e, Expr::Slice(_, None, Some(_))));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("MATCH (a RETURN a").is_err());
+        assert!(parse("RETURN").is_err());
+        assert!(parse("FROB (a) RETURN a").is_err());
+        assert!(parse("MATCH (a)-[->(b) RETURN a").is_err());
+    }
+
+    #[test]
+    fn path_variable_binding() {
+        let query = q("MATCH p = (a:AS)-[:DEPENDS_ON*1..2]->(b:AS) RETURN length(p)");
+        match &query.clauses[0] {
+            Clause::Match(m) => assert_eq!(m.patterns[0].path_var.as_deref(), Some("p")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn keyword_property_names() {
+        // `count` used as a property key.
+        let e = parse_expression("n.count + 1").unwrap();
+        assert!(matches!(e, Expr::Bin(BinOp::Add, _, _)));
+    }
+}

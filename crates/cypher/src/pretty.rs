@@ -1,0 +1,486 @@
+//! Canonical rendering of ASTs back to Cypher text.
+//!
+//! Used for result column naming, for the text-to-Cypher translator's
+//! transparency output (the generated query shown to the user), and for
+//! comparing generated queries against gold queries modulo formatting.
+
+use crate::ast::*;
+use crate::token::Keyword;
+use iyp_graphdb::Value;
+use std::fmt::Write;
+
+/// Renders an identifier, backtick-quoting names that would otherwise
+/// lex as keywords (a lowercase property called `as`, say) or that
+/// contain non-identifier characters.
+fn ident(name: &str) -> String {
+    let reserved = match Keyword::from_ident(name) {
+        // `AS` (the label) and other all-caps keyword-collisions are
+        // round-tripped by the parser's keyword-as-identifier mapping;
+        // anything that would come back in different case needs quoting.
+        Some(_) => !matches!(name, "AS" | "count" | "end" | "set" | "in" | "contains"
+            | "order" | "by" | "limit" | "skip" | "asc" | "desc" | "all" | "union"),
+        None => false,
+    };
+    let plain = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if reserved || !plain {
+        format!("`{name}`")
+    } else {
+        name.to_string()
+    }
+}
+
+/// Renders a whole query on one line.
+pub fn query_to_string(q: &Query) -> String {
+    q.clauses
+        .iter()
+        .map(clause_to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Renders a single clause.
+pub fn clause_to_string(c: &Clause) -> String {
+    match c {
+        Clause::Match(m) => {
+            let mut s = String::new();
+            if m.optional {
+                s.push_str("OPTIONAL ");
+            }
+            s.push_str("MATCH ");
+            s.push_str(
+                &m.patterns
+                    .iter()
+                    .map(pattern_to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            if let Some(w) = &m.where_clause {
+                write!(s, " WHERE {}", expr_to_string(w)).unwrap();
+            }
+            s
+        }
+        Clause::Unwind { expr, var } => format!("UNWIND {} AS {var}", expr_to_string(expr)),
+        Clause::With(p) => format!("WITH {}", projection_to_string(p)),
+        Clause::Return(p) => format!("RETURN {}", projection_to_string(p)),
+        Clause::Create { patterns } => format!(
+            "CREATE {}",
+            patterns
+                .iter()
+                .map(pattern_to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Clause::Merge { node } => format!("MERGE {}", node_to_string(node)),
+        Clause::Set { items } => format!(
+            "SET {}",
+            items
+                .iter()
+                .map(|it| match it {
+                    SetItem::Prop { var, key, expr } =>
+                        format!("{}.{} = {}", ident(var), ident(key), expr_to_string(expr)),
+                    SetItem::MergeMap { var, expr } =>
+                        format!("{} += {}", ident(var), expr_to_string(expr)),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Clause::Delete { vars, detach } => {
+            let kw = if *detach { "DETACH DELETE" } else { "DELETE" };
+            format!("{kw} {}", vars.join(", "))
+        }
+        Clause::Union { all } => {
+            if *all {
+                "UNION ALL".to_string()
+            } else {
+                "UNION".to_string()
+            }
+        }
+    }
+}
+
+fn projection_to_string(p: &ProjectionClause) -> String {
+    let mut s = String::new();
+    if p.distinct {
+        s.push_str("DISTINCT ");
+    }
+    let mut parts: Vec<String> = Vec::new();
+    if p.star {
+        parts.push("*".to_string());
+    }
+    parts.extend(p.items.iter().map(|it| match &it.alias {
+        Some(a) => format!("{} AS {a}", expr_to_string(&it.expr)),
+        None => expr_to_string(&it.expr),
+    }));
+    s.push_str(&parts.join(", "));
+    if !p.order_by.is_empty() {
+        s.push_str(" ORDER BY ");
+        s.push_str(
+            &p.order_by
+                .iter()
+                .map(|k| {
+                    let dir = if k.ascending { "" } else { " DESC" };
+                    format!("{}{dir}", expr_to_string(&k.expr))
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+    if let Some(e) = &p.skip {
+        write!(s, " SKIP {}", expr_to_string(e)).unwrap();
+    }
+    if let Some(e) = &p.limit {
+        write!(s, " LIMIT {}", expr_to_string(e)).unwrap();
+    }
+    if let Some(e) = &p.where_clause {
+        write!(s, " WHERE {}", expr_to_string(e)).unwrap();
+    }
+    s
+}
+
+/// Renders a pattern part.
+pub fn pattern_to_string(p: &PatternPart) -> String {
+    let mut s = String::new();
+    if let Some(v) = &p.path_var {
+        write!(s, "{v} = ").unwrap();
+    }
+    if p.shortest {
+        s.push_str("shortestPath(");
+    }
+    s.push_str(&node_to_string(&p.start));
+    for (rel, node) in &p.hops {
+        s.push_str(&rel_to_string(rel));
+        s.push_str(&node_to_string(node));
+    }
+    if p.shortest {
+        s.push(')');
+    }
+    s
+}
+
+fn node_to_string(n: &NodePattern) -> String {
+    let mut s = String::from("(");
+    if let Some(v) = &n.var {
+        s.push_str(v);
+    }
+    for l in &n.labels {
+        write!(s, ":{l}").unwrap();
+    }
+    if !n.props.is_empty() {
+        s.push_str(" {");
+        s.push_str(
+            &n.props
+                .iter()
+                .map(|(k, e)| format!("{}: {}", ident(k), expr_to_string(e)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        s.push('}');
+    }
+    s.push(')');
+    s
+}
+
+fn rel_to_string(r: &RelPattern) -> String {
+    let mut inner = String::new();
+    if let Some(v) = &r.var {
+        inner.push_str(v);
+    }
+    if !r.types.is_empty() {
+        write!(inner, ":{}", r.types.join("|")).unwrap();
+    }
+    if !r.hops.is_single() {
+        inner.push('*');
+        match (r.hops.min, r.hops.max) {
+            (min, Some(max)) if min == max => write!(inner, "{min}").unwrap(),
+            (min, Some(max)) => write!(inner, "{min}..{max}").unwrap(),
+            (1, None) => {}
+            (min, None) => write!(inner, "{min}..").unwrap(),
+        }
+    }
+    if !r.props.is_empty() {
+        inner.push_str(" {");
+        inner.push_str(
+            &r.props
+                .iter()
+                .map(|(k, e)| format!("{}: {}", ident(k), expr_to_string(e)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        inner.push('}');
+    }
+    let body = if inner.is_empty() {
+        String::new()
+    } else {
+        format!("[{inner}]")
+    };
+    match r.dir {
+        RelDir::Right => format!("-{body}->"),
+        RelDir::Left => format!("<-{body}-"),
+        RelDir::Undirected => format!("-{body}-"),
+    }
+}
+
+/// Precedence levels, mirroring the parser's grammar. A child expression
+/// whose level is *below* the level its position requires gets
+/// parenthesized, so rendering always re-parses to the same tree.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Bin(op, _, _) => match op {
+            BinOp::Or => 1,
+            BinOp::Xor => 2,
+            BinOp::And => 3,
+            BinOp::Eq
+            | BinOp::Neq
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::In
+            | BinOp::StartsWith
+            | BinOp::EndsWith
+            | BinOp::Contains
+            | BinOp::RegexMatch => 5,
+            BinOp::Add | BinOp::Sub => 6,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 7,
+            BinOp::Pow => 8,
+        },
+        Expr::Un(UnOp::Not, _) => 4,
+        Expr::IsNull(_, _) => 5,
+        Expr::Un(UnOp::Neg, _) => 9,
+        Expr::Prop(_, _) | Expr::Index(_, _) | Expr::Slice(_, _, _) => 10,
+        _ => 11, // atoms: literals, vars, params, calls, lists, maps, CASE
+    }
+}
+
+/// Renders an expression (top-level: no outer parentheses needed).
+pub fn expr_to_string(e: &Expr) -> String {
+    render(e, 0)
+}
+
+fn render(e: &Expr, min_prec: u8) -> String {
+    let p = prec(e);
+    let s = render_raw(e, p);
+    if p < min_prec {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+fn render_raw(e: &Expr, p: u8) -> String {
+    match e {
+        Expr::Lit(v) => lit_to_string(v),
+        Expr::Var(v) => ident(v),
+        Expr::Param(name) => format!("${name}"),
+        Expr::Prop(base, key) => format!("{}.{}", render(base, p), ident(key)),
+        Expr::Index(base, idx) => format!("{}[{}]", render(base, p), render(idx, 0)),
+        Expr::Slice(base, lo, hi) => format!(
+            "{}[{}..{}]",
+            render(base, p),
+            lo.as_ref().map(|e| render(e, 0)).unwrap_or_default(),
+            hi.as_ref().map(|e| render(e, 0)).unwrap_or_default()
+        ),
+        Expr::Bin(op, a, b) => {
+            let op_str = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Pow => "^",
+                BinOp::Eq => "=",
+                BinOp::Neq => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Xor => "XOR",
+                BinOp::In => "IN",
+                BinOp::StartsWith => "STARTS WITH",
+                BinOp::EndsWith => "ENDS WITH",
+                BinOp::Contains => "CONTAINS",
+                BinOp::RegexMatch => "=~",
+            };
+            // Comparisons are non-associative (both sides one level up);
+            // `^` is right-associative; the rest are left-associative.
+            let (lmin, rmin) = match op {
+                BinOp::Pow => (p + 1, p),
+                BinOp::Eq
+                | BinOp::Neq
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::In
+                | BinOp::StartsWith
+                | BinOp::EndsWith
+                | BinOp::Contains
+                | BinOp::RegexMatch => (p + 1, p + 1),
+                _ => (p, p + 1),
+            };
+            format!("{} {op_str} {}", render(a, lmin), render(b, rmin))
+        }
+        Expr::Un(UnOp::Not, a) => format!("NOT {}", render(a, p)),
+        Expr::Un(UnOp::Neg, a) => format!("-{}", render(a, p)),
+        Expr::IsNull(a, false) => format!("{} IS NULL", render(a, p + 1)),
+        Expr::IsNull(a, true) => format!("{} IS NOT NULL", render(a, p + 1)),
+        Expr::Call {
+            name,
+            distinct,
+            args,
+        } => {
+            let d = if *distinct { "DISTINCT " } else { "" };
+            format!(
+                "{name}({d}{})",
+                args.iter()
+                    .map(|a| render(a, 0))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }
+        Expr::Star => "*".to_string(),
+        Expr::List(items) => {
+            let rendered: Vec<String> = items
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    // `[x IN ...]` is comprehension syntax: a literal list
+                    // whose first element is a bare `var IN list` must be
+                    // disambiguated with parentheses.
+                    let ambiguous = i == 0
+                        && matches!(e, Expr::Bin(BinOp::In, lhs, _) if matches!(**lhs, Expr::Var(_)));
+                    if ambiguous {
+                        format!("({})", render(e, 0))
+                    } else {
+                        render(e, 0)
+                    }
+                })
+                .collect();
+            format!("[{}]", rendered.join(", "))
+        }
+        Expr::Map(items) => format!(
+            "{{{}}}",
+            items
+                .iter()
+                .map(|(k, e)| format!("{}: {}", ident(k), render(e, 0)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Expr::Case {
+            operand,
+            arms,
+            default,
+        } => {
+            let mut s = String::from("CASE");
+            if let Some(op) = operand {
+                write!(s, " {}", render(op, 0)).unwrap();
+            }
+            for (w, t) in arms {
+                write!(s, " WHEN {} THEN {}", render(w, 0), render(t, 0)).unwrap();
+            }
+            if let Some(d) = default {
+                write!(s, " ELSE {}", render(d, 0)).unwrap();
+            }
+            s.push_str(" END");
+            s
+        }
+        Expr::ListComp {
+            var,
+            list,
+            pred,
+            map,
+        } => {
+            let mut s = format!("[{var} IN {}", render(list, 0));
+            if let Some(pr) = pred {
+                write!(s, " WHERE {}", render(pr, 0)).unwrap();
+            }
+            if let Some(m) = map {
+                write!(s, " | {}", render(m, 0)).unwrap();
+            }
+            s.push(']');
+            s
+        }
+        Expr::ExistsProp(base, key) => format!("exists({}.{})", render(base, 10), ident(key)),
+        Expr::ExistsPattern(part) => format!("exists({})", pattern_to_string(part)),
+    }
+}
+
+fn lit_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
+        Value::List(items) => format!(
+            "[{}]",
+            items.iter().map(lit_to_string).collect::<Vec<_>>().join(", ")
+        ),
+        other => other.to_string(),
+    }
+}
+
+/// Parses and re-renders a query, producing a canonical single-line form.
+/// Two queries that differ only in whitespace/case-of-keywords compare
+/// equal after canonicalization.
+pub fn canonicalize(src: &str) -> Result<String, crate::error::CypherError> {
+    Ok(query_to_string(&crate::parser::parse(src)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let q1 = parse(src).unwrap();
+        let rendered = query_to_string(&q1);
+        let q2 = parse(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse of '{rendered}' failed: {e}"));
+        assert_eq!(
+            q1, q2,
+            "AST changed after round-trip: {src} -> {rendered}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_stability() {
+        for src in [
+            "MATCH (a:AS {asn: 2497})-[:COUNTRY]->(c:Country) RETURN c.country_code",
+            "MATCH (a:AS)-[:ORIGINATE]->(p:Prefix) WHERE p.af = 4 RETURN a.asn, count(p) AS cnt ORDER BY cnt DESC LIMIT 5",
+            "MATCH (a)-[:PEERS_WITH|MEMBER_OF*1..3]-(b) RETURN DISTINCT b",
+            "UNWIND [1, 2, 3] AS x RETURN x * 2 AS doubled",
+            "MATCH (a:AS) WHERE a.name STARTS WITH 'G' AND NOT a.asn IN [1, 2] RETURN a",
+            "MATCH (c:Country) OPTIONAL MATCH (c)<-[:COUNTRY]-(a:AS) RETURN c.country_code, count(a)",
+            "MATCH (a) RETURN CASE WHEN a.rank < 10 THEN 'top' ELSE 'rest' END AS tier",
+            "MERGE (c:Country {country_code: 'JP'}) SET c.name = 'Japan'",
+            "MATCH (a:AS) RETURN a.asn SKIP 2 LIMIT 3",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn canonicalization_normalizes_case_and_space() {
+        let a = canonicalize("match (a:AS)   return a.asn").unwrap();
+        let b = canonicalize("MATCH (a:AS) RETURN a.asn").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_literal_escaping() {
+        let q = parse("RETURN 'it\\'s'").unwrap();
+        let s = query_to_string(&q);
+        assert!(s.contains("\\'"));
+        roundtrip("RETURN 'it\\'s'");
+    }
+
+    #[test]
+    fn boolean_parenthesization_preserves_structure() {
+        roundtrip("MATCH (a) WHERE (a.x = 1 OR a.y = 2) AND a.z = 3 RETURN a");
+    }
+}

@@ -1,0 +1,209 @@
+//! Query result tables.
+
+use iyp_graphdb::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A materialized query result: named columns and value rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct QueryResult {
+    /// Output column names, in `RETURN` order.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// A result with no rows and no columns.
+    pub fn empty() -> Self {
+        QueryResult::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single value of a 1×1 result, if that is the shape.
+    pub fn single_value(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// Column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Iterates the values of one column.
+    pub fn column(&self, name: &str) -> Option<Vec<&Value>> {
+        let i = self.column_index(name)?;
+        Some(self.rows.iter().map(|r| &r[i]).collect())
+    }
+
+    /// A canonical, order-insensitive fingerprint of the result contents,
+    /// used to compare a generated query's result against a gold query's
+    /// result. Column names are ignored (aliases differ harmlessly); row
+    /// order is ignored unless the caller says it matters.
+    pub fn fingerprint(&self, ordered: bool) -> String {
+        let mut rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(canonical_value)
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect();
+        if !ordered {
+            rows.sort();
+        }
+        rows.join("\n")
+    }
+}
+
+fn canonical_value(v: &Value) -> String {
+    match v {
+        Value::Float(f) => {
+            // Fold float noise so 33.299999999 and 33.3 fingerprint equal.
+            format!("{:.6}", f)
+        }
+        Value::Int(i) => format!("{:.6}", *i as f64),
+        Value::List(items) => format!(
+            "[{}]",
+            items.iter().map(canonical_value).collect::<Vec<_>>().join(",")
+        ),
+        Value::Map(m) => format!(
+            "{{{}}}",
+            m.iter()
+                .map(|(k, v)| format!("{k}:{}", canonical_value(v)))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        other => other.to_string(),
+    }
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Simple fixed-width table.
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{:width$}", c, width = widths[i])?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-")
+        )?;
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{:width$}", cell, width = widths.get(i).copied().unwrap_or(0))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qr(cols: &[&str], rows: Vec<Vec<Value>>) -> QueryResult {
+        QueryResult {
+            columns: cols.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
+    }
+
+    #[test]
+    fn single_value_shape() {
+        let r = qr(&["n"], vec![vec![Value::Int(5)]]);
+        assert_eq!(r.single_value(), Some(&Value::Int(5)));
+        let r2 = qr(&["n"], vec![vec![Value::Int(5)], vec![Value::Int(6)]]);
+        assert!(r2.single_value().is_none());
+    }
+
+    #[test]
+    fn fingerprint_order_insensitive() {
+        let a = qr(
+            &["x"],
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        let b = qr(
+            &["y"],
+            vec![vec![Value::Int(2)], vec![Value::Int(1)]],
+        );
+        assert_eq!(a.fingerprint(false), b.fingerprint(false));
+        assert_ne!(a.fingerprint(true), b.fingerprint(true));
+    }
+
+    #[test]
+    fn fingerprint_folds_float_noise_and_int_float() {
+        let a = qr(&["x"], vec![vec![Value::Float(33.3)]]);
+        let b = qr(&["x"], vec![vec![Value::Float(33.300000001)]]);
+        assert_eq!(a.fingerprint(false), b.fingerprint(false));
+        let c = qr(&["x"], vec![vec![Value::Int(5)]]);
+        let d = qr(&["x"], vec![vec![Value::Float(5.0)]]);
+        assert_eq!(c.fingerprint(false), d.fingerprint(false));
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let r = qr(
+            &["asn", "name"],
+            vec![vec![Value::Int(2497), Value::from("IIJ")]],
+        );
+        let s = r.to_string();
+        assert!(s.contains("asn"));
+        assert!(s.contains("2497"));
+        assert!(s.contains("IIJ"));
+    }
+
+    #[test]
+    fn column_access() {
+        let r = qr(
+            &["asn", "name"],
+            vec![
+                vec![Value::Int(1), Value::from("a")],
+                vec![Value::Int(2), Value::from("b")],
+            ],
+        );
+        let col = r.column("asn").unwrap();
+        assert_eq!(col, vec![&Value::Int(1), &Value::Int(2)]);
+        assert!(r.column("missing").is_none());
+    }
+}

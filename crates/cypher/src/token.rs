@@ -1,0 +1,240 @@
+//! Token definitions for the Cypher lexer.
+
+use std::fmt;
+
+/// A source position (1-based line/column plus byte offset), carried on
+/// every token and every error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Byte offset into the query string.
+    pub offset: usize,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Keywords recognized by the parser. Cypher keywords are case-insensitive;
+/// the lexer normalizes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Match,
+    Optional,
+    Where,
+    Return,
+    With,
+    Unwind,
+    As,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Skip,
+    Limit,
+    Distinct,
+    And,
+    Or,
+    Xor,
+    Not,
+    In,
+    Starts,
+    Ends,
+    Contains,
+    Is,
+    Null,
+    True,
+    False,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Create,
+    Merge,
+    Set,
+    Delete,
+    Detach,
+    Count,
+    Exists,
+    Union,
+    All,
+    Remove,
+}
+
+impl Keyword {
+    /// Parses a keyword from an identifier (case-insensitive).
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        let up = s.to_ascii_uppercase();
+        Some(match up.as_str() {
+            "MATCH" => Keyword::Match,
+            "OPTIONAL" => Keyword::Optional,
+            "WHERE" => Keyword::Where,
+            "RETURN" => Keyword::Return,
+            "WITH" => Keyword::With,
+            "UNWIND" => Keyword::Unwind,
+            "AS" => Keyword::As,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "ASC" | "ASCENDING" => Keyword::Asc,
+            "DESC" | "DESCENDING" => Keyword::Desc,
+            "SKIP" => Keyword::Skip,
+            "LIMIT" => Keyword::Limit,
+            "DISTINCT" => Keyword::Distinct,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "XOR" => Keyword::Xor,
+            "NOT" => Keyword::Not,
+            "IN" => Keyword::In,
+            "STARTS" => Keyword::Starts,
+            "ENDS" => Keyword::Ends,
+            "CONTAINS" => Keyword::Contains,
+            "IS" => Keyword::Is,
+            "NULL" => Keyword::Null,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "CASE" => Keyword::Case,
+            "WHEN" => Keyword::When,
+            "THEN" => Keyword::Then,
+            "ELSE" => Keyword::Else,
+            "END" => Keyword::End,
+            "CREATE" => Keyword::Create,
+            "MERGE" => Keyword::Merge,
+            "SET" => Keyword::Set,
+            "DELETE" => Keyword::Delete,
+            "DETACH" => Keyword::Detach,
+            "EXISTS" => Keyword::Exists,
+            "UNION" => Keyword::Union,
+            "REMOVE" => Keyword::Remove,
+            "ALL" => Keyword::All,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword (case-insensitive in source).
+    Kw(Keyword),
+    /// Identifier: variable, label, relationship type, function or
+    /// property name. Backtick-quoted identifiers also land here.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes and escapes already processed).
+    Str(String),
+    /// `$name` query parameter.
+    Param(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `|`
+    Pipe,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^`
+    Caret,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=~` regex-ish match (we implement substring/wildcard semantics)
+    RegexMatch,
+    /// `->`
+    ArrowRight,
+    /// `<-`
+    ArrowLeft,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Kw(k) => write!(f, "{k:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Param(p) => write!(f, "${p}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+            Tok::Dot => write!(f, "."),
+            Tok::DotDot => write!(f, ".."),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Caret => write!(f, "^"),
+            Tok::Eq => write!(f, "="),
+            Tok::Neq => write!(f, "<>"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::RegexMatch => write!(f, "=~"),
+            Tok::ArrowRight => write!(f, "->"),
+            Tok::ArrowLeft => write!(f, "<-"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}

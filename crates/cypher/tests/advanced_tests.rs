@@ -1,0 +1,350 @@
+//! Advanced executor scenarios: features in combination, IYP-realistic
+//! analytical queries, and edge-case semantics.
+
+use iyp_cypher::{query, query_with, update, Params, QueryResult};
+use iyp_data::{generate, IypConfig};
+use iyp_graphdb::{props, Graph, Props, Value};
+
+fn iyp() -> Graph {
+    generate(&IypConfig::tiny()).graph
+}
+
+fn col0(r: &QueryResult) -> Vec<String> {
+    r.rows.iter().map(|row| row[0].to_string()).collect()
+}
+
+#[test]
+fn with_chain_of_three_stages() {
+    let g = iyp();
+    // Countries → AS counts → keep big ones → average of those counts.
+    let r = query(
+        &g,
+        "MATCH (a:AS)-[:COUNTRY]->(c:Country) \
+         WITH c, count(a) AS n \
+         WITH n WHERE n >= 2 \
+         RETURN count(n) AS countries, avg(n) AS mean_ases",
+    )
+    .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert!(r.rows[0][0].as_int().unwrap() >= 1);
+    assert!(r.rows[0][1].as_f64().unwrap() >= 2.0);
+}
+
+#[test]
+fn unwind_collect_roundtrip() {
+    let g = iyp();
+    let r = query(
+        &g,
+        "MATCH (a:AS)-[:COUNTRY]->(c:Country {country_code: 'JP'}) \
+         WITH collect(a.asn) AS asns \
+         UNWIND asns AS asn RETURN count(asn)",
+    )
+    .unwrap();
+    let direct = query(
+        &g,
+        "MATCH (a:AS)-[:COUNTRY]->(c:Country {country_code: 'JP'}) RETURN count(a)",
+    )
+    .unwrap();
+    assert_eq!(r.single_value(), direct.single_value());
+}
+
+#[test]
+fn case_with_aggregation_buckets() {
+    let g = iyp();
+    let r = query(
+        &g,
+        "MATCH (a:AS)-[r:RANK]->(:Ranking {name: 'CAIDA ASRank'}) \
+         RETURN CASE WHEN r.rank <= 10 THEN 'top10' ELSE 'rest' END AS tier, count(a) \
+         ORDER BY tier",
+    )
+    .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    let rest = &r.rows[0];
+    let top = &r.rows[1];
+    assert_eq!(top[0], Value::from("top10"));
+    assert_eq!(top[1], Value::Int(10));
+    assert!(rest[1].as_int().unwrap() > 10);
+}
+
+#[test]
+fn multihop_with_property_math() {
+    let g = iyp();
+    // Population-weighted rank: percent / rank for JP eyeballs.
+    let r = query(
+        &g,
+        "MATCH (a:AS)-[p:POPULATION]->(:Country {country_code: 'JP'}) \
+         MATCH (a)-[r:RANK]->(:Ranking {name: 'CAIDA ASRank'}) \
+         RETURN a.asn, round(p.percent / r.rank, 3) AS weighted \
+         ORDER BY weighted DESC LIMIT 3",
+    )
+    .unwrap();
+    assert!(!r.is_empty());
+    // Descending order respected.
+    let w: Vec<f64> = r.rows.iter().map(|row| row[1].as_f64().unwrap()).collect();
+    for pair in w.windows(2) {
+        assert!(pair[0] >= pair[1]);
+    }
+}
+
+#[test]
+fn optional_match_preserves_aggregate_zero() {
+    let mut g = Graph::new();
+    g.add_node(["Country"], props!("country_code" => "XX"));
+    let r = query(
+        &g,
+        "MATCH (c:Country) OPTIONAL MATCH (c)<-[:COUNTRY]-(a:AS) \
+         RETURN c.country_code, count(a)",
+    )
+    .unwrap();
+    assert_eq!(r.rows[0], vec![Value::from("XX"), Value::Int(0)]);
+}
+
+#[test]
+fn union_combines_entity_classes() {
+    let g = iyp();
+    let r = query(
+        &g,
+        "MATCH (x:IXP) RETURN x.name AS name \
+         UNION MATCH (f:Facility) RETURN f.name AS name",
+    )
+    .unwrap();
+    let ixps = g.label_count("IXP");
+    let facs = g.label_count("Facility");
+    // Names are unique across both sets in the generator.
+    assert_eq!(r.rows.len(), ixps + facs);
+}
+
+#[test]
+fn shortest_path_on_the_as_hierarchy() {
+    let g = iyp();
+    // Shortest dependency path from some stub to a tier-1 exists and is
+    // no longer than the var-length cap.
+    let r = query(
+        &g,
+        "MATCH p = shortestPath((a:AS {asn: 2497})-[:DEPENDS_ON*1..4]->(t:AS {asn: 1299})) \
+         RETURN length(p)",
+    )
+    .unwrap();
+    if let Some(v) = r.single_value() {
+        let len = v.as_int().unwrap();
+        assert!((1..=4).contains(&len));
+    } // absence is fine: 2497's providers are seeded
+}
+
+#[test]
+fn parameterized_in_list() {
+    let g = iyp();
+    let mut params = Params::new();
+    params.insert(
+        "asns".into(),
+        Value::List(vec![Value::Int(2497), Value::Int(15169), Value::Int(999_999)]),
+    );
+    let r = query_with(
+        &g,
+        "MATCH (a:AS) WHERE a.asn IN $asns RETURN a.asn ORDER BY a.asn",
+        &params,
+    )
+    .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::Int(2497)], vec![Value::Int(15169)]]
+    );
+}
+
+#[test]
+fn string_functions_compose_in_where() {
+    let g = iyp();
+    let r = query(
+        &g,
+        "MATCH (d:DomainName) WHERE toUpper(d.name) ENDS WITH '.COM' \
+         RETURN count(d)",
+    );
+    // toUpper produces '.COM' for .com domains.
+    let n = r.unwrap().single_value().unwrap().as_int().unwrap();
+    let total = query(&g, "MATCH (d:DomainName) RETURN count(d)")
+        .unwrap()
+        .single_value()
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert!(n > 0 && n < total);
+}
+
+#[test]
+fn collect_distinct_and_size() {
+    let g = iyp();
+    let r = query(
+        &g,
+        "MATCH (a:AS)-[:COUNTRY]->(c:Country) \
+         WITH collect(DISTINCT c.country_code) AS codes \
+         RETURN size(codes)",
+    )
+    .unwrap();
+    let distinct = query(
+        &g,
+        "MATCH (:AS)-[:COUNTRY]->(c:Country) RETURN count(DISTINCT c.country_code)",
+    )
+    .unwrap();
+    assert_eq!(r.single_value(), distinct.single_value());
+}
+
+#[test]
+fn list_comprehension_over_collected_values() {
+    let g = iyp();
+    let r = query(
+        &g,
+        "MATCH (a:AS)-[r:RANK]->(:Ranking {name: 'CAIDA ASRank'}) \
+         WITH collect(r.rank) AS ranks \
+         RETURN size([x IN ranks WHERE x <= 5]) AS top5",
+    )
+    .unwrap();
+    assert_eq!(r.single_value(), Some(&Value::Int(5)));
+}
+
+#[test]
+fn write_then_union_read() {
+    let mut g = iyp();
+    update(
+        &mut g,
+        "CREATE (x:IXP {name: 'Test-IX'})",
+    )
+    .unwrap();
+    let r = query(
+        &g,
+        "MATCH (x:IXP {name: 'Test-IX'}) RETURN x.name \
+         UNION MATCH (x:IXP {name: 'Tokyo-IX'}) RETURN x.name",
+    )
+    .unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+#[test]
+fn merge_inside_load_sequence_is_idempotent() {
+    let mut g = Graph::new();
+    for _ in 0..3 {
+        update(&mut g, "MERGE (c:Country {country_code: 'JP'})").unwrap();
+        update(
+            &mut g,
+            "MATCH (c:Country {country_code: 'JP'}) SET c.name = 'Japan'",
+        )
+        .unwrap();
+    }
+    assert_eq!(g.node_count(), 1);
+    let r = query(&g, "MATCH (c:Country) RETURN c.name").unwrap();
+    assert_eq!(col0(&r), vec!["Japan"]);
+}
+
+#[test]
+fn self_loop_patterns_dont_double_count() {
+    let mut g = Graph::new();
+    let a = g.add_node(["AS"], props!("asn" => 1i64));
+    g.add_rel(a, "PEERS_WITH", a, Props::new()).unwrap();
+    let r = query(&g, "MATCH (a)-[r:PEERS_WITH]-(b) RETURN count(r)").unwrap();
+    assert_eq!(r.single_value(), Some(&Value::Int(1)));
+}
+
+#[test]
+fn null_handling_in_order_by_puts_nulls_last() {
+    let mut g = Graph::new();
+    g.add_node(["N"], props!("v" => 2i64));
+    g.add_node(["N"], Props::new()); // no `v`
+    g.add_node(["N"], props!("v" => 1i64));
+    let r = query(&g, "MATCH (n:N) RETURN n.v ORDER BY n.v").unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Null]]
+    );
+}
+
+#[test]
+fn deep_var_length_respects_cap() {
+    // A 12-node chain: `*` caps expansion at VARLEN_CAP hops.
+    let mut g = Graph::new();
+    let ids: Vec<_> = (0..12)
+        .map(|i| g.add_node(["N"], props!("i" => i as i64)))
+        .collect();
+    for w in ids.windows(2) {
+        g.add_rel(w[0], "R", w[1], Props::new()).unwrap();
+    }
+    let r = query(
+        &g,
+        "MATCH (s:N {i: 0})-[:R*]->(e:N) RETURN max(e.i)",
+    )
+    .unwrap();
+    assert_eq!(
+        r.single_value(),
+        Some(&Value::Int(iyp_cypher::exec::VARLEN_CAP as i64))
+    );
+    // An explicit larger bound reaches further.
+    let r = query(&g, "MATCH (s:N {i: 0})-[:R*1..11]->(e:N) RETURN max(e.i)").unwrap();
+    assert_eq!(r.single_value(), Some(&Value::Int(11)));
+}
+
+#[test]
+fn percentile_cont_median_against_sorted_values() {
+    let mut g = Graph::new();
+    for v in [10i64, 20, 30, 40] {
+        g.add_node(["N"], props!("v" => v));
+    }
+    let r = query(&g, "MATCH (n:N) RETURN percentileCont(n.v, 0.5)").unwrap();
+    assert_eq!(r.single_value(), Some(&Value::Float(25.0)));
+    let r = query(&g, "MATCH (n:N) RETURN percentileCont(n.v, 1.0)").unwrap();
+    assert_eq!(r.single_value(), Some(&Value::Float(40.0)));
+}
+
+#[test]
+fn distinct_applies_to_every_aggregate() {
+    let mut g = Graph::new();
+    for v in [10i64, 10, 20, 20, 30] {
+        g.add_node(["N"], props!("v" => v));
+    }
+    let r = query(
+        &g,
+        "MATCH (n:N) RETURN sum(DISTINCT n.v), avg(DISTINCT n.v), \
+         count(DISTINCT n.v), collect(DISTINCT n.v)",
+    )
+    .unwrap();
+    let row = &r.rows[0];
+    assert_eq!(row[0], Value::Int(60));
+    assert_eq!(row[1], Value::Float(20.0));
+    assert_eq!(row[2], Value::Int(3));
+    assert_eq!(row[3], Value::from(vec![10i64, 20, 30]));
+    // And without DISTINCT the duplicates count.
+    let r = query(&g, "MATCH (n:N) RETURN sum(n.v), count(n.v)").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(90));
+    assert_eq!(r.rows[0][1], Value::Int(5));
+}
+
+#[test]
+fn set_plus_equals_merges_maps() {
+    let mut g = Graph::new();
+    g.add_node(["AS"], props!("asn" => 1i64, "name" => "Old"));
+    update(
+        &mut g,
+        "MATCH (a:AS {asn: 1}) SET a += {name: 'New', tier: 'stub'}",
+    )
+    .unwrap();
+    let r = query(&g, "MATCH (a:AS {asn: 1}) RETURN a.name, a.tier, a.asn").unwrap();
+    assert_eq!(
+        r.rows[0],
+        vec![Value::from("New"), Value::from("stub"), Value::Int(1)]
+    );
+}
+
+#[test]
+fn remove_clears_properties() {
+    let mut g = Graph::new();
+    g.add_node(["AS"], props!("asn" => 1i64, "name" => "X", "tier" => "stub"));
+    update(&mut g, "MATCH (a:AS {asn: 1}) REMOVE a.name, a.tier").unwrap();
+    let r = query(&g, "MATCH (a:AS {asn: 1}) RETURN a.name, a.tier").unwrap();
+    assert!(r.rows[0][0].is_null());
+    assert!(r.rows[0][1].is_null());
+}
+
+#[test]
+fn set_merge_map_rejects_non_map() {
+    let mut g = Graph::new();
+    g.add_node(["AS"], props!("asn" => 1i64));
+    let err = update(&mut g, "MATCH (a:AS {asn: 1}) SET a += 5").unwrap_err();
+    assert!(err.message.contains("map"), "{err}");
+}

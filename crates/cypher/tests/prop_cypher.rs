@@ -1,0 +1,219 @@
+//! Property tests for the Cypher engine: pretty-printer round-trips over
+//! generated expressions, and executor invariants over random graphs.
+
+use iyp_cypher::ast::{BinOp, Expr, UnOp};
+use iyp_cypher::{parse_expression, pretty, query};
+use iyp_graphdb::{Graph, Props, Value};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// Expression round-trip: render(parse(render(e))) == render(e)
+// ----------------------------------------------------------------------
+
+fn leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Expr::Lit(Value::Int(i64::from(i)))),
+        (-1000i32..1000).prop_map(|i| Expr::Lit(Value::Float(f64::from(i) / 8.0))),
+        "[a-z][a-z0-9]{0,6}".prop_map(Expr::Var),
+        "[a-z]{1,8}".prop_map(|s| Expr::Lit(Value::Str(s))),
+        Just(Expr::Lit(Value::Bool(true))),
+        Just(Expr::Lit(Value::Null)),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    leaf().prop_recursive(3, 24, 4, |inner| {
+        let bin_ops = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Eq),
+            Just(BinOp::Lt),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+            Just(BinOp::In),
+            Just(BinOp::Contains),
+        ];
+        prop_oneof![
+            (bin_ops, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Un(UnOp::Not, Box::new(Expr::IsNull(Box::new(a), false)))),
+            (inner.clone(), "[a-z]{1,6}")
+                .prop_map(|(a, k)| Expr::Prop(Box::new(a), k)),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Expr::List),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Case {
+                operand: None,
+                arms: vec![(Expr::Lit(Value::Bool(true)), a)],
+                default: Some(Box::new(b)),
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expression_pretty_parse_roundtrip(e in expr_strategy()) {
+        let rendered = pretty::expr_to_string(&e);
+        let reparsed = parse_expression(&rendered)
+            .unwrap_or_else(|err| panic!("render produced unparseable text {rendered:?}: {err}"));
+        // Idempotence: rendering the reparsed tree gives the same text.
+        prop_assert_eq!(pretty::expr_to_string(&reparsed), rendered);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Executor invariants on random graphs
+// ----------------------------------------------------------------------
+
+fn random_graph(seedish: &[(u8, i64)], edges: &[(usize, usize)]) -> Graph {
+    let mut g = Graph::new();
+    let mut ids = Vec::new();
+    for (label, key) in seedish {
+        let mut p = Props::new();
+        p.set("key", *key);
+        let label = ["A", "B", "C"][*label as usize % 3];
+        ids.push(g.add_node([label], p));
+    }
+    for (s, d) in edges {
+        if !ids.is_empty() {
+            let s = ids[s % ids.len()];
+            let d = ids[d % ids.len()];
+            g.add_rel(s, "R", d, Props::new()).unwrap();
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn limit_caps_rows(
+        nodes in proptest::collection::vec((0u8..3, -50i64..50), 0..40),
+        limit in 0usize..20,
+    ) {
+        let g = random_graph(&nodes, &[]);
+        let r = query(&g, &format!("MATCH (n) RETURN n.key LIMIT {limit}")).unwrap();
+        prop_assert!(r.rows.len() <= limit);
+        prop_assert!(r.rows.len() <= g.node_count());
+    }
+
+    #[test]
+    fn count_star_equals_node_count(
+        nodes in proptest::collection::vec((0u8..3, -50i64..50), 0..40),
+    ) {
+        let g = random_graph(&nodes, &[]);
+        let r = query(&g, "MATCH (n) RETURN count(*)").unwrap();
+        prop_assert_eq!(r.single_value(), Some(&Value::Int(g.node_count() as i64)));
+    }
+
+    #[test]
+    fn distinct_never_increases_and_dedups(
+        nodes in proptest::collection::vec((0u8..3, -5i64..5), 0..40),
+    ) {
+        let g = random_graph(&nodes, &[]);
+        let all = query(&g, "MATCH (n) RETURN n.key").unwrap();
+        let distinct = query(&g, "MATCH (n) RETURN DISTINCT n.key").unwrap();
+        prop_assert!(distinct.rows.len() <= all.rows.len());
+        // Re-applying DISTINCT is a fixpoint.
+        let mut seen = std::collections::HashSet::new();
+        for row in &distinct.rows {
+            prop_assert!(seen.insert(format!("{:?}", row)), "duplicate after DISTINCT");
+        }
+    }
+
+    #[test]
+    fn order_by_sorts(
+        nodes in proptest::collection::vec((0u8..3, -50i64..50), 0..40),
+    ) {
+        let g = random_graph(&nodes, &[]);
+        let r = query(&g, "MATCH (n) RETURN n.key ORDER BY n.key").unwrap();
+        let keys: Vec<i64> = r.rows.iter().filter_map(|row| row[0].as_int()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        prop_assert_eq!(keys, sorted);
+        // DESC is the exact reverse ordering.
+        let rd = query(&g, "MATCH (n) RETURN n.key ORDER BY n.key DESC").unwrap();
+        let keys_desc: Vec<i64> = rd.rows.iter().filter_map(|row| row[0].as_int()).collect();
+        let mut rev = keys_desc.clone();
+        rev.sort();
+        let mut expect: Vec<i64> = rev;
+        expect.reverse();
+        prop_assert_eq!(keys_desc, expect);
+    }
+
+    #[test]
+    fn where_partition_is_exhaustive(
+        nodes in proptest::collection::vec((0u8..3, -50i64..50), 0..40),
+        pivot in -50i64..50,
+    ) {
+        let g = random_graph(&nodes, &[]);
+        let total = query(&g, "MATCH (n) RETURN count(*)").unwrap();
+        let lo = query(&g, &format!("MATCH (n) WHERE n.key < {pivot} RETURN count(*)")).unwrap();
+        let hi = query(&g, &format!("MATCH (n) WHERE n.key >= {pivot} RETURN count(*)")).unwrap();
+        let t = total.single_value().unwrap().as_int().unwrap();
+        let l = lo.single_value().unwrap().as_int().unwrap();
+        let h = hi.single_value().unwrap().as_int().unwrap();
+        prop_assert_eq!(t, l + h, "WHERE partition lost rows");
+    }
+
+    #[test]
+    fn expand_matches_adjacency(
+        nodes in proptest::collection::vec((0u8..3, -50i64..50), 1..25),
+        edges in proptest::collection::vec((any::<usize>(), any::<usize>()), 0..60),
+    ) {
+        let g = random_graph(&nodes, &edges);
+        let r = query(&g, "MATCH (a)-[r:R]->(b) RETURN count(r)").unwrap();
+        prop_assert_eq!(
+            r.single_value(),
+            Some(&Value::Int(g.rel_count() as i64))
+        );
+        // Undirected traversal sees each edge from both sides except
+        // self-loops, which appear once per side but bind distinct rows.
+        let undirected = query(&g, "MATCH (a)-[r:R]-(b) RETURN count(r)").unwrap();
+        let u = undirected.single_value().unwrap().as_int().unwrap();
+        prop_assert!(u >= g.rel_count() as i64);
+        prop_assert!(u <= 2 * g.rel_count() as i64);
+    }
+
+    #[test]
+    fn aggregate_sum_matches_manual(
+        nodes in proptest::collection::vec((0u8..3, -50i64..50), 0..40),
+    ) {
+        let g = random_graph(&nodes, &[]);
+        let manual: i64 = g
+            .all_nodes()
+            .filter_map(|id| g.node(id).unwrap().props.get("key").and_then(Value::as_int))
+            .sum();
+        let r = query(&g, "MATCH (n) RETURN sum(n.key)").unwrap();
+        prop_assert_eq!(r.single_value(), Some(&Value::Int(manual)));
+    }
+
+    #[test]
+    fn skip_plus_limit_tile_the_results(
+        nodes in proptest::collection::vec((0u8..3, -50i64..50), 0..30),
+        chunk in 1usize..7,
+    ) {
+        let g = random_graph(&nodes, &[]);
+        let all = query(&g, "MATCH (n) RETURN n.key ORDER BY n.key, id(n)").unwrap();
+        let mut tiled = Vec::new();
+        let mut skip = 0;
+        loop {
+            let page = query(
+                &g,
+                &format!("MATCH (n) RETURN n.key ORDER BY n.key, id(n) SKIP {skip} LIMIT {chunk}"),
+            )
+            .unwrap();
+            if page.rows.is_empty() {
+                break;
+            }
+            tiled.extend(page.rows);
+            skip += chunk;
+        }
+        prop_assert_eq!(tiled, all.rows);
+    }
+}

@@ -1,0 +1,129 @@
+//! A document store pairing texts with their embeddings and a flat index —
+//! the unit the VectorContextRetriever searches over.
+
+use crate::embedder::{Embedder, Vector};
+use crate::index::{FlatIndex, Hit};
+
+/// A stored document.
+#[derive(Debug, Clone)]
+pub struct Doc {
+    /// Short title.
+    pub title: String,
+    /// Full text (what gets embedded and returned as context).
+    pub text: String,
+    /// Opaque tag the caller can use to map back to its own ids
+    /// (e.g. a graph `NodeId`).
+    pub tag: u64,
+}
+
+/// A searchable corpus of documents.
+pub struct DocStore {
+    embedder: Embedder,
+    docs: Vec<Doc>,
+    index: FlatIndex,
+}
+
+/// A search result with its document.
+#[derive(Debug, Clone)]
+pub struct DocHit<'a> {
+    /// The matched document.
+    pub doc: &'a Doc,
+    /// Cosine similarity.
+    pub score: f32,
+}
+
+impl DocStore {
+    /// Creates an empty store with the default embedder.
+    pub fn new() -> Self {
+        DocStore {
+            embedder: Embedder::default(),
+            docs: Vec::new(),
+            index: FlatIndex::new(),
+        }
+    }
+
+    /// Adds a document.
+    pub fn add(&mut self, title: impl Into<String>, text: impl Into<String>, tag: u64) {
+        let doc = Doc {
+            title: title.into(),
+            text: text.into(),
+            tag,
+        };
+        // Title is embedded twice as heavily as once: it names the entity.
+        let embed_text = format!("{} {} {}", doc.title, doc.title, doc.text);
+        self.index.add(self.embedder.embed(&embed_text));
+        self.docs.push(doc);
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Top-`k` documents for a query.
+    pub fn search(&self, query: &str, k: usize) -> Vec<DocHit<'_>> {
+        let qv = self.embedder.embed(query);
+        self.search_vec(&qv, k)
+    }
+
+    /// Top-`k` documents for a pre-embedded query.
+    pub fn search_vec(&self, query: &Vector, k: usize) -> Vec<DocHit<'_>> {
+        self.index
+            .search(query, k)
+            .into_iter()
+            .map(|Hit { doc, score }| DocHit {
+                doc: &self.docs[doc],
+                score,
+            })
+            .collect()
+    }
+
+    /// The embedder, for callers that need consistent query embeddings.
+    pub fn embedder(&self) -> &Embedder {
+        &self.embedder
+    }
+}
+
+impl Default for DocStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_search() {
+        let mut store = DocStore::new();
+        store.add("AS2497 IIJ", "IIJ is registered in Japan and serves 33% of its population", 1);
+        store.add("AS15169 Google", "Google is a content and cloud network in the United States", 2);
+        store.add("JPIX", "JPIX is an Internet exchange point in Tokyo with 40 members", 3);
+
+        let hits = store.search("population of Japan", 2);
+        assert_eq!(hits[0].doc.tag, 1, "got {:?}", hits[0].doc.title);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn title_boost_helps_entity_queries() {
+        let mut store = DocStore::new();
+        store.add("AS2497 IIJ", "an autonomous system", 1);
+        store.add("AS7018 ATT", "an autonomous system", 2);
+        let hits = store.search("tell me about AS2497", 1);
+        assert_eq!(hits[0].doc.tag, 1);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = DocStore::new();
+        assert!(store.search("anything", 3).is_empty());
+        assert!(store.is_empty());
+    }
+}

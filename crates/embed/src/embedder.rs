@@ -1,0 +1,172 @@
+//! A deterministic feature-hashing text embedder.
+//!
+//! Stands in for the dense neural embeddings the paper's
+//! VectorContextRetriever uses: each word unigram, bigram and character
+//! trigram is hashed into a fixed-dimension vector (with a signed hashing
+//! trick), then L2-normalized. Texts sharing vocabulary and phrasing land
+//! close in cosine space, which is the property the retriever and
+//! BERTScore-style metric rely on.
+
+use crate::tokenize::{char_trigrams, word_ngrams, words};
+use serde::{Deserialize, Serialize};
+
+/// Default embedding dimensionality.
+pub const DEFAULT_DIM: usize = 256;
+
+/// A dense embedding vector (L2-normalized unless all-zero).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vector(pub Vec<f32>);
+
+impl Vector {
+    /// Cosine similarity. Zero vectors yield 0.
+    pub fn cosine(&self, other: &Vector) -> f32 {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// The hashing embedder.
+#[derive(Debug, Clone)]
+pub struct Embedder {
+    dim: usize,
+}
+
+impl Default for Embedder {
+    fn default() -> Self {
+        Embedder { dim: DEFAULT_DIM }
+    }
+}
+
+impl Embedder {
+    /// Creates an embedder with the given dimensionality.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 8, "embedding dimension too small");
+        Embedder { dim }
+    }
+
+    /// Embeds a text into a normalized vector.
+    pub fn embed(&self, text: &str) -> Vector {
+        let mut v = vec![0f32; self.dim];
+        let tokens = words(text);
+        // Unigrams (weight 1.0), bigrams (1.5 — phrase structure matters),
+        // char trigrams (0.5 — robustness to morphology/typos).
+        for t in &tokens {
+            self.add_feature(&mut v, t, 1.0);
+            for g in char_trigrams(t) {
+                self.add_feature(&mut v, &g, 0.5);
+            }
+        }
+        for g in word_ngrams(&tokens, 2) {
+            self.add_feature(&mut v, &g, 1.5);
+        }
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        Vector(v)
+    }
+
+    /// Per-token embedding (used by the BERTScore-style metric's greedy
+    /// token matching).
+    pub fn embed_token(&self, token: &str) -> Vector {
+        let mut v = vec![0f32; self.dim];
+        let lower = token.to_lowercase();
+        self.add_feature(&mut v, &lower, 1.0);
+        for g in char_trigrams(&lower) {
+            self.add_feature(&mut v, &g, 0.7);
+        }
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        Vector(v)
+    }
+
+    fn add_feature(&self, v: &mut [f32], feature: &str, weight: f32) {
+        // Each feature lands in two independent signed slots (count-sketch
+        // style): a chance collision of two different features must then
+        // coincide in both slots to masquerade as similarity, which makes
+        // spurious cosine quadratically rarer than with one slot.
+        let h1 = fnv1a(feature.as_bytes());
+        let h2 = fnv1a(format!("\u{3}{feature}").as_bytes());
+        let w = weight * std::f32::consts::FRAC_1_SQRT_2;
+        for h in [h1, h2] {
+            let slot = (h % self.dim as u64) as usize;
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[slot] += w * sign;
+        }
+    }
+}
+
+/// 64-bit FNV-1a, the deterministic feature hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_are_deterministic_and_normalized() {
+        let e = Embedder::default();
+        let a = e.embed("What is the name of AS2497?");
+        let b = e.embed("What is the name of AS2497?");
+        assert_eq!(a, b);
+        let norm: f32 = a.0.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn similar_texts_are_closer_than_dissimilar() {
+        let e = Embedder::default();
+        let q = e.embed("Which ASes are registered in Japan?");
+        let close = e.embed("The autonomous systems registered in Japan");
+        let far = e.embed("Tranco rank of the domain shop42.com");
+        assert!(
+            q.cosine(&close) > q.cosine(&far),
+            "close={} far={}",
+            q.cosine(&close),
+            q.cosine(&far)
+        );
+    }
+
+    #[test]
+    fn paraphrase_retains_some_similarity() {
+        let e = Embedder::default();
+        let a = e.embed("AS2497 serves 33.3 percent of Japan's population");
+        let b = e.embed("33.3% of the population of Japan is served by AS2497");
+        assert!(a.cosine(&b) > 0.35, "cos={}", a.cosine(&b));
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = Embedder::default();
+        let z = e.embed("");
+        assert!(z.0.iter().all(|&x| x == 0.0));
+        assert_eq!(z.cosine(&e.embed("anything")), 0.0);
+    }
+
+    #[test]
+    fn token_embeddings_match_similar_tokens() {
+        let e = Embedder::default();
+        let a = e.embed_token("networks");
+        let b = e.embed_token("network");
+        let c = e.embed_token("population");
+        assert!(a.cosine(&b) > a.cosine(&c));
+    }
+}

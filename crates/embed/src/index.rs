@@ -1,0 +1,221 @@
+//! Cosine-similarity vector index.
+//!
+//! A flat (exact) index plus a bucketed variant that partitions vectors by
+//! their dominant dimension for faster approximate search on larger
+//! corpora. Both return identical results when `probe` covers all buckets.
+
+use crate::embedder::Vector;
+
+/// One search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Index of the document in insertion order.
+    pub doc: usize,
+    /// Cosine similarity to the query.
+    pub score: f32,
+}
+
+/// Exact flat index: brute-force cosine over all vectors.
+#[derive(Debug, Default)]
+pub struct FlatIndex {
+    vectors: Vec<Vector>,
+}
+
+impl FlatIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a vector, returning its document id.
+    pub fn add(&mut self, v: Vector) -> usize {
+        self.vectors.push(v);
+        self.vectors.len() - 1
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Top-`k` most similar documents, sorted by descending score (ties by
+    /// ascending doc id, so results are fully deterministic).
+    pub fn search(&self, query: &Vector, k: usize) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(doc, v)| Hit {
+                doc,
+                score: query.cosine(v),
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+/// Bucketed approximate index: vectors are grouped by argmax dimension;
+/// queries probe the `probe` buckets with the largest |query| components.
+#[derive(Debug)]
+pub struct BucketIndex {
+    dim: usize,
+    buckets: Vec<Vec<(usize, Vector)>>,
+    len: usize,
+}
+
+impl BucketIndex {
+    /// Creates an index for vectors of dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        BucketIndex {
+            dim,
+            buckets: (0..dim).map(|_| Vec::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Adds a vector, returning its document id.
+    pub fn add(&mut self, v: Vector) -> usize {
+        assert_eq!(v.dim(), self.dim);
+        let doc = self.len;
+        self.len += 1;
+        let bucket = argmax_abs(&v);
+        self.buckets[bucket].push((doc, v));
+        doc
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Top-`k` hits probing the `probe` most promising buckets.
+    pub fn search(&self, query: &Vector, k: usize, probe: usize) -> Vec<Hit> {
+        let mut dims: Vec<usize> = (0..self.dim).collect();
+        dims.sort_by(|&a, &b| {
+            query.0[b]
+                .abs()
+                .partial_cmp(&query.0[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut hits: Vec<Hit> = Vec::new();
+        for &d in dims.iter().take(probe.max(1)) {
+            for (doc, v) in &self.buckets[d] {
+                hits.push(Hit {
+                    doc: *doc,
+                    score: query.cosine(v),
+                });
+            }
+        }
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+fn argmax_abs(v: &Vector) -> usize {
+    let mut best = 0;
+    let mut best_val = -1.0f32;
+    for (i, x) in v.0.iter().enumerate() {
+        if x.abs() > best_val {
+            best_val = x.abs();
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedder::Embedder;
+
+    fn corpus() -> (Embedder, Vec<&'static str>) {
+        (
+            Embedder::default(),
+            vec![
+                "AS2497 IIJ is an autonomous system registered in Japan",
+                "AS15169 Google operates content and cloud networks",
+                "Japan has a population of 124 million",
+                "JPIX is an Internet exchange point in Tokyo",
+                "shop42.com is ranked 17 in the Tranco list",
+            ],
+        )
+    }
+
+    #[test]
+    fn flat_search_finds_relevant_doc() {
+        let (e, docs) = corpus();
+        let mut idx = FlatIndex::new();
+        for d in &docs {
+            idx.add(e.embed(d));
+        }
+        let hits = idx.search(&e.embed("Which exchange point is in Tokyo?"), 2);
+        assert_eq!(hits[0].doc, 3, "hits: {hits:?}");
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn flat_search_is_deterministic() {
+        let (e, docs) = corpus();
+        let mut idx = FlatIndex::new();
+        for d in &docs {
+            idx.add(e.embed(d));
+        }
+        let q = e.embed("google cloud");
+        assert_eq!(idx.search(&q, 3), idx.search(&q, 3));
+    }
+
+    #[test]
+    fn bucket_index_with_full_probe_matches_flat() {
+        let (e, docs) = corpus();
+        let mut flat = FlatIndex::new();
+        let mut bucket = BucketIndex::new(crate::embedder::DEFAULT_DIM);
+        for d in &docs {
+            flat.add(e.embed(d));
+            bucket.add(e.embed(d));
+        }
+        let q = e.embed("population of Japan");
+        let hf = flat.search(&q, 3);
+        let hb = bucket.search(&q, 3, crate::embedder::DEFAULT_DIM);
+        assert_eq!(hf, hb);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let (e, docs) = corpus();
+        let mut idx = FlatIndex::new();
+        for d in &docs {
+            idx.add(e.embed(d));
+        }
+        assert_eq!(idx.search(&e.embed("network"), 2).len(), 2);
+        assert_eq!(idx.search(&e.embed("network"), 99).len(), docs.len());
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = FlatIndex::new();
+        assert!(idx.search(&Embedder::default().embed("x"), 5).is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Text tokenization for the hashing embedder and the lexical metrics.
+
+/// Lower-cases and splits text into word tokens. Alphanumeric runs are
+/// kept together; everything else separates. `AS2497` stays one token.
+pub fn words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Word n-grams (joined with `_`) for `n >= 1`. Returns empty when the
+/// text has fewer than `n` tokens.
+pub fn word_ngrams(tokens: &[String], n: usize) -> Vec<String> {
+    if n == 0 || tokens.len() < n {
+        return Vec::new();
+    }
+    tokens
+        .windows(n)
+        .map(|w| w.join("_"))
+        .collect()
+}
+
+/// Character trigrams of a single token, with boundary markers, e.g.
+/// `"iij"` → `^ii`, `iij`, `ij$`.
+pub fn char_trigrams(token: &str) -> Vec<String> {
+    let chars: Vec<char> = std::iter::once('^')
+        .chain(token.chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    if chars.len() < 3 {
+        return vec![chars.iter().collect()];
+    }
+    chars.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_keep_alphanumerics_together() {
+        assert_eq!(
+            words("What is AS2497's name?"),
+            vec!["what", "is", "as2497", "s", "name"]
+        );
+    }
+
+    #[test]
+    fn words_handle_unicode() {
+        assert_eq!(words("Tokyo 日本"), vec!["tokyo", "日本"]);
+    }
+
+    #[test]
+    fn bigrams() {
+        let t = words("a b c");
+        assert_eq!(word_ngrams(&t, 2), vec!["a_b", "b_c"]);
+        assert!(word_ngrams(&t, 4).is_empty());
+        assert_eq!(word_ngrams(&t, 1), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn trigrams_have_boundaries() {
+        let t = char_trigrams("iij");
+        assert_eq!(t, vec!["^ii", "iij", "ij$"]);
+        assert_eq!(char_trigrams("a"), vec!["^a$"]);
+    }
+}

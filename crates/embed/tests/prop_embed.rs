@@ -1,0 +1,100 @@
+//! Property tests for the embedding substrate: normalization, cosine
+//! bounds, determinism and index consistency.
+
+use iyp_embed::{DocStore, Embedder, FlatIndex};
+use proptest::prelude::*;
+
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-zA-Z0-9]{1,10}", 0..20).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn embeddings_normalized_or_zero(t in text()) {
+        let e = Embedder::default();
+        let v = e.embed(&t);
+        let norm: f32 = v.0.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(
+            norm.abs() < 1e-4 || (norm - 1.0).abs() < 1e-4,
+            "norm = {norm} for {t:?}"
+        );
+    }
+
+    #[test]
+    fn cosine_bounded_and_self_maximal(a in text(), b in text()) {
+        let e = Embedder::default();
+        let va = e.embed(&a);
+        let vb = e.embed(&b);
+        let c = va.cosine(&vb);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&(c as f64)), "cos = {c}");
+        // Self-similarity is 1 for non-empty text, and at least the
+        // similarity with anything else.
+        if !a.trim().is_empty() {
+            let selfcos = va.cosine(&va);
+            prop_assert!((selfcos - 1.0).abs() < 1e-4);
+            prop_assert!(selfcos >= c - 1e-4);
+        }
+    }
+
+    #[test]
+    fn embedding_is_deterministic(t in text()) {
+        let e1 = Embedder::default();
+        let e2 = Embedder::default();
+        prop_assert_eq!(e1.embed(&t), e2.embed(&t));
+    }
+
+    #[test]
+    fn flat_search_returns_sorted_topk(
+        docs in proptest::collection::vec(text(), 1..30),
+        q in text(),
+        k in 1usize..10,
+    ) {
+        let e = Embedder::default();
+        let mut idx = FlatIndex::new();
+        for d in &docs {
+            idx.add(e.embed(d));
+        }
+        let hits = idx.search(&e.embed(&q), k);
+        prop_assert_eq!(hits.len(), k.min(docs.len()));
+        // Scores are non-increasing.
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score - 1e-6);
+        }
+        // Every doc id is valid and unique.
+        let mut ids: Vec<usize> = hits.iter().map(|h| h.doc).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), hits.len());
+        prop_assert!(ids.iter().all(|&i| i < docs.len()));
+    }
+
+    #[test]
+    fn docstore_top1_contains_exact_duplicate(
+        docs in proptest::collection::vec(text(), 1..20),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        // Searching with a stored document's own text must rank some
+        // maximal-similarity document first — in particular the duplicate
+        // itself scores 1.0 (title boost aside, identical tokens).
+        let non_empty: Vec<&String> = docs.iter().filter(|d| !d.trim().is_empty()).collect();
+        if non_empty.is_empty() {
+            return Ok(());
+        }
+        let target = non_empty[pick.index(non_empty.len())];
+        let mut store = DocStore::new();
+        for (i, d) in docs.iter().enumerate() {
+            store.add(format!("doc{i}"), d.clone(), i as u64);
+        }
+        let hits = store.search(target, docs.len());
+        prop_assert!(!hits.is_empty());
+        let best = hits[0].score;
+        let dup_score = hits
+            .iter()
+            .find(|h| h.doc.text == *target)
+            .map(|h| h.score)
+            .expect("duplicate present");
+        prop_assert!(dup_score >= best - 1e-4, "dup {dup_score} < best {best}");
+    }
+}

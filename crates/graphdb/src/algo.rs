@@ -1,0 +1,267 @@
+//! Graph algorithms over the property graph: BFS distances, connected
+//! components and PageRank.
+//!
+//! PageRank over the reversed DEPENDS_ON graph is how the dataset
+//! generator synthesizes an AS-hegemony-style centrality score (the real
+//! IYP carries IHR's AS Hegemony); BFS backs reachability checks and the
+//! components are a generator self-check (the AS graph must be one
+//! component).
+
+use crate::graph::{Direction, Graph, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Shortest hop distance from `from` to `to` following relationships of
+/// the given types in `dir`, up to `max_hops`. `None` when unreachable.
+pub fn bfs_distance(
+    graph: &Graph,
+    from: NodeId,
+    to: NodeId,
+    dir: Direction,
+    types: Option<&[&str]>,
+    max_hops: usize,
+) -> Option<usize> {
+    if from == to {
+        return Some(0);
+    }
+    let mut seen: HashSet<NodeId> = HashSet::from([from]);
+    let mut frontier = VecDeque::from([(from, 0usize)]);
+    while let Some((cur, d)) = frontier.pop_front() {
+        if d >= max_hops {
+            continue;
+        }
+        for (_, nbr) in graph.neighbors(cur, dir, types) {
+            if nbr == to {
+                return Some(d + 1);
+            }
+            if seen.insert(nbr) {
+                frontier.push_back((nbr, d + 1));
+            }
+        }
+    }
+    None
+}
+
+/// All nodes within `max_hops` of `from` (excluding `from` itself), with
+/// their distances.
+pub fn bfs_reach(
+    graph: &Graph,
+    from: NodeId,
+    dir: Direction,
+    types: Option<&[&str]>,
+    max_hops: usize,
+) -> HashMap<NodeId, usize> {
+    let mut dist: HashMap<NodeId, usize> = HashMap::new();
+    let mut frontier = VecDeque::from([(from, 0usize)]);
+    let mut seen: HashSet<NodeId> = HashSet::from([from]);
+    while let Some((cur, d)) = frontier.pop_front() {
+        if d >= max_hops {
+            continue;
+        }
+        for (_, nbr) in graph.neighbors(cur, dir, types) {
+            if seen.insert(nbr) {
+                dist.insert(nbr, d + 1);
+                frontier.push_back((nbr, d + 1));
+            }
+        }
+    }
+    dist
+}
+
+/// Undirected connected components over relationships of the given types,
+/// restricted to nodes carrying `label` (or all nodes when `None`).
+/// Components are returned largest-first; node ids within a component are
+/// ascending.
+pub fn connected_components(
+    graph: &Graph,
+    label: Option<&str>,
+    types: Option<&[&str]>,
+) -> Vec<Vec<NodeId>> {
+    let members: Vec<NodeId> = match label {
+        Some(l) => graph.nodes_with_label(l).collect(),
+        None => graph.all_nodes().collect(),
+    };
+    let member_set: HashSet<NodeId> = members.iter().copied().collect();
+    let mut unvisited: HashSet<NodeId> = member_set.clone();
+    let mut components = Vec::new();
+    for &start in &members {
+        if !unvisited.remove(&start) {
+            continue;
+        }
+        let mut comp = vec![start];
+        let mut frontier = VecDeque::from([start]);
+        while let Some(cur) = frontier.pop_front() {
+            for (_, nbr) in graph.neighbors(cur, Direction::Both, types) {
+                if member_set.contains(&nbr) && unvisited.remove(&nbr) {
+                    comp.push(nbr);
+                    frontier.push_back(nbr);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    components
+}
+
+/// PageRank restricted to nodes carrying `label`, following relationships
+/// of the given types in the *outgoing* direction. Standard damping;
+/// dangling mass is redistributed uniformly. Returns a score per node
+/// summing to ~1.
+pub fn pagerank(
+    graph: &Graph,
+    label: &str,
+    types: Option<&[&str]>,
+    damping: f64,
+    iterations: usize,
+) -> HashMap<NodeId, f64> {
+    let nodes: Vec<NodeId> = graph.nodes_with_label(label).collect();
+    let n = nodes.len();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    // Outgoing edges within the restricted node set.
+    let out_edges: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|&v| {
+            graph
+                .neighbors(v, Direction::Outgoing, types)
+                .into_iter()
+                .filter_map(|(_, nbr)| index.get(&nbr).copied())
+                .collect()
+        })
+        .collect();
+
+    let mut rank = vec![1.0 / n as f64; n];
+    for _ in 0..iterations {
+        let mut next = vec![(1.0 - damping) / n as f64; n];
+        let mut dangling = 0.0;
+        for (i, edges) in out_edges.iter().enumerate() {
+            if edges.is_empty() {
+                dangling += rank[i];
+            } else {
+                let share = damping * rank[i] / edges.len() as f64;
+                for &j in edges {
+                    next[j] += share;
+                }
+            }
+        }
+        let dangling_share = damping * dangling / n as f64;
+        for v in &mut next {
+            *v += dangling_share;
+        }
+        rank = next;
+    }
+    nodes.into_iter().zip(rank).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+    use crate::props::Props;
+
+    fn chain(n: usize) -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| g.add_node(["N"], props!("i" => i as i64)))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_rel(w[0], "R", w[1], Props::new()).unwrap();
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn bfs_distance_on_chain() {
+        let (g, ids) = chain(6);
+        assert_eq!(
+            bfs_distance(&g, ids[0], ids[5], Direction::Outgoing, Some(&["R"]), 10),
+            Some(5)
+        );
+        assert_eq!(
+            bfs_distance(&g, ids[5], ids[0], Direction::Outgoing, Some(&["R"]), 10),
+            None // wrong direction
+        );
+        assert_eq!(
+            bfs_distance(&g, ids[5], ids[0], Direction::Both, Some(&["R"]), 10),
+            Some(5)
+        );
+        assert_eq!(bfs_distance(&g, ids[0], ids[0], Direction::Both, None, 10), Some(0));
+        // Hop budget respected.
+        assert_eq!(
+            bfs_distance(&g, ids[0], ids[5], Direction::Outgoing, Some(&["R"]), 3),
+            None
+        );
+    }
+
+    #[test]
+    fn bfs_shortest_beats_longer_route() {
+        // 0→1→2 and a direct 0→2.
+        let mut g = Graph::new();
+        let a = g.add_node(["N"], Props::new());
+        let b = g.add_node(["N"], Props::new());
+        let c = g.add_node(["N"], Props::new());
+        g.add_rel(a, "R", b, Props::new()).unwrap();
+        g.add_rel(b, "R", c, Props::new()).unwrap();
+        g.add_rel(a, "R", c, Props::new()).unwrap();
+        assert_eq!(bfs_distance(&g, a, c, Direction::Outgoing, None, 10), Some(1));
+    }
+
+    #[test]
+    fn bfs_reach_collects_distances() {
+        let (g, ids) = chain(5);
+        let reach = bfs_reach(&g, ids[0], Direction::Outgoing, Some(&["R"]), 3);
+        assert_eq!(reach.len(), 3);
+        assert_eq!(reach[&ids[1]], 1);
+        assert_eq!(reach[&ids[3]], 3);
+        assert!(!reach.contains_key(&ids[4]));
+    }
+
+    #[test]
+    fn components_split_and_merge() {
+        let (mut g, ids) = chain(4);
+        let lonely = g.add_node(["N"], Props::new());
+        let comps = connected_components(&g, Some("N"), None);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 4);
+        assert_eq!(comps[1], vec![lonely]);
+        // Joining merges them.
+        g.add_rel(lonely, "R", ids[0], Props::new()).unwrap();
+        assert_eq!(connected_components(&g, Some("N"), None).len(), 1);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_sinks_high() {
+        // Star: everyone points at the hub.
+        let mut g = Graph::new();
+        let hub = g.add_node(["N"], Props::new());
+        let spokes: Vec<NodeId> = (0..9).map(|_| g.add_node(["N"], Props::new())).collect();
+        for &s in &spokes {
+            g.add_rel(s, "R", hub, Props::new()).unwrap();
+        }
+        let pr = pagerank(&g, "N", Some(&["R"]), 0.85, 40);
+        let total: f64 = pr.values().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        let hub_score = pr[&hub];
+        for s in &spokes {
+            assert!(hub_score > pr[s] * 3.0, "hub not dominant");
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_nodes() {
+        let (g, ids) = chain(3); // last node dangles
+        let pr = pagerank(&g, "N", Some(&["R"]), 0.85, 50);
+        let total: f64 = pr.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(pr[&ids[2]] > pr[&ids[0]], "downstream should rank higher");
+    }
+
+    #[test]
+    fn pagerank_empty_label() {
+        let g = Graph::new();
+        assert!(pagerank(&g, "Nope", None, 0.85, 10).is_empty());
+    }
+}

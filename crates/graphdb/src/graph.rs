@@ -1,0 +1,668 @@
+//! The in-memory property-graph store.
+//!
+//! Nodes carry one or more labels and a property map; relationships are
+//! directed, typed edges with their own properties. Adjacency is stored on
+//! each node (outgoing and incoming relationship lists) so pattern expansion
+//! is O(degree). Label membership and any explicitly created property
+//! indexes are maintained incrementally on mutation.
+
+use crate::index::{IndexSet, OrderedIndex};
+use crate::intern::{Interner, Sym};
+use crate::props::Props;
+use crate::value::{Value, ValueKey};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a node. Stable for the lifetime of the graph; never reused
+/// after deletion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u64);
+
+/// Identifier of a relationship. Stable; never reused after deletion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Traversal direction relative to a start node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Follow relationships where the start node is the source.
+    Outgoing,
+    /// Follow relationships where the start node is the target.
+    Incoming,
+    /// Follow relationships in either orientation.
+    Both,
+}
+
+impl Direction {
+    /// The opposite direction (`Both` is its own opposite).
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Outgoing => Direction::Incoming,
+            Direction::Incoming => Direction::Outgoing,
+            Direction::Both => Direction::Both,
+        }
+    }
+}
+
+/// Stored node record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeRecord {
+    /// The node's id.
+    pub id: NodeId,
+    /// Interned label symbols, sorted.
+    pub labels: Vec<Sym>,
+    /// Node properties.
+    pub props: Props,
+    pub(crate) out: Vec<RelId>,
+    pub(crate) inc: Vec<RelId>,
+}
+
+/// Stored relationship record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RelRecord {
+    /// The relationship's id.
+    pub id: RelId,
+    /// Interned relationship-type symbol.
+    pub ty: Sym,
+    /// Source node.
+    pub src: NodeId,
+    /// Target node.
+    pub dst: NodeId,
+    /// Relationship properties.
+    pub props: Props,
+}
+
+impl RelRecord {
+    /// The endpoint that is not `node`. Returns `dst` for self-loops.
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if self.src == node {
+            self.dst
+        } else {
+            self.src
+        }
+    }
+}
+
+/// Errors raised by graph mutations and lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The referenced node does not exist (deleted or never created).
+    NodeNotFound(NodeId),
+    /// The referenced relationship does not exist.
+    RelNotFound(RelId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeNotFound(id) => write!(f, "node {id} not found"),
+            GraphError::RelNotFound(id) => write!(f, "relationship {id} not found"),
+        }
+    }
+}
+impl std::error::Error for GraphError {}
+
+/// The property-graph store.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: Vec<Option<NodeRecord>>,
+    rels: Vec<Option<RelRecord>>,
+    labels: Interner,
+    rel_types: Interner,
+    /// label symbol → sorted set of node ids carrying it.
+    label_members: Vec<BTreeSet<NodeId>>,
+    indexes: IndexSet,
+    live_nodes: usize,
+    live_rels: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    /// Adds a node with the given labels and properties, returning its id.
+    pub fn add_node<I, S>(&mut self, labels: I, props: Props) -> NodeId
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let id = NodeId(self.nodes.len() as u64);
+        let mut syms: Vec<Sym> = labels
+            .into_iter()
+            .map(|l| self.intern_label(l.as_ref()))
+            .collect();
+        syms.sort_unstable();
+        syms.dedup();
+        for &sym in &syms {
+            self.label_members[sym.0 as usize].insert(id);
+        }
+        self.indexes.on_node_added(id, &syms, &props);
+        self.nodes.push(Some(NodeRecord {
+            id,
+            labels: syms,
+            props,
+            out: Vec::new(),
+            inc: Vec::new(),
+        }));
+        self.live_nodes += 1;
+        id
+    }
+
+    /// Adds a directed relationship `src -[ty]-> dst`.
+    pub fn add_rel(
+        &mut self,
+        src: NodeId,
+        ty: &str,
+        dst: NodeId,
+        props: Props,
+    ) -> Result<RelId, GraphError> {
+        if self.node(src).is_none() {
+            return Err(GraphError::NodeNotFound(src));
+        }
+        if self.node(dst).is_none() {
+            return Err(GraphError::NodeNotFound(dst));
+        }
+        let ty = self.rel_types.intern(ty);
+        let id = RelId(self.rels.len() as u64);
+        self.rels.push(Some(RelRecord {
+            id,
+            ty,
+            src,
+            dst,
+            props,
+        }));
+        self.node_mut_raw(src).out.push(id);
+        self.node_mut_raw(dst).inc.push(id);
+        self.live_rels += 1;
+        Ok(id)
+    }
+
+    /// Removes a relationship.
+    pub fn remove_rel(&mut self, id: RelId) -> Result<RelRecord, GraphError> {
+        let rec = self
+            .rels
+            .get_mut(id.0 as usize)
+            .and_then(Option::take)
+            .ok_or(GraphError::RelNotFound(id))?;
+        self.node_mut_raw(rec.src).out.retain(|&r| r != id);
+        self.node_mut_raw(rec.dst).inc.retain(|&r| r != id);
+        self.live_rels -= 1;
+        Ok(rec)
+    }
+
+    /// Detach-deletes a node: removes all its relationships, then the node.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<NodeRecord, GraphError> {
+        let rels: Vec<RelId> = {
+            let rec = self.node(id).ok_or(GraphError::NodeNotFound(id))?;
+            rec.out.iter().chain(rec.inc.iter()).copied().collect()
+        };
+        for r in rels {
+            // A self-loop appears in both lists; the second remove is a no-op.
+            let _ = self.remove_rel(r);
+        }
+        let rec = self.nodes[id.0 as usize].take().expect("checked above");
+        for &sym in &rec.labels {
+            self.label_members[sym.0 as usize].remove(&id);
+        }
+        self.indexes.on_node_removed(id, &rec.labels, &rec.props);
+        self.live_nodes -= 1;
+        Ok(rec)
+    }
+
+    /// Sets (or with `Value::Null`, clears) a node property, keeping
+    /// indexes synchronized.
+    pub fn set_node_prop(
+        &mut self,
+        id: NodeId,
+        key: &str,
+        value: impl Into<Value>,
+    ) -> Result<(), GraphError> {
+        let value = value.into();
+        let (labels, old) = {
+            let rec = self.node(id).ok_or(GraphError::NodeNotFound(id))?;
+            (rec.labels.clone(), rec.props.get(key).cloned())
+        };
+        self.indexes
+            .on_prop_changed(id, &labels, key, old.as_ref(), &value);
+        self.node_mut_raw(id).props.set(key, value);
+        Ok(())
+    }
+
+    /// Sets a relationship property.
+    pub fn set_rel_prop(
+        &mut self,
+        id: RelId,
+        key: &str,
+        value: impl Into<Value>,
+    ) -> Result<(), GraphError> {
+        let rec = self
+            .rels
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(GraphError::RelNotFound(id))?;
+        rec.props.set(key, value);
+        Ok(())
+    }
+
+    /// Adds a label to an existing node.
+    pub fn add_label(&mut self, id: NodeId, label: &str) -> Result<(), GraphError> {
+        if self.node(id).is_none() {
+            return Err(GraphError::NodeNotFound(id));
+        }
+        let sym = self.intern_label(label);
+        let rec = self.node_mut_raw(id);
+        if let Err(pos) = rec.labels.binary_search(&sym) {
+            rec.labels.insert(pos, sym);
+            let props = rec.props.clone();
+            self.label_members[sym.0 as usize].insert(id);
+            self.indexes.on_node_added(id, &[sym], &props);
+        }
+        Ok(())
+    }
+
+    fn intern_label(&mut self, label: &str) -> Sym {
+        let sym = self.labels.intern(label);
+        while self.label_members.len() <= sym.0 as usize {
+            self.label_members.push(BTreeSet::new());
+        }
+        sym
+    }
+
+    fn node_mut_raw(&mut self, id: NodeId) -> &mut NodeRecord {
+        self.nodes[id.0 as usize]
+            .as_mut()
+            .expect("caller verified node exists")
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// Returns the node record, or `None` if deleted/nonexistent.
+    pub fn node(&self, id: NodeId) -> Option<&NodeRecord> {
+        self.nodes.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Returns the relationship record.
+    pub fn rel(&self, id: RelId) -> Option<&RelRecord> {
+        self.rels.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live relationships.
+    pub fn rel_count(&self) -> usize {
+        self.live_rels
+    }
+
+    /// Resolves a label symbol to its name.
+    pub fn label_name(&self, sym: Sym) -> &str {
+        self.labels.resolve(sym)
+    }
+
+    /// Resolves a relationship-type symbol to its name.
+    pub fn rel_type_name(&self, sym: Sym) -> &str {
+        self.rel_types.resolve(sym)
+    }
+
+    /// Looks up a label symbol by name without interning.
+    pub fn label_sym(&self, name: &str) -> Option<Sym> {
+        self.labels.get(name)
+    }
+
+    /// Looks up a relationship-type symbol by name without interning.
+    pub fn rel_type_sym(&self, name: &str) -> Option<Sym> {
+        self.rel_types.get(name)
+    }
+
+    /// The label names of a node.
+    pub fn node_labels(&self, id: NodeId) -> Vec<&str> {
+        self.node(id)
+            .map(|n| n.labels.iter().map(|&s| self.labels.resolve(s)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Does the node carry `label`?
+    pub fn node_has_label(&self, id: NodeId, label: &str) -> bool {
+        match (self.node(id), self.labels.get(label)) {
+            (Some(rec), Some(sym)) => rec.labels.binary_search(&sym).is_ok(),
+            _ => false,
+        }
+    }
+
+    /// All live node ids, ascending.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().filter_map(|n| n.as_ref().map(|r| r.id))
+    }
+
+    /// All live relationship ids, ascending.
+    pub fn all_rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.rels.iter().filter_map(|r| r.as_ref().map(|r| r.id))
+    }
+
+    /// Node ids carrying `label`, ascending. Empty if the label is unknown.
+    pub fn nodes_with_label<'a>(&'a self, label: &str) -> Box<dyn Iterator<Item = NodeId> + 'a> {
+        match self.labels.get(label) {
+            Some(sym) => Box::new(self.label_members[sym.0 as usize].iter().copied()),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Number of nodes carrying `label`.
+    pub fn label_count(&self, label: &str) -> usize {
+        self.labels
+            .get(label)
+            .map(|sym| self.label_members[sym.0 as usize].len())
+            .unwrap_or(0)
+    }
+
+    /// All known label names.
+    pub fn all_labels(&self) -> impl Iterator<Item = &str> {
+        self.labels.iter().map(|(_, n)| n)
+    }
+
+    /// All known relationship-type names.
+    pub fn all_rel_types(&self) -> impl Iterator<Item = &str> {
+        self.rel_types.iter().map(|(_, n)| n)
+    }
+
+    /// Expands from `node` in `dir`, optionally restricted to a set of
+    /// relationship types, yielding `(rel, neighbor)` pairs.
+    ///
+    /// `types` of `None` means "any type". Unknown type names simply match
+    /// nothing.
+    pub fn neighbors(
+        &self,
+        node: NodeId,
+        dir: Direction,
+        types: Option<&[&str]>,
+    ) -> Vec<(RelId, NodeId)> {
+        let Some(rec) = self.node(node) else {
+            return Vec::new();
+        };
+        let type_syms: Option<Vec<Sym>> =
+            types.map(|ts| ts.iter().filter_map(|t| self.rel_types.get(t)).collect());
+        let mut out = Vec::new();
+        let mut push = |rel_ids: &[RelId], want_src: bool| {
+            for &rid in rel_ids {
+                let r = self.rel(rid).expect("adjacency lists only hold live rels");
+                if let Some(ref syms) = type_syms {
+                    if !syms.contains(&r.ty) {
+                        continue;
+                    }
+                }
+                let nbr = if want_src { r.src } else { r.dst };
+                out.push((rid, nbr));
+            }
+        };
+        match dir {
+            Direction::Outgoing => push(&rec.out, false),
+            Direction::Incoming => push(&rec.inc, true),
+            Direction::Both => {
+                push(&rec.out, false);
+                // Avoid double-reporting self-loops, which sit in both lists.
+                let loops: Vec<RelId> = rec
+                    .inc
+                    .iter()
+                    .copied()
+                    .filter(|rid| self.rel(*rid).map(|r| r.src == r.dst).unwrap_or(false))
+                    .collect();
+                let inc_no_loops: Vec<RelId> = rec
+                    .inc
+                    .iter()
+                    .copied()
+                    .filter(|r| !loops.contains(r))
+                    .collect();
+                push(&inc_no_loops, true);
+            }
+        }
+        out
+    }
+
+    /// Degree of a node in the given direction (any relationship type).
+    pub fn degree(&self, node: NodeId, dir: Direction) -> usize {
+        match self.node(node) {
+            None => 0,
+            Some(rec) => match dir {
+                Direction::Outgoing => rec.out.len(),
+                Direction::Incoming => rec.inc.len(),
+                Direction::Both => {
+                    let loops = rec
+                        .out
+                        .iter()
+                        .filter(|&&rid| {
+                            self.rel(rid).map(|r| r.src == r.dst).unwrap_or(false)
+                        })
+                        .count();
+                    rec.out.len() + rec.inc.len() - loops
+                }
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Indexes
+    // ------------------------------------------------------------------
+
+    /// Creates (and backfills) a hash index on `(label, key)`.
+    /// Idempotent.
+    pub fn create_index(&mut self, label: &str, key: &str) {
+        let sym = self.intern_label(label);
+        let members: Vec<NodeId> = self.label_members[sym.0 as usize].iter().copied().collect();
+        let entries: Vec<(NodeId, ValueKey)> = members
+            .iter()
+            .filter_map(|&id| {
+                self.node(id)
+                    .and_then(|n| n.props.get(key).map(|v| (id, ValueKey::of(v))))
+            })
+            .collect();
+        self.indexes.create(sym, key, entries.into_iter());
+    }
+
+    /// Exact-match index lookup. Returns `None` when no index exists on
+    /// `(label, key)` — the planner falls back to a label scan.
+    pub fn index_lookup(&self, label: &str, key: &str, value: &Value) -> Option<Vec<NodeId>> {
+        let sym = self.labels.get(label)?;
+        self.indexes.lookup(sym, key, &ValueKey::of(value))
+    }
+
+    /// Range scan over an ordered view of the index (built lazily).
+    pub fn index_range(
+        &self,
+        label: &str,
+        key: &str,
+        lo: Option<(&Value, bool)>,
+        hi: Option<(&Value, bool)>,
+    ) -> Option<Vec<NodeId>> {
+        let sym = self.labels.get(label)?;
+        self.indexes.range(
+            sym,
+            key,
+            lo.map(|(v, inc)| (ValueKey::of(v), inc)),
+            hi.map(|(v, inc)| (ValueKey::of(v), inc)),
+        )
+    }
+
+    /// Does an index exist on `(label, key)`?
+    pub fn has_index(&self, label: &str, key: &str) -> bool {
+        self.labels
+            .get(label)
+            .map(|sym| self.indexes.exists(sym, key))
+            .unwrap_or(false)
+    }
+
+    /// Lists `(label, key)` pairs with indexes.
+    pub fn list_indexes(&self) -> Vec<(String, String)> {
+        self.indexes
+            .list()
+            .into_iter()
+            .map(|(sym, key)| (self.labels.resolve(sym).to_string(), key))
+            .collect()
+    }
+
+    /// Builds an ordered index usable for fast range queries.
+    pub fn ordered_index(&self, label: &str, key: &str) -> Option<OrderedIndex> {
+        let sym = self.labels.get(label)?;
+        self.indexes.ordered(sym, key)
+    }
+
+    /// Rebuilds transient lookup tables after deserialization.
+    pub fn after_deserialize(&mut self) {
+        self.labels.rebuild_lookup();
+        self.rel_types.rebuild_lookup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    fn tiny() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_node(["AS"], props!("asn" => 2497i64, "name" => "IIJ"));
+        let b = g.add_node(["AS"], props!("asn" => 15169i64, "name" => "Google"));
+        let c = g.add_node(["Country"], props!("country_code" => "JP"));
+        g.add_rel(a, "COUNTRY", c, Props::new()).unwrap();
+        g.add_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let (g, a, _, c) = tiny();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.rel_count(), 2);
+        assert_eq!(g.node(a).unwrap().props.get("asn"), Some(&Value::Int(2497)));
+        assert!(g.node_has_label(c, "Country"));
+        assert!(!g.node_has_label(c, "AS"));
+    }
+
+    #[test]
+    fn label_scan() {
+        let (g, a, b, _) = tiny();
+        let ases: Vec<NodeId> = g.nodes_with_label("AS").collect();
+        assert_eq!(ases, vec![a, b]);
+        assert_eq!(g.label_count("Country"), 1);
+        assert_eq!(g.nodes_with_label("Nope").count(), 0);
+    }
+
+    #[test]
+    fn neighbors_directional() {
+        let (g, a, b, c) = tiny();
+        let out: Vec<NodeId> = g
+            .neighbors(a, Direction::Outgoing, None)
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(out, vec![c, b]);
+        let inc: Vec<NodeId> = g
+            .neighbors(c, Direction::Incoming, None)
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(inc, vec![a]);
+        let typed = g.neighbors(a, Direction::Outgoing, Some(&["PEERS_WITH"]));
+        assert_eq!(typed.len(), 1);
+        assert_eq!(typed[0].1, b);
+    }
+
+    #[test]
+    fn both_direction_no_selfloop_double_count() {
+        let mut g = Graph::new();
+        let a = g.add_node(["AS"], Props::new());
+        g.add_rel(a, "PEERS_WITH", a, Props::new()).unwrap();
+        assert_eq!(g.neighbors(a, Direction::Both, None).len(), 1);
+        assert_eq!(g.degree(a, Direction::Both), 1);
+    }
+
+    #[test]
+    fn detach_delete() {
+        let (mut g, a, b, _) = tiny();
+        g.remove_node(a).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.rel_count(), 0);
+        assert!(g.node(a).is_none());
+        assert_eq!(g.neighbors(b, Direction::Both, None).len(), 0);
+        assert_eq!(g.nodes_with_label("AS").count(), 1);
+    }
+
+    #[test]
+    fn rel_to_missing_node_fails() {
+        let mut g = Graph::new();
+        let a = g.add_node(["AS"], Props::new());
+        let err = g.add_rel(a, "X", NodeId(99), Props::new()).unwrap_err();
+        assert_eq!(err, GraphError::NodeNotFound(NodeId(99)));
+    }
+
+    #[test]
+    fn index_lookup_and_maintenance() {
+        let (mut g, a, _, _) = tiny();
+        assert!(g.index_lookup("AS", "asn", &Value::Int(2497)).is_none());
+        g.create_index("AS", "asn");
+        assert_eq!(
+            g.index_lookup("AS", "asn", &Value::Int(2497)),
+            Some(vec![a])
+        );
+        // New node is picked up.
+        let d = g.add_node(["AS"], props!("asn" => 7018i64));
+        assert_eq!(g.index_lookup("AS", "asn", &Value::Int(7018)), Some(vec![d]));
+        // Property update moves the entry.
+        g.set_node_prop(d, "asn", 7019i64).unwrap();
+        assert_eq!(g.index_lookup("AS", "asn", &Value::Int(7018)), Some(vec![]));
+        assert_eq!(g.index_lookup("AS", "asn", &Value::Int(7019)), Some(vec![d]));
+        // Deletion removes the entry.
+        g.remove_node(d).unwrap();
+        assert_eq!(g.index_lookup("AS", "asn", &Value::Int(7019)), Some(vec![]));
+    }
+
+    #[test]
+    fn index_range_scan() {
+        let mut g = Graph::new();
+        for asn in [10i64, 20, 30, 40] {
+            g.add_node(["AS"], props!("asn" => asn));
+        }
+        g.create_index("AS", "asn");
+        let ids = g
+            .index_range("AS", "asn", Some((&Value::Int(15), true)), Some((&Value::Int(35), true)))
+            .unwrap();
+        let asns: Vec<i64> = ids
+            .iter()
+            .map(|&id| g.node(id).unwrap().props.get("asn").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(asns, vec![20, 30]);
+    }
+
+    #[test]
+    fn add_label_later() {
+        let mut g = Graph::new();
+        let a = g.add_node(["AS"], Props::new());
+        g.add_label(a, "Tier1").unwrap();
+        assert!(g.node_has_label(a, "Tier1"));
+        assert_eq!(g.nodes_with_label("Tier1").count(), 1);
+        // Idempotent.
+        g.add_label(a, "Tier1").unwrap();
+        assert_eq!(g.node(a).unwrap().labels.len(), 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! Property indexes.
+//!
+//! A hash index maps `(label, property key)` → value → node ids, giving O(1)
+//! exact-match seeks for queries like `MATCH (a:AS {asn: 2497})`. An ordered
+//! view can be derived for range predicates. Indexes are maintained
+//! incrementally by [`crate::graph::Graph`] on every mutation.
+
+use crate::graph::NodeId;
+use crate::intern::Sym;
+use crate::props::Props;
+use crate::value::ValueKey;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+/// One hash index over `(label, key)`.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+struct HashIndex {
+    // Serialized as a list of pairs: JSON maps require string keys.
+    #[serde(with = "pairs")]
+    entries: BTreeMap<ValueKey, Vec<NodeId>>,
+}
+
+mod pairs {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<ValueKey, Vec<NodeId>>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let v: Vec<(&ValueKey, &Vec<NodeId>)> = map.iter().collect();
+        serde::Serialize::serialize(&v, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<ValueKey, Vec<NodeId>>, D::Error> {
+        let v: Vec<(ValueKey, Vec<NodeId>)> = serde::Deserialize::deserialize(de)?;
+        Ok(v.into_iter().collect())
+    }
+}
+
+impl HashIndex {
+    fn insert(&mut self, key: ValueKey, id: NodeId) {
+        let bucket = self.entries.entry(key).or_default();
+        if let Err(pos) = bucket.binary_search(&id) {
+            bucket.insert(pos, id);
+        }
+    }
+
+    fn remove(&mut self, key: &ValueKey, id: NodeId) {
+        if let Some(bucket) = self.entries.get_mut(key) {
+            if let Ok(pos) = bucket.binary_search(&id) {
+                bucket.remove(pos);
+            }
+        }
+    }
+}
+
+/// An ordered snapshot of an index, for repeated range scans.
+#[derive(Debug, Clone)]
+pub struct OrderedIndex {
+    entries: Vec<(ValueKey, NodeId)>,
+}
+
+impl OrderedIndex {
+    /// Nodes whose key falls in `[lo, hi]` under the given inclusivity.
+    pub fn range(
+        &self,
+        lo: Option<(&ValueKey, bool)>,
+        hi: Option<(&ValueKey, bool)>,
+    ) -> Vec<NodeId> {
+        self.entries
+            .iter()
+            .filter(|(k, _)| {
+                let above = match lo {
+                    None => true,
+                    Some((l, true)) => k >= l,
+                    Some((l, false)) => k > l,
+                };
+                let below = match hi {
+                    None => true,
+                    Some((h, true)) => k <= h,
+                    Some((h, false)) => k < h,
+                };
+                above && below
+            })
+            .map(|(_, id)| *id)
+            .collect()
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The set of all indexes on a graph.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct IndexSet {
+    // serde_json requires string keys for maps; keep a Vec of entries.
+    indexes: Vec<((Sym, String), HashIndex)>,
+    #[serde(skip)]
+    lookup_cache: HashMap<(Sym, String), usize>,
+}
+
+impl IndexSet {
+    fn slot(&self, label: Sym, key: &str) -> Option<usize> {
+        if let Some(&i) = self.lookup_cache.get(&(label, key.to_string())) {
+            return Some(i);
+        }
+        self.indexes
+            .iter()
+            .position(|((l, k), _)| *l == label && k == key)
+    }
+
+    /// Creates an index and backfills it from `entries`. Idempotent: an
+    /// existing index is rebuilt from scratch.
+    pub fn create(
+        &mut self,
+        label: Sym,
+        key: &str,
+        entries: impl Iterator<Item = (NodeId, ValueKey)>,
+    ) {
+        let mut idx = HashIndex::default();
+        for (id, vk) in entries {
+            idx.insert(vk, id);
+        }
+        match self.slot(label, key) {
+            Some(i) => self.indexes[i].1 = idx,
+            None => {
+                self.lookup_cache
+                    .insert((label, key.to_string()), self.indexes.len());
+                self.indexes.push(((label, key.to_string()), idx));
+            }
+        }
+    }
+
+    /// Exact lookup; `None` if no such index.
+    pub fn lookup(&self, label: Sym, key: &str, value: &ValueKey) -> Option<Vec<NodeId>> {
+        let i = self.slot(label, key)?;
+        Some(
+            self.indexes[i]
+                .1
+                .entries
+                .get(value)
+                .cloned()
+                .unwrap_or_default(),
+        )
+    }
+
+    /// Range lookup over the index's ordered keys; `None` if no such index.
+    pub fn range(
+        &self,
+        label: Sym,
+        key: &str,
+        lo: Option<(ValueKey, bool)>,
+        hi: Option<(ValueKey, bool)>,
+    ) -> Option<Vec<NodeId>> {
+        let i = self.slot(label, key)?;
+        let lo_bound = match &lo {
+            None => Bound::Unbounded,
+            Some((k, true)) => Bound::Included(k.clone()),
+            Some((k, false)) => Bound::Excluded(k.clone()),
+        };
+        let hi_bound = match &hi {
+            None => Bound::Unbounded,
+            Some((k, true)) => Bound::Included(k.clone()),
+            Some((k, false)) => Bound::Excluded(k.clone()),
+        };
+        let mut out = Vec::new();
+        for (_, ids) in self.indexes[i].1.entries.range((lo_bound, hi_bound)) {
+            out.extend(ids.iter().copied());
+        }
+        Some(out)
+    }
+
+    /// Does an index exist?
+    pub fn exists(&self, label: Sym, key: &str) -> bool {
+        self.slot(label, key).is_some()
+    }
+
+    /// All `(label, key)` pairs.
+    pub fn list(&self) -> Vec<(Sym, String)> {
+        self.indexes.iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// Ordered snapshot for repeated range scans.
+    pub fn ordered(&self, label: Sym, key: &str) -> Option<OrderedIndex> {
+        let i = self.slot(label, key)?;
+        let mut entries = Vec::new();
+        for (k, ids) in &self.indexes[i].1.entries {
+            for id in ids {
+                entries.push((k.clone(), *id));
+            }
+        }
+        Some(OrderedIndex { entries })
+    }
+
+    // ---- maintenance hooks called by Graph ----
+
+    pub(crate) fn on_node_added(&mut self, id: NodeId, labels: &[Sym], props: &Props) {
+        for ((label, key), idx) in &mut self.indexes {
+            if labels.contains(label) {
+                if let Some(v) = props.get(key) {
+                    idx.insert(ValueKey::of(v), id);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn on_node_removed(&mut self, id: NodeId, labels: &[Sym], props: &Props) {
+        for ((label, key), idx) in &mut self.indexes {
+            if labels.contains(label) {
+                if let Some(v) = props.get(key) {
+                    idx.remove(&ValueKey::of(v), id);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn on_prop_changed(
+        &mut self,
+        id: NodeId,
+        labels: &[Sym],
+        key: &str,
+        old: Option<&crate::value::Value>,
+        new: &crate::value::Value,
+    ) {
+        for ((label, ikey), idx) in &mut self.indexes {
+            if ikey == key && labels.contains(label) {
+                if let Some(old) = old {
+                    idx.remove(&ValueKey::of(old), id);
+                }
+                if !new.is_null() {
+                    idx.insert(ValueKey::of(new), id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn create_lookup_roundtrip() {
+        let mut set = IndexSet::default();
+        let label = Sym(0);
+        set.create(
+            label,
+            "asn",
+            vec![
+                (NodeId(1), ValueKey::of(&Value::Int(10))),
+                (NodeId(2), ValueKey::of(&Value::Int(20))),
+            ]
+            .into_iter(),
+        );
+        assert_eq!(
+            set.lookup(label, "asn", &ValueKey::of(&Value::Int(10))),
+            Some(vec![NodeId(1)])
+        );
+        assert_eq!(
+            set.lookup(label, "asn", &ValueKey::of(&Value::Int(99))),
+            Some(vec![])
+        );
+        assert_eq!(set.lookup(Sym(1), "asn", &ValueKey::of(&Value::Int(10))), None);
+    }
+
+    #[test]
+    fn duplicate_values_share_bucket() {
+        let mut set = IndexSet::default();
+        set.create(
+            Sym(0),
+            "cc",
+            vec![
+                (NodeId(1), ValueKey::of(&Value::from("JP"))),
+                (NodeId(2), ValueKey::of(&Value::from("JP"))),
+            ]
+            .into_iter(),
+        );
+        assert_eq!(
+            set.lookup(Sym(0), "cc", &ValueKey::of(&Value::from("JP"))),
+            Some(vec![NodeId(1), NodeId(2)])
+        );
+    }
+
+    #[test]
+    fn ordered_view_ranges() {
+        let mut set = IndexSet::default();
+        set.create(
+            Sym(0),
+            "rank",
+            (1..=5).map(|i| (NodeId(i), ValueKey::of(&Value::Int(i as i64 * 10)))),
+        );
+        let ord = set.ordered(Sym(0), "rank").unwrap();
+        assert_eq!(ord.len(), 5);
+        let k20 = ValueKey::of(&Value::Int(20));
+        let k40 = ValueKey::of(&Value::Int(40));
+        assert_eq!(
+            ord.range(Some((&k20, false)), Some((&k40, true))),
+            vec![NodeId(3), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn recreate_rebuilds() {
+        let mut set = IndexSet::default();
+        set.create(
+            Sym(0),
+            "x",
+            vec![(NodeId(1), ValueKey::of(&Value::Int(1)))].into_iter(),
+        );
+        set.create(
+            Sym(0),
+            "x",
+            vec![(NodeId(2), ValueKey::of(&Value::Int(2)))].into_iter(),
+        );
+        assert_eq!(set.lookup(Sym(0), "x", &ValueKey::of(&Value::Int(1))), Some(vec![]));
+        assert_eq!(
+            set.lookup(Sym(0), "x", &ValueKey::of(&Value::Int(2))),
+            Some(vec![NodeId(2)])
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Property containers attached to nodes and relationships.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An ordered map of property key → value.
+///
+/// Keys are stored sorted so snapshots and debug output are deterministic.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct Props(BTreeMap<String, Value>);
+
+impl Props {
+    /// Creates an empty property map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the value for `key`, or `None` if absent.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.get(key)
+    }
+
+    /// Returns the value for `key`, or `Value::Null` if absent — Cypher's
+    /// missing-property semantics.
+    pub fn get_or_null(&self, key: &str) -> Value {
+        self.0.get(key).cloned().unwrap_or(Value::Null)
+    }
+
+    /// Sets a property. Setting `Value::Null` removes the key, matching
+    /// Cypher's `SET n.k = null`.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        let value = value.into();
+        if value.is_null() {
+            self.0.remove(&key.into());
+        } else {
+            self.0.insert(key.into(), value);
+        }
+    }
+
+    /// Removes a property, returning the old value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.0.remove(key)
+    }
+
+    /// Does the map contain `key`?
+    pub fn contains(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if there are no properties.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Property keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.0.keys().map(String::as_str)
+    }
+
+    /// Converts into a `Value::Map` (used by `RETURN n` projections and
+    /// the `properties()` function).
+    pub fn to_value(&self) -> Value {
+        Value::Map(self.0.clone())
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> FromIterator<(K, V)> for Props {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut p = Props::new();
+        for (k, v) in iter {
+            p.set(k, v);
+        }
+        p
+    }
+}
+
+/// Convenience macro for building property maps in tests and generators.
+#[macro_export]
+macro_rules! props {
+    () => { $crate::props::Props::new() };
+    ($($k:expr => $v:expr),+ $(,)?) => {{
+        let mut p = $crate::props::Props::new();
+        $( p.set($k, $v); )+
+        p
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_property_reads_as_null() {
+        let p = Props::new();
+        assert!(p.get("x").is_none());
+        assert!(p.get_or_null("x").is_null());
+    }
+
+    #[test]
+    fn setting_null_removes() {
+        let mut p = props!("a" => 1i64, "b" => "two");
+        assert_eq!(p.len(), 2);
+        p.set("a", Value::Null);
+        assert!(!p.contains("a"));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let p = props!("z" => 1i64, "a" => 2i64, "m" => 3i64);
+        let keys: Vec<_> = p.keys().collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn to_value_roundtrip() {
+        let p = props!("asn" => 2497i64, "name" => "IIJ");
+        match p.to_value() {
+            Value::Map(m) => {
+                assert_eq!(m["asn"], Value::Int(2497));
+                assert_eq!(m["name"], Value::from("IIJ"));
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+}

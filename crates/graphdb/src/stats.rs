@@ -1,0 +1,112 @@
+//! Graph statistics: label/relationship cardinalities and degree
+//! distributions. Used by the query planner for scan-cost estimates and by
+//! the dataset generator's self-checks.
+
+use crate::graph::{Direction, Graph};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, Serialize)]
+pub struct GraphStats {
+    /// Live node count.
+    pub nodes: usize,
+    /// Live relationship count.
+    pub rels: usize,
+    /// Node count per label.
+    pub nodes_by_label: BTreeMap<String, usize>,
+    /// Relationship count per type.
+    pub rels_by_type: BTreeMap<String, usize>,
+    /// Degree distribution summary (undirected).
+    pub degree: DegreeStats,
+}
+
+/// Degree distribution summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct DegreeStats {
+    /// Minimum degree among live nodes (0 for an empty graph).
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn compute(graph: &Graph) -> GraphStats {
+        let mut nodes_by_label = BTreeMap::new();
+        for label in graph.all_labels() {
+            let n = graph.label_count(label);
+            if n > 0 {
+                nodes_by_label.insert(label.to_string(), n);
+            }
+        }
+        let mut rels_by_type: BTreeMap<String, usize> = BTreeMap::new();
+        for rid in graph.all_rels() {
+            let r = graph.rel(rid).expect("live rel");
+            *rels_by_type
+                .entry(graph.rel_type_name(r.ty).to_string())
+                .or_default() += 1;
+        }
+        let mut degrees: Vec<usize> = graph
+            .all_nodes()
+            .map(|id| graph.degree(id, Direction::Both))
+            .collect();
+        degrees.sort_unstable();
+        let degree = if degrees.is_empty() {
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+            }
+        } else {
+            DegreeStats {
+                min: degrees[0],
+                max: *degrees.last().unwrap(),
+                mean: degrees.iter().sum::<usize>() as f64 / degrees.len() as f64,
+                median: degrees[degrees.len() / 2],
+            }
+        };
+        GraphStats {
+            nodes: graph.node_count(),
+            rels: graph.rel_count(),
+            nodes_by_label,
+            rels_by_type,
+            degree,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::Props;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut g = Graph::new();
+        let a = g.add_node(["AS"], Props::new());
+        let b = g.add_node(["AS"], Props::new());
+        let c = g.add_node(["Country"], Props::new());
+        g.add_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
+        g.add_rel(a, "COUNTRY", c, Props::new()).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.rels, 2);
+        assert_eq!(s.nodes_by_label["AS"], 2);
+        assert_eq!(s.rels_by_type["COUNTRY"], 1);
+        assert_eq!(s.degree.max, 2);
+        assert!((s.degree.mean - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let s = GraphStats::compute(&Graph::new());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.degree.mean, 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests: the graph store's invariants hold under arbitrary
+//! mutation sequences.
+
+use iyp_graphdb::{Direction, Graph, NodeId, Props, Value};
+use proptest::prelude::*;
+
+/// A random mutation.
+#[derive(Debug, Clone)]
+enum Op {
+    AddNode { label: u8, key: i64 },
+    AddRel { src: usize, dst: usize, ty: u8 },
+    RemoveNode { idx: usize },
+    RemoveRel { idx: usize },
+    SetProp { idx: usize, value: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, any::<i64>()).prop_map(|(label, key)| Op::AddNode { label, key }),
+        (any::<usize>(), any::<usize>(), 0u8..3)
+            .prop_map(|(src, dst, ty)| Op::AddRel { src, dst, ty }),
+        any::<usize>().prop_map(|idx| Op::RemoveNode { idx }),
+        any::<usize>().prop_map(|idx| Op::RemoveRel { idx }),
+        (any::<usize>(), any::<i64>()).prop_map(|(idx, value)| Op::SetProp { idx, value }),
+    ]
+}
+
+const LABELS: [&str; 4] = ["AS", "Prefix", "Country", "IXP"];
+const TYPES: [&str; 3] = ["ORIGINATE", "COUNTRY", "PEERS_WITH"];
+
+fn apply(graph: &mut Graph, live_nodes: &mut Vec<NodeId>, live_rels: &mut Vec<u64>, op: Op) {
+    match op {
+        Op::AddNode { label, key } => {
+            let mut p = Props::new();
+            p.set("key", key);
+            let id = graph.add_node([LABELS[label as usize % LABELS.len()]], p);
+            live_nodes.push(id);
+        }
+        Op::AddRel { src, dst, ty } => {
+            if live_nodes.is_empty() {
+                return;
+            }
+            let s = live_nodes[src % live_nodes.len()];
+            let d = live_nodes[dst % live_nodes.len()];
+            let r = graph
+                .add_rel(s, TYPES[ty as usize % TYPES.len()], d, Props::new())
+                .expect("both endpoints live");
+            live_rels.push(r.0);
+        }
+        Op::RemoveNode { idx } => {
+            if live_nodes.is_empty() {
+                return;
+            }
+            let id = live_nodes.swap_remove(idx % live_nodes.len());
+            graph.remove_node(id).expect("was live");
+            live_rels.retain(|&r| graph.rel(iyp_graphdb::RelId(r)).is_some());
+        }
+        Op::RemoveRel { idx } => {
+            if live_rels.is_empty() {
+                return;
+            }
+            let r = live_rels.swap_remove(idx % live_rels.len());
+            graph.remove_rel(iyp_graphdb::RelId(r)).expect("was live");
+        }
+        Op::SetProp { idx, value } => {
+            if live_nodes.is_empty() {
+                return;
+            }
+            let id = live_nodes[idx % live_nodes.len()];
+            graph.set_node_prop(id, "key", value).expect("was live");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Counts, adjacency symmetry and label membership all stay
+    /// consistent no matter the mutation order.
+    #[test]
+    fn structural_invariants_hold(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut graph = Graph::new();
+        graph.create_index("AS", "key");
+        let mut live_nodes = Vec::new();
+        let mut live_rels = Vec::new();
+        for op in ops {
+            apply(&mut graph, &mut live_nodes, &mut live_rels, op);
+        }
+
+        // Counts agree with what we tracked.
+        prop_assert_eq!(graph.node_count(), live_nodes.len());
+        prop_assert_eq!(graph.all_nodes().count(), live_nodes.len());
+        prop_assert_eq!(graph.rel_count(), graph.all_rels().count());
+
+        // Adjacency symmetry: every live relationship appears exactly once
+        // in its source's out-list and its target's in-list.
+        for rid in graph.all_rels() {
+            let r = graph.rel(rid).unwrap();
+            let out_hits = graph
+                .neighbors(r.src, Direction::Outgoing, None)
+                .iter()
+                .filter(|(id, _)| *id == rid)
+                .count();
+            let in_hits = graph
+                .neighbors(r.dst, Direction::Incoming, None)
+                .iter()
+                .filter(|(id, _)| *id == rid)
+                .count();
+            prop_assert_eq!(out_hits, 1);
+            prop_assert_eq!(in_hits, 1);
+        }
+
+        // Label membership matches per-node labels.
+        for label in LABELS {
+            for id in graph.nodes_with_label(label) {
+                prop_assert!(graph.node_has_label(id, label));
+            }
+        }
+        let by_label: usize = LABELS.iter().map(|l| graph.label_count(l)).sum();
+        prop_assert_eq!(by_label, graph.node_count());
+
+        // Degree sums: each edge contributes one out and one in degree.
+        let out_sum: usize = graph
+            .all_nodes()
+            .map(|n| graph.degree(n, Direction::Outgoing))
+            .sum();
+        let in_sum: usize = graph
+            .all_nodes()
+            .map(|n| graph.degree(n, Direction::Incoming))
+            .sum();
+        prop_assert_eq!(out_sum, graph.rel_count());
+        prop_assert_eq!(in_sum, graph.rel_count());
+    }
+
+    /// The maintained index always answers exactly like a full scan.
+    #[test]
+    fn index_matches_scan(ops in proptest::collection::vec(op_strategy(), 1..120), probe in any::<i64>()) {
+        let mut graph = Graph::new();
+        graph.create_index("AS", "key");
+        let mut live_nodes = Vec::new();
+        let mut live_rels = Vec::new();
+        for op in ops {
+            apply(&mut graph, &mut live_nodes, &mut live_rels, op);
+        }
+        // Probe both an arbitrary value and every present value.
+        let mut values: Vec<i64> = graph
+            .nodes_with_label("AS")
+            .filter_map(|id| graph.node(id).unwrap().props.get("key").and_then(Value::as_int))
+            .collect();
+        values.push(probe);
+        for v in values {
+            let mut via_index = graph
+                .index_lookup("AS", "key", &Value::Int(v))
+                .expect("index exists");
+            via_index.sort();
+            let mut via_scan: Vec<_> = graph
+                .nodes_with_label("AS")
+                .filter(|&id| {
+                    graph.node(id).unwrap().props.get("key") == Some(&Value::Int(v))
+                })
+                .collect();
+            via_scan.sort();
+            prop_assert_eq!(via_index, via_scan);
+        }
+    }
+
+    /// Serialization round-trips arbitrary graphs exactly.
+    #[test]
+    fn snapshot_roundtrip(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut graph = Graph::new();
+        let mut live_nodes = Vec::new();
+        let mut live_rels = Vec::new();
+        for op in ops {
+            apply(&mut graph, &mut live_nodes, &mut live_rels, op);
+        }
+        let json = iyp_graphdb::snapshot::to_json(&graph).unwrap();
+        let back = iyp_graphdb::snapshot::from_json(&json).unwrap();
+        prop_assert_eq!(back.node_count(), graph.node_count());
+        prop_assert_eq!(back.rel_count(), graph.rel_count());
+        for id in graph.all_nodes() {
+            let a = graph.node(id).unwrap();
+            let b = back.node(id).expect("node survives");
+            prop_assert_eq!(&a.props, &b.props);
+            prop_assert_eq!(graph.node_labels(id), back.node_labels(id));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Textual descriptions of graph nodes.
+//!
+//! The VectorContextRetriever embeds one document per interesting node;
+//! this module renders those documents deterministically from the graph.
+
+use crate::schema::{labels, rels};
+use iyp_graphdb::{Direction, Graph, NodeId, Value};
+use std::fmt::Write;
+
+/// A describable document: the node it came from and its rendered text.
+#[derive(Debug, Clone)]
+pub struct NodeDoc {
+    /// Source node.
+    pub node: NodeId,
+    /// Primary label of the node.
+    pub label: String,
+    /// Short title (e.g. "AS2497 IIJ").
+    pub title: String,
+    /// Full description text.
+    pub text: String,
+}
+
+/// Renders documents for every AS, IXP, Country and DomainName node —
+/// the entity types users ask about.
+pub fn describe_all(graph: &Graph) -> Vec<NodeDoc> {
+    let mut docs = Vec::new();
+    for id in graph.all_nodes() {
+        if graph.node_has_label(id, labels::AS) {
+            docs.push(describe_as(graph, id));
+        } else if graph.node_has_label(id, labels::IXP) {
+            docs.push(describe_ixp(graph, id));
+        } else if graph.node_has_label(id, labels::COUNTRY) {
+            docs.push(describe_country(graph, id));
+        } else if graph.node_has_label(id, labels::DOMAIN_NAME) {
+            docs.push(describe_domain(graph, id));
+        }
+    }
+    docs
+}
+
+fn prop_str(graph: &Graph, id: NodeId, key: &str) -> String {
+    graph
+        .node(id)
+        .map(|n| n.props.get_or_null(key))
+        .unwrap_or(Value::Null)
+        .to_string()
+}
+
+fn prop_int(graph: &Graph, id: NodeId, key: &str) -> i64 {
+    graph
+        .node(id)
+        .and_then(|n| n.props.get(key).and_then(Value::as_int))
+        .unwrap_or(0)
+}
+
+fn neighbor_prop(
+    graph: &Graph,
+    id: NodeId,
+    rel: &str,
+    dir: Direction,
+    key: &str,
+) -> Vec<(String, Option<f64>)> {
+    graph
+        .neighbors(id, dir, Some(&[rel]))
+        .into_iter()
+        .map(|(rid, nbr)| {
+            let v = graph
+                .node(nbr)
+                .map(|n| n.props.get_or_null(key))
+                .unwrap_or(Value::Null)
+                .to_string();
+            let weight = graph
+                .rel(rid)
+                .and_then(|r| r.props.get("percent").or(r.props.get("rank")).and_then(Value::as_f64));
+            (v, weight)
+        })
+        .collect()
+}
+
+/// Describes an AS node.
+pub fn describe_as(graph: &Graph, id: NodeId) -> NodeDoc {
+    let asn = prop_int(graph, id, "asn");
+    let name = prop_str(graph, id, "name");
+    let title = format!("AS{asn} {name}");
+    let mut text = format!("AS{asn} ({name}) is an autonomous system");
+
+    let countries = neighbor_prop(graph, id, rels::COUNTRY, Direction::Outgoing, "name");
+    if let Some((country, _)) = countries.first() {
+        write!(text, " registered in {country}").unwrap();
+    }
+    text.push('.');
+
+    let prefixes = graph
+        .neighbors(id, Direction::Outgoing, Some(&[rels::ORIGINATE]))
+        .len();
+    if prefixes > 0 {
+        write!(text, " It originates {prefixes} prefixes.").unwrap();
+    }
+    let ixps = neighbor_prop(graph, id, rels::MEMBER_OF, Direction::Outgoing, "name");
+    if !ixps.is_empty() {
+        let names: Vec<String> = ixps.iter().map(|(n, _)| n.clone()).collect();
+        write!(text, " It is a member of {}.", names.join(", ")).unwrap();
+    }
+    for (rid, nbr) in graph.neighbors(id, Direction::Outgoing, Some(&[rels::POPULATION])) {
+        let pct = graph
+            .rel(rid)
+            .and_then(|r| r.props.get("percent").and_then(Value::as_f64))
+            .unwrap_or(0.0);
+        let cname = prop_str(graph, nbr, "name");
+        write!(text, " It serves {pct}% of the Internet population of {cname}.").unwrap();
+    }
+    for (rid, _) in graph.neighbors(id, Direction::Outgoing, Some(&[rels::RANK])) {
+        if let Some(rank) = graph.rel(rid).and_then(|r| r.props.get("rank").and_then(Value::as_int)) {
+            write!(text, " CAIDA ASRank position {rank}.").unwrap();
+            break;
+        }
+    }
+    let tags = neighbor_prop(graph, id, rels::CATEGORIZED, Direction::Outgoing, "label");
+    if !tags.is_empty() {
+        let names: Vec<String> = tags.iter().map(|(t, _)| t.clone()).collect();
+        write!(text, " Categories: {}.", names.join(", ")).unwrap();
+    }
+    let upstreams = neighbor_prop(graph, id, rels::DEPENDS_ON, Direction::Outgoing, "name");
+    if !upstreams.is_empty() {
+        let names: Vec<String> = upstreams.iter().map(|(n, _)| n.clone()).collect();
+        write!(text, " Upstream providers: {}.", names.join(", ")).unwrap();
+    }
+    NodeDoc {
+        node: id,
+        label: labels::AS.to_string(),
+        title,
+        text,
+    }
+}
+
+/// Describes an IXP node.
+pub fn describe_ixp(graph: &Graph, id: NodeId) -> NodeDoc {
+    let name = prop_str(graph, id, "name");
+    let members = graph
+        .neighbors(id, Direction::Incoming, Some(&[rels::MEMBER_OF]))
+        .len();
+    let mut text = format!("{name} is an Internet exchange point");
+    let countries = neighbor_prop(graph, id, rels::COUNTRY, Direction::Outgoing, "name");
+    if let Some((country, _)) = countries.first() {
+        write!(text, " located in {country}").unwrap();
+    }
+    write!(text, " with {members} member networks.").unwrap();
+    NodeDoc {
+        node: id,
+        label: labels::IXP.to_string(),
+        title: name,
+        text,
+    }
+}
+
+/// Describes a Country node.
+pub fn describe_country(graph: &Graph, id: NodeId) -> NodeDoc {
+    let name = prop_str(graph, id, "name");
+    let code = prop_str(graph, id, "country_code");
+    let population = prop_int(graph, id, "population");
+    let ases = graph
+        .neighbors(id, Direction::Incoming, Some(&[rels::COUNTRY]))
+        .into_iter()
+        .filter(|(_, n)| graph.node_has_label(*n, labels::AS))
+        .count();
+    let text = format!(
+        "{name} (country code {code}) has a population of {population} and {ases} registered autonomous systems."
+    );
+    NodeDoc {
+        node: id,
+        label: labels::COUNTRY.to_string(),
+        title: format!("{name} ({code})"),
+        text,
+    }
+}
+
+/// Describes a DomainName node.
+pub fn describe_domain(graph: &Graph, id: NodeId) -> NodeDoc {
+    let name = prop_str(graph, id, "name");
+    let mut text = format!("{name} is a registered domain name");
+    for (rid, _) in graph.neighbors(id, Direction::Outgoing, Some(&[rels::RANK])) {
+        if let Some(rank) = graph
+            .rel(rid)
+            .and_then(|r| r.props.get("rank").and_then(Value::as_int))
+        {
+            write!(text, " ranked {rank} in the Tranco list").unwrap();
+            break;
+        }
+    }
+    let prefixes = neighbor_prop(graph, id, rels::RESOLVES_TO, Direction::Outgoing, "prefix");
+    if !prefixes.is_empty() {
+        let names: Vec<String> = prefixes.iter().map(|(p, _)| p.clone()).collect();
+        write!(text, ", resolving into {}", names.join(" and ")).unwrap();
+    }
+    text.push('.');
+    NodeDoc {
+        node: id,
+        label: labels::DOMAIN_NAME.to_string(),
+        title: name,
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, IypConfig};
+
+    #[test]
+    fn describes_every_entity_type() {
+        let d = generate(&IypConfig::tiny());
+        let docs = describe_all(&d.graph);
+        let has = |label: &str| docs.iter().any(|d| d.label == label);
+        assert!(has("AS"));
+        assert!(has("IXP"));
+        assert!(has("Country"));
+        assert!(has("DomainName"));
+    }
+
+    #[test]
+    fn iij_description_mentions_key_facts() {
+        let d = generate(&IypConfig::tiny());
+        let doc = describe_as(&d.graph, d.as_by_asn[&2497]);
+        assert_eq!(doc.title, "AS2497 IIJ");
+        assert!(doc.text.contains("Japan"), "text: {}", doc.text);
+        assert!(doc.text.contains("prefixes"), "text: {}", doc.text);
+        assert!(doc.text.contains("population of Japan"), "text: {}", doc.text);
+    }
+
+    #[test]
+    fn descriptions_are_deterministic() {
+        let a = generate(&IypConfig::tiny());
+        let b = generate(&IypConfig::tiny());
+        let da = describe_all(&a.graph);
+        let db = describe_all(&b.graph);
+        assert_eq!(da.len(), db.len());
+        assert!(da.iter().zip(&db).all(|(x, y)| x.text == y.text));
+    }
+}

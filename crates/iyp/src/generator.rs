@@ -1,0 +1,621 @@
+//! Full dataset assembly: builds the IYP property graph from a synthesized
+//! topology, adding prefixes, IXPs, organizations, facilities, domains,
+//! rankings, tags and population estimates.
+
+use crate::countries::COUNTRIES;
+use crate::schema::{labels, rankings, rels, TAGS};
+use crate::topology::{self, AsSpec, Tier, Topology};
+use iyp_graphdb::{props, Graph, NodeId, Props};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+
+/// Generation parameters. All sizes are approximate targets.
+#[derive(Debug, Clone)]
+pub struct IypConfig {
+    /// RNG seed; the whole dataset is a pure function of the config.
+    pub seed: u64,
+    /// Number of ASes.
+    pub n_as: usize,
+    /// Number of IXPs.
+    pub n_ixps: usize,
+    /// Number of colocation facilities.
+    pub n_facilities: usize,
+    /// Number of domain names (Tranco-style list length).
+    pub n_domains: usize,
+}
+
+impl Default for IypConfig {
+    fn default() -> Self {
+        IypConfig {
+            seed: 42,
+            n_as: 800,
+            n_ixps: 40,
+            n_facilities: 60,
+            n_domains: 400,
+        }
+    }
+}
+
+impl IypConfig {
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        IypConfig {
+            seed: 42,
+            n_as: 80,
+            n_ixps: 8,
+            n_facilities: 10,
+            n_domains: 40,
+        }
+    }
+}
+
+/// Counts of what the generator produced, recorded for reports.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DatasetManifest {
+    /// Seed used.
+    pub seed: u64,
+    /// Nodes by label.
+    pub nodes: BTreeMap<String, usize>,
+    /// Relationships by type.
+    pub rels: BTreeMap<String, usize>,
+}
+
+/// The generated dataset: the graph plus lookup tables used by question
+/// generation and the retrievers.
+pub struct IypDataset {
+    /// The property graph.
+    pub graph: Graph,
+    /// Manifest of generated entity counts.
+    pub manifest: DatasetManifest,
+    /// ASN → node id.
+    pub as_by_asn: HashMap<u32, NodeId>,
+    /// Country code → node id.
+    pub country_by_code: HashMap<String, NodeId>,
+    /// IXP name → node id.
+    pub ixp_by_name: HashMap<String, NodeId>,
+    /// The synthesized AS specs (index-aligned with topology order).
+    pub ases: Vec<AsSpec>,
+}
+
+const CITIES: &[(&str, &str)] = &[
+    ("Tokyo", "JP"),
+    ("Osaka", "JP"),
+    ("New York", "US"),
+    ("Ashburn", "US"),
+    ("San Jose", "US"),
+    ("Chicago", "US"),
+    ("Frankfurt", "DE"),
+    ("Berlin", "DE"),
+    ("London", "GB"),
+    ("Manchester", "GB"),
+    ("Paris", "FR"),
+    ("Marseille", "FR"),
+    ("Amsterdam", "NL"),
+    ("Athens", "GR"),
+    ("Milan", "IT"),
+    ("Madrid", "ES"),
+    ("Stockholm", "SE"),
+    ("Warsaw", "PL"),
+    ("Vienna", "AT"),
+    ("Zurich", "CH"),
+    ("Moscow", "RU"),
+    ("Istanbul", "TR"),
+    ("Beijing", "CN"),
+    ("Shanghai", "CN"),
+    ("Mumbai", "IN"),
+    ("Delhi", "IN"),
+    ("Seoul", "KR"),
+    ("Taipei", "TW"),
+    ("Hong Kong", "HK"),
+    ("Singapore", "SG"),
+    ("Jakarta", "ID"),
+    ("Bangkok", "TH"),
+    ("Sydney", "AU"),
+    ("Auckland", "NZ"),
+    ("Toronto", "CA"),
+    ("Mexico City", "MX"),
+    ("Sao Paulo", "BR"),
+    ("Buenos Aires", "AR"),
+    ("Johannesburg", "ZA"),
+    ("Lagos", "NG"),
+    ("Nairobi", "KE"),
+    ("Cairo", "EG"),
+];
+
+const DOMAIN_STEMS: &[&str] = &[
+    "search", "video", "news", "shop", "mail", "cloud", "play", "chat", "map", "bank", "travel",
+    "music", "photo", "weather", "sport", "learn", "stream", "social", "forum", "wiki",
+];
+const TLDS: &[&str] = &["com", "net", "org", "io", "jp", "de", "gr", "co.uk", "fr", "us"];
+
+/// Generates the dataset for a configuration.
+pub fn generate(config: &IypConfig) -> IypDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let topo = topology::generate(&mut rng, config.n_as);
+    build(config, &mut rng, topo)
+}
+
+fn build(config: &IypConfig, rng: &mut StdRng, topo: Topology) -> IypDataset {
+    let mut g = Graph::new();
+
+    // ---- Rankings ----
+    let mut ranking_nodes: HashMap<&str, NodeId> = HashMap::new();
+    for name in rankings::ALL {
+        let id = g.add_node([labels::RANKING], props!("name" => *name));
+        ranking_nodes.insert(*name, id);
+    }
+
+    // ---- Countries ----
+    let mut country_by_code: HashMap<String, NodeId> = HashMap::new();
+    for c in COUNTRIES {
+        let id = g.add_node(
+            [labels::COUNTRY],
+            props!(
+                "country_code" => c.code,
+                "name" => c.name,
+                "population" => c.population as i64
+            ),
+        );
+        country_by_code.insert(c.code.to_string(), id);
+    }
+
+    // ---- Tags ----
+    let mut tag_nodes: HashMap<&str, NodeId> = HashMap::new();
+    for t in TAGS {
+        let id = g.add_node([labels::TAG], props!("label" => *t));
+        tag_nodes.insert(*t, id);
+    }
+
+    // ---- ASes, names, orgs, countries, tags ----
+    let mut as_nodes: Vec<NodeId> = Vec::with_capacity(topo.ases.len());
+    let mut as_by_asn: HashMap<u32, NodeId> = HashMap::new();
+    for spec in &topo.ases {
+        let id = g.add_node(
+            [labels::AS],
+            props!("asn" => spec.asn as i64, "name" => spec.name.as_str()),
+        );
+        as_nodes.push(id);
+        as_by_asn.insert(spec.asn, id);
+
+        let name_node = g.add_node([labels::NAME], props!("name" => spec.name.as_str()));
+        g.add_rel(id, rels::NAME, name_node, Props::new()).unwrap();
+
+        let cid = country_by_code[spec.country];
+        g.add_rel(id, rels::COUNTRY, cid, Props::new()).unwrap();
+
+        // Organization: ~70% have a dedicated org, others share a holding.
+        let org_name = if rng.random::<f64>() < 0.7 {
+            format!("{} {}", spec.name, ["Inc", "Ltd", "LLC", "KK", "GmbH"][rng.random_range(0..5)])
+        } else {
+            format!("{} Holdings", spec.name.split(' ').next().unwrap_or(&spec.name))
+        };
+        let org = g.add_node([labels::ORGANIZATION], props!("name" => org_name));
+        g.add_rel(id, rels::MANAGED_BY, org, Props::new()).unwrap();
+        g.add_rel(org, rels::COUNTRY, cid, Props::new()).unwrap();
+
+        for tag in &spec.tags {
+            if let Some(&tid) = tag_nodes.get(tag) {
+                g.add_rel(id, rels::CATEGORIZED, tid, Props::new()).unwrap();
+            }
+        }
+    }
+
+    // ---- DEPENDS_ON / PEERS_WITH ----
+    for &(c, p) in &topo.providers {
+        g.add_rel(as_nodes[c], rels::DEPENDS_ON, as_nodes[p], Props::new())
+            .unwrap();
+    }
+    for &(a, b) in &topo.peers {
+        g.add_rel(as_nodes[a], rels::PEERS_WITH, as_nodes[b], Props::new())
+            .unwrap();
+    }
+
+    // ---- Prefixes ----
+    let mut all_prefixes: Vec<NodeId> = Vec::new();
+    let mut content_prefixes: Vec<NodeId> = Vec::new();
+    for (i, spec) in topo.ases.iter().enumerate() {
+        let count = match spec.tier {
+            Tier::Tier1 => rng.random_range(25..60),
+            Tier::Tier2 => rng.random_range(8..25),
+            Tier::Stub => rng.random_range(1..8),
+        };
+        for _ in 0..count {
+            let v6 = rng.random::<f64>() < 0.25;
+            let (prefix, af) = if v6 {
+                (
+                    format!(
+                        "2001:{:x}:{:x}::/{}",
+                        rng.random_range(0x100..0xffff_u32),
+                        rng.random_range(0..0xffff_u32),
+                        [32, 40, 48][rng.random_range(0..3)]
+                    ),
+                    6i64,
+                )
+            } else {
+                (
+                    format!(
+                        "{}.{}.{}.0/{}",
+                        rng.random_range(1..224),
+                        rng.random_range(0..256),
+                        rng.random_range(0..256),
+                        [16, 20, 22, 24][rng.random_range(0..4)]
+                    ),
+                    4i64,
+                )
+            };
+            let pid = g.add_node(
+                [labels::PREFIX],
+                props!("prefix" => prefix, "af" => af),
+            );
+            g.add_rel(as_nodes[i], rels::ORIGINATE, pid, Props::new())
+                .unwrap();
+            g.add_rel(pid, rels::COUNTRY, country_by_code[spec.country], Props::new())
+                .unwrap();
+            if rng.random::<f64>() < 0.15 {
+                let tag = TAGS[rng.random_range(0..TAGS.len())];
+                g.add_rel(pid, rels::CATEGORIZED, tag_nodes[tag], Props::new())
+                    .unwrap();
+            }
+            all_prefixes.push(pid);
+            if spec.tags.iter().any(|t| *t == "Content" || *t == "Cloud" || *t == "CDN") {
+                content_prefixes.push(pid);
+            }
+        }
+    }
+
+    // ---- POPULATION (APNIC-style eyeball share per country) ----
+    let mut by_country: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, spec) in topo.ases.iter().enumerate() {
+        if spec.tags.contains(&"Eyeball") {
+            by_country.entry(spec.country).or_default().push(i);
+        }
+    }
+    for c in COUNTRIES {
+        let eyeballs = match by_country.get(c.code) {
+            Some(v) if !v.is_empty() => v.clone(),
+            _ => {
+                // Guarantee at least one serving AS per country: pick the
+                // first stub registered there, else skip.
+                match topo
+                    .ases
+                    .iter()
+                    .enumerate()
+                    .find(|(_, a)| a.country == c.code)
+                {
+                    Some((i, _)) => vec![i],
+                    None => continue,
+                }
+            }
+        };
+        // Exponential weights normalized to ~92-99% total coverage.
+        let coverage = 0.92 + rng.random::<f64>() * 0.07;
+        let weights: Vec<f64> = eyeballs
+            .iter()
+            .map(|_| -(rng.random::<f64>().max(1e-9)).ln())
+            .collect();
+        let total: f64 = weights.iter().sum();
+        for (k, &ai) in eyeballs.iter().enumerate() {
+            let percent = (weights[k] / total * coverage * 1000.0).round() / 10.0;
+            if percent < 0.1 {
+                continue;
+            }
+            g.add_rel(
+                as_nodes[ai],
+                rels::POPULATION,
+                country_by_code[c.code],
+                props!("percent" => percent),
+            )
+            .unwrap();
+        }
+    }
+
+    // ---- AS hegemony (IHR-style centrality): PageRank over DEPENDS_ON ----
+    // Customers point at providers, so transit mass accumulates upstream,
+    // matching the intuition of IHR's AS Hegemony scores.
+    let hege = iyp_graphdb::algo::pagerank(&g, labels::AS, Some(&[rels::DEPENDS_ON]), 0.85, 40);
+    let max_hege = hege.values().cloned().fold(f64::MIN, f64::max).max(1e-12);
+    for (&node, &score) in &hege {
+        let normalized = (score / max_hege * 1000.0).round() / 1000.0;
+        g.set_node_prop(node, "hegemony", normalized).unwrap();
+    }
+
+    // ---- CAIDA ASRank: order by (tier, provider customer-cone proxy) ----
+    let mut degree = vec![0usize; topo.ases.len()];
+    for &(c, p) in &topo.providers {
+        degree[p] += 3;
+        degree[c] += 1;
+    }
+    for &(a, b) in &topo.peers {
+        degree[a] += 1;
+        degree[b] += 1;
+    }
+    let mut order: Vec<usize> = (0..topo.ases.len()).collect();
+    order.sort_by_key(|&i| {
+        let tier_rank = match topo.ases[i].tier {
+            Tier::Tier1 => 0,
+            Tier::Tier2 => 1,
+            Tier::Stub => 2,
+        };
+        (tier_rank, std::cmp::Reverse(degree[i]), topo.ases[i].asn)
+    });
+    let asrank = ranking_nodes[rankings::CAIDA_ASRANK];
+    for (rank, &i) in order.iter().enumerate() {
+        g.add_rel(
+            as_nodes[i],
+            rels::RANK,
+            asrank,
+            props!("rank" => (rank + 1) as i64),
+        )
+        .unwrap();
+    }
+
+    // ---- IXPs ----
+    let mut ixp_by_name: HashMap<String, NodeId> = HashMap::new();
+    let mut ixp_nodes: Vec<(NodeId, &str)> = Vec::new();
+    for k in 0..config.n_ixps {
+        let (city, cc) = CITIES[k % CITIES.len()];
+        let name = if k < CITIES.len() {
+            format!("{city}-IX")
+        } else {
+            format!("{city}-IX{}", k / CITIES.len() + 1)
+        };
+        let id = g.add_node([labels::IXP], props!("name" => name.as_str()));
+        g.add_rel(id, rels::COUNTRY, country_by_code[cc], Props::new())
+            .unwrap();
+        let org = g.add_node(
+            [labels::ORGANIZATION],
+            props!("name" => format!("{name} Operations")),
+        );
+        g.add_rel(id, rels::MANAGED_BY, org, Props::new()).unwrap();
+        ixp_by_name.insert(name, id);
+        ixp_nodes.push((id, cc));
+    }
+    for (i, spec) in topo.ases.iter().enumerate() {
+        for &(ixp, cc) in &ixp_nodes {
+            let p = match (spec.tier, spec.country == cc) {
+                (Tier::Tier1, _) => 0.5,
+                (Tier::Tier2, true) => 0.8,
+                (Tier::Tier2, false) => 0.12,
+                (Tier::Stub, true) => 0.3,
+                (Tier::Stub, false) => 0.01,
+            };
+            if rng.random::<f64>() < p {
+                g.add_rel(as_nodes[i], rels::MEMBER_OF, ixp, Props::new())
+                    .unwrap();
+            }
+        }
+    }
+
+    // ---- Facilities ----
+    for k in 0..config.n_facilities {
+        let (city, cc) = CITIES[(k * 7 + 3) % CITIES.len()];
+        let name = format!("{city} DC{}", k % 9 + 1);
+        let id = g.add_node(
+            [labels::FACILITY],
+            props!("name" => name, "city" => city),
+        );
+        g.add_rel(id, rels::COUNTRY, country_by_code[cc], Props::new())
+            .unwrap();
+        // Local ASes colocate here.
+        for (i, spec) in topo.ases.iter().enumerate() {
+            let p = match (spec.tier, spec.country == cc) {
+                (Tier::Tier1, _) => 0.25,
+                (Tier::Tier2, true) => 0.5,
+                (Tier::Tier2, false) => 0.04,
+                (Tier::Stub, true) => 0.12,
+                _ => 0.0,
+            };
+            if p > 0.0 && rng.random::<f64>() < p {
+                g.add_rel(as_nodes[i], rels::LOCATED_IN, id, Props::new())
+                    .unwrap();
+            }
+        }
+    }
+
+    // ---- Domains & Tranco ----
+    let tranco = ranking_nodes[rankings::TRANCO];
+    let mut used_domains = std::collections::HashSet::new();
+    for rank in 1..=config.n_domains {
+        let name = loop {
+            let n = format!(
+                "{}{}.{}",
+                DOMAIN_STEMS[rng.random_range(0..DOMAIN_STEMS.len())],
+                rng.random_range(1..500),
+                TLDS[rng.random_range(0..TLDS.len())]
+            );
+            if used_domains.insert(n.clone()) {
+                break n;
+            }
+        };
+        let id = g.add_node([labels::DOMAIN_NAME], props!("name" => name));
+        g.add_rel(id, rels::RANK, tranco, props!("rank" => rank as i64))
+            .unwrap();
+        // Top sites resolve into content/cloud space, the tail anywhere.
+        let pool = if rank <= config.n_domains / 4 && !content_prefixes.is_empty() {
+            &content_prefixes
+        } else {
+            &all_prefixes
+        };
+        if !pool.is_empty() {
+            for _ in 0..rng.random_range(1..=2) {
+                let pid = pool[rng.random_range(0..pool.len())];
+                g.add_rel(id, rels::RESOLVES_TO, pid, Props::new()).unwrap();
+            }
+        }
+    }
+
+    // ---- Indexes ----
+    g.create_index(labels::AS, "asn");
+    g.create_index(labels::AS, "name");
+    g.create_index(labels::COUNTRY, "country_code");
+    g.create_index(labels::COUNTRY, "name");
+    g.create_index(labels::PREFIX, "prefix");
+    g.create_index(labels::IXP, "name");
+    g.create_index(labels::DOMAIN_NAME, "name");
+    g.create_index(labels::RANKING, "name");
+    g.create_index(labels::TAG, "label");
+    g.create_index(labels::ORGANIZATION, "name");
+
+    // ---- Manifest ----
+    let mut manifest = DatasetManifest {
+        seed: config.seed,
+        ..Default::default()
+    };
+    for label in g.all_labels() {
+        let n = g.label_count(label);
+        if n > 0 {
+            manifest.nodes.insert(label.to_string(), n);
+        }
+    }
+    let stats = iyp_graphdb::GraphStats::compute(&g);
+    manifest.rels = stats.rels_by_type;
+
+    IypDataset {
+        graph: g,
+        manifest,
+        as_by_asn,
+        country_by_code,
+        ixp_by_name,
+        ases: topo.ases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_cypher::query;
+    use iyp_graphdb::Value;
+
+    fn dataset() -> IypDataset {
+        generate(&IypConfig::tiny())
+    }
+
+    #[test]
+    fn manifest_counts_match_graph() {
+        let d = dataset();
+        assert_eq!(d.manifest.nodes["AS"], d.graph.label_count("AS"));
+        assert!(d.manifest.nodes["AS"] >= 80 - 10);
+        assert!(d.manifest.rels.contains_key("ORIGINATE"));
+        assert!(d.manifest.rels.contains_key("POPULATION"));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(&IypConfig::tiny());
+        let b = generate(&IypConfig::tiny());
+        assert_eq!(a.manifest.nodes, b.manifest.nodes);
+        assert_eq!(a.manifest.rels, b.manifest.rels);
+    }
+
+    #[test]
+    fn seed_changes_dataset() {
+        let a = generate(&IypConfig::tiny());
+        let b = generate(&IypConfig {
+            seed: 43,
+            ..IypConfig::tiny()
+        });
+        assert_ne!(a.manifest.rels, b.manifest.rels);
+    }
+
+    #[test]
+    fn paper_example_query_answers() {
+        let d = dataset();
+        let r = query(
+            &d.graph,
+            "MATCH (a:AS {asn: 2497})-[p:POPULATION]->(c:Country {country_code: 'JP'}) \
+             RETURN p.percent",
+        )
+        .unwrap();
+        let v = r.single_value().expect("one percent value");
+        let pct = v.as_f64().unwrap();
+        assert!(pct > 0.0 && pct <= 100.0, "implausible percent {pct}");
+    }
+
+    #[test]
+    fn every_as_has_country_and_rank() {
+        let d = dataset();
+        let n_as = d.graph.label_count("AS") as i64;
+        let r = query(
+            &d.graph,
+            "MATCH (a:AS)-[:COUNTRY]->(:Country) RETURN count(a)",
+        )
+        .unwrap();
+        assert_eq!(r.single_value(), Some(&Value::Int(n_as)));
+        let r = query(
+            &d.graph,
+            "MATCH (a:AS)-[:RANK]->(:Ranking {name: 'CAIDA ASRank'}) RETURN count(a)",
+        )
+        .unwrap();
+        assert_eq!(r.single_value(), Some(&Value::Int(n_as)));
+    }
+
+    #[test]
+    fn population_shares_are_sane() {
+        let d = dataset();
+        let r = query(
+            &d.graph,
+            "MATCH (:AS)-[p:POPULATION]->(c:Country) \
+             WITH c.country_code AS cc, sum(p.percent) AS total \
+             RETURN max(total)",
+        )
+        .unwrap();
+        let max_total = r.single_value().unwrap().as_f64().unwrap();
+        assert!(max_total <= 101.0, "country over 100%: {max_total}");
+    }
+
+    #[test]
+    fn prefixes_have_origins_and_countries() {
+        let d = dataset();
+        let total = d.graph.label_count("Prefix") as i64;
+        let r = query(
+            &d.graph,
+            "MATCH (:AS)-[:ORIGINATE]->(p:Prefix) RETURN count(DISTINCT p._nope), count(*)",
+        );
+        // `_nope` is a missing property: exercise count-null semantics too.
+        let r = r.unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert!(r.rows[0][1].as_int().unwrap() >= total);
+    }
+
+    #[test]
+    fn tranco_ranks_are_dense_and_unique() {
+        let d = dataset();
+        let r = query(
+            &d.graph,
+            "MATCH (:DomainName)-[r:RANK]->(:Ranking {name: 'Tranco'}) \
+             RETURN count(r), count(DISTINCT r.rank), min(r.rank), max(r.rank)",
+        )
+        .unwrap();
+        let row = &r.rows[0];
+        assert_eq!(row[0], row[1], "duplicate Tranco ranks");
+        assert_eq!(row[2], Value::Int(1));
+        assert_eq!(row[3], Value::Int(IypConfig::tiny().n_domains as i64));
+    }
+
+    #[test]
+    fn asrank_rank_one_is_a_tier1() {
+        let d = dataset();
+        let r = query(
+            &d.graph,
+            "MATCH (a:AS)-[r:RANK {rank: 1}]->(:Ranking {name: 'CAIDA ASRank'}) RETURN a.asn",
+        )
+        .unwrap();
+        let asn = r.single_value().unwrap().as_int().unwrap() as u32;
+        let spec = d.ases.iter().find(|s| s.asn == asn).unwrap();
+        assert_eq!(spec.tier, Tier::Tier1);
+    }
+
+    #[test]
+    fn lookup_tables_align_with_graph() {
+        let d = dataset();
+        let iij = d.as_by_asn[&2497];
+        assert_eq!(
+            d.graph.node(iij).unwrap().props.get("name"),
+            Some(&Value::from("IIJ"))
+        );
+        let jp = d.country_by_code["JP"];
+        assert!(d.graph.node_has_label(jp, "Country"));
+    }
+}

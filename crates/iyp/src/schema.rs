@@ -1,0 +1,175 @@
+//! The Internet Yellow Pages schema: node labels, relationship types and
+//! the properties each carries.
+//!
+//! This mirrors the schema of the public IYP knowledge graph (Fontugne et
+//! al., IMC 2024), which aggregates BGP tables, WHOIS, peering databases,
+//! APNIC population estimates, CAIDA's ASRank and the Tranco list into one
+//! property graph.
+
+/// Node labels used by the dataset.
+pub mod labels {
+    /// An autonomous system. Properties: `asn` (int), `name` (string),
+    /// `hegemony` (float in [0, 1], IHR-style transit centrality).
+    pub const AS: &str = "AS";
+    /// An IP prefix. Properties: `prefix` (string), `af` (4 or 6).
+    pub const PREFIX: &str = "Prefix";
+    /// A country. Properties: `country_code` (ISO-3166 alpha-2), `name`,
+    /// `population` (int).
+    pub const COUNTRY: &str = "Country";
+    /// An organization (from WHOIS/PeeringDB). Properties: `name`.
+    pub const ORGANIZATION: &str = "Organization";
+    /// An Internet exchange point. Properties: `name`.
+    pub const IXP: &str = "IXP";
+    /// A colocation facility. Properties: `name`, `city`.
+    pub const FACILITY: &str = "Facility";
+    /// A registered domain name. Properties: `name`.
+    pub const DOMAIN_NAME: &str = "DomainName";
+    /// A categorization tag (e.g. "Content", "Eyeball"). Properties:
+    /// `label`.
+    pub const TAG: &str = "Tag";
+    /// A ranking source (e.g. "CAIDA ASRank", "Tranco"). Properties:
+    /// `name`.
+    pub const RANKING: &str = "Ranking";
+    /// A name record attached to an AS. Properties: `name`.
+    pub const NAME: &str = "Name";
+
+    /// Every label, for schema introspection.
+    pub const ALL: &[&str] = &[
+        AS,
+        PREFIX,
+        COUNTRY,
+        ORGANIZATION,
+        IXP,
+        FACILITY,
+        DOMAIN_NAME,
+        TAG,
+        RANKING,
+        NAME,
+    ];
+}
+
+/// Relationship types used by the dataset.
+pub mod rels {
+    /// `(:AS)-[:ORIGINATE]->(:Prefix)` — BGP origination.
+    pub const ORIGINATE: &str = "ORIGINATE";
+    /// `(:AS|:IXP|:Prefix)-[:COUNTRY]->(:Country)` — registration country.
+    pub const COUNTRY: &str = "COUNTRY";
+    /// `(:AS)-[:NAME]->(:Name)` — registered name record.
+    pub const NAME: &str = "NAME";
+    /// `(:AS)-[:MEMBER_OF]->(:IXP)` — IXP membership.
+    pub const MEMBER_OF: &str = "MEMBER_OF";
+    /// `(:AS)-[:PEERS_WITH]->(:AS)` — settlement-free peering.
+    pub const PEERS_WITH: &str = "PEERS_WITH";
+    /// `(:AS)-[:DEPENDS_ON]->(:AS)` — upstream transit dependency.
+    pub const DEPENDS_ON: &str = "DEPENDS_ON";
+    /// `(:AS|:Prefix)-[:CATEGORIZED]->(:Tag)` — category tags.
+    pub const CATEGORIZED: &str = "CATEGORIZED";
+    /// `(:AS)-[:POPULATION {percent}]->(:Country)` — APNIC-style share of
+    /// a country's Internet population served by the AS.
+    pub const POPULATION: &str = "POPULATION";
+    /// `(:AS|:DomainName)-[:RANK {rank}]->(:Ranking)` — rank in a source.
+    pub const RANK: &str = "RANK";
+    /// `(:AS|:IXP)-[:MANAGED_BY]->(:Organization)`.
+    pub const MANAGED_BY: &str = "MANAGED_BY";
+    /// `(:AS)-[:LOCATED_IN]->(:Facility)` — colocation presence.
+    pub const LOCATED_IN: &str = "LOCATED_IN";
+    /// `(:DomainName)-[:RESOLVES_TO]->(:Prefix)` — DNS resolution
+    /// (collapsed over the IP hop for this reproduction).
+    pub const RESOLVES_TO: &str = "RESOLVES_TO";
+
+    /// Every relationship type, for schema introspection.
+    pub const ALL: &[&str] = &[
+        ORIGINATE,
+        COUNTRY,
+        NAME,
+        MEMBER_OF,
+        PEERS_WITH,
+        DEPENDS_ON,
+        CATEGORIZED,
+        POPULATION,
+        RANK,
+        MANAGED_BY,
+        LOCATED_IN,
+        RESOLVES_TO,
+    ];
+}
+
+/// Category tags applied to ASes and prefixes, following the tag
+/// vocabulary IYP imports from BGP.tools and PeeringDB.
+pub const TAGS: &[&str] = &[
+    "Content",
+    "Eyeball",
+    "Transit",
+    "Cloud",
+    "CDN",
+    "Education",
+    "Government",
+    "Enterprise",
+    "Hosting",
+    "Mobile",
+    "Satellite",
+    "Research",
+    "Banking",
+    "Broadcast",
+    "Gaming",
+];
+
+/// Ranking source names.
+pub mod rankings {
+    /// CAIDA's AS rank (lower = more central).
+    pub const CAIDA_ASRANK: &str = "CAIDA ASRank";
+    /// APNIC's per-country eyeball population estimates.
+    pub const APNIC_EYEBALL: &str = "APNIC eyeball estimates";
+    /// The Tranco top-site list.
+    pub const TRANCO: &str = "Tranco";
+
+    /// All ranking sources created by the generator.
+    pub const ALL: &[&str] = &[CAIDA_ASRANK, APNIC_EYEBALL, TRANCO];
+}
+
+/// A human-readable schema summary, served by the HTTP API's `/schema`
+/// endpoint and included in text-to-Cypher prompt context.
+pub fn schema_summary() -> String {
+    let mut s = String::from("IYP schema\n==========\nNode labels:\n");
+    for l in labels::ALL {
+        s.push_str("  :");
+        s.push_str(l);
+        s.push('\n');
+    }
+    s.push_str("Relationship types:\n");
+    for r in rels::ALL {
+        s.push_str("  [:");
+        s.push_str(r);
+        s.push_str("]\n");
+    }
+    s.push_str("Key patterns:\n");
+    s.push_str("  (:AS)-[:ORIGINATE]->(:Prefix)\n");
+    s.push_str("  (:AS)-[:COUNTRY]->(:Country)\n");
+    s.push_str("  (:AS)-[:POPULATION {percent}]->(:Country)\n");
+    s.push_str("  (:AS)-[:RANK {rank}]->(:Ranking {name: 'CAIDA ASRank'})\n");
+    s.push_str("  (:AS)-[:MEMBER_OF]->(:IXP)\n");
+    s.push_str("  (:AS)-[:DEPENDS_ON]->(:AS)\n");
+    s.push_str("  (:DomainName)-[:RANK {rank}]->(:Ranking {name: 'Tranco'})\n");
+    s.push_str("  (:AS {hegemony}) — IHR-style transit centrality in [0, 1]\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_is_complete() {
+        assert_eq!(labels::ALL.len(), 10);
+        assert_eq!(rels::ALL.len(), 12);
+        assert!(TAGS.len() >= 10);
+    }
+
+    #[test]
+    fn summary_mentions_core_patterns() {
+        let s = schema_summary();
+        assert!(s.contains("ORIGINATE"));
+        assert!(s.contains("POPULATION"));
+        assert!(s.contains(":AS"));
+    }
+}

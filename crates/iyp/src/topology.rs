@@ -1,0 +1,412 @@
+//! AS-level topology synthesis.
+//!
+//! The generator produces a three-tier AS hierarchy with
+//! preferential-attachment provider selection, region-correlated peering,
+//! and a set of pinned, real-world-flavored ASes (AS2497/IIJ among them, so
+//! the paper's worked example is generated verbatim).
+
+use crate::countries::{by_code, CountryInfo, COUNTRIES};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Commercial tier of an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Global transit-free backbone.
+    Tier1,
+    /// Large regional/national network.
+    Tier2,
+    /// Stub / edge network.
+    Stub,
+}
+
+/// One synthesized AS.
+#[derive(Debug, Clone)]
+pub struct AsSpec {
+    /// AS number.
+    pub asn: u32,
+    /// Network name.
+    pub name: String,
+    /// ISO country code.
+    pub country: &'static str,
+    /// Commercial tier.
+    pub tier: Tier,
+    /// Category tags.
+    pub tags: Vec<&'static str>,
+}
+
+/// The synthesized AS-level topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// All ASes; index is used by the edge lists.
+    pub ases: Vec<AsSpec>,
+    /// `(customer, provider)` index pairs → DEPENDS_ON edges.
+    pub providers: Vec<(usize, usize)>,
+    /// `(a, b)` index pairs → PEERS_WITH edges.
+    pub peers: Vec<(usize, usize)>,
+}
+
+/// Well-known ASes pinned into every dataset (name, asn, cc, tier, tags).
+pub const PINNED_ASES: &[(&str, u32, &str, Tier, &[&str])] = &[
+    ("AT&T", 7018, "US", Tier::Tier1, &["Transit", "Eyeball"]),
+    ("Lumen", 3356, "US", Tier::Tier1, &["Transit"]),
+    ("Cogent", 174, "US", Tier::Tier1, &["Transit"]),
+    ("Arelion", 1299, "SE", Tier::Tier1, &["Transit"]),
+    ("NTT", 2914, "JP", Tier::Tier1, &["Transit"]),
+    ("Deutsche Telekom", 3320, "DE", Tier::Tier1, &["Transit", "Eyeball"]),
+    ("Tata Communications", 6453, "IN", Tier::Tier1, &["Transit"]),
+    ("GTT", 3257, "US", Tier::Tier1, &["Transit"]),
+    ("IIJ", 2497, "JP", Tier::Tier2, &["Transit", "Eyeball"]),
+    ("Hurricane Electric", 6939, "US", Tier::Tier2, &["Transit"]),
+    ("Google", 15169, "US", Tier::Tier2, &["Content", "Cloud"]),
+    ("Amazon", 16509, "US", Tier::Tier2, &["Cloud", "Hosting"]),
+    ("Microsoft", 8075, "US", Tier::Tier2, &["Cloud"]),
+    ("Cloudflare", 13335, "US", Tier::Tier2, &["CDN", "Content"]),
+    ("Meta", 32934, "US", Tier::Tier2, &["Content"]),
+    ("Akamai", 20940, "US", Tier::Tier2, &["CDN"]),
+    ("Comcast", 7922, "US", Tier::Tier2, &["Eyeball"]),
+    ("Chinanet", 4134, "CN", Tier::Tier2, &["Eyeball"]),
+    ("China Mobile", 9808, "CN", Tier::Tier2, &["Mobile", "Eyeball"]),
+    ("Korea Telecom", 4766, "KR", Tier::Tier2, &["Eyeball"]),
+    ("HiNet", 3462, "TW", Tier::Tier2, &["Eyeball"]),
+    ("Telstra", 1221, "AU", Tier::Tier2, &["Eyeball"]),
+    ("Claro", 28573, "BR", Tier::Tier2, &["Eyeball", "Mobile"]),
+    ("Free", 12322, "FR", Tier::Tier2, &["Eyeball"]),
+    ("Vodafone", 3209, "DE", Tier::Tier2, &["Eyeball", "Mobile"]),
+    ("Turk Telekom", 9121, "TR", Tier::Tier2, &["Eyeball"]),
+    ("Reliance Jio", 55836, "IN", Tier::Tier2, &["Mobile", "Eyeball"]),
+    ("OTE", 6799, "GR", Tier::Tier2, &["Eyeball"]),
+];
+
+const NAME_STEMS: &[&str] = &[
+    "Net", "Tele", "Giga", "Fiber", "Swift", "Metro", "Nova", "Apex", "Core", "Edge", "Hyper",
+    "Quantum", "Stellar", "Pacific", "Atlantic", "Summit", "Vertex", "Pulse", "Orbit", "Zenith",
+];
+const NAME_TAILS: &[&str] = &[
+    "Link", "Com", "Wave", "Path", "Span", "Line", "Bridge", "Port", "Gate", "Stream",
+];
+const NAME_SUFFIXES: &[&str] = &[
+    "Telecom", "Networks", "Online", "Broadband", "Hosting", "ISP", "Datacenter", "Connect",
+    "Internet", "Communications",
+];
+
+/// Synthesizes a topology with `n_as` ASes (at least the pinned set).
+pub fn generate(rng: &mut StdRng, n_as: usize) -> Topology {
+    let n_as = n_as.max(PINNED_ASES.len() + 10);
+    let mut ases: Vec<AsSpec> = PINNED_ASES
+        .iter()
+        .map(|(name, asn, cc, tier, tags)| AsSpec {
+            asn: *asn,
+            name: (*name).to_string(),
+            country: by_code(cc).expect("pinned country exists").code,
+            tier: *tier,
+            tags: tags.to_vec(),
+        })
+        .collect();
+
+    // Country weights ∝ population^0.7 so big countries host more ASes.
+    let weights: Vec<f64> = COUNTRIES
+        .iter()
+        .map(|c| (c.population as f64).powf(0.7))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+
+    let mut next_asn: u32 = 200_000; // private-ish range, no pinned collisions
+    let mut used_names = std::collections::HashSet::new();
+    for a in &ases {
+        used_names.insert(a.name.clone());
+    }
+
+    while ases.len() < n_as {
+        let country = pick_weighted(rng, &weights, total_w);
+        let country = &COUNTRIES[country];
+        let tier = {
+            let x: f64 = rng.random();
+            if x < 0.10 {
+                Tier::Tier2
+            } else {
+                Tier::Stub
+            }
+        };
+        let name = loop {
+            let n = format!(
+                "{}{} {}",
+                NAME_STEMS[rng.random_range(0..NAME_STEMS.len())],
+                NAME_TAILS[rng.random_range(0..NAME_TAILS.len())],
+                NAME_SUFFIXES[rng.random_range(0..NAME_SUFFIXES.len())],
+            );
+            if used_names.insert(n.clone()) {
+                break n;
+            }
+        };
+        let mut tags: Vec<&'static str> = Vec::new();
+        match tier {
+            Tier::Tier2 => {
+                tags.push("Transit");
+                if rng.random::<f64>() < 0.5 {
+                    tags.push("Eyeball");
+                }
+            }
+            Tier::Stub => {
+                let roll: f64 = rng.random();
+                if roll < 0.40 {
+                    tags.push("Eyeball");
+                } else if roll < 0.55 {
+                    tags.push("Hosting");
+                } else if roll < 0.65 {
+                    tags.push("Enterprise");
+                } else if roll < 0.72 {
+                    tags.push("Education");
+                } else if roll < 0.78 {
+                    tags.push("Content");
+                } else if roll < 0.83 {
+                    tags.push("Government");
+                }
+                if rng.random::<f64>() < 0.08 {
+                    tags.push("Mobile");
+                }
+            }
+            Tier::Tier1 => tags.push("Transit"),
+        }
+        ases.push(AsSpec {
+            asn: next_asn,
+            name,
+            country: country.code,
+            tier,
+            tags,
+        });
+        next_asn += rng.random_range(1..40);
+    }
+
+    let tier1: Vec<usize> = indices_of(&ases, Tier::Tier1);
+    let tier2: Vec<usize> = indices_of(&ases, Tier::Tier2);
+    let stubs: Vec<usize> = indices_of(&ases, Tier::Stub);
+
+    let mut providers: Vec<(usize, usize)> = Vec::new();
+    let mut peers: Vec<(usize, usize)> = Vec::new();
+    // Customer counts for preferential attachment.
+    let mut customer_count = vec![0usize; ases.len()];
+
+    // Tier-1 clique: settlement-free peering.
+    for (i, &a) in tier1.iter().enumerate() {
+        for &b in tier1.iter().skip(i + 1) {
+            peers.push((a, b));
+        }
+    }
+
+    // Tier-2s buy transit from 2-3 tier-1s.
+    for &t2 in &tier2 {
+        let n_up = rng.random_range(2..=3).min(tier1.len());
+        for &p in pick_pref(rng, &tier1, &customer_count, n_up, |_| 1.0).iter() {
+            providers.push((t2, p));
+            customer_count[p] += 1;
+        }
+    }
+
+    // Tier-2 peering: same-region with probability.
+    for (i, &a) in tier2.iter().enumerate() {
+        for &b in tier2.iter().skip(i + 1) {
+            let ra = region_of(&ases[a]);
+            let rb = region_of(&ases[b]);
+            let p = if ra == rb { 0.25 } else { 0.06 };
+            if rng.random::<f64>() < p {
+                peers.push((a, b));
+            }
+        }
+    }
+
+    // Stubs buy transit from 1-3 providers, preferring same-country /
+    // same-region tier-2s; fall back to tier-1.
+    for &s in &stubs {
+        let n_up = 1 + (rng.random::<f64>() < 0.45) as usize + (rng.random::<f64>() < 0.15) as usize;
+        let my_cc = ases[s].country;
+        let my_region = region_of(&ases[s]);
+        let chosen = pick_pref(rng, &tier2, &customer_count, n_up, |&cand| {
+            let c = &ases[cand];
+            if c.country == my_cc {
+                6.0
+            } else if region_of(c) == my_region {
+                2.0
+            } else {
+                0.5
+            }
+        });
+        if chosen.is_empty() {
+            // No tier-2s at all (tiny configs): use tier-1.
+            if let Some(&p) = tier1.first() {
+                providers.push((s, p));
+                customer_count[p] += 1;
+            }
+        } else {
+            for &p in &chosen {
+                providers.push((s, p));
+                customer_count[p] += 1;
+            }
+        }
+    }
+
+    Topology {
+        ases,
+        providers,
+        peers,
+    }
+}
+
+fn indices_of(ases: &[AsSpec], tier: Tier) -> Vec<usize> {
+    ases.iter()
+        .enumerate()
+        .filter(|(_, a)| a.tier == tier)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn region_of(a: &AsSpec) -> crate::countries::Region {
+    by_code(a.country).expect("valid country").region
+}
+
+fn pick_weighted(rng: &mut StdRng, weights: &[f64], total: f64) -> usize {
+    let mut x = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Picks up to `n` distinct candidates with probability proportional to
+/// `(1 + customers) * bias(candidate)` — preferential attachment with a
+/// locality bias.
+fn pick_pref(
+    rng: &mut StdRng,
+    candidates: &[usize],
+    customer_count: &[usize],
+    n: usize,
+    bias: impl Fn(&usize) -> f64,
+) -> Vec<usize> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let mut picked: Vec<usize> = Vec::new();
+    let mut weights: Vec<f64> = candidates
+        .iter()
+        .map(|c| (1.0 + customer_count[*c] as f64) * bias(c))
+        .collect();
+    for _ in 0..n.min(candidates.len()) {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        let idx = pick_weighted(rng, &weights, total);
+        picked.push(candidates[idx]);
+        weights[idx] = 0.0;
+    }
+    picked
+}
+
+/// Accessor used elsewhere: the country record of an AS.
+pub fn country_of(a: &AsSpec) -> &'static CountryInfo {
+    by_code(a.country).expect("valid country")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn topo(seed: u64, n: usize) -> Topology {
+        generate(&mut StdRng::seed_from_u64(seed), n)
+    }
+
+    #[test]
+    fn pinned_ases_present() {
+        let t = topo(1, 200);
+        let iij = t.ases.iter().find(|a| a.asn == 2497).unwrap();
+        assert_eq!(iij.name, "IIJ");
+        assert_eq!(iij.country, "JP");
+        assert!(t.ases.iter().any(|a| a.asn == 15169));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = topo(7, 300);
+        let b = topo(7, 300);
+        assert_eq!(a.ases.len(), b.ases.len());
+        assert_eq!(a.providers, b.providers);
+        assert_eq!(a.peers, b.peers);
+        assert!(a.ases.iter().zip(&b.ases).all(|(x, y)| x.asn == y.asn));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = topo(1, 300);
+        let b = topo(2, 300);
+        assert_ne!(a.providers, b.providers);
+    }
+
+    #[test]
+    fn every_non_tier1_has_a_provider() {
+        let t = topo(3, 400);
+        for (i, a) in t.ases.iter().enumerate() {
+            if a.tier != Tier::Tier1 {
+                assert!(
+                    t.providers.iter().any(|(c, _)| *c == i),
+                    "AS{} ({:?}) has no provider",
+                    a.asn,
+                    a.tier
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn providers_point_up_the_hierarchy() {
+        let t = topo(4, 400);
+        for &(c, p) in &t.providers {
+            let tc = t.ases[c].tier;
+            let tp = t.ases[p].tier;
+            let rank = |t: Tier| match t {
+                Tier::Tier1 => 0,
+                Tier::Tier2 => 1,
+                Tier::Stub => 2,
+            };
+            assert!(rank(tp) < rank(tc), "provider not above customer");
+        }
+    }
+
+    #[test]
+    fn tier1s_form_a_clique() {
+        let t = topo(5, 300);
+        let t1: Vec<usize> = t
+            .ases
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.tier == Tier::Tier1)
+            .map(|(i, _)| i)
+            .collect();
+        let expected = t1.len() * (t1.len() - 1) / 2;
+        let actual = t
+            .peers
+            .iter()
+            .filter(|(a, b)| t1.contains(a) && t1.contains(b))
+            .count();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn asn_uniqueness() {
+        let t = topo(6, 500);
+        let mut asns: Vec<u32> = t.ases.iter().map(|a| a.asn).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        assert_eq!(asns.len(), t.ases.len());
+    }
+
+    #[test]
+    fn scales_to_requested_size() {
+        assert_eq!(topo(8, 1000).ases.len(), 1000);
+        // Tiny request is clamped to the pinned set + margin.
+        assert!(topo(8, 5).ases.len() >= PINNED_ASES.len());
+    }
+}

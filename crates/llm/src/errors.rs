@@ -1,0 +1,127 @@
+//! The translation error model.
+//!
+//! The paper's Finding 2 is that ChatIYP's accuracy degrades with
+//! *structural* complexity (hops, joins, aggregation depth), not with
+//! domain. This module encodes that mechanism: a complexity score per
+//! query shape, a logistic error curve over it, and the catalogue of
+//! structural mutations an errant translation exhibits.
+
+use serde::{Deserialize, Serialize};
+
+/// Structural complexity of a query shape. Roughly: one point per pattern
+/// hop, one per aggregation, one per extra joined entity, two per
+/// variable-length segment.
+pub fn complexity_score(hops: u32, aggregations: u32, joins: u32, var_length: u32) -> u32 {
+    hops + aggregations + joins + 2 * var_length
+}
+
+/// Probability that a translation of complexity `c` by a model of the
+/// given skill goes wrong: a logistic curve in `c`, scaled by `1 - skill`.
+///
+/// At the default skill (0.72) this gives roughly 9% error at c=1,
+/// 28% at c=3 and 55% at c=5+ — matching the Easy/Medium/Hard gradient of
+/// the paper's Figure 2b.
+pub fn error_probability(skill: f64, complexity: u32) -> f64 {
+    let skill = skill.clamp(0.0, 1.0);
+    let c = complexity as f64;
+    let base = 1.0 / (1.0 + (-(c - 3.2) * 0.9).exp());
+    (base * (1.35 - skill)).clamp(0.0, 0.97)
+}
+
+/// The kinds of structural mistakes an errant translation makes. Which
+/// one is drawn depends deterministically on the question key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TranslationError {
+    /// A relationship type is replaced by a schema-plausible wrong one
+    /// (e.g. `COUNTRY` instead of `POPULATION`).
+    WrongRelType,
+    /// One hop of a multi-hop pattern is dropped.
+    MissingHop,
+    /// A relationship direction is flipped.
+    WrongDirection,
+    /// A property name is wrong (e.g. `code` instead of `country_code`).
+    WrongProperty,
+    /// A `WHERE`/inline filter is dropped, over-returning.
+    DroppedFilter,
+    /// The wrong aggregation is used (e.g. `collect` instead of `count`).
+    WrongAggregate,
+    /// The model produces no usable query at all.
+    NoQuery,
+}
+
+/// All error kinds, in draw order.
+pub const ERROR_KINDS: &[TranslationError] = &[
+    TranslationError::WrongRelType,
+    TranslationError::MissingHop,
+    TranslationError::WrongDirection,
+    TranslationError::WrongProperty,
+    TranslationError::DroppedFilter,
+    TranslationError::WrongAggregate,
+    TranslationError::NoQuery,
+];
+
+/// Draws an error kind for a failing translation. Simple shapes can't
+/// lose hops, so the draw respects the query's structure.
+pub fn draw_error(pick: usize, hops: u32) -> TranslationError {
+    let applicable: Vec<TranslationError> = ERROR_KINDS
+        .iter()
+        .copied()
+        .filter(|e| match e {
+            TranslationError::MissingHop | TranslationError::WrongDirection => hops >= 1,
+            _ => true,
+        })
+        .collect();
+    applicable[pick % applicable.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complexity_weights_var_length_double() {
+        assert_eq!(complexity_score(1, 0, 0, 0), 1);
+        assert_eq!(complexity_score(2, 1, 0, 0), 3);
+        assert_eq!(complexity_score(1, 0, 0, 1), 3);
+        assert_eq!(complexity_score(3, 1, 1, 1), 7);
+    }
+
+    #[test]
+    fn error_curve_is_monotone_in_complexity_and_skill() {
+        for skill in [0.2, 0.5, 0.72, 0.95] {
+            let mut last = -1.0;
+            for c in 0..8 {
+                let p = error_probability(skill, c);
+                assert!(p >= last, "not monotone at skill={skill} c={c}");
+                assert!((0.0..=0.97).contains(&p));
+                last = p;
+            }
+        }
+        assert!(error_probability(0.9, 3) < error_probability(0.5, 3));
+    }
+
+    #[test]
+    fn default_skill_calibration_bands() {
+        // These bands pin the Figure 2b shape; adjust deliberately only.
+        let easy = error_probability(0.72, 1);
+        let medium = error_probability(0.72, 3);
+        let hard = error_probability(0.72, 5);
+        assert!(easy < 0.15, "easy error too high: {easy}");
+        assert!((0.2..0.45).contains(&medium), "medium out of band: {medium}");
+        assert!(hard > 0.45, "hard error too low: {hard}");
+    }
+
+    #[test]
+    fn draw_respects_structure() {
+        for pick in 0..20 {
+            let e = draw_error(pick, 0);
+            assert!(
+                !matches!(
+                    e,
+                    TranslationError::MissingHop | TranslationError::WrongDirection
+                ),
+                "hopless query drew {e:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,976 @@
+//! Question intents: the shared semantic space between natural-language
+//! questions, gold Cypher, and the text-to-Cypher translator.
+//!
+//! Every benchmark question instantiates one [`Intent`]. The CypherEval
+//! generator renders an intent to English (several phrasings) and to gold
+//! Cypher; the translator parses English back to an intent and renders its
+//! own Cypher. Difficulty is *derived from structural complexity* —
+//! exactly the paper's finding that structure, not domain, predicts
+//! failure.
+
+use crate::errors::complexity_score;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Benchmark difficulty label (CypherEval taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Difficulty {
+    /// Single lookup or one-hop pattern.
+    Easy,
+    /// Two/three-hop patterns, aggregation with joins.
+    Medium,
+    /// Deep multi-hop, variable-length or multi-entity joins.
+    Hard,
+}
+
+impl std::fmt::Display for Difficulty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Difficulty::Easy => write!(f, "Easy"),
+            Difficulty::Medium => write!(f, "Medium"),
+            Difficulty::Hard => write!(f, "Hard"),
+        }
+    }
+}
+
+/// Question domain (CypherEval taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Domain {
+    /// Questions a non-specialist asks: names, countries, populations,
+    /// popular domains.
+    General,
+    /// Questions about routing internals: prefixes, peering, transit,
+    /// ranks.
+    Technical,
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Domain::General => write!(f, "general"),
+            Domain::Technical => write!(f, "technical"),
+        }
+    }
+}
+
+/// A fully-instantiated question intent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Intent {
+    // ---- Easy ----
+    /// Name of an AS. `MATCH (a:AS {asn}) RETURN a.name`
+    AsName {
+        /// AS number.
+        asn: u32,
+    },
+    /// ASN of a named network.
+    AsnOfName {
+        /// Network name.
+        name: String,
+    },
+    /// Registration country of an AS.
+    AsCountry {
+        /// AS number.
+        asn: u32,
+    },
+    /// How many ASes are registered in a country.
+    CountAsInCountry {
+        /// Country code.
+        country: String,
+    },
+    /// CAIDA ASRank of an AS.
+    AsRank {
+        /// AS number.
+        asn: u32,
+    },
+    /// Number of prefixes an AS originates.
+    CountPrefixes {
+        /// AS number.
+        asn: u32,
+    },
+    /// Which AS originates a prefix.
+    PrefixOrigin {
+        /// The prefix string.
+        prefix: String,
+    },
+    /// Tranco rank of a domain.
+    DomainRank {
+        /// Domain name.
+        domain: String,
+    },
+    /// Country of an IXP.
+    IxpCountry {
+        /// IXP name.
+        ixp: String,
+    },
+    /// Member count of an IXP.
+    IxpMemberCount {
+        /// IXP name.
+        ixp: String,
+    },
+    /// The paper's worked example: population share of an AS in a country.
+    PopulationShare {
+        /// AS number.
+        asn: u32,
+        /// Country code.
+        country: String,
+    },
+    /// Managing organization of an AS.
+    OrgOfAs {
+        /// AS number.
+        asn: u32,
+    },
+
+    // ---- Medium ----
+    /// Top-N ASes of a country by prefix count.
+    TopAsInCountryByPrefixes {
+        /// Country code.
+        country: String,
+        /// How many.
+        n: u32,
+    },
+    /// Which AS serves the largest population share in a country.
+    TopPopulationAs {
+        /// Country code.
+        country: String,
+    },
+    /// Count of an AS's prefixes of one address family.
+    PrefixesAfCount {
+        /// AS number.
+        asn: u32,
+        /// 4 or 6.
+        af: u8,
+    },
+    /// How many members of an IXP are registered in a given country.
+    IxpMembersFromCountry {
+        /// IXP name.
+        ixp: String,
+        /// Country code.
+        country: String,
+    },
+    /// IXPs where two ASes are both members.
+    SharedIxps {
+        /// First AS.
+        a: u32,
+        /// Second AS.
+        b: u32,
+    },
+    /// Best-ranked (CAIDA) AS registered in a country.
+    TopRankedInCountry {
+        /// Country code.
+        country: String,
+    },
+    /// Average number of prefixes per AS in a country.
+    AvgPrefixesInCountry {
+        /// Country code.
+        country: String,
+    },
+    /// Count of ASes in a country carrying a tag.
+    TaggedAsInCountry {
+        /// Tag label.
+        tag: String,
+        /// Country code.
+        country: String,
+    },
+
+    // ---- Hard ----
+    /// All ASes reachable via 1-3 DEPENDS_ON hops.
+    TransitiveUpstreams {
+        /// AS number.
+        asn: u32,
+    },
+    /// Upstream providers shared by two ASes.
+    CommonUpstreams {
+        /// First AS.
+        a: u32,
+        /// Second AS.
+        b: u32,
+    },
+    /// Countries in which an AS's upstream providers are registered.
+    UpstreamCountries {
+        /// AS number.
+        asn: u32,
+    },
+    /// Best-Tranco-ranked domain resolving into an AS's prefixes.
+    TopDomainOnAs {
+        /// AS number.
+        asn: u32,
+    },
+    /// Total prefixes originated by an AS's upstream providers.
+    UpstreamPrefixCount {
+        /// AS number.
+        asn: u32,
+    },
+    /// Population share served by a country's best-ranked AS.
+    PopulationOfTopRanked {
+        /// Country code.
+        country: String,
+    },
+    /// Domains that resolve into prefixes originated by an AS.
+    DomainsOnAs {
+        /// AS number.
+        asn: u32,
+    },
+    /// Length of the shortest DEPENDS_ON path between two ASes.
+    ShortestDependencyPath {
+        /// Source AS.
+        a: u32,
+        /// Destination AS.
+        b: u32,
+    },
+    /// ASes in a country with no upstream provider (transit-free).
+    TransitFreeInCountry {
+        /// Country code.
+        country: String,
+    },
+    /// IHR-style hegemony (transit centrality) score of an AS.
+    HegemonyOfAs {
+        /// AS number.
+        asn: u32,
+    },
+}
+
+impl Intent {
+    /// Structural components `(hops, aggregations, joins, var_length)` of
+    /// the canonical query shape for this intent.
+    pub fn structure(&self) -> (u32, u32, u32, u32) {
+        use Intent::*;
+        match self {
+            AsName { .. } | AsnOfName { .. } => (0, 0, 0, 0),
+            AsCountry { .. } | PrefixOrigin { .. } | IxpCountry { .. } | OrgOfAs { .. } => {
+                (1, 0, 0, 0)
+            }
+            CountAsInCountry { .. } | IxpMemberCount { .. } | CountPrefixes { .. } => (1, 1, 0, 0),
+            AsRank { .. } | DomainRank { .. } => (1, 0, 1, 0),
+            PopulationShare { .. } => (1, 0, 1, 0),
+            TopAsInCountryByPrefixes { .. } => (2, 1, 0, 0),
+            TopPopulationAs { .. } => (1, 1, 1, 0),
+            PrefixesAfCount { .. } => (1, 1, 1, 0),
+            IxpMembersFromCountry { .. } => (2, 1, 1, 0),
+            SharedIxps { .. } => (2, 0, 2, 0),
+            TopRankedInCountry { .. } => (2, 0, 2, 0),
+            AvgPrefixesInCountry { .. } => (2, 2, 0, 0),
+            TaggedAsInCountry { .. } => (2, 1, 1, 0),
+            TransitiveUpstreams { .. } => (1, 1, 1, 1),
+            CommonUpstreams { .. } => (2, 0, 3, 0),
+            UpstreamCountries { .. } => (2, 1, 2, 0),
+            TopDomainOnAs { .. } => (3, 0, 2, 0),
+            UpstreamPrefixCount { .. } => (2, 2, 1, 0),
+            PopulationOfTopRanked { .. } => (3, 1, 2, 0),
+            DomainsOnAs { .. } => (2, 1, 2, 0),
+            ShortestDependencyPath { .. } => (1, 0, 2, 1),
+            TransitFreeInCountry { .. } => (2, 1, 1, 0),
+            HegemonyOfAs { .. } => (0, 0, 0, 0),
+        }
+    }
+
+    /// The structural complexity score.
+    pub fn complexity(&self) -> u32 {
+        let (h, a, j, v) = self.structure();
+        complexity_score(h, a, j, v)
+    }
+
+    /// Difficulty, derived from complexity: ≤2 Easy, 3-4 Medium, ≥5 Hard.
+    pub fn difficulty(&self) -> Difficulty {
+        match self.complexity() {
+            0..=2 => Difficulty::Easy,
+            3..=4 => Difficulty::Medium,
+            _ => Difficulty::Hard,
+        }
+    }
+
+    /// Question domain.
+    pub fn domain(&self) -> Domain {
+        use Intent::*;
+        match self {
+            AsName { .. }
+            | AsnOfName { .. }
+            | AsCountry { .. }
+            | CountAsInCountry { .. }
+            | DomainRank { .. }
+            | IxpCountry { .. }
+            | PopulationShare { .. }
+            | OrgOfAs { .. }
+            | TopPopulationAs { .. }
+            | TaggedAsInCountry { .. }
+            | UpstreamCountries { .. }
+            | PopulationOfTopRanked { .. }
+            | DomainsOnAs { .. } => Domain::General,
+            ShortestDependencyPath { .. } | TransitFreeInCountry { .. } | HegemonyOfAs { .. } => {
+                Domain::Technical
+            }
+            _ => Domain::Technical,
+        }
+    }
+
+    /// A stable identifier for the intent *kind* (without parameters).
+    pub fn kind(&self) -> &'static str {
+        use Intent::*;
+        match self {
+            AsName { .. } => "as_name",
+            AsnOfName { .. } => "asn_of_name",
+            AsCountry { .. } => "as_country",
+            CountAsInCountry { .. } => "count_as_in_country",
+            AsRank { .. } => "as_rank",
+            CountPrefixes { .. } => "count_prefixes",
+            PrefixOrigin { .. } => "prefix_origin",
+            DomainRank { .. } => "domain_rank",
+            IxpCountry { .. } => "ixp_country",
+            IxpMemberCount { .. } => "ixp_member_count",
+            PopulationShare { .. } => "population_share",
+            OrgOfAs { .. } => "org_of_as",
+            TopAsInCountryByPrefixes { .. } => "top_as_in_country_by_prefixes",
+            TopPopulationAs { .. } => "top_population_as",
+            PrefixesAfCount { .. } => "prefixes_af_count",
+            IxpMembersFromCountry { .. } => "ixp_members_from_country",
+            SharedIxps { .. } => "shared_ixps",
+            TopRankedInCountry { .. } => "top_ranked_in_country",
+            AvgPrefixesInCountry { .. } => "avg_prefixes_in_country",
+            TaggedAsInCountry { .. } => "tagged_as_in_country",
+            TransitiveUpstreams { .. } => "transitive_upstreams",
+            CommonUpstreams { .. } => "common_upstreams",
+            UpstreamCountries { .. } => "upstream_countries",
+            TopDomainOnAs { .. } => "top_domain_on_as",
+            UpstreamPrefixCount { .. } => "upstream_prefix_count",
+            PopulationOfTopRanked { .. } => "population_of_top_ranked",
+            DomainsOnAs { .. } => "domains_on_as",
+            ShortestDependencyPath { .. } => "shortest_dependency_path",
+            TransitFreeInCountry { .. } => "transit_free_in_country",
+            HegemonyOfAs { .. } => "hegemony_of_as",
+        }
+    }
+}
+
+/// Known entities the parser can resolve mentions against — built from the
+/// generated dataset (the stand-in for the schema/entity context ChatIYP's
+/// prompt chain carries).
+#[derive(Debug, Clone, Default)]
+pub struct EntityCatalog {
+    /// Lower-cased network name → ASN.
+    pub as_names: HashMap<String, u32>,
+    /// ASN → display (original-case) network name.
+    pub as_display: HashMap<u32, String>,
+    /// Lower-cased country name → code; codes map to themselves.
+    pub countries: HashMap<String, String>,
+    /// Lower-cased IXP name → canonical name.
+    pub ixps: HashMap<String, String>,
+    /// Lower-cased domain name → canonical name.
+    pub domains: HashMap<String, String>,
+    /// Lower-cased tag → canonical tag.
+    pub tags: HashMap<String, String>,
+}
+
+impl EntityCatalog {
+    /// Builds the catalog from dataset lookup tables.
+    pub fn from_dataset(d: &iyp_data::IypDataset) -> Self {
+        let mut cat = EntityCatalog::default();
+        for spec in &d.ases {
+            cat.as_names.insert(spec.name.to_lowercase(), spec.asn);
+            cat.as_display.insert(spec.asn, spec.name.clone());
+        }
+        for c in iyp_data::countries::COUNTRIES {
+            cat.countries
+                .insert(c.name.to_lowercase(), c.code.to_string());
+            cat.countries
+                .insert(c.code.to_lowercase(), c.code.to_string());
+        }
+        for name in d.ixp_by_name.keys() {
+            cat.ixps.insert(name.to_lowercase(), name.clone());
+        }
+        for id in d.graph.nodes_with_label("DomainName") {
+            if let Some(name) = d
+                .graph
+                .node(id)
+                .and_then(|n| n.props.get("name").and_then(|v| v.as_str().map(String::from)))
+            {
+                cat.domains.insert(name.to_lowercase(), name);
+            }
+        }
+        for tag in iyp_data::schema::TAGS {
+            cat.tags.insert(tag.to_lowercase(), tag.to_string());
+        }
+        cat
+    }
+}
+
+/// Entity mentions found in a question.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Mentions {
+    /// ASNs, in order of appearance.
+    pub asns: Vec<u32>,
+    /// Country codes.
+    pub countries: Vec<String>,
+    /// IXP names.
+    pub ixps: Vec<String>,
+    /// Domain names.
+    pub domains: Vec<String>,
+    /// Tags.
+    pub tags: Vec<String>,
+    /// Prefixes (e.g. `203.0.113.0/24`).
+    pub prefixes: Vec<String>,
+    /// Standalone numbers (for top-N).
+    pub numbers: Vec<i64>,
+}
+
+/// Extracts entity mentions from a question.
+pub fn extract_mentions(question: &str, cat: &EntityCatalog) -> Mentions {
+    let mut m = Mentions::default();
+    let lower = question.to_lowercase();
+
+    // Prefixes: token containing '/' with digits.
+    for raw in question.split_whitespace() {
+        let tok = raw.trim_matches(|c: char| !(c.is_alphanumeric() || c == '/' || c == ':' || c == '.'));
+        if tok.contains('/')
+            && tok.chars().next().map(|c| c.is_ascii_hexdigit()).unwrap_or(false)
+            && tok.chars().any(|c| c.is_ascii_digit())
+        {
+            m.prefixes.push(tok.to_string());
+        }
+    }
+
+    // ASNs: "AS2497" or "asn 2497" or "as 2497".
+    let words: Vec<&str> = lower
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .collect();
+    for (i, w) in words.iter().enumerate() {
+        if let Some(num) = w.strip_prefix("as") {
+            if let Ok(asn) = num.parse::<u32>() {
+                m.asns.push(asn);
+                continue;
+            }
+        }
+        if (*w == "as" || *w == "asn") && i + 1 < words.len() {
+            if let Ok(asn) = words[i + 1].parse::<u32>() {
+                if !m.asns.contains(&asn) {
+                    m.asns.push(asn);
+                }
+            }
+        }
+    }
+
+    // IXP names first: their spans mask shorter matches inside them
+    // ("Mexico City-IX" must not also register the country Mexico).
+    // Matches are collected position-sorted so multi-mention questions
+    // resolve deterministically regardless of map iteration order.
+    let mut ixp_spans: Vec<(usize, usize)> = Vec::new();
+    let mut found_ixps: Vec<(usize, String)> = Vec::new();
+    for (name, canon) in &cat.ixps {
+        if let Some(pos) = find_word(&lower, name) {
+            ixp_spans.push((pos, pos + name.len()));
+            found_ixps.push((pos, canon.clone()));
+        }
+    }
+    found_ixps.sort();
+    for (_, canon) in found_ixps {
+        if !m.ixps.contains(&canon) {
+            m.ixps.push(canon);
+        }
+    }
+    let masked = |pos: usize| ixp_spans.iter().any(|&(s, e)| pos >= s && pos < e);
+
+    // Known names: scan the catalog maps against the question. Country
+    // *names* match case-insensitively; two-letter *codes* only match as
+    // uppercase words in the original text ("IN" the code must not match
+    // "in" the preposition).
+    let mut found_countries: Vec<(usize, String)> = Vec::new();
+    for (name, code) in &cat.countries {
+        if name.len() == 2 {
+            if let Some(pos) = find_word(question, &code.to_uppercase()) {
+                if !masked(pos) {
+                    found_countries.push((pos, code.clone()));
+                }
+            }
+        } else if let Some(pos) = find_word(&lower, name) {
+            if !masked(pos) {
+                found_countries.push((pos, code.clone()));
+            }
+        }
+    }
+    found_countries.sort();
+    for (_, code) in found_countries {
+        if !m.countries.contains(&code) {
+            m.countries.push(code);
+        }
+    }
+
+    let mut found_as: Vec<(usize, u32)> = Vec::new();
+    for (name, asn) in &cat.as_names {
+        if name.len() >= 3 || name == "iij" || name == "ntt" || name == "ote" || name == "gtt" {
+            if let Some(pos) = find_word(&lower, name) {
+                found_as.push((pos, *asn));
+            }
+        }
+    }
+    found_as.sort();
+    for (_, asn) in found_as {
+        if !m.asns.contains(&asn) {
+            m.asns.push(asn);
+        }
+    }
+
+    let mut found_domains: Vec<(usize, String)> = Vec::new();
+    for (name, canon) in &cat.domains {
+        if let Some(pos) = lower.find(name.as_str()) {
+            found_domains.push((pos, canon.clone()));
+        }
+    }
+    found_domains.sort();
+    for (_, canon) in found_domains {
+        if !m.domains.contains(&canon) {
+            m.domains.push(canon);
+        }
+    }
+    let mut found_tags: Vec<(usize, String)> = Vec::new();
+    for (name, canon) in &cat.tags {
+        if let Some(pos) = find_word(&lower, name) {
+            found_tags.push((pos, canon.clone()));
+        }
+    }
+    found_tags.sort();
+    for (_, canon) in found_tags {
+        if !m.tags.contains(&canon) {
+            m.tags.push(canon);
+        }
+    }
+
+    // Standalone small numbers (top-N), excluding captured ASNs.
+    for w in &words {
+        if let Ok(n) = w.parse::<i64>() {
+            if n > 0 && n <= 1000 && !m.asns.contains(&(n as u32)) {
+                m.numbers.push(n);
+            }
+        }
+    }
+    m
+}
+
+/// Finds `needle` in `haystack` at a word boundary.
+fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !haystack[..abs]
+                .chars()
+                .last()
+                .map(|c| c.is_alphanumeric())
+                .unwrap_or(false);
+        let after = abs + needle.len();
+        let after_ok = after >= haystack.len()
+            || !haystack[after..]
+                .chars()
+                .next()
+                .map(|c| c.is_alphanumeric())
+                .unwrap_or(false);
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        start = abs + needle.len().max(1);
+        if start >= haystack.len() {
+            break;
+        }
+    }
+    None
+}
+
+/// Parses a natural-language question into an intent, given the entity
+/// catalog. Returns `None` when no intent pattern matches — the pipeline
+/// then falls back to vector retrieval (as the paper describes).
+pub fn parse_question(question: &str, cat: &EntityCatalog) -> Option<Intent> {
+    let q = question.to_lowercase();
+    let m = extract_mentions(question, cat);
+    let has = |s: &str| q.contains(s);
+
+    // ---- population questions ----
+    if has("population") {
+        if has("top-ranked") || has("top ranked") || has("best-ranked") || has("best ranked") {
+            if let Some(c) = m.countries.first() {
+                return Some(Intent::PopulationOfTopRanked { country: c.clone() });
+            }
+        }
+        if (has("largest") || has("most") || has("biggest") || has("highest")) && m.asns.is_empty()
+        {
+            if let Some(c) = m.countries.first() {
+                return Some(Intent::TopPopulationAs { country: c.clone() });
+            }
+        }
+        if let (Some(&asn), Some(c)) = (m.asns.first(), m.countries.first()) {
+            return Some(Intent::PopulationShare {
+                asn,
+                country: c.clone(),
+            });
+        }
+        if let Some(c) = m.countries.first() {
+            return Some(Intent::TopPopulationAs { country: c.clone() });
+        }
+    }
+
+    // ---- shortest dependency path (before the generic upstream branch:
+    // "dependency" contains "depend") ----
+    if (has("shortest") || has("hops separate") || has("how many hops")) && m.asns.len() >= 2 {
+        return Some(Intent::ShortestDependencyPath {
+            a: m.asns[0],
+            b: m.asns[1],
+        });
+    }
+
+    // ---- upstream / transit questions ----
+    if has("upstream") || has("depend") || has("transit provider") || has("providers")
+        || has("transit-free") || has("transit free")
+    {
+        // Transit-free questions name a country, not a specific AS; check
+        // before ASN-driven intents (an AS literally named "Free" would
+        // otherwise hijack "transit-free").
+        if has("no upstream") || has("without any upstream") || has("transit-free")
+            || has("transit free")
+        {
+            if let Some(c) = m.countries.first() {
+                return Some(Intent::TransitFreeInCountry { country: c.clone() });
+            }
+        }
+        if m.asns.len() >= 2 && (has("common") || has("shared") || has("both")) {
+            return Some(Intent::CommonUpstreams {
+                a: m.asns[0],
+                b: m.asns[1],
+            });
+        }
+        if let Some(&asn) = m.asns.first() {
+            if has("how many prefixes") || (has("prefix") && has("total")) {
+                return Some(Intent::UpstreamPrefixCount { asn });
+            }
+            if has("countr") {
+                return Some(Intent::UpstreamCountries { asn });
+            }
+            if has("directly or indirectly") || has("transitively") || has("recursively") || has("within") {
+                return Some(Intent::TransitiveUpstreams { asn });
+            }
+            // Plain upstream list defaults to the transitive form only when
+            // asked for "all"; otherwise treat as transitive too (hard).
+            return Some(Intent::TransitiveUpstreams { asn });
+        }
+    }
+
+    // ---- domain questions (before rank: "best-ranked domain") ----
+    if has("domain") || !m.domains.is_empty() {
+        if let Some(&asn) = m.asns.first() {
+            if has("best") || has("top") || has("highest") {
+                return Some(Intent::TopDomainOnAs { asn });
+            }
+            return Some(Intent::DomainsOnAs { asn });
+        }
+        if let Some(d) = m.domains.first() {
+            if has("rank") {
+                return Some(Intent::DomainRank { domain: d.clone() });
+            }
+        }
+    }
+
+    // ---- hegemony ----
+    if has("hegemony") || has("transit centrality") {
+        if let Some(&asn) = m.asns.first() {
+            return Some(Intent::HegemonyOfAs { asn });
+        }
+    }
+
+    // ---- rank questions ----
+    if has("rank") {
+        if let Some(d) = m.domains.first() {
+            return Some(Intent::DomainRank { domain: d.clone() });
+        }
+        if (has("best") || has("top") || has("lowest") || has("highest")) && m.asns.is_empty() {
+            if let Some(c) = m.countries.first() {
+                return Some(Intent::TopRankedInCountry { country: c.clone() });
+            }
+        }
+        if let Some(&asn) = m.asns.first() {
+            return Some(Intent::AsRank { asn });
+        }
+    }
+
+    // ---- prefix questions ----
+    if has("prefix") || has("originate") || !m.prefixes.is_empty() {
+        if let Some(p) = m.prefixes.first() {
+            return Some(Intent::PrefixOrigin { prefix: p.clone() });
+        }
+        if let Some(&asn) = m.asns.first() {
+            if has("ipv4") {
+                return Some(Intent::PrefixesAfCount { asn, af: 4 });
+            }
+            if has("ipv6") {
+                return Some(Intent::PrefixesAfCount { asn, af: 6 });
+            }
+            return Some(Intent::CountPrefixes { asn });
+        }
+        if let Some(c) = m.countries.first() {
+            if has("average") || has("mean") {
+                return Some(Intent::AvgPrefixesInCountry { country: c.clone() });
+            }
+            if has("top") || has("most") {
+                let n = m.numbers.first().copied().unwrap_or(5) as u32;
+                return Some(Intent::TopAsInCountryByPrefixes {
+                    country: c.clone(),
+                    n,
+                });
+            }
+        }
+    }
+
+    // ---- IXP questions ----
+    if has("ixp") || has("exchange point") || has("-ix") || !m.ixps.is_empty() {
+        if m.asns.len() >= 2 {
+            return Some(Intent::SharedIxps {
+                a: m.asns[0],
+                b: m.asns[1],
+            });
+        }
+        if let Some(ixp) = m.ixps.first() {
+            if let Some(c) = m.countries.first() {
+                if has("member") {
+                    return Some(Intent::IxpMembersFromCountry {
+                        ixp: ixp.clone(),
+                        country: c.clone(),
+                    });
+                }
+            }
+            // "country" contains "count" as a substring, so the location
+            // question is checked first.
+            if has("country") || has("where") || has("located") {
+                return Some(Intent::IxpCountry { ixp: ixp.clone() });
+            }
+            if has("how many") || has("count") || has("member") {
+                return Some(Intent::IxpMemberCount { ixp: ixp.clone() });
+            }
+        }
+    }
+
+    // ---- tag questions ----
+    if let Some(tag) = m.tags.first() {
+        if let Some(c) = m.countries.first() {
+            return Some(Intent::TaggedAsInCountry {
+                tag: tag.clone(),
+                country: c.clone(),
+            });
+        }
+    }
+
+    // ---- organization ----
+    if has("organization") || has("organisation") || has("managed by") || has("who runs") || has("operator") {
+        if let Some(&asn) = m.asns.first() {
+            return Some(Intent::OrgOfAs { asn });
+        }
+    }
+
+    // ---- name / country / count of ASes ----
+    if (has("how many") || has("count") || has("number of"))
+        && (has("ases") || has("as es") || has("autonomous systems") || has("networks"))
+    {
+        if let Some(c) = m.countries.first() {
+            return Some(Intent::CountAsInCountry { country: c.clone() });
+        }
+    }
+    if has("name") {
+        if let Some(&asn) = m.asns.first() {
+            return Some(Intent::AsName { asn });
+        }
+    }
+    if has("asn") || has("as number") || has("autonomous system number") {
+        // "what is the ASN of IIJ" — AS name already resolved to an asn.
+        if let Some(&asn) = m.asns.first() {
+            return Some(Intent::AsnOfName {
+                name: cat.as_display.get(&asn).cloned().unwrap_or_default(),
+            });
+        }
+    }
+    if has("which country") || has("what country") || has("registered in") || has("country of") {
+        if let Some(&asn) = m.asns.first() {
+            return Some(Intent::AsCountry { asn });
+        }
+        if let Some(ixp) = m.ixps.first() {
+            return Some(Intent::IxpCountry { ixp: ixp.clone() });
+        }
+    }
+    if let Some(&asn) = m.asns.first() {
+        // Bare AS mention with a "what/tell me" shape: default to name.
+        if has("what is") || has("tell me about") {
+            return Some(Intent::AsName { asn });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_data::{generate, IypConfig};
+
+    fn catalog() -> EntityCatalog {
+        EntityCatalog::from_dataset(&generate(&IypConfig::tiny()))
+    }
+
+    #[test]
+    fn difficulty_bands_follow_complexity() {
+        assert_eq!(Intent::AsName { asn: 1 }.difficulty(), Difficulty::Easy);
+        assert_eq!(
+            Intent::PopulationShare {
+                asn: 2497,
+                country: "JP".into()
+            }
+            .difficulty(),
+            Difficulty::Easy
+        );
+        assert_eq!(
+            Intent::TopPopulationAs {
+                country: "JP".into()
+            }
+            .difficulty(),
+            Difficulty::Medium
+        );
+        assert_eq!(
+            Intent::TransitiveUpstreams { asn: 2497 }.difficulty(),
+            Difficulty::Hard
+        );
+        assert_eq!(
+            Intent::PopulationOfTopRanked {
+                country: "JP".into()
+            }
+            .difficulty(),
+            Difficulty::Hard
+        );
+    }
+
+    #[test]
+    fn both_domains_cover_all_difficulties() {
+        use std::collections::HashSet;
+        let intents: Vec<Intent> = vec![
+            Intent::AsName { asn: 1 },
+            Intent::AsRank { asn: 1 },
+            Intent::TopPopulationAs { country: "JP".into() },
+            Intent::SharedIxps { a: 1, b: 2 },
+            Intent::PopulationOfTopRanked { country: "JP".into() },
+            Intent::CommonUpstreams { a: 1, b: 2 },
+        ];
+        let combos: HashSet<(Difficulty, Domain)> = intents
+            .iter()
+            .map(|i| (i.difficulty(), i.domain()))
+            .collect();
+        assert!(combos.len() >= 5, "combos: {combos:?}");
+    }
+
+    #[test]
+    fn mentions_extract_asn_forms() {
+        let cat = catalog();
+        let m = extract_mentions("What is the name of AS2497?", &cat);
+        assert_eq!(m.asns, vec![2497]);
+        let m = extract_mentions("Compare AS 2497 with asn 15169", &cat);
+        assert_eq!(m.asns, vec![2497, 15169]);
+    }
+
+    #[test]
+    fn mentions_resolve_network_and_country_names() {
+        let cat = catalog();
+        let m = extract_mentions("What share of Japan's population does IIJ serve?", &cat);
+        assert!(m.asns.contains(&2497), "asns: {:?}", m.asns);
+        assert_eq!(m.countries, vec!["JP"]);
+    }
+
+    #[test]
+    fn mentions_find_prefixes() {
+        let cat = catalog();
+        let m = extract_mentions("Who originates 203.0.113.0/24?", &cat);
+        assert_eq!(m.prefixes, vec!["203.0.113.0/24"]);
+    }
+
+    #[test]
+    fn parse_easy_questions() {
+        let cat = catalog();
+        assert_eq!(
+            parse_question("What is the name of AS2497?", &cat),
+            Some(Intent::AsName { asn: 2497 })
+        );
+        assert_eq!(
+            parse_question("In which country is AS15169 registered in?", &cat),
+            Some(Intent::AsCountry { asn: 15169 })
+        );
+        assert_eq!(
+            parse_question("How many ASes are registered in Germany?", &cat),
+            Some(Intent::CountAsInCountry {
+                country: "DE".into()
+            })
+        );
+        assert_eq!(
+            parse_question("How many prefixes does AS2497 originate?", &cat),
+            Some(Intent::CountPrefixes { asn: 2497 })
+        );
+    }
+
+    #[test]
+    fn parse_the_paper_example() {
+        let cat = catalog();
+        assert_eq!(
+            parse_question(
+                "What is the percentage of Japan's population in AS2497?",
+                &cat
+            ),
+            Some(Intent::PopulationShare {
+                asn: 2497,
+                country: "JP".into()
+            })
+        );
+    }
+
+    #[test]
+    fn parse_medium_and_hard_questions() {
+        let cat = catalog();
+        assert_eq!(
+            parse_question("Which AS serves the largest share of the population of Japan?", &cat),
+            Some(Intent::TopPopulationAs {
+                country: "JP".into()
+            })
+        );
+        assert_eq!(
+            parse_question(
+                "Which upstream providers do AS2497 and AS15169 have in common?",
+                &cat
+            ),
+            Some(Intent::CommonUpstreams { a: 2497, b: 15169 })
+        );
+        assert_eq!(
+            parse_question(
+                "Which ASes does AS2497 depend on directly or indirectly?",
+                &cat
+            ),
+            Some(Intent::TransitiveUpstreams { asn: 2497 })
+        );
+    }
+
+    #[test]
+    fn multi_mention_extraction_is_position_ordered() {
+        let cat = catalog();
+        let ixp_a = cat.ixps.values().min().unwrap().clone();
+        let ixp_b = cat.ixps.values().max().unwrap().clone();
+        let q = format!("Compare {ixp_b} with {ixp_a} please");
+        let m = extract_mentions(&q, &cat);
+        assert_eq!(m.ixps, vec![ixp_b, ixp_a], "mentions not in text order");
+    }
+
+    #[test]
+    fn ixp_name_containing_country_does_not_leak_the_country() {
+        let cat = catalog();
+        // Synthesize a catalog entry whose name embeds a country name.
+        let mut cat = cat;
+        cat.ixps
+            .insert("mexico city-ix".into(), "Mexico City-IX".into());
+        let m = extract_mentions("How many members does Mexico City-IX have?", &cat);
+        assert_eq!(m.ixps, vec!["Mexico City-IX".to_string()]);
+        assert!(m.countries.is_empty(), "country leaked: {:?}", m.countries);
+    }
+
+    #[test]
+    fn unparseable_returns_none() {
+        let cat = catalog();
+        assert_eq!(
+            parse_question("Tell me something interesting about the weather", &cat),
+            None
+        );
+    }
+}

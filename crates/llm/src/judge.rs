@@ -1,0 +1,303 @@
+//! The G-Eval judge simulation.
+//!
+//! G-Eval [Liu et al., 2023] prompts GPT-4 with a chain-of-thought rubric
+//! and scores a response on factuality, relevance and informativeness.
+//! This stand-in performs the same three assessments mechanically:
+//!
+//! * **factuality** — extract facts (numbers with tolerance, entity
+//!   tokens) from the candidate and reference answers and compare;
+//! * **relevance** — embedding similarity between question and answer;
+//! * **informativeness** — does the answer commit to specific facts at
+//!   all, or is it vague/empty?
+//!
+//! The final score passes through a sharpening curve, producing the
+//! *bimodal* distribution the paper reports for G-Eval: clearly-right
+//! answers land near 1, clearly-wrong answers near 0, with little mass in
+//! between — unlike BLEU/ROUGE/BERTScore.
+
+use crate::model::SimLm;
+use iyp_embed::Embedder;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The judge's verdict on one answer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Judgment {
+    /// Fact agreement with the reference, in [0, 1].
+    pub factuality: f64,
+    /// Question-answer relevance, in [0, 1].
+    pub relevance: f64,
+    /// Commitment to specific facts, in [0, 1].
+    pub informativeness: f64,
+    /// Final (sharpened) G-Eval score in [0, 1].
+    pub score: f64,
+}
+
+/// Facts extracted from an answer: numbers and entity-like tokens.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Facts {
+    /// Numeric facts.
+    pub numbers: Vec<f64>,
+    /// Entity tokens (lower-cased): `as2497`, names, codes, domains.
+    pub entities: BTreeSet<String>,
+}
+
+/// Capitalized tokens that are sentence furniture in our NLG templates,
+/// not entities.
+const CAPITALIZED_STOPS: &[&str] = &[
+    "the", "according", "here", "there", "i", "iyp", "no", "that", "it", "is", "what", "gold",
+    "per", "based", "related",
+];
+
+/// Extracts facts from an answer text.
+///
+/// Numbers are facts. Entity tokens are recognized *conservatively*: a
+/// token is an entity only if it carries a digit, looks like a prefix or
+/// domain (`/`, `.`), or is capitalized in the original text (a proper
+/// noun) and isn't template furniture. Plain lowercase words are never
+/// entities — so two refusal answers with different wording agree on
+/// having zero facts.
+pub fn extract_facts(text: &str) -> Facts {
+    let mut facts = Facts::default();
+    for raw in text.split(|c: char| c.is_whitespace() || c == ',' || c == ';' || c == '(' || c == ')')
+    {
+        let tok = raw.trim_matches(|c: char| {
+            !(c.is_alphanumeric() || c == '.' || c == '/' || c == ':' || c == '-')
+        });
+        if tok.is_empty() {
+            continue;
+        }
+        let lower = tok.to_lowercase();
+        // Numbers (allow % suffix and trailing period).
+        let numeric = lower
+            .trim_end_matches('%')
+            .trim_end_matches('.')
+            .replace(',', "");
+        if let Ok(n) = numeric.parse::<f64>() {
+            facts.numbers.push(n);
+            continue;
+        }
+        // A trailing period is sentence punctuation, not structure.
+        let tok = tok.trim_end_matches('.');
+        let lower = lower.trim_end_matches('.');
+        if tok.is_empty() {
+            continue;
+        }
+        let has_digit = tok.chars().any(|c| c.is_ascii_digit());
+        let looks_addressy = tok.contains('/') || tok.contains('.');
+        let capitalized = tok
+            .chars()
+            .next()
+            .map(|c| c.is_uppercase())
+            .unwrap_or(false)
+            && !CAPITALIZED_STOPS.contains(&lower);
+        if has_digit || looks_addressy || capitalized {
+            facts.entities.insert(lower.to_string());
+        }
+    }
+    facts
+}
+
+fn number_matches(a: f64, b: f64) -> bool {
+    let tol = (a.abs().max(b.abs()) * 0.01).max(0.051);
+    (a - b).abs() <= tol
+}
+
+/// Compares candidate facts against reference facts. Returns a score in
+/// [0, 1]: recall of reference facts, penalized for contradicting numbers.
+pub fn fact_agreement(candidate: &Facts, reference: &Facts) -> f64 {
+    let total = reference.numbers.len() + reference.entities.len();
+    if total == 0 {
+        // Reference commits to nothing (e.g. "no data"): agree if the
+        // candidate also commits to nothing numeric.
+        return if candidate.numbers.is_empty() { 1.0 } else { 0.3 };
+    }
+    let mut matched = 0usize;
+    for rn in &reference.numbers {
+        if candidate.numbers.iter().any(|cn| number_matches(*cn, *rn)) {
+            matched += 1;
+        }
+    }
+    for re in &reference.entities {
+        if candidate.entities.contains(re) {
+            matched += 1;
+        }
+    }
+    let recall = matched as f64 / total as f64;
+    // Contradiction penalty: candidate numbers with no counterpart in the
+    // reference suggest fabrication.
+    let fabricated = candidate
+        .numbers
+        .iter()
+        .filter(|cn| !reference.numbers.iter().any(|rn| number_matches(**cn, *rn)))
+        .count();
+    let penalty = if candidate.numbers.is_empty() {
+        0.0
+    } else {
+        0.4 * fabricated as f64 / candidate.numbers.len() as f64
+    };
+    (recall - penalty).clamp(0.0, 1.0)
+}
+
+/// The G-Eval judge.
+pub struct GEvalJudge {
+    lm: SimLm,
+    embedder: Embedder,
+}
+
+impl GEvalJudge {
+    /// Creates a judge driven by the given simulated LM.
+    pub fn new(lm: SimLm) -> Self {
+        GEvalJudge {
+            lm,
+            embedder: Embedder::default(),
+        }
+    }
+
+    /// Judges `answer` against `reference` for `question`.
+    pub fn judge(&self, question: &str, answer: &str, reference: &str) -> Judgment {
+        let cand = extract_facts(answer);
+        let refr = extract_facts(reference);
+        let factuality = fact_agreement(&cand, &refr);
+
+        let qv = self.embedder.embed(question);
+        let av = self.embedder.embed(answer);
+        // Cosine of hashed embeddings on related texts sits around
+        // 0.1-0.6; stretch into [0, 1].
+        let relevance = (f64::from(qv.cosine(&av)) * 1.8).clamp(0.0, 1.0);
+
+        let informativeness = if answer.trim().is_empty() {
+            0.0
+        } else {
+            let specific = !cand.numbers.is_empty() || !cand.entities.is_empty();
+            let refuses = answer.to_lowercase().contains("no ")
+                || answer.to_lowercase().contains("not find");
+            match (specific, refuses) {
+                (true, _) => 1.0,
+                (false, true) => 0.35,
+                (false, false) => 0.2,
+            }
+        };
+
+        // Weighted rubric, then sharpening: GPT-4 judges cluster at the
+        // extremes, so the curve pushes mid scores outward.
+        let base = 0.62 * factuality + 0.22 * relevance + 0.16 * informativeness;
+        let sharpened = 1.0 / (1.0 + (-(base - 0.55) * 9.0).exp());
+        // Small deterministic judge noise (GPT-4 is not perfectly stable).
+        let noise = (self.lm.noise(&format!("judge:{question}|{answer}")) - 0.5) * 0.06;
+        let score = (sharpened + noise).clamp(0.0, 1.0);
+        Judgment {
+            factuality,
+            relevance,
+            informativeness,
+            score,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn judge() -> GEvalJudge {
+        GEvalJudge::new(SimLm::with_seed(42))
+    }
+
+    #[test]
+    fn correct_answer_scores_high() {
+        let j = judge().judge(
+            "What is the percentage of Japan's population in AS2497?",
+            "The share of JP's population served by AS2497 is 33.3.",
+            "According to IYP, the share of JP's population served by AS2497 is 33.3.",
+        );
+        assert!(j.score > 0.75, "score={:?}", j);
+    }
+
+    #[test]
+    fn paraphrased_correct_answer_still_scores_high() {
+        let j = judge().judge(
+            "What is the percentage of Japan's population in AS2497?",
+            "33.3 — that is the share of JP's population served by AS2497 recorded in IYP.",
+            "The share of JP's population served by AS2497 is 33.3.",
+        );
+        assert!(j.score > 0.7, "score={:?}", j);
+    }
+
+    #[test]
+    fn wrong_number_scores_low() {
+        let j = judge().judge(
+            "What is the percentage of Japan's population in AS2497?",
+            "The share of JP's population served by AS2497 is 4.1.",
+            "The share of JP's population served by AS2497 is 33.3.",
+        );
+        assert!(j.score < 0.45, "score={:?}", j);
+    }
+
+    #[test]
+    fn empty_refusal_scores_low_when_reference_has_facts() {
+        let j = judge().judge(
+            "How many prefixes does AS2497 originate?",
+            "I could not find any data matching that question in the IYP graph.",
+            "The number of prefixes originated by AS2497 is 17.",
+        );
+        assert!(j.score < 0.4, "score={:?}", j);
+    }
+
+    #[test]
+    fn agreeing_refusals_score_high() {
+        let j = judge().judge(
+            "Which IXPs do AS1 and AS2 share?",
+            "No matching records were found in IYP.",
+            "The IYP graph returned no results for this query.",
+        );
+        assert!(j.score > 0.5, "score={:?}", j);
+    }
+
+    #[test]
+    fn number_tolerance() {
+        assert!(number_matches(33.3, 33.30001));
+        assert!(number_matches(100.0, 100.9));
+        assert!(!number_matches(33.3, 4.1));
+        assert!(number_matches(0.0, 0.05));
+    }
+
+    #[test]
+    fn fact_extraction_finds_numbers_and_entities() {
+        let f = extract_facts("AS2497 (IIJ) serves 33.3% of Japan, prefix 203.0.113.0/24.");
+        assert!(f.numbers.contains(&33.3));
+        assert!(f.entities.contains("as2497"));
+        assert!(f.entities.contains("iij"));
+        assert!(f.entities.contains("japan"));
+        assert!(f.entities.contains("203.0.113.0/24"));
+    }
+
+    #[test]
+    fn judging_is_deterministic() {
+        let a = judge().judge("q", "answer 42", "answer 42");
+        let b = judge().judge("q", "answer 42", "answer 42");
+        assert_eq!(a.score, b.score);
+    }
+
+    #[test]
+    fn scores_are_bimodal_on_mixed_answers() {
+        // A batch of clearly-right and clearly-wrong answers should leave
+        // little mass in the middle band.
+        let j = judge();
+        let mut middle = 0;
+        let mut n = 0;
+        for i in 0..40 {
+            let reference = format!("The number of prefixes originated by AS{i} is {}.", 10 + i);
+            let answer = if i % 2 == 0 {
+                format!("IYP reports a number of prefixes originated by AS{i} of {}.", 10 + i)
+            } else {
+                format!("The number of prefixes originated by AS{i} is {}.", 500 + i)
+            };
+            let s = j.judge("How many prefixes?", &answer, &reference).score;
+            if (0.35..0.65).contains(&s) {
+                middle += 1;
+            }
+            n += 1;
+        }
+        assert!(middle <= n / 8, "{middle}/{n} scores in the middle band");
+    }
+}

@@ -1,0 +1,41 @@
+//! # iyp-llm
+//!
+//! The simulated language-model substrate of the ChatIYP reproduction —
+//! the offline stand-in for GPT-3.5-Turbo (generation / text-to-Cypher)
+//! and GPT-4 (G-Eval judging).
+//!
+//! Components:
+//! * [`model::SimLm`] — deterministic seeded "model" with competence and
+//!   paraphrase-variety knobs;
+//! * [`intent`] — the question semantic space shared with the benchmark;
+//! * [`text2cypher`] — NL → Cypher with a complexity-calibrated
+//!   structural error model ([`errors`]);
+//! * [`nlg`] — result verbalization with paraphrase variety;
+//! * [`rerank`] — the shallow LLMReranker scorer;
+//! * [`judge`] — the G-Eval judge (factuality / relevance /
+//!   informativeness, bimodal output).
+//!
+//! Why a simulation is faithful here: the paper's findings are about (a)
+//! which *metrics* separate good from bad answers, and (b) how accuracy
+//! falls with *structural complexity*. Both are properties of the failure
+//! distribution, not of GPT-3.5 itself; the error model reproduces that
+//! distribution mechanistically and deterministically (see DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod errors;
+pub mod intent;
+pub mod judge;
+pub mod model;
+pub mod nlg;
+pub mod prompt;
+pub mod rerank;
+pub mod text2cypher;
+
+pub use errors::TranslationError;
+pub use intent::{Difficulty, Domain, EntityCatalog, Intent};
+pub use judge::{GEvalJudge, Judgment};
+pub use model::{LmConfig, SimLm};
+pub use nlg::{generate_answer, generate_reference, Style};
+pub use rerank::Reranker;
+pub use text2cypher::{canonical_cypher, Translation, Translator};

@@ -1,0 +1,183 @@
+//! The simulated language model.
+//!
+//! The paper uses GPT-3.5-Turbo for generation and GPT-4 as the G-Eval
+//! judge; neither is available offline, so this module provides a
+//! deterministic stand-in with the two properties the evaluation actually
+//! depends on:
+//!
+//! 1. **Controllable competence** — a `skill` knob that scales how often
+//!    the text-to-Cypher stage makes structural mistakes, with mistakes
+//!    growing more likely as query complexity grows (the mechanism behind
+//!    the paper's Finding 2).
+//! 2. **Paraphrase variety** — generation picks among semantically
+//!    equivalent phrasings pseudo-randomly, which is what depresses
+//!    surface-overlap metrics like BLEU on correct answers (Finding 1).
+//!
+//! All stochasticity is a pure function of `(seed, key)`, so every
+//! experiment is reproducible.
+
+use iyp_embed::embedder::fnv1a;
+
+/// Configuration of the simulated model.
+#[derive(Debug, Clone)]
+pub struct LmConfig {
+    /// Base seed; every derived random draw mixes this in.
+    pub seed: u64,
+    /// Competence in [0, 1]: 1.0 never injects translation errors
+    /// (oracle mode), 0.0 almost always does. Default 0.62 — calibrated
+    /// so Easy questions mostly succeed and Hard ones often fail,
+    /// matching the shape of the paper's Figure 2b.
+    pub skill: f64,
+    /// Paraphrase variety in [0, 1]: probability that generation picks a
+    /// non-canonical phrasing. Default 0.65.
+    pub variety: f64,
+}
+
+impl Default for LmConfig {
+    fn default() -> Self {
+        LmConfig {
+            seed: 42,
+            skill: 0.62,
+            variety: 0.65,
+        }
+    }
+}
+
+/// The deterministic simulated LM shared by the translator, generator,
+/// reranker and judge.
+#[derive(Debug, Clone, Default)]
+pub struct SimLm {
+    /// Model configuration.
+    pub config: LmConfig,
+}
+
+impl SimLm {
+    /// Creates a model with the given configuration.
+    pub fn new(config: LmConfig) -> Self {
+        SimLm { config }
+    }
+
+    /// Creates a model with default knobs and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        SimLm {
+            config: LmConfig {
+                seed,
+                ..LmConfig::default()
+            },
+        }
+    }
+
+    /// A deterministic uniform draw in [0, 1) keyed by a string.
+    pub fn noise(&self, key: &str) -> f64 {
+        let h = mix(fnv1a(format!("{}\u{1}{key}", self.config.seed).as_bytes()));
+        // Take the top 53 bits for a clean f64 mantissa.
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A deterministic choice of one of `n` options keyed by a string.
+    pub fn choose(&self, key: &str, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (mix(fnv1a(format!("{}\u{2}{key}", self.config.seed).as_bytes())) % n as u64) as usize
+    }
+
+    /// Should generation paraphrase (rather than use the canonical
+    /// phrasing) for this key?
+    pub fn paraphrase(&self, key: &str) -> bool {
+        self.noise(&format!("para:{key}")) < self.config.variety
+    }
+
+    /// Probability that translating a query of the given structural
+    /// complexity goes wrong. Complexity counts pattern hops,
+    /// aggregations, joins and variable-length segments (see
+    /// [`crate::errors`]).
+    pub fn error_probability(&self, complexity: u32) -> f64 {
+        crate::errors::error_probability(self.config.skill, complexity)
+    }
+
+    /// Does translation fail for this particular (question, complexity)?
+    /// `skill >= 1.0` is oracle mode: never fails (used by demos and by
+    /// tests that need the gold path).
+    pub fn translation_fails(&self, key: &str, complexity: u32) -> bool {
+        if self.config.skill >= 1.0 {
+            return false;
+        }
+        self.noise(&format!("t2c:{key}")) < self.error_probability(complexity)
+    }
+}
+
+/// A 64-bit finalizer (splitmix/murmur-style) applied on top of FNV-1a:
+/// FNV alone leaves the high bits poorly mixed on short keys, which would
+/// skew the uniform draws the error model depends on.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+    h ^= h >> 33;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic_and_seed_dependent() {
+        let a = SimLm::with_seed(1);
+        let b = SimLm::with_seed(1);
+        let c = SimLm::with_seed(2);
+        assert_eq!(a.noise("x"), b.noise("x"));
+        assert_ne!(a.noise("x"), c.noise("x"));
+        assert_ne!(a.noise("x"), a.noise("y"));
+    }
+
+    #[test]
+    fn noise_is_in_unit_interval() {
+        let lm = SimLm::with_seed(7);
+        for i in 0..1000 {
+            let x = lm.noise(&format!("k{i}"));
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn noise_looks_uniform() {
+        let lm = SimLm::with_seed(9);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| lm.noise(&format!("u{i}"))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn choose_is_in_range() {
+        let lm = SimLm::with_seed(3);
+        for i in 0..100 {
+            assert!(lm.choose(&format!("c{i}"), 7) < 7);
+        }
+        assert_eq!(lm.choose("anything", 0), 0);
+    }
+
+    #[test]
+    fn error_probability_grows_with_complexity() {
+        let lm = SimLm::default();
+        let p1 = lm.error_probability(1);
+        let p3 = lm.error_probability(3);
+        let p6 = lm.error_probability(6);
+        assert!(p1 < p3 && p3 < p6, "{p1} {p3} {p6}");
+    }
+
+    #[test]
+    fn perfect_skill_rarely_fails() {
+        let lm = SimLm::new(LmConfig {
+            seed: 1,
+            skill: 1.0,
+            variety: 0.5,
+        });
+        let fails = (0..500)
+            .filter(|i| lm.translation_fails(&format!("q{i}"), 3))
+            .count();
+        assert!(fails <= 20, "perfect skill failed {fails}/500");
+    }
+}

@@ -1,0 +1,147 @@
+//! The text-to-Cypher prompt chain.
+//!
+//! The paper says ChatIYP uses "a prompt chain fine-tuned on IYP query
+//! patterns". Our simulated model doesn't consume prompts, but the chain
+//! itself is part of the system: this module renders exactly what would
+//! be sent to GPT-3.5 — schema context, few-shot examples drawn from the
+//! intent space, and the user question — so the artifact documents the
+//! real interface and the trace/debug tooling can display it.
+
+use crate::intent::Intent;
+use crate::text2cypher::canonical_cypher;
+
+/// One few-shot example in the chain.
+#[derive(Debug, Clone)]
+pub struct FewShot {
+    /// Example natural-language question.
+    pub question: String,
+    /// Its gold Cypher.
+    pub cypher: String,
+}
+
+/// The default few-shot bank: one exemplar per structural family, in
+/// ascending complexity (the "fine-tuned on IYP query patterns" part).
+pub fn default_few_shots() -> Vec<FewShot> {
+    let exemplars = vec![
+        (
+            "What is the name of AS2497?",
+            Intent::AsName { asn: 2497 },
+        ),
+        (
+            "In which country is AS15169 registered?",
+            Intent::AsCountry { asn: 15169 },
+        ),
+        (
+            "What is the percentage of Japan's population in AS2497?",
+            Intent::PopulationShare {
+                asn: 2497,
+                country: "JP".into(),
+            },
+        ),
+        (
+            "Which AS serves the largest share of the population of Germany?",
+            Intent::TopPopulationAs {
+                country: "DE".into(),
+            },
+        ),
+        (
+            "Which ASes does AS2497 depend on directly or indirectly?",
+            Intent::TransitiveUpstreams { asn: 2497 },
+        ),
+    ];
+    exemplars
+        .into_iter()
+        .map(|(q, intent)| FewShot {
+            question: q.to_string(),
+            cypher: canonical_cypher(&intent),
+        })
+        .collect()
+}
+
+/// Renders the full text-to-Cypher prompt for a question.
+pub fn render_text2cypher_prompt(question: &str) -> String {
+    let mut p = String::new();
+    p.push_str(
+        "You are an expert on the Internet Yellow Pages (IYP) knowledge graph.\n\
+         Translate the user's question into a single Cypher query.\n\
+         Only use the schema below; return only the query.\n\n",
+    );
+    p.push_str(&iyp_data::schema::schema_summary());
+    p.push_str("\nExamples:\n");
+    for shot in default_few_shots() {
+        p.push_str("Q: ");
+        p.push_str(&shot.question);
+        p.push_str("\nCypher: ");
+        p.push_str(&shot.cypher);
+        p.push('\n');
+    }
+    p.push_str("\nQ: ");
+    p.push_str(question);
+    p.push_str("\nCypher:");
+    p
+}
+
+/// Renders the answer-generation prompt (stage 3 of the pipeline): the
+/// question plus the retrieved rows or context the LLM must ground on.
+pub fn render_generation_prompt(question: &str, retrieved: &str) -> String {
+    format!(
+        "Answer the user's question about the Internet using ONLY the
+retrieved IYP data below. State concrete values; do not speculate.
+If the data is empty, say that no matching records exist.
+
+Retrieved data:
+{retrieved}
+
+Question: {question}
+Answer:"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt_contains_schema_examples_and_question() {
+        let p = render_text2cypher_prompt("How many prefixes does AS2497 originate?");
+        assert!(p.contains("ORIGINATE"), "schema missing");
+        assert!(p.contains("POPULATION"), "schema missing");
+        assert!(
+            p.contains("MATCH (a:AS {asn: 2497}) RETURN a.name"),
+            "few-shot missing"
+        );
+        assert!(p.ends_with("Cypher:"));
+        assert!(p.contains("How many prefixes does AS2497 originate?"));
+    }
+
+    #[test]
+    fn few_shots_are_valid_cypher() {
+        for shot in default_few_shots() {
+            assert!(
+                iyp_cypher::parse(&shot.cypher).is_ok(),
+                "unparseable few-shot: {}",
+                shot.cypher
+            );
+        }
+    }
+
+    #[test]
+    fn few_shots_cover_all_difficulties() {
+        use crate::intent::Difficulty;
+        let shots = default_few_shots();
+        assert!(shots.len() >= 5);
+        // The bank walks up the complexity ladder: the first example is
+        // Easy and the last is Hard.
+        let first = crate::intent::Intent::AsName { asn: 2497 };
+        let last = crate::intent::Intent::TransitiveUpstreams { asn: 2497 };
+        assert_eq!(first.difficulty(), Difficulty::Easy);
+        assert_eq!(last.difficulty(), Difficulty::Hard);
+    }
+
+    #[test]
+    fn generation_prompt_embeds_data() {
+        let p = render_generation_prompt("What is X?", "x = 42");
+        assert!(p.contains("x = 42"));
+        assert!(p.contains("What is X?"));
+    }
+}

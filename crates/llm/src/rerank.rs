@@ -1,0 +1,118 @@
+//! The LLMReranker stage: a shallow relevance scorer over retrieval
+//! candidates, combining embedding similarity with entity-mention overlap.
+
+use crate::model::SimLm;
+use iyp_embed::Embedder;
+
+/// A scored candidate, ordered best-first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranked {
+    /// Index into the input candidate list.
+    pub index: usize,
+    /// Relevance score (higher is better).
+    pub score: f64,
+}
+
+/// The reranker.
+pub struct Reranker {
+    lm: SimLm,
+    embedder: Embedder,
+}
+
+impl Reranker {
+    /// Creates a reranker driven by the given simulated LM.
+    pub fn new(lm: SimLm) -> Self {
+        Reranker {
+            lm,
+            embedder: Embedder::default(),
+        }
+    }
+
+    /// Scores and sorts candidate context texts for a question, returning
+    /// the top `k`.
+    pub fn rerank(&self, question: &str, candidates: &[String], k: usize) -> Vec<Ranked> {
+        let qv = self.embedder.embed(question);
+        let q_tokens: Vec<String> = iyp_embed::tokenize::words(question)
+            .into_iter()
+            .filter(|t| t.len() >= 3)
+            .collect();
+        let mut ranked: Vec<Ranked> = candidates
+            .iter()
+            .enumerate()
+            .map(|(index, text)| {
+                let cv = self.embedder.embed(text);
+                let cos = f64::from(qv.cosine(&cv));
+                let c_tokens = iyp_embed::tokenize::words(text);
+                let overlap = if q_tokens.is_empty() {
+                    0.0
+                } else {
+                    q_tokens
+                        .iter()
+                        .filter(|t| c_tokens.contains(t))
+                        .count() as f64
+                        / q_tokens.len() as f64
+                };
+                // A whisper of judge noise: a shallow LLM scorer is not a
+                // perfectly stable function either.
+                let noise = (self.lm.noise(&format!("rr:{question}|{index}")) - 0.5) * 0.02;
+                Ranked {
+                    index,
+                    score: 0.6 * cos + 0.4 * overlap + noise,
+                }
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reranker_prefers_entity_matching_context() {
+        let r = Reranker::new(SimLm::with_seed(1));
+        let candidates = vec![
+            "AS15169 Google operates cloud networks in the United States".to_string(),
+            "AS2497 IIJ serves 33.3% of the population of Japan".to_string(),
+            "Frankfurt-IX is an exchange point in Germany".to_string(),
+        ];
+        let ranked = r.rerank(
+            "What share of Japan's population does AS2497 serve?",
+            &candidates,
+            3,
+        );
+        assert_eq!(ranked[0].index, 1, "ranked: {ranked:?}");
+        assert_eq!(ranked.len(), 3);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let r = Reranker::new(SimLm::with_seed(1));
+        let candidates = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        assert_eq!(r.rerank("q", &candidates, 2).len(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let r = Reranker::new(SimLm::with_seed(9));
+        let candidates = vec!["alpha network".to_string(), "beta network".to_string()];
+        assert_eq!(
+            r.rerank("alpha", &candidates, 2),
+            r.rerank("alpha", &candidates, 2)
+        );
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let r = Reranker::new(SimLm::with_seed(1));
+        assert!(r.rerank("q", &[], 5).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the simulated-LM substrate: judge bounds and
+//! determinism, error-model monotonicity, NLG fact preservation, and
+//! mutation validity.
+
+use iyp_cypher::QueryResult;
+use iyp_graphdb::Value;
+use iyp_llm::judge::extract_facts;
+use iyp_llm::{generate_answer, GEvalJudge, Intent, LmConfig, SimLm};
+use proptest::prelude::*;
+
+fn sentence() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-zA-Z0-9.%]{1,10}", 1..15).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn judge_scores_bounded_and_deterministic(
+        q in sentence(),
+        a in sentence(),
+        r in sentence(),
+        seed in 0u64..1000,
+    ) {
+        let judge = GEvalJudge::new(SimLm::with_seed(seed));
+        let j1 = judge.judge(&q, &a, &r);
+        let j2 = judge.judge(&q, &a, &r);
+        prop_assert!((0.0..=1.0).contains(&j1.score));
+        prop_assert!((0.0..=1.0).contains(&j1.factuality));
+        prop_assert!((0.0..=1.0).contains(&j1.relevance));
+        prop_assert!((0.0..=1.0).contains(&j1.informativeness));
+        prop_assert_eq!(j1.score, j2.score);
+    }
+
+    #[test]
+    fn judge_identity_beats_garbage(r in sentence()) {
+        // Skip inputs with no extractable facts (both sides then tie).
+        let facts = extract_facts(&r);
+        prop_assume!(!facts.numbers.is_empty() || !facts.entities.is_empty());
+        let judge = GEvalJudge::new(SimLm::with_seed(1));
+        let same = judge.judge("q", &r, &r).score;
+        let garbage = judge.judge("q", "zzz yyy xxx", &r).score;
+        prop_assert!(same >= garbage - 0.05, "same={same} garbage={garbage} ref={r:?}");
+    }
+
+    #[test]
+    fn noise_is_uniform_enough(seed in 0u64..50) {
+        let lm = SimLm::with_seed(seed);
+        let n = 2000;
+        let draws: Vec<f64> = (0..n).map(|i| lm.noise(&format!("k{i}"))).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        prop_assert!((mean - 0.5).abs() < 0.05, "mean={mean}");
+        // Every decile sees some mass.
+        for d in 0..10 {
+            let lo = d as f64 / 10.0;
+            let hi = lo + 0.1;
+            let cnt = draws.iter().filter(|&&x| x >= lo && x < hi).count();
+            prop_assert!(cnt > n / 40, "decile {d} starved: {cnt}");
+        }
+    }
+
+    #[test]
+    fn error_rate_matches_designed_probability(
+        seed in 0u64..20,
+        complexity in 0u32..7,
+    ) {
+        let lm = SimLm::new(LmConfig { seed, skill: 0.62, variety: 0.5 });
+        let p = lm.error_probability(complexity);
+        let n = 3000;
+        let fails = (0..n)
+            .filter(|i| lm.translation_fails(&format!("q{i}"), complexity))
+            .count();
+        let observed = fails as f64 / n as f64;
+        prop_assert!(
+            (observed - p).abs() < 0.04,
+            "designed {p:.3}, observed {observed:.3} at c={complexity}"
+        );
+    }
+
+    #[test]
+    fn nlg_single_value_answers_contain_the_fact(
+        value in -100000i64..100000,
+        seed in 0u64..200,
+    ) {
+        let lm = SimLm::with_seed(seed);
+        let result = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(value)]],
+        };
+        let ans = generate_answer(&lm, "how many?", Some(&Intent::CountPrefixes { asn: 1 }), &result);
+        prop_assert!(
+            ans.contains(&value.to_string()),
+            "answer {ans:?} lost the value {value}"
+        );
+    }
+
+    #[test]
+    fn nlg_list_answers_contain_every_shown_fact(
+        values in proptest::collection::vec(0i64..1000, 2..7),
+        seed in 0u64..50,
+    ) {
+        let lm = SimLm::with_seed(seed);
+        let result = QueryResult {
+            columns: vec!["x".into()],
+            rows: values.iter().map(|v| vec![Value::Int(*v)]).collect(),
+        };
+        let ans = generate_answer(&lm, "list them", None, &result);
+        for v in &values {
+            prop_assert!(ans.contains(&v.to_string()), "answer {ans:?} lost {v}");
+        }
+    }
+
+    #[test]
+    fn mutations_always_yield_parseable_cypher_or_none(pick in 0usize..64) {
+        use iyp_llm::errors::draw_error;
+        use iyp_llm::text2cypher::{canonical_cypher, mutate_query};
+        let intents = [
+            Intent::AsCountry { asn: 7 },
+            Intent::PopulationShare { asn: 7, country: "JP".into() },
+            Intent::UpstreamCountries { asn: 7 },
+            Intent::TopDomainOnAs { asn: 7 },
+            Intent::CountAsInCountry { country: "DE".into() },
+            Intent::TransitiveUpstreams { asn: 7 },
+        ];
+        for intent in &intents {
+            let gold = canonical_cypher(intent);
+            let (hops, _, _, _) = intent.structure();
+            let err = draw_error(pick, hops);
+            match mutate_query(&gold, err) {
+                // `None` is legal for NoQuery and for shapes no mutation
+                // (nor fallback mutation) applies to.
+                None => {}
+                Some(m) => {
+                    prop_assert!(iyp_cypher::parse(&m).is_ok(), "unparseable mutation: {m}");
+                    prop_assert_ne!(
+                        iyp_cypher::canonicalize(&m).unwrap(),
+                        iyp_cypher::canonicalize(&gold).unwrap(),
+                        "mutation {:?} was a no-op for {}", err, intent.kind()
+                    );
+                }
+            }
+        }
+    }
+}

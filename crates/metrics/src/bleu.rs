@@ -1,0 +1,132 @@
+//! BLEU (Papineni et al., 2002): modified n-gram precision with brevity
+//! penalty. Implemented as sentence-level BLEU-4 with add-one smoothing
+//! for higher-order n-grams (Lin & Och smoothing-1), the standard choice
+//! when scoring single answers.
+
+use iyp_embed::tokenize::words;
+use std::collections::HashMap;
+
+/// Computes sentence-level BLEU-4 of `candidate` against `reference`.
+/// Returns a value in [0, 1].
+pub fn bleu(candidate: &str, reference: &str) -> f64 {
+    bleu_n(candidate, reference, 4)
+}
+
+/// BLEU with a configurable maximum n-gram order.
+pub fn bleu_n(candidate: &str, reference: &str, max_n: usize) -> f64 {
+    let cand = words(candidate);
+    let refr = words(reference);
+    if cand.is_empty() || refr.is_empty() {
+        return 0.0;
+    }
+    let max_n = max_n.clamp(1, 4);
+    let mut log_sum = 0.0;
+    for n in 1..=max_n {
+        let p = modified_precision(&cand, &refr, n);
+        // Smoothing-1: add-one on higher orders with zero matches.
+        let p = if p == 0.0 && n > 1 {
+            1.0 / (2.0 * cand.len().saturating_sub(n - 1).max(1) as f64)
+        } else {
+            p
+        };
+        if p == 0.0 {
+            return 0.0; // no unigram overlap at all
+        }
+        log_sum += p.ln() / max_n as f64;
+    }
+    let bp = brevity_penalty(cand.len(), refr.len());
+    (bp * log_sum.exp()).clamp(0.0, 1.0)
+}
+
+fn ngram_counts(tokens: &[String], n: usize) -> HashMap<&[String], usize> {
+    let mut counts: HashMap<&[String], usize> = HashMap::new();
+    if tokens.len() >= n {
+        for w in tokens.windows(n) {
+            *counts.entry(w).or_default() += 1;
+        }
+    }
+    counts
+}
+
+fn modified_precision(cand: &[String], refr: &[String], n: usize) -> f64 {
+    let cand_counts = ngram_counts(cand, n);
+    if cand_counts.is_empty() {
+        return 0.0;
+    }
+    let ref_counts = ngram_counts(refr, n);
+    let total: usize = cand_counts.values().sum();
+    let clipped: usize = cand_counts
+        .iter()
+        .map(|(gram, count)| (*count).min(ref_counts.get(gram).copied().unwrap_or(0)))
+        .sum();
+    clipped as f64 / total as f64
+}
+
+fn brevity_penalty(cand_len: usize, ref_len: usize) -> f64 {
+    if cand_len >= ref_len {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / cand_len as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_score_one() {
+        let t = "the share of japan's population served by as2497 is 33.3";
+        assert!((bleu(t, t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_texts_score_zero() {
+        assert_eq!(bleu("alpha beta gamma", "delta epsilon zeta"), 0.0);
+    }
+
+    #[test]
+    fn paraphrase_is_heavily_penalized() {
+        // Same facts, different phrasing: the paper's BLEU complaint.
+        let reference = "The share of Japan's population served by AS2497 is 33.3.";
+        let paraphrase = "33.3 — that is the population share AS2497 serves in Japan.";
+        let s = bleu(paraphrase, reference);
+        assert!(s < 0.35, "paraphrase BLEU unexpectedly high: {s}");
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn near_copy_scores_high() {
+        let reference = "The number of prefixes originated by AS2497 is 17.";
+        let near = "The number of prefixes originated by AS2497 is 17";
+        assert!(bleu(near, reference) > 0.85);
+    }
+
+    #[test]
+    fn brevity_penalty_applies() {
+        let reference = "the quick brown fox jumps over the lazy dog today";
+        let short = "the quick brown";
+        let long = "the quick brown fox jumps over the lazy dog today indeed";
+        assert!(bleu(short, reference) < bleu(long, reference));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(bleu("", "reference"), 0.0);
+        assert_eq!(bleu("candidate", ""), 0.0);
+    }
+
+    #[test]
+    fn clipping_prevents_repetition_gaming() {
+        let reference = "the cat sat on the mat";
+        let spam = "the the the the the the";
+        assert!(bleu(spam, reference) < 0.4);
+    }
+
+    #[test]
+    fn monotone_in_overlap() {
+        let reference = "a b c d e f g h";
+        assert!(bleu("a b c d e f g h", reference) > bleu("a b c d x y z w", reference));
+        assert!(bleu("a b c d x y z w", reference) > bleu("a x y z q r s t", reference));
+    }
+}

@@ -1,0 +1,201 @@
+//! Correlation measures between metric scores and ground-truth
+//! correctness — the quantitative backing of the paper's Finding 1
+//! ("G-Eval aligns with human judgment better than BLEU/ROUGE/BERTScore").
+
+/// Pearson product-moment correlation. Returns 0 for degenerate inputs.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series must have equal length");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx.sqrt() * syy.sqrt())
+    }
+}
+
+/// Spearman rank correlation (Pearson over mid-ranks, handling ties).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Kendall's tau-b (tie-corrected).
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            if dx == 0.0 && dy == 0.0 {
+                // tied in both: contributes to neither denominator part
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    let denom = ((n0 - ties_x as f64) * (n0 - ties_y as f64)).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (concordant - discordant) as f64 / denom
+    }
+}
+
+/// Mid-ranks of a series (ties share the average rank).
+pub fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Point-biserial correlation of a continuous score against a binary
+/// label — the natural "alignment with correctness" statistic when the
+/// human-judgment proxy is right/wrong.
+pub fn point_biserial(scores: &[f64], labels: &[bool]) -> f64 {
+    let y: Vec<f64> = labels.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    pearson(scores, &y)
+}
+
+/// A bootstrap 95% confidence interval for Pearson correlation, using a
+/// deterministic resampling scheme (fixed stride-based resamples, not an
+/// RNG — reproducible without seeding ceremony).
+pub fn pearson_ci(x: &[f64], y: &[f64], resamples: usize) -> (f64, f64) {
+    let n = x.len();
+    if n < 4 {
+        let r = pearson(x, y);
+        return (r, r);
+    }
+    let mut rs = Vec::with_capacity(resamples);
+    for b in 0..resamples.max(8) {
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        // Deterministic pseudo-resample: index hashing by (b, i).
+        for i in 0..n {
+            let idx = (iyp_embed::embedder::fnv1a(format!("{b}:{i}").as_bytes()) % n as u64)
+                as usize;
+            xs.push(x[idx]);
+            ys.push(y[idx]);
+        }
+        rs.push(pearson(&xs, &ys));
+    }
+    rs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let lo = rs[(rs.len() as f64 * 0.025) as usize];
+    let hi = rs[((rs.len() as f64 * 0.975) as usize).min(rs.len() - 1)];
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-9);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_degenerate() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0]; // x^3, nonlinear monotone
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-9);
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kendall_basic() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert!((kendall_tau(&x, &y) - 1.0).abs() < 1e-9);
+        let z = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&x, &z) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn point_biserial_separates() {
+        // Scores that track a binary label correlate strongly.
+        let scores = [0.9, 0.85, 0.95, 0.1, 0.2, 0.15];
+        let labels = [true, true, true, false, false, false];
+        assert!(point_biserial(&scores, &labels) > 0.95);
+        // Uninformative scores don't.
+        let flat = [0.5, 0.5, 0.5, 0.5, 0.5, 0.5];
+        assert_eq!(point_biserial(&flat, &labels), 0.0);
+    }
+
+    #[test]
+    fn ci_brackets_point_estimate() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 2.0 + 1.0).collect();
+        let r = pearson(&x, &y);
+        let (lo, hi) = pearson_ci(&x, &y, 200);
+        assert!(lo <= r && r <= hi, "({lo}, {hi}) should bracket {r}");
+    }
+}

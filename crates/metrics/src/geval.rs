@@ -1,0 +1,112 @@
+//! G-Eval as a metric: a thin adapter over the simulated GPT-4 judge in
+//! `iyp-llm`, giving it the same `(candidate, reference) -> score` shape
+//! as BLEU/ROUGE/BERTScore so the harness can sweep all four uniformly.
+
+use iyp_llm::{GEvalJudge, SimLm};
+
+/// A stateful G-Eval scorer (holds the judge).
+pub struct GEval {
+    judge: GEvalJudge,
+}
+
+impl GEval {
+    /// Creates a scorer with the given judge seed.
+    pub fn new(seed: u64) -> Self {
+        GEval {
+            judge: GEvalJudge::new(SimLm::with_seed(seed)),
+        }
+    }
+
+    /// Scores a candidate answer against a reference answer for a
+    /// question. Returns the sharpened G-Eval score in [0, 1].
+    pub fn score(&self, question: &str, candidate: &str, reference: &str) -> f64 {
+        self.judge.judge(question, candidate, reference).score
+    }
+}
+
+/// The uniform metric interface used by the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// BLEU-4 with smoothing.
+    Bleu,
+    /// Mean of ROUGE-1/2/L F1.
+    Rouge,
+    /// BERTScore-style embedding F1 (rescaled).
+    BertScore,
+    /// Simulated G-Eval.
+    GEval,
+}
+
+impl MetricKind {
+    /// All four metrics in paper order.
+    pub const ALL: [MetricKind; 4] = [
+        MetricKind::Bleu,
+        MetricKind::Rouge,
+        MetricKind::BertScore,
+        MetricKind::GEval,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricKind::Bleu => "BLEU",
+            MetricKind::Rouge => "ROUGE",
+            MetricKind::BertScore => "BERTScore",
+            MetricKind::GEval => "G-Eval",
+        }
+    }
+}
+
+/// Scores one answer under one metric. `geval` carries the judge state.
+pub fn score(
+    kind: MetricKind,
+    geval: &GEval,
+    question: &str,
+    candidate: &str,
+    reference: &str,
+) -> f64 {
+    match kind {
+        MetricKind::Bleu => crate::bleu::bleu(candidate, reference),
+        MetricKind::Rouge => crate::rouge::rouge(candidate, reference),
+        MetricKind::BertScore => crate::bertscore::bertscore(candidate, reference),
+        MetricKind::GEval => geval.score(question, candidate, reference),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_metrics_score_identity_high() {
+        let g = GEval::new(42);
+        let q = "How many prefixes does AS2497 originate?";
+        let t = "The number of prefixes originated by AS2497 is 17.";
+        for kind in MetricKind::ALL {
+            let s = score(kind, &g, q, t, t);
+            assert!(s > 0.8, "{} scored identity at {s}", kind.name());
+        }
+    }
+
+    #[test]
+    fn geval_separates_where_bertscore_ceilings() {
+        let g = GEval::new(42);
+        let q = "How many prefixes does AS2497 originate?";
+        let reference = "The number of prefixes originated by AS2497 is 17.";
+        let wrong = "The number of prefixes originated by AS2497 is 530.";
+        let geval_gap = score(MetricKind::GEval, &g, q, reference, reference)
+            - score(MetricKind::GEval, &g, q, wrong, reference);
+        let bert_gap = score(MetricKind::BertScore, &g, q, reference, reference)
+            - score(MetricKind::BertScore, &g, q, wrong, reference);
+        assert!(
+            geval_gap > bert_gap + 0.2,
+            "geval_gap={geval_gap} bert_gap={bert_gap}"
+        );
+    }
+
+    #[test]
+    fn metric_names() {
+        assert_eq!(MetricKind::ALL.len(), 4);
+        assert_eq!(MetricKind::GEval.name(), "G-Eval");
+    }
+}

@@ -1,0 +1,33 @@
+//! # iyp-metrics
+//!
+//! The measurement instruments of the ChatIYP evaluation: the four
+//! answer-quality metrics the paper compares ([`mod@bleu`], [`mod@rouge`],
+//! [`mod@bertscore`], [`geval`]), plus distribution statistics ([`stats`])
+//! and correlation analysis against ground-truth correctness
+//! ([`correlation`]).
+//!
+//! ```
+//! use iyp_metrics::{bleu::bleu, rouge::rouge, bertscore::bertscore};
+//!
+//! let reference = "The name of AS2497 is IIJ.";
+//! let paraphrase = "IIJ — that is the name of AS2497.";
+//! // Same facts, different wording: BLEU punishes, BERTScore forgives.
+//! assert!(bleu(paraphrase, reference) < bertscore(paraphrase, reference));
+//! assert!(rouge(paraphrase, reference) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bertscore;
+pub mod bleu;
+pub mod correlation;
+pub mod geval;
+pub mod rouge;
+pub mod stats;
+
+pub use bertscore::bertscore;
+pub use bleu::bleu;
+pub use correlation::{kendall_tau, pearson, point_biserial, spearman};
+pub use geval::{GEval, MetricKind};
+pub use rouge::{rouge, rouge_1, rouge_2, rouge_l};
+pub use stats::{summarize, Histogram, Summary};

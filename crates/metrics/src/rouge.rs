@@ -1,0 +1,134 @@
+//! ROUGE (Lin, 2004): recall-oriented n-gram and longest-common-
+//! subsequence overlap. Provides ROUGE-1, ROUGE-2 and ROUGE-L F1 scores.
+
+use iyp_embed::tokenize::words;
+use std::collections::HashMap;
+
+/// ROUGE-N F1 between candidate and reference.
+pub fn rouge_n(candidate: &str, reference: &str, n: usize) -> f64 {
+    let cand = words(candidate);
+    let refr = words(reference);
+    if cand.len() < n || refr.len() < n {
+        return 0.0;
+    }
+    let mut ref_counts: HashMap<&[String], usize> = HashMap::new();
+    for w in refr.windows(n) {
+        *ref_counts.entry(w).or_default() += 1;
+    }
+    let mut overlap = 0usize;
+    let mut cand_counts: HashMap<&[String], usize> = HashMap::new();
+    for w in cand.windows(n) {
+        *cand_counts.entry(w).or_default() += 1;
+    }
+    for (gram, count) in &cand_counts {
+        overlap += (*count).min(ref_counts.get(gram).copied().unwrap_or(0));
+    }
+    let cand_total = cand.len() + 1 - n;
+    let ref_total = refr.len() + 1 - n;
+    f1(overlap as f64 / cand_total as f64, overlap as f64 / ref_total as f64)
+}
+
+/// ROUGE-1 F1.
+pub fn rouge_1(candidate: &str, reference: &str) -> f64 {
+    rouge_n(candidate, reference, 1)
+}
+
+/// ROUGE-2 F1.
+pub fn rouge_2(candidate: &str, reference: &str) -> f64 {
+    rouge_n(candidate, reference, 2)
+}
+
+/// ROUGE-L F1: longest common subsequence of words.
+pub fn rouge_l(candidate: &str, reference: &str) -> f64 {
+    let cand = words(candidate);
+    let refr = words(reference);
+    if cand.is_empty() || refr.is_empty() {
+        return 0.0;
+    }
+    let lcs = lcs_len(&cand, &refr) as f64;
+    f1(lcs / cand.len() as f64, lcs / refr.len() as f64)
+}
+
+/// The combined ROUGE score used in the figures: the mean of ROUGE-1,
+/// ROUGE-2 and ROUGE-L F1 (a common aggregate when reporting a single
+/// ROUGE number).
+pub fn rouge(candidate: &str, reference: &str) -> f64 {
+    (rouge_1(candidate, reference) + rouge_2(candidate, reference) + rouge_l(candidate, reference))
+        / 3.0
+}
+
+fn f1(p: f64, r: f64) -> f64 {
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+fn lcs_len(a: &[String], b: &[String]) -> usize {
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for x in a {
+        for (j, y) in b.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_scores_one() {
+        let t = "the population share of as2497 in japan is 33.3";
+        assert!((rouge_1(t, t) - 1.0).abs() < 1e-9);
+        assert!((rouge_2(t, t) - 1.0).abs() < 1e-9);
+        assert!((rouge_l(t, t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_scores_zero() {
+        assert_eq!(rouge("alpha beta", "gamma delta"), 0.0);
+    }
+
+    #[test]
+    fn rouge_tolerates_rewording_better_than_bleu() {
+        let reference = "The share of Japan's population served by AS2497 is 33.3.";
+        let paraphrase = "33.3 — that is the population share AS2497 serves in Japan.";
+        let r = rouge(paraphrase, reference);
+        let b = crate::bleu::bleu(paraphrase, reference);
+        assert!(r > b, "rouge={r} bleu={b}");
+    }
+
+    #[test]
+    fn lcs_respects_order() {
+        // Same bag of words, scrambled: ROUGE-1 stays 1.0, ROUGE-L drops.
+        let reference = "a b c d e";
+        let scrambled = "e d c b a";
+        assert!((rouge_1(scrambled, reference) - 1.0).abs() < 1e-9);
+        assert!(rouge_l(scrambled, reference) < 0.5);
+    }
+
+    #[test]
+    fn short_texts_and_empty() {
+        assert_eq!(rouge_2("word", "word"), 0.0); // no bigrams in one word
+        assert_eq!(rouge_1("", "x"), 0.0);
+        assert_eq!(rouge_l("x", ""), 0.0);
+    }
+
+    #[test]
+    fn recall_orientation() {
+        // A candidate covering more of the reference scores higher ROUGE-1.
+        let reference = "one two three four five six";
+        assert!(
+            rouge_1("one two three four", reference) > rouge_1("one two", reference)
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Distribution statistics: moments, quantiles, histograms and a
+//! bimodality measure — the machinery behind Figure 2a/2b.
+
+use serde::Serialize;
+
+/// Summary of a score distribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q75: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sarle's bimodality coefficient (> ~0.555 suggests bimodality).
+    pub bimodality: f64,
+    /// Share of samples above 0.75 (the paper's Easy-question headline).
+    pub share_above_075: f64,
+}
+
+/// Computes a summary. Returns a degenerate all-zero summary for empty
+/// input.
+pub fn summarize(values: &[f64]) -> Summary {
+    let n = values.len();
+    if n == 0 {
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            q25: 0.0,
+            median: 0.0,
+            q75: 0.0,
+            max: 0.0,
+            bimodality: 0.0,
+            share_above_075: 0.0,
+        };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let std = var.sqrt();
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+    let skew = if std > 0.0 && n > 2 {
+        let m3 = values.iter().map(|x| ((x - mean) / std).powi(3)).sum::<f64>() / n as f64;
+        m3 * ((n * (n - 1)) as f64).sqrt() / (n as f64 - 2.0)
+    } else {
+        0.0
+    };
+    let kurt = if std > 0.0 && n > 3 {
+        let m4 = values.iter().map(|x| ((x - mean) / std).powi(4)).sum::<f64>() / n as f64;
+        m4 - 3.0
+    } else {
+        0.0
+    };
+    let nf = n as f64;
+    let bimodality = if n > 3 {
+        (skew * skew + 1.0)
+            / (kurt + 3.0 * (nf - 1.0).powi(2) / ((nf - 2.0) * (nf - 3.0)))
+    } else {
+        0.0
+    };
+
+    Summary {
+        n,
+        mean,
+        std,
+        min: sorted[0],
+        q25: quantile(&sorted, 0.25),
+        median: quantile(&sorted, 0.5),
+        q75: quantile(&sorted, 0.75),
+        max: sorted[n - 1],
+        bimodality,
+        share_above_075: values.iter().filter(|&&x| x > 0.75).count() as f64 / nf,
+    }
+}
+
+/// Linear-interpolated quantile of a pre-sorted slice.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// A fixed-width histogram over [0, 1].
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    /// Bin counts, lowest bin first.
+    pub bins: Vec<usize>,
+    /// Total samples.
+    pub total: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal bins over [0, 1]; values are
+    /// clamped into range.
+    pub fn build(values: &[f64], bins: usize) -> Histogram {
+        let bins = bins.max(1);
+        let mut counts = vec![0usize; bins];
+        for &v in values {
+            let idx = ((v.clamp(0.0, 1.0) * bins as f64) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Histogram {
+            bins: counts,
+            total: values.len(),
+        }
+    }
+
+    /// Renders the histogram as an ASCII bar chart with bin labels.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let n = self.bins.len();
+        let mut out = String::new();
+        for (i, &count) in self.bins.iter().enumerate() {
+            let lo = i as f64 / n as f64;
+            let hi = (i + 1) as f64 / n as f64;
+            let bar_len = count * width / max;
+            out.push_str(&format!(
+                "[{lo:.2}-{hi:.2}) {:width$} {count}\n",
+                "#".repeat(bar_len),
+                width = width
+            ));
+        }
+        out
+    }
+
+    /// The share of mass in the two outer quartile-bands versus the middle
+    /// — a quick visual-bimodality check for tests.
+    pub fn edge_mass(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.bins.len();
+        let edge: usize = self
+            .bins
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i < n / 4 || *i >= n - n / 4)
+            .map(|(_, c)| *c)
+            .sum();
+        edge as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = summarize(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 0.5).abs() < 1e-9);
+        assert!((s.median - 0.5).abs() < 1e-9);
+        assert!((s.q25 - 0.25).abs() < 1e-9);
+        assert!((s.q75 - 0.75).abs() < 1e-9);
+        assert!((s.share_above_075 - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_degenerate() {
+        let s = summarize(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn bimodal_sample_has_higher_coefficient_than_unimodal() {
+        let bimodal: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 0.05 } else { 0.95 })
+            .collect();
+        let unimodal: Vec<f64> = (0..50).map(|i| 0.4 + 0.2 * (i as f64 / 49.0)).collect();
+        let b = summarize(&bimodal).bimodality;
+        let u = summarize(&unimodal).bimodality;
+        assert!(b > 0.555, "bimodal coefficient {b}");
+        assert!(b > u, "b={b} u={u}");
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let h = Histogram::build(&[0.0, 0.05, 0.5, 0.95, 1.0, 1.5, -0.2], 10);
+        assert_eq!(h.total, 7);
+        assert_eq!(h.bins.iter().sum::<usize>(), 7);
+        assert_eq!(h.bins[0], 3); // 0.0, 0.05, -0.2
+        assert_eq!(h.bins[9], 3); // 0.95, 1.0, 1.5
+        assert_eq!(h.bins[5], 1);
+    }
+
+    #[test]
+    fn histogram_renders() {
+        let h = Histogram::build(&[0.1, 0.1, 0.9], 4);
+        let s = h.render(20);
+        assert!(s.contains("[0.00-0.25)"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn edge_mass_detects_bimodality() {
+        let bimodal = Histogram::build(
+            &(0..40)
+                .map(|i| if i % 2 == 0 { 0.05 } else { 0.95 })
+                .collect::<Vec<_>>(),
+            10,
+        );
+        let flat = Histogram::build(&(0..40).map(|i| i as f64 / 40.0).collect::<Vec<_>>(), 10);
+        assert!(bimodal.edge_mass() > flat.edge_mass());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&sorted, 0.5) - 2.5).abs() < 1e-9);
+        assert_eq!(quantile(&sorted, 0.0), 1.0);
+        assert_eq!(quantile(&sorted, 1.0), 4.0);
+    }
+}

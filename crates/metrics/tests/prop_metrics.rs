@@ -1,0 +1,124 @@
+//! Property tests for the evaluation metrics: range bounds, identity
+//! maxima, and correlation-statistic invariants.
+
+use iyp_metrics::correlation::{kendall_tau, pearson, ranks, spearman};
+use iyp_metrics::stats::{summarize, Histogram};
+use iyp_metrics::{bertscore, bleu, rouge, rouge_1, rouge_2, rouge_l};
+use proptest::prelude::*;
+
+fn sentence() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z]{1,8}", 1..15).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_metrics_bounded(a in sentence(), b in sentence()) {
+        for (name, s) in [
+            ("bleu", bleu(&a, &b)),
+            ("rouge", rouge(&a, &b)),
+            ("rouge1", rouge_1(&a, &b)),
+            ("rouge2", rouge_2(&a, &b)),
+            ("rougeL", rouge_l(&a, &b)),
+            ("bertscore", bertscore(&a, &b)),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&s), "{name} = {s} for {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_is_maximal(a in sentence(), b in sentence()) {
+        prop_assert!(bleu(&a, &a) >= bleu(&b, &a) - 1e-9);
+        prop_assert!(rouge_1(&a, &a) >= rouge_1(&b, &a) - 1e-9);
+        prop_assert!(rouge_l(&a, &a) >= rouge_l(&b, &a) - 1e-9);
+        prop_assert!(bertscore(&a, &a) >= bertscore(&b, &a) - 1e-6);
+        // Identity is a perfect ROUGE-1 score always; BLEU-4's smoothing
+        // only reaches 1.0 once all four n-gram orders exist.
+        prop_assert!((rouge_1(&a, &a) - 1.0).abs() < 1e-9);
+        if a.split_whitespace().count() >= 4 {
+            prop_assert!((bleu(&a, &a) - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert!(bleu(&a, &a) > 0.4);
+        }
+    }
+
+    #[test]
+    fn rouge1_is_symmetric_in_f1(a in sentence(), b in sentence()) {
+        // F1 of unigram overlap is symmetric by construction.
+        prop_assert!((rouge_1(&a, &b) - rouge_1(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concatenating_reference_content_never_zeroes_rouge(a in sentence(), b in sentence()) {
+        // A candidate containing the whole reference keeps full recall.
+        let candidate = format!("{b} {a}");
+        let r_full = rouge_1(&candidate, &a);
+        prop_assert!(r_full > 0.0);
+    }
+
+    #[test]
+    fn pearson_and_spearman_bounded(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..40),
+        ys in proptest::collection::vec(-1e3f64..1e3, 2..40),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (x, y) = (&xs[..n], &ys[..n]);
+        for (name, r) in [
+            ("pearson", pearson(x, y)),
+            ("spearman", spearman(x, y)),
+            ("kendall", kendall_tau(x, y)),
+        ] {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "{name} = {r}");
+        }
+    }
+
+    #[test]
+    fn correlation_with_self_is_one(xs in proptest::collection::vec(-1e3f64..1e3, 3..40)) {
+        // Degenerate (constant) series are defined to correlate at 0.
+        let constant = xs.iter().all(|v| *v == xs[0]);
+        let p = pearson(&xs, &xs);
+        if constant {
+            prop_assert_eq!(p, 0.0);
+        } else {
+            prop_assert!((p - 1.0).abs() < 1e-9, "pearson self = {p}");
+            prop_assert!((spearman(&xs, &xs) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlation_flips_under_negation(xs in proptest::collection::vec(-1e3f64..1e3, 3..40)) {
+        let neg: Vec<f64> = xs.iter().map(|v| -v).collect();
+        prop_assert!((pearson(&xs, &neg) + pearson(&xs, &xs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_mean(xs in proptest::collection::vec(-1e3f64..1e3, 1..40)) {
+        let r = ranks(&xs);
+        prop_assert_eq!(r.len(), xs.len());
+        // Mid-ranks always sum to n(n+1)/2 regardless of ties.
+        let sum: f64 = r.iter().sum();
+        let n = xs.len() as f64;
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_is_internally_consistent(xs in proptest::collection::vec(0f64..1.0, 1..100)) {
+        let s = summarize(&xs);
+        prop_assert_eq!(s.n, xs.len());
+        prop_assert!(s.min <= s.q25 + 1e-12);
+        prop_assert!(s.q25 <= s.median + 1e-12);
+        prop_assert!(s.median <= s.q75 + 1e-12);
+        prop_assert!(s.q75 <= s.max + 1e-12);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!((0.0..=1.0).contains(&s.share_above_075));
+    }
+
+    #[test]
+    fn histogram_conserves_mass(xs in proptest::collection::vec(-0.5f64..1.5, 0..200), bins in 1usize..20) {
+        let h = Histogram::build(&xs, bins);
+        prop_assert_eq!(h.bins.len(), bins);
+        prop_assert_eq!(h.bins.iter().sum::<usize>(), xs.len());
+        prop_assert_eq!(h.total, xs.len());
+    }
+}

@@ -1,0 +1,234 @@
+//! The ChatIYP JSON API: request/response types and the route handlers.
+//!
+//! Endpoints:
+//! * `POST /ask` — `{"question": "..."}` → full pipeline response
+//! * `GET  /health` — liveness + graph size
+//! * `GET  /schema` — the IYP schema summary
+//! * `POST /cypher` — `{"query": "..."}` → direct read-only Cypher
+//!   (the expert escape hatch)
+
+use crate::http::{Request, Response};
+use chatiyp_core::ChatIyp;
+use serde::{Deserialize, Serialize};
+use serde_json::json;
+
+/// Body of `POST /ask`.
+#[derive(Debug, Deserialize)]
+pub struct AskRequest {
+    /// The natural-language question.
+    pub question: String,
+}
+
+/// Body of `POST /cypher`.
+#[derive(Debug, Deserialize)]
+pub struct CypherRequest {
+    /// A read-only Cypher query.
+    pub query: String,
+}
+
+/// Serialized answer of `POST /ask`.
+#[derive(Debug, Serialize)]
+pub struct AskResponse<'a> {
+    /// The generated answer text.
+    pub answer: &'a str,
+    /// The generated Cypher (transparency), if any.
+    pub cypher: Option<&'a str>,
+    /// The route that answered (`cypher`, `vector-fallback`, `failed`).
+    pub route: String,
+    /// Retrieved context titles (vector route).
+    pub contexts: Vec<&'a str>,
+    /// End-to-end latency in microseconds.
+    pub latency_us: u64,
+}
+
+/// Dispatches one request against the pipeline.
+pub fn handle(chat: &ChatIyp, req: &Request) -> Response {
+    match (req.method.as_str(), req.path()) {
+        ("POST", "/ask") => handle_ask(chat, req),
+        ("POST", "/cypher") => handle_cypher(chat, req),
+        ("GET", "/health") => handle_health(chat),
+        ("GET", "/stats") => handle_stats(chat),
+        ("GET", "/schema") => Response::text(200, iyp_data::schema::schema_summary()),
+        ("GET", _) | ("POST", _) => Response::json(
+            404,
+            json!({"error": "unknown endpoint", "endpoints": ["/ask", "/cypher", "/health", "/schema", "/stats"]})
+                .to_string(),
+        ),
+        (method, _) => Response::json(
+            405,
+            json!({"error": format!("method {method} not allowed")}).to_string(),
+        ),
+    }
+}
+
+fn handle_ask(chat: &ChatIyp, req: &Request) -> Response {
+    let parsed: Result<AskRequest, _> = serde_json::from_slice(&req.body);
+    match parsed {
+        Err(e) => Response::json(
+            400,
+            json!({"error": format!("invalid JSON body: {e}")}).to_string(),
+        ),
+        Ok(ask) if ask.question.trim().is_empty() => {
+            Response::json(400, json!({"error": "question must not be empty"}).to_string())
+        }
+        Ok(ask) => {
+            let r = chat.ask(&ask.question);
+            let body = AskResponse {
+                answer: &r.answer,
+                cypher: r.cypher.as_deref(),
+                route: r.route.to_string(),
+                contexts: r.contexts.iter().map(|c| c.title.as_str()).collect(),
+                latency_us: r.timings.total.as_micros() as u64,
+            };
+            Response::json(200, serde_json::to_string(&body).expect("serializes"))
+        }
+    }
+}
+
+fn handle_cypher(chat: &ChatIyp, req: &Request) -> Response {
+    let parsed: Result<CypherRequest, _> = serde_json::from_slice(&req.body);
+    match parsed {
+        Err(e) => Response::json(
+            400,
+            json!({"error": format!("invalid JSON body: {e}")}).to_string(),
+        ),
+        // Untrusted Cypher runs under a deadline so a pathological
+        // pattern cannot pin a worker.
+        Ok(c) => match iyp_cypher::query_with_deadline(
+            chat.graph(),
+            &c.query,
+            &iyp_cypher::Params::new(),
+            std::time::Duration::from_secs(2),
+        ) {
+            Ok(result) => Response::json(
+                200,
+                serde_json::to_string(&result).expect("result serializes"),
+            ),
+            Err(e) => Response::json(400, json!({"error": e.to_string()}).to_string()),
+        },
+    }
+}
+
+fn handle_stats(chat: &ChatIyp) -> Response {
+    let stats = iyp_graphdb::GraphStats::compute(chat.graph());
+    Response::json(
+        200,
+        serde_json::to_string(&stats).expect("stats serialize"),
+    )
+}
+
+fn handle_health(chat: &ChatIyp) -> Response {
+    Response::json(
+        200,
+        json!({
+            "status": "ok",
+            "nodes": chat.graph().node_count(),
+            "relationships": chat.graph().rel_count(),
+        })
+        .to_string(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatiyp_core::ChatIypConfig;
+    use iyp_data::{generate, IypConfig};
+    use iyp_llm::LmConfig;
+
+    fn chat() -> ChatIyp {
+        ChatIyp::new(
+            generate(&IypConfig::tiny()),
+            ChatIypConfig {
+                lm: LmConfig {
+                    seed: 42,
+                    skill: 1.0,
+                    variety: 0.0,
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.into(),
+            target: path.into(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+            http11: true,
+        }
+    }
+
+    #[test]
+    fn ask_endpoint_answers() {
+        let c = chat();
+        let r = handle(&c, &req("POST", "/ask", r#"{"question":"What is the name of AS2497?"}"#));
+        assert_eq!(r.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(body["answer"].as_str().unwrap().contains("IIJ"));
+        assert_eq!(body["route"], "cypher");
+        assert!(body["cypher"].as_str().unwrap().contains("2497"));
+    }
+
+    #[test]
+    fn ask_rejects_bad_json_and_empty_question() {
+        let c = chat();
+        assert_eq!(handle(&c, &req("POST", "/ask", "not json")).status, 400);
+        assert_eq!(
+            handle(&c, &req("POST", "/ask", r#"{"question":"  "}"#)).status,
+            400
+        );
+    }
+
+    #[test]
+    fn cypher_endpoint_runs_readonly_queries() {
+        let c = chat();
+        let r = handle(
+            &c,
+            &req("POST", "/cypher", r#"{"query":"MATCH (a:AS) RETURN count(a)"}"#),
+        );
+        assert_eq!(r.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(body["rows"][0][0].as_i64().unwrap() > 0);
+        // Write queries are refused.
+        let r = handle(
+            &c,
+            &req("POST", "/cypher", r#"{"query":"CREATE (x:AS {asn: 1})"}"#),
+        );
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn health_and_schema() {
+        let c = chat();
+        let r = handle(&c, &req("GET", "/health", ""));
+        assert_eq!(r.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(body["status"], "ok");
+        assert!(body["nodes"].as_u64().unwrap() > 0);
+
+        let r = handle(&c, &req("GET", "/schema", ""));
+        assert_eq!(r.status, 200);
+        assert!(String::from_utf8_lossy(&r.body).contains("ORIGINATE"));
+    }
+
+    #[test]
+    fn stats_endpoint_reports_graph_shape() {
+        let c = chat();
+        let r = handle(&c, &req("GET", "/stats", ""));
+        assert_eq!(r.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(body["nodes"].as_u64().unwrap() > 0);
+        assert!(body["nodes_by_label"]["AS"].as_u64().unwrap() > 0);
+        assert!(body["rels_by_type"]["ORIGINATE"].as_u64().unwrap() > 0);
+        assert!(body["degree"]["mean"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unknown_paths_and_methods() {
+        let c = chat();
+        assert_eq!(handle(&c, &req("GET", "/nope", "")).status, 404);
+        assert_eq!(handle(&c, &req("DELETE", "/ask", "")).status, 405);
+    }
+}

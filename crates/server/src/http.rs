@@ -1,0 +1,319 @@
+//! Minimal HTTP/1.1 message framing over blocking sockets.
+//!
+//! Only what the ChatIYP API needs: request-line + headers + fixed
+//! `Content-Length` bodies, one request per connection (`Connection:
+//! close`). Malformed input is answered with a 4xx rather than a panic or
+//! a hang; oversized bodies are rejected early.
+
+use bytes::BytesMut;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Maximum requests served over one keep-alive connection.
+pub const MAX_REQUESTS_PER_CONN: usize = 100;
+
+/// Maximum accepted request body (1 MiB): questions are short.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// Maximum header section size.
+pub const MAX_HEADER: usize = 16 << 10;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path + optional query string).
+    pub target: String,
+    /// Lower-cased header names with their values.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// True for HTTP/1.1 requests (keep-alive by default).
+    pub http11: bool,
+}
+
+impl Request {
+    /// The path component of the target (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// A header value, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Does the client want the connection kept open? HTTP/1.1 defaults
+    /// to keep-alive unless `Connection: close`; HTTP/1.0 requires an
+    /// explicit `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v == "close" => false,
+            Some(v) if v == "keep-alive" => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Request-parsing errors, each mapping to a response status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line or headers → 400.
+    BadRequest(String),
+    /// Body larger than [`MAX_BODY`] → 413.
+    TooLarge,
+    /// Socket-level failure (peer vanished etc.).
+    Io(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::TooLarge => write!(f, "request body too large"),
+            HttpError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+impl std::error::Error for HttpError {}
+
+/// Reads one request from a stream (convenience wrapper; keep-alive
+/// serving uses [`read_request_buffered`] with a per-connection reader).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    read_request_buffered(&mut reader)
+}
+
+/// Reads one request from a per-connection buffered reader, so bytes of a
+/// pipelined next request are not dropped between calls.
+pub fn read_request_buffered<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol '{version}'"
+        )));
+    }
+    let http11 = version == "HTTP/1.1";
+
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let mut hline = String::new();
+        reader
+            .read_line(&mut hline)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        header_bytes += hline.len();
+        if header_bytes > MAX_HEADER {
+            return Err(HttpError::BadRequest("header section too large".into()));
+        }
+        let trimmed = hline.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        match trimmed.split_once(':') {
+            Some((name, value)) => headers.push((
+                name.trim().to_ascii_lowercase(),
+                value.trim().to_string(),
+            )),
+            None => return Err(HttpError::BadRequest(format!("malformed header '{trimmed}'"))),
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| HttpError::BadRequest("unparseable content-length".into()))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    Ok(Request {
+        method,
+        target,
+        headers,
+        body,
+        http11,
+    })
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Content type.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// Serializes the response to wire format with `Connection: close`.
+    pub fn to_bytes(&self) -> BytesMut {
+        self.to_bytes_conn(false)
+    }
+
+    /// Serializes the response, choosing the connection disposition.
+    pub fn to_bytes_conn(&self, keep_alive: bool) -> BytesMut {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        };
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let mut out = BytesMut::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {reason}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+                self.status,
+                self.content_type,
+                self.body.len()
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the response to a stream with `Connection: close`.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        self.write_conn(stream, false)
+    }
+
+    /// Writes the response, choosing the connection disposition.
+    pub fn write_conn(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+        stream.write_all(&self.to_bytes_conn(keep_alive))?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+            s
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = read_request(&mut server_side);
+        let _ = client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(
+            b"POST /ask HTTP/1.1\r\nHost: x\r\nContent-Length: 15\r\n\r\n{\"question\":1}x",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/ask");
+        assert_eq!(req.body.len(), 15);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /health?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/health");
+        assert_eq!(req.target, "/health?verbose=1");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        assert!(matches!(
+            roundtrip(b"NONSENSE\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST /ask HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(roundtrip(raw.as_bytes()), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn rejects_bad_protocol() {
+        assert!(matches!(
+            roundtrip(b"GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let bytes = Response::json(200, br#"{"ok":true}"#.to_vec()).to_bytes();
+        let s = String::from_utf8_lossy(&bytes);
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("content-length: 11"));
+        assert!(s.contains("application/json"));
+        assert!(s.ends_with(r#"{"ok":true}"#));
+    }
+}

@@ -1,0 +1,33 @@
+//! # chatiyp-server
+//!
+//! A small threaded HTTP/1.1 JSON API over `std::net` exposing the
+//! ChatIYP pipeline — the stand-in for the paper's public web application.
+//!
+//! Architecture: one non-blocking acceptor thread feeds accepted
+//! connections into a bounded crossbeam channel; a fixed worker pool
+//! parses one request per connection ([`http`]), dispatches it against
+//! the shared pipeline ([`api`]) and writes the framed response. Dropping
+//! the [`serve::Server`] handle (or calling `shutdown`) stops the
+//! acceptor, drains in-flight work and joins every thread.
+//!
+//! ```no_run
+//! use chatiyp_core::{ChatIyp, ChatIypConfig};
+//! use chatiyp_server::{Server, ServerConfig};
+//! use iyp_data::{generate, IypConfig};
+//!
+//! let chat = ChatIyp::new(generate(&IypConfig::default()), ChatIypConfig::default());
+//! let server = Server::start(chat, ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! // ... serve until done ...
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod serve;
+
+pub use api::{AskRequest, CypherRequest};
+pub use http::{Request, Response};
+pub use serve::{Server, ServerConfig};

@@ -1,0 +1,326 @@
+//! The threaded server: an acceptor feeding a fixed worker pool over a
+//! crossbeam channel, with graceful shutdown.
+
+use crate::api::handle;
+use crate::http::{HttpError, Response};
+use chatiyp_core::ChatIyp;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. Use port 0 to let the OS choose (tests do).
+    pub addr: SocketAddr,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8047".parse().expect("valid literal addr"),
+            workers: 4,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`]) stops
+/// the acceptor and drains the workers.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and spawns the acceptor + worker pool. The pipeline is shared
+    /// read-only across workers.
+    pub fn start(chat: ChatIyp, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let chat = Arc::new(chat);
+
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(128);
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let chat = Arc::clone(&chat);
+            let read_timeout = config.read_timeout;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("chatiyp-worker-{i}"))
+                    .spawn(move || worker_loop(rx, chat, read_timeout))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let stop_accept = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("chatiyp-acceptor".into())
+            .spawn(move || {
+                while !stop_accept.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // If the queue is full the connection waits here;
+                            // backpressure instead of unbounded memory.
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Dropping tx closes the channel; workers drain and exit.
+            })
+            .expect("spawn acceptor");
+
+        Ok(Server {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight requests, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn worker_loop(rx: Receiver<TcpStream>, chat: Arc<ChatIyp>, read_timeout: Duration) {
+    // The loop ends when the acceptor drops the sender.
+    while let Ok(stream) = rx.recv() {
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        serve_connection(stream, &chat);
+    }
+}
+
+/// Serves one connection: keep-alive loop with a per-connection buffered
+/// reader (so pipelined request bytes survive between reads), bounded by
+/// [`crate::http::MAX_REQUESTS_PER_CONN`].
+fn serve_connection(stream: TcpStream, chat: &ChatIyp) {
+    use crate::http::{read_request_buffered, MAX_REQUESTS_PER_CONN};
+    let mut reader = std::io::BufReader::new(stream);
+    for served in 0..MAX_REQUESTS_PER_CONN {
+        let parsed = read_request_buffered(&mut reader);
+        let (response, keep_alive) = match parsed {
+            Ok(req) => {
+                let keep = req.wants_keep_alive() && served + 1 < MAX_REQUESTS_PER_CONN;
+                (handle(chat, &req), keep)
+            }
+            Err(HttpError::TooLarge) => (
+                Response::json(413, r#"{"error":"body too large"}"#.as_bytes().to_vec()),
+                false,
+            ),
+            Err(HttpError::BadRequest(m)) => (
+                Response::json(
+                    400,
+                    serde_json::json!({ "error": m }).to_string().into_bytes(),
+                ),
+                false,
+            ),
+            Err(HttpError::Io(_)) => return, // peer went away / idle timeout
+        };
+        if response.write_conn(reader.get_mut(), keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatiyp_core::ChatIypConfig;
+    use iyp_data::{generate, IypConfig};
+    use iyp_llm::LmConfig;
+    use std::io::{Read, Write};
+
+    fn start_test_server() -> Server {
+        let chat = ChatIyp::new(
+            generate(&IypConfig::tiny()),
+            ChatIypConfig {
+                lm: LmConfig {
+                    seed: 42,
+                    skill: 1.0,
+                    variety: 0.0,
+                },
+                ..Default::default()
+            },
+        );
+        Server::start(
+            chat,
+            ServerConfig {
+                addr: "127.0.0.1:0".parse().unwrap(),
+                workers: 2,
+                read_timeout: Duration::from_secs(2),
+            },
+        )
+        .expect("server starts")
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> String {
+        // `Connection: close` so read_to_string terminates promptly.
+        let raw = raw.replacen("\r\n", "\r\nConnection: close\r\n", 1);
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn end_to_end_ask_over_tcp() {
+        let server = start_test_server();
+        let body = r#"{"question":"What is the name of AS2497?"}"#;
+        let raw = format!(
+            "POST /ask HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let reply = request(server.addr(), &raw);
+        assert!(reply.starts_with("HTTP/1.1 200"), "reply: {reply}");
+        assert!(reply.contains("IIJ"), "reply: {reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_over_tcp_and_concurrent_clients() {
+        let server = start_test_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    request(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n")
+                })
+            })
+            .collect();
+        for h in handles {
+            let reply = h.join().unwrap();
+            assert!(reply.contains("\"status\":\"ok\""), "reply: {reply}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400_not_hang() {
+        let server = start_test_server();
+        let reply = request(server.addr(), "GARBAGE\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "reply: {reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        use std::io::{BufRead, BufReader};
+        let server = start_test_server();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(3)))
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+
+        for i in 0..3 {
+            reader
+                .get_mut()
+                .write_all(b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n")
+                .unwrap();
+            // Status line.
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("HTTP/1.1 200"), "req {i}: {line}");
+            // Headers until blank; find content-length and keep-alive.
+            let mut content_length = 0usize;
+            let mut connection = String::new();
+            loop {
+                let mut h = String::new();
+                reader.read_line(&mut h).unwrap();
+                let h = h.trim_end();
+                if h.is_empty() {
+                    break;
+                }
+                if let Some(v) = h.strip_prefix("content-length: ") {
+                    content_length = v.parse().unwrap();
+                }
+                if let Some(v) = h.strip_prefix("connection: ") {
+                    connection = v.to_string();
+                }
+            }
+            assert_eq!(connection, "keep-alive", "req {i}");
+            let mut body = vec![0u8; content_length];
+            std::io::Read::read_exact(&mut reader, &mut body).unwrap();
+            assert!(String::from_utf8_lossy(&body).contains("\"status\":\"ok\""));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let server = start_test_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"GET /health HTTP/1.0\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap(); // returns promptly: server closes
+        assert!(out.contains("connection: close"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn worker_survives_client_disconnecting_mid_request() {
+        let server = start_test_server();
+        // Client declares a body it never sends, then vanishes: the read
+        // times out / errors and the worker moves on.
+        for _ in 0..3 {
+            let mut s = TcpStream::connect(server.addr()).unwrap();
+            s.write_all(b"POST /ask HTTP/1.1\r\nContent-Length: 500\r\n\r\n{half")
+                .unwrap();
+            drop(s); // disconnect mid-body
+        }
+        // The pool must still serve real requests afterwards.
+        let reply = request(server.addr(), "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(reply.contains("\"status\":\"ok\""), "reply: {reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_quickly() {
+        let server = start_test_server();
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,73 @@
+//! Run a slice of the CypherEval benchmark and inspect per-question
+//! behavior: the generated Cypher vs the gold query, correctness, and all
+//! four metric scores — a magnifying glass over what the figure binaries
+//! aggregate.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example evaluate            # 30 questions
+//! cargo run --example evaluate -- 100     # custom count
+//! ```
+
+use chatiyp_bench::{run_evaluation, ExperimentConfig};
+use cypher_eval::EvalConfig;
+use iyp_metrics::MetricKind;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+    let config = ExperimentConfig {
+        eval: EvalConfig {
+            seed: 42,
+            target_size: n,
+        },
+        ..Default::default()
+    };
+    eprintln!("evaluating {n} questions ...");
+    let run = run_evaluation(&config);
+
+    for r in &run.records {
+        println!("──────────────────────────────────────────────────────");
+        println!("#{:<3} [{} | {}] {}", r.id, r.difficulty, r.domain, r.question);
+        println!("  gold:      {}", r.gold_cypher);
+        match &r.generated_cypher {
+            Some(cy) if *cy == r.gold_cypher => println!("  generated: (identical)"),
+            Some(cy) => println!("  generated: {cy}"),
+            None => println!("  generated: — (no query; route {})", r.route),
+        }
+        if let Some(err) = r.injected_error {
+            println!("  injected error: {err:?}");
+        }
+        println!("  reference: {}", r.reference);
+        println!("  answer:    {}", r.answer);
+        println!(
+            "  correct: {}   BLEU {:.2}  ROUGE {:.2}  BERTScore {:.2}  G-Eval {:.2}   ({} µs)",
+            if r.correct { "yes" } else { "NO " },
+            r.bleu,
+            r.rouge,
+            r.bertscore,
+            r.geval,
+            r.latency_us
+        );
+    }
+
+    println!();
+    println!("══════════════════════════════════════════════════════");
+    println!(
+        "accuracy {:.1}% over {} questions",
+        100.0 * run.accuracy(),
+        run.records.len()
+    );
+    for kind in MetricKind::ALL {
+        let s = iyp_metrics::summarize(&run.scores(kind));
+        println!(
+            "{:<10} mean {:.3}  median {:.3}  std {:.3}",
+            kind.name(),
+            s.mean,
+            s.median,
+            s.std
+        );
+    }
+}

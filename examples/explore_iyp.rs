@@ -1,0 +1,96 @@
+//! Explore the IYP graph directly with Cypher — the expert workflow the
+//! paper says ChatIYP lowers the barrier to.
+//!
+//! Runs a tour of queries across the schema: lookups, joins,
+//! aggregations, rankings and multi-hop dependency analysis, printing
+//! each query with its result table.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example explore_iyp
+//! ```
+
+use iyp_cypher::query;
+use iyp_data::{generate, IypConfig};
+use iyp_graphdb::GraphStats;
+
+fn main() {
+    let dataset = generate(&IypConfig::default());
+    let g = &dataset.graph;
+
+    println!("Graph statistics");
+    println!("================");
+    let stats = GraphStats::compute(g);
+    println!(
+        "{} nodes / {} relationships; mean degree {:.1}, max degree {}",
+        stats.nodes, stats.rels, stats.degree.mean, stats.degree.max
+    );
+    for (label, n) in &stats.nodes_by_label {
+        println!("  :{label:<14} {n}");
+    }
+
+    let tour: &[(&str, &str)] = &[
+        (
+            "The paper's example: population share of AS2497 in Japan",
+            "MATCH (a:AS {asn: 2497})-[p:POPULATION]->(c:Country {country_code: 'JP'}) \
+             RETURN a.name, p.percent",
+        ),
+        (
+            "Who are the tier-1-ish networks? (top 5 by CAIDA rank)",
+            "MATCH (a:AS)-[r:RANK]->(:Ranking {name: 'CAIDA ASRank'}) \
+             RETURN a.asn, a.name, r.rank ORDER BY r.rank LIMIT 5",
+        ),
+        (
+            "Countries by registered ASes (top 8)",
+            "MATCH (a:AS)-[:COUNTRY]->(c:Country) \
+             RETURN c.name, count(a) AS ases ORDER BY ases DESC, c.name LIMIT 8",
+        ),
+        (
+            "Largest IXPs by membership",
+            "MATCH (a:AS)-[:MEMBER_OF]->(x:IXP) \
+             RETURN x.name, count(a) AS members ORDER BY members DESC, x.name LIMIT 5",
+        ),
+        (
+            "IPv6 adoption: v6 prefix share per country (top 5)",
+            "MATCH (a:AS)-[:COUNTRY]->(c:Country) MATCH (a)-[:ORIGINATE]->(p:Prefix) \
+             WITH c.country_code AS cc, count(p) AS total, \
+                  sum(CASE WHEN p.af = 6 THEN 1 ELSE 0 END) AS v6 \
+             WHERE total >= 50 \
+             RETURN cc, round(100.0 * v6 / total, 1) AS v6_pct, total \
+             ORDER BY v6_pct DESC, cc LIMIT 5",
+        ),
+        (
+            "Multi-hop: what does AS2497's dependency cone look like?",
+            "MATCH (a:AS {asn: 2497})-[:DEPENDS_ON*1..3]->(u:AS) \
+             RETURN DISTINCT u.asn, u.name ORDER BY u.asn",
+        ),
+        (
+            "Top Tranco domains and where they resolve",
+            "MATCH (d:DomainName)-[r:RANK]->(:Ranking {name: 'Tranco'}) \
+             MATCH (d)-[:RESOLVES_TO]->(p:Prefix)<-[:ORIGINATE]-(a:AS) \
+             RETURN d.name, r.rank, a.name ORDER BY r.rank, d.name LIMIT 5",
+        ),
+        (
+            "Most hegemonic transit networks (IHR-style centrality)",
+            "MATCH (a:AS) WHERE a.hegemony > 0.1 \
+             RETURN a.asn, a.name, a.hegemony ORDER BY a.hegemony DESC, a.asn LIMIT 5",
+        ),
+        (
+            "Eyeball networks serving >20% of their country",
+            "MATCH (a:AS)-[p:POPULATION]->(c:Country) WHERE p.percent > 20 \
+             RETURN c.country_code, a.name, p.percent \
+             ORDER BY p.percent DESC, a.name LIMIT 10",
+        ),
+    ];
+
+    for (title, cy) in tour {
+        println!();
+        println!("{title}");
+        println!("{}", "-".repeat(title.len()));
+        println!("cypher> {cy}");
+        match query(g, cy) {
+            Ok(result) => print!("{result}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! An interactive console for the ChatIYP stack: type natural-language
+//! questions, or prefix a line with `:cypher ` to run raw Cypher — the
+//! two access modes the paper contrasts.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example repl
+//! ```
+//!
+//! Commands:
+//! ```text
+//! <question>            ask ChatIYP in natural language
+//! :cypher <query>       run a read-only Cypher query directly
+//! :explain <query>      show the query plan without executing
+//! :schema               print the IYP schema summary
+//! :stats                print graph statistics
+//! :quit                 exit
+//! ```
+
+use chatiyp_core::{ChatIyp, ChatIypConfig};
+use iyp_cypher::query;
+use iyp_data::{generate, IypConfig};
+use iyp_graphdb::GraphStats;
+use std::io::{BufRead, Write};
+
+fn main() {
+    println!("Generating the synthetic IYP graph ...");
+    let dataset = generate(&IypConfig::default());
+    println!(
+        "  {} nodes, {} relationships",
+        dataset.graph.node_count(),
+        dataset.graph.rel_count()
+    );
+    let chat = ChatIyp::new(dataset, ChatIypConfig::default());
+    println!("Ask a question, or :cypher <query>, :explain <query>, :schema, :stats, :quit");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("chatiyp> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if line == ":schema" {
+            println!("{}", iyp_data::schema::schema_summary());
+            continue;
+        }
+        if line == ":stats" {
+            let stats = GraphStats::compute(chat.graph());
+            println!(
+                "{} nodes / {} rels; mean degree {:.1}",
+                stats.nodes, stats.rels, stats.degree.mean
+            );
+            for (label, n) in &stats.nodes_by_label {
+                println!("  :{label:<14} {n}");
+            }
+            continue;
+        }
+        if let Some(cy) = line.strip_prefix(":explain ") {
+            match iyp_cypher::explain(chat.graph(), cy) {
+                Ok(plan) => print!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if let Some(cy) = line.strip_prefix(":cypher ") {
+            match query(chat.graph(), cy) {
+                Ok(result) => print!("{result}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        let response = chat.ask(line);
+        println!("{response}");
+    }
+    println!("bye");
+}

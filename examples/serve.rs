@@ -1,0 +1,52 @@
+//! Serve the ChatIYP JSON API over HTTP — the stand-in for the paper's
+//! public web application.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example serve            # listens on 127.0.0.1:8047
+//! cargo run --example serve -- 9000    # custom port
+//! ```
+//!
+//! Then, from another shell:
+//! ```text
+//! curl -s localhost:8047/health
+//! curl -s localhost:8047/schema
+//! curl -s -X POST localhost:8047/ask \
+//!      -d '{"question": "What is the percentage of Japan'\''s population in AS2497?"}'
+//! curl -s -X POST localhost:8047/cypher \
+//!      -d '{"query": "MATCH (a:AS) RETURN count(a)"}'
+//! ```
+
+use chatiyp_core::{ChatIyp, ChatIypConfig};
+use chatiyp_server::{Server, ServerConfig};
+use iyp_data::{generate, IypConfig};
+
+fn main() {
+    let port: u16 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8047);
+
+    println!("Generating the synthetic IYP graph ...");
+    let dataset = generate(&IypConfig::default());
+    println!(
+        "  {} nodes, {} relationships",
+        dataset.graph.node_count(),
+        dataset.graph.rel_count()
+    );
+    let chat = ChatIyp::new(dataset, ChatIypConfig::default());
+
+    let config = ServerConfig {
+        addr: format!("127.0.0.1:{port}").parse().expect("valid address"),
+        ..Default::default()
+    };
+    let server = Server::start(chat, config).expect("bind");
+    println!("ChatIYP API listening on http://{}", server.addr());
+    println!("endpoints: POST /ask, POST /cypher, GET /health, GET /schema");
+    println!("press Ctrl-C to stop");
+
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+    }
+}

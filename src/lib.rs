@@ -1,0 +1,21 @@
+//! # chatiyp-suite
+//!
+//! Umbrella crate for the ChatIYP reproduction: re-exports every
+//! sub-crate under one roof and hosts the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Start with [`core`]'s `ChatIyp` for the pipeline, [`data`]'s
+//! `generate` for the synthetic IYP graph, and [`eval`]'s
+//! `build_dataset` for the benchmark.
+
+#![warn(missing_docs)]
+
+pub use chatiyp_core as core;
+pub use chatiyp_server as server;
+pub use cypher_eval as eval;
+pub use iyp_cypher as cypher;
+pub use iyp_data as data;
+pub use iyp_embed as embed;
+pub use iyp_graphdb as graphdb;
+pub use iyp_llm as llm;
+pub use iyp_metrics as metrics;

@@ -1,0 +1,119 @@
+//! `chatiyp` — the command-line entry point of the reproduction.
+//!
+//! ```text
+//! chatiyp ask "<question>"     answer one question (prints answer + Cypher)
+//! chatiyp cypher "<query>"     run read-only Cypher directly
+//! chatiyp serve [port]         start the HTTP JSON API (default 8047)
+//! chatiyp eval [n]             run n benchmark questions (default 312)
+//! chatiyp stats                print dataset statistics
+//! ```
+//!
+//! The graph is regenerated deterministically (seed 42) on every run; use
+//! `examples/snapshot_cache.rs` for a cached-snapshot workflow.
+
+use chatiyp_core::{ChatIyp, ChatIypConfig};
+use iyp_data::{generate, IypConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("ask") => {
+            let question = args[1..].join(" ");
+            if question.trim().is_empty() {
+                eprintln!("usage: chatiyp ask \"<question>\"");
+                std::process::exit(2);
+            }
+            let chat = build_pipeline();
+            println!("{}", chat.ask(&question));
+        }
+        Some("cypher") => {
+            let q = args[1..].join(" ");
+            if q.trim().is_empty() {
+                eprintln!("usage: chatiyp cypher \"<query>\"");
+                std::process::exit(2);
+            }
+            let dataset = generate_dataset();
+            match iyp_cypher::query(&dataset.graph, &q) {
+                Ok(result) => print!("{result}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("serve") => {
+            let port: u16 = args
+                .get(1)
+                .and_then(|p| p.parse().ok())
+                .unwrap_or(8047);
+            let chat = build_pipeline();
+            let config = chatiyp_server::ServerConfig {
+                addr: format!("127.0.0.1:{port}").parse().expect("valid address"),
+                ..Default::default()
+            };
+            let server = chatiyp_server::Server::start(chat, config).expect("bind");
+            println!("ChatIYP API listening on http://{}", server.addr());
+            println!("endpoints: POST /ask, POST /cypher, GET /health, GET /schema, GET /stats");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Some("eval") => {
+            let n: usize = args.get(1).and_then(|p| p.parse().ok()).unwrap_or(312);
+            let mut config = chatiyp_bench::ExperimentConfig::default();
+            config.eval.target_size = n;
+            eprintln!("evaluating {n} questions ...");
+            let run = chatiyp_bench::run_evaluation(&config);
+            println!(
+                "accuracy {:.1}% over {} questions",
+                100.0 * run.accuracy(),
+                run.records.len()
+            );
+            for kind in iyp_metrics::MetricKind::ALL {
+                let s = iyp_metrics::summarize(&run.scores(kind));
+                println!(
+                    "{:<10} mean {:.3}  median {:.3}",
+                    kind.name(),
+                    s.mean,
+                    s.median
+                );
+            }
+        }
+        Some("stats") => {
+            let dataset = generate_dataset();
+            let stats = iyp_graphdb::GraphStats::compute(&dataset.graph);
+            println!(
+                "{} nodes / {} relationships; mean degree {:.1}, max {}",
+                stats.nodes, stats.rels, stats.degree.mean, stats.degree.max
+            );
+            for (label, n) in &stats.nodes_by_label {
+                println!("  :{label:<14} {n}");
+            }
+            for (ty, n) in &stats.rels_by_type {
+                println!("  [:{ty:<14}] {n}");
+            }
+        }
+        _ => {
+            eprintln!(
+                "chatiyp — natural-language access to the (synthetic) Internet Yellow Pages\n\
+                 \n\
+                 usage:\n\
+                 \x20 chatiyp ask \"<question>\"     answer one question\n\
+                 \x20 chatiyp cypher \"<query>\"     run read-only Cypher\n\
+                 \x20 chatiyp serve [port]         start the HTTP JSON API\n\
+                 \x20 chatiyp eval [n]             run the benchmark\n\
+                 \x20 chatiyp stats                dataset statistics"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn generate_dataset() -> iyp_data::IypDataset {
+    eprintln!("generating the synthetic IYP graph (seed 42) ...");
+    generate(&IypConfig::default())
+}
+
+fn build_pipeline() -> ChatIyp {
+    ChatIyp::new(generate_dataset(), ChatIypConfig::default())
+}
