@@ -2,9 +2,10 @@
 //! label scans, expansions, aggregations and variable-length paths.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use iyp_cypher::query;
+use iyp_cypher::{query, query_with_deadline, Params};
 use iyp_data::{generate, IypConfig};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_cypher(c: &mut Criterion) {
     let d = generate(&IypConfig::default());
@@ -71,6 +72,23 @@ fn bench_cypher(c: &mut Criterion) {
                 )
                 .unwrap(),
             )
+        })
+    });
+    group.finish();
+
+    // Deadline-check amortization: the same scan-heavy query with and
+    // without a wall-clock deadline. The gap is the price of deadline
+    // enforcement, which stride-256 clock reads keep near zero.
+    let mut group = c.benchmark_group("deadline_overhead");
+    let scan = "MATCH (a:AS)-[:COUNTRY]->(c:Country) \
+                RETURN c.country_code, count(a) ORDER BY count(a) DESC LIMIT 10";
+    group.bench_function("label_scan_no_deadline", |b| {
+        b.iter(|| black_box(query(g, scan).unwrap()))
+    });
+    group.bench_function("label_scan_with_deadline", |b| {
+        let params = Params::new();
+        b.iter(|| {
+            black_box(query_with_deadline(g, scan, &params, Duration::from_secs(60)).unwrap())
         })
     });
     group.finish();

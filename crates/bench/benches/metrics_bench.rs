@@ -27,11 +27,7 @@ fn bench_metrics(c: &mut Criterion) {
     });
     group.bench_function("geval", |b| {
         b.iter(|| {
-            black_box(geval.score(
-                black_box(question),
-                black_box(answer),
-                black_box(reference),
-            ))
+            black_box(geval.score(black_box(question), black_box(answer), black_box(reference)))
         })
     });
     group.finish();

@@ -9,9 +9,13 @@ fn main() {
     let mut by: BTreeMap<(String, String, String), Vec<&chatiyp_bench::ItemRecord>> =
         BTreeMap::new();
     for r in &run.records {
-        by.entry((r.difficulty.to_string(), r.domain.to_string(), r.kind.clone()))
-            .or_default()
-            .push(r);
+        by.entry((
+            r.difficulty.to_string(),
+            r.domain.to_string(),
+            r.kind.clone(),
+        ))
+        .or_default()
+        .push(r);
     }
     println!(
         "{:<8} {:<10} {:<32} {:>3} {:>6} {:>7} {:>7}",
@@ -23,7 +27,11 @@ fn main() {
         let geval: f64 = rs.iter().map(|r| r.geval).sum::<f64>() / n as f64;
         let empty = 100.0
             * rs.iter()
-                .filter(|r| r.reference.contains("empty result") || r.reference.contains("No data") || r.reference.contains("no record"))
+                .filter(|r| {
+                    r.reference.contains("empty result")
+                        || r.reference.contains("No data")
+                        || r.reference.contains("no record")
+                })
                 .count() as f64
             / n as f64;
         println!("{diff:<8} {dom:<10} {kind:<32} {n:>3} {acc:>6.1} {geval:>7.3} {empty:>7.1}");

@@ -1,0 +1,52 @@
+//! Measures the parallel evaluation harness: wall-clock of the full
+//! benchmark run at 1 thread vs N threads, verifying the records agree.
+//!
+//! ```text
+//! cargo run --release -p chatiyp-bench --bin eval_speedup [-- THREADS]
+//! ```
+
+use chatiyp_bench::{run_evaluation_on, EvaluationRun, ExperimentConfig};
+use cypher_eval::build_dataset;
+use iyp_data::generate;
+use std::time::Instant;
+
+fn timed_run(config: &ExperimentConfig) -> (EvaluationRun, f64) {
+    // Regenerate per run so neither run warms caches for the other.
+    let dataset = generate(&config.data);
+    let bench = build_dataset(&dataset, &config.eval);
+    let t0 = Instant::now();
+    let run = run_evaluation_on(config, dataset, &bench);
+    (run, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+
+    let base = ExperimentConfig::small();
+    let (seq, t_seq) = timed_run(&ExperimentConfig {
+        threads: 1,
+        ..base.clone()
+    });
+    let (par, t_par) = timed_run(&ExperimentConfig { threads, ..base });
+
+    assert_eq!(seq.records.len(), par.records.len());
+    let identical = seq
+        .records
+        .iter()
+        .zip(&par.records)
+        .all(|(a, b)| a.answer == b.answer && a.correct == b.correct && a.geval == b.geval);
+
+    println!("questions:        {}", seq.records.len());
+    println!("sequential (1t):  {t_seq:.3}s");
+    println!("parallel   ({threads}t):  {t_par:.3}s");
+    println!("speedup:          {:.2}x", t_seq / t_par);
+    println!("records identical: {identical}");
+    assert!(identical, "parallel run diverged from sequential");
+}

@@ -23,13 +23,20 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("create artifact directory");
 
     let config = ExperimentConfig::default();
-    eprintln!("generating dataset and benchmark (seed {}) ...", config.data.seed);
+    eprintln!(
+        "generating dataset and benchmark (seed {}) ...",
+        config.data.seed
+    );
     let dataset = generate(&config.data);
     let bench = build_dataset(&dataset, &config.eval);
 
     let bench_path = dir.join("cypher_eval.json");
     std::fs::write(&bench_path, bench.to_json()).expect("write benchmark");
-    println!("wrote {} ({} questions)", bench_path.display(), bench.items.len());
+    println!(
+        "wrote {} ({} questions)",
+        bench_path.display(),
+        bench.items.len()
+    );
 
     let graph_path = dir.join("iyp_graph.json");
     iyp_graphdb::snapshot::save(&dataset.graph, &graph_path).expect("write snapshot");
@@ -41,8 +48,11 @@ fn main() {
     );
 
     let script_path = dir.join("iyp_graph.cypher");
-    std::fs::write(&script_path, iyp_data::export::to_cypher_script(&dataset.graph))
-        .expect("write cypher script");
+    std::fs::write(
+        &script_path,
+        iyp_data::export::to_cypher_script(&dataset.graph),
+    )
+    .expect("write cypher script");
     println!("wrote {}", script_path.display());
 
     eprintln!("running the evaluation ...");

@@ -24,7 +24,10 @@ fn main() {
     );
     let run = run_evaluation(&config);
 
-    println!("Figure 2a — metric score distributions (n = {})", run.records.len());
+    println!(
+        "Figure 2a — metric score distributions (n = {})",
+        run.records.len()
+    );
     println!("==============================================================");
     for kind in MetricKind::ALL {
         let scores = run.scores(kind);

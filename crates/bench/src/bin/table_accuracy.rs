@@ -35,7 +35,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["".into(), "general".into(), "technical".into(), "all".into()],
+            &[
+                "".into(),
+                "general".into(),
+                "technical".into(),
+                "all".into()
+            ],
             &widths
         )
     );

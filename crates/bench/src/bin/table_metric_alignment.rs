@@ -90,6 +90,10 @@ fn main() {
     println!("G-Eval point-biserial 95% bootstrap CI: [{lo:.3}, {hi:.3}]");
     println!(
         "Best-aligned metric: {best_name} (r = {best_r:.3}) [{}]",
-        if best_name == "G-Eval" { "OK — matches the paper" } else { "MISMATCH" }
+        if best_name == "G-Eval" {
+            "OK — matches the paper"
+        } else {
+            "MISMATCH"
+        }
     );
 }

@@ -8,7 +8,9 @@
 #![warn(missing_docs)]
 
 use chatiyp_core::{ChatIyp, ChatIypConfig, Route};
-use cypher_eval::{build_dataset, results_match, CypherEvalDataset, EvalConfig, Validator};
+use cypher_eval::{
+    build_dataset, results_match, CypherEvalDataset, EvalConfig, EvalItem, Validation, Validator,
+};
 use iyp_data::{generate, IypConfig, IypDataset};
 use iyp_llm::{Difficulty, Domain, TranslationError};
 use iyp_metrics::{geval, GEval, MetricKind};
@@ -77,6 +79,17 @@ pub struct ExperimentConfig {
     pub pipeline: ChatIypConfig,
     /// Seed of the independent validation model and judge.
     pub judge_seed: u64,
+    /// Worker threads answering benchmark questions. The pipeline is
+    /// shared read-only, so any thread count produces the same records
+    /// in the same order; 1 runs fully sequential.
+    pub threads: usize,
+}
+
+/// The default evaluation thread count: one per available core.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for ExperimentConfig {
@@ -86,6 +99,7 @@ impl Default for ExperimentConfig {
             eval: EvalConfig::default(),
             pipeline: ChatIypConfig::default(),
             judge_seed: 4242,
+            threads: default_threads(),
         }
     }
 }
@@ -101,6 +115,7 @@ impl ExperimentConfig {
             },
             pipeline: ChatIypConfig::default(),
             judge_seed: 4242,
+            threads: default_threads(),
         }
     }
 }
@@ -122,6 +137,11 @@ pub fn run_evaluation(config: &ExperimentConfig) -> EvaluationRun {
 
 /// Runs the evaluation against an already-generated dataset/benchmark
 /// (used by the ablation sweep to share the expensive generation).
+///
+/// Questions fan out over `config.threads` scoped worker threads, all
+/// sharing the one read-only pipeline. Each thread answers a contiguous
+/// chunk of the benchmark and records land in benchmark order, so the
+/// output is identical to a sequential run regardless of thread count.
 pub fn run_evaluation_on(
     config: &ExperimentConfig,
     dataset: IypDataset,
@@ -141,66 +161,111 @@ pub fn run_evaluation_on(
         .collect();
     let chat = ChatIyp::new(dataset, config.pipeline.clone());
 
-    let mut records = Vec::with_capacity(bench.items.len());
-    for (item, validation) in bench.items.iter().zip(validations) {
-        let response = chat.ask(&item.question);
-        let correct = response
-            .query_result
-            .as_ref()
-            .map(|got| results_match(&validation.gold_result, got))
-            .unwrap_or(false);
-        let reference = validation.reference_answer;
-        let answer = response.answer.clone();
-        let mut rec = ItemRecord {
-            id: item.id,
-            difficulty: item.difficulty,
-            domain: item.domain,
-            kind: item.intent.kind().to_string(),
-            question: item.question.clone(),
-            gold_cypher: item.gold_cypher.clone(),
-            generated_cypher: response.cypher.clone(),
-            route: response.route,
-            injected_error: response.injected_error,
-            correct,
-            bleu: 0.0,
-            rouge: 0.0,
-            bertscore: 0.0,
-            geval: 0.0,
-            latency_us: response.timings.total.as_micros() as u64,
-            reference,
-            answer,
-        };
-        rec.bleu = geval::score(
-            MetricKind::Bleu,
-            &judge,
-            &item.question,
-            &rec.answer,
-            &rec.reference,
-        );
-        rec.rouge = geval::score(
-            MetricKind::Rouge,
-            &judge,
-            &item.question,
-            &rec.answer,
-            &rec.reference,
-        );
-        rec.bertscore = geval::score(
-            MetricKind::BertScore,
-            &judge,
-            &item.question,
-            &rec.answer,
-            &rec.reference,
-        );
-        rec.geval = geval::score(
-            MetricKind::GEval,
-            &judge,
-            &item.question,
-            &rec.answer,
-            &rec.reference,
-        );
-        records.push(rec);
-    }
+    let work: Vec<(&EvalItem, Validation)> = bench.items.iter().zip(validations).collect();
+    let threads = config.threads.max(1).min(work.len().max(1));
+    let records: Vec<ItemRecord> = if threads <= 1 {
+        work.into_iter()
+            .map(|(item, v)| score_item(&chat, &judge, item, v))
+            .collect()
+    } else {
+        // Contiguous chunks, joined in spawn order: chunk k holds items
+        // [k*len/n, (k+1)*len/n), so concatenation restores benchmark
+        // order exactly.
+        let chunk_size = work.len().div_ceil(threads);
+        let mut work = work;
+        let mut chunks: Vec<Vec<(&EvalItem, Validation)>> = Vec::with_capacity(threads);
+        while !work.is_empty() {
+            let rest = work.split_off(chunk_size.min(work.len()));
+            chunks.push(std::mem::replace(&mut work, rest));
+        }
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let chat = &chat;
+                    let judge = &judge;
+                    s.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(item, v)| score_item(chat, judge, item, v))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                .collect()
+        })
+    };
     EvaluationRun { records }
+}
+
+/// Answers one benchmark question and scores it under all four metrics.
+/// Pure in `(chat, judge, item, validation)` up to wall-clock latency, so
+/// records are identical whichever thread computes them.
+fn score_item(
+    chat: &ChatIyp,
+    judge: &GEval,
+    item: &EvalItem,
+    validation: Validation,
+) -> ItemRecord {
+    let response = chat.ask(&item.question);
+    let correct = response
+        .query_result
+        .as_ref()
+        .map(|got| results_match(&validation.gold_result, got))
+        .unwrap_or(false);
+    let reference = validation.reference_answer;
+    let answer = response.answer.clone();
+    let mut rec = ItemRecord {
+        id: item.id,
+        difficulty: item.difficulty,
+        domain: item.domain,
+        kind: item.intent.kind().to_string(),
+        question: item.question.clone(),
+        gold_cypher: item.gold_cypher.clone(),
+        generated_cypher: response.cypher.clone(),
+        route: response.route,
+        injected_error: response.injected_error,
+        correct,
+        bleu: 0.0,
+        rouge: 0.0,
+        bertscore: 0.0,
+        geval: 0.0,
+        latency_us: response.timings.total.as_micros() as u64,
+        reference,
+        answer,
+    };
+    rec.bleu = geval::score(
+        MetricKind::Bleu,
+        judge,
+        &item.question,
+        &rec.answer,
+        &rec.reference,
+    );
+    rec.rouge = geval::score(
+        MetricKind::Rouge,
+        judge,
+        &item.question,
+        &rec.answer,
+        &rec.reference,
+    );
+    rec.bertscore = geval::score(
+        MetricKind::BertScore,
+        judge,
+        &item.question,
+        &rec.answer,
+        &rec.reference,
+    );
+    rec.geval = geval::score(
+        MetricKind::GEval,
+        judge,
+        &item.question,
+        &rec.answer,
+        &rec.reference,
+    );
+    rec
 }
 
 impl EvaluationRun {
@@ -213,9 +278,7 @@ impl EvaluationRun {
     pub fn group(&self, difficulty: Difficulty, domain: Option<Domain>) -> Vec<&ItemRecord> {
         self.records
             .iter()
-            .filter(|r| {
-                r.difficulty == difficulty && domain.map(|d| r.domain == d).unwrap_or(true)
-            })
+            .filter(|r| r.difficulty == difficulty && domain.map(|d| r.domain == d).unwrap_or(true))
             .collect()
     }
 
@@ -286,6 +349,31 @@ mod tests {
             assert_eq!(x.answer, y.answer);
             assert_eq!(x.geval, y.geval);
             assert_eq!(x.correct, y.correct);
+        }
+    }
+
+    /// A record with the wall-clock latency zeroed: every other field is
+    /// a pure function of the config, so serialized forms must match
+    /// byte-for-byte across thread counts.
+    fn stable_json(r: &ItemRecord) -> String {
+        let mut r = r.clone();
+        r.latency_us = 0;
+        serde_json::to_string(&r).expect("record serializes")
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_byte_for_byte() {
+        let sequential = run_evaluation(&ExperimentConfig {
+            threads: 1,
+            ..ExperimentConfig::small()
+        });
+        let parallel = run_evaluation(&ExperimentConfig {
+            threads: 4,
+            ..ExperimentConfig::small()
+        });
+        assert_eq!(sequential.records.len(), parallel.records.len());
+        for (x, y) in sequential.records.iter().zip(&parallel.records) {
+            assert_eq!(stable_json(x), stable_json(y));
         }
     }
 }

@@ -8,17 +8,32 @@ use iyp_data::IypDataset;
 use iyp_embed::tokenize::words;
 use iyp_graphdb::Graph;
 use iyp_llm::{generate_answer, EntityCatalog, Reranker, SimLm, Translator};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The assembled ChatIYP system.
+///
+/// The graph lives behind an [`Arc`] so callers holding the pipeline can
+/// hand out cheap shared handles ([`ChatIyp::graph_arc`]) — the server's
+/// worker pool serves direct-Cypher reads from the same allocation the
+/// pipeline queries, with no copy and no re-wrapping. Every stage takes
+/// `&self`, so one instance answers concurrent [`ChatIyp::ask`] calls
+/// from many threads.
 pub struct ChatIyp {
-    graph: Graph,
+    graph: Arc<Graph>,
     config: ChatIypConfig,
     lm: SimLm,
     text2cypher: TextToCypherRetriever,
     vector: VectorContextRetriever,
     reranker: Reranker,
 }
+
+// The pipeline is shared read-only across server workers and bench
+// threads; keep it that way.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ChatIyp>();
+};
 
 impl ChatIyp {
     /// Builds the pipeline over a generated dataset.
@@ -28,7 +43,7 @@ impl ChatIyp {
         let translator = Translator::new(lm.clone(), catalog);
         let vector = VectorContextRetriever::from_graph(&dataset.graph);
         ChatIyp {
-            graph: dataset.graph,
+            graph: Arc::new(dataset.graph),
             config,
             lm: lm.clone(),
             text2cypher: TextToCypherRetriever::new(translator),
@@ -40,6 +55,12 @@ impl ChatIyp {
     /// The underlying graph (read access for direct Cypher, stats, …).
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// A shared handle to the underlying graph. Clones of the handle
+    /// alias the same graph the pipeline itself queries.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
     }
 
     /// The active configuration.
@@ -188,7 +209,10 @@ fn answer_from_context(question: &str, ctx: &ContextChunk) -> String {
             q_tokens.iter().filter(|t| s_tokens.contains(t)).count()
         })
         .unwrap_or(ctx.text.as_str());
-    format!("Based on related IYP records about {}: {best_sentence}.", ctx.title)
+    format!(
+        "Based on related IYP records about {}: {best_sentence}.",
+        ctx.title
+    )
 }
 
 #[cfg(test)]
@@ -218,9 +242,7 @@ mod tests {
         assert!(cy.contains("POPULATION"), "cypher: {cy}");
         assert!(cy.contains("2497"));
         // The answer carries the actual percent from the graph.
-        let pct = chat
-            .graph()
-            .clone();
+        let pct = chat.graph().clone();
         let gold = iyp_cypher::query(
             &pct,
             "MATCH (a:AS {asn: 2497})-[p:POPULATION]->(c:Country {country_code: 'JP'}) RETURN p.percent",
@@ -275,6 +297,38 @@ mod tests {
         assert_eq!(a.answer, b.answer);
         assert_eq!(a.cypher, b.cypher);
         assert_eq!(a.route, b.route);
+    }
+
+    /// One pipeline instance answers concurrent `ask` calls: every thread
+    /// shares `&ChatIyp` and gets the same answer as a sequential run.
+    #[test]
+    fn concurrent_asks_match_sequential() {
+        let chat = perfect();
+        let questions = [
+            "What is the name of AS2497?",
+            "How many ASes are registered in Japan?",
+            "In which country is AS2497 registered?",
+            "Tell me everything interesting about IIJ in Japan",
+        ];
+        let sequential: Vec<_> = questions.iter().map(|q| chat.ask(q)).collect();
+        let concurrent: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = questions.iter().map(|q| s.spawn(|| chat.ask(q))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (a, b) in sequential.iter().zip(&concurrent) {
+            assert_eq!(a.answer, b.answer);
+            assert_eq!(a.cypher, b.cypher);
+            assert_eq!(a.route, b.route);
+        }
+    }
+
+    /// Graph handles from `graph_arc` alias the pipeline's own graph.
+    #[test]
+    fn graph_arc_shares_the_pipeline_graph() {
+        let chat = perfect();
+        let handle = chat.graph_arc();
+        assert!(std::ptr::eq(handle.as_ref(), chat.graph()));
+        assert_eq!(handle.node_count(), chat.graph().node_count());
     }
 
     /// At a low skill, self-correction retries should answer strictly

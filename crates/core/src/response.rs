@@ -55,11 +55,10 @@ pub struct Timings {
 }
 
 mod duration_us {
-    use serde::Serializer;
     use std::time::Duration;
 
-    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u64(d.as_micros() as u64)
+    pub fn serialize(d: &Duration) -> serde::Content {
+        serde::Content::U64(d.as_micros() as u64)
     }
 }
 

@@ -145,10 +145,7 @@ mod tests {
         );
         let r = TextToCypherRetriever::new(t).retrieve(&d.graph, "What is the name of AS2497?");
         assert!(r.has_rows());
-        assert_eq!(
-            r.result.unwrap().rows[0][0].to_string(),
-            "IIJ"
-        );
+        assert_eq!(r.result.unwrap().rows[0][0].to_string(), "IIJ");
     }
 
     #[test]

@@ -109,7 +109,10 @@ fn build_pools(d: &IypDataset) -> Pools {
     let mut eyeball_pairs = Vec::new();
     for spec in &d.ases {
         let id = d.as_by_asn[&spec.asn];
-        for (_, nbr) in d.graph.neighbors(id, Direction::Outgoing, Some(&["POPULATION"])) {
+        for (_, nbr) in d
+            .graph
+            .neighbors(id, Direction::Outgoing, Some(&["POPULATION"]))
+        {
             if let Some(cc) = d
                 .graph
                 .node(nbr)
@@ -124,7 +127,10 @@ fn build_pools(d: &IypDataset) -> Pools {
     ixps.sort();
     let mut ixp_countries = Vec::new();
     for (name, &id) in &d.ixp_by_name {
-        for (_, nbr) in d.graph.neighbors(id, Direction::Outgoing, Some(&["COUNTRY"])) {
+        for (_, nbr) in d
+            .graph
+            .neighbors(id, Direction::Outgoing, Some(&["COUNTRY"]))
+        {
             if let Some(cc) = d
                 .graph
                 .node(nbr)
@@ -151,7 +157,10 @@ fn build_pools(d: &IypDataset) -> Pools {
     let mut prefixes = Vec::new();
     for spec in &d.ases {
         let id = d.as_by_asn[&spec.asn];
-        for (_, nbr) in d.graph.neighbors(id, Direction::Outgoing, Some(&["ORIGINATE"])) {
+        for (_, nbr) in d
+            .graph
+            .neighbors(id, Direction::Outgoing, Some(&["ORIGINATE"]))
+        {
             if let Some(p) = d
                 .graph
                 .node(nbr)
@@ -174,10 +183,16 @@ fn build_pools(d: &IypDataset) -> Pools {
         std::collections::HashMap::new();
     for spec in &d.ases {
         let id = d.as_by_asn[&spec.asn];
-        for (_, up) in d.graph.neighbors(id, Direction::Outgoing, Some(&["DEPENDS_ON"])) {
+        for (_, up) in d
+            .graph
+            .neighbors(id, Direction::Outgoing, Some(&["DEPENDS_ON"]))
+        {
             upstream_customers.entry(up).or_default().push(spec.asn);
         }
-        for (_, ixp) in d.graph.neighbors(id, Direction::Outgoing, Some(&["MEMBER_OF"])) {
+        for (_, ixp) in d
+            .graph
+            .neighbors(id, Direction::Outgoing, Some(&["MEMBER_OF"]))
+        {
             ixp_members.entry(ixp).or_default().push(spec.asn);
         }
     }
@@ -205,7 +220,10 @@ fn build_pools(d: &IypDataset) -> Pools {
     let mut dep_pairs: Vec<(u32, u32)> = Vec::new();
     for spec in &d.ases {
         let id = d.as_by_asn[&spec.asn];
-        for (_, up) in d.graph.neighbors(id, Direction::Outgoing, Some(&["DEPENDS_ON"])) {
+        for (_, up) in d
+            .graph
+            .neighbors(id, Direction::Outgoing, Some(&["DEPENDS_ON"]))
+        {
             let up_asn = d
                 .graph
                 .node(up)
@@ -215,7 +233,10 @@ fn build_pools(d: &IypDataset) -> Pools {
             if let Some(up_asn) = up_asn {
                 dep_pairs.push((spec.asn, up_asn));
             }
-            for (_, up2) in d.graph.neighbors(up, Direction::Outgoing, Some(&["DEPENDS_ON"])) {
+            for (_, up2) in d
+                .graph
+                .neighbors(up, Direction::Outgoing, Some(&["DEPENDS_ON"]))
+            {
                 let up2_asn = d
                     .graph
                     .node(up2)
@@ -261,7 +282,10 @@ fn build_pools(d: &IypDataset) -> Pools {
         ixp_countries,
         domains,
         prefixes,
-        tags: iyp_data::schema::TAGS.iter().map(|t| t.to_string()).collect(),
+        tags: iyp_data::schema::TAGS
+            .iter()
+            .map(|t| t.to_string())
+            .collect(),
         names,
         co_customers,
         co_members,
@@ -314,7 +338,9 @@ fn sample_intent(kind: usize, rng: &mut StdRng, p: &Pools) -> Intent {
             Intent::AsnOfName { name }
         }
         2 => Intent::AsCountry { asn: asn(rng) },
-        3 => Intent::CountAsInCountry { country: country(rng) },
+        3 => Intent::CountAsInCountry {
+            country: country(rng),
+        },
         4 => Intent::AsRank { asn: asn(rng) },
         5 => Intent::CountPrefixes { asn: asn(rng) },
         6 => {
@@ -348,7 +374,9 @@ fn sample_intent(kind: usize, rng: &mut StdRng, p: &Pools) -> Intent {
             country: country(rng),
             n: rng.random_range(3..=10),
         },
-        13 => Intent::TopPopulationAs { country: country(rng) },
+        13 => Intent::TopPopulationAs {
+            country: country(rng),
+        },
         14 => Intent::PrefixesAfCount {
             asn: asn(rng),
             af: if rng.random::<bool>() { 4 } else { 6 },
@@ -356,7 +384,11 @@ fn sample_intent(kind: usize, rng: &mut StdRng, p: &Pools) -> Intent {
         15 => {
             let (ixp, cc) = pick(rng, &p.ixp_countries).clone();
             // Usually the IXP's own country (non-empty answers).
-            let country = if rng.random::<f64>() < 0.85 { cc } else { country(rng) };
+            let country = if rng.random::<f64>() < 0.85 {
+                cc
+            } else {
+                country(rng)
+            };
             Intent::IxpMembersFromCountry { ixp, country }
         }
         16 => {
@@ -372,8 +404,12 @@ fn sample_intent(kind: usize, rng: &mut StdRng, p: &Pools) -> Intent {
                 Intent::SharedIxps { a, b }
             }
         }
-        17 => Intent::TopRankedInCountry { country: country(rng) },
-        18 => Intent::AvgPrefixesInCountry { country: country(rng) },
+        17 => Intent::TopRankedInCountry {
+            country: country(rng),
+        },
+        18 => Intent::AvgPrefixesInCountry {
+            country: country(rng),
+        },
         19 => Intent::TaggedAsInCountry {
             tag: pick(rng, &p.tags).clone(),
             country: country(rng),
@@ -401,7 +437,9 @@ fn sample_intent(kind: usize, rng: &mut StdRng, p: &Pools) -> Intent {
             },
         },
         24 => Intent::UpstreamPrefixCount { asn: asn(rng) },
-        25 => Intent::PopulationOfTopRanked { country: country(rng) },
+        25 => Intent::PopulationOfTopRanked {
+            country: country(rng),
+        },
         26 => Intent::DomainsOnAs {
             asn: if !p.hosting_asns.is_empty() && rng.random::<f64>() < 0.85 {
                 *pick(rng, &p.hosting_asns)
@@ -478,7 +516,13 @@ mod tests {
     #[test]
     fn gold_queries_all_execute() {
         let d = generate(&IypConfig::tiny());
-        let ds = build_dataset(&d, &EvalConfig { seed: 42, target_size: 60 });
+        let ds = build_dataset(
+            &d,
+            &EvalConfig {
+                seed: 42,
+                target_size: 60,
+            },
+        );
         for item in &ds.items {
             let r = iyp_cypher::query(&d.graph, &item.gold_cypher);
             assert!(

@@ -29,7 +29,10 @@ pub fn phrasings(intent: &Intent) -> Vec<String> {
                 "What is the number of autonomous systems in {}?",
                 country_name(country)
             ),
-            format!("Count the networks registered in {}.", country_name(country)),
+            format!(
+                "Count the networks registered in {}.",
+                country_name(country)
+            ),
         ],
         AsRank { asn } => vec![
             format!("What is the CAIDA ASRank of AS{asn}?"),
@@ -122,10 +125,7 @@ pub fn phrasings(intent: &Intent) -> Vec<String> {
                 "How many {}-registered members does {ixp} have?",
                 country_name(country)
             ),
-            format!(
-                "Count the members of {ixp} from {}.",
-                country_name(country)
-            ),
+            format!("Count the members of {ixp} from {}.", country_name(country)),
         ],
         SharedIxps { a, b } => vec![
             format!("Which IXPs are AS{a} and AS{b} both members of?"),
@@ -192,9 +192,7 @@ pub fn phrasings(intent: &Intent) -> Vec<String> {
             format!("What is the highest-ranked domain served from AS{asn}?"),
         ],
         UpstreamPrefixCount { asn } => vec![
-            format!(
-                "How many prefixes in total do the upstream providers of AS{asn} originate?"
-            ),
+            format!("How many prefixes in total do the upstream providers of AS{asn} originate?"),
             format!("How many prefixes do AS{asn}'s upstreams announce in total?"),
             format!(
                 "What is the total prefix count originated by the upstream providers of AS{asn}?"
@@ -278,32 +276,60 @@ mod tests {
             Intent::AsName { asn: 2497 },
             Intent::AsnOfName { name: "IIJ".into() },
             Intent::AsCountry { asn: 2497 },
-            Intent::CountAsInCountry { country: "DE".into() },
+            Intent::CountAsInCountry {
+                country: "DE".into(),
+            },
             Intent::AsRank { asn: 2497 },
             Intent::CountPrefixes { asn: 2497 },
-            Intent::PrefixOrigin { prefix: "203.0.113.0/24".into() },
-            Intent::DomainRank { domain: domain.clone() },
+            Intent::PrefixOrigin {
+                prefix: "203.0.113.0/24".into(),
+            },
+            Intent::DomainRank {
+                domain: domain.clone(),
+            },
             Intent::IxpCountry { ixp: ixp.clone() },
             Intent::IxpMemberCount { ixp: ixp.clone() },
-            Intent::PopulationShare { asn: 2497, country: "JP".into() },
+            Intent::PopulationShare {
+                asn: 2497,
+                country: "JP".into(),
+            },
             Intent::OrgOfAs { asn: 2497 },
-            Intent::TopAsInCountryByPrefixes { country: "US".into(), n: 5 },
-            Intent::TopPopulationAs { country: "JP".into() },
+            Intent::TopAsInCountryByPrefixes {
+                country: "US".into(),
+                n: 5,
+            },
+            Intent::TopPopulationAs {
+                country: "JP".into(),
+            },
             Intent::PrefixesAfCount { asn: 2497, af: 4 },
-            Intent::IxpMembersFromCountry { ixp: ixp.clone(), country: "JP".into() },
+            Intent::IxpMembersFromCountry {
+                ixp: ixp.clone(),
+                country: "JP".into(),
+            },
             Intent::SharedIxps { a: 2497, b: 2914 },
-            Intent::TopRankedInCountry { country: "US".into() },
-            Intent::AvgPrefixesInCountry { country: "JP".into() },
-            Intent::TaggedAsInCountry { tag: "Eyeball".into(), country: "JP".into() },
+            Intent::TopRankedInCountry {
+                country: "US".into(),
+            },
+            Intent::AvgPrefixesInCountry {
+                country: "JP".into(),
+            },
+            Intent::TaggedAsInCountry {
+                tag: "Eyeball".into(),
+                country: "JP".into(),
+            },
             Intent::TransitiveUpstreams { asn: 2497 },
             Intent::CommonUpstreams { a: 2497, b: 15169 },
             Intent::UpstreamCountries { asn: 2497 },
             Intent::TopDomainOnAs { asn: 15169 },
             Intent::UpstreamPrefixCount { asn: 2497 },
-            Intent::PopulationOfTopRanked { country: "JP".into() },
+            Intent::PopulationOfTopRanked {
+                country: "JP".into(),
+            },
             Intent::DomainsOnAs { asn: 15169 },
             Intent::ShortestDependencyPath { a: 2497, b: 1299 },
-            Intent::TransitFreeInCountry { country: "US".into() },
+            Intent::TransitFreeInCountry {
+                country: "US".into(),
+            },
             Intent::HegemonyOfAs { asn: 2497 },
         ];
         for intent in intents {
@@ -323,7 +349,9 @@ mod tests {
     fn every_intent_has_at_least_three_phrasings() {
         let p = phrasings(&Intent::AsName { asn: 1 });
         assert!(p.len() >= 3);
-        let p = phrasings(&Intent::PopulationOfTopRanked { country: "JP".into() });
+        let p = phrasings(&Intent::PopulationOfTopRanked {
+            country: "JP".into(),
+        });
         assert!(p.len() >= 3);
     }
 }

@@ -75,7 +75,13 @@ mod tests {
     #[test]
     fn validation_produces_reference_answers() {
         let d = generate(&IypConfig::tiny());
-        let ds = build_dataset(&d, &EvalConfig { seed: 42, target_size: 54 });
+        let ds = build_dataset(
+            &d,
+            &EvalConfig {
+                seed: 42,
+                target_size: 54,
+            },
+        );
         let v = Validator::new(42);
         let mut nonempty = 0;
         for item in &ds.items {
@@ -115,7 +121,13 @@ mod tests {
     #[test]
     fn validator_is_deterministic() {
         let d = generate(&IypConfig::tiny());
-        let ds = build_dataset(&d, &EvalConfig { seed: 42, target_size: 10 });
+        let ds = build_dataset(
+            &d,
+            &EvalConfig {
+                seed: 42,
+                target_size: 10,
+            },
+        );
         let v1 = Validator::new(7);
         let v2 = Validator::new(7);
         for item in &ds.items {

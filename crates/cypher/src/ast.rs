@@ -341,7 +341,9 @@ impl Expr {
                         .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
                     || default.as_ref().is_some_and(|e| e.contains_aggregate())
             }
-            Expr::ListComp { list, pred, map, .. } => {
+            Expr::ListComp {
+                list, pred, map, ..
+            } => {
                 list.contains_aggregate()
                     || pred.as_ref().is_some_and(|e| e.contains_aggregate())
                     || map.as_ref().is_some_and(|e| e.contains_aggregate())

@@ -195,14 +195,14 @@ impl<'a> EvalCtx<'a> {
     ) -> Result<Entry, CypherError> {
         match expr {
             Expr::Lit(v) => Ok(Entry::Val(v.clone())),
-            Expr::Var(name) => self.lookup(name, row, locals).ok_or_else(|| {
-                CypherError::runtime(format!("variable '{name}' is not defined"))
-            }),
-            Expr::Param(name) => Ok(Entry::Val(
-                self.params.get(name).cloned().ok_or_else(|| {
-                    CypherError::runtime(format!("missing parameter '${name}'"))
-                })?,
-            )),
+            Expr::Var(name) => self
+                .lookup(name, row, locals)
+                .ok_or_else(|| CypherError::runtime(format!("variable '{name}' is not defined"))),
+            Expr::Param(name) => {
+                Ok(Entry::Val(self.params.get(name).cloned().ok_or_else(
+                    || CypherError::runtime(format!("missing parameter '${name}'")),
+                )?))
+            }
             Expr::Prop(base, key) => {
                 let base = self.eval_inner(base, row, locals)?;
                 Ok(Entry::Val(base.get_prop(self.graph, key)))
@@ -561,18 +561,14 @@ impl<'a> EvalCtx<'a> {
             },
             BinOp::Eq => tri(lhs.cypher_eq(&rhs)),
             BinOp::Neq => tri(lhs.cypher_eq(&rhs).map(|b| !b)),
-            BinOp::Lt => tri(lhs
-                .cypher_cmp(&rhs)
-                .map(|o| o == std::cmp::Ordering::Less)),
+            BinOp::Lt => tri(lhs.cypher_cmp(&rhs).map(|o| o == std::cmp::Ordering::Less)),
             BinOp::Le => tri(lhs
                 .cypher_cmp(&rhs)
                 .map(|o| o != std::cmp::Ordering::Greater)),
             BinOp::Gt => tri(lhs
                 .cypher_cmp(&rhs)
                 .map(|o| o == std::cmp::Ordering::Greater)),
-            BinOp::Ge => tri(lhs
-                .cypher_cmp(&rhs)
-                .map(|o| o != std::cmp::Ordering::Less)),
+            BinOp::Ge => tri(lhs.cypher_cmp(&rhs).map(|o| o != std::cmp::Ordering::Less)),
             BinOp::In => match (&lhs, &rhs) {
                 (Value::Null, _) | (_, Value::Null) => Value::Null,
                 (x, Value::List(items)) => {
@@ -638,15 +634,9 @@ fn wildcard_match(s: &str, pattern: &str) -> bool {
     };
     // Translate the pattern to segments split on `.*`; `.` matches any char.
     fn seg_match(s: &[char], seg: &[char]) -> bool {
-        s.len() == seg.len()
-            && s.iter()
-                .zip(seg.iter())
-                .all(|(a, b)| *b == '.' || a == b)
+        s.len() == seg.len() && s.iter().zip(seg.iter()).all(|(a, b)| *b == '.' || a == b)
     }
-    let segs: Vec<Vec<char>> = pattern
-        .split(".*")
-        .map(|p| p.chars().collect())
-        .collect();
+    let segs: Vec<Vec<char>> = pattern.split(".*").map(|p| p.chars().collect()).collect();
     let chars: Vec<char> = s.chars().collect();
     if segs.len() == 1 {
         return seg_match(&chars, &segs[0]);
@@ -674,7 +664,8 @@ fn wildcard_match(s: &str, pattern: &str) -> bool {
     // Last segment must anchor at the end unless pattern ends with `.*`.
     if let Some(last) = segs.last() {
         if !last.is_empty() {
-            return chars.len() >= last.len() && seg_match(&chars[chars.len() - last.len()..], last);
+            return chars.len() >= last.len()
+                && seg_match(&chars[chars.len() - last.len()..], last);
         }
     }
     true
@@ -795,7 +786,10 @@ mod tests {
             ctx_eval("CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END"),
             Value::from("b")
         );
-        assert_eq!(ctx_eval("CASE 3 WHEN 1 THEN 'one' WHEN 3 THEN 'three' END"), Value::from("three"));
+        assert_eq!(
+            ctx_eval("CASE 3 WHEN 1 THEN 'one' WHEN 3 THEN 'three' END"),
+            Value::from("three")
+        );
         assert_eq!(ctx_eval("CASE 9 WHEN 1 THEN 'one' END"), Value::Null);
     }
 
@@ -805,10 +799,7 @@ mod tests {
             ctx_eval("[x IN [1, 2, 3, 4] WHERE x % 2 = 0 | x * 10]"),
             Value::from(vec![20i64, 40])
         );
-        assert_eq!(
-            ctx_eval("[x IN [1, 2, 3]]"),
-            Value::from(vec![1i64, 2, 3])
-        );
+        assert_eq!(ctx_eval("[x IN [1, 2, 3]]"), Value::from(vec![1i64, 2, 3]));
     }
 
     #[test]

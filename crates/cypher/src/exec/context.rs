@@ -1,0 +1,134 @@
+//! Shared execution state: the graph source, parameters, limits, and the
+//! row budget every operator draws from.
+
+use crate::error::CypherError;
+use crate::eval::Params;
+use iyp_graphdb::Graph;
+use std::cell::Cell;
+
+use super::{GraphSource, MAX_ROWS};
+
+/// How many deadline checks elapse between `Instant::now()` calls.
+///
+/// Reading the clock on every expansion step costs more than the step
+/// itself on hot paths; polling once per stride keeps the overhead
+/// negligible while still bounding detection latency to a few hundred
+/// steps. The counter starts at zero so an already-expired deadline is
+/// caught on the very first check.
+pub(crate) const DEADLINE_CHECK_STRIDE: u32 = 256;
+
+/// Execution limits: a wall-clock deadline checked during pattern
+/// expansion, protecting services that execute untrusted Cypher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecLimits {
+    /// Abort with a runtime error once this instant passes.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl ExecLimits {
+    /// No limits (library default).
+    pub fn none() -> Self {
+        ExecLimits::default()
+    }
+
+    /// A deadline `timeout` from now.
+    pub fn timeout(timeout: std::time::Duration) -> Self {
+        ExecLimits {
+            deadline: Some(std::time::Instant::now() + timeout),
+        }
+    }
+
+    /// Reads the clock and compares against the deadline. Callers should
+    /// go through [`ExecContext::check_deadline`], which amortizes the
+    /// clock read over [`DEADLINE_CHECK_STRIDE`] calls.
+    #[inline]
+    pub(crate) fn check_now(&self) -> Result<(), CypherError> {
+        if let Some(d) = self.deadline {
+            if std::time::Instant::now() > d {
+                return Err(CypherError::runtime(
+                    "query exceeded its execution deadline",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The context shared by every operator in a query's pipeline: the graph
+/// source (read-only or read-write), query parameters, execution limits,
+/// and the intermediate-row budget.
+pub(crate) struct ExecContext<'e> {
+    src: &'e mut (dyn GraphSource + 'e),
+    /// Query parameters (`$name` bindings).
+    pub params: &'e Params,
+    /// Wall-clock limits.
+    pub limits: ExecLimits,
+    /// Hard cap on intermediate row counts.
+    pub max_rows: usize,
+    /// Deadline-check tick counter (see [`DEADLINE_CHECK_STRIDE`]).
+    ticks: Cell<u32>,
+}
+
+impl<'e> ExecContext<'e> {
+    pub fn new(
+        src: &'e mut (dyn GraphSource + 'e),
+        params: &'e Params,
+        limits: ExecLimits,
+    ) -> Self {
+        ExecContext {
+            src,
+            params,
+            limits,
+            max_rows: MAX_ROWS,
+            ticks: Cell::new(0),
+        }
+    }
+
+    /// The graph, for reading.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        self.src.g()
+    }
+
+    /// The graph, for writing. Errors in read-only execution.
+    pub fn graph_mut(&mut self) -> Result<&mut Graph, CypherError> {
+        self.src.g_mut()
+    }
+
+    /// Deadline check amortized over [`DEADLINE_CHECK_STRIDE`] calls:
+    /// only every stride-th call reads the clock.
+    #[inline]
+    pub fn check_deadline(&self) -> Result<(), CypherError> {
+        if self.limits.deadline.is_none() {
+            return Ok(());
+        }
+        let t = self.ticks.get();
+        self.ticks.set(t.wrapping_add(1));
+        if !t.is_multiple_of(DEADLINE_CHECK_STRIDE) {
+            return Ok(());
+        }
+        self.limits.check_now()
+    }
+
+    /// Charges one clause's output row count against the budget.
+    pub fn check_intermediate(&self, len: usize) -> Result<(), CypherError> {
+        if len > self.max_rows {
+            let max = self.max_rows;
+            return Err(CypherError::runtime(format!(
+                "intermediate result exceeded {max} rows"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Charges a pattern expansion's in-flight row count against the budget.
+    pub fn check_expansion(&self, len: usize) -> Result<(), CypherError> {
+        if len > self.max_rows {
+            let max = self.max_rows;
+            return Err(CypherError::runtime(format!(
+                "pattern expansion exceeded {max} rows"
+            )));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,427 @@
+//! The match operator: anchors each pattern part (via [`super::scan`]),
+//! expands relationship steps depth-first, and applies the clause's
+//! `WHERE` filter — including `OPTIONAL MATCH` null-row fallback.
+
+use crate::ast::{MatchClause, NodePattern, RelDir, RelPattern};
+use crate::error::CypherError;
+use crate::eval::{Entry, Env, EvalCtx, Row};
+use crate::plan::{self, Anchor, PartPlan};
+use crate::pretty;
+use iyp_graphdb::{Direction, Graph, NodeId, RelId, Value};
+use std::collections::HashSet;
+use std::fmt::Write;
+
+use super::context::ExecContext;
+use super::{filter, scan, varlen, Operator};
+
+/// `MATCH` / `OPTIONAL MATCH`: the pattern-expansion operator.
+///
+/// Planning happens at apply time, not build time, so that anchor scoring
+/// sees the graph as mutated by any earlier write clauses and the
+/// variables bound by earlier clauses in the pipeline.
+pub(crate) struct MatchOp<'q> {
+    pub clause: &'q MatchClause,
+}
+
+impl Operator for MatchOp<'_> {
+    fn name(&self) -> &'static str {
+        if self.clause.optional {
+            "OptionalMatch"
+        } else {
+            "Match"
+        }
+    }
+
+    fn apply(
+        &self,
+        cx: &mut ExecContext<'_>,
+        env: &mut Env,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>, CypherError> {
+        let clause = self.clause;
+        // Plan all parts with knowledge of previously bound variables.
+        let mut bound: Vec<String> = env.names.clone();
+        let plans = plan::plan_match(cx.graph(), clause, &mut bound);
+
+        // Extend the environment with this clause's new variables up front.
+        let mut new_slots: HashSet<usize> = HashSet::new();
+        for part in &clause.patterns {
+            let mut vars = Vec::new();
+            plan::collect_part_vars(part, &mut vars);
+            for v in vars {
+                if env.slot(&v).is_none() {
+                    let slot = env.push(v);
+                    new_slots.insert(slot);
+                }
+            }
+        }
+        let width = env.names.len();
+
+        let mut out = Vec::new();
+        for mut row in rows {
+            row.resize(width, Entry::Val(Value::Null));
+            // Match all parts for this row.
+            let mut current = vec![row.clone()];
+            for plan in &plans {
+                let mut next = Vec::new();
+                for r in &current {
+                    cx.check_deadline()?;
+                    expand_part(cx, env, r, plan, &new_slots, &mut next)?;
+                    cx.check_expansion(next.len())?;
+                }
+                current = next;
+                if current.is_empty() {
+                    break;
+                }
+            }
+            // Apply WHERE.
+            if let Some(w) = &clause.where_clause {
+                let ctx = EvalCtx {
+                    graph: cx.graph(),
+                    env,
+                    params: cx.params,
+                };
+                current = filter::filter_rows(&ctx, w, current)?;
+            }
+            if current.is_empty() && clause.optional {
+                // OPTIONAL MATCH: keep the input row, new vars stay null.
+                out.push(row);
+            } else {
+                out.extend(current);
+            }
+        }
+        Ok(out)
+    }
+
+    fn explain_into(&self, graph: &Graph, bound: &mut Vec<String>, idx: usize, out: &mut String) {
+        let m = self.clause;
+        writeln!(out, "{idx:>2}. {}", self.name()).expect("write to string");
+        let plans = plan::plan_match(graph, m, bound);
+        for (j, plan) in plans.iter().enumerate() {
+            let anchor = match &plan.anchor {
+                Anchor::Bound(v) => format!("BoundVariable({v})"),
+                Anchor::IndexSeek { label, key, expr } => format!(
+                    "IndexSeek(:{label}.{key} = {})",
+                    pretty::expr_to_string(expr)
+                ),
+                Anchor::RangeSeek { label, key, lo, hi } => {
+                    let mut bounds: Vec<String> = Vec::new();
+                    if let Some((e, inc)) = lo {
+                        bounds.push(format!(
+                            "{} {}",
+                            if *inc { ">=" } else { ">" },
+                            pretty::expr_to_string(e)
+                        ));
+                    }
+                    if let Some((e, inc)) = hi {
+                        bounds.push(format!(
+                            "{} {}",
+                            if *inc { "<=" } else { "<" },
+                            pretty::expr_to_string(e)
+                        ));
+                    }
+                    format!("RangeSeek(:{label}.{key} {})", bounds.join(" and "))
+                }
+                Anchor::LabelScan(label) => {
+                    format!("LabelScan(:{label}, ~{} nodes)", graph.label_count(label))
+                }
+                Anchor::AllNodes => {
+                    format!("AllNodesScan(~{} nodes)", graph.node_count())
+                }
+            };
+            let mut line = format!("      part {j}: {anchor}");
+            if plan.reversed {
+                line.push_str(" [chain reversed]");
+            }
+            if plan.shortest {
+                line.push_str(" [shortestPath]");
+            }
+            writeln!(out, "{line}").expect("write to string");
+            for (k, (rel, node)) in plan.steps.iter().enumerate() {
+                let types = if rel.types.is_empty() {
+                    "*any*".to_string()
+                } else {
+                    rel.types.join("|")
+                };
+                let hops = if rel.hops.is_single() {
+                    String::new()
+                } else {
+                    format!(
+                        " x{}..{}",
+                        rel.hops.min,
+                        rel.hops
+                            .max
+                            .map(|m| m.to_string())
+                            .unwrap_or_else(|| "∞".into())
+                    )
+                };
+                let target = node
+                    .labels
+                    .first()
+                    .map(|l| format!(":{l}"))
+                    .unwrap_or_else(|| "(any)".into());
+                writeln!(out, "        expand {k}: -[:{types}{hops}]- -> {target}")
+                    .expect("write to string");
+            }
+        }
+        if m.where_clause.is_some() {
+            writeln!(out, "      filter: WHERE …").expect("write to string");
+        }
+    }
+}
+
+/// Expands one planned pattern part for one input row, pushing every
+/// complete binding into `out`.
+pub(crate) fn expand_part(
+    cx: &ExecContext<'_>,
+    env: &Env,
+    row: &Row,
+    plan: &PartPlan,
+    new_slots: &HashSet<usize>,
+    out: &mut Vec<Row>,
+) -> Result<(), CypherError> {
+    let graph = cx.graph();
+    let ctx = EvalCtx {
+        graph,
+        env,
+        params: cx.params,
+    };
+    let candidates = scan::anchor_candidates(cx, env, row, plan)?;
+
+    let mut local: Vec<Row> = Vec::new();
+    let sink: &mut Vec<Row> = if plan.shortest { &mut local } else { out };
+    for cand in candidates {
+        if !node_matches(graph, &ctx, row, cand, &plan.anchor_node)? {
+            continue;
+        }
+        let mut r = row.clone();
+        if !bind_node(env, &mut r, &plan.anchor_node.var, cand, new_slots)? {
+            continue;
+        }
+        let mut used = HashSet::new();
+        let mut path: Vec<(Vec<RelId>, NodeId)> = Vec::new();
+        dfs_steps(
+            cx, env, plan, 0, cand, cand, &r, &mut used, &mut path, new_slots, sink,
+        )?;
+    }
+    if plan.shortest {
+        out.extend(varlen::keep_shortest(env, plan, local)?);
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dfs_steps(
+    cx: &ExecContext<'_>,
+    env: &Env,
+    plan: &PartPlan,
+    step_idx: usize,
+    anchor: NodeId,
+    cur: NodeId,
+    row: &Row,
+    used: &mut HashSet<RelId>,
+    path: &mut Vec<(Vec<RelId>, NodeId)>,
+    new_slots: &HashSet<usize>,
+    out: &mut Vec<Row>,
+) -> Result<(), CypherError> {
+    cx.check_deadline()?;
+    if step_idx == plan.steps.len() {
+        let mut r = row.clone();
+        if let Some(pv) = &plan.path_var {
+            bind_path(env, &mut r, pv, plan, anchor, path)?;
+        }
+        out.push(r);
+        return Ok(());
+    }
+    let graph = cx.graph();
+    let ctx = EvalCtx {
+        graph,
+        env,
+        params: cx.params,
+    };
+    let (rel_pat, node_pat) = &plan.steps[step_idx];
+    let dir = match rel_pat.dir {
+        RelDir::Right => Direction::Outgoing,
+        RelDir::Left => Direction::Incoming,
+        RelDir::Undirected => Direction::Both,
+    };
+    let types: Option<Vec<&str>> = if rel_pat.types.is_empty() {
+        None
+    } else {
+        Some(rel_pat.types.iter().map(String::as_str).collect())
+    };
+
+    if rel_pat.hops.is_single() {
+        for (rid, nbr) in graph.neighbors(cur, dir, types.as_deref()) {
+            if used.contains(&rid) {
+                continue;
+            }
+            if !rel_matches(graph, &ctx, row, rid, rel_pat)? {
+                continue;
+            }
+            if !node_matches(graph, &ctx, row, nbr, node_pat)? {
+                continue;
+            }
+            let mut r = row.clone();
+            if !bind_node(env, &mut r, &node_pat.var, nbr, new_slots)? {
+                continue;
+            }
+            if let Some(rv) = &rel_pat.var {
+                if !bind_entry(env, &mut r, rv, Entry::Rel(rid), new_slots)? {
+                    continue;
+                }
+            }
+            used.insert(rid);
+            path.push((vec![rid], nbr));
+            dfs_steps(
+                cx,
+                env,
+                plan,
+                step_idx + 1,
+                anchor,
+                nbr,
+                &r,
+                used,
+                path,
+                new_slots,
+                out,
+            )?;
+            path.pop();
+            used.remove(&rid);
+        }
+    } else {
+        // Variable-length expansion. An explicit upper bound is honored;
+        // an open-ended `*` is capped to keep expansion bounded.
+        let min = rel_pat.hops.min;
+        let max = rel_pat.hops.max.unwrap_or(super::VARLEN_CAP);
+        let mut stack_rels: Vec<RelId> = Vec::new();
+        varlen::varlen_dfs(
+            cx,
+            env,
+            plan,
+            step_idx,
+            anchor,
+            cur,
+            row,
+            used,
+            path,
+            new_slots,
+            out,
+            &ctx,
+            rel_pat,
+            node_pat,
+            dir,
+            types.as_deref(),
+            min,
+            max,
+            &mut stack_rels,
+        )?;
+    }
+    Ok(())
+}
+
+pub(crate) fn node_matches(
+    graph: &Graph,
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    node: NodeId,
+    pat: &NodePattern,
+) -> Result<bool, CypherError> {
+    for label in &pat.labels {
+        if !graph.node_has_label(node, label) {
+            return Ok(false);
+        }
+    }
+    for (key, expr) in &pat.props {
+        let want = ctx.eval_value(expr, row)?;
+        let have = graph
+            .node(node)
+            .map(|n| n.props.get_or_null(key))
+            .unwrap_or(Value::Null);
+        if have.cypher_eq(&want) != Some(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+pub(crate) fn rel_matches(
+    graph: &Graph,
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    rel: RelId,
+    pat: &RelPattern,
+) -> Result<bool, CypherError> {
+    for (key, expr) in &pat.props {
+        let want = ctx.eval_value(expr, row)?;
+        let have = graph
+            .rel(rel)
+            .map(|r| r.props.get_or_null(key))
+            .unwrap_or(Value::Null);
+        if have.cypher_eq(&want) != Some(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Binds `var` (if named) to a node, or checks equality when already bound.
+/// Returns false when the binding conflicts.
+pub(crate) fn bind_node(
+    env: &Env,
+    row: &mut Row,
+    var: &Option<String>,
+    node: NodeId,
+    new_slots: &HashSet<usize>,
+) -> Result<bool, CypherError> {
+    match var {
+        None => Ok(true),
+        Some(v) => bind_entry(env, row, v, Entry::Node(node), new_slots),
+    }
+}
+
+pub(crate) fn bind_entry(
+    env: &Env,
+    row: &mut Row,
+    var: &str,
+    entry: Entry,
+    new_slots: &HashSet<usize>,
+) -> Result<bool, CypherError> {
+    let slot = env
+        .slot(var)
+        .ok_or_else(|| CypherError::plan(format!("variable '{var}' missing from environment")))?;
+    match &row[slot] {
+        Entry::Val(Value::Null) if new_slots.contains(&slot) => {
+            row[slot] = entry;
+            Ok(true)
+        }
+        Entry::Val(Value::Null) => Ok(false), // pre-existing null binding never matches
+        existing => Ok(*existing == entry),
+    }
+}
+
+pub(crate) fn bind_path(
+    env: &Env,
+    row: &mut Row,
+    path_var: &str,
+    plan: &PartPlan,
+    anchor: NodeId,
+    path: &[(Vec<RelId>, NodeId)],
+) -> Result<(), CypherError> {
+    // Node/rel sequence: the anchor, then each step's end node.
+    let mut nodes: Vec<NodeId> = vec![anchor];
+    let mut rels: Vec<RelId> = Vec::new();
+    for (seg_rels, end) in path {
+        rels.extend(seg_rels.iter().copied());
+        nodes.push(*end);
+    }
+    if plan.reversed {
+        nodes.reverse();
+        rels.reverse();
+    }
+    let slot = env
+        .slot(path_var)
+        .ok_or_else(|| CypherError::plan(format!("path variable '{path_var}' missing")))?;
+    row[slot] = Entry::Path(nodes, rels);
+    Ok(())
+}

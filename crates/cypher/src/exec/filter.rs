@@ -1,0 +1,32 @@
+//! The filter operator: predicate evaluation over row sets. Shared by the
+//! match operator (pattern `WHERE`) and the projection operator
+//! (`WITH ... WHERE`).
+
+use crate::ast::Expr;
+use crate::error::CypherError;
+use crate::eval::{EvalCtx, Row};
+
+/// True when `pred` evaluates truthy for `row`.
+#[inline]
+pub(crate) fn predicate_keeps(
+    ctx: &EvalCtx<'_>,
+    pred: &Expr,
+    row: &Row,
+) -> Result<bool, CypherError> {
+    Ok(ctx.eval_value(pred, row)?.is_true())
+}
+
+/// Keeps only the rows for which `pred` evaluates truthy.
+pub(crate) fn filter_rows(
+    ctx: &EvalCtx<'_>,
+    pred: &Expr,
+    rows: Vec<Row>,
+) -> Result<Vec<Row>, CypherError> {
+    let mut kept = Vec::with_capacity(rows.len());
+    for r in rows {
+        if predicate_keeps(ctx, pred, &r)? {
+            kept.push(r);
+        }
+    }
+    Ok(kept)
+}

@@ -1,0 +1,231 @@
+//! The query executor: a pipeline of physical operators over materialized
+//! row sets, with index-aware pattern matching planned by [`crate::plan`].
+//!
+//! Each clause of a (UNION-free) query becomes one [`Operator`] in a
+//! pipeline; the driver threads a row set through the operators, all of
+//! which draw on a shared [`context::ExecContext`] for graph access,
+//! parameters, wall-clock limits, and the intermediate-row budget.
+//!
+//! Module map:
+//!
+//! | module        | operators |
+//! |---------------|-----------|
+//! | [`context`]   | [`ExecLimits`] and the shared `ExecContext` |
+//! | [`scan`]      | anchor access paths: index seek, range seek, label scan, all-nodes scan, bound variable |
+//! | [`expand`]    | `MATCH` / `OPTIONAL MATCH` pattern expansion |
+//! | [`varlen`]    | variable-length expansion and `shortestPath` |
+//! | [`filter`]    | predicate filtering (`WHERE`, shared by match and projection) |
+//! | [`project`]   | `WITH` / `RETURN` projection |
+//! | [`aggregate`] | grouped aggregation accumulators |
+//! | [`sort`]      | `ORDER BY`, `SKIP`, `LIMIT` |
+//! | [`unwind`]    | `UNWIND` |
+//! | [`union`]     | `UNION` segmentation and result merging |
+//! | [`write`]     | `CREATE`, `MERGE`, `SET`, `DELETE` |
+
+pub(crate) mod aggregate;
+pub(crate) mod context;
+pub(crate) mod expand;
+pub(crate) mod filter;
+pub(crate) mod project;
+pub(crate) mod scan;
+pub(crate) mod sort;
+pub(crate) mod union;
+pub(crate) mod unwind;
+pub(crate) mod varlen;
+pub(crate) mod write;
+
+use crate::ast::{Clause, Query};
+use crate::error::CypherError;
+use crate::eval::{Env, Params, Row};
+use crate::pretty;
+use crate::result::QueryResult;
+use iyp_graphdb::Graph;
+use std::fmt::Write as _;
+
+use context::ExecContext;
+pub use context::ExecLimits;
+
+/// Hard cap on intermediate row counts — protects against pattern
+/// explosions on dense graphs.
+pub const MAX_ROWS: usize = 2_000_000;
+
+/// Default cap for unbounded variable-length patterns (`*` / `*2..`).
+pub const VARLEN_CAP: u32 = 8;
+
+/// Parses and executes a read-only query with no parameters.
+pub fn query(graph: &Graph, src: &str) -> Result<QueryResult, CypherError> {
+    let q = crate::parser::parse(src)?;
+    execute_read(graph, &q, &Params::new())
+}
+
+/// Parses and executes a read-only query under a wall-clock deadline —
+/// the entry point for services executing untrusted Cypher.
+pub fn query_with_deadline(
+    graph: &Graph,
+    src: &str,
+    params: &Params,
+    timeout: std::time::Duration,
+) -> Result<QueryResult, CypherError> {
+    let q = crate::parser::parse(src)?;
+    let mut src_graph = ReadOnly(graph);
+    run(&mut src_graph, &q, params, ExecLimits::timeout(timeout))
+}
+
+/// Parses and executes a read-only query with parameters.
+pub fn query_with(graph: &Graph, src: &str, params: &Params) -> Result<QueryResult, CypherError> {
+    let q = crate::parser::parse(src)?;
+    execute_read(graph, &q, params)
+}
+
+/// Parses and executes a query that may contain write clauses.
+pub fn update(graph: &mut Graph, src: &str) -> Result<QueryResult, CypherError> {
+    let q = crate::parser::parse(src)?;
+    execute(graph, &q, &Params::new())
+}
+
+/// Executes a parsed read-only query. Write clauses produce a plan error.
+pub fn execute_read(graph: &Graph, q: &Query, params: &Params) -> Result<QueryResult, CypherError> {
+    let mut src = ReadOnly(graph);
+    run(&mut src, q, params, ExecLimits::none())
+}
+
+/// Executes a parsed query, allowing writes.
+pub fn execute(graph: &mut Graph, q: &Query, params: &Params) -> Result<QueryResult, CypherError> {
+    let mut src = ReadWrite(graph);
+    run(&mut src, q, params, ExecLimits::none())
+}
+
+/// Read-only or read-write access to the graph under execution.
+pub(crate) trait GraphSource {
+    fn g(&self) -> &Graph;
+    fn g_mut(&mut self) -> Result<&mut Graph, CypherError>;
+}
+
+struct ReadOnly<'a>(&'a Graph);
+impl GraphSource for ReadOnly<'_> {
+    fn g(&self) -> &Graph {
+        self.0
+    }
+    fn g_mut(&mut self) -> Result<&mut Graph, CypherError> {
+        Err(CypherError::plan(
+            "write clause not allowed in read-only execution",
+        ))
+    }
+}
+
+struct ReadWrite<'a>(&'a mut Graph);
+impl GraphSource for ReadWrite<'_> {
+    fn g(&self) -> &Graph {
+        self.0
+    }
+    fn g_mut(&mut self) -> Result<&mut Graph, CypherError> {
+        Ok(self.0)
+    }
+}
+
+/// One physical operator in a query pipeline. Operators transform a
+/// materialized row set, drawing graph access, parameters, limits, and
+/// the row budget from the shared [`ExecContext`].
+pub(crate) trait Operator {
+    /// Operator name, as shown in plan introspection.
+    fn name(&self) -> &'static str;
+
+    /// True for the terminal `RETURN` operator: the driver stops the
+    /// pipeline and converts its output into the query result.
+    fn is_terminal(&self) -> bool {
+        false
+    }
+
+    /// Transforms the row set, possibly extending or replacing `env`.
+    fn apply(
+        &self,
+        cx: &mut ExecContext<'_>,
+        env: &mut Env,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>, CypherError>;
+
+    /// Renders this operator's plan lines for [`crate::explain`].
+    /// `bound` accumulates the variables match operators bind, so later
+    /// operators can show bound-variable anchors.
+    fn explain_into(&self, graph: &Graph, bound: &mut Vec<String>, idx: usize, out: &mut String);
+}
+
+/// Builds the operator for one clause. `is_last` marks the query's final
+/// clause (RETURN elsewhere is rejected when it executes).
+pub(crate) fn build_clause_op<'q>(clause: &'q Clause, is_last: bool) -> Box<dyn Operator + 'q> {
+    match clause {
+        Clause::Match(m) => Box::new(expand::MatchOp { clause: m }),
+        Clause::Unwind { expr, var } => Box::new(unwind::UnwindOp { expr, var }),
+        Clause::With(p) => Box::new(project::ProjectOp { clause: p }),
+        Clause::Return(p) => Box::new(project::ReturnOp { clause: p, is_last }),
+        Clause::Create { patterns } => Box::new(write::CreateOp { patterns }),
+        Clause::Merge { node } => Box::new(write::MergeOp { node }),
+        Clause::Set { items } => Box::new(write::SetOp { items }),
+        Clause::Delete { vars, detach } => Box::new(write::DeleteOp {
+            vars,
+            detach: *detach,
+        }),
+        Clause::Union { all } => Box::new(union::UnionBoundaryOp { all: *all }),
+    }
+}
+
+/// Renders a one-line plan entry for a clause-shaped operator: the
+/// clause's leading keyword.
+pub(crate) fn explain_simple(clause: &Clause, idx: usize, out: &mut String) {
+    writeln!(
+        out,
+        "{idx:>2}. {}",
+        pretty::clause_to_string(clause)
+            .split_whitespace()
+            .next()
+            .unwrap_or("?")
+    )
+    .expect("write to string");
+}
+
+fn run<G: GraphSource>(
+    src: &mut G,
+    q: &Query,
+    params: &Params,
+    limits: ExecLimits,
+) -> Result<QueryResult, CypherError> {
+    // Split on UNION separators: each segment is a complete sub-query.
+    let segments = union::split_segments(q);
+    if segments.len() > 1 {
+        return union::run_segments(src, &segments, params, limits);
+    }
+    run_single(src, q, params, limits)
+}
+
+pub(crate) fn run_single<G: GraphSource>(
+    src: &mut G,
+    q: &Query,
+    params: &Params,
+    limits: ExecLimits,
+) -> Result<QueryResult, CypherError> {
+    let ops: Vec<Box<dyn Operator + '_>> = q
+        .clauses
+        .iter()
+        .enumerate()
+        .map(|(i, c)| build_clause_op(c, i + 1 == q.clauses.len()))
+        .collect();
+    let mut cx = ExecContext::new(src, params, limits);
+    let mut env = Env::new();
+    let mut rows: Vec<Row> = vec![Vec::new()];
+    let mut result = QueryResult::empty();
+    for op in &ops {
+        rows = op.apply(&mut cx, &mut env, rows)?;
+        if op.is_terminal() {
+            // RETURN: convert the projected entries into result values.
+            result.columns = env.names;
+            result.rows = rows
+                .into_iter()
+                .map(|r| r.into_iter().map(|e| e.to_value(cx.graph())).collect())
+                .collect();
+            return Ok(result);
+        }
+        cx.check_intermediate(rows.len())?;
+    }
+    // No RETURN: a write-only query; report affected row count as shape.
+    Ok(result)
+}

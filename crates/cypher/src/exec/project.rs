@@ -1,0 +1,264 @@
+//! The projection operator (`WITH` / `RETURN`): item evaluation, star
+//! expansion, DISTINCT, and the post-projection environment in which
+//! `WHERE` and `ORDER BY` see both aliases and the original variables.
+//! Grouped aggregation is delegated to [`super::aggregate`], ordering and
+//! paging to [`super::sort`].
+
+use crate::ast::{Clause, Expr, ProjectionClause, ProjectionItem};
+use crate::error::CypherError;
+use crate::eval::{Entry, Env, EvalCtx, Params, Row};
+use iyp_graphdb::{Graph, Value, ValueKey};
+use std::collections::HashSet;
+
+use super::context::ExecContext;
+use super::{aggregate, filter, sort, Operator};
+
+/// `WITH`: projects rows into a fresh environment mid-pipeline.
+pub(crate) struct ProjectOp<'q> {
+    pub clause: &'q ProjectionClause,
+}
+
+impl Operator for ProjectOp<'_> {
+    fn name(&self) -> &'static str {
+        "Project"
+    }
+
+    fn apply(
+        &self,
+        cx: &mut ExecContext<'_>,
+        env: &mut Env,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>, CypherError> {
+        let (new_env, new_rows) = project(cx.graph(), env, rows, self.clause, cx.params)?;
+        *env = new_env;
+        Ok(new_rows)
+    }
+
+    fn explain_into(&self, _graph: &Graph, _bound: &mut Vec<String>, idx: usize, out: &mut String) {
+        super::explain_simple(&Clause::With(self.clause.clone()), idx, out);
+    }
+}
+
+/// `RETURN`: the terminal projection. Must be the final operator of its
+/// pipeline segment; the driver converts its output rows into the
+/// [`crate::result::QueryResult`].
+pub(crate) struct ReturnOp<'q> {
+    pub clause: &'q ProjectionClause,
+    /// False when RETURN is not the query's final clause — rejected at
+    /// apply time (after any earlier clauses have run, matching the
+    /// clause-by-clause interpreter's behavior).
+    pub is_last: bool,
+}
+
+impl Operator for ReturnOp<'_> {
+    fn name(&self) -> &'static str {
+        "Return"
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+
+    fn apply(
+        &self,
+        cx: &mut ExecContext<'_>,
+        env: &mut Env,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>, CypherError> {
+        if !self.is_last {
+            return Err(CypherError::plan("RETURN must be the final clause"));
+        }
+        let (new_env, new_rows) = project(cx.graph(), env, rows, self.clause, cx.params)?;
+        *env = new_env;
+        Ok(new_rows)
+    }
+
+    fn explain_into(&self, _graph: &Graph, _bound: &mut Vec<String>, idx: usize, out: &mut String) {
+        super::explain_simple(&Clause::Return(self.clause.clone()), idx, out);
+    }
+}
+
+/// A stable identity key for a projected entry, used for DISTINCT and
+/// aggregation grouping.
+pub(crate) fn entry_key(_graph: &Graph, e: &Entry) -> ValueKey {
+    match e {
+        Entry::Node(id) => ValueKey::List(vec![
+            ValueKey::Str("#node".into()),
+            ValueKey::Int(id.0 as i64),
+        ]),
+        Entry::Rel(id) => ValueKey::List(vec![
+            ValueKey::Str("#rel".into()),
+            ValueKey::Int(id.0 as i64),
+        ]),
+        Entry::Path(nodes, rels) => ValueKey::List(
+            std::iter::once(ValueKey::Str("#path".into()))
+                .chain(nodes.iter().map(|n| ValueKey::Int(n.0 as i64)))
+                .chain(rels.iter().map(|r| ValueKey::Int(r.0 as i64)))
+                .collect(),
+        ),
+        Entry::Val(v) => ValueKey::of(v),
+    }
+}
+
+/// The post-projection evaluation environment: projected names first
+/// (aliases shadow originals; `slot` finds the first occurrence), then the
+/// evaluation context's remaining names (original vars + agg slots).
+pub(crate) struct PostProject {
+    pub env: Env,
+    /// Indices into the evaluation-context row appended after the
+    /// projected entries.
+    appended: Vec<usize>,
+}
+
+impl PostProject {
+    fn new(out_names: &[String], eval_env: &Env) -> PostProject {
+        let mut post_names = out_names.to_vec();
+        let appended: Vec<usize> = eval_env
+            .names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !out_names.contains(n))
+            .map(|(i, _)| i)
+            .collect();
+        for &i in &appended {
+            post_names.push(eval_env.names[i].clone());
+        }
+        PostProject {
+            env: Env { names: post_names },
+            appended,
+        }
+    }
+
+    /// The projected row extended with the non-shadowed context entries.
+    pub fn extend(&self, proj: &Row, ctx_row: &Row) -> Row {
+        let mut r = proj.clone();
+        for &i in &self.appended {
+            r.push(ctx_row.get(i).cloned().unwrap_or(Entry::Val(Value::Null)));
+        }
+        r
+    }
+}
+
+pub(crate) fn project(
+    graph: &Graph,
+    env: &Env,
+    rows: Vec<Row>,
+    p: &ProjectionClause,
+    params: &Params,
+) -> Result<(Env, Vec<Row>), CypherError> {
+    // Expand `*` into explicit items.
+    let mut items: Vec<ProjectionItem> = Vec::new();
+    if p.star {
+        for name in &env.names {
+            items.push(ProjectionItem {
+                expr: Expr::Var(name.clone()),
+                alias: Some(name.clone()),
+            });
+        }
+    }
+    items.extend(p.items.iter().cloned());
+    if items.is_empty() {
+        return Err(CypherError::plan("projection with no items"));
+    }
+
+    let has_agg = items.iter().any(|it| it.expr.contains_aggregate())
+        || p.order_by.iter().any(|k| k.expr.contains_aggregate());
+
+    // Rewrite aggregates out of item and order-key expressions.
+    let mut specs: Vec<aggregate::AggSpec> = Vec::new();
+    let rewritten: Vec<Expr> = items
+        .iter()
+        .map(|it| aggregate::extract_aggs(&it.expr, &mut specs))
+        .collect();
+    let order_rewritten: Vec<Expr> = p
+        .order_by
+        .iter()
+        .map(|k| aggregate::extract_aggs(&k.expr, &mut specs))
+        .collect();
+
+    let out_names: Vec<String> = items.iter().map(|it| it.name()).collect();
+
+    // Environment in which rewritten expressions are evaluated:
+    // original vars + __agg slots (aggregation case only).
+    let mut eval_env = env.clone();
+    for i in 0..specs.len() {
+        eval_env.push(format!("__agg{i}"));
+    }
+
+    // (projected row, context row for ORDER BY evaluation)
+    let mut projected: Vec<(Row, Row)> = if has_agg || !specs.is_empty() {
+        // Grouping keys: projection items without aggregates.
+        let key_exprs: Vec<&ProjectionItem> = items
+            .iter()
+            .filter(|it| !it.expr.contains_aggregate())
+            .collect();
+        aggregate::aggregate_rows(
+            graph, env, &eval_env, &rows, params, &key_exprs, &specs, &rewritten,
+        )?
+    } else {
+        let ctx = EvalCtx { graph, env, params };
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut out_row = Vec::with_capacity(rewritten.len());
+            for rexpr in &rewritten {
+                out_row.push(ctx.eval(rexpr, &row)?);
+            }
+            out.push((out_row, row));
+        }
+        out
+    };
+
+    // DISTINCT.
+    if p.distinct {
+        let mut seen = HashSet::new();
+        projected.retain(|(r, _)| {
+            let key: Vec<ValueKey> = r.iter().map(|e| entry_key(graph, e)).collect();
+            seen.insert(key)
+        });
+    }
+
+    let post = PostProject::new(&out_names, &eval_env);
+
+    // WHERE (WITH ... WHERE).
+    if let Some(w) = &p.where_clause {
+        let mut w_specs = Vec::new();
+        let w_re = aggregate::extract_aggs(w, &mut w_specs);
+        if !w_specs.is_empty() {
+            return Err(CypherError::plan(
+                "aggregate functions are not allowed in WITH ... WHERE; project them first",
+            ));
+        }
+        let ctx = EvalCtx {
+            graph,
+            env: &post.env,
+            params,
+        };
+        let mut kept = Vec::with_capacity(projected.len());
+        for (proj, ctx_row) in projected {
+            let ext = post.extend(&proj, &ctx_row);
+            if filter::predicate_keeps(&ctx, &w_re, &ext)? {
+                kept.push((proj, ctx_row));
+            }
+        }
+        projected = kept;
+    }
+
+    // ORDER BY.
+    if !p.order_by.is_empty() {
+        projected = sort::order_rows(
+            graph,
+            params,
+            &post,
+            &p.order_by,
+            &order_rewritten,
+            projected,
+        )?;
+    }
+
+    // SKIP / LIMIT.
+    projected = sort::apply_skip_limit(graph, env, params, &p.skip, &p.limit, projected)?;
+
+    let out_env = Env { names: out_names };
+    let out_rows = projected.into_iter().map(|(r, _)| r).collect();
+    Ok((out_env, out_rows))
+}

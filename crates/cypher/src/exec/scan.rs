@@ -1,0 +1,69 @@
+//! Leaf access-path operators of the match pipeline: given one input row
+//! and a planned pattern part, produce the candidate anchor nodes.
+//!
+//! This is where the planner's [`Anchor`] choice becomes a physical scan:
+//! a bound-variable lookup, an index seek, an ordered-index range seek, a
+//! label scan, or a full node scan.
+
+use crate::error::CypherError;
+use crate::eval::{Entry, Env, EvalCtx, Row};
+use crate::plan::{Anchor, PartPlan};
+use iyp_graphdb::{NodeId, Value};
+
+use super::context::ExecContext;
+
+/// Produces the anchor candidates for `plan` under the bindings of `row`.
+pub(crate) fn anchor_candidates(
+    cx: &ExecContext<'_>,
+    env: &Env,
+    row: &Row,
+    plan: &PartPlan,
+) -> Result<Vec<NodeId>, CypherError> {
+    let graph = cx.graph();
+    let ctx = EvalCtx {
+        graph,
+        env,
+        params: cx.params,
+    };
+    let candidates = match &plan.anchor {
+        Anchor::Bound(var) => {
+            let slot = env
+                .slot(var)
+                .ok_or_else(|| CypherError::plan(format!("unbound anchor '{var}'")))?;
+            match &row[slot] {
+                Entry::Node(id) => vec![*id],
+                Entry::Val(Value::Null) => Vec::new(),
+                _ => {
+                    return Err(CypherError::runtime(format!(
+                        "variable '{var}' is not a node"
+                    )))
+                }
+            }
+        }
+        Anchor::IndexSeek { label, key, expr } => {
+            let v = ctx.eval_value(expr, row)?;
+            graph.index_lookup(label, key, &v).unwrap_or_default()
+        }
+        Anchor::RangeSeek { label, key, lo, hi } => {
+            let lo_v = match lo {
+                Some((e, inc)) => Some((ctx.eval_value(e, row)?, *inc)),
+                None => None,
+            };
+            let hi_v = match hi {
+                Some((e, inc)) => Some((ctx.eval_value(e, row)?, *inc)),
+                None => None,
+            };
+            graph
+                .index_range(
+                    label,
+                    key,
+                    lo_v.as_ref().map(|(v, inc)| (v, *inc)),
+                    hi_v.as_ref().map(|(v, inc)| (v, *inc)),
+                )
+                .unwrap_or_default()
+        }
+        Anchor::LabelScan(label) => graph.nodes_with_label(label).collect(),
+        Anchor::AllNodes => graph.all_nodes().collect(),
+    };
+    Ok(candidates)
+}

@@ -1,0 +1,75 @@
+//! The sort / skip / limit operators applied at the tail of a projection.
+
+use crate::ast::{Expr, OrderKey};
+use crate::error::CypherError;
+use crate::eval::{Env, EvalCtx, Params, Row};
+use iyp_graphdb::Graph;
+
+use super::project::PostProject;
+
+/// Stable ORDER BY over `(projected, context)` row pairs. Keys are the
+/// rewritten order expressions evaluated in the post-projection
+/// environment.
+pub(crate) fn order_rows(
+    graph: &Graph,
+    params: &Params,
+    post: &PostProject,
+    order_by: &[OrderKey],
+    order_rewritten: &[Expr],
+    projected: Vec<(Row, Row)>,
+) -> Result<Vec<(Row, Row)>, CypherError> {
+    let ctx = EvalCtx {
+        graph,
+        env: &post.env,
+        params,
+    };
+    let mut keyed: Vec<(Vec<iyp_graphdb::Value>, (Row, Row))> = Vec::with_capacity(projected.len());
+    for (proj, ctx_row) in projected {
+        let ext = post.extend(&proj, &ctx_row);
+        let mut keys = Vec::with_capacity(order_rewritten.len());
+        for oexpr in order_rewritten {
+            keys.push(ctx.eval_value(oexpr, &ext)?);
+        }
+        keyed.push((keys, (proj, ctx_row)));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, ok) in order_by.iter().enumerate() {
+            let c = ka[i].order_key_cmp(&kb[i]);
+            let c = if ok.ascending { c } else { c.reverse() };
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(keyed.into_iter().map(|(_, v)| v).collect())
+}
+
+/// Applies SKIP and LIMIT expressions (evaluated row-free) to the
+/// projected rows.
+pub(crate) fn apply_skip_limit(
+    graph: &Graph,
+    env: &Env,
+    params: &Params,
+    skip: &Option<Expr>,
+    limit: &Option<Expr>,
+    mut projected: Vec<(Row, Row)>,
+) -> Result<Vec<(Row, Row)>, CypherError> {
+    let eval_count = |e: &Expr| -> Result<usize, CypherError> {
+        let ctx = EvalCtx { graph, env, params };
+        let v = ctx.eval_value(e, &Vec::new())?;
+        v.as_int()
+            .filter(|i| *i >= 0)
+            .map(|i| i as usize)
+            .ok_or_else(|| CypherError::runtime("SKIP/LIMIT must be a non-negative integer"))
+    };
+    if let Some(e) = skip {
+        let n = eval_count(e)?;
+        projected = projected.into_iter().skip(n).collect();
+    }
+    if let Some(e) = limit {
+        let n = eval_count(e)?;
+        projected.truncate(n);
+    }
+    Ok(projected)
+}

@@ -1,0 +1,96 @@
+//! The union operator: splits a query at `UNION` / `UNION ALL`
+//! separators, runs each segment as an independent pipeline, and merges
+//! the results — deduplicating unless every separator was `UNION ALL`.
+
+use crate::ast::{Clause, Query};
+use crate::error::CypherError;
+use crate::eval::{Env, Row};
+use crate::result::QueryResult;
+use iyp_graphdb::{Graph, ValueKey};
+use std::collections::HashSet;
+
+use super::context::{ExecContext, ExecLimits};
+use super::{GraphSource, Operator};
+
+/// Splits `q` at UNION separators. Each entry is one segment's clauses
+/// plus the `all` flag of the separator *preceding* it (false for the
+/// first segment).
+pub(crate) fn split_segments(q: &Query) -> Vec<(&[Clause], bool)> {
+    let mut out: Vec<(&[Clause], bool)> = Vec::new();
+    let mut start = 0usize;
+    let mut keep_dups = false; // `all` flag of the *preceding* UNION
+    for (i, c) in q.clauses.iter().enumerate() {
+        if let Clause::Union { all } = c {
+            out.push((&q.clauses[start..i], keep_dups));
+            keep_dups = *all;
+            start = i + 1;
+        }
+    }
+    out.push((&q.clauses[start..], keep_dups));
+    out
+}
+
+/// Runs each segment as its own pipeline and merges the results.
+pub(crate) fn run_segments<G: GraphSource>(
+    src: &mut G,
+    segments: &[(&[Clause], bool)],
+    params: &crate::eval::Params,
+    limits: ExecLimits,
+) -> Result<QueryResult, CypherError> {
+    let mut combined = QueryResult::empty();
+    let mut dedup_all = true;
+    for (i, (clauses, all_flag)) in segments.iter().enumerate() {
+        if clauses.is_empty() {
+            return Err(CypherError::plan("empty UNION branch"));
+        }
+        let sub = Query {
+            clauses: clauses.to_vec(),
+        };
+        let result = super::run_single(src, &sub, params, limits)?;
+        if i == 0 {
+            combined.columns = result.columns;
+        } else if combined.columns.len() != result.columns.len() {
+            return Err(CypherError::plan(format!(
+                "UNION branches return different column counts ({} vs {})",
+                combined.columns.len(),
+                result.columns.len()
+            )));
+        }
+        if *all_flag {
+            dedup_all = false;
+        }
+        combined.rows.extend(result.rows);
+    }
+    if dedup_all {
+        let mut seen = HashSet::new();
+        combined
+            .rows
+            .retain(|row| seen.insert(row.iter().map(ValueKey::of).collect::<Vec<_>>()));
+    }
+    Ok(combined)
+}
+
+/// A `UNION` separator. Never executed — the driver splits queries into
+/// segments before building pipelines — but rendered by EXPLAIN.
+pub(crate) struct UnionBoundaryOp {
+    pub all: bool,
+}
+
+impl Operator for UnionBoundaryOp {
+    fn name(&self) -> &'static str {
+        "Union"
+    }
+
+    fn apply(
+        &self,
+        _cx: &mut ExecContext<'_>,
+        _env: &mut Env,
+        _rows: Vec<Row>,
+    ) -> Result<Vec<Row>, CypherError> {
+        unreachable!("UNION separators are split out before run_single")
+    }
+
+    fn explain_into(&self, _graph: &Graph, _bound: &mut Vec<String>, idx: usize, out: &mut String) {
+        super::explain_simple(&Clause::Union { all: self.all }, idx, out);
+    }
+}

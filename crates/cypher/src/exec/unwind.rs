@@ -1,0 +1,73 @@
+//! The unwind operator: `UNWIND expr AS var` — expands a list-valued
+//! expression into one row per element.
+
+use crate::ast::{Clause, Expr};
+use crate::error::CypherError;
+use crate::eval::{Entry, Env, EvalCtx, Row};
+use iyp_graphdb::{Graph, Value};
+
+use super::context::ExecContext;
+use super::Operator;
+
+pub(crate) struct UnwindOp<'q> {
+    pub expr: &'q Expr,
+    pub var: &'q str,
+}
+
+impl Operator for UnwindOp<'_> {
+    fn name(&self) -> &'static str {
+        "Unwind"
+    }
+
+    fn apply(
+        &self,
+        cx: &mut ExecContext<'_>,
+        env: &mut Env,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>, CypherError> {
+        let values: Vec<(Row, Value)> = {
+            let ctx = EvalCtx {
+                graph: cx.graph(),
+                env,
+                params: cx.params,
+            };
+            let mut out = Vec::new();
+            for row in rows {
+                let v = ctx.eval_value(self.expr, &row)?;
+                out.push((row, v));
+            }
+            out
+        };
+        env.push(self.var.to_string());
+        let mut out = Vec::new();
+        for (row, v) in values {
+            match v {
+                Value::Null => {}
+                Value::List(items) => {
+                    for item in items {
+                        let mut r = row.clone();
+                        r.push(Entry::Val(item));
+                        out.push(r);
+                    }
+                }
+                other => {
+                    let mut r = row;
+                    r.push(Entry::Val(other));
+                    out.push(r);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn explain_into(&self, _graph: &Graph, _bound: &mut Vec<String>, idx: usize, out: &mut String) {
+        super::explain_simple(
+            &Clause::Unwind {
+                expr: self.expr.clone(),
+                var: self.var.to_string(),
+            },
+            idx,
+            out,
+        );
+    }
+}

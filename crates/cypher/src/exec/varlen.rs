@@ -1,0 +1,143 @@
+//! Variable-length expansion (`-[:T*min..max]-`) and `shortestPath`
+//! minimal-length selection.
+
+use crate::ast::{NodePattern, RelPattern};
+use crate::error::CypherError;
+use crate::eval::{Entry, Env, EvalCtx, Row};
+use crate::plan::PartPlan;
+use iyp_graphdb::{Direction, NodeId, RelId, Value};
+use std::collections::{HashMap, HashSet};
+
+use super::context::ExecContext;
+use super::expand::{bind_entry, bind_node, dfs_steps, node_matches, rel_matches};
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn varlen_dfs(
+    cx: &ExecContext<'_>,
+    env: &Env,
+    plan: &PartPlan,
+    step_idx: usize,
+    anchor: NodeId,
+    cur: NodeId,
+    row: &Row,
+    used: &mut HashSet<RelId>,
+    path: &mut Vec<(Vec<RelId>, NodeId)>,
+    new_slots: &HashSet<usize>,
+    out: &mut Vec<Row>,
+    ctx: &EvalCtx<'_>,
+    rel_pat: &RelPattern,
+    node_pat: &NodePattern,
+    dir: Direction,
+    types: Option<&[&str]>,
+    min: u32,
+    max: u32,
+    stack_rels: &mut Vec<RelId>,
+) -> Result<(), CypherError> {
+    cx.check_deadline()?;
+    let graph = cx.graph();
+    let depth = stack_rels.len() as u32;
+    if depth >= min {
+        // Try ending the variable-length segment here.
+        if node_matches(graph, ctx, row, cur, node_pat)? {
+            let mut r = row.clone();
+            let mut ok = bind_node(env, &mut r, &node_pat.var, cur, new_slots)?;
+            if ok {
+                if let Some(rv) = &rel_pat.var {
+                    let rel_list = Value::List(
+                        stack_rels
+                            .iter()
+                            .map(|rid| Entry::Rel(*rid).to_value(graph))
+                            .collect(),
+                    );
+                    ok = bind_entry(env, &mut r, rv, Entry::Val(rel_list), new_slots)?;
+                }
+            }
+            if ok {
+                for rid in stack_rels.iter() {
+                    used.insert(*rid);
+                }
+                path.push((stack_rels.clone(), cur));
+                dfs_steps(
+                    cx,
+                    env,
+                    plan,
+                    step_idx + 1,
+                    anchor,
+                    cur,
+                    &r,
+                    used,
+                    path,
+                    new_slots,
+                    out,
+                )?;
+                path.pop();
+                for rid in stack_rels.iter() {
+                    used.remove(rid);
+                }
+            }
+        }
+    }
+    if depth == max {
+        return Ok(());
+    }
+    for (rid, nbr) in graph.neighbors(cur, dir, types) {
+        if used.contains(&rid) || stack_rels.contains(&rid) {
+            continue;
+        }
+        if !rel_matches(graph, ctx, row, rid, rel_pat)? {
+            continue;
+        }
+        stack_rels.push(rid);
+        varlen_dfs(
+            cx, env, plan, step_idx, anchor, nbr, row, used, path, new_slots, out, ctx, rel_pat,
+            node_pat, dir, types, min, max, stack_rels,
+        )?;
+        stack_rels.pop();
+    }
+    Ok(())
+}
+
+/// For `shortestPath`, keeps only the minimal-length binding per distinct
+/// (start, end) node pair, breaking ties deterministically by the path's
+/// relationship ids.
+pub(crate) fn keep_shortest(
+    env: &Env,
+    plan: &PartPlan,
+    rows: Vec<Row>,
+) -> Result<Vec<Row>, CypherError> {
+    let path_var = plan
+        .path_var
+        .as_ref()
+        .ok_or_else(|| CypherError::plan("shortestPath requires a path binding"))?;
+    let slot = env
+        .slot(path_var)
+        .ok_or_else(|| CypherError::plan("path variable missing from environment"))?;
+    let mut best: HashMap<(NodeId, NodeId), Row> = HashMap::new();
+    let mut order: Vec<(NodeId, NodeId)> = Vec::new();
+    for row in rows {
+        let Entry::Path(nodes, rels) = &row[slot] else {
+            return Err(CypherError::runtime("shortestPath binding is not a path"));
+        };
+        let (Some(&first), Some(&last)) = (nodes.first(), nodes.last()) else {
+            continue;
+        };
+        let key = (first, last);
+        match best.get(&key) {
+            None => {
+                order.push(key);
+                best.insert(key, row);
+            }
+            Some(cur) => {
+                let Entry::Path(_, cur_rels) = &cur[slot] else {
+                    unreachable!("only paths are inserted");
+                };
+                let replace = rels.len() < cur_rels.len()
+                    || (rels.len() == cur_rels.len() && rels < cur_rels);
+                if replace {
+                    best.insert(key, row);
+                }
+            }
+        }
+    }
+    Ok(order.into_iter().filter_map(|k| best.remove(&k)).collect())
+}

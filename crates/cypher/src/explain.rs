@@ -1,15 +1,13 @@
-//! `EXPLAIN`-style plan introspection: renders, for each clause, the
-//! access path the planner chose (index seek, range seek, label scan,
-//! full scan, bound-variable anchor) and the expansion order — without
-//! executing anything.
+//! `EXPLAIN`-style plan introspection: builds the same operator pipeline
+//! the executor would run and renders each operator's plan — for match
+//! operators, the access path the planner chose (index seek, range seek,
+//! label scan, full scan, bound-variable anchor) and the expansion order —
+//! without executing anything.
 
-use crate::ast::Clause;
 use crate::error::CypherError;
+use crate::exec::build_clause_op;
 use crate::parser::parse;
-use crate::plan::{plan_match, Anchor};
-use crate::pretty;
 use iyp_graphdb::Graph;
-use std::fmt::Write;
 
 /// Parses `src` and renders its execution plan against `graph`.
 pub fn explain(graph: &Graph, src: &str) -> Result<String, CypherError> {
@@ -17,97 +15,8 @@ pub fn explain(graph: &Graph, src: &str) -> Result<String, CypherError> {
     let mut out = String::new();
     let mut bound: Vec<String> = Vec::new();
     for (i, clause) in q.clauses.iter().enumerate() {
-        match clause {
-            Clause::Match(m) => {
-                let kind = if m.optional { "OptionalMatch" } else { "Match" };
-                writeln!(out, "{i:>2}. {kind}").expect("write to string");
-                let plans = plan_match(graph, m, &mut bound);
-                for (j, plan) in plans.iter().enumerate() {
-                    let anchor = match &plan.anchor {
-                        Anchor::Bound(v) => format!("BoundVariable({v})"),
-                        Anchor::IndexSeek { label, key, expr } => format!(
-                            "IndexSeek(:{label}.{key} = {})",
-                            pretty::expr_to_string(expr)
-                        ),
-                        Anchor::RangeSeek { label, key, lo, hi } => {
-                            let mut bounds: Vec<String> = Vec::new();
-                            if let Some((e, inc)) = lo {
-                                bounds.push(format!(
-                                    "{} {}",
-                                    if *inc { ">=" } else { ">" },
-                                    pretty::expr_to_string(e)
-                                ));
-                            }
-                            if let Some((e, inc)) = hi {
-                                bounds.push(format!(
-                                    "{} {}",
-                                    if *inc { "<=" } else { "<" },
-                                    pretty::expr_to_string(e)
-                                ));
-                            }
-                            format!("RangeSeek(:{label}.{key} {})", bounds.join(" and "))
-                        }
-                        Anchor::LabelScan(label) => {
-                            format!("LabelScan(:{label}, ~{} nodes)", graph.label_count(label))
-                        }
-                        Anchor::AllNodes => {
-                            format!("AllNodesScan(~{} nodes)", graph.node_count())
-                        }
-                    };
-                    let mut line = format!("      part {j}: {anchor}");
-                    if plan.reversed {
-                        line.push_str(" [chain reversed]");
-                    }
-                    if plan.shortest {
-                        line.push_str(" [shortestPath]");
-                    }
-                    writeln!(out, "{line}").expect("write to string");
-                    for (k, (rel, node)) in plan.steps.iter().enumerate() {
-                        let types = if rel.types.is_empty() {
-                            "*any*".to_string()
-                        } else {
-                            rel.types.join("|")
-                        };
-                        let hops = if rel.hops.is_single() {
-                            String::new()
-                        } else {
-                            format!(
-                                " x{}..{}",
-                                rel.hops.min,
-                                rel.hops
-                                    .max
-                                    .map(|m| m.to_string())
-                                    .unwrap_or_else(|| "∞".into())
-                            )
-                        };
-                        let target = node
-                            .labels
-                            .first()
-                            .map(|l| format!(":{l}"))
-                            .unwrap_or_else(|| "(any)".into());
-                        writeln!(
-                            out,
-                            "        expand {k}: -[:{types}{hops}]- -> {target}"
-                        )
-                        .expect("write to string");
-                    }
-                }
-                if m.where_clause.is_some() {
-                    writeln!(out, "      filter: WHERE …").expect("write to string");
-                }
-            }
-            other => {
-                writeln!(
-                    out,
-                    "{i:>2}. {}",
-                    pretty::clause_to_string(other)
-                        .split_whitespace()
-                        .next()
-                        .unwrap_or("?")
-                )
-                .expect("write to string");
-            }
-        }
+        let op = build_clause_op(clause, i + 1 == q.clauses.len());
+        op.explain_into(graph, &mut bound, i, &mut out);
     }
     Ok(out)
 }
@@ -142,11 +51,7 @@ mod tests {
 
     #[test]
     fn explain_shows_label_scan_and_expansion() {
-        let plan = explain(
-            &g(),
-            "MATCH (c:Country)<-[:COUNTRY]-(a:AS) RETURN count(a)",
-        )
-        .unwrap();
+        let plan = explain(&g(), "MATCH (c:Country)<-[:COUNTRY]-(a:AS) RETURN count(a)").unwrap();
         assert!(plan.contains("LabelScan(:Country"), "{plan}");
         assert!(plan.contains("expand 0: -[:COUNTRY]- -> :AS"), "{plan}");
         assert!(plan.contains("RETURN"), "{plan}");

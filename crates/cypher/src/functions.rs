@@ -26,23 +26,15 @@ pub fn call_function(graph: &Graph, name: &str, args: &[Entry]) -> Result<Value,
                 Entry::Node(n) => Value::Int(n.0 as i64),
                 Entry::Rel(r) => Value::Int(r.0 as i64),
                 Entry::Val(Value::Null) => Value::Null,
-                _ => {
-                    return Err(CypherError::runtime(
-                        "id() expects a node or relationship",
-                    ))
-                }
+                _ => return Err(CypherError::runtime("id() expects a node or relationship")),
             })
         }
         "labels" => {
             arity(1)?;
             Ok(match &args[0] {
-                Entry::Node(n) => Value::List(
-                    graph
-                        .node_labels(*n)
-                        .into_iter()
-                        .map(Value::from)
-                        .collect(),
-                ),
+                Entry::Node(n) => {
+                    Value::List(graph.node_labels(*n).into_iter().map(Value::from).collect())
+                }
                 Entry::Val(Value::Null) => Value::Null,
                 _ => return Err(CypherError::runtime("labels() expects a node")),
             })
@@ -64,12 +56,20 @@ pub fn call_function(graph: &Graph, name: &str, args: &[Entry]) -> Result<Value,
                 Entry::Rel(r) => graph
                     .rel(*r)
                     .map(|rec| {
-                        let n = if name == "startnode" { rec.src } else { rec.dst };
+                        let n = if name == "startnode" {
+                            rec.src
+                        } else {
+                            rec.dst
+                        };
                         Entry::Node(n).to_value(graph)
                     })
                     .unwrap_or(Value::Null),
                 Entry::Val(Value::Null) => Value::Null,
-                _ => return Err(CypherError::runtime("startNode()/endNode() expect a relationship")),
+                _ => {
+                    return Err(CypherError::runtime(
+                        "startNode()/endNode() expect a relationship",
+                    ))
+                }
             })
         }
         "properties" => {
@@ -85,7 +85,11 @@ pub fn call_function(graph: &Graph, name: &str, args: &[Entry]) -> Result<Value,
                     .unwrap_or(Value::Null),
                 Entry::Val(v @ Value::Map(_)) => v.clone(),
                 Entry::Val(Value::Null) => Value::Null,
-                _ => return Err(CypherError::runtime("properties() expects an entity or map")),
+                _ => {
+                    return Err(CypherError::runtime(
+                        "properties() expects an entity or map",
+                    ))
+                }
             })
         }
         "keys" => {
@@ -136,9 +140,18 @@ pub fn call_function(graph: &Graph, name: &str, args: &[Entry]) -> Result<Value,
             Ok(match &args[0] {
                 Entry::Path(nodes, rels) => {
                     if name == "nodes" {
-                        Value::List(nodes.iter().map(|n| Entry::Node(*n).to_value(graph)).collect())
+                        Value::List(
+                            nodes
+                                .iter()
+                                .map(|n| Entry::Node(*n).to_value(graph))
+                                .collect(),
+                        )
                     } else {
-                        Value::List(rels.iter().map(|r| Entry::Rel(*r).to_value(graph)).collect())
+                        Value::List(
+                            rels.iter()
+                                .map(|r| Entry::Rel(*r).to_value(graph))
+                                .collect(),
+                        )
                     }
                 }
                 Entry::Val(Value::Null) => Value::Null,
@@ -416,8 +429,14 @@ mod tests {
     #[test]
     fn string_functions() {
         let g = g();
-        assert_eq!(call_function(&g, "toupper", &[v("abc")]).unwrap(), Value::from("ABC"));
-        assert_eq!(call_function(&g, "trim", &[v("  x ")]).unwrap(), Value::from("x"));
+        assert_eq!(
+            call_function(&g, "toupper", &[v("abc")]).unwrap(),
+            Value::from("ABC")
+        );
+        assert_eq!(
+            call_function(&g, "trim", &[v("  x ")]).unwrap(),
+            Value::from("x")
+        );
         assert_eq!(
             call_function(&g, "split", &[v("a,b,c"), v(",")]).unwrap(),
             Value::from(vec!["a", "b", "c"])
@@ -431,39 +450,76 @@ mod tests {
             Value::from("a+b")
         );
         // Null propagates.
-        assert!(call_function(&g, "toupper", &[v(Value::Null)]).unwrap().is_null());
+        assert!(call_function(&g, "toupper", &[v(Value::Null)])
+            .unwrap()
+            .is_null());
     }
 
     #[test]
     fn numeric_functions() {
         let g = g();
-        assert_eq!(call_function(&g, "abs", &[v(-5i64)]).unwrap(), Value::Int(5));
-        assert_eq!(call_function(&g, "sqrt", &[v(9i64)]).unwrap(), Value::Float(3.0));
-        assert_eq!(call_function(&g, "round", &[v(2.6)]).unwrap(), Value::Float(3.0));
+        assert_eq!(
+            call_function(&g, "abs", &[v(-5i64)]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            call_function(&g, "sqrt", &[v(9i64)]).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            call_function(&g, "round", &[v(2.6)]).unwrap(),
+            Value::Float(3.0)
+        );
         assert_eq!(
             call_function(&g, "round", &[v(2.345), v(2i64)]).unwrap(),
             Value::Float(2.35)
         );
-        assert_eq!(call_function(&g, "floor", &[v(2.9)]).unwrap(), Value::Float(2.0));
+        assert_eq!(
+            call_function(&g, "floor", &[v(2.9)]).unwrap(),
+            Value::Float(2.0)
+        );
     }
 
     #[test]
     fn conversions() {
         let g = g();
-        assert_eq!(call_function(&g, "tointeger", &[v("42")]).unwrap(), Value::Int(42));
-        assert_eq!(call_function(&g, "tointeger", &[v("4.7")]).unwrap(), Value::Int(4));
-        assert!(call_function(&g, "tointeger", &[v("nope")]).unwrap().is_null());
-        assert_eq!(call_function(&g, "tofloat", &[v("2.5")]).unwrap(), Value::Float(2.5));
-        assert_eq!(call_function(&g, "tostring", &[v(7i64)]).unwrap(), Value::from("7"));
+        assert_eq!(
+            call_function(&g, "tointeger", &[v("42")]).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            call_function(&g, "tointeger", &[v("4.7")]).unwrap(),
+            Value::Int(4)
+        );
+        assert!(call_function(&g, "tointeger", &[v("nope")])
+            .unwrap()
+            .is_null());
+        assert_eq!(
+            call_function(&g, "tofloat", &[v("2.5")]).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            call_function(&g, "tostring", &[v(7i64)]).unwrap(),
+            Value::from("7")
+        );
     }
 
     #[test]
     fn list_functions() {
         let g = g();
         let list = v(vec![1i64, 2, 3]);
-        assert_eq!(call_function(&g, "head", std::slice::from_ref(&list)).unwrap(), Value::Int(1));
-        assert_eq!(call_function(&g, "last", std::slice::from_ref(&list)).unwrap(), Value::Int(3));
-        assert_eq!(call_function(&g, "size", std::slice::from_ref(&list)).unwrap(), Value::Int(3));
+        assert_eq!(
+            call_function(&g, "head", std::slice::from_ref(&list)).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call_function(&g, "last", std::slice::from_ref(&list)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            call_function(&g, "size", std::slice::from_ref(&list)).unwrap(),
+            Value::Int(3)
+        );
         assert_eq!(
             call_function(&g, "reverse", &[list]).unwrap(),
             Value::from(vec![3i64, 2, 1])
@@ -485,7 +541,9 @@ mod tests {
             call_function(&g, "coalesce", &[v(Value::Null), v("x"), v("y")]).unwrap(),
             Value::from("x")
         );
-        assert!(call_function(&g, "coalesce", &[v(Value::Null)]).unwrap().is_null());
+        assert!(call_function(&g, "coalesce", &[v(Value::Null)])
+            .unwrap()
+            .is_null());
     }
 
     #[test]
@@ -513,7 +571,10 @@ mod tests {
         );
         // Path length.
         let p = Entry::Path(vec![a, b], vec![r]);
-        assert_eq!(call_function(&graph, "length", &[p]).unwrap(), Value::Int(1));
+        assert_eq!(
+            call_function(&graph, "length", &[p]).unwrap(),
+            Value::Int(1)
+        );
     }
 
     #[test]

@@ -853,7 +853,10 @@ impl Parser {
             arms.push((when, then));
         }
         if arms.is_empty() {
-            return Err(CypherError::parse("CASE requires at least one WHEN", self.pos()));
+            return Err(CypherError::parse(
+                "CASE requires at least one WHEN",
+                self.pos(),
+            ));
         }
         let default = if self.eat_kw(Keyword::Else) {
             Some(Box::new(self.expr()?))
@@ -952,7 +955,13 @@ mod tests {
             Clause::Match(m) => {
                 let rel = &m.patterns[0].hops[0].0;
                 assert_eq!(rel.types, vec!["PEERS_WITH", "DEPENDS_ON"]);
-                assert_eq!(rel.hops, HopRange { min: 1, max: Some(3) });
+                assert_eq!(
+                    rel.hops,
+                    HopRange {
+                        min: 1,
+                        max: Some(3)
+                    }
+                );
                 assert_eq!(rel.dir, RelDir::Undirected);
             }
             other => panic!("{other:?}"),
@@ -979,9 +988,8 @@ mod tests {
 
     #[test]
     fn return_modifiers() {
-        let query = q(
-            "MATCH (a:AS) RETURN DISTINCT a.asn AS asn ORDER BY asn DESC SKIP 5 LIMIT 10",
-        );
+        let query =
+            q("MATCH (a:AS) RETURN DISTINCT a.asn AS asn ORDER BY asn DESC SKIP 5 LIMIT 10");
         match &query.clauses[1] {
             Clause::Return(p) => {
                 assert!(p.distinct);
@@ -1057,7 +1065,11 @@ mod tests {
         )
         .unwrap();
         match e {
-            Expr::Case { operand, arms, default } => {
+            Expr::Case {
+                operand,
+                arms,
+                default,
+            } => {
                 assert!(operand.is_none());
                 assert_eq!(arms.len(), 2);
                 assert!(default.is_some());
@@ -1102,9 +1114,7 @@ mod tests {
 
     #[test]
     fn create_merge_set() {
-        let query = q(
-            "CREATE (a:AS {asn: 1})-[:COUNTRY]->(c:Country {country_code: 'JP'})",
-        );
+        let query = q("CREATE (a:AS {asn: 1})-[:COUNTRY]->(c:Country {country_code: 'JP'})");
         assert!(matches!(&query.clauses[0], Clause::Create { .. }));
         let query = q("MERGE (c:Country {country_code: 'JP'}) SET c.name = 'Japan'");
         assert!(matches!(&query.clauses[0], Clause::Merge { .. }));

@@ -66,11 +66,7 @@ pub struct PartPlan {
 /// `bound` lists variables bound by earlier clauses/parts; it is extended
 /// with the variables each planned part will bind, so later parts can
 /// anchor on them.
-pub fn plan_match(
-    graph: &Graph,
-    clause: &MatchClause,
-    bound: &mut Vec<String>,
-) -> Vec<PartPlan> {
+pub fn plan_match(graph: &Graph, clause: &MatchClause, bound: &mut Vec<String>) -> Vec<PartPlan> {
     let eq_preds = clause
         .where_clause
         .as_ref()
@@ -99,11 +95,7 @@ pub fn plan_part(
     range_preds: &[RangePred],
 ) -> PartPlan {
     let start_score = score_node(graph, &part.start, bound, eq_preds, range_preds);
-    let end_node = part
-        .hops
-        .last()
-        .map(|(_, n)| n)
-        .unwrap_or(&part.start);
+    let end_node = part.hops.last().map(|(_, n)| n).unwrap_or(&part.start);
     let end_score = score_node(graph, end_node, bound, eq_preds, range_preds);
 
     // Reverse only when the far end is strictly better and there are hops.
@@ -250,8 +242,11 @@ pub fn extract_equality_predicates(expr: &Expr) -> Vec<(String, String, Expr)> {
 /// expressions), merged per `(var, key)`.
 pub fn extract_range_predicates(expr: &Expr) -> Vec<RangePred> {
     let mut out: Vec<RangePred> = Vec::new();
-    let mut add = |var: String, key: String, lo: Option<(Expr, bool)>, hi: Option<(Expr, bool)>| {
-        match out.iter_mut().find(|r| r.var == var && r.key == key) {
+    let mut add =
+        |var: String, key: String, lo: Option<(Expr, bool)>, hi: Option<(Expr, bool)>| match out
+            .iter_mut()
+            .find(|r| r.var == var && r.key == key)
+        {
             Some(r) => {
                 if r.lo.is_none() {
                     r.lo = lo;
@@ -261,8 +256,7 @@ pub fn extract_range_predicates(expr: &Expr) -> Vec<RangePred> {
                 }
             }
             None => out.push(RangePred { var, key, lo, hi }),
-        }
-    };
+        };
     fn walk(
         expr: &Expr,
         add: &mut impl FnMut(String, String, Option<(Expr, bool)>, Option<(Expr, bool)>),

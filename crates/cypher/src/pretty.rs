@@ -17,8 +17,22 @@ fn ident(name: &str) -> String {
         // `AS` (the label) and other all-caps keyword-collisions are
         // round-tripped by the parser's keyword-as-identifier mapping;
         // anything that would come back in different case needs quoting.
-        Some(_) => !matches!(name, "AS" | "count" | "end" | "set" | "in" | "contains"
-            | "order" | "by" | "limit" | "skip" | "asc" | "desc" | "all" | "union"),
+        Some(_) => !matches!(
+            name,
+            "AS" | "count"
+                | "end"
+                | "set"
+                | "in"
+                | "contains"
+                | "order"
+                | "by"
+                | "limit"
+                | "skip"
+                | "asc"
+                | "desc"
+                | "all"
+                | "union"
+        ),
         None => false,
     };
     let plain = !name.is_empty()
@@ -418,7 +432,11 @@ fn lit_to_string(v: &Value) -> String {
         Value::Str(s) => format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
         Value::List(items) => format!(
             "[{}]",
-            items.iter().map(lit_to_string).collect::<Vec<_>>().join(", ")
+            items
+                .iter()
+                .map(lit_to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
         other => other.to_string(),
     }
@@ -439,12 +457,9 @@ mod tests {
     fn roundtrip(src: &str) {
         let q1 = parse(src).unwrap();
         let rendered = query_to_string(&q1);
-        let q2 = parse(&rendered)
-            .unwrap_or_else(|e| panic!("re-parse of '{rendered}' failed: {e}"));
-        assert_eq!(
-            q1, q2,
-            "AST changed after round-trip: {src} -> {rendered}"
-        );
+        let q2 =
+            parse(&rendered).unwrap_or_else(|e| panic!("re-parse of '{rendered}' failed: {e}"));
+        assert_eq!(q1, q2, "AST changed after round-trip: {src} -> {rendered}");
     }
 
     #[test]

@@ -57,12 +57,7 @@ impl QueryResult {
         let mut rows: Vec<String> = self
             .rows
             .iter()
-            .map(|r| {
-                r.iter()
-                    .map(canonical_value)
-                    .collect::<Vec<_>>()
-                    .join("|")
-            })
+            .map(|r| r.iter().map(canonical_value).collect::<Vec<_>>().join("|"))
             .collect();
         if !ordered {
             rows.sort();
@@ -80,7 +75,11 @@ fn canonical_value(v: &Value) -> String {
         Value::Int(i) => format!("{:.6}", *i as f64),
         Value::List(items) => format!(
             "[{}]",
-            items.iter().map(canonical_value).collect::<Vec<_>>().join(",")
+            items
+                .iter()
+                .map(canonical_value)
+                .collect::<Vec<_>>()
+                .join(",")
         ),
         Value::Map(m) => format!(
             "{{{}}}",
@@ -130,7 +129,12 @@ impl fmt::Display for QueryResult {
                 if i > 0 {
                     write!(f, " | ")?;
                 }
-                write!(f, "{:width$}", cell, width = widths.get(i).copied().unwrap_or(0))?;
+                write!(
+                    f,
+                    "{:width$}",
+                    cell,
+                    width = widths.get(i).copied().unwrap_or(0)
+                )?;
             }
             writeln!(f)?;
         }
@@ -159,14 +163,8 @@ mod tests {
 
     #[test]
     fn fingerprint_order_insensitive() {
-        let a = qr(
-            &["x"],
-            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
-        );
-        let b = qr(
-            &["y"],
-            vec![vec![Value::Int(2)], vec![Value::Int(1)]],
-        );
+        let a = qr(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let b = qr(&["y"], vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
         assert_eq!(a.fingerprint(false), b.fingerprint(false));
         assert_ne!(a.fingerprint(true), b.fingerprint(true));
     }

@@ -137,7 +137,11 @@ fn parameterized_in_list() {
     let mut params = Params::new();
     params.insert(
         "asns".into(),
-        Value::List(vec![Value::Int(2497), Value::Int(15169), Value::Int(999_999)]),
+        Value::List(vec![
+            Value::Int(2497),
+            Value::Int(15169),
+            Value::Int(999_999),
+        ]),
     );
     let r = query_with(
         &g,
@@ -204,11 +208,7 @@ fn list_comprehension_over_collected_values() {
 #[test]
 fn write_then_union_read() {
     let mut g = iyp();
-    update(
-        &mut g,
-        "CREATE (x:IXP {name: 'Test-IX'})",
-    )
-    .unwrap();
+    update(&mut g, "CREATE (x:IXP {name: 'Test-IX'})").unwrap();
     let r = query(
         &g,
         "MATCH (x:IXP {name: 'Test-IX'}) RETURN x.name \
@@ -266,11 +266,7 @@ fn deep_var_length_respects_cap() {
     for w in ids.windows(2) {
         g.add_rel(w[0], "R", w[1], Props::new()).unwrap();
     }
-    let r = query(
-        &g,
-        "MATCH (s:N {i: 0})-[:R*]->(e:N) RETURN max(e.i)",
-    )
-    .unwrap();
+    let r = query(&g, "MATCH (s:N {i: 0})-[:R*]->(e:N) RETURN max(e.i)").unwrap();
     assert_eq!(
         r.single_value(),
         Some(&Value::Int(iyp_cypher::exec::VARLEN_CAP as i64))
@@ -334,7 +330,10 @@ fn set_plus_equals_merges_maps() {
 #[test]
 fn remove_clears_properties() {
     let mut g = Graph::new();
-    g.add_node(["AS"], props!("asn" => 1i64, "name" => "X", "tier" => "stub"));
+    g.add_node(
+        ["AS"],
+        props!("asn" => 1i64, "name" => "X", "tier" => "stub"),
+    );
     update(&mut g, "MATCH (a:AS {asn: 1}) REMOVE a.name, a.tier").unwrap();
     let r = query(&g, "MATCH (a:AS {asn: 1}) RETURN a.name, a.tier").unwrap();
     assert!(r.rows[0][0].is_null());

@@ -14,8 +14,14 @@ use iyp_graphdb::{props, Graph, Props, Value};
 /// - DEPENDS_ON chain for multi-hop tests
 fn mini_iyp() -> Graph {
     let mut g = Graph::new();
-    let jp = g.add_node(["Country"], props!("country_code" => "JP", "name" => "Japan"));
-    let us = g.add_node(["Country"], props!("country_code" => "US", "name" => "United States"));
+    let jp = g.add_node(
+        ["Country"],
+        props!("country_code" => "JP", "name" => "Japan"),
+    );
+    let us = g.add_node(
+        ["Country"],
+        props!("country_code" => "US", "name" => "United States"),
+    );
 
     let iij = g.add_node(["AS"], props!("asn" => 2497i64, "name" => "IIJ"));
     let goog = g.add_node(["AS"], props!("asn" => 15169i64, "name" => "Google"));
@@ -27,12 +33,23 @@ fn mini_iyp() -> Graph {
     g.add_rel(att, "COUNTRY", us, Props::new()).unwrap();
     g.add_rel(small, "COUNTRY", jp, Props::new()).unwrap();
 
-    g.add_rel(iij, "POPULATION", jp, props!("percent" => 33.3)).unwrap();
-    g.add_rel(small, "POPULATION", jp, props!("percent" => 1.2)).unwrap();
+    g.add_rel(iij, "POPULATION", jp, props!("percent" => 33.3))
+        .unwrap();
+    g.add_rel(small, "POPULATION", jp, props!("percent" => 1.2))
+        .unwrap();
 
-    let p1 = g.add_node(["Prefix"], props!("prefix" => "203.0.113.0/24", "af" => 4i64));
-    let p2 = g.add_node(["Prefix"], props!("prefix" => "198.51.100.0/24", "af" => 4i64));
-    let p3 = g.add_node(["Prefix"], props!("prefix" => "2001:db8::/32", "af" => 6i64));
+    let p1 = g.add_node(
+        ["Prefix"],
+        props!("prefix" => "203.0.113.0/24", "af" => 4i64),
+    );
+    let p2 = g.add_node(
+        ["Prefix"],
+        props!("prefix" => "198.51.100.0/24", "af" => 4i64),
+    );
+    let p3 = g.add_node(
+        ["Prefix"],
+        props!("prefix" => "2001:db8::/32", "af" => 6i64),
+    );
     g.add_rel(iij, "ORIGINATE", p1, Props::new()).unwrap();
     g.add_rel(goog, "ORIGINATE", p2, Props::new()).unwrap();
     g.add_rel(goog, "ORIGINATE", p3, Props::new()).unwrap();
@@ -238,11 +255,7 @@ fn count_distinct() {
 fn mixed_aggregate_expression() {
     let g = mini_iyp();
     // Percentage arithmetic around an aggregate.
-    let r = query(
-        &g,
-        "MATCH (a:AS) RETURN 100.0 * count(a) / 4 AS pct",
-    )
-    .unwrap();
+    let r = query(&g, "MATCH (a:AS) RETURN 100.0 * count(a) / 4 AS pct").unwrap();
     assert_eq!(r.single_value(), Some(&Value::Float(100.0)));
 }
 
@@ -328,9 +341,17 @@ fn optional_match_yields_nulls() {
     .unwrap();
     assert_eq!(r.rows.len(), 4);
     // ATT and Google have no POPULATION edge.
-    let att = r.rows.iter().find(|row| row[0] == Value::from("ATT")).unwrap();
+    let att = r
+        .rows
+        .iter()
+        .find(|row| row[0] == Value::from("ATT"))
+        .unwrap();
     assert!(att[1].is_null());
-    let iij = r.rows.iter().find(|row| row[0] == Value::from("IIJ")).unwrap();
+    let iij = r
+        .rows
+        .iter()
+        .find(|row| row[0] == Value::from("IIJ"))
+        .unwrap();
     assert_eq!(iij[1], Value::Float(33.3));
 }
 
@@ -400,9 +421,20 @@ fn labels_and_type_functions() {
     .unwrap();
     assert_eq!(
         col0(&r),
-        vec!["COUNTRY", "DEPENDS_ON", "MEMBER_OF", "ORIGINATE", "PEERS_WITH", "POPULATION"]
+        vec![
+            "COUNTRY",
+            "DEPENDS_ON",
+            "MEMBER_OF",
+            "ORIGINATE",
+            "PEERS_WITH",
+            "POPULATION"
+        ]
     );
-    let r = query(&g, "MATCH (c:Country {country_code: 'JP'}) RETURN labels(c)").unwrap();
+    let r = query(
+        &g,
+        "MATCH (c:Country {country_code: 'JP'}) RETURN labels(c)",
+    )
+    .unwrap();
     assert_eq!(r.single_value(), Some(&Value::from(vec!["Country"])));
 }
 

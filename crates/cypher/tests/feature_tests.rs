@@ -308,7 +308,10 @@ fn exists_pattern_roundtrips_through_pretty() {
     let src = "MATCH (a:AS) WHERE exists((a)-[:DEPENDS_ON]->(:AS)) RETURN a.asn";
     let q1 = parse(src).unwrap();
     let rendered = iyp_cypher::query_to_string(&q1);
-    assert!(rendered.contains("exists((a)-[:DEPENDS_ON]->(:AS))"), "{rendered}");
+    assert!(
+        rendered.contains("exists((a)-[:DEPENDS_ON]->(:AS))"),
+        "{rendered}"
+    );
     assert_eq!(parse(&rendered).unwrap(), q1);
 }
 

@@ -35,13 +35,15 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             Just(BinOp::Contains),
         ];
         prop_oneof![
-            (bin_ops, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            (bin_ops, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             inner
                 .clone()
                 .prop_map(|a| Expr::Un(UnOp::Not, Box::new(Expr::IsNull(Box::new(a), false)))),
-            (inner.clone(), "[a-z]{1,6}")
-                .prop_map(|(a, k)| Expr::Prop(Box::new(a), k)),
+            (inner.clone(), "[a-z]{1,6}").prop_map(|(a, k)| Expr::Prop(Box::new(a), k)),
             proptest::collection::vec(inner.clone(), 0..3).prop_map(Expr::List),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Case {
                 operand: None,

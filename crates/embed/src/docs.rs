@@ -102,9 +102,21 @@ mod tests {
     #[test]
     fn add_and_search() {
         let mut store = DocStore::new();
-        store.add("AS2497 IIJ", "IIJ is registered in Japan and serves 33% of its population", 1);
-        store.add("AS15169 Google", "Google is a content and cloud network in the United States", 2);
-        store.add("JPIX", "JPIX is an Internet exchange point in Tokyo with 40 members", 3);
+        store.add(
+            "AS2497 IIJ",
+            "IIJ is registered in Japan and serves 33% of its population",
+            1,
+        );
+        store.add(
+            "AS15169 Google",
+            "Google is a content and cloud network in the United States",
+            2,
+        );
+        store.add(
+            "JPIX",
+            "JPIX is an Internet exchange point in Tokyo with 40 members",
+            3,
+        );
 
         let hits = store.search("population of Japan", 2);
         assert_eq!(hits[0].doc.tag, 1, "got {:?}", hits[0].doc.title);

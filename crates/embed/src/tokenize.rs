@@ -24,10 +24,7 @@ pub fn word_ngrams(tokens: &[String], n: usize) -> Vec<String> {
     if n == 0 || tokens.len() < n {
         return Vec::new();
     }
-    tokens
-        .windows(n)
-        .map(|w| w.join("_"))
-        .collect()
+    tokens.windows(n).map(|w| w.join("_")).collect()
 }
 
 /// Character trigrams of a single token, with boundary markers, e.g.

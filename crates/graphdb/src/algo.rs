@@ -188,7 +188,10 @@ mod tests {
             bfs_distance(&g, ids[5], ids[0], Direction::Both, Some(&["R"]), 10),
             Some(5)
         );
-        assert_eq!(bfs_distance(&g, ids[0], ids[0], Direction::Both, None, 10), Some(0));
+        assert_eq!(
+            bfs_distance(&g, ids[0], ids[0], Direction::Both, None, 10),
+            Some(0)
+        );
         // Hop budget respected.
         assert_eq!(
             bfs_distance(&g, ids[0], ids[5], Direction::Outgoing, Some(&["R"]), 3),
@@ -206,7 +209,10 @@ mod tests {
         g.add_rel(a, "R", b, Props::new()).unwrap();
         g.add_rel(b, "R", c, Props::new()).unwrap();
         g.add_rel(a, "R", c, Props::new()).unwrap();
-        assert_eq!(bfs_distance(&g, a, c, Direction::Outgoing, None, 10), Some(1));
+        assert_eq!(
+            bfs_distance(&g, a, c, Direction::Outgoing, None, 10),
+            Some(1)
+        );
     }
 
     #[test]

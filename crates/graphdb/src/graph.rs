@@ -451,9 +451,7 @@ impl Graph {
                     let loops = rec
                         .out
                         .iter()
-                        .filter(|&&rid| {
-                            self.rel(rid).map(|r| r.src == r.dst).unwrap_or(false)
-                        })
+                        .filter(|&&rid| self.rel(rid).map(|r| r.src == r.dst).unwrap_or(false))
                         .count();
                     rec.out.len() + rec.inc.len() - loops
                 }
@@ -627,11 +625,17 @@ mod tests {
         );
         // New node is picked up.
         let d = g.add_node(["AS"], props!("asn" => 7018i64));
-        assert_eq!(g.index_lookup("AS", "asn", &Value::Int(7018)), Some(vec![d]));
+        assert_eq!(
+            g.index_lookup("AS", "asn", &Value::Int(7018)),
+            Some(vec![d])
+        );
         // Property update moves the entry.
         g.set_node_prop(d, "asn", 7019i64).unwrap();
         assert_eq!(g.index_lookup("AS", "asn", &Value::Int(7018)), Some(vec![]));
-        assert_eq!(g.index_lookup("AS", "asn", &Value::Int(7019)), Some(vec![d]));
+        assert_eq!(
+            g.index_lookup("AS", "asn", &Value::Int(7019)),
+            Some(vec![d])
+        );
         // Deletion removes the entry.
         g.remove_node(d).unwrap();
         assert_eq!(g.index_lookup("AS", "asn", &Value::Int(7019)), Some(vec![]));
@@ -645,11 +649,24 @@ mod tests {
         }
         g.create_index("AS", "asn");
         let ids = g
-            .index_range("AS", "asn", Some((&Value::Int(15), true)), Some((&Value::Int(35), true)))
+            .index_range(
+                "AS",
+                "asn",
+                Some((&Value::Int(15), true)),
+                Some((&Value::Int(35), true)),
+            )
             .unwrap();
         let asns: Vec<i64> = ids
             .iter()
-            .map(|&id| g.node(id).unwrap().props.get("asn").unwrap().as_int().unwrap())
+            .map(|&id| {
+                g.node(id)
+                    .unwrap()
+                    .props
+                    .get("asn")
+                    .unwrap()
+                    .as_int()
+                    .unwrap()
+            })
             .collect();
         assert_eq!(asns, vec![20, 30]);
     }

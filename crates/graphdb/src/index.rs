@@ -23,20 +23,15 @@ struct HashIndex {
 
 mod pairs {
     use super::*;
-    use serde::{Deserializer, Serializer};
+    use serde::Content;
 
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<ValueKey, Vec<NodeId>>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn serialize(map: &BTreeMap<ValueKey, Vec<NodeId>>) -> Content {
         let v: Vec<(&ValueKey, &Vec<NodeId>)> = map.iter().collect();
-        serde::Serialize::serialize(&v, ser)
+        serde::Serialize::serialize(&v)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<ValueKey, Vec<NodeId>>, D::Error> {
-        let v: Vec<(ValueKey, Vec<NodeId>)> = serde::Deserialize::deserialize(de)?;
+    pub fn deserialize(content: &Content) -> Result<BTreeMap<ValueKey, Vec<NodeId>>, serde::Error> {
+        let v: Vec<(ValueKey, Vec<NodeId>)> = serde::Deserialize::deserialize(content)?;
         Ok(v.into_iter().collect())
     }
 }
@@ -272,7 +267,10 @@ mod tests {
             set.lookup(label, "asn", &ValueKey::of(&Value::Int(99))),
             Some(vec![])
         );
-        assert_eq!(set.lookup(Sym(1), "asn", &ValueKey::of(&Value::Int(10))), None);
+        assert_eq!(
+            set.lookup(Sym(1), "asn", &ValueKey::of(&Value::Int(10))),
+            None
+        );
     }
 
     #[test]
@@ -324,7 +322,10 @@ mod tests {
             "x",
             vec![(NodeId(2), ValueKey::of(&Value::Int(2)))].into_iter(),
         );
-        assert_eq!(set.lookup(Sym(0), "x", &ValueKey::of(&Value::Int(1))), Some(vec![]));
+        assert_eq!(
+            set.lookup(Sym(0), "x", &ValueKey::of(&Value::Int(1))),
+            Some(vec![])
+        );
         assert_eq!(
             set.lookup(Sym(0), "x", &ValueKey::of(&Value::Int(2))),
             Some(vec![NodeId(2)])

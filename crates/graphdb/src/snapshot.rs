@@ -81,11 +81,15 @@ mod tests {
         // Interner lookups work after rebuild.
         assert_eq!(back.nodes_with_label("AS").count(), 1);
         assert_eq!(
-            back.neighbors(a, Direction::Outgoing, Some(&["COUNTRY"])).len(),
+            back.neighbors(a, Direction::Outgoing, Some(&["COUNTRY"]))
+                .len(),
             1
         );
         // Index survives.
-        assert_eq!(back.index_lookup("AS", "asn", &Value::Int(2497)), Some(vec![a]));
+        assert_eq!(
+            back.index_lookup("AS", "asn", &Value::Int(2497)),
+            Some(vec![a])
+        );
     }
 
     #[test]

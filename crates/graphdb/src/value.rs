@@ -523,9 +523,11 @@ impl ValueKey {
             }
             Value::Str(s) => ValueKey::Str(s.clone()),
             Value::List(items) => ValueKey::List(items.iter().map(ValueKey::of).collect()),
-            Value::Map(m) => {
-                ValueKey::Map(m.iter().map(|(k, v)| (k.clone(), ValueKey::of(v))).collect())
-            }
+            Value::Map(m) => ValueKey::Map(
+                m.iter()
+                    .map(|(k, v)| (k.clone(), ValueKey::of(v)))
+                    .collect(),
+            ),
         }
     }
 }
@@ -543,15 +545,27 @@ mod tests {
 
     #[test]
     fn int_float_mixed_arithmetic() {
-        assert_eq!(Value::Int(2).add(&Value::Float(0.5)).unwrap(), Value::Float(2.5));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
         assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
-        assert_eq!(Value::Float(7.0).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(
+            Value::Float(7.0).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
     }
 
     #[test]
     fn division_by_zero_is_an_error() {
-        assert_eq!(Value::Int(1).div(&Value::Int(0)), Err(ValueError::DivisionByZero));
-        assert_eq!(Value::Int(1).rem(&Value::Int(0)), Err(ValueError::DivisionByZero));
+        assert_eq!(
+            Value::Int(1).div(&Value::Int(0)),
+            Err(ValueError::DivisionByZero)
+        );
+        assert_eq!(
+            Value::Int(1).rem(&Value::Int(0)),
+            Err(ValueError::DivisionByZero)
+        );
     }
 
     #[test]
@@ -565,8 +579,14 @@ mod tests {
     #[test]
     fn list_concatenation_and_append() {
         let l = Value::from(vec![1i64, 2]);
-        assert_eq!(l.add(&Value::from(vec![3i64])).unwrap(), Value::from(vec![1i64, 2, 3]));
-        assert_eq!(l.add(&Value::Int(3)).unwrap(), Value::from(vec![1i64, 2, 3]));
+        assert_eq!(
+            l.add(&Value::from(vec![3i64])).unwrap(),
+            Value::from(vec![1i64, 2, 3])
+        );
+        assert_eq!(
+            l.add(&Value::Int(3)).unwrap(),
+            Value::from(vec![1i64, 2, 3])
+        );
     }
 
     #[test]
@@ -579,13 +599,24 @@ mod tests {
     #[test]
     fn cypher_cmp_incomparable_types() {
         assert_eq!(Value::Int(1).cypher_cmp(&Value::from("a")), None);
-        assert_eq!(Value::Int(1).cypher_cmp(&Value::Int(2)), Some(Ordering::Less));
-        assert_eq!(Value::from("a").cypher_cmp(&Value::from("b")), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(1).cypher_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::from("a").cypher_cmp(&Value::from("b")),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
     fn order_key_total_order_nulls_last() {
-        let mut vals = [Value::Null, Value::Int(3), Value::from("x"), Value::Float(1.5)];
+        let mut vals = [
+            Value::Null,
+            Value::Int(3),
+            Value::from("x"),
+            Value::Float(1.5),
+        ];
         vals.sort_by(|a, b| a.order_key_cmp(b));
         assert_eq!(vals.last().unwrap(), &Value::Null);
         assert_eq!(vals[0], Value::from("x"));
@@ -593,8 +624,14 @@ mod tests {
 
     #[test]
     fn value_key_unifies_int_and_whole_float() {
-        assert_eq!(ValueKey::of(&Value::Int(5)), ValueKey::of(&Value::Float(5.0)));
-        assert_ne!(ValueKey::of(&Value::Int(5)), ValueKey::of(&Value::Float(5.5)));
+        assert_eq!(
+            ValueKey::of(&Value::Int(5)),
+            ValueKey::of(&Value::Float(5.0))
+        );
+        assert_ne!(
+            ValueKey::of(&Value::Int(5)),
+            ValueKey::of(&Value::Float(5.5))
+        );
     }
 
     #[test]

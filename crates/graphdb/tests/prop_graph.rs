@@ -17,8 +17,11 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..4, any::<i64>()).prop_map(|(label, key)| Op::AddNode { label, key }),
-        (any::<usize>(), any::<usize>(), 0u8..3)
-            .prop_map(|(src, dst, ty)| Op::AddRel { src, dst, ty }),
+        (any::<usize>(), any::<usize>(), 0u8..3).prop_map(|(src, dst, ty)| Op::AddRel {
+            src,
+            dst,
+            ty
+        }),
         any::<usize>().prop_map(|idx| Op::RemoveNode { idx }),
         any::<usize>().prop_map(|idx| Op::RemoveRel { idx }),
         (any::<usize>(), any::<i64>()).prop_map(|(idx, value)| Op::SetProp { idx, value }),

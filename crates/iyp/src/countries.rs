@@ -30,62 +30,342 @@ pub enum Region {
 
 /// The country table. JP and US come first so tests can rely on them.
 pub const COUNTRIES: &[CountryInfo] = &[
-    CountryInfo { code: "JP", name: "Japan", population: 124_000_000, region: Region::Asia },
-    CountryInfo { code: "US", name: "United States", population: 335_000_000, region: Region::Americas },
-    CountryInfo { code: "DE", name: "Germany", population: 84_000_000, region: Region::Europe },
-    CountryInfo { code: "GB", name: "United Kingdom", population: 68_000_000, region: Region::Europe },
-    CountryInfo { code: "FR", name: "France", population: 66_000_000, region: Region::Europe },
-    CountryInfo { code: "NL", name: "Netherlands", population: 18_000_000, region: Region::Europe },
-    CountryInfo { code: "GR", name: "Greece", population: 10_400_000, region: Region::Europe },
-    CountryInfo { code: "IT", name: "Italy", population: 59_000_000, region: Region::Europe },
-    CountryInfo { code: "ES", name: "Spain", population: 48_000_000, region: Region::Europe },
-    CountryInfo { code: "SE", name: "Sweden", population: 10_500_000, region: Region::Europe },
-    CountryInfo { code: "NO", name: "Norway", population: 5_500_000, region: Region::Europe },
-    CountryInfo { code: "FI", name: "Finland", population: 5_600_000, region: Region::Europe },
-    CountryInfo { code: "PL", name: "Poland", population: 38_000_000, region: Region::Europe },
-    CountryInfo { code: "CZ", name: "Czechia", population: 10_800_000, region: Region::Europe },
-    CountryInfo { code: "AT", name: "Austria", population: 9_100_000, region: Region::Europe },
-    CountryInfo { code: "CH", name: "Switzerland", population: 8_800_000, region: Region::Europe },
-    CountryInfo { code: "BE", name: "Belgium", population: 11_700_000, region: Region::Europe },
-    CountryInfo { code: "PT", name: "Portugal", population: 10_300_000, region: Region::Europe },
-    CountryInfo { code: "IE", name: "Ireland", population: 5_300_000, region: Region::Europe },
-    CountryInfo { code: "DK", name: "Denmark", population: 5_900_000, region: Region::Europe },
-    CountryInfo { code: "RO", name: "Romania", population: 19_000_000, region: Region::Europe },
-    CountryInfo { code: "UA", name: "Ukraine", population: 36_000_000, region: Region::Europe },
-    CountryInfo { code: "RU", name: "Russia", population: 144_000_000, region: Region::Europe },
-    CountryInfo { code: "TR", name: "Turkey", population: 85_000_000, region: Region::Europe },
-    CountryInfo { code: "CN", name: "China", population: 1_410_000_000, region: Region::Asia },
-    CountryInfo { code: "IN", name: "India", population: 1_430_000_000, region: Region::Asia },
-    CountryInfo { code: "KR", name: "South Korea", population: 52_000_000, region: Region::Asia },
-    CountryInfo { code: "TW", name: "Taiwan", population: 23_000_000, region: Region::Asia },
-    CountryInfo { code: "HK", name: "Hong Kong", population: 7_500_000, region: Region::Asia },
-    CountryInfo { code: "SG", name: "Singapore", population: 5_900_000, region: Region::Asia },
-    CountryInfo { code: "ID", name: "Indonesia", population: 277_000_000, region: Region::Asia },
-    CountryInfo { code: "TH", name: "Thailand", population: 72_000_000, region: Region::Asia },
-    CountryInfo { code: "VN", name: "Vietnam", population: 99_000_000, region: Region::Asia },
-    CountryInfo { code: "PH", name: "Philippines", population: 117_000_000, region: Region::Asia },
-    CountryInfo { code: "MY", name: "Malaysia", population: 34_000_000, region: Region::Asia },
-    CountryInfo { code: "PK", name: "Pakistan", population: 240_000_000, region: Region::Asia },
-    CountryInfo { code: "BD", name: "Bangladesh", population: 173_000_000, region: Region::Asia },
-    CountryInfo { code: "IL", name: "Israel", population: 9_800_000, region: Region::Asia },
-    CountryInfo { code: "AE", name: "United Arab Emirates", population: 9_500_000, region: Region::Asia },
-    CountryInfo { code: "SA", name: "Saudi Arabia", population: 36_000_000, region: Region::Asia },
-    CountryInfo { code: "CA", name: "Canada", population: 40_000_000, region: Region::Americas },
-    CountryInfo { code: "MX", name: "Mexico", population: 128_000_000, region: Region::Americas },
-    CountryInfo { code: "BR", name: "Brazil", population: 216_000_000, region: Region::Americas },
-    CountryInfo { code: "AR", name: "Argentina", population: 46_000_000, region: Region::Americas },
-    CountryInfo { code: "CL", name: "Chile", population: 20_000_000, region: Region::Americas },
-    CountryInfo { code: "CO", name: "Colombia", population: 52_000_000, region: Region::Americas },
-    CountryInfo { code: "PE", name: "Peru", population: 34_000_000, region: Region::Americas },
-    CountryInfo { code: "ZA", name: "South Africa", population: 60_000_000, region: Region::Africa },
-    CountryInfo { code: "NG", name: "Nigeria", population: 224_000_000, region: Region::Africa },
-    CountryInfo { code: "EG", name: "Egypt", population: 113_000_000, region: Region::Africa },
-    CountryInfo { code: "KE", name: "Kenya", population: 55_000_000, region: Region::Africa },
-    CountryInfo { code: "MA", name: "Morocco", population: 38_000_000, region: Region::Africa },
-    CountryInfo { code: "GH", name: "Ghana", population: 34_000_000, region: Region::Africa },
-    CountryInfo { code: "TZ", name: "Tanzania", population: 67_000_000, region: Region::Africa },
-    CountryInfo { code: "AU", name: "Australia", population: 26_000_000, region: Region::Oceania },
-    CountryInfo { code: "NZ", name: "New Zealand", population: 5_200_000, region: Region::Oceania },
+    CountryInfo {
+        code: "JP",
+        name: "Japan",
+        population: 124_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "US",
+        name: "United States",
+        population: 335_000_000,
+        region: Region::Americas,
+    },
+    CountryInfo {
+        code: "DE",
+        name: "Germany",
+        population: 84_000_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "GB",
+        name: "United Kingdom",
+        population: 68_000_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "FR",
+        name: "France",
+        population: 66_000_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "NL",
+        name: "Netherlands",
+        population: 18_000_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "GR",
+        name: "Greece",
+        population: 10_400_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "IT",
+        name: "Italy",
+        population: 59_000_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "ES",
+        name: "Spain",
+        population: 48_000_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "SE",
+        name: "Sweden",
+        population: 10_500_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "NO",
+        name: "Norway",
+        population: 5_500_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "FI",
+        name: "Finland",
+        population: 5_600_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "PL",
+        name: "Poland",
+        population: 38_000_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "CZ",
+        name: "Czechia",
+        population: 10_800_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "AT",
+        name: "Austria",
+        population: 9_100_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "CH",
+        name: "Switzerland",
+        population: 8_800_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "BE",
+        name: "Belgium",
+        population: 11_700_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "PT",
+        name: "Portugal",
+        population: 10_300_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "IE",
+        name: "Ireland",
+        population: 5_300_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "DK",
+        name: "Denmark",
+        population: 5_900_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "RO",
+        name: "Romania",
+        population: 19_000_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "UA",
+        name: "Ukraine",
+        population: 36_000_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "RU",
+        name: "Russia",
+        population: 144_000_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "TR",
+        name: "Turkey",
+        population: 85_000_000,
+        region: Region::Europe,
+    },
+    CountryInfo {
+        code: "CN",
+        name: "China",
+        population: 1_410_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "IN",
+        name: "India",
+        population: 1_430_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "KR",
+        name: "South Korea",
+        population: 52_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "TW",
+        name: "Taiwan",
+        population: 23_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "HK",
+        name: "Hong Kong",
+        population: 7_500_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "SG",
+        name: "Singapore",
+        population: 5_900_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "ID",
+        name: "Indonesia",
+        population: 277_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "TH",
+        name: "Thailand",
+        population: 72_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "VN",
+        name: "Vietnam",
+        population: 99_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "PH",
+        name: "Philippines",
+        population: 117_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "MY",
+        name: "Malaysia",
+        population: 34_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "PK",
+        name: "Pakistan",
+        population: 240_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "BD",
+        name: "Bangladesh",
+        population: 173_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "IL",
+        name: "Israel",
+        population: 9_800_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "AE",
+        name: "United Arab Emirates",
+        population: 9_500_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "SA",
+        name: "Saudi Arabia",
+        population: 36_000_000,
+        region: Region::Asia,
+    },
+    CountryInfo {
+        code: "CA",
+        name: "Canada",
+        population: 40_000_000,
+        region: Region::Americas,
+    },
+    CountryInfo {
+        code: "MX",
+        name: "Mexico",
+        population: 128_000_000,
+        region: Region::Americas,
+    },
+    CountryInfo {
+        code: "BR",
+        name: "Brazil",
+        population: 216_000_000,
+        region: Region::Americas,
+    },
+    CountryInfo {
+        code: "AR",
+        name: "Argentina",
+        population: 46_000_000,
+        region: Region::Americas,
+    },
+    CountryInfo {
+        code: "CL",
+        name: "Chile",
+        population: 20_000_000,
+        region: Region::Americas,
+    },
+    CountryInfo {
+        code: "CO",
+        name: "Colombia",
+        population: 52_000_000,
+        region: Region::Americas,
+    },
+    CountryInfo {
+        code: "PE",
+        name: "Peru",
+        population: 34_000_000,
+        region: Region::Americas,
+    },
+    CountryInfo {
+        code: "ZA",
+        name: "South Africa",
+        population: 60_000_000,
+        region: Region::Africa,
+    },
+    CountryInfo {
+        code: "NG",
+        name: "Nigeria",
+        population: 224_000_000,
+        region: Region::Africa,
+    },
+    CountryInfo {
+        code: "EG",
+        name: "Egypt",
+        population: 113_000_000,
+        region: Region::Africa,
+    },
+    CountryInfo {
+        code: "KE",
+        name: "Kenya",
+        population: 55_000_000,
+        region: Region::Africa,
+    },
+    CountryInfo {
+        code: "MA",
+        name: "Morocco",
+        population: 38_000_000,
+        region: Region::Africa,
+    },
+    CountryInfo {
+        code: "GH",
+        name: "Ghana",
+        population: 34_000_000,
+        region: Region::Africa,
+    },
+    CountryInfo {
+        code: "TZ",
+        name: "Tanzania",
+        population: 67_000_000,
+        region: Region::Africa,
+    },
+    CountryInfo {
+        code: "AU",
+        name: "Australia",
+        population: 26_000_000,
+        region: Region::Oceania,
+    },
+    CountryInfo {
+        code: "NZ",
+        name: "New Zealand",
+        population: 5_200_000,
+        region: Region::Oceania,
+    },
 ];
 
 /// Looks up a country by ISO code.
@@ -95,9 +375,7 @@ pub fn by_code(code: &str) -> Option<&'static CountryInfo> {
 
 /// Looks up a country by (case-insensitive) English name.
 pub fn by_name(name: &str) -> Option<&'static CountryInfo> {
-    COUNTRIES
-        .iter()
-        .find(|c| c.name.eq_ignore_ascii_case(name))
+    COUNTRIES.iter().find(|c| c.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -69,9 +69,12 @@ fn neighbor_prop(
                 .map(|n| n.props.get_or_null(key))
                 .unwrap_or(Value::Null)
                 .to_string();
-            let weight = graph
-                .rel(rid)
-                .and_then(|r| r.props.get("percent").or(r.props.get("rank")).and_then(Value::as_f64));
+            let weight = graph.rel(rid).and_then(|r| {
+                r.props
+                    .get("percent")
+                    .or(r.props.get("rank"))
+                    .and_then(Value::as_f64)
+            });
             (v, weight)
         })
         .collect()
@@ -107,10 +110,17 @@ pub fn describe_as(graph: &Graph, id: NodeId) -> NodeDoc {
             .and_then(|r| r.props.get("percent").and_then(Value::as_f64))
             .unwrap_or(0.0);
         let cname = prop_str(graph, nbr, "name");
-        write!(text, " It serves {pct}% of the Internet population of {cname}.").unwrap();
+        write!(
+            text,
+            " It serves {pct}% of the Internet population of {cname}."
+        )
+        .unwrap();
     }
     for (rid, _) in graph.neighbors(id, Direction::Outgoing, Some(&[rels::RANK])) {
-        if let Some(rank) = graph.rel(rid).and_then(|r| r.props.get("rank").and_then(Value::as_int)) {
+        if let Some(rank) = graph
+            .rel(rid)
+            .and_then(|r| r.props.get("rank").and_then(Value::as_int))
+        {
             write!(text, " CAIDA ASRank position {rank}.").unwrap();
             break;
         }
@@ -224,7 +234,11 @@ mod tests {
         assert_eq!(doc.title, "AS2497 IIJ");
         assert!(doc.text.contains("Japan"), "text: {}", doc.text);
         assert!(doc.text.contains("prefixes"), "text: {}", doc.text);
-        assert!(doc.text.contains("population of Japan"), "text: {}", doc.text);
+        assert!(
+            doc.text.contains("population of Japan"),
+            "text: {}",
+            doc.text
+        );
     }
 
     #[test]

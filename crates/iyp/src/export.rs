@@ -104,7 +104,11 @@ fn value_literal(v: &Value) -> String {
         Value::Str(s) => format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
         Value::List(items) => format!(
             "[{}]",
-            items.iter().map(value_literal).collect::<Vec<_>>().join(", ")
+            items
+                .iter()
+                .map(value_literal)
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
         other => other.to_string(),
     }

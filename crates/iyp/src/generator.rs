@@ -128,7 +128,9 @@ const DOMAIN_STEMS: &[&str] = &[
     "search", "video", "news", "shop", "mail", "cloud", "play", "chat", "map", "bank", "travel",
     "music", "photo", "weather", "sport", "learn", "stream", "social", "forum", "wiki",
 ];
-const TLDS: &[&str] = &["com", "net", "org", "io", "jp", "de", "gr", "co.uk", "fr", "us"];
+const TLDS: &[&str] = &[
+    "com", "net", "org", "io", "jp", "de", "gr", "co.uk", "fr", "us",
+];
 
 /// Generates the dataset for a configuration.
 pub fn generate(config: &IypConfig) -> IypDataset {
@@ -187,9 +189,16 @@ fn build(config: &IypConfig, rng: &mut StdRng, topo: Topology) -> IypDataset {
 
         // Organization: ~70% have a dedicated org, others share a holding.
         let org_name = if rng.random::<f64>() < 0.7 {
-            format!("{} {}", spec.name, ["Inc", "Ltd", "LLC", "KK", "GmbH"][rng.random_range(0..5)])
+            format!(
+                "{} {}",
+                spec.name,
+                ["Inc", "Ltd", "LLC", "KK", "GmbH"][rng.random_range(0..5)]
+            )
         } else {
-            format!("{} Holdings", spec.name.split(' ').next().unwrap_or(&spec.name))
+            format!(
+                "{} Holdings",
+                spec.name.split(' ').next().unwrap_or(&spec.name)
+            )
         };
         let org = g.add_node([labels::ORGANIZATION], props!("name" => org_name));
         g.add_rel(id, rels::MANAGED_BY, org, Props::new()).unwrap();
@@ -245,21 +254,27 @@ fn build(config: &IypConfig, rng: &mut StdRng, topo: Topology) -> IypDataset {
                     4i64,
                 )
             };
-            let pid = g.add_node(
-                [labels::PREFIX],
-                props!("prefix" => prefix, "af" => af),
-            );
+            let pid = g.add_node([labels::PREFIX], props!("prefix" => prefix, "af" => af));
             g.add_rel(as_nodes[i], rels::ORIGINATE, pid, Props::new())
                 .unwrap();
-            g.add_rel(pid, rels::COUNTRY, country_by_code[spec.country], Props::new())
-                .unwrap();
+            g.add_rel(
+                pid,
+                rels::COUNTRY,
+                country_by_code[spec.country],
+                Props::new(),
+            )
+            .unwrap();
             if rng.random::<f64>() < 0.15 {
                 let tag = TAGS[rng.random_range(0..TAGS.len())];
                 g.add_rel(pid, rels::CATEGORIZED, tag_nodes[tag], Props::new())
                     .unwrap();
             }
             all_prefixes.push(pid);
-            if spec.tags.iter().any(|t| *t == "Content" || *t == "Cloud" || *t == "CDN") {
+            if spec
+                .tags
+                .iter()
+                .any(|t| *t == "Content" || *t == "Cloud" || *t == "CDN")
+            {
                 content_prefixes.push(pid);
             }
         }
@@ -392,10 +407,7 @@ fn build(config: &IypConfig, rng: &mut StdRng, topo: Topology) -> IypDataset {
     for k in 0..config.n_facilities {
         let (city, cc) = CITIES[(k * 7 + 3) % CITIES.len()];
         let name = format!("{city} DC{}", k % 9 + 1);
-        let id = g.add_node(
-            [labels::FACILITY],
-            props!("name" => name, "city" => city),
-        );
+        let id = g.add_node([labels::FACILITY], props!("name" => name, "city" => city));
         g.add_rel(id, rels::COUNTRY, country_by_code[cc], Props::new())
             .unwrap();
         // Local ASes colocate here.

@@ -53,7 +53,13 @@ pub const PINNED_ASES: &[(&str, u32, &str, Tier, &[&str])] = &[
     ("Cogent", 174, "US", Tier::Tier1, &["Transit"]),
     ("Arelion", 1299, "SE", Tier::Tier1, &["Transit"]),
     ("NTT", 2914, "JP", Tier::Tier1, &["Transit"]),
-    ("Deutsche Telekom", 3320, "DE", Tier::Tier1, &["Transit", "Eyeball"]),
+    (
+        "Deutsche Telekom",
+        3320,
+        "DE",
+        Tier::Tier1,
+        &["Transit", "Eyeball"],
+    ),
     ("Tata Communications", 6453, "IN", Tier::Tier1, &["Transit"]),
     ("GTT", 3257, "US", Tier::Tier1, &["Transit"]),
     ("IIJ", 2497, "JP", Tier::Tier2, &["Transit", "Eyeball"]),
@@ -66,7 +72,13 @@ pub const PINNED_ASES: &[(&str, u32, &str, Tier, &[&str])] = &[
     ("Akamai", 20940, "US", Tier::Tier2, &["CDN"]),
     ("Comcast", 7922, "US", Tier::Tier2, &["Eyeball"]),
     ("Chinanet", 4134, "CN", Tier::Tier2, &["Eyeball"]),
-    ("China Mobile", 9808, "CN", Tier::Tier2, &["Mobile", "Eyeball"]),
+    (
+        "China Mobile",
+        9808,
+        "CN",
+        Tier::Tier2,
+        &["Mobile", "Eyeball"],
+    ),
     ("Korea Telecom", 4766, "KR", Tier::Tier2, &["Eyeball"]),
     ("HiNet", 3462, "TW", Tier::Tier2, &["Eyeball"]),
     ("Telstra", 1221, "AU", Tier::Tier2, &["Eyeball"]),
@@ -74,7 +86,13 @@ pub const PINNED_ASES: &[(&str, u32, &str, Tier, &[&str])] = &[
     ("Free", 12322, "FR", Tier::Tier2, &["Eyeball"]),
     ("Vodafone", 3209, "DE", Tier::Tier2, &["Eyeball", "Mobile"]),
     ("Turk Telekom", 9121, "TR", Tier::Tier2, &["Eyeball"]),
-    ("Reliance Jio", 55836, "IN", Tier::Tier2, &["Mobile", "Eyeball"]),
+    (
+        "Reliance Jio",
+        55836,
+        "IN",
+        Tier::Tier2,
+        &["Mobile", "Eyeball"],
+    ),
     ("OTE", 6799, "GR", Tier::Tier2, &["Eyeball"]),
 ];
 
@@ -86,8 +104,16 @@ const NAME_TAILS: &[&str] = &[
     "Link", "Com", "Wave", "Path", "Span", "Line", "Bridge", "Port", "Gate", "Stream",
 ];
 const NAME_SUFFIXES: &[&str] = &[
-    "Telecom", "Networks", "Online", "Broadband", "Hosting", "ISP", "Datacenter", "Connect",
-    "Internet", "Communications",
+    "Telecom",
+    "Networks",
+    "Online",
+    "Broadband",
+    "Hosting",
+    "ISP",
+    "Datacenter",
+    "Connect",
+    "Internet",
+    "Communications",
 ];
 
 /// Synthesizes a topology with `n_as` ASes (at least the pinned set).
@@ -218,7 +244,8 @@ pub fn generate(rng: &mut StdRng, n_as: usize) -> Topology {
     // Stubs buy transit from 1-3 providers, preferring same-country /
     // same-region tier-2s; fall back to tier-1.
     for &s in &stubs {
-        let n_up = 1 + (rng.random::<f64>() < 0.45) as usize + (rng.random::<f64>() < 0.15) as usize;
+        let n_up =
+            1 + (rng.random::<f64>() < 0.45) as usize + (rng.random::<f64>() < 0.15) as usize;
         let my_cc = ases[s].country;
         let my_region = region_of(&ases[s]);
         let chosen = pick_pref(rng, &tier2, &customer_count, n_up, |&cand| {

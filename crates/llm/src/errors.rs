@@ -107,7 +107,10 @@ mod tests {
         let medium = error_probability(0.72, 3);
         let hard = error_probability(0.72, 5);
         assert!(easy < 0.15, "easy error too high: {easy}");
-        assert!((0.2..0.45).contains(&medium), "medium out of band: {medium}");
+        assert!(
+            (0.2..0.45).contains(&medium),
+            "medium out of band: {medium}"
+        );
         assert!(hard > 0.45, "hard error too low: {hard}");
     }
 

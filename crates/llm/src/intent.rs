@@ -377,11 +377,11 @@ impl EntityCatalog {
             cat.ixps.insert(name.to_lowercase(), name.clone());
         }
         for id in d.graph.nodes_with_label("DomainName") {
-            if let Some(name) = d
-                .graph
-                .node(id)
-                .and_then(|n| n.props.get("name").and_then(|v| v.as_str().map(String::from)))
-            {
+            if let Some(name) = d.graph.node(id).and_then(|n| {
+                n.props
+                    .get("name")
+                    .and_then(|v| v.as_str().map(String::from))
+            }) {
                 cat.domains.insert(name.to_lowercase(), name);
             }
         }
@@ -418,9 +418,14 @@ pub fn extract_mentions(question: &str, cat: &EntityCatalog) -> Mentions {
 
     // Prefixes: token containing '/' with digits.
     for raw in question.split_whitespace() {
-        let tok = raw.trim_matches(|c: char| !(c.is_alphanumeric() || c == '/' || c == ':' || c == '.'));
+        let tok =
+            raw.trim_matches(|c: char| !(c.is_alphanumeric() || c == '/' || c == ':' || c == '.'));
         if tok.contains('/')
-            && tok.chars().next().map(|c| c.is_ascii_hexdigit()).unwrap_or(false)
+            && tok
+                .chars()
+                .next()
+                .map(|c| c.is_ascii_hexdigit())
+                .unwrap_or(false)
             && tok.chars().any(|c| c.is_ascii_digit())
         {
             m.prefixes.push(tok.to_string());
@@ -615,13 +620,19 @@ pub fn parse_question(question: &str, cat: &EntityCatalog) -> Option<Intent> {
     }
 
     // ---- upstream / transit questions ----
-    if has("upstream") || has("depend") || has("transit provider") || has("providers")
-        || has("transit-free") || has("transit free")
+    if has("upstream")
+        || has("depend")
+        || has("transit provider")
+        || has("providers")
+        || has("transit-free")
+        || has("transit free")
     {
         // Transit-free questions name a country, not a specific AS; check
         // before ASN-driven intents (an AS literally named "Free" would
         // otherwise hijack "transit-free").
-        if has("no upstream") || has("without any upstream") || has("transit-free")
+        if has("no upstream")
+            || has("without any upstream")
+            || has("transit-free")
             || has("transit free")
         {
             if let Some(c) = m.countries.first() {
@@ -641,7 +652,11 @@ pub fn parse_question(question: &str, cat: &EntityCatalog) -> Option<Intent> {
             if has("countr") {
                 return Some(Intent::UpstreamCountries { asn });
             }
-            if has("directly or indirectly") || has("transitively") || has("recursively") || has("within") {
+            if has("directly or indirectly")
+                || has("transitively")
+                || has("recursively")
+                || has("within")
+            {
                 return Some(Intent::TransitiveUpstreams { asn });
             }
             // Plain upstream list defaults to the transitive form only when
@@ -754,7 +769,12 @@ pub fn parse_question(question: &str, cat: &EntityCatalog) -> Option<Intent> {
     }
 
     // ---- organization ----
-    if has("organization") || has("organisation") || has("managed by") || has("who runs") || has("operator") {
+    if has("organization")
+        || has("organisation")
+        || has("managed by")
+        || has("who runs")
+        || has("operator")
+    {
         if let Some(&asn) = m.asns.first() {
             return Some(Intent::OrgOfAs { asn });
         }
@@ -844,9 +864,13 @@ mod tests {
         let intents: Vec<Intent> = vec![
             Intent::AsName { asn: 1 },
             Intent::AsRank { asn: 1 },
-            Intent::TopPopulationAs { country: "JP".into() },
+            Intent::TopPopulationAs {
+                country: "JP".into(),
+            },
             Intent::SharedIxps { a: 1, b: 2 },
-            Intent::PopulationOfTopRanked { country: "JP".into() },
+            Intent::PopulationOfTopRanked {
+                country: "JP".into(),
+            },
             Intent::CommonUpstreams { a: 1, b: 2 },
         ];
         let combos: HashSet<(Difficulty, Domain)> = intents
@@ -922,7 +946,10 @@ mod tests {
     fn parse_medium_and_hard_questions() {
         let cat = catalog();
         assert_eq!(
-            parse_question("Which AS serves the largest share of the population of Japan?", &cat),
+            parse_question(
+                "Which AS serves the largest share of the population of Japan?",
+                &cat
+            ),
             Some(Intent::TopPopulationAs {
                 country: "JP".into()
             })

@@ -45,8 +45,21 @@ pub struct Facts {
 /// Capitalized tokens that are sentence furniture in our NLG templates,
 /// not entities.
 const CAPITALIZED_STOPS: &[&str] = &[
-    "the", "according", "here", "there", "i", "iyp", "no", "that", "it", "is", "what", "gold",
-    "per", "based", "related",
+    "the",
+    "according",
+    "here",
+    "there",
+    "i",
+    "iyp",
+    "no",
+    "that",
+    "it",
+    "is",
+    "what",
+    "gold",
+    "per",
+    "based",
+    "related",
 ];
 
 /// Extracts facts from an answer text.
@@ -59,7 +72,8 @@ const CAPITALIZED_STOPS: &[&str] = &[
 /// having zero facts.
 pub fn extract_facts(text: &str) -> Facts {
     let mut facts = Facts::default();
-    for raw in text.split(|c: char| c.is_whitespace() || c == ',' || c == ';' || c == '(' || c == ')')
+    for raw in
+        text.split(|c: char| c.is_whitespace() || c == ',' || c == ';' || c == '(' || c == ')')
     {
         let tok = raw.trim_matches(|c: char| {
             !(c.is_alphanumeric() || c == '.' || c == '/' || c == ':' || c == '-')
@@ -110,7 +124,11 @@ pub fn fact_agreement(candidate: &Facts, reference: &Facts) -> f64 {
     if total == 0 {
         // Reference commits to nothing (e.g. "no data"): agree if the
         // candidate also commits to nothing numeric.
-        return if candidate.numbers.is_empty() { 1.0 } else { 0.3 };
+        return if candidate.numbers.is_empty() {
+            1.0
+        } else {
+            0.3
+        };
     }
     let mut matched = 0usize;
     for rn in &reference.numbers {
@@ -170,8 +188,8 @@ impl GEvalJudge {
             0.0
         } else {
             let specific = !cand.numbers.is_empty() || !cand.entities.is_empty();
-            let refuses = answer.to_lowercase().contains("no ")
-                || answer.to_lowercase().contains("not find");
+            let refuses =
+                answer.to_lowercase().contains("no ") || answer.to_lowercase().contains("not find");
             match (specific, refuses) {
                 (true, _) => 1.0,
                 (false, true) => 0.35,
@@ -288,7 +306,10 @@ mod tests {
         for i in 0..40 {
             let reference = format!("The number of prefixes originated by AS{i} is {}.", 10 + i);
             let answer = if i % 2 == 0 {
-                format!("IYP reports a number of prefixes originated by AS{i} of {}.", 10 + i)
+                format!(
+                    "IYP reports a number of prefixes originated by AS{i} of {}.",
+                    10 + i
+                )
             } else {
                 format!("The number of prefixes originated by AS{i} is {}.", 500 + i)
             };

@@ -73,7 +73,9 @@ pub fn generate_styled(
         return options[lm.choose(&format!("empty:{question}"), options.len())].to_string();
     }
 
-    let quantity = intent.map(quantity_phrase).unwrap_or_else(|| "value".to_string());
+    let quantity = intent
+        .map(quantity_phrase)
+        .unwrap_or_else(|| "value".to_string());
 
     if let Some(v) = result.single_value() {
         let value = render_value(v);
@@ -176,7 +178,11 @@ pub fn render_value(v: &Value) -> String {
                 format!("{f:.2}")
             }
         }
-        Value::List(items) => items.iter().map(render_value).collect::<Vec<_>>().join(", "),
+        Value::List(items) => items
+            .iter()
+            .map(render_value)
+            .collect::<Vec<_>>()
+            .join(", "),
         other => other.to_string(),
     }
 }
@@ -297,7 +303,10 @@ mod tests {
     #[test]
     fn different_seeds_can_phrase_differently() {
         let a = generate_answer(
-            &SimLm::new(LmConfig { seed: 1, ..LmConfig::default() }),
+            &SimLm::new(LmConfig {
+                seed: 1,
+                ..LmConfig::default()
+            }),
             "q1",
             None,
             &result1(Value::Int(7)),
@@ -307,7 +316,10 @@ mod tests {
         let mut saw_different = false;
         for seed in 2..10 {
             let b = generate_answer(
-                &SimLm::new(LmConfig { seed, ..LmConfig::default() }),
+                &SimLm::new(LmConfig {
+                    seed,
+                    ..LmConfig::default()
+                }),
                 "q1",
                 None,
                 &result1(Value::Int(7)),

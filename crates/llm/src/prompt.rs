@@ -23,10 +23,7 @@ pub struct FewShot {
 /// ascending complexity (the "fine-tuned on IYP query patterns" part).
 pub fn default_few_shots() -> Vec<FewShot> {
     let exemplars = vec![
-        (
-            "What is the name of AS2497?",
-            Intent::AsName { asn: 2497 },
-        ),
+        ("What is the name of AS2497?", Intent::AsName { asn: 2497 }),
         (
             "In which country is AS15169 registered?",
             Intent::AsCountry { asn: 15169 },

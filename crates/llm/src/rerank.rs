@@ -46,10 +46,7 @@ impl Reranker {
                 let overlap = if q_tokens.is_empty() {
                     0.0
                 } else {
-                    q_tokens
-                        .iter()
-                        .filter(|t| c_tokens.contains(t))
-                        .count() as f64
+                    q_tokens.iter().filter(|t| c_tokens.contains(t)).count() as f64
                         / q_tokens.len() as f64
                 };
                 // A whisper of judge noise: a shallow LLM scorer is not a

@@ -436,28 +436,56 @@ mod tests {
             Intent::AsName { asn: 2497 },
             Intent::AsnOfName { name: "IIJ".into() },
             Intent::AsCountry { asn: 2497 },
-            Intent::CountAsInCountry { country: "JP".into() },
+            Intent::CountAsInCountry {
+                country: "JP".into(),
+            },
             Intent::AsRank { asn: 2497 },
             Intent::CountPrefixes { asn: 2497 },
-            Intent::DomainRank { domain: "x.com".into() },
-            Intent::IxpCountry { ixp: "Tokyo-IX".into() },
-            Intent::IxpMemberCount { ixp: "Tokyo-IX".into() },
-            Intent::PopulationShare { asn: 2497, country: "JP".into() },
+            Intent::DomainRank {
+                domain: "x.com".into(),
+            },
+            Intent::IxpCountry {
+                ixp: "Tokyo-IX".into(),
+            },
+            Intent::IxpMemberCount {
+                ixp: "Tokyo-IX".into(),
+            },
+            Intent::PopulationShare {
+                asn: 2497,
+                country: "JP".into(),
+            },
             Intent::OrgOfAs { asn: 2497 },
-            Intent::TopAsInCountryByPrefixes { country: "US".into(), n: 5 },
-            Intent::TopPopulationAs { country: "JP".into() },
+            Intent::TopAsInCountryByPrefixes {
+                country: "US".into(),
+                n: 5,
+            },
+            Intent::TopPopulationAs {
+                country: "JP".into(),
+            },
             Intent::PrefixesAfCount { asn: 2497, af: 4 },
-            Intent::IxpMembersFromCountry { ixp: "Tokyo-IX".into(), country: "JP".into() },
+            Intent::IxpMembersFromCountry {
+                ixp: "Tokyo-IX".into(),
+                country: "JP".into(),
+            },
             Intent::SharedIxps { a: 2497, b: 2914 },
-            Intent::TopRankedInCountry { country: "US".into() },
-            Intent::AvgPrefixesInCountry { country: "JP".into() },
-            Intent::TaggedAsInCountry { tag: "Eyeball".into(), country: "JP".into() },
+            Intent::TopRankedInCountry {
+                country: "US".into(),
+            },
+            Intent::AvgPrefixesInCountry {
+                country: "JP".into(),
+            },
+            Intent::TaggedAsInCountry {
+                tag: "Eyeball".into(),
+                country: "JP".into(),
+            },
             Intent::TransitiveUpstreams { asn: 2497 },
             Intent::CommonUpstreams { a: 2497, b: 15169 },
             Intent::UpstreamCountries { asn: 2497 },
             Intent::TopDomainOnAs { asn: 15169 },
             Intent::UpstreamPrefixCount { asn: 2497 },
-            Intent::PopulationOfTopRanked { country: "JP".into() },
+            Intent::PopulationOfTopRanked {
+                country: "JP".into(),
+            },
             Intent::DomainsOnAs { asn: 15169 },
         ];
         for intent in intents {

@@ -118,8 +118,8 @@ pub fn pearson_ci(x: &[f64], y: &[f64], resamples: usize) -> (f64, f64) {
         let mut ys = Vec::with_capacity(n);
         // Deterministic pseudo-resample: index hashing by (b, i).
         for i in 0..n {
-            let idx = (iyp_embed::embedder::fnv1a(format!("{b}:{i}").as_bytes()) % n as u64)
-                as usize;
+            let idx =
+                (iyp_embed::embedder::fnv1a(format!("{b}:{i}").as_bytes()) % n as u64) as usize;
             xs.push(x[idx]);
             ys.push(y[idx]);
         }

@@ -25,7 +25,10 @@ pub fn rouge_n(candidate: &str, reference: &str, n: usize) -> f64 {
     }
     let cand_total = cand.len() + 1 - n;
     let ref_total = refr.len() + 1 - n;
-    f1(overlap as f64 / cand_total as f64, overlap as f64 / ref_total as f64)
+    f1(
+        overlap as f64 / cand_total as f64,
+        overlap as f64 / ref_total as f64,
+    )
 }
 
 /// ROUGE-1 F1.
@@ -127,8 +130,6 @@ mod tests {
     fn recall_orientation() {
         // A candidate covering more of the reference scores higher ROUGE-1.
         let reference = "one two three four five six";
-        assert!(
-            rouge_1("one two three four", reference) > rouge_1("one two", reference)
-        );
+        assert!(rouge_1("one two three four", reference) > rouge_1("one two", reference));
     }
 }

@@ -57,21 +57,28 @@ pub fn summarize(values: &[f64]) -> Summary {
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
 
     let skew = if std > 0.0 && n > 2 {
-        let m3 = values.iter().map(|x| ((x - mean) / std).powi(3)).sum::<f64>() / n as f64;
+        let m3 = values
+            .iter()
+            .map(|x| ((x - mean) / std).powi(3))
+            .sum::<f64>()
+            / n as f64;
         m3 * ((n * (n - 1)) as f64).sqrt() / (n as f64 - 2.0)
     } else {
         0.0
     };
     let kurt = if std > 0.0 && n > 3 {
-        let m4 = values.iter().map(|x| ((x - mean) / std).powi(4)).sum::<f64>() / n as f64;
+        let m4 = values
+            .iter()
+            .map(|x| ((x - mean) / std).powi(4))
+            .sum::<f64>()
+            / n as f64;
         m4 - 3.0
     } else {
         0.0
     };
     let nf = n as f64;
     let bimodality = if n > 3 {
-        (skew * skew + 1.0)
-            / (kurt + 3.0 * (nf - 1.0).powi(2) / ((nf - 2.0) * (nf - 3.0)))
+        (skew * skew + 1.0) / (kurt + 3.0 * (nf - 1.0).powi(2) / ((nf - 2.0) * (nf - 3.0)))
     } else {
         0.0
     };

@@ -9,6 +9,7 @@
 
 use crate::http::{Request, Response};
 use chatiyp_core::ChatIyp;
+use iyp_graphdb::Graph;
 use serde::{Deserialize, Serialize};
 use serde_json::json;
 
@@ -41,13 +42,15 @@ pub struct AskResponse<'a> {
     pub latency_us: u64,
 }
 
-/// Dispatches one request against the pipeline.
-pub fn handle(chat: &ChatIyp, req: &Request) -> Response {
+/// Dispatches one request. Graph-only endpoints (`/cypher`, `/health`,
+/// `/stats`) read from the shared `graph` handle — the same allocation
+/// the pipeline queries — so they never touch pipeline state.
+pub fn handle(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
     match (req.method.as_str(), req.path()) {
         ("POST", "/ask") => handle_ask(chat, req),
-        ("POST", "/cypher") => handle_cypher(chat, req),
-        ("GET", "/health") => handle_health(chat),
-        ("GET", "/stats") => handle_stats(chat),
+        ("POST", "/cypher") => handle_cypher(graph, req),
+        ("GET", "/health") => handle_health(graph),
+        ("GET", "/stats") => handle_stats(graph),
         ("GET", "/schema") => Response::text(200, iyp_data::schema::schema_summary()),
         ("GET", _) | ("POST", _) => Response::json(
             404,
@@ -68,9 +71,10 @@ fn handle_ask(chat: &ChatIyp, req: &Request) -> Response {
             400,
             json!({"error": format!("invalid JSON body: {e}")}).to_string(),
         ),
-        Ok(ask) if ask.question.trim().is_empty() => {
-            Response::json(400, json!({"error": "question must not be empty"}).to_string())
-        }
+        Ok(ask) if ask.question.trim().is_empty() => Response::json(
+            400,
+            json!({"error": "question must not be empty"}).to_string(),
+        ),
         Ok(ask) => {
             let r = chat.ask(&ask.question);
             let body = AskResponse {
@@ -85,7 +89,7 @@ fn handle_ask(chat: &ChatIyp, req: &Request) -> Response {
     }
 }
 
-fn handle_cypher(chat: &ChatIyp, req: &Request) -> Response {
+fn handle_cypher(graph: &Graph, req: &Request) -> Response {
     let parsed: Result<CypherRequest, _> = serde_json::from_slice(&req.body);
     match parsed {
         Err(e) => Response::json(
@@ -95,7 +99,7 @@ fn handle_cypher(chat: &ChatIyp, req: &Request) -> Response {
         // Untrusted Cypher runs under a deadline so a pathological
         // pattern cannot pin a worker.
         Ok(c) => match iyp_cypher::query_with_deadline(
-            chat.graph(),
+            graph,
             &c.query,
             &iyp_cypher::Params::new(),
             std::time::Duration::from_secs(2),
@@ -109,21 +113,18 @@ fn handle_cypher(chat: &ChatIyp, req: &Request) -> Response {
     }
 }
 
-fn handle_stats(chat: &ChatIyp) -> Response {
-    let stats = iyp_graphdb::GraphStats::compute(chat.graph());
-    Response::json(
-        200,
-        serde_json::to_string(&stats).expect("stats serialize"),
-    )
+fn handle_stats(graph: &Graph) -> Response {
+    let stats = iyp_graphdb::GraphStats::compute(graph);
+    Response::json(200, serde_json::to_string(&stats).expect("stats serialize"))
 }
 
-fn handle_health(chat: &ChatIyp) -> Response {
+fn handle_health(graph: &Graph) -> Response {
     Response::json(
         200,
         json!({
             "status": "ok",
-            "nodes": chat.graph().node_count(),
-            "relationships": chat.graph().rel_count(),
+            "nodes": graph.node_count(),
+            "relationships": graph.rel_count(),
         })
         .to_string(),
     )
@@ -163,7 +164,15 @@ mod tests {
     #[test]
     fn ask_endpoint_answers() {
         let c = chat();
-        let r = handle(&c, &req("POST", "/ask", r#"{"question":"What is the name of AS2497?"}"#));
+        let r = handle(
+            &c,
+            c.graph(),
+            &req(
+                "POST",
+                "/ask",
+                r#"{"question":"What is the name of AS2497?"}"#,
+            ),
+        );
         assert_eq!(r.status, 200);
         let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
         assert!(body["answer"].as_str().unwrap().contains("IIJ"));
@@ -174,9 +183,12 @@ mod tests {
     #[test]
     fn ask_rejects_bad_json_and_empty_question() {
         let c = chat();
-        assert_eq!(handle(&c, &req("POST", "/ask", "not json")).status, 400);
         assert_eq!(
-            handle(&c, &req("POST", "/ask", r#"{"question":"  "}"#)).status,
+            handle(&c, c.graph(), &req("POST", "/ask", "not json")).status,
+            400
+        );
+        assert_eq!(
+            handle(&c, c.graph(), &req("POST", "/ask", r#"{"question":"  "}"#)).status,
             400
         );
     }
@@ -186,7 +198,12 @@ mod tests {
         let c = chat();
         let r = handle(
             &c,
-            &req("POST", "/cypher", r#"{"query":"MATCH (a:AS) RETURN count(a)"}"#),
+            c.graph(),
+            &req(
+                "POST",
+                "/cypher",
+                r#"{"query":"MATCH (a:AS) RETURN count(a)"}"#,
+            ),
         );
         assert_eq!(r.status, 200);
         let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
@@ -194,6 +211,7 @@ mod tests {
         // Write queries are refused.
         let r = handle(
             &c,
+            c.graph(),
             &req("POST", "/cypher", r#"{"query":"CREATE (x:AS {asn: 1})"}"#),
         );
         assert_eq!(r.status, 400);
@@ -202,13 +220,13 @@ mod tests {
     #[test]
     fn health_and_schema() {
         let c = chat();
-        let r = handle(&c, &req("GET", "/health", ""));
+        let r = handle(&c, c.graph(), &req("GET", "/health", ""));
         assert_eq!(r.status, 200);
         let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
         assert_eq!(body["status"], "ok");
         assert!(body["nodes"].as_u64().unwrap() > 0);
 
-        let r = handle(&c, &req("GET", "/schema", ""));
+        let r = handle(&c, c.graph(), &req("GET", "/schema", ""));
         assert_eq!(r.status, 200);
         assert!(String::from_utf8_lossy(&r.body).contains("ORIGINATE"));
     }
@@ -216,7 +234,7 @@ mod tests {
     #[test]
     fn stats_endpoint_reports_graph_shape() {
         let c = chat();
-        let r = handle(&c, &req("GET", "/stats", ""));
+        let r = handle(&c, c.graph(), &req("GET", "/stats", ""));
         assert_eq!(r.status, 200);
         let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
         assert!(body["nodes"].as_u64().unwrap() > 0);
@@ -228,7 +246,10 @@ mod tests {
     #[test]
     fn unknown_paths_and_methods() {
         let c = chat();
-        assert_eq!(handle(&c, &req("GET", "/nope", "")).status, 404);
-        assert_eq!(handle(&c, &req("DELETE", "/ask", "")).status, 405);
+        assert_eq!(handle(&c, c.graph(), &req("GET", "/nope", "")).status, 404);
+        assert_eq!(
+            handle(&c, c.graph(), &req("DELETE", "/ask", "")).status,
+            405
+        );
     }
 }

@@ -135,11 +135,14 @@ pub fn read_request_buffered<R: BufRead>(reader: &mut R) -> Result<Request, Http
             break;
         }
         match trimmed.split_once(':') {
-            Some((name, value)) => headers.push((
-                name.trim().to_ascii_lowercase(),
-                value.trim().to_string(),
-            )),
-            None => return Err(HttpError::BadRequest(format!("malformed header '{trimmed}'"))),
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+            }
+            None => {
+                return Err(HttpError::BadRequest(format!(
+                    "malformed header '{trimmed}'"
+                )))
+            }
         }
     }
 
@@ -296,7 +299,10 @@ mod tests {
             "POST /ask HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY + 1
         );
-        assert!(matches!(roundtrip(raw.as_bytes()), Err(HttpError::TooLarge)));
+        assert!(matches!(
+            roundtrip(raw.as_bytes()),
+            Err(HttpError::TooLarge)
+        ));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::api::handle;
 use crate::http::{HttpError, Response};
 use chatiyp_core::ChatIyp;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use iyp_graphdb::Graph;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -43,12 +44,15 @@ pub struct Server {
 
 impl Server {
     /// Binds and spawns the acceptor + worker pool. The pipeline is shared
-    /// read-only across workers.
+    /// read-only across workers; each worker also holds the pipeline's own
+    /// `Arc<Graph>` handle, so graph-only endpoints are served from the
+    /// shared graph without re-wrapping it.
     pub fn start(chat: ChatIyp, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let graph = chat.graph_arc();
         let chat = Arc::new(chat);
 
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(128);
@@ -56,11 +60,12 @@ impl Server {
         for i in 0..config.workers.max(1) {
             let rx = rx.clone();
             let chat = Arc::clone(&chat);
+            let graph = Arc::clone(&graph);
             let read_timeout = config.read_timeout;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("chatiyp-worker-{i}"))
-                    .spawn(move || worker_loop(rx, chat, read_timeout))
+                    .spawn(move || worker_loop(rx, chat, graph, read_timeout))
                     .expect("spawn worker"),
             );
         }
@@ -123,18 +128,23 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(rx: Receiver<TcpStream>, chat: Arc<ChatIyp>, read_timeout: Duration) {
+fn worker_loop(
+    rx: Receiver<TcpStream>,
+    chat: Arc<ChatIyp>,
+    graph: Arc<Graph>,
+    read_timeout: Duration,
+) {
     // The loop ends when the acceptor drops the sender.
     while let Ok(stream) = rx.recv() {
         let _ = stream.set_read_timeout(Some(read_timeout));
-        serve_connection(stream, &chat);
+        serve_connection(stream, &chat, &graph);
     }
 }
 
 /// Serves one connection: keep-alive loop with a per-connection buffered
 /// reader (so pipelined request bytes survive between reads), bounded by
 /// [`crate::http::MAX_REQUESTS_PER_CONN`].
-fn serve_connection(stream: TcpStream, chat: &ChatIyp) {
+fn serve_connection(stream: TcpStream, chat: &ChatIyp, graph: &Graph) {
     use crate::http::{read_request_buffered, MAX_REQUESTS_PER_CONN};
     let mut reader = std::io::BufReader::new(stream);
     for served in 0..MAX_REQUESTS_PER_CONN {
@@ -142,7 +152,7 @@ fn serve_connection(stream: TcpStream, chat: &ChatIyp) {
         let (response, keep_alive) = match parsed {
             Ok(req) => {
                 let keep = req.wants_keep_alive() && served + 1 < MAX_REQUESTS_PER_CONN;
-                (handle(chat, &req), keep)
+                (handle(chat, graph, &req), keep)
             }
             Err(HttpError::TooLarge) => (
                 Response::json(413, r#"{"error":"body too large"}"#.as_bytes().to_vec()),
@@ -224,9 +234,7 @@ mod tests {
         let addr = server.addr();
         let handles: Vec<_> = (0..6)
             .map(|_| {
-                std::thread::spawn(move || {
-                    request(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n")
-                })
+                std::thread::spawn(move || request(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n"))
             })
             .collect();
         for h in handles {

@@ -30,7 +30,10 @@ fn main() {
 
     for r in &run.records {
         println!("──────────────────────────────────────────────────────");
-        println!("#{:<3} [{} | {}] {}", r.id, r.difficulty, r.domain, r.question);
+        println!(
+            "#{:<3} [{} | {}] {}",
+            r.id, r.difficulty, r.domain, r.question
+        );
         println!("  gold:      {}", r.gold_cypher);
         match &r.generated_cypher {
             Some(cy) if *cy == r.gold_cypher => println!("  generated: (identical)"),

@@ -1,0 +1,207 @@
+#![allow(clippy::all)]
+//! Offline rand shim.
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `RngExt`
+//! sampling surface (`random::<T>()`, `random_range(..)`) used by the
+//! dataset generator and tests. The generator is xoshiro256** seeded via
+//! SplitMix64 — deterministic across platforms, which is all the workspace
+//! needs (every caller seeds explicitly).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// Deterministic xoshiro256** generator standing in for rand's StdRng.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard way to seed xoshiro.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let state = [next(), next(), next(), next()];
+        StdRng { state }
+    }
+}
+
+/// Types samplable uniformly from the full domain via `random::<T>()`.
+pub trait Standard: Sized {
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for i64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for i32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as i32
+    }
+}
+
+impl Standard for usize {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in [0, 1) with 53 bits of precision.
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with uniform sampling over a half-open or inclusive interval.
+/// One blanket `SampleRange` impl over this trait (mirroring real rand)
+/// keeps integer-literal type inference working at call sites.
+pub trait SampleUniform: Sized {
+    fn sample_interval(rng: &mut StdRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval(rng: &mut StdRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "empty range in random_range");
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_interval(rng: &mut StdRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Ranges samplable via `random_range(..)`.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        T::sample_interval(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range in random_range");
+        T::sample_interval(rng, lo, hi, true)
+    }
+}
+
+/// The sampling methods callers use on a seeded StdRng.
+pub trait RngExt {
+    fn random<T: Standard>(&mut self) -> T;
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl RngExt for StdRng {
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u32 = rng.random_range(0x100..0xffff_u32);
+            assert!((0x100..0xffff).contains(&y));
+            let z = rng.random_range(2..=3);
+            assert!(z == 2 || z == 3);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,525 @@
+#![allow(clippy::all)]
+//! Offline serde shim.
+//!
+//! The real serde crate is unavailable in this build environment, so this
+//! crate provides the minimal subset the workspace uses: a JSON-shaped
+//! [`Content`] tree, simplified [`Serialize`] / [`Deserialize`] traits that
+//! convert values to and from that tree, and re-exported derive macros.
+//!
+//! Differences from real serde, by design:
+//! - `Serialize::serialize` takes no `Serializer`; it returns a [`Content`].
+//! - `Deserialize::deserialize` reads from `&Content` (no visitors).
+//! - `#[serde(with = "module")]` modules implement
+//!   `fn serialize(&T) -> Content` and `fn deserialize(&Content) -> Result<T, Error>`.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the interchange format between `Serialize`
+/// and the serde_json shim.
+///
+/// Maps preserve insertion order (struct field order) for deterministic
+/// output; `BTreeMap` sources iterate sorted, so snapshots stay canonical.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Content {
+    #[default]
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// Looks up a key in a `Content::Map` body (linear scan; maps are small).
+pub fn content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+static NULL_CONTENT: Content = Content::Null;
+
+/// `serde_json::Value`-style accessors. The serde_json shim re-exports
+/// `Content` as its `Value`, so these inherent methods live here.
+impl Content {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(i) => Some(*i),
+            Content::U64(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(u) => Some(*u),
+            Content::I64(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(f) => Some(*f),
+            Content::I64(i) => Some(*i as f64),
+            Content::U64(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => content_get(entries, key),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL_CONTENT)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, index: usize) -> &Content {
+        match self {
+            Content::Seq(items) => items.get(index).unwrap_or(&NULL_CONTENT),
+            _ => &NULL_CONTENT,
+        }
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Content::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Content::Str(s) if s == *other)
+    }
+}
+
+impl PartialEq<Content> for &str {
+    fn eq(&self, other: &Content) -> bool {
+        other == self
+    }
+}
+
+/// Writes a string as a JSON string literal with escapes.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{:?}` is shortest-roundtrip and always keeps a decimal point
+        // (5.0 prints as "5.0"), matching serde_json's behavior closely
+        // enough for snapshots to roundtrip through our parser.
+        out.push_str(&format!("{f:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_compact(out: &mut String, c: &Content) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(i) => out.push_str(&i.to_string()),
+        Content::U64(u) => out.push_str(&u.to_string()),
+        Content::F64(f) => write_f64(out, *f),
+        Content::Str(s) => write_json_string(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, k);
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Content {
+    /// Renders compact JSON, like `serde_json::Value`'s `Display`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(&mut out, self);
+        f.write_str(&out)
+    }
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn serialize(&self) -> Content;
+}
+
+pub trait Deserialize: Sized {
+    fn deserialize(content: &Content) -> Result<Self, Error>;
+
+    /// Called by derived struct impls when a field is absent from the map.
+    /// `Option<T>` overrides this to yield `None`.
+    fn missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, Error> {
+                let v: i64 = match c {
+                    Content::I64(i) => *i,
+                    Content::U64(u) if *u <= i64::MAX as u64 => *u as i64,
+                    _ => return Err(Error::custom(concat!("expected integer for ", stringify!($t)))),
+                };
+                <$t>::try_from(v).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, Error> {
+                let v: u64 = match c {
+                    Content::U64(u) => *u,
+                    Content::I64(i) if *i >= 0 => *i as u64,
+                    _ => return Err(Error::custom(concat!("expected unsigned integer for ", stringify!($t)))),
+                };
+                <$t>::try_from(v).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::F64(f) => Ok(*f),
+            Content::I64(i) => Ok(*i as f64),
+            Content::U64(u) => Ok(*u as f64),
+            _ => Err(Error::custom("expected number for f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        f64::deserialize(c).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::custom("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::custom("expected sequence for set")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            _ => Err(Error::custom("expected map")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Content {
+        // Sort keys so output is deterministic regardless of hash order.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            _ => Err(Error::custom("expected map")),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr, $(($t:ident, $idx:tt)),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($t::deserialize(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::custom("expected tuple sequence")),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(2, (A, 0), (B, 1));
+impl_tuple!(3, (A, 0), (B, 1), (C, 2));
+impl_tuple!(4, (A, 0), (B, 1), (C, 2), (D, 3));

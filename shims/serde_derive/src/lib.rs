@@ -1,0 +1,602 @@
+#![allow(clippy::all)]
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-tree serde shim.
+//!
+//! Parses the item token stream directly (no syn/quote) and emits impls of
+//! the shim's simplified traits:
+//!
+//! ```ignore
+//! trait Serialize   { fn serialize(&self) -> serde::Content; }
+//! trait Deserialize { fn deserialize(c: &serde::Content) -> Result<Self, serde::Error>; }
+//! ```
+//!
+//! Supported shapes: named structs, tuple/newtype structs, unit structs,
+//! enums with unit / tuple / struct variants, `#[serde(untagged)]` enums,
+//! and lifetime-generic items (Serialize only). Supported field attributes:
+//! `#[serde(skip)]` and `#[serde(with = "module")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("derive(Serialize): generated code failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("derive(Deserialize): generated code failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    with: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Raw generics text, e.g. `<'a>`; empty when the item is not generic.
+    generics: String,
+    untagged: bool,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+/// Consumes one `#[...]` attribute starting at `toks[*i]` (which must be `#`).
+/// Returns the inner argument tokens when it is a `#[serde(...)]` attribute.
+fn take_attr(toks: &[TokenTree], i: &mut usize) -> Option<Vec<TokenTree>> {
+    *i += 1; // '#'
+    let group = match toks.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.clone(),
+        other => panic!("expected [...] after # in attribute, found {other:?}"),
+    };
+    *i += 1;
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => match inner.get(1) {
+            Some(TokenTree::Group(args)) => Some(args.stream().into_iter().collect()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn apply_field_attr(args: &[TokenTree], attrs: &mut FieldAttrs) {
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => attrs.skip = true,
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                // with = "module"
+                if let Some(TokenTree::Literal(lit)) = args.get(i + 2) {
+                    attrs.with = Some(lit.to_string().trim_matches('"').to_string());
+                    i += 2;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attrs = FieldAttrs::default();
+        while is_punct(&toks[i], '#') {
+            if let Some(args) = take_attr(&toks, &mut i) {
+                apply_field_attr(&args, &mut attrs);
+            }
+        }
+        if is_ident(&toks[i], "pub") {
+            i += 1;
+            if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1; // pub(crate) etc.
+            }
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        assert!(
+            is_punct(&toks[i], ':'),
+            "expected ':' after field name `{name}`"
+        );
+        i += 1;
+        // Skip the type: commas inside `<...>` are plain Punct tokens, so
+        // track angle-bracket depth to find the top-level field separator.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1; // ','
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut segment_has_tokens = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    segment_has_tokens = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    segment_has_tokens = true;
+                }
+                ',' if depth == 0 => {
+                    if segment_has_tokens {
+                        count += 1;
+                    }
+                    segment_has_tokens = false;
+                }
+                _ => segment_has_tokens = true,
+            },
+            _ => segment_has_tokens = true,
+        }
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while is_punct(&toks[i], '#') {
+            take_attr(&toks, &mut i); // variant-level serde attrs unused
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut untagged = false;
+    loop {
+        if is_punct(&toks[i], '#') {
+            if let Some(args) = take_attr(&toks, &mut i) {
+                if args.iter().any(|t| is_ident(t, "untagged")) {
+                    untagged = true;
+                }
+            }
+            continue;
+        }
+        if is_ident(&toks[i], "pub") {
+            i += 1;
+            if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+            continue;
+        }
+        break;
+    }
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!(
+            "derive supports only structs and enums, found {:?}",
+            toks[i]
+        );
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    let mut generics = String::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        let mut depth = 0i32;
+        loop {
+            match &toks[i] {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    }
+                    generics.push(c);
+                }
+                other => generics.push_str(&other.to_string()),
+            }
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    let body = if is_enum {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        }
+    };
+    Item {
+        name,
+        generics,
+        untagged,
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(fields: &[Field], access: &str) -> String {
+    let mut s = String::from(
+        "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let expr = match &f.attrs.with {
+            Some(w) => format!("{w}::serialize(&{access}{n})", n = f.name),
+            None => format!("::serde::Serialize::serialize(&{access}{n})", n = f.name),
+        };
+        s.push_str(&format!(
+            "__m.push((::std::string::String::from(\"{n}\"), {expr}));\n",
+            n = f.name
+        ));
+    }
+    s.push_str("::serde::Content::Map(__m)");
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let g = &item.generics;
+    let body = match &item.body {
+        Body::Named(fields) => ser_named_fields(fields, "self."),
+        Body::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        Body::Unit => "::serde::Content::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let value = if item.untagged {
+                            "::serde::Content::Null".to_string()
+                        } else {
+                            format!("::serde::Content::Str(::std::string::String::from(\"{vn}\"))")
+                        };
+                        arms.push_str(&format!("Self::{vn} => {value},\n"));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+                        };
+                        let value = if item.untagged {
+                            payload
+                        } else {
+                            format!(
+                                "::serde::Content::Map(vec![(::std::string::String::from(\"{vn}\"), {payload})])"
+                            )
+                        };
+                        arms.push_str(&format!("Self::{vn}({}) => {value},\n", binds.join(", ")));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut payload = String::from(
+                            "{ let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            if f.attrs.skip {
+                                continue;
+                            }
+                            payload.push_str(&format!(
+                                "__m.push((::std::string::String::from(\"{n}\"), ::serde::Serialize::serialize({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        payload.push_str("::serde::Content::Map(__m) }");
+                        let value = if item.untagged {
+                            payload
+                        } else {
+                            format!(
+                                "::serde::Content::Map(vec![(::std::string::String::from(\"{vn}\"), {payload})])"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {} }} => {value},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl{g} ::serde::Serialize for {name}{g} {{\n\
+         fn serialize(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn de_named_fields(fields: &[Field], map_var: &str, type_name: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let n = &f.name;
+        if f.attrs.skip {
+            s.push_str(&format!("{n}: ::core::default::Default::default(),\n"));
+            continue;
+        }
+        let init = match &f.attrs.with {
+            Some(w) => format!(
+                "match ::serde::content_get({map_var}, \"{n}\") {{\n\
+                 Some(__v) => {w}::deserialize(__v)?,\n\
+                 None => return ::core::result::Result::Err(::serde::Error::custom(\
+                 \"missing field `{n}` in {type_name}\")),\n}}"
+            ),
+            None => format!(
+                "match ::serde::content_get({map_var}, \"{n}\") {{\n\
+                 Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n\
+                 None => ::serde::Deserialize::missing_field(\"{n}\")?,\n}}"
+            ),
+        };
+        s.push_str(&format!("{n}: {init},\n"));
+    }
+    s
+}
+
+fn de_tuple_payload(path: &str, n: usize, src: &str, type_name: &str) -> String {
+    if n == 1 {
+        return format!(
+            "::core::result::Result::Ok({path}(::serde::Deserialize::deserialize({src})?))"
+        );
+    }
+    let elems: Vec<String> = (0..n)
+        .map(|k| format!("::serde::Deserialize::deserialize(&__s[{k}])?"))
+        .collect();
+    format!(
+        "match {src} {{\n\
+         ::serde::Content::Seq(__s) if __s.len() == {n} => \
+         ::core::result::Result::Ok({path}({elems})),\n\
+         _ => ::core::result::Result::Err(::serde::Error::custom(\
+         \"expected {n}-element sequence for {type_name}\")),\n}}",
+        elems = elems.join(", ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    assert!(
+        item.generics.is_empty(),
+        "derive(Deserialize) shim does not support generic item {name}"
+    );
+    let body = match &item.body {
+        Body::Named(fields) => format!(
+            "match __c {{\n\
+             ::serde::Content::Map(__m) => ::core::result::Result::Ok({name} {{\n{fields}\n}}),\n\
+             _ => ::core::result::Result::Err(::serde::Error::custom(\"expected map for {name}\")),\n}}",
+            fields = de_named_fields(fields, "__m", name)
+        ),
+        Body::Tuple(n) => de_tuple_payload(name, *n, "__c", name),
+        Body::Unit => format!(
+            "match __c {{\n\
+             ::serde::Content::Null => ::core::result::Result::Ok({name}),\n\
+             _ => ::core::result::Result::Err(::serde::Error::custom(\"expected null for {name}\")),\n}}"
+        ),
+        Body::Enum(variants) if item.untagged => {
+            let mut s = String::new();
+            for v in variants {
+                let attempt = match &v.kind {
+                    VariantKind::Unit => format!(
+                        "match __c {{ ::serde::Content::Null => \
+                         ::core::result::Result::Ok(Self::{vn}), _ => \
+                         ::core::result::Result::Err(::serde::Error::custom(\"not null\")) }}",
+                        vn = v.name
+                    ),
+                    VariantKind::Tuple(n) => {
+                        de_tuple_payload(&format!("Self::{}", v.name), *n, "__c", name)
+                    }
+                    VariantKind::Named(fields) => format!(
+                        "match __c {{\n\
+                         ::serde::Content::Map(__m) => ::core::result::Result::Ok(Self::{vn} {{\n{fields}\n}}),\n\
+                         _ => ::core::result::Result::Err(::serde::Error::custom(\"expected map\")),\n}}",
+                        vn = v.name,
+                        fields = de_named_fields(fields, "__m", name)
+                    ),
+                };
+                s.push_str(&format!(
+                    "{{\nlet __r: ::core::result::Result<Self, ::serde::Error> = \
+                     (|| {{ {attempt} }})();\n\
+                     if let ::core::result::Result::Ok(__v) = __r {{ \
+                     return ::core::result::Result::Ok(__v); }}\n}}\n"
+                ));
+            }
+            s.push_str(&format!(
+                "::core::result::Result::Err(::serde::Error::custom(\
+                 \"data did not match any variant of {name}\"))"
+            ));
+            s
+        }
+        Body::Enum(variants) => {
+            let has_unit = variants.iter().any(|v| matches!(v.kind, VariantKind::Unit));
+            let has_payload = variants.iter().any(|v| !matches!(v.kind, VariantKind::Unit));
+            let mut arms = String::new();
+            if has_unit {
+                let mut unit_arms = String::new();
+                for v in variants {
+                    if matches!(v.kind, VariantKind::Unit) {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok(Self::{vn}),\n",
+                            vn = v.name
+                        ));
+                    }
+                }
+                arms.push_str(&format!(
+                    "::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::core::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n"
+                ));
+            }
+            if has_payload {
+                let mut tag_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    let arm_body = match &v.kind {
+                        VariantKind::Unit => continue,
+                        VariantKind::Tuple(n) => {
+                            de_tuple_payload(&format!("Self::{vn}"), *n, "__v", name)
+                        }
+                        VariantKind::Named(fields) => format!(
+                            "match __v {{\n\
+                             ::serde::Content::Map(__fm) => ::core::result::Result::Ok(Self::{vn} {{\n{fields}\n}}),\n\
+                             _ => ::core::result::Result::Err(::serde::Error::custom(\
+                             \"expected map payload for variant {vn} of {name}\")),\n}}",
+                            fields = de_named_fields(fields, "__fm", name)
+                        ),
+                    };
+                    tag_arms.push_str(&format!("\"{vn}\" => {arm_body},\n"));
+                }
+                arms.push_str(&format!(
+                    "::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                     let __v = &__m[0].1;\n\
+                     match __m[0].0.as_str() {{\n{tag_arms}\
+                     __other => ::core::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n"
+                ));
+            }
+            format!(
+                "match __c {{\n{arms}\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"invalid representation for enum {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__c: &::serde::Content) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -42,10 +42,7 @@ fn main() {
             }
         }
         Some("serve") => {
-            let port: u16 = args
-                .get(1)
-                .and_then(|p| p.parse().ok())
-                .unwrap_or(8047);
+            let port: u16 = args.get(1).and_then(|p| p.parse().ok()).unwrap_or(8047);
             let chat = build_pipeline();
             let config = chatiyp_server::ServerConfig {
                 addr: format!("127.0.0.1:{port}").parse().expect("valid address"),

@@ -155,7 +155,10 @@ fn geval_judges_pipeline_answers_consistently_with_correctness() {
     }
     assert!(!correct_scores.is_empty());
     let mean = correct_scores.iter().sum::<f64>() / correct_scores.len() as f64;
-    assert!(mean > 0.7, "correct answers judged low on average: {mean:.3}");
+    assert!(
+        mean > 0.7,
+        "correct answers judged low on average: {mean:.3}"
+    );
 }
 
 #[test]
