@@ -1,0 +1,400 @@
+//! The two-tier query cache: plan reuse + epoch-invalidated result reuse.
+//!
+//! Text-to-Cypher traffic is dominated by repeated, templated queries over
+//! a slowly changing graph, so both fixed per-query costs are cacheable:
+//!
+//! * **Tier 1 — plan cache** ([`iyp_cypher::PlanCache`]): normalized query
+//!   text → parsed query, shared as `Arc<Query>` across threads. Hit on
+//!   any repeat of the text, even when the result tier misses.
+//! * **Tier 2 — result cache** (this module): `(normalized query, params)`
+//!   → materialized [`QueryResult`], bounded LRU with optional TTL.
+//!
+//! Correctness rests on the graph's monotonic **write epoch**
+//! ([`iyp_graphdb::Graph::epoch`]): every entry records the epoch it was
+//! computed at, and a lookup whose recorded epoch differs from the graph's
+//! current epoch discards the entry instead of serving it. Any
+//! CREATE/MERGE/SET/DELETE bumps the epoch, so a stale result can never be
+//! returned — there is no invalidation bookkeeping to get wrong, at the
+//! cost of a full logical flush on any write (the right trade for a
+//! read-mostly graph).
+//!
+//! Hits return the result behind an [`Arc`] so heavy rows are never
+//! copied on the hot path; counters (hits, misses, evictions, epoch
+//! invalidations, TTL expirations) are exported via [`QueryCache::stats`]
+//! and surfaced by the server's `/stats` endpoint.
+
+use iyp_cypher::cache::Lru;
+use iyp_cypher::{CypherError, ExecLimits, Params, PlanCache, QueryResult};
+use iyp_graphdb::Graph;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Configuration of the query cache.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Master switch; when false every lookup executes cold and nothing
+    /// is stored (counters still advance, all as misses).
+    pub enabled: bool,
+    /// Maximum resident results (tier 2).
+    pub capacity: usize,
+    /// Maximum resident parsed plans (tier 1).
+    pub plan_capacity: usize,
+    /// Results older than this are re-executed even at an unchanged
+    /// epoch. `None` disables TTL expiry (the epoch alone guarantees
+    /// correctness; a TTL only bounds staleness across graph *swaps*).
+    pub ttl: Option<Duration>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: true,
+            capacity: 1024,
+            plan_capacity: 512,
+            ttl: None,
+        }
+    }
+}
+
+/// Counter snapshot of a [`QueryCache`], serialized into `/stats`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CacheStats {
+    /// Result-tier lookups answered from the cache.
+    pub hits: u64,
+    /// Result-tier lookups that executed the query.
+    pub misses: u64,
+    /// Result entries dropped to make room.
+    pub evictions: u64,
+    /// Result entries discarded because the graph epoch moved.
+    pub invalidations: u64,
+    /// Result entries discarded because their TTL elapsed.
+    pub expirations: u64,
+    /// Live result entries.
+    pub len: usize,
+    /// Result-tier capacity.
+    pub capacity: usize,
+    /// Plan-tier counters.
+    pub plan: iyp_cypher::PlanCacheStats,
+}
+
+struct CachedResult {
+    result: Arc<QueryResult>,
+    /// Graph epoch the result was computed at.
+    epoch: u64,
+    /// Insertion time, for TTL expiry.
+    inserted: Instant,
+}
+
+/// The two-tier cache. One instance is shared by the pipeline's `ask`
+/// path and the server's `/cypher` endpoint, so both workloads warm the
+/// same entries.
+pub struct QueryCache {
+    config: CacheConfig,
+    plans: PlanCache,
+    results: Mutex<Lru<CachedResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    expirations: AtomicU64,
+}
+
+// Shared by server workers alongside the pipeline.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryCache>();
+};
+
+impl QueryCache {
+    /// Builds a cache from its configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        QueryCache {
+            plans: PlanCache::new(config.plan_capacity),
+            results: Mutex::new(Lru::new(config.capacity)),
+            config,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            expirations: AtomicU64::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Lru<CachedResult>> {
+        self.results.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The cache key: normalized query text plus canonically serialized
+    /// parameters (`Params` is a `BTreeMap`, so serialization is
+    /// deterministic). A NUL separates the parts — it cannot appear in
+    /// the JSON params rendering, so keys never collide across the split.
+    fn key(src: &str, params: &Params) -> String {
+        let mut key = iyp_cypher::normalize_query(src);
+        if !params.is_empty() {
+            key.push('\0');
+            key.push_str(&serde_json::to_string(params).expect("params serialize"));
+        }
+        key
+    }
+
+    /// Executes `src` read-only against `graph`, serving a cached result
+    /// when one exists for the current write epoch.
+    pub fn get_or_execute(
+        &self,
+        graph: &Graph,
+        src: &str,
+        params: &Params,
+    ) -> Result<Arc<QueryResult>, CypherError> {
+        self.get_or_execute_with_limits(graph, src, params, ExecLimits::none())
+    }
+
+    /// [`QueryCache::get_or_execute`] with a wall-clock deadline applied
+    /// to cold executions — the server's untrusted-Cypher entry point.
+    pub fn get_or_execute_with_deadline(
+        &self,
+        graph: &Graph,
+        src: &str,
+        params: &Params,
+        timeout: Duration,
+    ) -> Result<Arc<QueryResult>, CypherError> {
+        self.get_or_execute_with_limits(graph, src, params, ExecLimits::timeout(timeout))
+    }
+
+    /// The general form: cold executions run under `limits`.
+    pub fn get_or_execute_with_limits(
+        &self,
+        graph: &Graph,
+        src: &str,
+        params: &Params,
+        limits: ExecLimits,
+    ) -> Result<Arc<QueryResult>, CypherError> {
+        if !self.config.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let q = self.plans.parse(src)?;
+            return Ok(Arc::new(iyp_cypher::execute_read_with_limits(
+                graph, &q, params, limits,
+            )?));
+        }
+
+        let key = Self::key(src, params);
+        // Read the epoch before the lookup/execution: if a writer bumps it
+        // concurrently we may store an entry that immediately invalidates,
+        // which is wasteful but never wrong.
+        let epoch = graph.epoch();
+
+        {
+            let mut lru = self.lock();
+            let verdict = lru.get(&key).map(|entry| {
+                if entry.epoch != epoch {
+                    Err(&self.invalidations)
+                } else if self
+                    .config
+                    .ttl
+                    .is_some_and(|ttl| entry.inserted.elapsed() > ttl)
+                {
+                    Err(&self.expirations)
+                } else {
+                    Ok(Arc::clone(&entry.result))
+                }
+            });
+            match verdict {
+                Some(Ok(result)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(result);
+                }
+                Some(Err(counter)) => {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    lru.remove(&key);
+                }
+                None => {}
+            }
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let q = self.plans.parse(src)?;
+        let result = Arc::new(iyp_cypher::execute_read_with_limits(
+            graph, &q, params, limits,
+        )?);
+        let entry = CachedResult {
+            result: Arc::clone(&result),
+            epoch,
+            inserted: Instant::now(),
+        };
+        if self.lock().insert(key, entry) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(result)
+    }
+
+    /// Current counters and occupancy for both tiers.
+    pub fn stats(&self) -> CacheStats {
+        let lru = self.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
+            len: lru.len(),
+            capacity: lru.capacity(),
+            plan: self.plans.stats(),
+        }
+    }
+
+    /// Drops every cached result and plan (counters are retained).
+    pub fn clear(&self) {
+        self.lock().clear();
+        self.plans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graphdb::{props, Props, Value};
+
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node(["AS"], props!("asn" => 2497i64, "name" => "IIJ"));
+        let b = g.add_node(["AS"], props!("asn" => 15169i64, "name" => "Google"));
+        let c = g.add_node(["Country"], props!("country_code" => "JP"));
+        g.add_rel(a, "COUNTRY", c, Props::new()).unwrap();
+        g.add_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
+        g
+    }
+
+    #[test]
+    fn hit_returns_same_allocation_and_counts() {
+        let g = tiny_graph();
+        let cache = QueryCache::new(CacheConfig::default());
+        let q = "MATCH (a:AS) RETURN count(a)";
+        let first = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        let second = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert_eq!(s.plan.misses, 1);
+    }
+
+    #[test]
+    fn whitespace_variants_share_an_entry() {
+        let g = tiny_graph();
+        let cache = QueryCache::new(CacheConfig::default());
+        let a = cache
+            .get_or_execute(&g, "MATCH (a:AS) RETURN count(a)", &Params::new())
+            .unwrap();
+        let b = cache
+            .get_or_execute(&g, "MATCH  (a:AS)\n RETURN count(a)", &Params::new())
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn params_are_part_of_the_key() {
+        let g = tiny_graph();
+        let cache = QueryCache::new(CacheConfig::default());
+        let q = "MATCH (a:AS) WHERE a.asn = $asn RETURN a.name";
+        let mut p1 = Params::new();
+        p1.insert("asn".into(), Value::Int(2497));
+        let mut p2 = Params::new();
+        p2.insert("asn".into(), Value::Int(15169));
+        let r1 = cache.get_or_execute(&g, q, &p1).unwrap();
+        let r2 = cache.get_or_execute(&g, q, &p2).unwrap();
+        assert_eq!(r1.rows[0][0].to_string(), "IIJ");
+        assert_eq!(r2.rows[0][0].to_string(), "Google");
+        // Both miss (different keys), but share one cached plan.
+        let s = cache.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.plan.misses, 1);
+        assert_eq!(s.plan.hits, 1);
+    }
+
+    #[test]
+    fn write_bumps_epoch_and_invalidates() {
+        let mut g = tiny_graph();
+        let cache = QueryCache::new(CacheConfig::default());
+        let q = "MATCH (a:AS) RETURN count(a)";
+        let before = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        assert_eq!(before.rows[0][0], Value::Int(2));
+
+        iyp_cypher::update(&mut g, "CREATE (x:AS {asn: 64512})").unwrap();
+
+        let after = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        assert_eq!(
+            after.rows[0][0],
+            Value::Int(3),
+            "stale cached count served after a write"
+        );
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let g = tiny_graph();
+        let cache = QueryCache::new(CacheConfig {
+            ttl: Some(Duration::from_millis(0)),
+            ..CacheConfig::default()
+        });
+        let q = "MATCH (a:AS) RETURN count(a)";
+        cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.expirations, 1);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn capacity_bounds_and_eviction_counts() {
+        let g = tiny_graph();
+        let cache = QueryCache::new(CacheConfig {
+            capacity: 2,
+            ..CacheConfig::default()
+        });
+        for q in [
+            "MATCH (a:AS) RETURN count(a)",
+            "MATCH (c:Country) RETURN count(c)",
+            "RETURN 1",
+        ] {
+            cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.len, 2);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn disabled_cache_executes_cold_every_time() {
+        let g = tiny_graph();
+        let cache = QueryCache::new(CacheConfig {
+            enabled: false,
+            ..CacheConfig::default()
+        });
+        let q = "MATCH (a:AS) RETURN count(a)";
+        let a = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        let b = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, *b);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (0, 2, 0));
+    }
+
+    #[test]
+    fn write_queries_are_refused_not_cached() {
+        let g = tiny_graph();
+        let cache = QueryCache::new(CacheConfig::default());
+        assert!(cache
+            .get_or_execute(&g, "CREATE (x:AS {asn: 1})", &Params::new())
+            .is_err());
+        assert_eq!(cache.stats().len, 0);
+    }
+}

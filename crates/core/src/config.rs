@@ -1,6 +1,7 @@
-//! Pipeline configuration: stage toggles (used by the ablation bench) and
-//! retrieval knobs.
+//! Pipeline configuration: stage toggles (used by the ablation bench),
+//! retrieval knobs, and query-cache sizing.
 
+use crate::cache::CacheConfig;
 use iyp_llm::LmConfig;
 
 /// Configuration of the ChatIYP pipeline.
@@ -25,6 +26,10 @@ pub struct ChatIypConfig {
     /// (the paper's configuration); the `full+retry` ablation arm
     /// explores the paper's "further future research" direction.
     pub max_retries: u32,
+    /// Two-tier query cache knobs (capacity, plan capacity, TTL,
+    /// on/off). Shared between the `ask` path and the server's
+    /// `/cypher` endpoint.
+    pub cache: CacheConfig,
 }
 
 impl Default for ChatIypConfig {
@@ -37,6 +42,7 @@ impl Default for ChatIypConfig {
             vector_top_k: 8,
             rerank_top_k: 3,
             max_retries: 0,
+            cache: CacheConfig::default(),
         }
     }
 }

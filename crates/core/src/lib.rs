@@ -31,11 +31,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod pipeline;
 pub mod response;
 pub mod retriever;
 
+pub use cache::{CacheConfig, CacheStats, QueryCache};
 pub use config::ChatIypConfig;
 pub use pipeline::ChatIyp;
 pub use response::{ChatResponse, ContextChunk, Route, Timings};

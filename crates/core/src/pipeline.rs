@@ -1,6 +1,7 @@
 //! The ChatIYP pipeline: user query → retrieval (symbolic, with semantic
 //! fallback and reranking) → generation, with transparency output.
 
+use crate::cache::QueryCache;
 use crate::config::ChatIypConfig;
 use crate::response::{ChatResponse, ContextChunk, Route, Timings};
 use crate::retriever::{StructuredRetrieval, TextToCypherRetriever, VectorContextRetriever};
@@ -26,6 +27,7 @@ pub struct ChatIyp {
     text2cypher: TextToCypherRetriever,
     vector: VectorContextRetriever,
     reranker: Reranker,
+    cache: QueryCache,
 }
 
 // The pipeline is shared read-only across server workers and bench
@@ -42,6 +44,7 @@ impl ChatIyp {
         let lm = SimLm::new(config.lm.clone());
         let translator = Translator::new(lm.clone(), catalog);
         let vector = VectorContextRetriever::from_graph(&dataset.graph);
+        let cache = QueryCache::new(config.cache.clone());
         ChatIyp {
             graph: Arc::new(dataset.graph),
             config,
@@ -49,6 +52,7 @@ impl ChatIyp {
             text2cypher: TextToCypherRetriever::new(translator),
             vector,
             reranker: Reranker::new(lm),
+            cache,
         }
     }
 
@@ -68,6 +72,14 @@ impl ChatIyp {
         &self.config
     }
 
+    /// The shared two-tier query cache. The `ask` path executes its
+    /// generated Cypher through it, and the server routes `/cypher`
+    /// queries through the same instance so both workloads warm the
+    /// same entries.
+    pub fn query_cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
     /// Answers a natural-language question.
     pub fn ask(&self, question: &str) -> ChatResponse {
         let t_start = Instant::now();
@@ -75,10 +87,11 @@ impl ChatIyp {
         // Stage 2a: TextToCypherRetriever (with optional self-correction
         // retries on failed/empty executions).
         let structured: Option<StructuredRetrieval> = if self.config.enable_text2cypher {
-            Some(self.text2cypher.retrieve_with_retries(
+            Some(self.text2cypher.retrieve_cached(
                 &self.graph,
                 question,
                 self.config.max_retries,
+                Some(&self.cache),
             ))
         } else {
             None
@@ -320,6 +333,22 @@ mod tests {
             assert_eq!(a.cypher, b.cypher);
             assert_eq!(a.route, b.route);
         }
+    }
+
+    /// Repeating a question answers through the result cache, and the
+    /// cached answer is identical to the cold one.
+    #[test]
+    fn repeated_ask_hits_the_cache_with_identical_answer() {
+        let chat = perfect();
+        let q = "What is the name of AS2497?";
+        let cold = chat.ask(q);
+        assert_eq!(chat.query_cache().stats().hits, 0);
+        let warm = chat.ask(q);
+        let s = chat.query_cache().stats();
+        assert!(s.hits >= 1, "second ask did not hit: {s:?}");
+        assert_eq!(cold.answer, warm.answer);
+        assert_eq!(cold.cypher, warm.cypher);
+        assert_eq!(cold.query_result, warm.query_result);
     }
 
     /// Graph handles from `graph_arc` alias the pipeline's own graph.

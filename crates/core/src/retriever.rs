@@ -1,6 +1,7 @@
 //! The two retrieval stages: TextToCypherRetriever (symbolic) and
 //! VectorContextRetriever (semantic).
 
+use crate::cache::QueryCache;
 use crate::response::ContextChunk;
 use iyp_cypher::QueryResult;
 use iyp_embed::DocStore;
@@ -53,6 +54,31 @@ impl TextToCypherRetriever {
         question: &str,
         max_retries: u32,
     ) -> StructuredRetrieval {
+        self.retrieve_cached(graph, question, max_retries, None)
+    }
+
+    /// [`TextToCypherRetriever::retrieve_with_retries`], executing
+    /// generated queries through the shared query cache when one is
+    /// given: repeated questions (and distinct questions refined to the
+    /// same Cypher) skip parse and execution entirely.
+    pub fn retrieve_cached(
+        &self,
+        graph: &Graph,
+        question: &str,
+        max_retries: u32,
+        cache: Option<&QueryCache>,
+    ) -> StructuredRetrieval {
+        let run = |cy: &str| -> Result<QueryResult, String> {
+            match cache {
+                Some(cache) => cache
+                    .get_or_execute(graph, cy, &iyp_cypher::Params::new())
+                    // The response owns its rows; a hit clones the cached
+                    // table (parse + planning + execution still skipped).
+                    .map(|arc| (*arc).clone())
+                    .map_err(|e| e.to_string()),
+                None => iyp_cypher::query(graph, cy).map_err(|e| e.to_string()),
+            }
+        };
         let mut last = None;
         for attempt in 0..=max_retries {
             let translation = self.translator.translate_attempt(question, attempt);
@@ -61,9 +87,9 @@ impl TextToCypherRetriever {
             let no_query = translation.cypher.is_none();
             let (result, exec_error) = match &translation.cypher {
                 None => (None, None),
-                Some(cy) => match iyp_cypher::query(graph, cy) {
+                Some(cy) => match run(cy) {
                     Ok(r) => (Some(r), None),
-                    Err(e) => (None, Some(e.to_string())),
+                    Err(e) => (None, Some(e)),
                 },
             };
             let retrieval = StructuredRetrieval {

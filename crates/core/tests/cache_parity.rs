@@ -1,0 +1,122 @@
+//! Cache correctness: cached results must be byte-identical to uncached
+//! execution across the full 58-query parity corpus, and no write may
+//! ever leave a stale entry servable.
+
+use chatiyp_core::cache::{CacheConfig, QueryCache};
+use iyp_cypher::corpus::PARITY_QUERIES;
+use iyp_cypher::Params;
+use iyp_data::{generate, IypConfig};
+use iyp_graphdb::Graph;
+use proptest::prelude::*;
+
+/// Every corpus query: the cold (miss) pass and the warm (hit) pass both
+/// serialize byte-for-byte like direct uncached execution.
+#[test]
+fn cached_results_byte_identical_across_parity_corpus() {
+    let g = generate(&IypConfig::default()).graph;
+    let cache = QueryCache::new(CacheConfig::default());
+    for q in PARITY_QUERIES {
+        let uncached = iyp_cypher::query(&g, q).expect("corpus query executes");
+        let golden = serde_json::to_string(&uncached).unwrap();
+        let cold = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&*cold).unwrap(),
+            golden,
+            "cold cache pass diverged: {q}"
+        );
+        let warm = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&*warm).unwrap(),
+            golden,
+            "warm cache pass diverged: {q}"
+        );
+    }
+    let s = cache.stats();
+    assert_eq!(s.misses as usize, PARITY_QUERIES.len());
+    assert_eq!(s.hits as usize, PARITY_QUERIES.len());
+    assert_eq!(s.invalidations, 0);
+}
+
+/// A write statement applied between cached reads.
+#[derive(Debug, Clone)]
+enum Write {
+    Create(u16),
+    MergeSet(u16),
+    SetProp(u16),
+}
+
+impl Write {
+    fn cypher(&self) -> String {
+        match self {
+            Write::Create(asn) => format!("CREATE (x:AS {{asn: {}, name: 'AS{0}'}})", asn),
+            Write::MergeSet(asn) => {
+                format!("MERGE (x:AS {{asn: {asn}}}) SET x.name = 'merged-{asn}'")
+            }
+            // Always targets the seed node so the SET actually mutates
+            // (a zero-row MATCH would make the write a no-op).
+            Write::SetProp(tag) => {
+                format!("MATCH (x:AS {{asn: 1}}) SET x.name = 'renamed-{tag}'")
+            }
+        }
+    }
+}
+
+fn write_strategy() -> impl Strategy<Value = Write> {
+    prop_oneof![
+        (1u16..999).prop_map(Write::Create),
+        (1u16..999).prop_map(Write::MergeSet),
+        (1u16..999).prop_map(Write::SetProp),
+    ]
+}
+
+const PROBES: &[&str] = &[
+    "MATCH (a:AS) RETURN count(a)",
+    "MATCH (a:AS) WHERE a.asn < 1000 RETURN a.asn, a.name ORDER BY a.asn",
+    "MATCH (a:AS) WHERE a.name STARTS WITH 'merged' RETURN count(a)",
+    "MATCH (a:AS) WHERE a.name STARTS WITH 'renamed' RETURN count(a)",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interleave arbitrary CREATE/MERGE/SET writes with cached reads:
+    /// after every write the cache must answer exactly like a fresh
+    /// execution (the epoch bump invalidates), and between writes hits
+    /// must still be byte-identical.
+    #[test]
+    fn writes_always_invalidate_stale_entries(writes in proptest::collection::vec(write_strategy(), 1..24)) {
+        let mut g = Graph::new();
+        g.create_index("AS", "asn");
+        iyp_cypher::update(&mut g, "CREATE (x:AS {asn: 1, name: 'seed'})").unwrap();
+        let cache = QueryCache::new(CacheConfig::default());
+
+        // Warm every probe.
+        for q in PROBES {
+            cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        }
+
+        for w in writes {
+            let epoch_before = g.epoch();
+            iyp_cypher::update(&mut g, &w.cypher()).unwrap();
+            prop_assert!(g.epoch() > epoch_before, "write did not bump epoch: {}", w.cypher());
+
+            for q in PROBES {
+                let fresh = iyp_cypher::query(&g, q).unwrap();
+                let via_cache = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+                prop_assert_eq!(
+                    serde_json::to_string(&*via_cache).unwrap(),
+                    serde_json::to_string(&fresh).unwrap(),
+                    "stale result served after {}", w.cypher()
+                );
+                // Immediately repeated read: now a hit, still identical.
+                let hit = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+                prop_assert_eq!(
+                    serde_json::to_string(&*hit).unwrap(),
+                    serde_json::to_string(&fresh).unwrap()
+                );
+            }
+        }
+        let s = cache.stats();
+        prop_assert!(s.invalidations > 0, "no invalidation ever recorded: {s:?}");
+    }
+}

@@ -85,8 +85,20 @@ pub fn update(graph: &mut Graph, src: &str) -> Result<QueryResult, CypherError> 
 
 /// Executes a parsed read-only query. Write clauses produce a plan error.
 pub fn execute_read(graph: &Graph, q: &Query, params: &Params) -> Result<QueryResult, CypherError> {
+    execute_read_with_limits(graph, q, params, ExecLimits::none())
+}
+
+/// Executes a parsed read-only query under explicit limits — the entry
+/// point for callers that cache parsed queries (see [`crate::cache`]) and
+/// still need per-execution deadlines.
+pub fn execute_read_with_limits(
+    graph: &Graph,
+    q: &Query,
+    params: &Params,
+    limits: ExecLimits,
+) -> Result<QueryResult, CypherError> {
     let mut src = ReadOnly(graph);
-    run(&mut src, q, params, ExecLimits::none())
+    run(&mut src, q, params, limits)
 }
 
 /// Executes a parsed query, allowing writes.

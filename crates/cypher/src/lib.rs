@@ -30,6 +30,8 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cache;
+pub mod corpus;
 pub mod error;
 pub mod eval;
 pub mod exec;
@@ -42,9 +44,13 @@ pub mod pretty;
 pub mod result;
 pub mod token;
 
+pub use cache::{normalize_query, PlanCache, PlanCacheStats};
 pub use error::{CypherError, Stage};
 pub use eval::{Entry, Env, Params, Row};
-pub use exec::{execute, execute_read, query, query_with, query_with_deadline, update, ExecLimits};
+pub use exec::{
+    execute, execute_read, execute_read_with_limits, query, query_with, query_with_deadline,
+    update, ExecLimits,
+};
 pub use explain::explain;
 pub use parser::{parse, parse_expression};
 pub use pretty::{canonicalize, query_to_string};

@@ -126,6 +126,10 @@ pub struct Graph {
     indexes: IndexSet,
     live_nodes: usize,
     live_rels: usize,
+    /// Monotonic write epoch: bumped by every successful mutation, so
+    /// caches keyed on query text can detect that previously recorded
+    /// results may be stale (see `chatiyp-core`'s query cache).
+    epoch: u64,
 }
 
 impl Graph {
@@ -137,6 +141,18 @@ impl Graph {
     // ------------------------------------------------------------------
     // Mutation
     // ------------------------------------------------------------------
+
+    /// The current write epoch. Strictly increases across successful
+    /// mutations (node/relationship/property/label/index changes) and
+    /// never changes on reads, so `epoch() == earlier_epoch` proves any
+    /// result computed at `earlier_epoch` is still valid.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
 
     /// Adds a node with the given labels and properties, returning its id.
     pub fn add_node<I, S>(&mut self, labels: I, props: Props) -> NodeId
@@ -163,6 +179,7 @@ impl Graph {
             inc: Vec::new(),
         }));
         self.live_nodes += 1;
+        self.bump_epoch();
         id
     }
 
@@ -192,6 +209,7 @@ impl Graph {
         self.node_mut_raw(src).out.push(id);
         self.node_mut_raw(dst).inc.push(id);
         self.live_rels += 1;
+        self.bump_epoch();
         Ok(id)
     }
 
@@ -205,6 +223,7 @@ impl Graph {
         self.node_mut_raw(rec.src).out.retain(|&r| r != id);
         self.node_mut_raw(rec.dst).inc.retain(|&r| r != id);
         self.live_rels -= 1;
+        self.bump_epoch();
         Ok(rec)
     }
 
@@ -224,6 +243,7 @@ impl Graph {
         }
         self.indexes.on_node_removed(id, &rec.labels, &rec.props);
         self.live_nodes -= 1;
+        self.bump_epoch();
         Ok(rec)
     }
 
@@ -243,6 +263,7 @@ impl Graph {
         self.indexes
             .on_prop_changed(id, &labels, key, old.as_ref(), &value);
         self.node_mut_raw(id).props.set(key, value);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -259,6 +280,7 @@ impl Graph {
             .and_then(Option::as_mut)
             .ok_or(GraphError::RelNotFound(id))?;
         rec.props.set(key, value);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -274,6 +296,7 @@ impl Graph {
             let props = rec.props.clone();
             self.label_members[sym.0 as usize].insert(id);
             self.indexes.on_node_added(id, &[sym], &props);
+            self.bump_epoch();
         }
         Ok(())
     }
@@ -476,6 +499,9 @@ impl Graph {
             })
             .collect();
         self.indexes.create(sym, key, entries.into_iter());
+        // Index creation doesn't change query results, but it can change
+        // plans; bumping keeps cache semantics conservative and simple.
+        self.bump_epoch();
     }
 
     /// Exact-match index lookup. Returns `None` when no index exists on
@@ -669,6 +695,41 @@ mod tests {
             })
             .collect();
         assert_eq!(asns, vec![20, 30]);
+    }
+
+    #[test]
+    fn epoch_bumps_on_mutations_only() {
+        let mut g = Graph::new();
+        let e0 = g.epoch();
+        let a = g.add_node(["AS"], props!("asn" => 1i64));
+        assert!(g.epoch() > e0);
+        let e1 = g.epoch();
+        let b = g.add_node(["AS"], Props::new());
+        let r = g.add_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
+        g.set_node_prop(a, "asn", 2i64).unwrap();
+        g.set_rel_prop(r, "since", 2020i64).unwrap();
+        g.add_label(a, "Tier1").unwrap();
+        assert!(g.epoch() > e1);
+
+        // Idempotent label re-add and failed mutations leave it alone.
+        let e2 = g.epoch();
+        g.add_label(a, "Tier1").unwrap();
+        assert!(g.add_rel(a, "X", NodeId(99), Props::new()).is_err());
+        assert!(g.set_node_prop(NodeId(99), "x", 1i64).is_err());
+        assert_eq!(g.epoch(), e2);
+
+        // Reads leave it alone.
+        let _ = g.node(a);
+        let _ = g.neighbors(a, Direction::Both, None);
+        let _ = g.node_count();
+        assert_eq!(g.epoch(), e2);
+
+        // Removals bump.
+        g.remove_rel(r).unwrap();
+        assert!(g.epoch() > e2);
+        let e3 = g.epoch();
+        g.remove_node(b).unwrap();
+        assert!(g.epoch() > e3);
     }
 
     #[test]

@@ -167,6 +167,44 @@ proptest! {
         }
     }
 
+    /// The write epoch strictly increases on every effective mutation and
+    /// never moves on reads — the invariant the query cache relies on to
+    /// guarantee stale results are never served.
+    #[test]
+    fn epoch_tracks_every_mutation(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut graph = Graph::new();
+        graph.create_index("AS", "key");
+        let mut live_nodes = Vec::new();
+        let mut live_rels = Vec::new();
+        for op in ops {
+            let before = graph.epoch();
+            // Ops drawing from empty id pools are skipped by `apply` and
+            // must leave the epoch untouched.
+            let effective = match &op {
+                Op::AddNode { .. } => true,
+                Op::AddRel { .. } => !live_nodes.is_empty(),
+                Op::RemoveNode { .. } | Op::SetProp { .. } => !live_nodes.is_empty(),
+                Op::RemoveRel { .. } => !live_rels.is_empty(),
+            };
+            apply(&mut graph, &mut live_nodes, &mut live_rels, op);
+            if effective {
+                prop_assert!(graph.epoch() > before, "mutation did not bump epoch");
+            } else {
+                prop_assert_eq!(graph.epoch(), before);
+            }
+
+            // Reads never move the epoch.
+            let at = graph.epoch();
+            let _ = graph.node_count();
+            let _ = graph.all_nodes().count();
+            let _ = graph.index_lookup("AS", "key", &Value::Int(0));
+            for id in live_nodes.iter().take(3) {
+                let _ = graph.neighbors(*id, Direction::Both, None);
+            }
+            prop_assert_eq!(graph.epoch(), at);
+        }
+    }
+
     /// Serialization round-trips arbitrary graphs exactly.
     #[test]
     fn snapshot_roundtrip(ops in proptest::collection::vec(op_strategy(), 1..80)) {

@@ -48,9 +48,9 @@ pub struct AskResponse<'a> {
 pub fn handle(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
     match (req.method.as_str(), req.path()) {
         ("POST", "/ask") => handle_ask(chat, req),
-        ("POST", "/cypher") => handle_cypher(graph, req),
+        ("POST", "/cypher") => handle_cypher(chat, graph, req),
         ("GET", "/health") => handle_health(graph),
-        ("GET", "/stats") => handle_stats(graph),
+        ("GET", "/stats") => handle_stats(chat, graph),
         ("GET", "/schema") => Response::text(200, iyp_data::schema::schema_summary()),
         ("GET", _) | ("POST", _) => Response::json(
             404,
@@ -89,16 +89,17 @@ fn handle_ask(chat: &ChatIyp, req: &Request) -> Response {
     }
 }
 
-fn handle_cypher(graph: &Graph, req: &Request) -> Response {
+fn handle_cypher(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
     let parsed: Result<CypherRequest, _> = serde_json::from_slice(&req.body);
     match parsed {
         Err(e) => Response::json(
             400,
             json!({"error": format!("invalid JSON body: {e}")}).to_string(),
         ),
-        // Untrusted Cypher runs under a deadline so a pathological
-        // pattern cannot pin a worker.
-        Ok(c) => match iyp_cypher::query_with_deadline(
+        // Untrusted Cypher runs through the shared query cache (repeated
+        // queries skip parse + execution) and under a deadline so a
+        // pathological pattern cannot pin a worker.
+        Ok(c) => match chat.query_cache().get_or_execute_with_deadline(
             graph,
             &c.query,
             &iyp_cypher::Params::new(),
@@ -106,16 +107,26 @@ fn handle_cypher(graph: &Graph, req: &Request) -> Response {
         ) {
             Ok(result) => Response::json(
                 200,
-                serde_json::to_string(&result).expect("result serializes"),
+                serde_json::to_string(&*result).expect("result serializes"),
             ),
             Err(e) => Response::json(400, json!({"error": e.to_string()}).to_string()),
         },
     }
 }
 
-fn handle_stats(graph: &Graph) -> Response {
+fn handle_stats(chat: &ChatIyp, graph: &Graph) -> Response {
     let stats = iyp_graphdb::GraphStats::compute(graph);
-    Response::json(200, serde_json::to_string(&stats).expect("stats serialize"))
+    let mut body = serde_json::to_value(&stats);
+    // Graft the cache counters and the graph's write epoch onto the
+    // GraphStats object so operators see hit rates next to graph shape.
+    if let serde_json::Value::Map(entries) = &mut body {
+        entries.push(("epoch".to_string(), serde_json::to_value(&graph.epoch())));
+        entries.push((
+            "cache".to_string(),
+            serde_json::to_value(&chat.query_cache().stats()),
+        ));
+    }
+    Response::json(200, body.to_string())
 }
 
 fn handle_health(graph: &Graph) -> Response {
@@ -241,6 +252,44 @@ mod tests {
         assert!(body["nodes_by_label"]["AS"].as_u64().unwrap() > 0);
         assert!(body["rels_by_type"]["ORIGINATE"].as_u64().unwrap() > 0);
         assert!(body["degree"]["mean"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn stats_endpoint_exposes_cache_counters_and_epoch() {
+        let c = chat();
+        let r = handle(&c, c.graph(), &req("GET", "/stats", ""));
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        // Existing graph-shape keys survive the merge.
+        assert!(body["nodes"].as_u64().unwrap() > 0);
+        assert!(body["epoch"].as_u64().is_some());
+        assert_eq!(body["cache"]["hits"].as_u64(), Some(0));
+        assert_eq!(body["cache"]["misses"].as_u64(), Some(0));
+
+        // Two identical /cypher calls: the second is a hit, visible in /stats.
+        let q = r#"{"query":"MATCH (a:AS) RETURN count(a)"}"#;
+        assert_eq!(
+            handle(&c, c.graph(), &req("POST", "/cypher", q)).status,
+            200
+        );
+        assert_eq!(
+            handle(&c, c.graph(), &req("POST", "/cypher", q)).status,
+            200
+        );
+        let r = handle(&c, c.graph(), &req("GET", "/stats", ""));
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(body["cache"]["misses"].as_u64(), Some(1));
+        assert_eq!(body["cache"]["hits"].as_u64(), Some(1));
+        assert_eq!(body["cache"]["len"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn cypher_responses_identical_across_cache_hit() {
+        let c = chat();
+        let q = r#"{"query":"MATCH (a:AS) RETURN a.asn ORDER BY a.asn"}"#;
+        let cold = handle(&c, c.graph(), &req("POST", "/cypher", q));
+        let warm = handle(&c, c.graph(), &req("POST", "/cypher", q));
+        assert_eq!(cold.status, 200);
+        assert_eq!(cold.body, warm.body, "cache hit changed the wire bytes");
     }
 
     #[test]

@@ -57,23 +57,47 @@ impl Request {
     /// Does the client want the connection kept open? HTTP/1.1 defaults
     /// to keep-alive unless `Connection: close`; HTTP/1.0 requires an
     /// explicit `Connection: keep-alive`.
+    ///
+    /// The header value is a comma-separated option list (RFC 7230
+    /// §6.1) — `Connection: keep-alive, upgrade` must still parse as
+    /// keep-alive — so each token is matched individually, with `close`
+    /// winning over `keep-alive` if both somehow appear.
     pub fn wants_keep_alive(&self) -> bool {
-        match self.header("connection").map(str::to_ascii_lowercase) {
-            Some(v) if v == "close" => false,
-            Some(v) if v == "keep-alive" => true,
-            _ => self.http11,
+        let Some(value) = self.header("connection") else {
+            return self.http11;
+        };
+        let mut keep_alive = false;
+        for token in value.split(',') {
+            let token = token.trim();
+            if token.eq_ignore_ascii_case("close") {
+                return false;
+            }
+            if token.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
         }
+        keep_alive || self.http11
     }
 }
 
-/// Request-parsing errors, each mapping to a response status.
+/// Request-parsing errors, each mapping to a distinct connection outcome.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HttpError {
     /// Malformed request line or headers → 400.
     BadRequest(String),
+    /// The peer closed the connection cleanly before sending any byte of
+    /// a request — the normal end of a keep-alive session. Not an error
+    /// to answer: the server just closes its side.
+    Closed,
+    /// The peer closed the connection mid-request (EOF inside the
+    /// request line, headers, or declared body) → 400. Distinct from
+    /// [`HttpError::BadRequest`] so truncation is never mistaken for a
+    /// complete-but-malformed message, and from [`HttpError::Closed`] so
+    /// a half-request is never silently accepted.
+    Truncated(String),
     /// Body larger than [`MAX_BODY`] → 413.
     TooLarge,
-    /// Socket-level failure (peer vanished etc.).
+    /// Socket-level failure (peer vanished, read timeout, …).
     Io(String),
 }
 
@@ -81,6 +105,8 @@ impl fmt::Display for HttpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::Closed => write!(f, "connection closed before a request"),
+            HttpError::Truncated(m) => write!(f, "truncated request: {m}"),
             HttpError::TooLarge => write!(f, "request body too large"),
             HttpError::Io(m) => write!(f, "i/o error: {m}"),
         }
@@ -99,9 +125,16 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 /// pipelined next request are not dropped between calls.
 pub fn read_request_buffered<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
     let mut line = String::new();
-    reader
+    let n = reader
         .read_line(&mut line)
         .map_err(|e| HttpError::Io(e.to_string()))?;
+    if n == 0 {
+        // EOF before any byte: the peer ended a keep-alive session.
+        return Err(HttpError::Closed);
+    }
+    if !line.ends_with('\n') {
+        return Err(HttpError::Truncated("EOF in request line".into()));
+    }
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -123,9 +156,15 @@ pub fn read_request_buffered<R: BufRead>(reader: &mut R) -> Result<Request, Http
     let mut header_bytes = 0usize;
     loop {
         let mut hline = String::new();
-        reader
+        let n = reader
             .read_line(&mut hline)
             .map_err(|e| HttpError::Io(e.to_string()))?;
+        // EOF before the blank line is a half-request, not an implicit
+        // end-of-headers: treating it as complete would accept truncated
+        // messages (and mis-frame any declared body).
+        if n == 0 || !hline.ends_with('\n') {
+            return Err(HttpError::Truncated("EOF in header section".into()));
+        }
         header_bytes += hline.len();
         if header_bytes > MAX_HEADER {
             return Err(HttpError::BadRequest("header section too large".into()));
@@ -146,20 +185,36 @@ pub fn read_request_buffered<R: BufRead>(reader: &mut R) -> Result<Request, Http
         }
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose()
-        .map_err(|_| HttpError::BadRequest("unparseable content-length".into()))?
-        .unwrap_or(0);
+    // RFC 7230 §3.3.2: multiple Content-Length headers with differing
+    // values make the message length ambiguous (request-smuggling class)
+    // and must be rejected; identical duplicates may be collapsed.
+    let mut content_length = 0usize;
+    let mut seen_length: Option<&str> = None;
+    for (_, v) in headers.iter().filter(|(n, _)| n == "content-length") {
+        if let Some(prev) = seen_length {
+            if prev != v {
+                return Err(HttpError::BadRequest(
+                    "conflicting content-length headers".into(),
+                ));
+            }
+            continue;
+        }
+        content_length = v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest("unparseable content-length".into()))?;
+        seen_length = Some(v);
+    }
     if content_length > MAX_BODY {
         return Err(HttpError::TooLarge);
     }
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| HttpError::Io(e.to_string()))?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::Truncated("EOF in request body".into())
+        } else {
+            HttpError::Io(e.to_string())
+        }
+    })?;
     Ok(Request {
         method,
         target,
@@ -263,6 +318,27 @@ mod tests {
         req
     }
 
+    /// Like [`roundtrip`], but the client drops its socket after writing
+    /// so the server observes EOF at the end of `raw` — needed for the
+    /// clean-close and truncation regressions ([`roundtrip`] keeps the
+    /// client side open, so a short read would block instead).
+    fn roundtrip_eof(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+            // Dropping `s` here closes the write side before the server
+            // finishes reading.
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = read_request(&mut server_side);
+        client.join().unwrap();
+        req
+    }
+
     #[test]
     fn parses_post_with_body() {
         let req = roundtrip(
@@ -311,6 +387,89 @@ mod tests {
             roundtrip(b"GET / SPDY/9\r\n\r\n"),
             Err(HttpError::BadRequest(_))
         ));
+    }
+
+    #[test]
+    fn clean_close_before_any_byte_is_closed_not_bad_request() {
+        // End of a keep-alive session: previously surfaced as an "empty
+        // request line" BadRequest, which the serve loop answered with a
+        // spurious 400 into a closed socket.
+        assert!(matches!(roundtrip_eof(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn eof_in_request_line_is_truncated() {
+        assert!(matches!(
+            roundtrip_eof(b"GET /health"),
+            Err(HttpError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn eof_mid_headers_is_truncated_not_accepted() {
+        // The key regression: EOF before the blank line used to read as
+        // end-of-headers, silently accepting the half-request.
+        assert!(matches!(
+            roundtrip_eof(b"POST /ask HTTP/1.1\r\nHost: x\r\n"),
+            Err(HttpError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn eof_mid_body_is_truncated() {
+        assert!(matches!(
+            roundtrip_eof(b"POST /ask HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn complete_request_still_parses_through_eof_helper() {
+        let req = roundtrip_eof(b"GET /health HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path(), "/health");
+    }
+
+    #[test]
+    fn conflicting_content_length_headers_rejected() {
+        let err =
+            roundtrip(b"POST /ask HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nbody!")
+                .unwrap_err();
+        assert!(
+            matches!(&err, HttpError::BadRequest(m) if m.contains("conflicting")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn identical_duplicate_content_length_headers_accepted() {
+        let req =
+            roundtrip(b"POST /ask HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody")
+                .unwrap();
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn keep_alive_parses_connection_token_lists() {
+        let req = |http11: bool, conn: Option<&str>| Request {
+            method: "GET".into(),
+            target: "/".into(),
+            headers: conn
+                .map(|v| vec![("connection".to_string(), v.to_string())])
+                .unwrap_or_default(),
+            body: Vec::new(),
+            http11,
+        };
+        // HTTP/1.0 + multi-token list containing keep-alive.
+        assert!(req(false, Some("keep-alive, upgrade")).wants_keep_alive());
+        // close anywhere in the list wins, case-insensitively.
+        assert!(!req(true, Some("Upgrade, Close")).wants_keep_alive());
+        assert!(!req(true, Some("close")).wants_keep_alive());
+        // Defaults: 1.1 keep-alive, 1.0 close.
+        assert!(req(true, None).wants_keep_alive());
+        assert!(!req(false, None).wants_keep_alive());
+        // Unrelated tokens fall back to the version default.
+        assert!(req(true, Some("upgrade")).wants_keep_alive());
+        assert!(!req(false, Some("upgrade")).wants_keep_alive());
     }
 
     #[test]

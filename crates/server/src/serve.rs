@@ -165,6 +165,18 @@ fn serve_connection(stream: TcpStream, chat: &ChatIyp, graph: &Graph) {
                 ),
                 false,
             ),
+            // End of a keep-alive session: close quietly, no 400 into a
+            // socket the peer already abandoned.
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Truncated(m)) => (
+                Response::json(
+                    400,
+                    serde_json::json!({ "error": format!("truncated request: {m}") })
+                        .to_string()
+                        .into_bytes(),
+                ),
+                false,
+            ),
             Err(HttpError::Io(_)) => return, // peer went away / idle timeout
         };
         if response.write_conn(reader.get_mut(), keep_alive).is_err() || !keep_alive {
@@ -293,6 +305,67 @@ mod tests {
             std::io::Read::read_exact(&mut reader, &mut body).unwrap();
             assert!(String::from_utf8_lossy(&body).contains("\"status\":\"ok\""));
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn clean_keep_alive_close_gets_no_spurious_400() {
+        use std::io::BufReader;
+        use std::net::Shutdown;
+        let server = start_test_server();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(3)))
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        reader
+            .get_mut()
+            .write_all(b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        // Read the one keep-alive response fully.
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        assert!(line.starts_with("HTTP/1.1 200"), "{line}");
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            std::io::BufRead::read_line(&mut reader, &mut h).unwrap();
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some(v) = h.strip_prefix("content-length: ") {
+                content_length = v.parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        std::io::Read::read_exact(&mut reader, &mut body).unwrap();
+        // Now end the session cleanly. Previously the server answered the
+        // EOF with a 400; it must close with no further bytes.
+        reader.get_mut().shutdown(Shutdown::Write).unwrap();
+        let mut rest = Vec::new();
+        std::io::Read::read_to_end(&mut reader, &mut rest).unwrap();
+        assert!(
+            rest.is_empty(),
+            "server wrote after clean close: {}",
+            String::from_utf8_lossy(&rest)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn truncated_request_gets_400() {
+        use std::net::Shutdown;
+        let server = start_test_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+        // EOF mid-headers: previously parsed as a complete request.
+        s.write_all(b"POST /ask HTTP/1.1\r\nHost: t\r\n").unwrap();
+        s.shutdown(Shutdown::Write).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "reply: {out}");
+        assert!(out.contains("truncated"), "reply: {out}");
         server.shutdown();
     }
 
