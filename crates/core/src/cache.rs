@@ -23,9 +23,11 @@
 //! invalidations, TTL expirations) are exported via [`QueryCache::stats`]
 //! and surfaced by the server's `/stats` endpoint.
 
+use crate::obs::STAGE_METRIC;
 use iyp_cypher::cache::Lru;
 use iyp_cypher::{CypherError, ExecLimits, Params, PlanCache, QueryResult};
 use iyp_graphdb::Graph;
+use iyp_obs::{Histogram, Registry};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -87,6 +89,27 @@ struct CachedResult {
     inserted: Instant,
 }
 
+/// Pre-resolved histogram handles for the per-query stages, so the hot
+/// path records latencies without a registry probe.
+struct StageTimers {
+    cache_lookup: Arc<Histogram>,
+    parse: Arc<Histogram>,
+    plan: Arc<Histogram>,
+    execute: Arc<Histogram>,
+}
+
+impl StageTimers {
+    fn new(registry: &Registry) -> StageTimers {
+        let h = |stage| registry.histogram(STAGE_METRIC, &[("stage", stage)]);
+        StageTimers {
+            cache_lookup: h("cache_lookup"),
+            parse: h("parse"),
+            plan: h("plan"),
+            execute: h("execute"),
+        }
+    }
+}
+
 /// The two-tier cache. One instance is shared by the pipeline's `ask`
 /// path and the server's `/cypher` endpoint, so both workloads warm the
 /// same entries.
@@ -99,6 +122,8 @@ pub struct QueryCache {
     evictions: AtomicU64,
     invalidations: AtomicU64,
     expirations: AtomicU64,
+    /// Stage latency histograms, when a metric registry is attached.
+    timers: Option<StageTimers>,
 }
 
 // Shared by server workers alongside the pipeline.
@@ -119,7 +144,15 @@ impl QueryCache {
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             expirations: AtomicU64::new(0),
+            timers: None,
         }
+    }
+
+    /// Attaches a metric registry: the cache records per-query stage
+    /// latencies (`cache_lookup`, `parse`, `plan`, `execute`) into
+    /// [`STAGE_METRIC`] histograms resolved once here.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.timers = Some(StageTimers::new(registry));
     }
 
     /// The active configuration.
@@ -177,10 +210,8 @@ impl QueryCache {
     ) -> Result<Arc<QueryResult>, CypherError> {
         if !self.config.enabled {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            let q = self.plans.parse(src)?;
-            return Ok(Arc::new(iyp_cypher::execute_read_with_limits(
-                graph, &q, params, limits,
-            )?));
+            let q = self.parse_timed(src)?;
+            return self.execute_timed(graph, &q, params, limits);
         }
 
         let key = Self::key(src, params);
@@ -190,6 +221,7 @@ impl QueryCache {
         let epoch = graph.epoch();
 
         {
+            let lookup_start = self.timers.as_ref().map(|_| Instant::now());
             let mut lru = self.lock();
             let verdict = lru.get(&key).map(|entry| {
                 if entry.epoch != epoch {
@@ -204,6 +236,9 @@ impl QueryCache {
                     Ok(Arc::clone(&entry.result))
                 }
             });
+            if let (Some(t), Some(t0)) = (&self.timers, lookup_start) {
+                t.cache_lookup.observe(t0.elapsed());
+            }
             match verdict {
                 Some(Ok(result)) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -218,10 +253,8 @@ impl QueryCache {
         }
 
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let q = self.plans.parse(src)?;
-        let result = Arc::new(iyp_cypher::execute_read_with_limits(
-            graph, &q, params, limits,
-        )?);
+        let q = self.parse_timed(src)?;
+        let result = self.execute_timed(graph, &q, params, limits)?;
         let entry = CachedResult {
             result: Arc::clone(&result),
             epoch,
@@ -231,6 +264,44 @@ impl QueryCache {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         Ok(result)
+    }
+
+    /// Parses through the plan cache, timing the `parse` stage (plan-tier
+    /// hits count too — the stage is "text to AST", however it resolves).
+    fn parse_timed(&self, src: &str) -> Result<Arc<iyp_cypher::ast::Query>, CypherError> {
+        let Some(t) = &self.timers else {
+            return self.plans.parse(src);
+        };
+        let t0 = Instant::now();
+        let q = self.plans.parse(src);
+        t.parse.observe(t0.elapsed());
+        q
+    }
+
+    /// Executes a cold query, splitting its wall clock into the `plan`
+    /// and `execute` stages. Planning happens lazily inside `MATCH`
+    /// execution, so the split takes a delta of the executor's
+    /// thread-local planning clock ([`iyp_cypher::plan::plan_time_ns`]).
+    fn execute_timed(
+        &self,
+        graph: &Graph,
+        q: &iyp_cypher::ast::Query,
+        params: &Params,
+        limits: ExecLimits,
+    ) -> Result<Arc<QueryResult>, CypherError> {
+        let Some(t) = &self.timers else {
+            return Ok(Arc::new(iyp_cypher::execute_read_with_limits(
+                graph, q, params, limits,
+            )?));
+        };
+        let plan0 = iyp_cypher::plan::plan_time_ns();
+        let t0 = Instant::now();
+        let result = iyp_cypher::execute_read_with_limits(graph, q, params, limits);
+        let total_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let plan_ns = iyp_cypher::plan::plan_time_ns().wrapping_sub(plan0);
+        t.plan.observe_ns(plan_ns);
+        t.execute.observe_ns(total_ns.saturating_sub(plan_ns));
+        Ok(Arc::new(result?))
     }
 
     /// Current counters and occupancy for both tiers.

@@ -30,6 +30,12 @@ pub struct ChatIypConfig {
     /// on/off). Shared between the `ask` path and the server's
     /// `/cypher` endpoint.
     pub cache: CacheConfig,
+    /// Record a structured span tree for every `ask` into the trace
+    /// ring (and return it from [`crate::ChatIyp::ask_traced`]). Stage
+    /// histograms are recorded regardless of this flag.
+    pub trace_requests: bool,
+    /// How many recent request traces the ring buffer retains.
+    pub trace_ring_capacity: usize,
 }
 
 impl Default for ChatIypConfig {
@@ -43,6 +49,8 @@ impl Default for ChatIypConfig {
             rerank_top_k: 3,
             max_retries: 0,
             cache: CacheConfig::default(),
+            trace_requests: true,
+            trace_ring_capacity: 64,
         }
     }
 }

@@ -29,10 +29,11 @@
 //! assert!(response.cypher.is_some()); // transparency output
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod config;
+pub mod obs;
 pub mod pipeline;
 pub mod response;
 pub mod retriever;

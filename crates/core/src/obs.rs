@@ -1,0 +1,24 @@
+//! Observability glue: the metric names the pipeline records under and
+//! the stage labels it uses.
+//!
+//! Every stage latency goes into one histogram family,
+//! [`STAGE_METRIC`], labelled `stage="…"` — so a single Prometheus query
+//! (`histogram_quantile(0.99, chatiyp_stage_seconds_bucket)`) covers the
+//! whole pipeline. The stages:
+//!
+//! | stage            | what it times |
+//! |------------------|---------------|
+//! | `cache_lookup`   | result-cache probe (hit or miss verdict) |
+//! | `parse`          | query text → AST (through the plan cache) |
+//! | `plan`           | anchor selection inside `MATCH` execution |
+//! | `execute`        | operator pipeline, minus planning |
+//! | `embed_retrieve` | vector similarity retrieval |
+//! | `rerank`         | LLM reranking of vector candidates |
+//! | `llm_generate`   | answer generation |
+//! | `ask_total`      | end-to-end `ask` |
+//!
+//! The `parse`/`plan`/`execute`/`cache_lookup` stages are recorded by
+//! [`crate::cache::QueryCache`]; the rest by [`crate::ChatIyp::ask`].
+
+/// Histogram family for pipeline stage latencies (`stage` label).
+pub const STAGE_METRIC: &str = "chatiyp_stage_seconds";

@@ -3,12 +3,14 @@
 
 use crate::cache::QueryCache;
 use crate::config::ChatIypConfig;
+use crate::obs::STAGE_METRIC;
 use crate::response::{ChatResponse, ContextChunk, Route, Timings};
 use crate::retriever::{StructuredRetrieval, TextToCypherRetriever, VectorContextRetriever};
 use iyp_data::IypDataset;
 use iyp_embed::tokenize::words;
 use iyp_graphdb::Graph;
 use iyp_llm::{generate_answer, EntityCatalog, Reranker, SimLm, Translator};
+use iyp_obs::{Registry, RingSink, Trace, TraceSink, TraceTree};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -28,6 +30,8 @@ pub struct ChatIyp {
     vector: VectorContextRetriever,
     reranker: Reranker,
     cache: QueryCache,
+    registry: Arc<Registry>,
+    traces: Arc<RingSink>,
 }
 
 // The pipeline is shared read-only across server workers and bench
@@ -44,7 +48,10 @@ impl ChatIyp {
         let lm = SimLm::new(config.lm.clone());
         let translator = Translator::new(lm.clone(), catalog);
         let vector = VectorContextRetriever::from_graph(&dataset.graph);
-        let cache = QueryCache::new(config.cache.clone());
+        let registry = Arc::new(Registry::new());
+        let mut cache = QueryCache::new(config.cache.clone());
+        cache.attach_registry(&registry);
+        let traces = Arc::new(RingSink::new(config.trace_ring_capacity));
         ChatIyp {
             graph: Arc::new(dataset.graph),
             config,
@@ -53,6 +60,8 @@ impl ChatIyp {
             vector,
             reranker: Reranker::new(lm),
             cache,
+            registry,
+            traces,
         }
     }
 
@@ -80,13 +89,51 @@ impl ChatIyp {
         &self.cache
     }
 
+    /// The metric registry every stage records into. The server renders
+    /// it at `GET /metrics`.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The newest `n` request traces, most recent first (empty unless
+    /// [`ChatIypConfig::trace_requests`] is on).
+    pub fn recent_traces(&self, n: usize) -> Vec<Arc<TraceTree>> {
+        self.traces.recent(n)
+    }
+
     /// Answers a natural-language question.
     pub fn ask(&self, question: &str) -> ChatResponse {
+        self.ask_traced(question).0
+    }
+
+    /// Like [`ask`](Self::ask), returning the request's span tree
+    /// alongside the response. The tree is empty when
+    /// [`ChatIypConfig::trace_requests`] is off; when on, it is also
+    /// recorded into the trace ring (see [`Self::recent_traces`]) —
+    /// shared, not copied: the returned [`Arc`] and the ring alias the
+    /// same tree.
+    pub fn ask_traced(&self, question: &str) -> (ChatResponse, Arc<TraceTree>) {
+        let trace = if self.config.trace_requests {
+            Trace::new()
+        } else {
+            Trace::disabled()
+        };
+        let response = self.ask_inner(question, &trace);
+        let tree = Arc::new(trace.finish());
+        if !tree.spans.is_empty() {
+            self.traces.record(Arc::clone(&tree));
+        }
+        (response, tree)
+    }
+
+    fn ask_inner(&self, question: &str, trace: &Trace) -> ChatResponse {
         let t_start = Instant::now();
+        let ask_span = trace.span("ask");
 
         // Stage 2a: TextToCypherRetriever (with optional self-correction
         // retries on failed/empty executions).
         let structured: Option<StructuredRetrieval> = if self.config.enable_text2cypher {
+            let _s = trace.span("text2cypher");
             Some(self.text2cypher.retrieve_cached(
                 &self.graph,
                 question,
@@ -106,8 +153,16 @@ impl ChatIyp {
         // came back empty.
         let mut contexts: Vec<ContextChunk> = Vec::new();
         if !structured_ok && self.config.enable_vector_fallback {
+            let retrieve_span = trace.span("embed_retrieve");
+            let t0 = Instant::now();
             let mut candidates = self.vector.retrieve(question, self.config.vector_top_k);
+            self.registry
+                .observe(STAGE_METRIC, &[("stage", "embed_retrieve")], t0.elapsed());
+            retrieve_span.field("candidates", candidates.len());
+            drop(retrieve_span);
             if self.config.enable_reranker && !candidates.is_empty() {
+                let _s = trace.span("rerank");
+                let t0 = Instant::now();
                 let texts: Vec<String> = candidates
                     .iter()
                     .map(|c| format!("{} {}", c.title, c.text))
@@ -115,6 +170,8 @@ impl ChatIyp {
                 let ranked = self
                     .reranker
                     .rerank(question, &texts, self.config.rerank_top_k);
+                self.registry
+                    .observe(STAGE_METRIC, &[("stage", "rerank")], t0.elapsed());
                 contexts = ranked
                     .into_iter()
                     .map(|r| {
@@ -131,6 +188,7 @@ impl ChatIyp {
         let t_retrieval = t_start.elapsed();
 
         // Stage 3: generation.
+        let generate_span = trace.span("generate");
         let t_gen_start = Instant::now();
         // Did the structured stage run a query that legitimately returned
         // nothing? Then the truthful core of the answer is "no data", and
@@ -179,6 +237,15 @@ impl ChatIyp {
             )
         };
         let t_generation = t_gen_start.elapsed();
+        self.registry
+            .observe(STAGE_METRIC, &[("stage", "llm_generate")], t_generation);
+        drop(generate_span);
+
+        ask_span.field("route", route);
+        ask_span.field("question_len", question.len());
+        drop(ask_span);
+        self.registry
+            .observe(STAGE_METRIC, &[("stage", "ask_total")], t_start.elapsed());
 
         let (cypher, query_result, intent, injected_error) = match structured {
             Some(s) => (

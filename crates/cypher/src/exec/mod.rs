@@ -1,25 +1,25 @@
 //! The query executor: a pipeline of physical operators over materialized
 //! row sets, with index-aware pattern matching planned by [`crate::plan`].
 //!
-//! Each clause of a (UNION-free) query becomes one [`Operator`] in a
+//! Each clause of a (UNION-free) query becomes one `Operator` in a
 //! pipeline; the driver threads a row set through the operators, all of
-//! which draw on a shared [`context::ExecContext`] for graph access,
+//! which draw on a shared `ExecContext` for graph access,
 //! parameters, wall-clock limits, and the intermediate-row budget.
 //!
 //! Module map:
 //!
 //! | module        | operators |
 //! |---------------|-----------|
-//! | [`context`]   | [`ExecLimits`] and the shared `ExecContext` |
-//! | [`scan`]      | anchor access paths: index seek, range seek, label scan, all-nodes scan, bound variable |
-//! | [`expand`]    | `MATCH` / `OPTIONAL MATCH` pattern expansion |
-//! | [`varlen`]    | variable-length expansion and `shortestPath` |
-//! | [`filter`]    | predicate filtering (`WHERE`, shared by match and projection) |
-//! | [`project`]   | `WITH` / `RETURN` projection |
-//! | [`aggregate`] | grouped aggregation accumulators |
-//! | [`sort`]      | `ORDER BY`, `SKIP`, `LIMIT` |
-//! | [`unwind`]    | `UNWIND` |
-//! | [`union`]     | `UNION` segmentation and result merging |
+//! | `context`   | [`ExecLimits`] and the shared `ExecContext` |
+//! | `scan`      | anchor access paths: index seek, range seek, label scan, all-nodes scan, bound variable |
+//! | `expand`    | `MATCH` / `OPTIONAL MATCH` pattern expansion |
+//! | `varlen`    | variable-length expansion and `shortestPath` |
+//! | `filter`    | predicate filtering (`WHERE`, shared by match and projection) |
+//! | `project`   | `WITH` / `RETURN` projection |
+//! | `aggregate` | grouped aggregation accumulators |
+//! | `sort`      | `ORDER BY`, `SKIP`, `LIMIT` |
+//! | `unwind`    | `UNWIND` |
+//! | `union`     | `UNION` segmentation and result merging |
 //! | [`write`]     | `CREATE`, `MERGE`, `SET`, `DELETE` |
 
 pub(crate) mod aggregate;
@@ -38,6 +38,7 @@ use crate::ast::{Clause, Query};
 use crate::error::CypherError;
 use crate::eval::{Env, Params, Row};
 use crate::pretty;
+use crate::profile::{ProfileCollector, QueryProfile};
 use crate::result::QueryResult;
 use iyp_graphdb::Graph;
 use std::fmt::Write as _;
@@ -195,18 +196,46 @@ pub(crate) fn explain_simple(clause: &Clause, idx: usize, out: &mut String) {
     .expect("write to string");
 }
 
+/// Executes a parsed read-only query with per-operator measurement,
+/// returning the result alongside the [`QueryProfile`]. Prefer the
+/// convenience wrappers in [`crate::profile`].
+pub(crate) fn profile_read(
+    graph: &Graph,
+    q: &Query,
+    params: &Params,
+    limits: ExecLimits,
+) -> Result<(QueryResult, QueryProfile), CypherError> {
+    let mut src = ReadOnly(graph);
+    let mut collector = ProfileCollector::new();
+    let t0 = std::time::Instant::now();
+    let result = run_with_profile(&mut src, q, params, limits, Some(&mut collector))?;
+    let total = t0.elapsed();
+    let rows = result.rows.len() as u64;
+    Ok((result, collector.finish(total, rows)))
+}
+
 fn run<G: GraphSource>(
     src: &mut G,
     q: &Query,
     params: &Params,
     limits: ExecLimits,
 ) -> Result<QueryResult, CypherError> {
+    run_with_profile(src, q, params, limits, None)
+}
+
+fn run_with_profile<G: GraphSource>(
+    src: &mut G,
+    q: &Query,
+    params: &Params,
+    limits: ExecLimits,
+    prof: Option<&mut ProfileCollector>,
+) -> Result<QueryResult, CypherError> {
     // Split on UNION separators: each segment is a complete sub-query.
     let segments = union::split_segments(q);
     if segments.len() > 1 {
-        return union::run_segments(src, &segments, params, limits);
+        return union::run_segments(src, &segments, params, limits, prof);
     }
-    run_single(src, q, params, limits)
+    run_single(src, q, params, limits, prof)
 }
 
 pub(crate) fn run_single<G: GraphSource>(
@@ -214,6 +243,7 @@ pub(crate) fn run_single<G: GraphSource>(
     q: &Query,
     params: &Params,
     limits: ExecLimits,
+    mut prof: Option<&mut ProfileCollector>,
 ) -> Result<QueryResult, CypherError> {
     let ops: Vec<Box<dyn Operator + '_>> = q
         .clauses
@@ -226,7 +256,22 @@ pub(crate) fn run_single<G: GraphSource>(
     let mut rows: Vec<Row> = vec![Vec::new()];
     let mut result = QueryResult::empty();
     for op in &ops {
+        // When profiling, bracket the operator with the clock and the
+        // thread-local db-hit counter and record the deltas.
+        let before = prof
+            .as_ref()
+            .map(|_| (std::time::Instant::now(), iyp_graphdb::dbhits::current()));
         rows = op.apply(&mut cx, &mut env, rows)?;
+        if let (Some(p), Some((t0, h0))) = (prof.as_deref_mut(), before) {
+            let hits = iyp_graphdb::dbhits::current().wrapping_sub(h0);
+            p.record(
+                op.as_ref(),
+                cx.graph(),
+                rows.len() as u64,
+                hits,
+                t0.elapsed(),
+            );
+        }
         if op.is_terminal() {
             // RETURN: convert the projected entries into result values.
             result.columns = env.names;

@@ -30,12 +30,15 @@ pub(crate) fn split_segments(q: &Query) -> Vec<(&[Clause], bool)> {
     out
 }
 
-/// Runs each segment as its own pipeline and merges the results.
+/// Runs each segment as its own pipeline and merges the results. When
+/// profiling, each segment's operators are recorded in order and a final
+/// synthetic `Union` entry covers the merge/dedup step.
 pub(crate) fn run_segments<G: GraphSource>(
     src: &mut G,
     segments: &[(&[Clause], bool)],
     params: &crate::eval::Params,
     limits: ExecLimits,
+    mut prof: Option<&mut crate::profile::ProfileCollector>,
 ) -> Result<QueryResult, CypherError> {
     let mut combined = QueryResult::empty();
     let mut dedup_all = true;
@@ -43,10 +46,15 @@ pub(crate) fn run_segments<G: GraphSource>(
         if clauses.is_empty() {
             return Err(CypherError::plan("empty UNION branch"));
         }
+        if let Some(p) = prof.as_deref_mut() {
+            if i > 0 {
+                p.segment_boundary();
+            }
+        }
         let sub = Query {
             clauses: clauses.to_vec(),
         };
-        let result = super::run_single(src, &sub, params, limits)?;
+        let result = super::run_single(src, &sub, params, limits, prof.as_deref_mut())?;
         if i == 0 {
             combined.columns = result.columns;
         } else if combined.columns.len() != result.columns.len() {
@@ -61,11 +69,15 @@ pub(crate) fn run_segments<G: GraphSource>(
         }
         combined.rows.extend(result.rows);
     }
+    let merge_start = prof.as_ref().map(|_| std::time::Instant::now());
     if dedup_all {
         let mut seen = HashSet::new();
         combined
             .rows
             .retain(|row| seen.insert(row.iter().map(ValueKey::of).collect::<Vec<_>>()));
+    }
+    if let (Some(p), Some(t0)) = (prof, merge_start) {
+        p.record_synthetic("Union", combined.rows.len() as u64, t0.elapsed());
     }
     Ok(combined)
 }

@@ -6,12 +6,14 @@
 
 use crate::error::CypherError;
 use crate::exec::build_clause_op;
-use crate::parser::parse;
+use crate::parser::parse_statement;
 use iyp_graphdb::Graph;
 
-/// Parses `src` and renders its execution plan against `graph`.
+/// Parses `src` and renders its execution plan against `graph`. A
+/// leading `EXPLAIN` (or `PROFILE`) keyword is accepted and ignored —
+/// this function always renders the plan without executing.
 pub fn explain(graph: &Graph, src: &str) -> Result<String, CypherError> {
-    let q = parse(src)?;
+    let (_mode, q) = parse_statement(src)?;
     let mut out = String::new();
     let mut bound: Vec<String> = Vec::new();
     for (i, clause) in q.clauses.iter().enumerate() {

@@ -27,7 +27,7 @@
 //! assert_eq!(result.rows[0][0].to_string(), "IIJ");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ast;
 pub mod cache;
@@ -41,6 +41,7 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod pretty;
+pub mod profile;
 pub mod result;
 pub mod token;
 
@@ -52,6 +53,7 @@ pub use exec::{
     update, ExecLimits,
 };
 pub use explain::explain;
-pub use parser::{parse, parse_expression};
+pub use parser::{parse, parse_expression, parse_statement, QueryMode};
 pub use pretty::{canonicalize, query_to_string};
+pub use profile::{profile_with_limits, OpProfile, QueryProfile};
 pub use result::QueryResult;

@@ -12,6 +12,49 @@ pub fn parse(src: &str) -> Result<Query, CypherError> {
     Parser { tokens, i: 0 }.query()
 }
 
+/// How a statement asked to be run: plainly, plan-only, or with
+/// per-operator execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// No modifier: execute and return rows.
+    Query,
+    /// `EXPLAIN` prefix: render the plan without executing.
+    Explain,
+    /// `PROFILE` prefix: execute, returning rows plus per-operator
+    /// rows/db-hits/time (see [`crate::profile`]).
+    Profile,
+}
+
+/// Parses a statement that may start with an `EXPLAIN` or `PROFILE`
+/// modifier, returning the mode alongside the query AST.
+///
+/// The modifiers are recognized at the token level (a leading
+/// identifier, case-insensitive) rather than as lexer keywords, so
+/// `profile` and `explain` remain usable as variable and property names
+/// everywhere else in a query.
+///
+/// ```
+/// use iyp_cypher::{parse_statement, QueryMode};
+///
+/// let (mode, q) = parse_statement("PROFILE MATCH (n) RETURN count(n)").unwrap();
+/// assert_eq!(mode, QueryMode::Profile);
+/// assert_eq!(q.clauses.len(), 2);
+///
+/// // Lowercase works, and plain queries parse unchanged.
+/// assert_eq!(parse_statement("explain MATCH (n) RETURN n").unwrap().0, QueryMode::Explain);
+/// assert_eq!(parse_statement("MATCH (n) RETURN n").unwrap().0, QueryMode::Query);
+/// ```
+pub fn parse_statement(src: &str) -> Result<(QueryMode, Query), CypherError> {
+    let tokens = lex(src)?;
+    let (mode, start) = match tokens.first().map(|t| &t.tok) {
+        Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("PROFILE") => (QueryMode::Profile, 1),
+        Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("EXPLAIN") => (QueryMode::Explain, 1),
+        _ => (QueryMode::Query, 0),
+    };
+    let q = Parser { tokens, i: start }.query()?;
+    Ok((mode, q))
+}
+
 /// Parses a standalone expression (used by tests and the text-to-Cypher
 /// validator).
 pub fn parse_expression(src: &str) -> Result<Expr, CypherError> {

@@ -67,6 +67,25 @@ pub struct PartPlan {
 /// with the variables each planned part will bind, so later parts can
 /// anchor on them.
 pub fn plan_match(graph: &Graph, clause: &MatchClause, bound: &mut Vec<String>) -> Vec<PartPlan> {
+    let t0 = std::time::Instant::now();
+    let plans = plan_match_inner(graph, clause, bound);
+    PLAN_NS.with(|c| c.set(c.get().wrapping_add(t0.elapsed().as_nanos() as u64)));
+    plans
+}
+
+thread_local! {
+    static PLAN_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The current thread's monotonic total of nanoseconds spent planning
+/// (in [`plan_match`]). Planning happens lazily inside `MATCH` execution,
+/// so stage timers measure it by taking a delta around an execute call —
+/// the same before/after idiom as [`iyp_graphdb::dbhits::current`].
+pub fn plan_time_ns() -> u64 {
+    PLAN_NS.with(|c| c.get())
+}
+
+fn plan_match_inner(graph: &Graph, clause: &MatchClause, bound: &mut Vec<String>) -> Vec<PartPlan> {
     let eq_preds = clause
         .where_clause
         .as_ref()

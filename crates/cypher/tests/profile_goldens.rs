@@ -1,0 +1,136 @@
+//! Golden tests for `PROFILE` output.
+//!
+//! A representative slice of the parity corpus is profiled against the
+//! deterministic default IYP dataset and the *deterministic* rendering
+//! (rows and db hits, no wall-clock times — see
+//! [`iyp_cypher::QueryProfile::render_deterministic`]) is pinned as a
+//! golden file. Row counts and db hits are reproducible on a fixed
+//! dataset, so any change to operator row flow, access-path selection,
+//! or db-hit accounting fails loudly here.
+//!
+//! To re-record after an intentional change:
+//! `cargo test -p iyp-cypher --test profile_goldens -- --ignored regenerate_profile_goldens`
+//!
+//! A second test sweeps the *whole* corpus asserting the profiled run
+//! agrees with the plain executor: same serialized result, and the
+//! profile's `result_rows` matches the result's actual row count.
+
+use iyp_cypher::corpus::PARITY_QUERIES;
+use iyp_cypher::{profile_with_limits, query, ExecLimits, Params};
+use iyp_data::{generate, IypConfig};
+use iyp_graphdb::Graph;
+use std::path::PathBuf;
+
+/// Indices into [`PARITY_QUERIES`] chosen to cover the executor's
+/// operator shapes: index seek, label scan, range seek, one-hop and
+/// multi-hop expansion, aggregation, ORDER BY + LIMIT, OPTIONAL MATCH,
+/// UNWIND, and UNION.
+const GOLDEN_INDICES: &[usize] = &[0, 2, 5, 9, 13, 17, 22, 27, 33, 39, 45, 52];
+
+fn dataset_graph() -> Graph {
+    generate(&IypConfig::default()).graph
+}
+
+fn goldens_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+        .join("profile_corpus.json")
+}
+
+fn profile_deterministic(g: &Graph, q: &str) -> String {
+    let (_result, prof) = profile_with_limits(g, q, &Params::new(), ExecLimits::none())
+        .unwrap_or_else(|e| panic!("profile failed: {q}\n{e}"));
+    prof.render_deterministic()
+}
+
+#[test]
+fn profile_matches_recorded_goldens() {
+    let goldens = std::fs::read_to_string(goldens_path())
+        .expect("goldens missing; run the ignored regenerate_profile_goldens test first");
+    let recorded: serde_json::Value = serde_json::from_str(&goldens).expect("parse goldens");
+    let entries = recorded.as_array().expect("goldens must be an array");
+    assert_eq!(
+        entries.len(),
+        GOLDEN_INDICES.len(),
+        "golden subset changed; re-record"
+    );
+    let g = dataset_graph();
+    let mut mismatches = Vec::new();
+    for (entry, &idx) in entries.iter().zip(GOLDEN_INDICES) {
+        let q = PARITY_QUERIES[idx];
+        assert_eq!(entry["query"].as_str(), Some(q), "golden order changed");
+        let expected = entry["profile"].as_str().expect("golden profile text");
+        let actual = profile_deterministic(&g, q);
+        if expected != actual {
+            mismatches.push(format!(
+                "query #{idx}: {q}\n--- golden ---\n{expected}\n--- actual ---\n{actual}"
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} of {} profile goldens diverged:\n{}",
+        mismatches.len(),
+        GOLDEN_INDICES.len(),
+        mismatches.join("\n")
+    );
+}
+
+/// Profiling is observation, not interference: across the full parity
+/// corpus the profiled run returns byte-identical results to the plain
+/// executor, and the profile's own row accounting agrees with the
+/// result it returned.
+#[test]
+fn profiled_execution_agrees_with_plain_execution_across_corpus() {
+    let g = dataset_graph();
+    for q in PARITY_QUERIES {
+        let plain = query(&g, q).unwrap_or_else(|e| panic!("plain run failed: {q}\n{e}"));
+        let (profiled, prof) = profile_with_limits(&g, q, &Params::new(), ExecLimits::none())
+            .unwrap_or_else(|e| panic!("profiled run failed: {q}\n{e}"));
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&profiled).unwrap(),
+            "profiling changed the result of: {q}"
+        );
+        assert_eq!(
+            prof.result_rows,
+            profiled.rows.len() as u64,
+            "profile row accounting disagrees for: {q}"
+        );
+        // A MATCH that returned rows must have touched storage (pure
+        // UNWIND/RETURN queries legitimately cost zero db hits).
+        if !profiled.rows.is_empty() && q.contains("MATCH") {
+            assert!(prof.total_db_hits() > 0, "no db hits recorded for: {q}");
+        }
+    }
+}
+
+/// Records the current deterministic profile rendering as the golden
+/// baseline.
+#[test]
+#[ignore = "writes the golden file; run explicitly to re-record"]
+fn regenerate_profile_goldens() {
+    let g = dataset_graph();
+    let mut out = String::from("[\n");
+    for (i, &idx) in GOLDEN_INDICES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let q = PARITY_QUERIES[idx];
+        let entry = serde_json::json!({
+            "query": q,
+            "profile": profile_deterministic(&g, q),
+        });
+        out.push_str(&entry.to_string());
+    }
+    out.push_str("\n]\n");
+    let path = goldens_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, out).unwrap();
+    println!(
+        "wrote {} profile goldens to {}",
+        GOLDEN_INDICES.len(),
+        path.display()
+    );
+}

@@ -1,0 +1,66 @@
+//! Thread-local db-hit accounting for PROFILE.
+//!
+//! A "db hit" is one unit of storage access work — the same currency
+//! Neo4j's `PROFILE` reports. Graph read paths (index seeks, label and
+//! full scans, adjacency expansion) credit hits to a thread-local
+//! monotonic counter; a profiler brackets an operator with
+//! [`current`] and takes the delta.
+//!
+//! The counter is thread-local (not a field on [`crate::Graph`]) so the
+//! graph's `&self` read API stays untouched and concurrent readers never
+//! contend. It never resets — readers subtract, they don't clear — so
+//! nested or interleaved measurements on one thread stay correct.
+
+use std::cell::Cell;
+
+thread_local! {
+    static DB_HITS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Credits `n` db hits to the current thread. Called by graph read paths;
+/// rarely needed directly.
+#[inline]
+pub fn add(n: u64) {
+    DB_HITS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// The current thread's monotonic db-hit total. Measure a region by
+/// subtracting a before-value from an after-value.
+///
+/// ```
+/// use iyp_graphdb::{dbhits, Graph, props};
+///
+/// let mut g = Graph::new();
+/// g.add_node(["AS"], props!("asn" => 1i64));
+/// let before = dbhits::current();
+/// let _all: Vec<_> = g.nodes_with_label("AS").collect();
+/// assert!(dbhits::current() > before);
+/// ```
+#[inline]
+pub fn current() -> u64 {
+    DB_HITS.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic_and_per_thread() {
+        let base = current();
+        add(3);
+        add(2);
+        assert_eq!(current() - base, 5);
+
+        let other = std::thread::spawn(|| {
+            let base = current();
+            add(7);
+            current() - base
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 7);
+        // The spawned thread's hits did not leak into this thread.
+        assert_eq!(current() - base, 5);
+    }
+}

@@ -376,6 +376,7 @@ impl Graph {
 
     /// All live node ids, ascending.
     pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        crate::dbhits::add(1 + self.live_nodes as u64);
         self.nodes.iter().filter_map(|n| n.as_ref().map(|r| r.id))
     }
 
@@ -387,8 +388,15 @@ impl Graph {
     /// Node ids carrying `label`, ascending. Empty if the label is unknown.
     pub fn nodes_with_label<'a>(&'a self, label: &str) -> Box<dyn Iterator<Item = NodeId> + 'a> {
         match self.labels.get(label) {
-            Some(sym) => Box::new(self.label_members[sym.0 as usize].iter().copied()),
-            None => Box::new(std::iter::empty()),
+            Some(sym) => {
+                let members = &self.label_members[sym.0 as usize];
+                crate::dbhits::add(1 + members.len() as u64);
+                Box::new(members.iter().copied())
+            }
+            None => {
+                crate::dbhits::add(1);
+                Box::new(std::iter::empty())
+            }
         }
     }
 
@@ -460,6 +468,7 @@ impl Graph {
                 push(&inc_no_loops, true);
             }
         }
+        crate::dbhits::add(1 + out.len() as u64);
         out
     }
 
@@ -508,7 +517,11 @@ impl Graph {
     /// `(label, key)` — the planner falls back to a label scan.
     pub fn index_lookup(&self, label: &str, key: &str, value: &Value) -> Option<Vec<NodeId>> {
         let sym = self.labels.get(label)?;
-        self.indexes.lookup(sym, key, &ValueKey::of(value))
+        let hits = self.indexes.lookup(sym, key, &ValueKey::of(value));
+        if let Some(ids) = &hits {
+            crate::dbhits::add(1 + ids.len() as u64);
+        }
+        hits
     }
 
     /// Range scan over an ordered view of the index (built lazily).
@@ -520,12 +533,16 @@ impl Graph {
         hi: Option<(&Value, bool)>,
     ) -> Option<Vec<NodeId>> {
         let sym = self.labels.get(label)?;
-        self.indexes.range(
+        let hits = self.indexes.range(
             sym,
             key,
             lo.map(|(v, inc)| (ValueKey::of(v), inc)),
             hi.map(|(v, inc)| (ValueKey::of(v), inc)),
-        )
+        );
+        if let Some(ids) = &hits {
+            crate::dbhits::add(1 + ids.len() as u64);
+        }
+        hits
     }
 
     /// Does an index exist on `(label, key)`?

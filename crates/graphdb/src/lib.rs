@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod dbhits;
 pub mod graph;
 pub mod index;
 pub mod intern;

@@ -1,0 +1,222 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets are fixed at compile time — 1µs doubling up to ~8.4s, plus an
+//! overflow bucket — so recording is a couple of relaxed atomic adds
+//! (lock-free, shareable across a worker pool) and snapshots from
+//! different histograms are always mergeable. Quantiles (p50/p90/p99)
+//! are read from a [`HistogramSnapshot`] as the upper bound of the
+//! bucket containing the quantile, i.e. conservative to within one 2×
+//! bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (inclusive) of the finite buckets, in nanoseconds:
+/// `1µs · 2^k` for `k = 0..24`.
+pub const BUCKET_BOUNDS_NS: [u64; 24] = {
+    let mut bounds = [0u64; 24];
+    let mut k = 0;
+    while k < 24 {
+        bounds[k] = 1_000u64 << k;
+        k += 1;
+    }
+    bounds
+};
+
+/// Number of counters: the finite buckets plus one overflow bucket.
+pub const BUCKET_COUNT: usize = BUCKET_BOUNDS_NS.len() + 1;
+
+/// A lock-free fixed-bucket histogram of durations.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one duration given in nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        let idx = BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&b| ns <= b)
+            .unwrap_or(BUCKET_BOUNDS_NS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of the counters (relaxed reads; a
+    /// concurrent `observe` may straddle the snapshot by one sample).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKET_COUNT];
+        for (i, b) in self.buckets.iter().enumerate() {
+            buckets[i] = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s counters.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (not cumulative). The last entry is the
+    /// overflow bucket.
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples, in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// containing it. Overflow-bucket samples report the largest finite
+    /// bound. [`Duration::ZERO`] when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let bound = BUCKET_BOUNDS_NS
+                    .get(i)
+                    .copied()
+                    .unwrap_or(BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1]);
+                return Duration::from_nanos(bound);
+            }
+        }
+        Duration::from_nanos(BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1])
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Duration {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean, [`Duration::ZERO`] when empty.
+    pub fn mean(&self) -> Duration {
+        match self.sum_ns.checked_div(self.count) {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Adds another snapshot's samples into this one (fixed buckets make
+    /// snapshots from any two histograms mergeable).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_double_from_one_microsecond() {
+        assert_eq!(BUCKET_BOUNDS_NS[0], 1_000);
+        assert_eq!(BUCKET_BOUNDS_NS[1], 2_000);
+        assert_eq!(BUCKET_BOUNDS_NS[23], 1_000 << 23);
+    }
+
+    #[test]
+    fn observe_lands_in_the_right_bucket() {
+        let h = Histogram::new();
+        h.observe(Duration::from_nanos(500)); // <= 1µs → bucket 0
+        h.observe(Duration::from_micros(1)); // boundary is inclusive → bucket 0
+        h.observe(Duration::from_micros(3)); // <= 4µs → bucket 2
+        h.observe(Duration::from_secs(3600)); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[BUCKET_COUNT - 1], 1);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(Duration::from_micros(10)); // <= 16µs
+        }
+        for _ in 0..10 {
+            h.observe(Duration::from_millis(5)); // <= 8.192ms
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), Duration::from_micros(16));
+        assert_eq!(s.p90(), Duration::from_micros(16));
+        assert_eq!(s.p99(), Duration::from_nanos(8_192_000));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.p50(), Duration::ZERO);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn mean_and_merge() {
+        let a = Histogram::new();
+        a.observe(Duration::from_micros(2));
+        a.observe(Duration::from_micros(4));
+        let b = Histogram::new();
+        b.observe(Duration::from_micros(6));
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean(), Duration::from_micros(4));
+    }
+
+    #[test]
+    fn concurrent_observes_are_all_counted() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.observe_ns(i * 1000);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 4000);
+    }
+}

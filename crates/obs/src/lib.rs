@@ -1,0 +1,53 @@
+//! # iyp-obs
+//!
+//! The observability core of the ChatIYP workspace: structured tracing,
+//! fixed-bucket latency histograms, and a metric registry that renders
+//! Prometheus text exposition format. Std-only — no external
+//! dependencies, consistent with the workspace's offline `shims/` policy.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`span`] — per-request trace trees: a [`Trace`] hands out RAII
+//!   [`SpanGuard`]s that record span IDs, parent links, wall-clock
+//!   durations, and key/value fields. A disabled trace costs one branch
+//!   per call.
+//! * [`sink`] — where finished traces go: a bounded [`RingSink`] for
+//!   "recent requests" introspection, or a [`TestSink`] for assertions.
+//! * [`hist`] / [`registry`] — lock-free fixed-bucket [`Histogram`]s
+//!   (p50/p90/p99 from 2× exponential buckets) aggregated in a
+//!   [`Registry`] keyed by metric name + label, rendered with
+//!   [`Registry::render_prometheus`].
+//!
+//! ```
+//! use iyp_obs::{Registry, Trace};
+//! use std::time::Duration;
+//!
+//! // Tracing: build a span tree for one request.
+//! let trace = Trace::new();
+//! {
+//!     let _ask = trace.span("ask");
+//!     let retrieve = trace.span("retrieve");
+//!     retrieve.field("route", "cypher");
+//! } // guards close their spans on drop
+//! let tree = trace.finish();
+//! assert_eq!(tree.spans.len(), 2);
+//! assert_eq!(tree.spans[1].parent, Some(tree.spans[0].id));
+//!
+//! // Metrics: record a stage latency and render Prometheus text.
+//! let registry = Registry::new();
+//! registry.observe("stage_seconds", &[("stage", "parse")], Duration::from_micros(250));
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("stage_seconds_bucket{stage=\"parse\",le="));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod hist;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::Registry;
+pub use sink::{RingSink, TestSink, TraceSink};
+pub use span::{SpanGuard, SpanId, SpanRecord, Trace, TraceTree};

@@ -1,0 +1,299 @@
+//! Metric registry: named histograms and counters, rendered as
+//! Prometheus text exposition format.
+//!
+//! A [`Registry`] is shared (behind an [`std::sync::Arc`]) by every
+//! component that records metrics. Series are keyed by metric name plus
+//! a pre-rendered label string (e.g. `stage="parse"`), so looking one up
+//! is a single map probe and recording into it is lock-free once the
+//! [`Histogram`] handle is held.
+
+use crate::hist::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_NS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+type SeriesKey = (String, String);
+
+/// A shared collection of histograms and counters. See the
+/// [module docs](self).
+#[derive(Default)]
+pub struct Registry {
+    histograms: Mutex<BTreeMap<SeriesKey, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<SeriesKey, Arc<AtomicU64>>>,
+}
+
+/// Renders `[("stage", "parse")]` as `stage="parse"`. Values are quoted
+/// with backslash escaping per the Prometheus text format.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+        write!(out, "{k}=\"{escaped}\"").expect("write to string");
+    }
+    out
+}
+
+/// Formats nanoseconds as decimal seconds (Prometheus base unit).
+fn seconds(ns: u64) -> String {
+    format!("{}", ns as f64 / 1e9)
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The histogram for `name` + `labels`, created empty on first use.
+    /// Hold the returned handle to skip the map probe on later records.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = (name.to_string(), render_labels(labels));
+        Arc::clone(
+            lock(&self.histograms)
+                .entry(key)
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Records one duration into the histogram for `name` + `labels`.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], d: std::time::Duration) {
+        self.histogram(name, labels).observe(d);
+    }
+
+    /// The counter for `name` + `labels`, created at zero on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<AtomicU64> {
+        let key = (name.to_string(), render_labels(labels));
+        Arc::clone(
+            lock(&self.counters)
+                .entry(key)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Adds `n` to the counter for `name` + `labels`.
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)], n: u64) {
+        self.counter(name, labels).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A snapshot of one histogram series, if it exists.
+    pub fn snapshot_of(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSnapshot> {
+        let key = (name.to_string(), render_labels(labels));
+        lock(&self.histograms).get(&key).map(|h| h.snapshot())
+    }
+
+    /// Every histogram series as `(name, labels, snapshot)`, sorted by
+    /// name then labels.
+    pub fn histogram_snapshots(&self) -> Vec<(String, String, HistogramSnapshot)> {
+        lock(&self.histograms)
+            .iter()
+            .map(|((name, labels), h)| (name.clone(), labels.clone(), h.snapshot()))
+            .collect()
+    }
+
+    /// Renders every series in Prometheus text exposition format.
+    ///
+    /// Histograms become `<name>_bucket{...,le="<seconds>"}` cumulative
+    /// series plus `<name>_sum` (seconds) and `<name>_count`; counters
+    /// become plain `<name>{...}` samples. `# HELP` / `# TYPE` headers
+    /// are emitted once per metric name, and output order is
+    /// deterministic (sorted by name, then labels).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        let mut prev: Option<String> = None;
+        for (name, labels, snap) in self.histogram_snapshots() {
+            if prev.as_deref() != Some(name.as_str()) {
+                writeln!(out, "# HELP {name} Latency histogram (seconds).").unwrap();
+                writeln!(out, "# TYPE {name} histogram").unwrap();
+                prev = Some(name.clone());
+            }
+            let sep = if labels.is_empty() { "" } else { "," };
+            let mut cumulative = 0u64;
+            for (i, &bound) in BUCKET_BOUNDS_NS.iter().enumerate() {
+                cumulative += snap.buckets[i];
+                writeln!(
+                    out,
+                    "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}",
+                    seconds(bound)
+                )
+                .unwrap();
+            }
+            writeln!(
+                out,
+                "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+                snap.count
+            )
+            .unwrap();
+            let braced = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            writeln!(out, "{name}_sum{braced} {}", seconds(snap.sum_ns)).unwrap();
+            writeln!(out, "{name}_count{braced} {}", snap.count).unwrap();
+        }
+
+        let counters: Vec<(SeriesKey, u64)> = lock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let mut prev: Option<String> = None;
+        for ((name, labels), value) in counters {
+            if prev.as_deref() != Some(name.as_str()) {
+                writeln!(out, "# HELP {name} Monotonic counter.").unwrap();
+                writeln!(out, "# TYPE {name} counter").unwrap();
+                prev = Some(name.clone());
+            }
+            let braced = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            writeln!(out, "{name}{braced} {value}").unwrap();
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn observe_creates_and_fills_a_series() {
+        let r = Registry::new();
+        r.observe(
+            "stage_seconds",
+            &[("stage", "parse")],
+            Duration::from_micros(5),
+        );
+        r.observe(
+            "stage_seconds",
+            &[("stage", "parse")],
+            Duration::from_micros(7),
+        );
+        let snap = r
+            .snapshot_of("stage_seconds", &[("stage", "parse")])
+            .unwrap();
+        assert_eq!(snap.count, 2);
+        assert!(r
+            .snapshot_of("stage_seconds", &[("stage", "plan")])
+            .is_none());
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_with_inf() {
+        let r = Registry::new();
+        r.observe(
+            "stage_seconds",
+            &[("stage", "parse")],
+            Duration::from_nanos(500),
+        );
+        r.observe(
+            "stage_seconds",
+            &[("stage", "parse")],
+            Duration::from_micros(3),
+        );
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE stage_seconds histogram"));
+        // 1µs bucket holds the 500ns sample...
+        assert!(text.contains("stage_seconds_bucket{stage=\"parse\",le=\"0.000001\"} 1"));
+        // ...and the 4µs bucket is cumulative: both samples.
+        assert!(text.contains("stage_seconds_bucket{stage=\"parse\",le=\"0.000004\"} 2"));
+        assert!(text.contains("stage_seconds_bucket{stage=\"parse\",le=\"+Inf\"} 2"));
+        assert!(text.contains("stage_seconds_count{stage=\"parse\"} 2"));
+        assert!(text.contains("stage_seconds_sum{stage=\"parse\"} 0.0000035"));
+    }
+
+    #[test]
+    fn unlabelled_series_render_without_braces_on_sum_and_count() {
+        let r = Registry::new();
+        r.observe("http_seconds", &[], Duration::from_micros(1));
+        let text = r.render_prometheus();
+        assert!(text.contains("http_seconds_bucket{le=\"0.000001\"} 1"));
+        assert!(text.contains("\nhttp_seconds_sum 0.000001\n"));
+        assert!(text.contains("\nhttp_seconds_count 1\n"));
+    }
+
+    #[test]
+    fn counters_render_as_counter_type() {
+        let r = Registry::new();
+        r.inc("requests_total", &[("path", "/ask")], 3);
+        r.inc("requests_total", &[("path", "/ask")], 2);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{path=\"/ask\"} 5"));
+    }
+
+    #[test]
+    fn help_and_type_appear_once_per_metric_name() {
+        let r = Registry::new();
+        r.observe(
+            "stage_seconds",
+            &[("stage", "parse")],
+            Duration::from_micros(1),
+        );
+        r.observe(
+            "stage_seconds",
+            &[("stage", "plan")],
+            Duration::from_micros(1),
+        );
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE stage_seconds histogram").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.inc("weird_total", &[("q", "say \"hi\"")], 1);
+        let text = r.render_prometheus();
+        assert!(text.contains("weird_total{q=\"say \\\"hi\\\"\"} 1"));
+    }
+
+    #[test]
+    fn output_order_is_deterministic() {
+        let build = || {
+            let r = Registry::new();
+            r.observe("b_seconds", &[("stage", "x")], Duration::from_micros(1));
+            r.observe("a_seconds", &[("stage", "y")], Duration::from_micros(1));
+            r.inc("z_total", &[], 1);
+            r.render_prometheus()
+        };
+        assert_eq!(build(), build());
+        let text = build();
+        let a = text.find("a_seconds").unwrap();
+        let b = text.find("b_seconds").unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let r = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        r.observe("s", &[("t", "w")], Duration::from_micros(2));
+                        r.inc("c", &[], 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.snapshot_of("s", &[("t", "w")]).unwrap().count, 400);
+        assert_eq!(r.counter("c", &[]).load(Ordering::Relaxed), 400);
+    }
+}

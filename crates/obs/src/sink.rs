@@ -1,0 +1,170 @@
+//! Trace sinks: where finished [`TraceTree`]s go.
+//!
+//! The pipeline records every traced request into a sink; the server (or
+//! a test) reads recent traces back out. Sinks are `Send + Sync` so one
+//! instance can be shared by a worker pool.
+
+use crate::span::TraceTree;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A destination for finished traces. Trees are shared via [`Arc`] so
+/// recording one (and reading it back) never deep-copies the spans.
+pub trait TraceSink: Send + Sync {
+    /// Records one finished trace.
+    fn record(&self, trace: Arc<TraceTree>);
+}
+
+/// A bounded ring buffer of the most recent traces — the production sink
+/// behind "show me the last N requests" introspection. Recording is
+/// O(1); when full, the oldest trace is dropped.
+pub struct RingSink {
+    capacity: usize,
+    inner: Mutex<VecDeque<Arc<TraceTree>>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` traces. A capacity of 0
+    /// disables retention (records are dropped immediately).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity,
+            inner: Mutex::new(VecDeque::with_capacity(capacity.min(64))),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<Arc<TraceTree>>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The newest `n` traces, most recent first.
+    pub fn recent(&self, n: usize) -> Vec<Arc<TraceTree>> {
+        self.lock().iter().rev().take(n).cloned().collect()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, trace: Arc<TraceTree>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut q = self.lock();
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(trace);
+    }
+}
+
+/// An unbounded sink for tests: records everything, hands it all back.
+#[derive(Default)]
+pub struct TestSink {
+    inner: Mutex<Vec<Arc<TraceTree>>>,
+}
+
+impl TestSink {
+    /// An empty test sink.
+    pub fn new() -> TestSink {
+        TestSink::default()
+    }
+
+    /// Takes every recorded trace, leaving the sink empty.
+    pub fn take(&self) -> Vec<Arc<TraceTree>> {
+        std::mem::take(&mut *self.inner.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Number of recorded traces.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for TestSink {
+    fn record(&self, trace: Arc<TraceTree>) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(trace);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Trace;
+
+    fn named_trace(name: &'static str) -> Arc<TraceTree> {
+        let t = Trace::new();
+        drop(t.span(name));
+        Arc::new(t.finish())
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest() {
+        let ring = RingSink::new(2);
+        for name in ["a", "b", "c"] {
+            ring.record(named_trace(name));
+        }
+        assert_eq!(ring.len(), 2);
+        let recent = ring.recent(10);
+        assert_eq!(recent[0].spans[0].name, "c");
+        assert_eq!(recent[1].spans[0].name, "b");
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let ring = RingSink::new(0);
+        ring.record(named_trace("x"));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn test_sink_takes_all() {
+        let sink = TestSink::new();
+        sink.record(named_trace("a"));
+        sink.record(named_trace("b"));
+        assert_eq!(sink.len(), 2);
+        let all = sink.take();
+        assert_eq!(all.len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn sinks_are_shareable_across_threads() {
+        let ring = std::sync::Arc::new(RingSink::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        ring.record(named_trace("t"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.len(), 40);
+    }
+}

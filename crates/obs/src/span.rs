@@ -1,0 +1,325 @@
+//! Structured tracing: per-request span trees.
+//!
+//! A [`Trace`] is created at the edge of a request (or disabled for a
+//! zero-cost pass-through) and hands out RAII [`SpanGuard`]s. Guards
+//! nest: a span opened while another is open records the open one as its
+//! parent, so the finished [`TraceTree`] reconstructs the call tree
+//! without any thread-local or global state.
+//!
+//! The trace is deliberately single-threaded (interior mutability via
+//! [`std::cell::RefCell`]): one trace belongs to one request on one
+//! worker thread. Cross-request aggregation happens in
+//! [`crate::registry::Registry`] instead.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifier of a span within one trace. Dense, starting at 0, in span
+/// *open* order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u32);
+
+/// One recorded span: a named, timed section of a request with optional
+/// key/value fields and a link to the span it was opened under.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// This span's id.
+    pub id: SpanId,
+    /// The span that was open when this one started (`None` for roots).
+    pub parent: Option<SpanId>,
+    /// Span name (e.g. `"execute"`). Borrowed for the common static-name
+    /// case so opening a span does not allocate for it.
+    pub name: Cow<'static, str>,
+    /// Offset from the trace's start to this span's start.
+    pub start: Duration,
+    /// Wall-clock time between open and close. Spans still open when the
+    /// trace finishes are closed at finish time.
+    pub elapsed: Duration,
+    /// Key/value annotations added while the span was open. Keys are
+    /// borrowed for the common static-key case.
+    pub fields: Vec<(Cow<'static, str>, String)>,
+}
+
+struct TraceInner {
+    spans: Vec<SpanRecord>,
+    /// Open spans, innermost last.
+    stack: Vec<SpanId>,
+}
+
+/// A per-request trace under construction. See the [module docs](self).
+pub struct Trace {
+    /// `None` means disabled: every operation is a cheap no-op.
+    inner: Option<RefCell<TraceInner>>,
+    t0: Instant,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+impl Trace {
+    /// An enabled trace; the clock starts now.
+    pub fn new() -> Trace {
+        Trace {
+            inner: Some(RefCell::new(TraceInner {
+                spans: Vec::with_capacity(8),
+                stack: Vec::with_capacity(4),
+            })),
+            t0: Instant::now(),
+        }
+    }
+
+    /// A disabled trace: spans and fields cost one branch and record
+    /// nothing. Lets callers thread one code path for traced and
+    /// untraced requests.
+    pub fn disabled() -> Trace {
+        Trace {
+            inner: None,
+            t0: Instant::now(),
+        }
+    }
+
+    /// Is this trace recording?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span named `name` under the innermost open span. Close it
+    /// by dropping the guard.
+    pub fn span(&self, name: impl Into<Cow<'static, str>>) -> SpanGuard<'_> {
+        let Some(inner) = &self.inner else {
+            return SpanGuard {
+                trace: self,
+                id: None,
+            };
+        };
+        let mut t = inner.borrow_mut();
+        let id = SpanId(t.spans.len() as u32);
+        let parent = t.stack.last().copied();
+        t.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            start: self.t0.elapsed(),
+            elapsed: Duration::ZERO,
+            fields: Vec::new(),
+        });
+        t.stack.push(id);
+        SpanGuard {
+            trace: self,
+            id: Some(id),
+        }
+    }
+
+    /// Attaches a key/value field to the innermost open span. No-op when
+    /// disabled or when no span is open.
+    pub fn field(&self, key: impl Into<Cow<'static, str>>, value: impl ToString) {
+        if let Some(inner) = &self.inner {
+            let mut t = inner.borrow_mut();
+            if let Some(&open) = t.stack.last() {
+                t.spans[open.0 as usize]
+                    .fields
+                    .push((key.into(), value.to_string()));
+            }
+        }
+    }
+
+    fn close(&self, id: SpanId) {
+        if let Some(inner) = &self.inner {
+            let now = self.t0.elapsed();
+            let mut t = inner.borrow_mut();
+            let rec = &mut t.spans[id.0 as usize];
+            rec.elapsed = now.saturating_sub(rec.start);
+            // Pop through the stack in case inner guards were leaked.
+            while let Some(open) = t.stack.pop() {
+                if open == id {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Finishes the trace: closes any still-open spans and returns the
+    /// completed tree. An empty tree is returned for a disabled trace.
+    pub fn finish(self) -> TraceTree {
+        let total = self.t0.elapsed();
+        let Some(inner) = self.inner else {
+            return TraceTree {
+                spans: Vec::new(),
+                total,
+            };
+        };
+        let mut t = inner.into_inner();
+        while let Some(open) = t.stack.pop() {
+            let rec = &mut t.spans[open.0 as usize];
+            rec.elapsed = total.saturating_sub(rec.start);
+        }
+        TraceTree {
+            spans: t.spans,
+            total,
+        }
+    }
+}
+
+/// RAII guard of one open span; dropping it closes the span.
+pub struct SpanGuard<'t> {
+    trace: &'t Trace,
+    id: Option<SpanId>,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches a key/value field to this span (not the innermost one —
+    /// useful after child spans have already opened and closed).
+    pub fn field(&self, key: impl Into<Cow<'static, str>>, value: impl ToString) {
+        if let (Some(inner), Some(id)) = (&self.trace.inner, self.id) {
+            inner.borrow_mut().spans[id.0 as usize]
+                .fields
+                .push((key.into(), value.to_string()));
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            self.trace.close(id);
+        }
+    }
+}
+
+/// A finished trace: every span recorded, in open order, plus the
+/// end-to-end wall clock.
+#[derive(Debug, Clone, Default)]
+pub struct TraceTree {
+    /// All spans, indexed by [`SpanId`] (span `i` has id `SpanId(i)`).
+    pub spans: Vec<SpanRecord>,
+    /// Wall clock from trace creation to finish.
+    pub total: Duration,
+}
+
+impl TraceTree {
+    /// The first span with the given name, if any.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Direct children of `id`, in open order.
+    pub fn children(&self, id: SpanId) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+
+    /// Root spans (no parent), in open order.
+    pub fn roots(&self) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent.is_none()).collect()
+    }
+
+    /// Renders the tree as indented text, one span per line:
+    /// `name  12.3µs  [key=value ...]`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for root in self.roots() {
+            self.render_span(root, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_span(&self, span: &SpanRecord, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        write!(out, "{indent}{}  {:?}", span.name, span.elapsed).expect("write to string");
+        if !span.fields.is_empty() {
+            let fields: Vec<String> = span
+                .fields
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            write!(out, "  [{}]", fields.join(" ")).expect("write to string");
+        }
+        out.push('\n');
+        for child in self.children(span.id) {
+            self.render_span(child, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let trace = Trace::new();
+        {
+            let _outer = trace.span("outer");
+            {
+                let inner = trace.span("inner");
+                inner.field("rows", 3);
+            }
+            let _sibling = trace.span("sibling");
+        }
+        let tree = trace.finish();
+        assert_eq!(tree.spans.len(), 3);
+        assert_eq!(tree.spans[0].parent, None);
+        assert_eq!(tree.spans[1].parent, Some(SpanId(0)));
+        assert_eq!(tree.spans[2].parent, Some(SpanId(0)));
+        assert_eq!(tree.spans[1].fields, vec![("rows".into(), "3".into())]);
+        assert_eq!(tree.roots().len(), 1);
+        assert_eq!(tree.children(SpanId(0)).len(), 2);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let trace = Trace::disabled();
+        assert!(!trace.is_enabled());
+        {
+            let g = trace.span("x");
+            g.field("k", "v");
+            trace.field("k2", "v2");
+        }
+        let tree = trace.finish();
+        assert!(tree.spans.is_empty());
+    }
+
+    #[test]
+    fn open_spans_are_closed_at_finish() {
+        let trace = Trace::new();
+        let g = trace.span("leaked");
+        std::mem::forget(g); // never dropped
+        let tree = trace.finish();
+        assert_eq!(tree.spans.len(), 1);
+        assert!(tree.spans[0].elapsed <= tree.total);
+    }
+
+    #[test]
+    fn elapsed_is_monotone_with_nesting() {
+        let trace = Trace::new();
+        {
+            let _outer = trace.span("outer");
+            let _inner = trace.span("inner");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let tree = trace.finish();
+        let outer = tree.find("outer").unwrap();
+        let inner = tree.find("inner").unwrap();
+        assert!(outer.elapsed >= inner.elapsed);
+        assert!(tree.total >= outer.elapsed);
+    }
+
+    #[test]
+    fn render_shows_tree_shape_and_fields() {
+        let trace = Trace::new();
+        {
+            let _a = trace.span("ask");
+            let r = trace.span("retrieve");
+            r.field("route", "cypher");
+        }
+        let text = trace.finish().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("ask"));
+        assert!(lines[1].starts_with("  retrieve"));
+        assert!(lines[1].contains("[route=cypher]"));
+    }
+}

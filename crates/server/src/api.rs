@@ -1,17 +1,31 @@
 //! The ChatIYP JSON API: request/response types and the route handlers.
 //!
 //! Endpoints:
-//! * `POST /ask` — `{"question": "..."}` → full pipeline response
+//! * `POST /ask` — `{"question": "..."}` → full pipeline response;
+//!   `?trace=1` adds the request's span tree to the response
 //! * `GET  /health` — liveness + graph size
 //! * `GET  /schema` — the IYP schema summary
 //! * `POST /cypher` — `{"query": "..."}` → direct read-only Cypher
-//!   (the expert escape hatch)
+//!   (the expert escape hatch); `PROFILE`/`EXPLAIN` query prefixes
+//!   return per-operator statistics / the plan instead of plain rows
+//! * `GET  /stats` — graph shape + cache counters (JSON)
+//! * `GET  /metrics` — Prometheus text exposition (stage + HTTP
+//!   histograms, cache counters, graph gauges)
 
 use crate::http::{Request, Response};
 use chatiyp_core::ChatIyp;
 use iyp_graphdb::Graph;
+use iyp_obs::TraceTree;
 use serde::{Deserialize, Serialize};
 use serde_json::json;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Histogram family for HTTP request latencies (`path` label).
+pub const HTTP_METRIC: &str = "chatiyp_http_request_seconds";
+
+/// Counter family for served requests (`path` + `status` labels).
+pub const HTTP_REQUESTS_METRIC: &str = "chatiyp_http_requests_total";
 
 /// Body of `POST /ask`.
 #[derive(Debug, Deserialize)]
@@ -42,19 +56,38 @@ pub struct AskResponse<'a> {
     pub latency_us: u64,
 }
 
+/// Handles one request: dispatches to the route handler, then records
+/// the request into the pipeline's metric registry (latency histogram
+/// per path, request counter per path + status) so `GET /metrics` sees
+/// HTTP traffic alongside the pipeline stages.
+pub fn handle(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
+    let t0 = Instant::now();
+    let resp = dispatch(chat, graph, req);
+    let path = metric_path(req.path());
+    let registry = chat.registry();
+    registry.observe(HTTP_METRIC, &[("path", path)], t0.elapsed());
+    registry.inc(
+        HTTP_REQUESTS_METRIC,
+        &[("path", path), ("status", status_label(resp.status))],
+        1,
+    );
+    resp
+}
+
 /// Dispatches one request. Graph-only endpoints (`/cypher`, `/health`,
 /// `/stats`) read from the shared `graph` handle — the same allocation
 /// the pipeline queries — so they never touch pipeline state.
-pub fn handle(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
+fn dispatch(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
     match (req.method.as_str(), req.path()) {
         ("POST", "/ask") => handle_ask(chat, req),
         ("POST", "/cypher") => handle_cypher(chat, graph, req),
         ("GET", "/health") => handle_health(graph),
         ("GET", "/stats") => handle_stats(chat, graph),
+        ("GET", "/metrics") => handle_metrics(chat, graph),
         ("GET", "/schema") => Response::text(200, iyp_data::schema::schema_summary()),
         ("GET", _) | ("POST", _) => Response::json(
             404,
-            json!({"error": "unknown endpoint", "endpoints": ["/ask", "/cypher", "/health", "/schema", "/stats"]})
+            json!({"error": "unknown endpoint", "endpoints": ["/ask", "/cypher", "/health", "/metrics", "/schema", "/stats"]})
                 .to_string(),
         ),
         (method, _) => Response::json(
@@ -62,6 +95,82 @@ pub fn handle(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
             json!({"error": format!("method {method} not allowed")}).to_string(),
         ),
     }
+}
+
+/// Maps a request path to a bounded metric label: known endpoints keep
+/// their path, everything else collapses to `"other"` so arbitrary
+/// request targets cannot grow the label set.
+fn metric_path(path: &str) -> &'static str {
+    match path {
+        "/ask" => "/ask",
+        "/cypher" => "/cypher",
+        "/health" => "/health",
+        "/metrics" => "/metrics",
+        "/schema" => "/schema",
+        "/stats" => "/stats",
+        _ => "other",
+    }
+}
+
+/// The status codes the API emits, as static label values.
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        _ => "other",
+    }
+}
+
+/// Is the `trace` query parameter asking for a trace? Presence counts
+/// (`?trace`), and any value other than `0`/`false` enables it.
+fn wants_trace(req: &Request) -> bool {
+    matches!(req.query_param("trace"),
+        Some(v) if v != "0" && !v.eq_ignore_ascii_case("false"))
+}
+
+/// Serializes a span tree for the `?trace=1` response: span ids, parent
+/// links, microsecond offsets/durations, and the key/value fields.
+fn trace_json(tree: &TraceTree) -> serde_json::Value {
+    let spans: Vec<serde_json::Value> = tree
+        .spans
+        .iter()
+        .map(|s| {
+            let fields: Vec<(String, serde_json::Value)> = s
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), serde_json::to_value(v)))
+                .collect();
+            serde_json::Value::Map(vec![
+                ("id".to_string(), serde_json::to_value(&(s.id.0 as u64))),
+                (
+                    "parent".to_string(),
+                    match s.parent {
+                        Some(p) => serde_json::to_value(&(p.0 as u64)),
+                        None => serde_json::Value::Null,
+                    },
+                ),
+                ("name".to_string(), serde_json::to_value(&s.name.as_ref())),
+                (
+                    "start_us".to_string(),
+                    serde_json::to_value(&(s.start.as_micros() as u64)),
+                ),
+                (
+                    "elapsed_us".to_string(),
+                    serde_json::to_value(&(s.elapsed.as_micros() as u64)),
+                ),
+                ("fields".to_string(), serde_json::Value::Map(fields)),
+            ])
+        })
+        .collect();
+    serde_json::Value::Map(vec![
+        (
+            "total_us".to_string(),
+            serde_json::to_value(&(tree.total.as_micros() as u64)),
+        ),
+        ("spans".to_string(), serde_json::Value::Seq(spans)),
+    ])
 }
 
 fn handle_ask(chat: &ChatIyp, req: &Request) -> Response {
@@ -76,7 +185,7 @@ fn handle_ask(chat: &ChatIyp, req: &Request) -> Response {
             json!({"error": "question must not be empty"}).to_string(),
         ),
         Ok(ask) => {
-            let r = chat.ask(&ask.question);
+            let (r, tree) = chat.ask_traced(&ask.question);
             let body = AskResponse {
                 answer: &r.answer,
                 cypher: r.cypher.as_deref(),
@@ -84,22 +193,80 @@ fn handle_ask(chat: &ChatIyp, req: &Request) -> Response {
                 contexts: r.contexts.iter().map(|c| c.title.as_str()).collect(),
                 latency_us: r.timings.total.as_micros() as u64,
             };
-            Response::json(200, serde_json::to_string(&body).expect("serializes"))
+            let mut value = serde_json::to_value(&body);
+            if wants_trace(req) {
+                if let serde_json::Value::Map(entries) = &mut value {
+                    entries.push(("trace".to_string(), trace_json(&tree)));
+                }
+            }
+            Response::json(200, value.to_string())
         }
+    }
+}
+
+/// The leading statement modifier of a `/cypher` query, if any.
+#[derive(PartialEq)]
+enum CypherRoute {
+    Plain,
+    Explain,
+    Profile,
+}
+
+/// Detects a leading `PROFILE` / `EXPLAIN` word (case-insensitive,
+/// followed by more query text). Full token-level handling lives in the
+/// parser; this only decides which executor entry point to call, so the
+/// cached plain-query hot path stays untouched.
+fn cypher_route(query: &str) -> CypherRoute {
+    let trimmed = query.trim_start();
+    let word = trimmed.split_whitespace().next().unwrap_or("");
+    if word.eq_ignore_ascii_case("PROFILE") {
+        CypherRoute::Profile
+    } else if word.eq_ignore_ascii_case("EXPLAIN") {
+        CypherRoute::Explain
+    } else {
+        CypherRoute::Plain
     }
 }
 
 fn handle_cypher(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
     let parsed: Result<CypherRequest, _> = serde_json::from_slice(&req.body);
-    match parsed {
-        Err(e) => Response::json(
-            400,
-            json!({"error": format!("invalid JSON body: {e}")}).to_string(),
-        ),
-        // Untrusted Cypher runs through the shared query cache (repeated
+    let c = match parsed {
+        Err(e) => {
+            return Response::json(
+                400,
+                json!({"error": format!("invalid JSON body: {e}")}).to_string(),
+            )
+        }
+        Ok(c) => c,
+    };
+    match cypher_route(&c.query) {
+        // `EXPLAIN <query>`: render the plan, execute nothing.
+        CypherRoute::Explain => match iyp_cypher::explain(graph, &c.query) {
+            Ok(plan) => Response::json(200, json!({"plan": plan}).to_string()),
+            Err(e) => Response::json(400, json!({"error": e.to_string()}).to_string()),
+        },
+        // `PROFILE <query>`: execute with per-operator measurement.
+        // Profiled runs bypass the result cache on purpose — a cached
+        // result has no operator execution to measure.
+        CypherRoute::Profile => match iyp_cypher::profile_with_limits(
+            graph,
+            &c.query,
+            &iyp_cypher::Params::new(),
+            iyp_cypher::ExecLimits::timeout(std::time::Duration::from_secs(2)),
+        ) {
+            Ok((result, prof)) => {
+                let mut value = serde_json::to_value(&result);
+                if let serde_json::Value::Map(entries) = &mut value {
+                    entries.push(("profile".to_string(), profile_json(&prof)));
+                }
+                Response::json(200, value.to_string())
+            }
+            Err(e) => Response::json(400, json!({"error": e.to_string()}).to_string()),
+        },
+        // Plain queries run through the shared query cache (repeated
         // queries skip parse + execution) and under a deadline so a
         // pathological pattern cannot pin a worker.
-        Ok(c) => match chat.query_cache().get_or_execute_with_deadline(
+        CypherRoute::Plain => match chat.query_cache().get_or_execute_with_deadline(
             graph,
             &c.query,
             &iyp_cypher::Params::new(),
@@ -112,6 +279,112 @@ fn handle_cypher(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
             Err(e) => Response::json(400, json!({"error": e.to_string()}).to_string()),
         },
     }
+}
+
+/// Serializes a [`iyp_cypher::QueryProfile`] for the `PROFILE` response:
+/// per-operator stats plus the rendered text (with timings — the JSON
+/// numbers carry the machine-readable copy).
+fn profile_json(prof: &iyp_cypher::QueryProfile) -> serde_json::Value {
+    let ops: Vec<serde_json::Value> = prof
+        .ops
+        .iter()
+        .map(|op| {
+            serde_json::Value::Map(vec![
+                ("name".to_string(), serde_json::to_value(&op.name)),
+                ("rows".to_string(), serde_json::to_value(&op.rows)),
+                ("db_hits".to_string(), serde_json::to_value(&op.db_hits)),
+                (
+                    "time_us".to_string(),
+                    serde_json::to_value(&(op.elapsed.as_micros() as u64)),
+                ),
+                (
+                    "plan".to_string(),
+                    serde_json::to_value(&op.plan.trim_end()),
+                ),
+            ])
+        })
+        .collect();
+    serde_json::Value::Map(vec![
+        ("ops".to_string(), serde_json::Value::Seq(ops)),
+        (
+            "total_db_hits".to_string(),
+            serde_json::to_value(&prof.total_db_hits()),
+        ),
+        (
+            "total_us".to_string(),
+            serde_json::to_value(&(prof.total.as_micros() as u64)),
+        ),
+        (
+            "result_rows".to_string(),
+            serde_json::to_value(&prof.result_rows),
+        ),
+        ("rendered".to_string(), serde_json::to_value(&prof.render())),
+    ])
+}
+
+/// Renders `GET /metrics`: the registry's histogram + counter series in
+/// Prometheus text format, followed by cache counters and graph gauges
+/// read at scrape time (they live outside the registry, so they are
+/// appended by hand — see docs/OBSERVABILITY.md).
+fn handle_metrics(chat: &ChatIyp, graph: &Graph) -> Response {
+    let mut out = chat.registry().render_prometheus();
+    let cs = chat.query_cache().stats();
+
+    out.push_str("# HELP chatiyp_cache_events_total Result-tier query cache events.\n");
+    out.push_str("# TYPE chatiyp_cache_events_total counter\n");
+    for (kind, v) in [
+        ("hits", cs.hits),
+        ("misses", cs.misses),
+        ("evictions", cs.evictions),
+        ("invalidations", cs.invalidations),
+        ("expirations", cs.expirations),
+    ] {
+        writeln!(out, "chatiyp_cache_events_total{{kind=\"{kind}\"}} {v}").expect("write");
+    }
+    out.push_str("# HELP chatiyp_plan_cache_events_total Plan-tier query cache events.\n");
+    out.push_str("# TYPE chatiyp_plan_cache_events_total counter\n");
+    for (kind, v) in [
+        ("hits", cs.plan.hits),
+        ("misses", cs.plan.misses),
+        ("evictions", cs.plan.evictions),
+    ] {
+        writeln!(
+            out,
+            "chatiyp_plan_cache_events_total{{kind=\"{kind}\"}} {v}"
+        )
+        .expect("write");
+    }
+
+    for (name, help, v) in [
+        (
+            "chatiyp_cache_entries",
+            "Live result-cache entries.",
+            cs.len as u64,
+        ),
+        (
+            "chatiyp_cache_capacity",
+            "Configured result-cache capacity.",
+            cs.capacity as u64,
+        ),
+        (
+            "chatiyp_graph_nodes",
+            "Nodes in the graph.",
+            graph.node_count() as u64,
+        ),
+        (
+            "chatiyp_graph_relationships",
+            "Relationships in the graph.",
+            graph.rel_count() as u64,
+        ),
+        (
+            "chatiyp_graph_epoch",
+            "Graph write epoch (bumps on mutation).",
+            graph.epoch(),
+        ),
+    ] {
+        writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}").expect("write");
+    }
+    Response::text(200, out)
 }
 
 fn handle_stats(chat: &ChatIyp, graph: &Graph) -> Response {
@@ -290,6 +563,248 @@ mod tests {
         let warm = handle(&c, c.graph(), &req("POST", "/cypher", q));
         assert_eq!(cold.status, 200);
         assert_eq!(cold.body, warm.body, "cache hit changed the wire bytes");
+    }
+
+    #[test]
+    fn ask_with_trace_param_returns_span_tree() {
+        let c = chat();
+        let r = handle(
+            &c,
+            c.graph(),
+            &req(
+                "POST",
+                "/ask?trace=1",
+                r#"{"question":"What is the name of AS2497?"}"#,
+            ),
+        );
+        assert_eq!(r.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(body["trace"]["total_us"].as_u64().is_some());
+        let spans = body["trace"]["spans"].as_array().unwrap();
+        assert!(!spans.is_empty());
+        // The root span is "ask" with no parent; children link back to it.
+        assert_eq!(spans[0]["name"].as_str(), Some("ask"));
+        assert!(spans[0]["parent"].is_null());
+        assert_eq!(spans[1]["parent"].as_u64(), Some(0));
+        // Without the flag, no trace key is grafted on.
+        let r = handle(
+            &c,
+            c.graph(),
+            &req(
+                "POST",
+                "/ask",
+                r#"{"question":"What is the name of AS2497?"}"#,
+            ),
+        );
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(body["trace"].is_null());
+    }
+
+    #[test]
+    fn trace_zero_and_false_disable_the_tree() {
+        let c = chat();
+        for target in ["/ask?trace=0", "/ask?trace=false"] {
+            let r = handle(
+                &c,
+                c.graph(),
+                &req(
+                    "POST",
+                    target,
+                    r#"{"question":"What is the name of AS2497?"}"#,
+                ),
+            );
+            assert_eq!(r.status, 200);
+            let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+            assert!(body["trace"].is_null(), "{target} grafted a trace");
+        }
+    }
+
+    #[test]
+    fn cypher_profile_returns_per_operator_stats() {
+        let c = chat();
+        let r = handle(
+            &c,
+            c.graph(),
+            &req(
+                "POST",
+                "/cypher",
+                r#"{"query":"PROFILE MATCH (a:AS) RETURN count(a)"}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        // The query result itself still comes back...
+        assert!(body["rows"][0][0].as_i64().unwrap() > 0);
+        // ...plus the profile: per-op rows/db hits/time and the totals.
+        let ops = body["profile"]["ops"].as_array().unwrap();
+        assert_eq!(ops.len(), 2, "Match + Return");
+        assert_eq!(ops[0]["name"].as_str(), Some("Match"));
+        assert!(ops[0]["db_hits"].as_u64().unwrap() > 0);
+        assert!(ops[0]["time_us"].as_u64().is_some());
+        assert!(body["profile"]["total_db_hits"].as_u64().unwrap() > 0);
+        assert_eq!(body["profile"]["result_rows"].as_u64(), Some(1));
+        assert!(body["profile"]["rendered"]
+            .as_str()
+            .unwrap()
+            .contains("dbHits="));
+    }
+
+    #[test]
+    fn cypher_explain_returns_plan_without_executing() {
+        let c = chat();
+        let r = handle(
+            &c,
+            c.graph(),
+            &req(
+                "POST",
+                "/cypher",
+                r#"{"query":"explain MATCH (a:AS) RETURN count(a)"}"#,
+            ),
+        );
+        assert_eq!(r.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        let plan = body["plan"].as_str().unwrap();
+        assert!(plan.contains("LabelScan(:AS"), "{plan}");
+        assert!(body["rows"].is_null(), "EXPLAIN must not execute");
+    }
+
+    #[test]
+    fn cypher_profile_rejects_bad_queries() {
+        let c = chat();
+        let r = handle(
+            &c,
+            c.graph(),
+            &req(
+                "POST",
+                "/cypher",
+                r#"{"query":"PROFILE MATCH (a RETURN a"}"#,
+            ),
+        );
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let c = chat();
+        // Warm the pipeline so stage histograms exist.
+        let r = handle(
+            &c,
+            c.graph(),
+            &req(
+                "POST",
+                "/ask",
+                r#"{"question":"What is the name of AS2497?"}"#,
+            ),
+        );
+        assert_eq!(r.status, 200);
+        let r = handle(&c, c.graph(), &req("GET", "/metrics", ""));
+        assert_eq!(r.status, 200);
+        let text = String::from_utf8(r.body).unwrap();
+        // Pipeline stage histograms.
+        assert!(
+            text.contains("# TYPE chatiyp_stage_seconds histogram"),
+            "{text}"
+        );
+        assert!(text.contains("chatiyp_stage_seconds_bucket{stage=\"parse\",le="));
+        assert!(text.contains("chatiyp_stage_seconds_count{stage=\"ask_total\"} 1"));
+        // HTTP series from the /ask call above.
+        assert!(text.contains("chatiyp_http_request_seconds_bucket{path=\"/ask\",le="));
+        assert!(text.contains("chatiyp_http_requests_total{path=\"/ask\",status=\"200\"} 1"));
+        // Cache counters and graph gauges are appended at scrape time.
+        assert!(text.contains("chatiyp_cache_events_total{kind=\"misses\"}"));
+        assert!(text.contains("# TYPE chatiyp_graph_nodes gauge"));
+        assert!(text.contains("\nchatiyp_graph_epoch "));
+    }
+
+    #[test]
+    fn metrics_text_is_well_formed() {
+        let c = chat();
+        handle(
+            &c,
+            c.graph(),
+            &req(
+                "POST",
+                "/ask",
+                r#"{"question":"What is the name of AS2497?"}"#,
+            ),
+        );
+        let r = handle(&c, c.graph(), &req("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
+        // Every non-comment line is `<series> <number>`.
+        for line in text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(!series.is_empty(), "bad line: {line}");
+            assert!(value.parse::<f64>().is_ok(), "bad value in: {line}");
+        }
+        // Each metric name gets exactly one HELP and one TYPE header.
+        let mut seen = std::collections::HashSet::new();
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let name = line.split_whitespace().nth(2).unwrap();
+            assert!(seen.insert(name.to_string()), "duplicate TYPE for {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_requests_are_counted_under_other() {
+        let c = chat();
+        handle(&c, c.graph(), &req("GET", "/not-a-route", ""));
+        let r = handle(&c, c.graph(), &req("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(
+            text.contains("chatiyp_http_requests_total{path=\"other\",status=\"404\"} 1"),
+            "{text}"
+        );
+    }
+
+    /// `GET /stats` serves exactly the fields README.md documents — this
+    /// is the contract test that keeps the docs and the endpoint in sync.
+    /// If you add a field here, document it in README.md (and vice versa).
+    #[test]
+    fn stats_serves_exactly_the_documented_fields() {
+        let c = chat();
+        let r = handle(&c, c.graph(), &req("GET", "/stats", ""));
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        let serde_json::Value::Map(entries) = &body else {
+            panic!("stats body is not an object")
+        };
+        let mut got: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        got.sort_unstable();
+        let documented = [
+            "cache",
+            "degree",
+            "epoch",
+            "nodes",
+            "nodes_by_label",
+            "rels",
+            "rels_by_type",
+        ];
+        assert_eq!(
+            got, documented,
+            "stats fields drifted from the documented set"
+        );
+        // The nested cache object too: these counters are documented.
+        let serde_json::Value::Map(cache) = &body["cache"] else {
+            panic!("cache is not an object")
+        };
+        let mut cache_keys: Vec<&str> = cache.iter().map(|(k, _)| k.as_str()).collect();
+        cache_keys.sort_unstable();
+        assert_eq!(
+            cache_keys,
+            [
+                "capacity",
+                "evictions",
+                "expirations",
+                "hits",
+                "invalidations",
+                "len",
+                "misses",
+                "plan"
+            ],
+            "cache counters drifted from the documented set"
+        );
     }
 
     #[test]

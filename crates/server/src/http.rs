@@ -40,6 +40,17 @@ impl Request {
         self.target.split('?').next().unwrap_or(&self.target)
     }
 
+    /// A query-string parameter's value (`?trace=1` → `query_param("trace")
+    /// == Some("1")`). A bare key with no `=` yields `Some("")`. No
+    /// percent-decoding — the API's flags are plain tokens.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let (_, query) = self.target.split_once('?')?;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
+
     /// A header value, by case-insensitive name.
     pub fn header(&self, name: &str) -> Option<&str> {
         let lower = name.to_ascii_lowercase();
