@@ -1,0 +1,136 @@
+//! Measures what the compile-once/execute-many split buys on the
+//! executor hot path.
+//!
+//! Every query of the 58-query parity corpus is parsed and slot-compiled
+//! exactly once up front, then executed many times — the steady state a
+//! plan-cached server lives in. Three arms, median-of-passes and
+//! interleaved so drift hits all of them:
+//!
+//! 1. **interpreted** — compilation disabled, 1 worker (the pre-PR path)
+//! 2. **compiled** — slot-compiled pipeline, 1 worker
+//! 3. **parallel** — slot-compiled pipeline, all available cores
+//!
+//! The headline number is `compiled` vs `interpreted` at 1 worker: the
+//! speedup from compilation alone, with parallelism out of the picture.
+//! The target is ≥1.5x; the hard gate is a generous 1.2x so a noisy CI
+//! container doesn't flake. Results are asserted byte-identical across
+//! all arms before any timing is trusted, and the measured numbers are
+//! written to `BENCH_exec.json` at the repository root.
+//!
+//! ```text
+//! cargo run --release -p chatiyp-bench --bin exec_hotpath [-- PASSES]
+//! ```
+
+use iyp_cypher::ast::Query;
+use iyp_cypher::corpus::PARITY_QUERIES;
+use iyp_cypher::{
+    compile_query, execute_prepared_with_limits, parse, CompiledQuery, ExecLimits, Params,
+};
+use iyp_data::{generate, IypConfig};
+use iyp_graphdb::Graph;
+use std::time::Instant;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// One timed pass of the prepared corpus under the given limits; seconds.
+fn pass(graph: &Graph, prepared: &[(Query, CompiledQuery)], limits: ExecLimits) -> f64 {
+    let params = Params::new();
+    let t0 = Instant::now();
+    for (q, c) in prepared {
+        execute_prepared_with_limits(graph, q, Some(c), &params, limits)
+            .expect("corpus query executes");
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let passes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+
+    let graph = generate(&IypConfig::default()).graph;
+
+    // Compile once, up front — this cost is the plan cache's to amortize
+    // and is deliberately outside every timed region.
+    let prepared: Vec<(Query, CompiledQuery)> = PARITY_QUERIES
+        .iter()
+        .map(|src| {
+            let q = parse(src).expect("corpus query parses");
+            let c = compile_query(&q).expect("corpus query compiles");
+            (q, c)
+        })
+        .collect();
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let interpreted = ExecLimits::none().with_compiled(false);
+    let compiled = ExecLimits::none();
+    let parallel = ExecLimits::none().with_parallelism(workers);
+
+    // Correctness before speed: all three arms must agree byte-for-byte.
+    let params = Params::new();
+    for (q, c) in &prepared {
+        let a = execute_prepared_with_limits(&graph, q, Some(c), &params, interpreted);
+        let b = execute_prepared_with_limits(&graph, q, Some(c), &params, compiled);
+        let p = execute_prepared_with_limits(&graph, q, Some(c), &params, parallel);
+        assert_eq!(a, b, "compiled result diverged from interpreted");
+        assert_eq!(b, p, "parallel result diverged from sequential");
+    }
+
+    // Warm every arm (allocator, caches) before measuring.
+    pass(&graph, &prepared, interpreted);
+    pass(&graph, &prepared, compiled);
+    pass(&graph, &prepared, parallel);
+
+    let mut t_interp = Vec::with_capacity(passes);
+    let mut t_compiled = Vec::with_capacity(passes);
+    let mut t_parallel = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        t_interp.push(pass(&graph, &prepared, interpreted));
+        t_compiled.push(pass(&graph, &prepared, compiled));
+        t_parallel.push(pass(&graph, &prepared, parallel));
+    }
+    let m_interp = median(&mut t_interp);
+    let m_compiled = median(&mut t_compiled);
+    let m_parallel = median(&mut t_parallel);
+    let speedup = m_interp / m_compiled;
+    let parallel_speedup = m_compiled / m_parallel;
+
+    println!("corpus queries:        {}", prepared.len());
+    println!("passes:                {passes} (median)");
+    println!("interpreted, 1 worker: {:.3}ms", m_interp * 1e3);
+    println!("compiled,    1 worker: {:.3}ms", m_compiled * 1e3);
+    println!("compiled, {workers:>2} workers: {:.3}ms", m_parallel * 1e3);
+    println!("compile speedup:       {speedup:.2}x (target >=1.5x)");
+    println!("parallel speedup:      {parallel_speedup:.2}x over {workers} worker(s)");
+
+    let report = serde_json::json!({
+        "bench": "exec_hotpath",
+        "corpus_queries": prepared.len() as u64,
+        "passes": passes as u64,
+        "workers": workers as u64,
+        "interpreted_ms": m_interp * 1e3,
+        "compiled_ms": m_compiled * 1e3,
+        "parallel_ms": m_parallel * 1e3,
+        "compile_speedup": speedup,
+        "parallel_speedup": parallel_speedup,
+    });
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&report).expect("report serializes") + "\n",
+    )
+    .expect("BENCH_exec.json writes");
+    println!("wrote {out}");
+
+    // Generous gate: the target is 1.5x, but CI containers are noisy.
+    assert!(
+        speedup >= 1.2,
+        "compile speedup {speedup:.2}x is below the 1.2x hard floor"
+    );
+}

@@ -94,6 +94,7 @@ struct CachedResult {
 struct StageTimers {
     cache_lookup: Arc<Histogram>,
     parse: Arc<Histogram>,
+    compile: Arc<Histogram>,
     plan: Arc<Histogram>,
     execute: Arc<Histogram>,
 }
@@ -104,6 +105,7 @@ impl StageTimers {
         StageTimers {
             cache_lookup: h("cache_lookup"),
             parse: h("parse"),
+            compile: h("compile"),
             plan: h("plan"),
             execute: h("execute"),
         }
@@ -210,8 +212,8 @@ impl QueryCache {
     ) -> Result<Arc<QueryResult>, CypherError> {
         if !self.config.enabled {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            let q = self.parse_timed(src)?;
-            return self.execute_timed(graph, &q, params, limits);
+            let p = self.prepare_timed(src)?;
+            return self.execute_timed(graph, &p, params, limits);
         }
 
         let key = Self::key(src, params);
@@ -253,8 +255,8 @@ impl QueryCache {
         }
 
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let q = self.parse_timed(src)?;
-        let result = self.execute_timed(graph, &q, params, limits)?;
+        let p = self.prepare_timed(src)?;
+        let result = self.execute_timed(graph, &p, params, limits)?;
         let entry = CachedResult {
             result: Arc::clone(&result),
             epoch,
@@ -266,37 +268,57 @@ impl QueryCache {
         Ok(result)
     }
 
-    /// Parses through the plan cache, timing the `parse` stage (plan-tier
-    /// hits count too — the stage is "text to AST", however it resolves).
-    fn parse_timed(&self, src: &str) -> Result<Arc<iyp_cypher::ast::Query>, CypherError> {
+    /// Parses and compiles through the plan cache, splitting the wall
+    /// clock into the `parse` and `compile` stages. Compilation happens
+    /// inside [`iyp_cypher::PlanCache::prepare`] on plan-tier misses, so
+    /// the split takes a delta of the compiler's thread-local clock
+    /// ([`iyp_cypher::compile_time_ns`]); plan-tier hits record a
+    /// zero-length `compile` observation (the compiled form is reused).
+    fn prepare_timed(&self, src: &str) -> Result<iyp_cypher::Prepared, CypherError> {
         let Some(t) = &self.timers else {
-            return self.plans.parse(src);
+            return self.plans.prepare(src);
         };
+        let c0 = iyp_cypher::compile_time_ns();
         let t0 = Instant::now();
-        let q = self.plans.parse(src);
-        t.parse.observe(t0.elapsed());
-        q
+        let p = self.plans.prepare(src);
+        let total_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let compile_ns = iyp_cypher::compile_time_ns().wrapping_sub(c0);
+        t.compile.observe_ns(compile_ns);
+        t.parse.observe_ns(total_ns.saturating_sub(compile_ns));
+        p
     }
 
-    /// Executes a cold query, splitting its wall clock into the `plan`
-    /// and `execute` stages. Planning happens lazily inside `MATCH`
-    /// execution, so the split takes a delta of the executor's
-    /// thread-local planning clock ([`iyp_cypher::plan::plan_time_ns`]).
+    /// Executes a cold query through its cached compiled form, splitting
+    /// its wall clock into the `plan` and `execute` stages. Planning
+    /// happens lazily inside `MATCH` execution, so the split takes a
+    /// delta of the executor's thread-local planning clock
+    /// ([`iyp_cypher::plan::plan_time_ns`]).
     fn execute_timed(
         &self,
         graph: &Graph,
-        q: &iyp_cypher::ast::Query,
+        prepared: &iyp_cypher::Prepared,
         params: &Params,
         limits: ExecLimits,
     ) -> Result<Arc<QueryResult>, CypherError> {
+        let compiled = prepared.compiled.as_deref();
         let Some(t) = &self.timers else {
-            return Ok(Arc::new(iyp_cypher::execute_read_with_limits(
-                graph, q, params, limits,
+            return Ok(Arc::new(iyp_cypher::execute_prepared_with_limits(
+                graph,
+                &prepared.query,
+                compiled,
+                params,
+                limits,
             )?));
         };
         let plan0 = iyp_cypher::plan::plan_time_ns();
         let t0 = Instant::now();
-        let result = iyp_cypher::execute_read_with_limits(graph, q, params, limits);
+        let result = iyp_cypher::execute_prepared_with_limits(
+            graph,
+            &prepared.query,
+            compiled,
+            params,
+            limits,
+        );
         let total_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let plan_ns = iyp_cypher::plan::plan_time_ns().wrapping_sub(plan0);
         t.plan.observe_ns(plan_ns);

@@ -30,6 +30,10 @@ pub struct ChatIypConfig {
     /// on/off). Shared between the `ask` path and the server's
     /// `/cypher` endpoint.
     pub cache: CacheConfig,
+    /// Worker threads for morsel-parallel `MATCH` expansion in read
+    /// queries. Defaults to the machine's available cores; `1` executes
+    /// sequentially. Results are byte-identical at any setting.
+    pub query_parallelism: usize,
     /// Record a structured span tree for every `ask` into the trace
     /// ring (and return it from [`crate::ChatIyp::ask_traced`]). Stage
     /// histograms are recorded regardless of this flag.
@@ -49,6 +53,9 @@ impl Default for ChatIypConfig {
             rerank_top_k: 3,
             max_retries: 0,
             cache: CacheConfig::default(),
+            query_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             trace_requests: true,
             trace_ring_capacity: 64,
         }

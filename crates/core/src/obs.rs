@@ -9,7 +9,8 @@
 //! | stage            | what it times |
 //! |------------------|---------------|
 //! | `cache_lookup`   | result-cache probe (hit or miss verdict) |
-//! | `parse`          | query text → AST (through the plan cache) |
+//! | `parse`          | query text → AST (through the plan cache), minus compilation |
+//! | `compile`        | AST → slot-compiled pipeline (on plan-cache misses) |
 //! | `plan`           | anchor selection inside `MATCH` execution |
 //! | `execute`        | operator pipeline, minus planning |
 //! | `embed_retrieve` | vector similarity retrieval |

@@ -134,11 +134,12 @@ impl ChatIyp {
         // retries on failed/empty executions).
         let structured: Option<StructuredRetrieval> = if self.config.enable_text2cypher {
             let _s = trace.span("text2cypher");
-            Some(self.text2cypher.retrieve_cached(
+            Some(self.text2cypher.retrieve_cached_with_limits(
                 &self.graph,
                 question,
                 self.config.max_retries,
                 Some(&self.cache),
+                iyp_cypher::ExecLimits::none().with_parallelism(self.config.query_parallelism),
             ))
         } else {
             None

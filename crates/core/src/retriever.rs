@@ -68,15 +68,44 @@ impl TextToCypherRetriever {
         max_retries: u32,
         cache: Option<&QueryCache>,
     ) -> StructuredRetrieval {
+        self.retrieve_cached_with_limits(
+            graph,
+            question,
+            max_retries,
+            cache,
+            iyp_cypher::ExecLimits::none(),
+        )
+    }
+
+    /// [`TextToCypherRetriever::retrieve_cached`] with explicit execution
+    /// limits for cold queries — how the pipeline applies its configured
+    /// deadline-free morsel parallelism.
+    pub fn retrieve_cached_with_limits(
+        &self,
+        graph: &Graph,
+        question: &str,
+        max_retries: u32,
+        cache: Option<&QueryCache>,
+        limits: iyp_cypher::ExecLimits,
+    ) -> StructuredRetrieval {
         let run = |cy: &str| -> Result<QueryResult, String> {
             match cache {
                 Some(cache) => cache
-                    .get_or_execute(graph, cy, &iyp_cypher::Params::new())
+                    .get_or_execute_with_limits(graph, cy, &iyp_cypher::Params::new(), limits)
                     // The response owns its rows; a hit clones the cached
                     // table (parse + planning + execution still skipped).
                     .map(|arc| (*arc).clone())
                     .map_err(|e| e.to_string()),
-                None => iyp_cypher::query(graph, cy).map_err(|e| e.to_string()),
+                None => {
+                    let q = iyp_cypher::parse(cy).map_err(|e| e.to_string())?;
+                    iyp_cypher::execute_read_with_limits(
+                        graph,
+                        &q,
+                        &iyp_cypher::Params::new(),
+                        limits,
+                    )
+                    .map_err(|e| e.to_string())
+                }
             }
         };
         let mut last = None;

@@ -15,6 +15,7 @@
 //! same query text" means.
 
 use crate::ast::Query;
+use crate::compile::{compile_query, CompiledQuery};
 use crate::error::CypherError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -154,10 +155,25 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Entries dropped to make room.
     pub evictions: u64,
+    /// Queries successfully lowered to compiled form on a cache miss.
+    /// Misses minus compiled = queries running interpreted (write
+    /// statements and constructs outside the compiler's subset).
+    pub compiled: u64,
     /// Live entries.
     pub len: usize,
     /// Configured capacity.
     pub capacity: usize,
+}
+
+/// A parsed query together with its compiled form, as cached by
+/// [`PlanCache::prepare`]. `compiled` is `None` when the query is outside
+/// the compiler's subset; execution then runs interpreted.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The parsed AST.
+    pub query: Arc<Query>,
+    /// The compiled pipeline, when the query is compilable.
+    pub compiled: Option<Arc<CompiledQuery>>,
 }
 
 /// A bounded, thread-safe cache of parsed queries keyed by normalized
@@ -165,10 +181,11 @@ pub struct PlanCacheStats {
 /// (and re-fails) on each attempt, keeping error reporting fresh.
 #[derive(Debug)]
 pub struct PlanCache {
-    inner: Mutex<Lru<Arc<Query>>>,
+    inner: Mutex<Lru<Prepared>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    compiled: AtomicU64,
 }
 
 impl PlanCache {
@@ -179,10 +196,11 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            compiled: AtomicU64::new(0),
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, Lru<Arc<Query>>> {
+    fn lock(&self) -> MutexGuard<'_, Lru<Prepared>> {
         // A panic while holding the lock leaves only a cache (safe to
         // reuse: entries are immutable Arcs), so poisoning is ignored.
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
@@ -191,17 +209,33 @@ impl PlanCache {
     /// Returns the parsed form of `src`, parsing at most once per
     /// normalized text while the entry stays resident.
     pub fn parse(&self, src: &str) -> Result<Arc<Query>, CypherError> {
+        Ok(self.prepare(src)?.query)
+    }
+
+    /// Returns the parsed *and compiled* form of `src`, parsing and
+    /// compiling at most once per normalized text while the entry stays
+    /// resident. Uncompilable queries cache `compiled: None` so repeat
+    /// executions skip the compilation attempt too.
+    pub fn prepare(&self, src: &str) -> Result<Prepared, CypherError> {
         let key = normalize_query(src);
-        if let Some(q) = self.lock().get(&key) {
+        if let Some(p) = self.lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(q));
+            return Ok(p.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let parsed = Arc::new(crate::parser::parse(src)?);
-        if self.lock().insert(key, Arc::clone(&parsed)) {
+        let compiled = compile_query(&parsed).map(Arc::new);
+        if compiled.is_some() {
+            self.compiled.fetch_add(1, Ordering::Relaxed);
+        }
+        let prepared = Prepared {
+            query: parsed,
+            compiled,
+        };
+        if self.lock().insert(key, prepared.clone()) {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(parsed)
+        Ok(prepared)
     }
 
     /// Current counters and occupancy.
@@ -211,6 +245,7 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            compiled: self.compiled.load(Ordering::Relaxed),
             len: inner.len(),
             capacity: inner.capacity(),
         }

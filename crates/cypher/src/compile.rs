@@ -1,0 +1,1099 @@
+//! Compile-once, execute-many: lowering parsed queries to a slot-resolved
+//! form executed without per-row string work.
+//!
+//! [`compile_expr`] lowers an AST [`Expr`] to a [`CompiledExpr`]: variable
+//! names become row-slot indices resolved once against the environment,
+//! literal subtrees are constant-folded (only when pure evaluation
+//! succeeds, so lazily-reached runtime errors stay lazy), and evaluation
+//! ([`CEvalCtx`]) mirrors the interpreted evaluator exactly — same values,
+//! same error messages, same short-circuiting.
+//!
+//! [`compile_query`] lowers a whole parsed query to a [`CompiledQuery`]:
+//! one compiled operator per clause, aligned with the interpreter's
+//! pipeline, produced by simulating the environment the executor will
+//! build (environment evolution is a pure function of the AST). Anything
+//! the compiler cannot express — `exists(pattern)` predicates, write
+//! clauses, projections the interpreter rejects — returns `None` and the
+//! executor falls back to the interpreted pipeline, so compilation is
+//! strictly a performance layer, never a semantics change.
+
+use crate::ast::{
+    is_aggregate_fn, BinOp, Clause, Expr, MatchClause, ProjectionClause, ProjectionItem, Query,
+    UnOp,
+};
+use crate::error::CypherError;
+use crate::eval::{self, Entry, Env, Params, Row};
+use crate::exec::union::split_segments;
+use iyp_graphdb::{Graph, Value};
+use std::collections::BTreeMap;
+
+/// Marker for an expression or clause the compiler cannot lower; the
+/// whole query falls back to the interpreted pipeline.
+pub(crate) struct Unsupported;
+
+/// A compiled expression: variables resolved to row slots, constants
+/// folded. Produced by [`compile_expr`], evaluated by [`CEvalCtx`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledExpr(pub(crate) CExpr);
+
+/// The compiled expression tree. Kept crate-private so the public surface
+/// stays `compile → eval`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum CExpr {
+    /// A constant (literal or successfully folded subtree).
+    Const(Value),
+    /// Environment variable resolved to a row slot.
+    Slot(usize),
+    /// Comprehension-bound variable resolved to a locals-stack index.
+    Local(usize),
+    /// A variable not bound anywhere at compile time; errors at eval with
+    /// the interpreter's message.
+    Unbound(String),
+    Param(String),
+    Prop(Box<CExpr>, String),
+    Index(Box<CExpr>, Box<CExpr>),
+    Slice(Box<CExpr>, Option<Box<CExpr>>, Option<Box<CExpr>>),
+    Bin(BinOp, Box<CExpr>, Box<CExpr>),
+    Not(Box<CExpr>),
+    Neg(Box<CExpr>),
+    IsNull(Box<CExpr>, bool),
+    ExistsProp(Box<CExpr>, String),
+    /// Non-aggregate function call.
+    Call {
+        name: String,
+        args: Vec<CExpr>,
+    },
+    /// Aggregate call outside a projection rewrite: always errors at eval
+    /// with the interpreter's message.
+    AggErr(String),
+    Star,
+    List(Vec<CExpr>),
+    Map(Vec<(String, CExpr)>),
+    Case {
+        operand: Option<Box<CExpr>>,
+        arms: Vec<(CExpr, CExpr)>,
+        default: Option<Box<CExpr>>,
+    },
+    ListComp {
+        list: Box<CExpr>,
+        pred: Option<Box<CExpr>>,
+        map: Option<Box<CExpr>>,
+    },
+}
+
+/// Compiles `expr` against the environment, resolving variable names to
+/// row slots and folding constant subtrees. Returns `None` when the
+/// expression contains a construct the compiler cannot lower
+/// (`exists(pattern)`); callers then use the interpreted evaluator.
+pub fn compile_expr(env: &Env, expr: &Expr) -> Option<CompiledExpr> {
+    let mut locals = Vec::new();
+    compile_scoped(&env.names, &mut locals, expr)
+        .ok()
+        .map(CompiledExpr)
+}
+
+pub(crate) fn compile_scoped(
+    env: &[String],
+    locals: &mut Vec<String>,
+    expr: &Expr,
+) -> Result<CExpr, Unsupported> {
+    let out = match expr {
+        Expr::Lit(v) => CExpr::Const(v.clone()),
+        Expr::Var(name) => match locals.iter().rposition(|n| n == name) {
+            Some(i) => CExpr::Local(i),
+            None => match env.iter().position(|n| n == name) {
+                Some(i) => CExpr::Slot(i),
+                None => CExpr::Unbound(name.clone()),
+            },
+        },
+        Expr::Param(name) => CExpr::Param(name.clone()),
+        Expr::Prop(base, key) => fold_prop(compile_scoped(env, locals, base)?, key.clone()),
+        Expr::Index(base, idx) => {
+            let base = compile_scoped(env, locals, base)?;
+            let idx = compile_scoped(env, locals, idx)?;
+            match (&base, &idx) {
+                (CExpr::Const(b), CExpr::Const(i)) => CExpr::Const(eval::index_value(b, i)),
+                _ => CExpr::Index(Box::new(base), Box::new(idx)),
+            }
+        }
+        Expr::Slice(base, lo, hi) => {
+            let base = compile_scoped(env, locals, base)?;
+            let lo = opt_compile(env, locals, lo.as_deref())?;
+            let hi = opt_compile(env, locals, hi.as_deref())?;
+            match (&base, &lo, &hi) {
+                (CExpr::Const(b), lo, hi) if all_const(lo) && all_const(hi) => {
+                    CExpr::Const(eval::slice_value(b, const_of(lo), const_of(hi)))
+                }
+                _ => CExpr::Slice(Box::new(base), lo.map(Box::new), hi.map(Box::new)),
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let a = compile_scoped(env, locals, a)?;
+            let b = compile_scoped(env, locals, b)?;
+            fold_bin(*op, a, b)
+        }
+        Expr::Un(UnOp::Not, a) => {
+            let a = compile_scoped(env, locals, a)?;
+            match &a {
+                CExpr::Const(v) => match not_value(v) {
+                    Ok(out) => CExpr::Const(out),
+                    Err(_) => CExpr::Not(Box::new(a)),
+                },
+                _ => CExpr::Not(Box::new(a)),
+            }
+        }
+        Expr::Un(UnOp::Neg, a) => {
+            let a = compile_scoped(env, locals, a)?;
+            match &a {
+                CExpr::Const(v) => match v.neg() {
+                    Ok(out) => CExpr::Const(out),
+                    Err(_) => CExpr::Neg(Box::new(a)),
+                },
+                _ => CExpr::Neg(Box::new(a)),
+            }
+        }
+        Expr::IsNull(a, negated) => {
+            let a = compile_scoped(env, locals, a)?;
+            match &a {
+                CExpr::Const(v) => CExpr::Const(Value::Bool(v.is_null() != *negated)),
+                _ => CExpr::IsNull(Box::new(a), *negated),
+            }
+        }
+        Expr::ExistsProp(base, key) => {
+            let base = compile_scoped(env, locals, base)?;
+            match &base {
+                CExpr::Const(v) => CExpr::Const(Value::Bool(!const_get_prop(v, key).is_null())),
+                _ => CExpr::ExistsProp(Box::new(base), key.clone()),
+            }
+        }
+        Expr::ExistsPattern(_) => return Err(Unsupported),
+        Expr::Call { name, args, .. } => {
+            if is_aggregate_fn(name) {
+                // Aggregates outside projection rewrites error at runtime
+                // in the interpreter; preserve that exactly.
+                CExpr::AggErr(name.clone())
+            } else {
+                // Function results may depend on the graph; never folded.
+                let args = args
+                    .iter()
+                    .map(|a| compile_scoped(env, locals, a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                CExpr::Call {
+                    name: name.clone(),
+                    args,
+                }
+            }
+        }
+        Expr::Star => CExpr::Star,
+        Expr::List(items) => {
+            let items = items
+                .iter()
+                .map(|e| compile_scoped(env, locals, e))
+                .collect::<Result<Vec<_>, _>>()?;
+            if items.iter().all(|e| matches!(e, CExpr::Const(_))) {
+                CExpr::Const(Value::List(items.into_iter().map(unwrap_const).collect()))
+            } else {
+                CExpr::List(items)
+            }
+        }
+        Expr::Map(items) => {
+            let items = items
+                .iter()
+                .map(|(k, e)| Ok((k.clone(), compile_scoped(env, locals, e)?)))
+                .collect::<Result<Vec<_>, Unsupported>>()?;
+            if items.iter().all(|(_, e)| matches!(e, CExpr::Const(_))) {
+                CExpr::Const(Value::Map(
+                    items
+                        .into_iter()
+                        .map(|(k, e)| (k, unwrap_const(e)))
+                        .collect(),
+                ))
+            } else {
+                CExpr::Map(items)
+            }
+        }
+        Expr::Case {
+            operand,
+            arms,
+            default,
+        } => CExpr::Case {
+            operand: opt_compile(env, locals, operand.as_deref())?.map(Box::new),
+            arms: arms
+                .iter()
+                .map(|(w, t)| {
+                    Ok((
+                        compile_scoped(env, locals, w)?,
+                        compile_scoped(env, locals, t)?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, Unsupported>>()?,
+            default: opt_compile(env, locals, default.as_deref())?.map(Box::new),
+        },
+        Expr::ListComp {
+            var,
+            list,
+            pred,
+            map,
+        } => {
+            let list = compile_scoped(env, locals, list)?;
+            locals.push(var.clone());
+            let inner = (|| {
+                Ok((
+                    opt_compile(env, locals, pred.as_deref())?,
+                    opt_compile(env, locals, map.as_deref())?,
+                ))
+            })();
+            locals.pop();
+            let (pred, map) = inner?;
+            CExpr::ListComp {
+                list: Box::new(list),
+                pred: pred.map(Box::new),
+                map: map.map(Box::new),
+            }
+        }
+    };
+    Ok(out)
+}
+
+fn opt_compile(
+    env: &[String],
+    locals: &mut Vec<String>,
+    e: Option<&Expr>,
+) -> Result<Option<CExpr>, Unsupported> {
+    e.map(|e| compile_scoped(env, locals, e)).transpose()
+}
+
+fn all_const(e: &Option<CExpr>) -> bool {
+    matches!(e, None | Some(CExpr::Const(_)))
+}
+
+fn const_of(e: &Option<CExpr>) -> Option<&Value> {
+    match e {
+        Some(CExpr::Const(v)) => Some(v),
+        _ => None,
+    }
+}
+
+fn unwrap_const(e: CExpr) -> Value {
+    match e {
+        CExpr::Const(v) => v,
+        _ => unreachable!("caller checked all children are const"),
+    }
+}
+
+/// Property access on a plain value (the constant-folding subset of
+/// [`Entry::get_prop`]: maps resolve, everything else is null).
+fn const_get_prop(v: &Value, key: &str) -> Value {
+    match v {
+        Value::Map(m) => m.get(key).cloned().unwrap_or(Value::Null),
+        _ => Value::Null,
+    }
+}
+
+fn fold_prop(base: CExpr, key: String) -> CExpr {
+    match &base {
+        CExpr::Const(v) => CExpr::Const(const_get_prop(v, &key)),
+        _ => CExpr::Prop(Box::new(base), key),
+    }
+}
+
+/// `NOT` on a value; same table and error as the interpreter.
+fn not_value(v: &Value) -> Result<Value, CypherError> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Bool(b) => Ok(Value::Bool(!b)),
+        other => Err(CypherError::runtime(format!(
+            "NOT expects a boolean, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Binary operation over two already-evaluated values — the shared
+/// semantics behind both the compiled runtime and constant folding.
+/// `And`/`Or` short-circuiting does not change the result once both
+/// operands are known, so the full truth table applies here.
+pub(crate) fn bin_values(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, CypherError> {
+    let out = match op {
+        BinOp::And => match (lhs, rhs) {
+            (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
+            (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+            _ => Value::Null,
+        },
+        BinOp::Or => match (lhs, rhs) {
+            (Value::Bool(true), _) | (_, Value::Bool(true)) => Value::Bool(true),
+            (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
+            _ => Value::Null,
+        },
+        BinOp::Xor => match (lhs, rhs) {
+            (Value::Bool(x), Value::Bool(y)) => Value::Bool(x != y),
+            _ => Value::Null,
+        },
+        BinOp::Add => lhs.add(&rhs)?,
+        BinOp::Sub => lhs.sub(&rhs)?,
+        BinOp::Mul => lhs.mul(&rhs)?,
+        BinOp::Div => lhs.div(&rhs)?,
+        BinOp::Mod => lhs.rem(&rhs)?,
+        BinOp::Pow => match (lhs.as_f64(), rhs.as_f64()) {
+            (Some(x), Some(y)) => Value::Float(x.powf(y)),
+            _ => Value::Null,
+        },
+        BinOp::Eq => eval::tri(lhs.cypher_eq(&rhs)),
+        BinOp::Neq => eval::tri(lhs.cypher_eq(&rhs).map(|b| !b)),
+        BinOp::Lt => eval::tri(lhs.cypher_cmp(&rhs).map(|o| o == std::cmp::Ordering::Less)),
+        BinOp::Le => eval::tri(
+            lhs.cypher_cmp(&rhs)
+                .map(|o| o != std::cmp::Ordering::Greater),
+        ),
+        BinOp::Gt => eval::tri(
+            lhs.cypher_cmp(&rhs)
+                .map(|o| o == std::cmp::Ordering::Greater),
+        ),
+        BinOp::Ge => eval::tri(lhs.cypher_cmp(&rhs).map(|o| o != std::cmp::Ordering::Less)),
+        BinOp::In => match (&lhs, &rhs) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (x, Value::List(items)) => {
+                let mut saw_null = false;
+                let mut found = false;
+                for item in items {
+                    match x.cypher_eq(item) {
+                        Some(true) => {
+                            found = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if found {
+                    Value::Bool(true)
+                } else if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(false)
+                }
+            }
+            _ => {
+                return Err(CypherError::runtime(format!(
+                    "IN expects a list on the right, got {}",
+                    rhs.type_name()
+                )))
+            }
+        },
+        BinOp::StartsWith => eval::str_pred(&lhs, &rhs, |s, p| s.starts_with(p)),
+        BinOp::EndsWith => eval::str_pred(&lhs, &rhs, |s, p| s.ends_with(p)),
+        BinOp::Contains => eval::str_pred(&lhs, &rhs, |s, p| s.contains(p)),
+        BinOp::RegexMatch => eval::str_pred(&lhs, &rhs, eval::wildcard_match),
+    };
+    Ok(out)
+}
+
+fn fold_bin(op: BinOp, a: CExpr, b: CExpr) -> CExpr {
+    if let (CExpr::Const(x), CExpr::Const(y)) = (&a, &b) {
+        // Fold only when pure evaluation succeeds; an erroring constant
+        // subtree stays a tree so lazily-unreached errors never surface
+        // (e.g. `false AND (1 + 'a')`).
+        if let Ok(v) = bin_values(op, x.clone(), y.clone()) {
+            return CExpr::Const(v);
+        }
+    }
+    CExpr::Bin(op, Box::new(a), Box::new(b))
+}
+
+/// Evaluation context for compiled expressions: only the graph and the
+/// parameters — variables come pre-resolved as slots.
+pub struct CEvalCtx<'a> {
+    /// The graph being queried.
+    pub graph: &'a Graph,
+    /// Query parameters.
+    pub params: &'a Params,
+}
+
+impl<'a> CEvalCtx<'a> {
+    /// Evaluates a compiled expression against `row`, producing an entry.
+    /// Mirrors the interpreted evaluator bit-for-bit, including error
+    /// messages.
+    pub fn eval(&self, expr: &CompiledExpr, row: &Row) -> Result<Entry, CypherError> {
+        let mut locals = Vec::new();
+        self.eval_inner(&expr.0, row, &mut locals)
+    }
+
+    /// Evaluates to a plain `Value`.
+    pub fn eval_value(&self, expr: &CompiledExpr, row: &Row) -> Result<Value, CypherError> {
+        Ok(self.eval(expr, row)?.to_value(self.graph))
+    }
+
+    pub(crate) fn eval_c(&self, expr: &CExpr, row: &Row) -> Result<Entry, CypherError> {
+        let mut locals = Vec::new();
+        self.eval_inner(expr, row, &mut locals)
+    }
+
+    pub(crate) fn eval_c_value(&self, expr: &CExpr, row: &Row) -> Result<Value, CypherError> {
+        Ok(self.eval_c(expr, row)?.to_value(self.graph))
+    }
+
+    fn eval_inner(
+        &self,
+        expr: &CExpr,
+        row: &Row,
+        locals: &mut Vec<Entry>,
+    ) -> Result<Entry, CypherError> {
+        match expr {
+            CExpr::Const(v) => Ok(Entry::Val(v.clone())),
+            // Same indexing (and the same panic on a short row) as the
+            // interpreter's `row[slot]` lookup.
+            CExpr::Slot(i) => Ok(row[*i].clone()),
+            CExpr::Local(i) => Ok(locals[*i].clone()),
+            CExpr::Unbound(name) => Err(CypherError::runtime(format!(
+                "variable '{name}' is not defined"
+            ))),
+            CExpr::Param(name) => {
+                Ok(Entry::Val(self.params.get(name).cloned().ok_or_else(
+                    || CypherError::runtime(format!("missing parameter '${name}'")),
+                )?))
+            }
+            CExpr::Prop(base, key) => {
+                let base = self.eval_inner(base, row, locals)?;
+                Ok(Entry::Val(base.get_prop(self.graph, key)))
+            }
+            CExpr::Index(base, idx) => {
+                let base = self.eval_inner(base, row, locals)?.to_value(self.graph);
+                let idx = self.eval_inner(idx, row, locals)?.to_value(self.graph);
+                Ok(Entry::Val(eval::index_value(&base, &idx)))
+            }
+            CExpr::Slice(base, lo, hi) => {
+                let base = self.eval_inner(base, row, locals)?.to_value(self.graph);
+                let lo = match lo {
+                    Some(e) => Some(self.eval_inner(e, row, locals)?.to_value(self.graph)),
+                    None => None,
+                };
+                let hi = match hi {
+                    Some(e) => Some(self.eval_inner(e, row, locals)?.to_value(self.graph)),
+                    None => None,
+                };
+                Ok(Entry::Val(eval::slice_value(
+                    &base,
+                    lo.as_ref(),
+                    hi.as_ref(),
+                )))
+            }
+            CExpr::Bin(op, a, b) => {
+                // Short-circuit logical operators (three-valued logic).
+                match op {
+                    BinOp::And => {
+                        let lhs = self.eval_inner(a, row, locals)?.to_value(self.graph);
+                        if lhs == Value::Bool(false) {
+                            return Ok(Entry::Val(Value::Bool(false)));
+                        }
+                        let rhs = self.eval_inner(b, row, locals)?.to_value(self.graph);
+                        return Ok(Entry::Val(bin_values(BinOp::And, lhs, rhs)?));
+                    }
+                    BinOp::Or => {
+                        let lhs = self.eval_inner(a, row, locals)?.to_value(self.graph);
+                        if lhs == Value::Bool(true) {
+                            return Ok(Entry::Val(Value::Bool(true)));
+                        }
+                        let rhs = self.eval_inner(b, row, locals)?.to_value(self.graph);
+                        return Ok(Entry::Val(bin_values(BinOp::Or, lhs, rhs)?));
+                    }
+                    _ => {}
+                }
+                let lhs = self.eval_inner(a, row, locals)?.to_value(self.graph);
+                let rhs = self.eval_inner(b, row, locals)?.to_value(self.graph);
+                Ok(Entry::Val(bin_values(*op, lhs, rhs)?))
+            }
+            CExpr::Not(a) => {
+                let v = self.eval_inner(a, row, locals)?.to_value(self.graph);
+                Ok(Entry::Val(not_value(&v)?))
+            }
+            CExpr::Neg(a) => {
+                let v = self.eval_inner(a, row, locals)?.to_value(self.graph);
+                Ok(Entry::Val(v.neg()?))
+            }
+            CExpr::IsNull(a, negated) => {
+                let v = self.eval_inner(a, row, locals)?;
+                Ok(Entry::Val(Value::Bool(v.is_null() != *negated)))
+            }
+            CExpr::ExistsProp(base, key) => {
+                let base = self.eval_inner(base, row, locals)?;
+                Ok(Entry::Val(Value::Bool(
+                    !base.get_prop(self.graph, key).is_null(),
+                )))
+            }
+            CExpr::Call { name, args } => {
+                let mut arg_entries = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_entries.push(self.eval_inner(a, row, locals)?);
+                }
+                crate::functions::call_function(self.graph, name, &arg_entries).map(Entry::Val)
+            }
+            CExpr::AggErr(name) => Err(CypherError::runtime(format!(
+                "aggregate function {name}() is only allowed in WITH/RETURN projections"
+            ))),
+            CExpr::Star => Err(CypherError::runtime("'*' is only valid inside count()")),
+            CExpr::List(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for e in items {
+                    out.push(self.eval_inner(e, row, locals)?.to_value(self.graph));
+                }
+                Ok(Entry::Val(Value::List(out)))
+            }
+            CExpr::Map(items) => {
+                let mut out = BTreeMap::new();
+                for (k, e) in items {
+                    out.insert(
+                        k.clone(),
+                        self.eval_inner(e, row, locals)?.to_value(self.graph),
+                    );
+                }
+                Ok(Entry::Val(Value::Map(out)))
+            }
+            CExpr::Case {
+                operand,
+                arms,
+                default,
+            } => {
+                let operand_val = match operand {
+                    Some(e) => Some(self.eval_inner(e, row, locals)?.to_value(self.graph)),
+                    None => None,
+                };
+                for (when, then) in arms {
+                    let matched = match &operand_val {
+                        Some(op) => {
+                            let w = self.eval_inner(when, row, locals)?.to_value(self.graph);
+                            op.cypher_eq(&w) == Some(true)
+                        }
+                        None => self
+                            .eval_inner(when, row, locals)?
+                            .to_value(self.graph)
+                            .is_true(),
+                    };
+                    if matched {
+                        return self.eval_inner(then, row, locals);
+                    }
+                }
+                match default {
+                    Some(e) => self.eval_inner(e, row, locals),
+                    None => Ok(Entry::Val(Value::Null)),
+                }
+            }
+            CExpr::ListComp { list, pred, map } => {
+                let list = self.eval_inner(list, row, locals)?.to_value(self.graph);
+                let Value::List(items) = list else {
+                    if list.is_null() {
+                        return Ok(Entry::Val(Value::Null));
+                    }
+                    return Err(CypherError::runtime(
+                        "list comprehension expects a list".to_string(),
+                    ));
+                };
+                let mut out = Vec::new();
+                for item in items {
+                    locals.push(Entry::Val(item.clone()));
+                    let keep = match pred {
+                        Some(p) => self
+                            .eval_inner(p, row, locals)?
+                            .to_value(self.graph)
+                            .is_true(),
+                        None => true,
+                    };
+                    if keep {
+                        let mapped = match map {
+                            Some(m) => self.eval_inner(m, row, locals)?.to_value(self.graph),
+                            None => item,
+                        };
+                        out.push(mapped);
+                    }
+                    locals.pop();
+                }
+                Ok(Entry::Val(Value::List(out)))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-query compilation
+// ---------------------------------------------------------------------------
+
+/// A query compiled for repeated execution: one compiled operator per
+/// clause, aligned with the interpreted pipeline's segments. Produced by
+/// [`compile_query`], executed by the executor when
+/// [`crate::ExecLimits::compiled`] is set (the default), cached alongside
+/// the parsed AST by [`crate::PlanCache`].
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    pub(crate) segments: Vec<CompiledSegment>,
+}
+
+/// One UNION segment's compiled operators, 1:1 with its clauses.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledSegment {
+    pub ops: Vec<CompiledOp>,
+}
+
+/// One clause, compiled.
+#[derive(Debug, Clone)]
+pub(crate) enum CompiledOp {
+    Match(CMatch),
+    Unwind(CUnwind),
+    Project(CProject),
+    Return(CProject),
+}
+
+/// A compiled `MATCH`: the clause is kept for apply-time planning (anchor
+/// scoring must see the live graph) while the `WHERE` predicate and all
+/// pattern property expressions are pre-validated compilable; pattern
+/// plans are lowered to symbol/slot form once per apply, never per row.
+#[derive(Debug, Clone)]
+pub(crate) struct CMatch {
+    pub clause: MatchClause,
+    /// Environment expected before this clause runs (defensive check).
+    pub env_before: Vec<String>,
+    /// `WHERE`, compiled against the extended environment.
+    pub where_c: Option<CExpr>,
+}
+
+/// A compiled `UNWIND`.
+#[derive(Debug, Clone)]
+pub(crate) struct CUnwind {
+    pub ast: Expr,
+    pub var: String,
+    pub env_before: Vec<String>,
+    pub expr_c: CExpr,
+}
+
+/// One compiled aggregate call instance.
+#[derive(Debug, Clone)]
+pub(crate) struct CAggSpec {
+    pub name: String,
+    pub distinct: bool,
+    /// `None` = `count(*)`; compiled against the pre-projection env.
+    pub arg: Option<CExpr>,
+    /// percentileCont's p, compiled against the pre-projection env.
+    pub extra: Option<CExpr>,
+}
+
+/// A compiled `WITH` / `RETURN` projection: every expression the
+/// interpreter evaluates — items (aggregate-rewritten), grouping keys,
+/// aggregate arguments, `WHERE`, `ORDER BY`, `SKIP`/`LIMIT` — compiled
+/// once against the environment it runs in.
+#[derive(Debug, Clone)]
+pub(crate) struct CProject {
+    pub ast: ProjectionClause,
+    pub env_before: Vec<String>,
+    /// False when a `RETURN` is not the final clause (errors at apply).
+    pub is_last: bool,
+    pub out_names: Vec<String>,
+    /// Item expressions with aggregates rewritten to `__aggN` slots,
+    /// compiled against `env + __aggN`.
+    pub rewritten: Vec<CExpr>,
+    /// Grouping keys (non-aggregate items), compiled against env.
+    pub keys_c: Vec<CExpr>,
+    pub specs: Vec<CAggSpec>,
+    /// Take the aggregation path (mirrors `has_agg || !specs.is_empty()`).
+    pub use_agg: bool,
+    pub distinct: bool,
+    /// `WITH ... WHERE`, compiled against the post-projection env.
+    pub where_c: Option<CExpr>,
+    /// `ORDER BY` keys (compiled against post env) and ascending flags.
+    pub order_c: Vec<(CExpr, bool)>,
+    /// `SKIP`/`LIMIT`, compiled against the pre-projection env
+    /// (evaluated row-free, exactly like the interpreter).
+    pub skip_c: Option<CExpr>,
+    pub limit_c: Option<CExpr>,
+    /// Post-projection appended indices into the evaluation row.
+    pub appended: Vec<usize>,
+    /// Pre-projection environment width (zero-row aggregation null row).
+    pub env_len: usize,
+}
+
+/// Compiles a parsed query into a [`CompiledQuery`], or `None` when any
+/// clause is outside the compiler's subset (write clauses,
+/// `exists(pattern)`, projections the interpreter rejects at plan time).
+/// `None` is not an error: the executor falls back to the interpreted
+/// pipeline with identical semantics.
+pub fn compile_query(q: &Query) -> Option<CompiledQuery> {
+    let t0 = std::time::Instant::now();
+    let out = compile_query_inner(q);
+    COMPILE_NS.with(|c| c.set(c.get().wrapping_add(t0.elapsed().as_nanos() as u64)));
+    out
+}
+
+thread_local! {
+    static COMPILE_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The current thread's monotonic total of nanoseconds spent in
+/// [`compile_query`]. Stage timers measure compilation by taking a delta
+/// around a prepare call — the same before/after idiom as
+/// [`crate::plan::plan_time_ns`].
+pub fn compile_time_ns() -> u64 {
+    COMPILE_NS.with(|c| c.get())
+}
+
+fn compile_query_inner(q: &Query) -> Option<CompiledQuery> {
+    let mut segments = Vec::new();
+    for (clauses, _) in split_segments(q) {
+        let mut ops = Vec::new();
+        // Simulated environment: evolution is a pure function of the AST,
+        // mirroring the executor's env step for step.
+        let mut env: Vec<String> = Vec::new();
+        for (i, clause) in clauses.iter().enumerate() {
+            let is_last = i + 1 == clauses.len();
+            let op = match clause {
+                Clause::Match(m) => CompiledOp::Match(compile_match(&env, m).ok()?),
+                Clause::Unwind { expr, var } => {
+                    let expr_c = compile_scoped(&env, &mut Vec::new(), expr).ok()?;
+                    let op = CUnwind {
+                        ast: expr.clone(),
+                        var: var.clone(),
+                        env_before: env.clone(),
+                        expr_c,
+                    };
+                    env.push(var.clone());
+                    CompiledOp::Unwind(op)
+                }
+                Clause::With(p) => CompiledOp::Project(compile_project(&mut env, p, true).ok()?),
+                Clause::Return(p) => {
+                    CompiledOp::Return(compile_project(&mut env, p, is_last).ok()?)
+                }
+                // Write clauses and stray UNION separators: interpreted.
+                _ => return None,
+            };
+            if let CompiledOp::Match(m) = &op {
+                // Mirror the executor's env extension.
+                for part in &m.clause.patterns {
+                    let mut vars = Vec::new();
+                    crate::plan::collect_part_vars(part, &mut vars);
+                    for v in vars {
+                        if !env.contains(&v) {
+                            env.push(v);
+                        }
+                    }
+                }
+            }
+            ops.push(op);
+        }
+        segments.push(CompiledSegment { ops });
+    }
+    Some(CompiledQuery { segments })
+}
+
+fn compile_match(env: &[String], m: &MatchClause) -> Result<CMatch, Unsupported> {
+    // Simulate the extended environment this clause binds.
+    let mut ext: Vec<String> = env.to_vec();
+    for part in &m.patterns {
+        let mut vars = Vec::new();
+        crate::plan::collect_part_vars(part, &mut vars);
+        for v in vars {
+            if !ext.contains(&v) {
+                ext.push(v);
+            }
+        }
+    }
+    // Pre-validate every pattern property expression so per-apply plan
+    // lowering cannot fail. (Anchor seek expressions are either inline
+    // props — covered here — or literal/param conjuncts of WHERE.)
+    for part in &m.patterns {
+        for (_, e) in &part.start.props {
+            compile_scoped(&ext, &mut Vec::new(), e)?;
+        }
+        for (rel, node) in &part.hops {
+            for (_, e) in &rel.props {
+                compile_scoped(&ext, &mut Vec::new(), e)?;
+            }
+            for (_, e) in &node.props {
+                compile_scoped(&ext, &mut Vec::new(), e)?;
+            }
+        }
+    }
+    let where_c = match &m.where_clause {
+        Some(w) => Some(compile_scoped(&ext, &mut Vec::new(), w)?),
+        None => None,
+    };
+    Ok(CMatch {
+        clause: m.clone(),
+        env_before: env.to_vec(),
+        where_c,
+    })
+}
+
+fn compile_project(
+    env: &mut Vec<String>,
+    p: &ProjectionClause,
+    is_last: bool,
+) -> Result<CProject, Unsupported> {
+    // Mirror `project()`: expand `*`, reject empty projections (fallback —
+    // the interpreter raises the plan error).
+    let mut items: Vec<ProjectionItem> = Vec::new();
+    if p.star {
+        for name in env.iter() {
+            items.push(ProjectionItem {
+                expr: Expr::Var(name.clone()),
+                alias: Some(name.clone()),
+            });
+        }
+    }
+    items.extend(p.items.iter().cloned());
+    if items.is_empty() {
+        return Err(Unsupported);
+    }
+
+    let has_agg = items.iter().any(|it| it.expr.contains_aggregate())
+        || p.order_by.iter().any(|k| k.expr.contains_aggregate());
+
+    let mut specs_ast: Vec<crate::exec::aggregate::AggSpec> = Vec::new();
+    let rewritten_ast: Vec<Expr> = items
+        .iter()
+        .map(|it| crate::exec::aggregate::extract_aggs(&it.expr, &mut specs_ast))
+        .collect();
+    let order_rewritten_ast: Vec<Expr> = p
+        .order_by
+        .iter()
+        .map(|k| crate::exec::aggregate::extract_aggs(&k.expr, &mut specs_ast))
+        .collect();
+
+    let out_names: Vec<String> = items.iter().map(|it| it.name()).collect();
+
+    let mut eval_env: Vec<String> = env.clone();
+    for i in 0..specs_ast.len() {
+        eval_env.push(format!("__agg{i}"));
+    }
+
+    let rewritten = rewritten_ast
+        .iter()
+        .map(|e| compile_scoped(&eval_env, &mut Vec::new(), e))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let keys_c = items
+        .iter()
+        .filter(|it| !it.expr.contains_aggregate())
+        .map(|it| compile_scoped(env, &mut Vec::new(), &it.expr))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let specs = specs_ast
+        .iter()
+        .map(|s| {
+            Ok(CAggSpec {
+                name: s.name.clone(),
+                distinct: s.distinct,
+                arg: s
+                    .arg
+                    .as_ref()
+                    .map(|e| compile_scoped(env, &mut Vec::new(), e))
+                    .transpose()?,
+                extra: s
+                    .extra
+                    .as_ref()
+                    .map(|e| compile_scoped(env, &mut Vec::new(), e))
+                    .transpose()?,
+            })
+        })
+        .collect::<Result<Vec<_>, Unsupported>>()?;
+
+    // Post-projection environment: projected names, then non-shadowed
+    // evaluation-context names.
+    let appended: Vec<usize> = eval_env
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !out_names.contains(n))
+        .map(|(i, _)| i)
+        .collect();
+    let mut post_names = out_names.clone();
+    for &i in &appended {
+        post_names.push(eval_env[i].clone());
+    }
+
+    let where_c = match &p.where_clause {
+        Some(w) => {
+            let mut w_specs = Vec::new();
+            let w_re = crate::exec::aggregate::extract_aggs(w, &mut w_specs);
+            if !w_specs.is_empty() {
+                // Interpreter raises "aggregate functions are not allowed
+                // in WITH ... WHERE"; fall back so it does.
+                return Err(Unsupported);
+            }
+            Some(compile_scoped(&post_names, &mut Vec::new(), &w_re)?)
+        }
+        None => None,
+    };
+
+    let order_c = order_rewritten_ast
+        .iter()
+        .zip(p.order_by.iter())
+        .map(|(e, k)| {
+            Ok((
+                compile_scoped(&post_names, &mut Vec::new(), e)?,
+                k.ascending,
+            ))
+        })
+        .collect::<Result<Vec<_>, Unsupported>>()?;
+
+    let skip_c = p
+        .skip
+        .as_ref()
+        .map(|e| compile_scoped(env, &mut Vec::new(), e))
+        .transpose()?;
+    let limit_c = p
+        .limit
+        .as_ref()
+        .map(|e| compile_scoped(env, &mut Vec::new(), e))
+        .transpose()?;
+
+    let out = CProject {
+        ast: p.clone(),
+        env_before: env.clone(),
+        is_last,
+        out_names: out_names.clone(),
+        rewritten,
+        keys_c,
+        specs,
+        use_agg: has_agg || !specs_ast.is_empty(),
+        distinct: p.distinct,
+        where_c,
+        order_c,
+        skip_c,
+        limit_c,
+        appended,
+        env_len: env.len(),
+    };
+    *env = out_names;
+    Ok(out)
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledQuery>();
+    assert_send_sync::<CompiledExpr>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalCtx;
+    use crate::parser::parse_expression;
+
+    fn both(src: &str) -> (Result<Value, CypherError>, Result<Value, CypherError>) {
+        let graph = Graph::new();
+        let env = Env::new();
+        let params = Params::new();
+        let e = parse_expression(src).unwrap();
+        let interp = EvalCtx {
+            graph: &graph,
+            env: &env,
+            params: &params,
+        }
+        .eval_value(&e, &Vec::new());
+        let c = compile_expr(&env, &e).expect("compilable");
+        let compiled = CEvalCtx {
+            graph: &graph,
+            params: &params,
+        }
+        .eval_value(&c, &Vec::new());
+        (interp, compiled)
+    }
+
+    #[test]
+    fn const_folding_matches_interpreter() {
+        for src in [
+            "1 + 2 * 3",
+            "2 ^ 10",
+            "null AND false",
+            "null OR true",
+            "NOT null",
+            "[10, 20, 30][-1]",
+            "[10, 20, 30][0..2]",
+            "'AS2497' =~ 'AS.*'",
+            "CASE WHEN 1 > 2 THEN 'a' ELSE 'b' END",
+            "{a: 1, b: [2, 3]}.b[0]",
+            "2 IN [1, 2, 3]",
+            "4 IN [1, null]",
+        ] {
+            let (i, c) = both(src);
+            assert_eq!(i.unwrap(), c.unwrap(), "{src}");
+        }
+    }
+
+    #[test]
+    fn folded_constants_are_const_nodes() {
+        let env = Env::new();
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        let c = compile_expr(&env, &e).unwrap();
+        assert_eq!(c.0, CExpr::Const(Value::Int(7)));
+    }
+
+    #[test]
+    fn failed_folds_stay_lazy() {
+        // `NOT 1` errors; the fold must not surface it eagerly, and
+        // short-circuiting must still hide it at runtime.
+        let env = Env::new();
+        let e = parse_expression("false AND (NOT 1)").unwrap();
+        let c = compile_expr(&env, &e).unwrap();
+        assert_ne!(
+            c.0,
+            CExpr::Const(Value::Bool(false)),
+            "erroring subtree must not fold"
+        );
+        let (i, cv) = both("false AND (NOT 1)");
+        assert_eq!(i.unwrap(), cv.unwrap());
+        // And when reached, the error matches the interpreter's.
+        let (i, cv) = both("true AND (NOT 1)");
+        assert_eq!(i.unwrap_err().message, cv.unwrap_err().message);
+    }
+
+    #[test]
+    fn unbound_variable_same_error() {
+        let (i, c) = both("ghost + 1");
+        assert_eq!(i.unwrap_err().message, c.unwrap_err().message);
+    }
+
+    #[test]
+    fn slots_resolve_against_env() {
+        let mut env = Env::new();
+        env.push("a");
+        env.push("b");
+        let e = parse_expression("b").unwrap();
+        let c = compile_expr(&env, &e).unwrap();
+        assert_eq!(c.0, CExpr::Slot(1));
+    }
+
+    #[test]
+    fn listcomp_binder_shadows_env_slot() {
+        let mut env = Env::new();
+        env.push("x");
+        let e = parse_expression("[x IN [1, 2, 3] | x * 10]").unwrap();
+        let c = compile_expr(&env, &e).unwrap();
+        let graph = Graph::new();
+        let params = Params::new();
+        let ctx = CEvalCtx {
+            graph: &graph,
+            params: &params,
+        };
+        // Row binds env's x to 99; the comprehension variable shadows it.
+        let row = vec![Entry::Val(Value::Int(99))];
+        assert_eq!(
+            ctx.eval_value(&c, &row).unwrap(),
+            Value::from(vec![10i64, 20, 30])
+        );
+    }
+
+    #[test]
+    fn exists_pattern_is_unsupported() {
+        let env = Env::new();
+        let e = parse_expression("exists((a)-[:PEERS_WITH]->(b))").unwrap();
+        assert!(compile_expr(&env, &e).is_none());
+    }
+
+    #[test]
+    fn compile_query_covers_read_queries_and_skips_writes() {
+        let q = crate::parser::parse("MATCH (a:AS) WHERE a.asn > 1 RETURN a.asn ORDER BY a.asn")
+            .unwrap();
+        assert!(compile_query(&q).is_some());
+        let w = crate::parser::parse("CREATE (a:AS {asn: 1})").unwrap();
+        assert!(compile_query(&w).is_none());
+        let e = crate::parser::parse("MATCH (a:AS) WHERE exists((a)-[:PEERS_WITH]->()) RETURN a")
+            .unwrap();
+        assert!(compile_query(&e).is_none());
+    }
+}

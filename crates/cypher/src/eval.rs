@@ -609,14 +609,14 @@ impl<'a> EvalCtx<'a> {
     }
 }
 
-fn tri(b: Option<bool>) -> Value {
+pub(crate) fn tri(b: Option<bool>) -> Value {
     match b {
         Some(b) => Value::Bool(b),
         None => Value::Null,
     }
 }
 
-fn str_pred(lhs: &Value, rhs: &Value, pred: impl Fn(&str, &str) -> bool) -> Value {
+pub(crate) fn str_pred(lhs: &Value, rhs: &Value, pred: impl Fn(&str, &str) -> bool) -> Value {
     match (lhs, rhs) {
         (Value::Str(s), Value::Str(p)) => Value::Bool(pred(s, p)),
         _ => Value::Null,
@@ -626,7 +626,7 @@ fn str_pred(lhs: &Value, rhs: &Value, pred: impl Fn(&str, &str) -> bool) -> Valu
 /// Simplified `=~` semantics: `.*` and `.` wildcards plus case-insensitive
 /// prefix `(?i)` — covering the patterns used in IYP queries without a full
 /// regex engine.
-fn wildcard_match(s: &str, pattern: &str) -> bool {
+pub(crate) fn wildcard_match(s: &str, pattern: &str) -> bool {
     let (s, pattern) = if let Some(rest) = pattern.strip_prefix("(?i)") {
         (s.to_ascii_lowercase(), rest.to_ascii_lowercase())
     } else {
@@ -671,7 +671,7 @@ fn wildcard_match(s: &str, pattern: &str) -> bool {
     true
 }
 
-fn index_value(base: &Value, idx: &Value) -> Value {
+pub(crate) fn index_value(base: &Value, idx: &Value) -> Value {
     match (base, idx) {
         (Value::List(items), Value::Int(i)) => {
             let len = items.len() as i64;
@@ -687,7 +687,7 @@ fn index_value(base: &Value, idx: &Value) -> Value {
     }
 }
 
-fn slice_value(base: &Value, lo: Option<&Value>, hi: Option<&Value>) -> Value {
+pub(crate) fn slice_value(base: &Value, lo: Option<&Value>, hi: Option<&Value>) -> Value {
     let Value::List(items) = base else {
         return Value::Null;
     };

@@ -107,9 +107,16 @@ pub(crate) struct AggAccum {
 
 impl AggAccum {
     pub fn new(spec: &AggSpec, p: f64) -> AggAccum {
+        AggAccum::new_named(&spec.name, spec.distinct, p)
+    }
+
+    /// Accumulator from a bare function name — the entry point for the
+    /// compiled pipeline, whose specs carry pre-compiled argument
+    /// expressions instead of an [`AggSpec`] AST.
+    pub fn new_named(name: &str, distinct: bool, p: f64) -> AggAccum {
         AggAccum {
-            seen: spec.distinct.then(HashSet::new),
-            state: AggState::new(spec, p),
+            seen: distinct.then(HashSet::new),
+            state: AggState::new_named(name, p),
         }
     }
 
@@ -158,8 +165,8 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(spec: &AggSpec, p: f64) -> AggState {
-        match spec.name.as_str() {
+    fn new_named(name: &str, p: f64) -> AggState {
+        match name {
             "count" => AggState::Count { n: 0 },
             "sum" => AggState::Sum {
                 int: 0,

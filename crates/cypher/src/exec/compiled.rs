@@ -1,0 +1,1402 @@
+//! Execution of compiled queries ([`crate::compile`]): operators that are
+//! drop-in replacements for the interpreted pipeline — same `name()`
+//! strings, same plan rendering (delegated to the interpreted operators),
+//! same results and errors — but with all per-row string work done at
+//! lowering time, neighbor lists reused through scratch buffers, bindings
+//! applied in place with an undo stack, and `MATCH` fan-out optionally
+//! spread over a scoped worker pool in morsels.
+//!
+//! Determinism: morsels are fixed contiguous ranges merged back in morsel
+//! order, so output rows are byte-identical to sequential execution at any
+//! worker count; per-worker db-hit deltas are added back to the calling
+//! thread's counter so `PROFILE` totals stay exact.
+
+use crate::ast::RelDir;
+use crate::compile::{CEvalCtx, CExpr, CMatch, CProject, CUnwind, CompiledOp};
+use crate::error::CypherError;
+use crate::eval::{Entry, Env, Params, Row};
+use crate::plan::{self, Anchor, PartPlan};
+use iyp_graphdb::{dbhits, Direction, Graph, NodeId, RelId, Sym, Value, ValueKey};
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use super::aggregate::AggAccum;
+use super::context::{ExecContext, ExecLimits, DEADLINE_CHECK_STRIDE};
+use super::project::entry_key;
+use super::{expand, project, unwind, varlen, Operator, VARLEN_CAP};
+
+/// Builds the executable operator for one compiled clause.
+pub(crate) fn build_compiled_op(op: &CompiledOp) -> Box<dyn Operator + '_> {
+    match op {
+        CompiledOp::Match(m) => Box::new(CMatchOp { m }),
+        CompiledOp::Unwind(u) => Box::new(CUnwindOp { u }),
+        CompiledOp::Project(p) => Box::new(CProjectOp { p }),
+        CompiledOp::Return(p) => Box::new(CReturnOp { p }),
+    }
+}
+
+fn env_mismatch() -> CypherError {
+    CypherError::plan("internal: compiled environment mismatch")
+}
+
+// ---------------------------------------------------------------------------
+// Lowered patterns: all names resolved to slots / interned symbols
+// ---------------------------------------------------------------------------
+
+/// A variable binding site resolved to its row slot. The slot is `None`
+/// only in impossible internal states; the interpreted error message is
+/// raised lazily, exactly where the interpreter would raise it.
+struct LBind {
+    name: String,
+    slot: Option<usize>,
+}
+
+struct LNode {
+    bind: Option<LBind>,
+    /// Pre-resolved label symbols.
+    labels: Vec<Sym>,
+    /// True when the pattern names a label unknown to the graph: the
+    /// node pattern matches nothing (mirrors `node_has_label` on an
+    /// unknown name).
+    impossible: bool,
+    props: Vec<(String, CExpr)>,
+}
+
+struct LRel {
+    bind: Option<LBind>,
+    /// `None` = any type; `Some` holds the resolvable symbols (unknown
+    /// names drop out, so all-unknown = `Some(empty)` = matches nothing,
+    /// mirroring `Graph::neighbors`).
+    types: Option<Vec<Sym>>,
+    dir: Direction,
+    single: bool,
+    min: u32,
+    max: u32,
+    props: Vec<(String, CExpr)>,
+}
+
+enum LAnchor {
+    Bound {
+        var: String,
+        slot: Option<usize>,
+    },
+    IndexSeek {
+        label: String,
+        key: String,
+        expr: CExpr,
+    },
+    RangeSeek {
+        label: String,
+        key: String,
+        lo: Option<(CExpr, bool)>,
+        hi: Option<(CExpr, bool)>,
+    },
+    LabelScan(String),
+    AllNodes,
+}
+
+struct LPart {
+    anchor: LAnchor,
+    anchor_node: LNode,
+    steps: Vec<(LRel, LNode)>,
+    /// Path variable name and slot, when the part binds a path.
+    path_slot: Option<(String, Option<usize>)>,
+    /// Evaluate the `WHERE` predicate at the DFS leaf of this part,
+    /// before the per-result row clone. Set only on the final part of a
+    /// non-`shortestPath` match: every pattern variable is bound there,
+    /// so rows the predicate rejects are never materialized at all.
+    leaf_filter: bool,
+    /// `WHERE` conjuncts scheduled mid-DFS: `(ready_at, predicate)`
+    /// pairs where `ready_at` is the step count after which every slot
+    /// the conjunct reads is bound. A conjunct that is definitely not
+    /// true prunes the whole subtree before any neighbor expansion; an
+    /// erroring conjunct never prunes — the full leaf predicate
+    /// reproduces the interpreter's error on any row that survives.
+    filters: Vec<(usize, CExpr)>,
+}
+
+fn lower_expr(env: &Env, e: &crate::ast::Expr) -> Result<CExpr, CypherError> {
+    // Pattern/seek expressions were pre-validated by `compile_query`;
+    // failure here means the simulated and actual environments diverged.
+    crate::compile::compile_scoped(&env.names, &mut Vec::new(), e).map_err(|_| env_mismatch())
+}
+
+fn lower_node(
+    graph: &Graph,
+    env: &Env,
+    pat: &crate::ast::NodePattern,
+) -> Result<LNode, CypherError> {
+    let mut labels = Vec::new();
+    let mut impossible = false;
+    for l in &pat.labels {
+        match graph.label_sym(l) {
+            Some(s) => labels.push(s),
+            None => impossible = true,
+        }
+    }
+    Ok(LNode {
+        bind: pat.var.as_ref().map(|v| LBind {
+            name: v.clone(),
+            slot: env.slot(v),
+        }),
+        labels,
+        impossible,
+        props: pat
+            .props
+            .iter()
+            .map(|(k, e)| Ok((k.clone(), lower_expr(env, e)?)))
+            .collect::<Result<_, CypherError>>()?,
+    })
+}
+
+fn lower_rel(graph: &Graph, env: &Env, pat: &crate::ast::RelPattern) -> Result<LRel, CypherError> {
+    let types = if pat.types.is_empty() {
+        None
+    } else {
+        Some(
+            pat.types
+                .iter()
+                .filter_map(|t| graph.rel_type_sym(t))
+                .collect(),
+        )
+    };
+    Ok(LRel {
+        bind: pat.var.as_ref().map(|v| LBind {
+            name: v.clone(),
+            slot: env.slot(v),
+        }),
+        types,
+        dir: match pat.dir {
+            RelDir::Right => Direction::Outgoing,
+            RelDir::Left => Direction::Incoming,
+            RelDir::Undirected => Direction::Both,
+        },
+        single: pat.hops.is_single(),
+        min: pat.hops.min,
+        max: pat.hops.max.unwrap_or(VARLEN_CAP),
+        props: pat
+            .props
+            .iter()
+            .map(|(k, e)| Ok((k.clone(), lower_expr(env, e)?)))
+            .collect::<Result<_, CypherError>>()?,
+    })
+}
+
+fn lower_part(graph: &Graph, env: &Env, p: &PartPlan) -> Result<LPart, CypherError> {
+    let anchor = match &p.anchor {
+        Anchor::Bound(var) => LAnchor::Bound {
+            var: var.clone(),
+            slot: env.slot(var),
+        },
+        Anchor::IndexSeek { label, key, expr } => LAnchor::IndexSeek {
+            label: label.clone(),
+            key: key.clone(),
+            expr: lower_expr(env, expr)?,
+        },
+        Anchor::RangeSeek { label, key, lo, hi } => LAnchor::RangeSeek {
+            label: label.clone(),
+            key: key.clone(),
+            lo: lo
+                .as_ref()
+                .map(|(e, inc)| Ok::<_, CypherError>((lower_expr(env, e)?, *inc)))
+                .transpose()?,
+            hi: hi
+                .as_ref()
+                .map(|(e, inc)| Ok::<_, CypherError>((lower_expr(env, e)?, *inc)))
+                .transpose()?,
+        },
+        Anchor::LabelScan(label) => LAnchor::LabelScan(label.clone()),
+        Anchor::AllNodes => LAnchor::AllNodes,
+    };
+    Ok(LPart {
+        anchor,
+        anchor_node: lower_node(graph, env, &p.anchor_node)?,
+        steps: p
+            .steps
+            .iter()
+            .map(|(r, n)| Ok((lower_rel(graph, env, r)?, lower_node(graph, env, n)?)))
+            .collect::<Result<_, CypherError>>()?,
+        path_slot: p.path_var.as_ref().map(|pv| (pv.clone(), env.slot(pv))),
+        leaf_filter: false,
+        filters: Vec::new(),
+    })
+}
+
+/// Splits a predicate into its top-level `AND` conjuncts.
+fn conjuncts_of<'e>(e: &'e CExpr, out: &mut Vec<&'e CExpr>) {
+    if let CExpr::Bin(crate::ast::BinOp::And, l, r) = e {
+        conjuncts_of(l, out);
+        conjuncts_of(r, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Collects every row slot `e` reads into `out`; returns `false` when
+/// the expression also references something slot analysis cannot see
+/// (unbound names, `*`, stray aggregates) and must stay at the leaf.
+fn collect_slots(e: &CExpr, out: &mut Vec<usize>) -> bool {
+    match e {
+        CExpr::Const(_) | CExpr::Param(_) | CExpr::Local(_) => true,
+        CExpr::Slot(i) => {
+            out.push(*i);
+            true
+        }
+        CExpr::Unbound(_) | CExpr::AggErr(_) | CExpr::Star => false,
+        CExpr::Prop(b, _)
+        | CExpr::Not(b)
+        | CExpr::Neg(b)
+        | CExpr::IsNull(b, _)
+        | CExpr::ExistsProp(b, _) => collect_slots(b, out),
+        CExpr::Index(a, b) | CExpr::Bin(_, a, b) => collect_slots(a, out) && collect_slots(b, out),
+        CExpr::Slice(a, lo, hi) => {
+            collect_slots(a, out)
+                && lo.as_deref().is_none_or(|e| collect_slots(e, out))
+                && hi.as_deref().is_none_or(|e| collect_slots(e, out))
+        }
+        CExpr::Call { args, .. } | CExpr::List(args) => args.iter().all(|e| collect_slots(e, out)),
+        CExpr::Map(kvs) => kvs.iter().all(|(_, e)| collect_slots(e, out)),
+        CExpr::Case {
+            operand,
+            arms,
+            default,
+        } => {
+            operand.as_deref().is_none_or(|e| collect_slots(e, out))
+                && arms
+                    .iter()
+                    .all(|(c, r)| collect_slots(c, out) && collect_slots(r, out))
+                && default.as_deref().is_none_or(|e| collect_slots(e, out))
+        }
+        CExpr::ListComp { list, pred, map } => {
+            collect_slots(list, out)
+                && pred.as_deref().is_none_or(|e| collect_slots(e, out))
+                && map.as_deref().is_none_or(|e| collect_slots(e, out))
+        }
+    }
+}
+
+/// Schedules `WHERE` conjuncts onto the part's DFS: each conjunct lands
+/// at the first step count where every slot it reads is bound. Conjuncts
+/// only ready at the leaf are excluded — the full predicate runs there
+/// regardless.
+fn schedule_filters(part: &LPart, where_c: &CExpr) -> Vec<(usize, CExpr)> {
+    // Earliest bind position per slot within this part: the anchor binds
+    // at 0, step k's node and relationship at k + 1. Slots the part never
+    // binds were bound before it (earlier parts or earlier clauses).
+    let mut bind_pos: HashMap<usize, usize> = HashMap::new();
+    let mut record = |bind: &Option<LBind>, pos: usize| {
+        if let Some(LBind { slot: Some(s), .. }) = bind {
+            bind_pos.entry(*s).or_insert(pos);
+        }
+    };
+    record(&part.anchor_node.bind, 0);
+    for (k, (lrel, lnode)) in part.steps.iter().enumerate() {
+        record(&lrel.bind, k + 1);
+        record(&lnode.bind, k + 1);
+    }
+    // The path variable only materializes at the leaf.
+    if let Some((_, Some(s))) = &part.path_slot {
+        bind_pos.insert(*s, part.steps.len());
+    }
+    let mut cs = Vec::new();
+    conjuncts_of(where_c, &mut cs);
+    let mut out = Vec::new();
+    for c in cs {
+        let mut slots = Vec::new();
+        if !collect_slots(c, &mut slots) {
+            continue;
+        }
+        let ready = slots
+            .iter()
+            .map(|s| bind_pos.get(s).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        if ready < part.steps.len() {
+            out.push((ready, c.clone()));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Worker-side context and reusable buffers
+// ---------------------------------------------------------------------------
+
+/// Per-worker stand-in for the deadline/budget checks of `ExecContext`
+/// (which is not `Sync`): same stride-amortized deadline poll, same
+/// budget error messages.
+struct WorkCtx {
+    limits: ExecLimits,
+    max_rows: usize,
+    ticks: Cell<u32>,
+}
+
+impl WorkCtx {
+    fn new(limits: ExecLimits, max_rows: usize) -> WorkCtx {
+        WorkCtx {
+            limits,
+            max_rows,
+            ticks: Cell::new(0),
+        }
+    }
+
+    #[inline]
+    fn check_deadline(&self) -> Result<(), CypherError> {
+        if self.limits.deadline.is_none() {
+            return Ok(());
+        }
+        let t = self.ticks.get();
+        self.ticks.set(t.wrapping_add(1));
+        if !t.is_multiple_of(DEADLINE_CHECK_STRIDE) {
+            return Ok(());
+        }
+        self.limits.check_now()
+    }
+
+    fn check_expansion(&self, len: usize) -> Result<(), CypherError> {
+        if len > self.max_rows {
+            let max = self.max_rows;
+            return Err(CypherError::runtime(format!(
+                "pattern expansion exceeded {max} rows"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Reusable per-worker buffers: the binding undo stack, the used-rel set
+/// (a small vec with stack discipline), path bookkeeping, and the
+/// neighbor scratch pool fed to [`Graph::neighbors_into`] — the
+/// allocation-free replacement for per-hop `Vec` churn.
+#[derive(Default)]
+struct Workspace {
+    undo: Vec<(usize, Entry)>,
+    used: Vec<RelId>,
+    path: Vec<(Vec<RelId>, NodeId)>,
+    scratch: Vec<Vec<(RelId, NodeId)>>,
+}
+
+fn rollback(w: &mut Row, undo: &mut Vec<(usize, Entry)>, mark: usize) {
+    while undo.len() > mark {
+        let (slot, old) = undo.pop().expect("len checked");
+        w[slot] = old;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The compiled MATCH operator
+// ---------------------------------------------------------------------------
+
+pub(crate) struct CMatchOp<'q> {
+    pub m: &'q CMatch,
+}
+
+/// Everything a match expansion worker needs, all `Sync`.
+struct MatchRun<'a> {
+    graph: &'a Graph,
+    params: &'a Params,
+    env: &'a Env,
+    plans: &'a [PartPlan],
+    lowered: &'a [LPart],
+    new_slots: &'a HashSet<usize>,
+    where_c: Option<&'a CExpr>,
+    optional: bool,
+    width: usize,
+}
+
+impl Operator for CMatchOp<'_> {
+    fn name(&self) -> &'static str {
+        if self.m.clause.optional {
+            "OptionalMatch"
+        } else {
+            "Match"
+        }
+    }
+
+    fn apply(
+        &self,
+        cx: &mut ExecContext<'_>,
+        env: &mut Env,
+        mut rows: Vec<Row>,
+    ) -> Result<Vec<Row>, CypherError> {
+        if env.names != self.m.env_before {
+            return Err(env_mismatch());
+        }
+        let clause = &self.m.clause;
+        let mut bound: Vec<String> = env.names.clone();
+        let plans = plan::plan_match(cx.graph(), clause, &mut bound);
+
+        let mut new_slots: HashSet<usize> = HashSet::new();
+        for part in &clause.patterns {
+            let mut vars = Vec::new();
+            plan::collect_part_vars(part, &mut vars);
+            for v in vars {
+                if env.slot(&v).is_none() {
+                    let slot = env.push(v);
+                    new_slots.insert(slot);
+                }
+            }
+        }
+        let width = env.names.len();
+        let graph = cx.graph();
+        let mut lowered: Vec<LPart> = plans
+            .iter()
+            .map(|p| lower_part(graph, env, p))
+            .collect::<Result<_, CypherError>>()?;
+        // `WHERE` pushdown: the final part's DFS leaf has every pattern
+        // variable bound, so the predicate can run there and reject rows
+        // before they are ever cloned. `shortestPath` keeps the late
+        // filter — minimal-length selection must see unfiltered rows.
+        if let Some(wc) = self.m.where_c.as_ref() {
+            if plans.last().is_some_and(|p| !p.shortest) {
+                if let Some(last) = lowered.last_mut() {
+                    last.leaf_filter = true;
+                    last.filters = schedule_filters(last, wc);
+                }
+            }
+        }
+
+        let run = MatchRun {
+            graph,
+            params: cx.params,
+            env,
+            plans: &plans,
+            lowered: &lowered,
+            new_slots: &new_slots,
+            where_c: self.m.where_c.as_ref(),
+            optional: clause.optional,
+            width,
+        };
+        let par = cx.limits.parallelism.max(1);
+
+        // Morsel-parallel fan-out over input rows.
+        if par > 1 && rows.len() > 1 {
+            if let Some(out) =
+                run_parallel(&rows, par, cx.limits, cx.max_rows, |wctx, ws, row, out| {
+                    run.process_row(wctx, ws, row.clone(), out)
+                })?
+            {
+                return Ok(out);
+            }
+        }
+
+        // Morsel-parallel fan-out over the first part's anchor candidates
+        // (single input row). `shortestPath` needs a global minimal-length
+        // pass over all of part 0's output, so it stays sequential.
+        if par > 1 && rows.len() == 1 && !plans.is_empty() && !plans[0].shortest {
+            let mut base = rows.pop().expect("len checked");
+            base.resize(width, Entry::Val(Value::Null));
+            let cands = run.anchor_candidates_c(&lowered[0], &base)?;
+            let parallel = run_parallel(
+                &cands,
+                par,
+                cx.limits,
+                cx.max_rows,
+                |wctx, ws, cand, out| run.process_candidate(wctx, ws, &base, *cand, out),
+            )?;
+            let mut out = match parallel {
+                Some(out) => out,
+                None => {
+                    // Too few candidates to morselize: same per-candidate
+                    // path, sequentially (candidates are already charged).
+                    let wctx = WorkCtx::new(cx.limits, cx.max_rows);
+                    let mut ws = Workspace::default();
+                    let mut out = Vec::new();
+                    for &cand in &cands {
+                        run.process_candidate(&wctx, &mut ws, &base, cand, &mut out)?;
+                    }
+                    out
+                }
+            };
+            let wctx = WorkCtx::new(cx.limits, cx.max_rows);
+            wctx.check_expansion(out.len())?;
+            if out.is_empty() && run.optional {
+                out.push(base);
+            }
+            return Ok(out);
+        }
+
+        // Sequential execution (parallelism 1, or nothing to morselize).
+        let wctx = WorkCtx::new(cx.limits, cx.max_rows);
+        let mut ws = Workspace::default();
+        let mut out = Vec::new();
+        for row in rows {
+            run.process_row(&wctx, &mut ws, row, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn explain_into(&self, graph: &Graph, bound: &mut Vec<String>, idx: usize, out: &mut String) {
+        expand::MatchOp {
+            clause: &self.m.clause,
+        }
+        .explain_into(graph, bound, idx, out)
+    }
+}
+
+impl<'a> MatchRun<'a> {
+    #[inline]
+    fn cev(&self) -> CEvalCtx<'a> {
+        CEvalCtx {
+            graph: self.graph,
+            params: self.params,
+        }
+    }
+
+    /// Is the `WHERE` predicate applied at the final part's DFS leaf
+    /// (so the late filter pass must be skipped)?
+    #[inline]
+    fn leaf_filtered(&self) -> bool {
+        self.lowered.last().is_some_and(|l| l.leaf_filter)
+    }
+
+    /// Full pipeline for one input row: all parts, `WHERE`, and the
+    /// `OPTIONAL MATCH` null-row fallback. Mirrors the interpreted
+    /// operator's per-row loop.
+    fn process_row(
+        &self,
+        wctx: &WorkCtx,
+        ws: &mut Workspace,
+        mut row: Row,
+        out: &mut Vec<Row>,
+    ) -> Result<(), CypherError> {
+        row.resize(self.width, Entry::Val(Value::Null));
+        let mut current = vec![row.clone()];
+        for pi in 0..self.plans.len() {
+            let mut next = Vec::new();
+            for r in &current {
+                wctx.check_deadline()?;
+                self.expand_part_c(wctx, ws, r, pi, &mut next)?;
+                wctx.check_expansion(next.len())?;
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        if let Some(wc) = self.where_c.filter(|_| !self.leaf_filtered()) {
+            let cev = self.cev();
+            let mut kept = Vec::with_capacity(current.len());
+            for r in current {
+                if cev.eval_c_value(wc, &r)?.is_true() {
+                    kept.push(r);
+                }
+            }
+            current = kept;
+        }
+        if current.is_empty() && self.optional {
+            out.push(row);
+        } else {
+            out.extend(current);
+        }
+        Ok(())
+    }
+
+    /// Pipeline for one part-0 anchor candidate of a single input row
+    /// (the candidate-morsel mode): expand part 0 from this candidate,
+    /// then the remaining parts and `WHERE`. The caller applies the
+    /// `OPTIONAL MATCH` fallback on the merged total.
+    fn process_candidate(
+        &self,
+        wctx: &WorkCtx,
+        ws: &mut Workspace,
+        base: &Row,
+        cand: NodeId,
+        out: &mut Vec<Row>,
+    ) -> Result<(), CypherError> {
+        let mut current = Vec::new();
+        self.expand_from_candidates(wctx, ws, base, 0, std::slice::from_ref(&cand), &mut current)?;
+        wctx.check_expansion(current.len())?;
+        for pi in 1..self.plans.len() {
+            let mut next = Vec::new();
+            for r in &current {
+                wctx.check_deadline()?;
+                self.expand_part_c(wctx, ws, r, pi, &mut next)?;
+                wctx.check_expansion(next.len())?;
+            }
+            current = next;
+            if current.is_empty() {
+                return Ok(());
+            }
+        }
+        if let Some(wc) = self.where_c.filter(|_| !self.leaf_filtered()) {
+            let cev = self.cev();
+            for r in current {
+                if cev.eval_c_value(wc, &r)?.is_true() {
+                    out.push(r);
+                }
+            }
+        } else {
+            out.extend(current);
+        }
+        Ok(())
+    }
+
+    fn expand_part_c(
+        &self,
+        wctx: &WorkCtx,
+        ws: &mut Workspace,
+        row: &Row,
+        pi: usize,
+        out: &mut Vec<Row>,
+    ) -> Result<(), CypherError> {
+        let cands = self.anchor_candidates_c(&self.lowered[pi], row)?;
+        self.expand_from_candidates(wctx, ws, row, pi, &cands, out)
+    }
+
+    fn expand_from_candidates(
+        &self,
+        wctx: &WorkCtx,
+        ws: &mut Workspace,
+        row: &Row,
+        pi: usize,
+        cands: &[NodeId],
+        out: &mut Vec<Row>,
+    ) -> Result<(), CypherError> {
+        debug_assert!(ws.undo.is_empty() && ws.used.is_empty() && ws.path.is_empty());
+        let plan = &self.plans[pi];
+        let lp = &self.lowered[pi];
+        let mut w = row.clone();
+        if plan.shortest {
+            let mut local = Vec::new();
+            for &cand in cands {
+                self.one_candidate(wctx, ws, plan, lp, &mut w, cand, &mut local)?;
+            }
+            out.extend(varlen::keep_shortest(self.env, plan, local)?);
+        } else {
+            for &cand in cands {
+                self.one_candidate(wctx, ws, plan, lp, &mut w, cand, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn one_candidate(
+        &self,
+        wctx: &WorkCtx,
+        ws: &mut Workspace,
+        plan: &PartPlan,
+        lp: &LPart,
+        w: &mut Row,
+        cand: NodeId,
+        out: &mut Vec<Row>,
+    ) -> Result<(), CypherError> {
+        if !self.node_matches_c(&lp.anchor_node, cand, w)? {
+            return Ok(());
+        }
+        let mark = ws.undo.len();
+        if self.bind_node_c(w, &mut ws.undo, &lp.anchor_node.bind, Entry::Node(cand))? {
+            self.dfs_c(wctx, ws, plan, lp, 0, cand, cand, w, out)?;
+        }
+        rollback(w, &mut ws.undo, mark);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_c(
+        &self,
+        wctx: &WorkCtx,
+        ws: &mut Workspace,
+        plan: &PartPlan,
+        lp: &LPart,
+        step_idx: usize,
+        anchor: NodeId,
+        cur: NodeId,
+        w: &mut Row,
+        out: &mut Vec<Row>,
+    ) -> Result<(), CypherError> {
+        wctx.check_deadline()?;
+        // Mid-DFS conjunct pruning: a conjunct whose slots are all bound
+        // by now and which is definitely not true kills this subtree
+        // before any neighbor expansion. Errors never prune (leaf eval
+        // reproduces them); pruned subtrees produce no rows either way.
+        for (ready, f) in &lp.filters {
+            if *ready == step_idx {
+                if let Ok(v) = self.cev().eval_c_value(f, w) {
+                    if !v.is_true() {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        if step_idx == lp.steps.len() {
+            // Complete binding. With `WHERE` pushdown the predicate runs
+            // on the bound workspace first, so rejected rows skip the
+            // per-result clone entirely (paths must be bound pre-check —
+            // the predicate may reference the path variable).
+            if lp.leaf_filter && lp.path_slot.is_none() {
+                if let Some(wc) = self.where_c {
+                    if !self.cev().eval_c_value(wc, w)?.is_true() {
+                        return Ok(());
+                    }
+                }
+            }
+            let mut r = w.clone();
+            if let Some((name, slot)) = &lp.path_slot {
+                let slot = slot
+                    .ok_or_else(|| CypherError::plan(format!("path variable '{name}' missing")))?;
+                bind_path_into(&mut r, slot, plan, anchor, &ws.path);
+                if lp.leaf_filter {
+                    if let Some(wc) = self.where_c {
+                        if !self.cev().eval_c_value(wc, &r)?.is_true() {
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            out.push(r);
+            return Ok(());
+        }
+        let (lrel, lnode) = &lp.steps[step_idx];
+        if lrel.single {
+            let track_path = lp.path_slot.is_some();
+            let mut buf = ws.scratch.pop().unwrap_or_default();
+            self.graph
+                .neighbors_into(cur, lrel.dir, lrel.types.as_deref(), &mut buf);
+            for &(rid, nbr) in &buf {
+                if ws.used.contains(&rid) {
+                    continue;
+                }
+                if !self.rel_matches_c(lrel, rid, w)? {
+                    continue;
+                }
+                if !self.node_matches_c(lnode, nbr, w)? {
+                    continue;
+                }
+                let mark = ws.undo.len();
+                let mut ok = self.bind_node_c(w, &mut ws.undo, &lnode.bind, Entry::Node(nbr))?;
+                if ok {
+                    if let Some(b) = &lrel.bind {
+                        ok = self.bind_entry_c(w, &mut ws.undo, b, Entry::Rel(rid))?;
+                    }
+                }
+                if ok {
+                    ws.used.push(rid);
+                    if track_path {
+                        ws.path.push((vec![rid], nbr));
+                    }
+                    self.dfs_c(wctx, ws, plan, lp, step_idx + 1, anchor, nbr, w, out)?;
+                    if track_path {
+                        ws.path.pop();
+                    }
+                    ws.used.pop();
+                }
+                rollback(w, &mut ws.undo, mark);
+            }
+            ws.scratch.push(buf);
+        } else {
+            let mut stack_rels: Vec<RelId> = Vec::new();
+            self.varlen_c(
+                wctx,
+                ws,
+                plan,
+                lp,
+                step_idx,
+                anchor,
+                cur,
+                w,
+                out,
+                &mut stack_rels,
+            )?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn varlen_c(
+        &self,
+        wctx: &WorkCtx,
+        ws: &mut Workspace,
+        plan: &PartPlan,
+        lp: &LPart,
+        step_idx: usize,
+        anchor: NodeId,
+        cur: NodeId,
+        w: &mut Row,
+        out: &mut Vec<Row>,
+        stack_rels: &mut Vec<RelId>,
+    ) -> Result<(), CypherError> {
+        wctx.check_deadline()?;
+        let (lrel, lnode) = &lp.steps[step_idx];
+        let depth = stack_rels.len() as u32;
+        if depth >= lrel.min {
+            // Try ending the variable-length segment here.
+            if self.node_matches_c(lnode, cur, w)? {
+                let mark = ws.undo.len();
+                let mut ok = self.bind_node_c(w, &mut ws.undo, &lnode.bind, Entry::Node(cur))?;
+                if ok {
+                    if let Some(b) = &lrel.bind {
+                        let rel_list = Value::List(
+                            stack_rels
+                                .iter()
+                                .map(|rid| Entry::Rel(*rid).to_value(self.graph))
+                                .collect(),
+                        );
+                        ok = self.bind_entry_c(w, &mut ws.undo, b, Entry::Val(rel_list))?;
+                    }
+                }
+                if ok {
+                    let used_mark = ws.used.len();
+                    ws.used.extend_from_slice(stack_rels);
+                    let track_path = lp.path_slot.is_some();
+                    if track_path {
+                        ws.path.push((stack_rels.clone(), cur));
+                    }
+                    self.dfs_c(wctx, ws, plan, lp, step_idx + 1, anchor, cur, w, out)?;
+                    if track_path {
+                        ws.path.pop();
+                    }
+                    ws.used.truncate(used_mark);
+                }
+                rollback(w, &mut ws.undo, mark);
+            }
+        }
+        if depth == lrel.max {
+            return Ok(());
+        }
+        let mut buf = ws.scratch.pop().unwrap_or_default();
+        self.graph
+            .neighbors_into(cur, lrel.dir, lrel.types.as_deref(), &mut buf);
+        for &(rid, nbr) in &buf {
+            if ws.used.contains(&rid) || stack_rels.contains(&rid) {
+                continue;
+            }
+            if !self.rel_matches_c(lrel, rid, w)? {
+                continue;
+            }
+            stack_rels.push(rid);
+            self.varlen_c(
+                wctx, ws, plan, lp, step_idx, anchor, nbr, w, out, stack_rels,
+            )?;
+            stack_rels.pop();
+        }
+        ws.scratch.push(buf);
+        Ok(())
+    }
+
+    fn anchor_candidates_c(&self, lp: &LPart, row: &Row) -> Result<Vec<NodeId>, CypherError> {
+        let graph = self.graph;
+        let cev = self.cev();
+        let candidates = match &lp.anchor {
+            LAnchor::Bound { var, slot } => {
+                let slot =
+                    slot.ok_or_else(|| CypherError::plan(format!("unbound anchor '{var}'")))?;
+                match &row[slot] {
+                    Entry::Node(id) => vec![*id],
+                    Entry::Val(Value::Null) => Vec::new(),
+                    _ => {
+                        return Err(CypherError::runtime(format!(
+                            "variable '{var}' is not a node"
+                        )))
+                    }
+                }
+            }
+            LAnchor::IndexSeek { label, key, expr } => {
+                let v = cev.eval_c_value(expr, row)?;
+                graph.index_lookup(label, key, &v).unwrap_or_default()
+            }
+            LAnchor::RangeSeek { label, key, lo, hi } => {
+                let lo_v = match lo {
+                    Some((e, inc)) => Some((cev.eval_c_value(e, row)?, *inc)),
+                    None => None,
+                };
+                let hi_v = match hi {
+                    Some((e, inc)) => Some((cev.eval_c_value(e, row)?, *inc)),
+                    None => None,
+                };
+                graph
+                    .index_range(
+                        label,
+                        key,
+                        lo_v.as_ref().map(|(v, inc)| (v, *inc)),
+                        hi_v.as_ref().map(|(v, inc)| (v, *inc)),
+                    )
+                    .unwrap_or_default()
+            }
+            LAnchor::LabelScan(label) => graph.nodes_with_label(label).collect(),
+            LAnchor::AllNodes => graph.all_nodes().collect(),
+        };
+        Ok(candidates)
+    }
+
+    fn node_matches_c(&self, ln: &LNode, node: NodeId, row: &Row) -> Result<bool, CypherError> {
+        if ln.impossible {
+            return Ok(false);
+        }
+        for &sym in &ln.labels {
+            if !self.graph.node_has_label_sym(node, sym) {
+                return Ok(false);
+            }
+        }
+        if !ln.props.is_empty() {
+            let cev = self.cev();
+            for (key, expr) in &ln.props {
+                let want = cev.eval_c_value(expr, row)?;
+                let have = self
+                    .graph
+                    .node(node)
+                    .map(|n| n.props.get_or_null(key))
+                    .unwrap_or(Value::Null);
+                if have.cypher_eq(&want) != Some(true) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn rel_matches_c(&self, lr: &LRel, rel: RelId, row: &Row) -> Result<bool, CypherError> {
+        if !lr.props.is_empty() {
+            let cev = self.cev();
+            for (key, expr) in &lr.props {
+                let want = cev.eval_c_value(expr, row)?;
+                let have = self
+                    .graph
+                    .rel(rel)
+                    .map(|r| r.props.get_or_null(key))
+                    .unwrap_or(Value::Null);
+                if have.cypher_eq(&want) != Some(true) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn bind_node_c(
+        &self,
+        w: &mut Row,
+        undo: &mut Vec<(usize, Entry)>,
+        bind: &Option<LBind>,
+        entry: Entry,
+    ) -> Result<bool, CypherError> {
+        match bind {
+            None => Ok(true),
+            Some(b) => self.bind_entry_c(w, undo, b, entry),
+        }
+    }
+
+    fn bind_entry_c(
+        &self,
+        w: &mut Row,
+        undo: &mut Vec<(usize, Entry)>,
+        bind: &LBind,
+        entry: Entry,
+    ) -> Result<bool, CypherError> {
+        let slot = bind.slot.ok_or_else(|| {
+            CypherError::plan(format!("variable '{}' missing from environment", bind.name))
+        })?;
+        match &w[slot] {
+            Entry::Val(Value::Null) if self.new_slots.contains(&slot) => {
+                undo.push((slot, std::mem::replace(&mut w[slot], entry)));
+                Ok(true)
+            }
+            Entry::Val(Value::Null) => Ok(false), // pre-existing null binding never matches
+            existing => Ok(*existing == entry),
+        }
+    }
+}
+
+fn bind_path_into(
+    r: &mut Row,
+    slot: usize,
+    plan: &PartPlan,
+    anchor: NodeId,
+    path: &[(Vec<RelId>, NodeId)],
+) {
+    let mut nodes: Vec<NodeId> = vec![anchor];
+    let mut rels: Vec<RelId> = Vec::new();
+    for (seg_rels, end) in path {
+        rels.extend(seg_rels.iter().copied());
+        nodes.push(*end);
+    }
+    if plan.reversed {
+        nodes.reverse();
+        rels.reverse();
+    }
+    r[slot] = Entry::Path(nodes, rels);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel scheduling
+// ---------------------------------------------------------------------------
+
+/// Runs `f` over `items` in fixed contiguous morsels on a scoped worker
+/// pool, merging per-morsel outputs back in morsel order (byte-identical
+/// to sequential). Per-worker db-hit deltas are credited back to the
+/// calling thread. Returns `Ok(None)` when there are too few items to
+/// morselize — the caller runs sequentially.
+fn run_parallel<I, F>(
+    items: &[I],
+    workers: usize,
+    limits: ExecLimits,
+    max_rows: usize,
+    f: F,
+) -> Result<Option<Vec<Row>>, CypherError>
+where
+    I: Sync,
+    F: Fn(&WorkCtx, &mut Workspace, &I, &mut Vec<Row>) -> Result<(), CypherError> + Sync,
+{
+    let per = items.len().div_ceil(workers * 4).max(1);
+    let morsels: Vec<(usize, usize)> = (0..items.len())
+        .step_by(per)
+        .map(|s| (s, (s + per).min(items.len())))
+        .collect();
+    if morsels.len() < 2 {
+        return Ok(None);
+    }
+    let n_workers = workers.min(morsels.len());
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+
+    // Per worker: the morsels it completed (index + outcome) and its
+    // db-hit delta, credited back to the calling thread after the join.
+    type WorkerResult = (Vec<(usize, Result<Vec<Row>, CypherError>)>, u64);
+    let worker_results: Vec<WorkerResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let h0 = dbhits::current();
+                    let wctx = WorkCtx::new(limits, max_rows);
+                    let mut ws = Workspace::default();
+                    let mut done = Vec::new();
+                    loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let mi = next.fetch_add(1, Ordering::Relaxed);
+                        if mi >= morsels.len() {
+                            break;
+                        }
+                        let (start, end) = morsels[mi];
+                        let mut rows = Vec::new();
+                        let mut res = Ok(());
+                        for item in &items[start..end] {
+                            if let Err(e) = f(&wctx, &mut ws, item, &mut rows) {
+                                res = Err(e);
+                                break;
+                            }
+                        }
+                        let errored = res.is_err();
+                        done.push((mi, res.map(|()| rows)));
+                        if errored {
+                            failed.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    (done, dbhits::current().wrapping_sub(h0))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("match worker panicked"))
+            .collect()
+    });
+
+    // Credit worker-thread graph accesses to the calling thread so
+    // PROFILE's db-hit totals match sequential execution exactly.
+    let mut parts: Vec<(usize, Result<Vec<Row>, CypherError>)> = Vec::new();
+    for (done, delta) in worker_results {
+        dbhits::add(delta);
+        parts.extend(done);
+    }
+    parts.sort_by_key(|(mi, _)| *mi);
+    let mut merged = Vec::new();
+    for (_, res) in parts {
+        // The first error in morsel order wins, matching what sequential
+        // execution would have reported first.
+        merged.extend(res?);
+    }
+    Ok(Some(merged))
+}
+
+// ---------------------------------------------------------------------------
+// Compiled UNWIND and projections
+// ---------------------------------------------------------------------------
+
+pub(crate) struct CUnwindOp<'q> {
+    pub u: &'q CUnwind,
+}
+
+impl Operator for CUnwindOp<'_> {
+    fn name(&self) -> &'static str {
+        "Unwind"
+    }
+
+    fn apply(
+        &self,
+        cx: &mut ExecContext<'_>,
+        env: &mut Env,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>, CypherError> {
+        let u = self.u;
+        if env.names != u.env_before {
+            return Err(env_mismatch());
+        }
+        let cev = CEvalCtx {
+            graph: cx.graph(),
+            params: cx.params,
+        };
+        let mut values: Vec<(Row, Value)> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let v = cev.eval_c_value(&u.expr_c, &row)?;
+            values.push((row, v));
+        }
+        env.push(u.var.clone());
+        let mut out = Vec::new();
+        for (row, v) in values {
+            match v {
+                Value::Null => {}
+                Value::List(items) => {
+                    for item in items {
+                        let mut r = row.clone();
+                        r.push(Entry::Val(item));
+                        out.push(r);
+                    }
+                }
+                other => {
+                    let mut r = row;
+                    r.push(Entry::Val(other));
+                    out.push(r);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn explain_into(&self, graph: &Graph, bound: &mut Vec<String>, idx: usize, out: &mut String) {
+        unwind::UnwindOp {
+            expr: &self.u.ast,
+            var: &self.u.var,
+        }
+        .explain_into(graph, bound, idx, out)
+    }
+}
+
+pub(crate) struct CProjectOp<'q> {
+    pub p: &'q CProject,
+}
+
+impl Operator for CProjectOp<'_> {
+    fn name(&self) -> &'static str {
+        "Project"
+    }
+
+    fn apply(
+        &self,
+        cx: &mut ExecContext<'_>,
+        env: &mut Env,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>, CypherError> {
+        apply_cproject(cx, env, rows, self.p)
+    }
+
+    fn explain_into(&self, graph: &Graph, bound: &mut Vec<String>, idx: usize, out: &mut String) {
+        project::ProjectOp {
+            clause: &self.p.ast,
+        }
+        .explain_into(graph, bound, idx, out)
+    }
+}
+
+pub(crate) struct CReturnOp<'q> {
+    pub p: &'q CProject,
+}
+
+impl Operator for CReturnOp<'_> {
+    fn name(&self) -> &'static str {
+        "Return"
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+
+    fn apply(
+        &self,
+        cx: &mut ExecContext<'_>,
+        env: &mut Env,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>, CypherError> {
+        if !self.p.is_last {
+            return Err(CypherError::plan("RETURN must be the final clause"));
+        }
+        apply_cproject(cx, env, rows, self.p)
+    }
+
+    fn explain_into(&self, graph: &Graph, bound: &mut Vec<String>, idx: usize, out: &mut String) {
+        project::ReturnOp {
+            clause: &self.p.ast,
+            is_last: self.p.is_last,
+        }
+        .explain_into(graph, bound, idx, out)
+    }
+}
+
+/// The projected row extended with the non-shadowed evaluation-context
+/// entries — the compiled mirror of `PostProject::extend`.
+fn extend_c(p: &CProject, proj: &Row, ctx_row: &Row) -> Row {
+    let mut r = proj.clone();
+    for &i in &p.appended {
+        r.push(ctx_row.get(i).cloned().unwrap_or(Entry::Val(Value::Null)));
+    }
+    r
+}
+
+fn apply_cproject(
+    cx: &mut ExecContext<'_>,
+    env: &mut Env,
+    rows: Vec<Row>,
+    p: &CProject,
+) -> Result<Vec<Row>, CypherError> {
+    if env.names != p.env_before {
+        return Err(env_mismatch());
+    }
+    let graph = cx.graph();
+    let cev = CEvalCtx {
+        graph,
+        params: cx.params,
+    };
+    let mut projected: Vec<(Row, Row)> = if p.use_agg {
+        aggregate_rows_c(graph, &cev, &rows, p)?
+    } else {
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut out_row = Vec::with_capacity(p.rewritten.len());
+            for rexpr in &p.rewritten {
+                out_row.push(cev.eval_c(rexpr, &row)?);
+            }
+            out.push((out_row, row));
+        }
+        out
+    };
+
+    if p.distinct {
+        let mut seen = HashSet::new();
+        projected.retain(|(r, _)| {
+            let key: Vec<ValueKey> = r.iter().map(|e| entry_key(graph, e)).collect();
+            seen.insert(key)
+        });
+    }
+
+    if let Some(w) = &p.where_c {
+        let mut kept = Vec::with_capacity(projected.len());
+        for (proj, ctx_row) in projected {
+            let ext = extend_c(p, &proj, &ctx_row);
+            if cev.eval_c_value(w, &ext)?.is_true() {
+                kept.push((proj, ctx_row));
+            }
+        }
+        projected = kept;
+    }
+
+    if !p.order_c.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, (Row, Row))> = Vec::with_capacity(projected.len());
+        for (proj, ctx_row) in projected {
+            let ext = extend_c(p, &proj, &ctx_row);
+            let mut keys = Vec::with_capacity(p.order_c.len());
+            for (oe, _) in &p.order_c {
+                keys.push(cev.eval_c_value(oe, &ext)?);
+            }
+            keyed.push((keys, (proj, ctx_row)));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, (_, ascending)) in p.order_c.iter().enumerate() {
+                let c = ka[i].order_key_cmp(&kb[i]);
+                let c = if *ascending { c } else { c.reverse() };
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        projected = keyed.into_iter().map(|(_, v)| v).collect();
+    }
+
+    // SKIP / LIMIT: row-free evaluation, exactly like the interpreter.
+    let eval_count = |e: &CExpr| -> Result<usize, CypherError> {
+        let v = cev.eval_c_value(e, &Vec::new())?;
+        v.as_int()
+            .filter(|i| *i >= 0)
+            .map(|i| i as usize)
+            .ok_or_else(|| CypherError::runtime("SKIP/LIMIT must be a non-negative integer"))
+    };
+    if let Some(e) = &p.skip_c {
+        let n = eval_count(e)?;
+        projected = projected.into_iter().skip(n).collect();
+    }
+    if let Some(e) = &p.limit_c {
+        let n = eval_count(e)?;
+        projected.truncate(n);
+    }
+
+    *env = Env {
+        names: p.out_names.clone(),
+    };
+    Ok(projected.into_iter().map(|(r, _)| r).collect())
+}
+
+fn aggregate_rows_c(
+    graph: &Graph,
+    cev: &CEvalCtx<'_>,
+    rows: &[Row],
+    p: &CProject,
+) -> Result<Vec<(Row, Row)>, CypherError> {
+    let mut groups: HashMap<Vec<ValueKey>, usize> = HashMap::new();
+    let mut group_data: Vec<(Row, Vec<AggAccum>)> = Vec::new();
+    for row in rows {
+        let mut key = Vec::with_capacity(p.keys_c.len());
+        for ke in &p.keys_c {
+            key.push(entry_key(graph, &cev.eval_c(ke, row)?));
+        }
+        let gi = match groups.get(&key) {
+            Some(&i) => i,
+            None => {
+                let mut states = Vec::with_capacity(p.specs.len());
+                for spec in &p.specs {
+                    let pval = match &spec.extra {
+                        Some(e) => cev.eval_c_value(e, row)?.as_f64().unwrap_or(0.5),
+                        None => 0.5,
+                    };
+                    states.push(AggAccum::new_named(&spec.name, spec.distinct, pval));
+                }
+                group_data.push((row.clone(), states));
+                groups.insert(key, group_data.len() - 1);
+                group_data.len() - 1
+            }
+        };
+        for (si, spec) in p.specs.iter().enumerate() {
+            let val = match &spec.arg {
+                None => None,
+                Some(e) => Some(cev.eval_c_value(e, row)?),
+            };
+            group_data[gi].1[si].update(val)?;
+        }
+    }
+    // Global aggregation over zero rows still yields one group.
+    if group_data.is_empty() && p.keys_c.is_empty() {
+        let states = p
+            .specs
+            .iter()
+            .map(|s| AggAccum::new_named(&s.name, s.distinct, 0.5))
+            .collect();
+        let null_row: Row = vec![Entry::Val(Value::Null); p.env_len];
+        group_data.push((null_row, states));
+    }
+    let mut projected = Vec::with_capacity(group_data.len());
+    for (rep_row, states) in group_data {
+        let mut ext = rep_row.clone();
+        for st in states {
+            ext.push(Entry::Val(st.finish()));
+        }
+        let mut out_row = Vec::with_capacity(p.rewritten.len());
+        for rexpr in &p.rewritten {
+            out_row.push(cev.eval_c(rexpr, &ext)?);
+        }
+        projected.push((out_row, ext));
+    }
+    Ok(projected)
+}

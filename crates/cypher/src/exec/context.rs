@@ -17,12 +17,32 @@ use super::{GraphSource, MAX_ROWS};
 /// caught on the very first check.
 pub(crate) const DEADLINE_CHECK_STRIDE: u32 = 256;
 
-/// Execution limits: a wall-clock deadline checked during pattern
-/// expansion, protecting services that execute untrusted Cypher.
-#[derive(Debug, Clone, Copy, Default)]
+/// Execution limits and tuning: a wall-clock deadline checked during
+/// pattern expansion (protecting services that execute untrusted Cypher),
+/// the worker count for morsel-parallel `MATCH`, and the
+/// compiled-pipeline switch.
+#[derive(Debug, Clone, Copy)]
 pub struct ExecLimits {
     /// Abort with a runtime error once this instant passes.
     pub deadline: Option<std::time::Instant>,
+    /// Worker threads for morsel-parallel `MATCH` expansion. `1` (the
+    /// default) executes sequentially; results are byte-identical at any
+    /// setting.
+    pub parallelism: usize,
+    /// Execute through the compiled pipeline when the query is
+    /// compilable (the default). `false` forces the interpreter —
+    /// a debugging/benchmarking escape hatch, never a semantics change.
+    pub compiled: bool,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits {
+            deadline: None,
+            parallelism: 1,
+            compiled: true,
+        }
+    }
 }
 
 impl ExecLimits {
@@ -35,7 +55,20 @@ impl ExecLimits {
     pub fn timeout(timeout: std::time::Duration) -> Self {
         ExecLimits {
             deadline: Some(std::time::Instant::now() + timeout),
+            ..ExecLimits::default()
         }
+    }
+
+    /// Sets the morsel-parallel worker count (`0` is treated as `1`).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Enables or disables the compiled pipeline.
+    pub fn with_compiled(mut self, compiled: bool) -> Self {
+        self.compiled = compiled;
+        self
     }
 
     /// Reads the clock and compares against the deadline. Callers should

@@ -23,6 +23,7 @@
 //! | [`write`]     | `CREATE`, `MERGE`, `SET`, `DELETE` |
 
 pub(crate) mod aggregate;
+pub(crate) mod compiled;
 pub(crate) mod context;
 pub(crate) mod expand;
 pub(crate) mod filter;
@@ -35,6 +36,7 @@ pub(crate) mod varlen;
 pub(crate) mod write;
 
 use crate::ast::{Clause, Query};
+use crate::compile::{compile_query, CompiledQuery, CompiledSegment};
 use crate::error::CypherError;
 use crate::eval::{Env, Params, Row};
 use crate::pretty;
@@ -106,6 +108,23 @@ pub fn execute_read_with_limits(
 pub fn execute(graph: &mut Graph, q: &Query, params: &Params) -> Result<QueryResult, CypherError> {
     let mut src = ReadWrite(graph);
     run(&mut src, q, params, ExecLimits::none())
+}
+
+/// Executes a read-only query whose compiled form was produced earlier
+/// (typically by [`crate::cache::PlanCache::prepare`]), skipping the
+/// per-execution compilation that [`execute_read_with_limits`] performs.
+/// `compiled` is ignored when `limits.compiled` is off or when it is
+/// `None` (the query falls back to the interpreter).
+pub fn execute_prepared_with_limits(
+    graph: &Graph,
+    q: &Query,
+    compiled: Option<&CompiledQuery>,
+    params: &Params,
+    limits: ExecLimits,
+) -> Result<QueryResult, CypherError> {
+    let mut src = ReadOnly(graph);
+    let compiled = if limits.compiled { compiled } else { None };
+    run_with_profile(&mut src, q, compiled, params, limits, None)
 }
 
 /// Read-only or read-write access to the graph under execution.
@@ -207,8 +226,16 @@ pub(crate) fn profile_read(
 ) -> Result<(QueryResult, QueryProfile), CypherError> {
     let mut src = ReadOnly(graph);
     let mut collector = ProfileCollector::new();
+    let compiled = limits.compiled.then(|| compile_query(q)).flatten();
     let t0 = std::time::Instant::now();
-    let result = run_with_profile(&mut src, q, params, limits, Some(&mut collector))?;
+    let result = run_with_profile(
+        &mut src,
+        q,
+        compiled.as_ref(),
+        params,
+        limits,
+        Some(&mut collector),
+    )?;
     let total = t0.elapsed();
     let rows = result.rows.len() as u64;
     Ok((result, collector.finish(total, rows)))
@@ -220,12 +247,14 @@ fn run<G: GraphSource>(
     params: &Params,
     limits: ExecLimits,
 ) -> Result<QueryResult, CypherError> {
-    run_with_profile(src, q, params, limits, None)
+    let compiled = limits.compiled.then(|| compile_query(q)).flatten();
+    run_with_profile(src, q, compiled.as_ref(), params, limits, None)
 }
 
 fn run_with_profile<G: GraphSource>(
     src: &mut G,
     q: &Query,
+    compiled: Option<&CompiledQuery>,
     params: &Params,
     limits: ExecLimits,
     prof: Option<&mut ProfileCollector>,
@@ -233,24 +262,33 @@ fn run_with_profile<G: GraphSource>(
     // Split on UNION separators: each segment is a complete sub-query.
     let segments = union::split_segments(q);
     if segments.len() > 1 {
-        return union::run_segments(src, &segments, params, limits, prof);
+        return union::run_segments(src, &segments, compiled, params, limits, prof);
     }
-    run_single(src, q, params, limits, prof)
+    let cs = compiled.and_then(|c| c.segments.first());
+    run_single(src, q, cs, params, limits, prof)
 }
 
-pub(crate) fn run_single<G: GraphSource>(
+pub(crate) fn run_single<'q, G: GraphSource>(
     src: &mut G,
-    q: &Query,
+    q: &'q Query,
+    compiled: Option<&'q CompiledSegment>,
     params: &Params,
     limits: ExecLimits,
     mut prof: Option<&mut ProfileCollector>,
 ) -> Result<QueryResult, CypherError> {
-    let ops: Vec<Box<dyn Operator + '_>> = q
-        .clauses
-        .iter()
-        .enumerate()
-        .map(|(i, c)| build_clause_op(c, i + 1 == q.clauses.len()))
-        .collect();
+    // Compiled operators are drop-in replacements (same names, same plan
+    // rendering, same results); any shape mismatch falls back to the
+    // interpreter rather than guessing.
+    let use_compiled = compiled.filter(|cs| cs.ops.len() == q.clauses.len());
+    let ops: Vec<Box<dyn Operator + 'q>> = match use_compiled {
+        Some(cs) => cs.ops.iter().map(compiled::build_compiled_op).collect(),
+        None => q
+            .clauses
+            .iter()
+            .enumerate()
+            .map(|(i, c)| build_clause_op(c, i + 1 == q.clauses.len()))
+            .collect(),
+    };
     let mut cx = ExecContext::new(src, params, limits);
     let mut env = Env::new();
     let mut rows: Vec<Row> = vec![Vec::new()];

@@ -36,10 +36,17 @@ pub(crate) fn split_segments(q: &Query) -> Vec<(&[Clause], bool)> {
 pub(crate) fn run_segments<G: GraphSource>(
     src: &mut G,
     segments: &[(&[Clause], bool)],
+    compiled: Option<&crate::compile::CompiledQuery>,
     params: &crate::eval::Params,
     limits: ExecLimits,
     mut prof: Option<&mut crate::profile::ProfileCollector>,
 ) -> Result<QueryResult, CypherError> {
+    // Use compiled segments only when they align one-to-one with the
+    // split; a mismatch means the compiled form came from a different
+    // query shape, so run interpreted instead of guessing.
+    let compiled_segments = compiled
+        .map(|c| &c.segments)
+        .filter(|cs| cs.len() == segments.len());
     let mut combined = QueryResult::empty();
     let mut dedup_all = true;
     for (i, (clauses, all_flag)) in segments.iter().enumerate() {
@@ -54,7 +61,8 @@ pub(crate) fn run_segments<G: GraphSource>(
         let sub = Query {
             clauses: clauses.to_vec(),
         };
-        let result = super::run_single(src, &sub, params, limits, prof.as_deref_mut())?;
+        let cs = compiled_segments.map(|c| &c[i]);
+        let result = super::run_single(src, &sub, cs, params, limits, prof.as_deref_mut())?;
         if i == 0 {
             combined.columns = result.columns;
         } else if combined.columns.len() != result.columns.len() {

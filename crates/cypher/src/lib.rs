@@ -31,6 +31,7 @@
 
 pub mod ast;
 pub mod cache;
+pub mod compile;
 pub mod corpus;
 pub mod error;
 pub mod eval;
@@ -45,12 +46,15 @@ pub mod profile;
 pub mod result;
 pub mod token;
 
-pub use cache::{normalize_query, PlanCache, PlanCacheStats};
+pub use cache::{normalize_query, PlanCache, PlanCacheStats, Prepared};
+pub use compile::{
+    compile_expr, compile_query, compile_time_ns, CEvalCtx, CompiledExpr, CompiledQuery,
+};
 pub use error::{CypherError, Stage};
 pub use eval::{Entry, Env, Params, Row};
 pub use exec::{
-    execute, execute_read, execute_read_with_limits, query, query_with, query_with_deadline,
-    update, ExecLimits,
+    execute, execute_prepared_with_limits, execute_read, execute_read_with_limits, query,
+    query_with, query_with_deadline, update, ExecLimits,
 };
 pub use explain::explain;
 pub use parser::{parse, parse_expression, parse_statement, QueryMode};

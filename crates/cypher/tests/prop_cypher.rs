@@ -2,7 +2,7 @@
 //! generated expressions, and executor invariants over random graphs.
 
 use iyp_cypher::ast::{BinOp, Expr, UnOp};
-use iyp_cypher::{parse_expression, pretty, query};
+use iyp_cypher::{parse_expression, pretty, query, ExecLimits, Params};
 use iyp_graphdb::{Graph, Props, Value};
 use proptest::prelude::*;
 
@@ -64,6 +64,101 @@ proptest! {
             .unwrap_or_else(|err| panic!("render produced unparseable text {rendered:?}: {err}"));
         // Idempotence: rendering the reparsed tree gives the same text.
         prop_assert_eq!(pretty::expr_to_string(&reparsed), rendered);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Differential: compiled expression evaluation vs the interpreter
+// ----------------------------------------------------------------------
+
+/// Runs `src` through the engine with the compiled pipeline on or off,
+/// normalizing both results and errors to strings so error parity is
+/// checked too (the compiler must reproduce evaluation errors, not just
+/// values).
+fn run_either(g: &Graph, src: &str, compiled: bool) -> Result<String, String> {
+    let q = iyp_cypher::parse(src).map_err(|e| format!("parse: {e}"))?;
+    iyp_cypher::execute_read_with_limits(
+        g,
+        &q,
+        &Params::new(),
+        ExecLimits::none().with_compiled(compiled),
+    )
+    .map(|r| serde_json::to_string(&r).expect("serialize"))
+    .map_err(|e| e.to_string())
+}
+
+/// Rewrites every variable reference to `x` so generated expressions can
+/// be evaluated against a row binding instead of erroring as unbound.
+fn bind_vars_to_x(e: &Expr) -> Expr {
+    match e {
+        Expr::Var(_) => Expr::Var("x".into()),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(bind_vars_to_x(a)),
+            Box::new(bind_vars_to_x(b)),
+        ),
+        Expr::Un(op, a) => Expr::Un(*op, Box::new(bind_vars_to_x(a))),
+        Expr::IsNull(a, neg) => Expr::IsNull(Box::new(bind_vars_to_x(a)), *neg),
+        Expr::Prop(a, k) => Expr::Prop(Box::new(bind_vars_to_x(a)), k.clone()),
+        Expr::List(items) => Expr::List(items.iter().map(bind_vars_to_x).collect()),
+        Expr::Case {
+            operand,
+            arms,
+            default,
+        } => Expr::Case {
+            operand: operand.as_ref().map(|o| Box::new(bind_vars_to_x(o))),
+            arms: arms
+                .iter()
+                .map(|(c, v)| (bind_vars_to_x(c), bind_vars_to_x(v)))
+                .collect(),
+            default: default.as_ref().map(|d| Box::new(bind_vars_to_x(d))),
+        },
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random (mostly closed) expressions: identical value or identical
+    /// error, compiled vs interpreted. Unbound variables stay unbound so
+    /// the `Unbound` error path is part of the contract.
+    #[test]
+    fn compiled_expression_matches_interpreted(e in expr_strategy()) {
+        let g = Graph::new();
+        let src = format!("RETURN {} AS v", pretty::expr_to_string(&e));
+        prop_assert_eq!(run_either(&g, &src, true), run_either(&g, &src, false));
+    }
+
+    /// Random expressions over a bound row: every variable resolves to a
+    /// slot, exercising slot loads, per-row evaluation order, and the
+    /// projection pipeline at parallelism 1 and 4.
+    #[test]
+    fn compiled_expression_matches_interpreted_per_row(
+        e in expr_strategy(),
+        vals in proptest::collection::vec(-5i64..5, 1..4),
+    ) {
+        let g = Graph::new();
+        let list = vals
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let rendered = pretty::expr_to_string(&bind_vars_to_x(&e));
+        let src = format!("UNWIND [{list}] AS x RETURN {rendered} AS v");
+        let interpreted = run_either(&g, &src, false);
+        prop_assert_eq!(run_either(&g, &src, true), interpreted.clone());
+        // Parallelism must not change results or errors either.
+        let q = iyp_cypher::parse(&src).unwrap();
+        let par = iyp_cypher::execute_read_with_limits(
+            &g,
+            &q,
+            &Params::new(),
+            ExecLimits::none().with_parallelism(4),
+        )
+        .map(|r| serde_json::to_string(&r).expect("serialize"))
+        .map_err(|e| e.to_string());
+        prop_assert_eq!(par, interpreted);
     }
 }
 

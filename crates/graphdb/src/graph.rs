@@ -374,6 +374,17 @@ impl Graph {
         }
     }
 
+    /// Does the node carry the label with pre-resolved symbol `sym`?
+    ///
+    /// Symbol-level variant of [`Graph::node_has_label`] for compiled
+    /// execution paths that resolve label names once at lowering time.
+    pub fn node_has_label_sym(&self, id: NodeId, sym: Sym) -> bool {
+        match self.node(id) {
+            Some(rec) => rec.labels.binary_search(&sym).is_ok(),
+            None => false,
+        }
+    }
+
     /// All live node ids, ascending.
     pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         crate::dbhits::add(1 + self.live_nodes as u64);
@@ -429,16 +440,42 @@ impl Graph {
         dir: Direction,
         types: Option<&[&str]>,
     ) -> Vec<(RelId, NodeId)> {
-        let Some(rec) = self.node(node) else {
-            return Vec::new();
-        };
         let type_syms: Option<Vec<Sym>> =
             types.map(|ts| ts.iter().filter_map(|t| self.rel_types.get(t)).collect());
         let mut out = Vec::new();
-        let mut push = |rel_ids: &[RelId], want_src: bool| {
+        self.neighbors_into(node, dir, type_syms.as_deref(), &mut out);
+        out
+    }
+
+    /// Allocation-free [`Graph::neighbors`]: clears `out` and appends the
+    /// `(rel, neighbor)` pairs, so callers can reuse one scratch buffer
+    /// across many expansions. `types` is pre-resolved to symbols (see
+    /// [`Graph::rel_type_sym`]); `None` means "any type", while an empty
+    /// slice — the lowering of a type list whose names are all unknown —
+    /// matches nothing.
+    ///
+    /// Charges the same db hits as [`Graph::neighbors`]: one for the
+    /// adjacency access plus one per pair appended.
+    pub fn neighbors_into(
+        &self,
+        node: NodeId,
+        dir: Direction,
+        types: Option<&[Sym]>,
+        out: &mut Vec<(RelId, NodeId)>,
+    ) {
+        out.clear();
+        let Some(rec) = self.node(node) else {
+            return;
+        };
+        // `skip_loops` dedups self-loops, which sit in both adjacency
+        // lists, without materializing intermediate filtered lists.
+        let mut push = |rel_ids: &[RelId], want_src: bool, skip_loops: bool| {
             for &rid in rel_ids {
                 let r = self.rel(rid).expect("adjacency lists only hold live rels");
-                if let Some(ref syms) = type_syms {
+                if skip_loops && r.src == r.dst {
+                    continue;
+                }
+                if let Some(syms) = types {
                     if !syms.contains(&r.ty) {
                         continue;
                     }
@@ -448,28 +485,14 @@ impl Graph {
             }
         };
         match dir {
-            Direction::Outgoing => push(&rec.out, false),
-            Direction::Incoming => push(&rec.inc, true),
+            Direction::Outgoing => push(&rec.out, false, false),
+            Direction::Incoming => push(&rec.inc, true, false),
             Direction::Both => {
-                push(&rec.out, false);
-                // Avoid double-reporting self-loops, which sit in both lists.
-                let loops: Vec<RelId> = rec
-                    .inc
-                    .iter()
-                    .copied()
-                    .filter(|rid| self.rel(*rid).map(|r| r.src == r.dst).unwrap_or(false))
-                    .collect();
-                let inc_no_loops: Vec<RelId> = rec
-                    .inc
-                    .iter()
-                    .copied()
-                    .filter(|r| !loops.contains(r))
-                    .collect();
-                push(&inc_no_loops, true);
+                push(&rec.out, false, false);
+                push(&rec.inc, true, true);
             }
         }
         crate::dbhits::add(1 + out.len() as u64);
-        out
     }
 
     /// Degree of a node in the given direction (any relationship type).
@@ -636,6 +659,60 @@ mod tests {
         g.add_rel(a, "PEERS_WITH", a, Props::new()).unwrap();
         assert_eq!(g.neighbors(a, Direction::Both, None).len(), 1);
         assert_eq!(g.degree(a, Direction::Both), 1);
+    }
+
+    #[test]
+    fn selfloop_mixed_with_plain_rels_both_direction() {
+        let mut g = Graph::new();
+        let a = g.add_node(["AS"], Props::new());
+        let b = g.add_node(["AS"], Props::new());
+        let r_out = g.add_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
+        let r_loop = g.add_rel(a, "PEERS_WITH", a, Props::new()).unwrap();
+        let r_in = g.add_rel(b, "DEPENDS_ON", a, Props::new()).unwrap();
+        let both = g.neighbors(a, Direction::Both, None);
+        // Self-loop reported exactly once; out-list first, then incoming.
+        assert_eq!(both, vec![(r_out, b), (r_loop, a), (r_in, b)]);
+        let typed = g.neighbors(a, Direction::Both, Some(&["PEERS_WITH"]));
+        assert_eq!(typed, vec![(r_out, b), (r_loop, a)]);
+    }
+
+    #[test]
+    fn neighbors_into_matches_neighbors_and_dbhits() {
+        let (mut g, a, b, c) = tiny();
+        g.add_rel(b, "PEERS_WITH", a, Props::new()).unwrap();
+        g.add_rel(c, "COUNTRY", c, Props::new()).unwrap();
+        let peers_sym = g.rel_type_sym("PEERS_WITH").unwrap();
+        let mut buf = Vec::new();
+        for node in [a, b, c, NodeId(99)] {
+            for dir in [Direction::Outgoing, Direction::Incoming, Direction::Both] {
+                for (names, syms) in [
+                    (None, None),
+                    (Some(vec!["PEERS_WITH"]), Some(vec![peers_sym])),
+                    (Some(vec!["NOPE"]), Some(Vec::new())),
+                ] {
+                    let h0 = crate::dbhits::current();
+                    let via_vec = g.neighbors(node, dir, names.as_deref());
+                    let h_vec = crate::dbhits::current() - h0;
+                    buf.push((RelId(0), NodeId(0))); // must be cleared
+                    let h1 = crate::dbhits::current();
+                    g.neighbors_into(node, dir, syms.as_deref(), &mut buf);
+                    let h_into = crate::dbhits::current() - h1;
+                    assert_eq!(via_vec, buf);
+                    assert_eq!(h_vec, h_into);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_has_label_sym_matches_name_lookup() {
+        let (g, a, _, c) = tiny();
+        let as_sym = g.label_sym("AS").unwrap();
+        let country_sym = g.label_sym("Country").unwrap();
+        assert!(g.node_has_label_sym(a, as_sym));
+        assert!(!g.node_has_label_sym(a, country_sym));
+        assert!(g.node_has_label_sym(c, country_sym));
+        assert!(!g.node_has_label_sym(NodeId(99), as_sym));
     }
 
     #[test]

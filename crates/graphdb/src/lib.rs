@@ -22,7 +22,7 @@
 //! assert_eq!(g.node(jp).unwrap().props.get("country_code"), Some(&Value::from("JP")));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algo;
 pub mod dbhits;

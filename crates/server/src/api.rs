@@ -247,12 +247,15 @@ fn handle_cypher(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
         },
         // `PROFILE <query>`: execute with per-operator measurement.
         // Profiled runs bypass the result cache on purpose — a cached
-        // result has no operator execution to measure.
+        // result has no operator execution to measure. Parallel workers'
+        // db hits are credited back to the profiled operators, so the
+        // reported totals are worker-count independent.
         CypherRoute::Profile => match iyp_cypher::profile_with_limits(
             graph,
             &c.query,
             &iyp_cypher::Params::new(),
-            iyp_cypher::ExecLimits::timeout(std::time::Duration::from_secs(2)),
+            iyp_cypher::ExecLimits::timeout(std::time::Duration::from_secs(2))
+                .with_parallelism(chat.config().query_parallelism),
         ) {
             Ok((result, prof)) => {
                 let mut value = serde_json::to_value(&result);
@@ -265,12 +268,14 @@ fn handle_cypher(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
         },
         // Plain queries run through the shared query cache (repeated
         // queries skip parse + execution) and under a deadline so a
-        // pathological pattern cannot pin a worker.
-        CypherRoute::Plain => match chat.query_cache().get_or_execute_with_deadline(
+        // pathological pattern cannot pin a worker; cold executions use
+        // the configured morsel parallelism.
+        CypherRoute::Plain => match chat.query_cache().get_or_execute_with_limits(
             graph,
             &c.query,
             &iyp_cypher::Params::new(),
-            std::time::Duration::from_secs(2),
+            iyp_cypher::ExecLimits::timeout(std::time::Duration::from_secs(2))
+                .with_parallelism(chat.config().query_parallelism),
         ) {
             Ok(result) => Response::json(
                 200,
@@ -347,6 +352,7 @@ fn handle_metrics(chat: &ChatIyp, graph: &Graph) -> Response {
         ("hits", cs.plan.hits),
         ("misses", cs.plan.misses),
         ("evictions", cs.plan.evictions),
+        ("compiled", cs.plan.compiled),
     ] {
         writeln!(
             out,
@@ -381,6 +387,11 @@ fn handle_metrics(chat: &ChatIyp, graph: &Graph) -> Response {
             "Graph write epoch (bumps on mutation).",
             graph.epoch(),
         ),
+        (
+            "chatiyp_query_workers",
+            "Configured morsel-parallel MATCH worker count.",
+            chat.config().query_parallelism as u64,
+        ),
     ] {
         writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}").expect("write");
     }
@@ -397,6 +408,10 @@ fn handle_stats(chat: &ChatIyp, graph: &Graph) -> Response {
         entries.push((
             "cache".to_string(),
             serde_json::to_value(&chat.query_cache().stats()),
+        ));
+        entries.push((
+            "query_parallelism".to_string(),
+            serde_json::to_value(&chat.config().query_parallelism),
         ));
     }
     Response::json(200, body.to_string())
@@ -778,6 +793,7 @@ mod tests {
             "epoch",
             "nodes",
             "nodes_by_label",
+            "query_parallelism",
             "rels",
             "rels_by_type",
         ];
@@ -804,6 +820,17 @@ mod tests {
                 "plan"
             ],
             "cache counters drifted from the documented set"
+        );
+        // Plan-cache sub-counters include the compiled count (PlanCache
+        // entries that carry a slot-compiled form alongside the AST).
+        assert!(
+            body["cache"]["plan"]["compiled"].as_u64().is_some(),
+            "plan cache stats missing the compiled counter"
+        );
+        // The configured worker count is an honest number, never zero.
+        assert!(
+            body["query_parallelism"].as_u64().unwrap_or(0) >= 1,
+            "query_parallelism must be at least 1"
         );
     }
 
