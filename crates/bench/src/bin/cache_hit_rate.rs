@@ -10,16 +10,16 @@ use chatiyp_core::cache::{CacheConfig, QueryCache};
 use iyp_cypher::corpus::PARITY_QUERIES;
 use iyp_cypher::Params;
 use iyp_data::{generate, IypConfig};
-use iyp_graphdb::Graph;
+use iyp_graphdb::{Graph, GraphSnapshot};
 use std::time::Instant;
 
 /// One full pass over the corpus through the cache; returns seconds.
-fn cached_pass(cache: &QueryCache, graph: &Graph) -> f64 {
+fn cached_pass(cache: &QueryCache, snap: &GraphSnapshot) -> f64 {
     let params = Params::new();
     let t0 = Instant::now();
     for q in PARITY_QUERIES {
         cache
-            .get_or_execute(graph, q, &params)
+            .get_or_execute(snap, q, &params)
             .expect("corpus query executes");
     }
     t0.elapsed().as_secs_f64()
@@ -40,20 +40,20 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(20);
 
-    let graph = generate(&IypConfig::default()).graph;
+    let snap = GraphSnapshot::new(generate(&IypConfig::default()).graph, 1);
     let cache = QueryCache::new(CacheConfig::default());
 
     // Uncached baseline, averaged over the same number of passes.
     let mut t_uncached = 0.0;
     for _ in 0..warm_passes {
-        t_uncached += uncached_pass(&graph);
+        t_uncached += uncached_pass(snap.graph());
     }
     t_uncached /= warm_passes as f64;
 
-    let t_cold = cached_pass(&cache, &graph);
+    let t_cold = cached_pass(&cache, &snap);
     let mut t_warm = 0.0;
     for _ in 0..warm_passes {
-        t_warm += cached_pass(&cache, &graph);
+        t_warm += cached_pass(&cache, &snap);
     }
     t_warm /= warm_passes as f64;
 

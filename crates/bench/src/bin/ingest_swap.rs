@@ -1,0 +1,177 @@
+//! Measures what live ingest costs readers: query latency percentiles on
+//! an idle store vs a store under a stream of snapshot publishes, and
+//! the swap's own cost split into its two stages (`apply` = off-lock
+//! clone + batch application, `swap` = the pointer swap readers can
+//! actually contend with) across growing batch sizes.
+//!
+//! Each arm starts from a fresh [`GraphStore`] over the same base graph,
+//! so the numbers stay comparable as batch size grows. The hard gate is
+//! deliberately generous: the published-pointer swap must stay under
+//! 10ms at the median — it is a clone-free pointer exchange, so failing
+//! that means the design regressed to copying under the lock.
+//!
+//! ```text
+//! cargo run --release -p chatiyp-bench --bin ingest_swap [-- ROUNDS]
+//! ```
+//!
+//! Results are written to `BENCH_swap.json` at the repository root.
+
+use iyp_cypher::query;
+use iyp_data::{generate, growth_batch, IypConfig};
+use iyp_graphdb::{Graph, GraphStore};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The read mix: point lookup, expand + aggregate, ordered top-k.
+const READ_QUERIES: [&str; 3] = [
+    "MATCH (a:AS {asn: 2497})-[:COUNTRY]->(c:Country) RETURN c.name",
+    "MATCH (a:AS)-[:COUNTRY]->(c:Country) RETURN c.country_code, count(a) \
+     ORDER BY count(a) DESC LIMIT 5",
+    "MATCH (d:DomainName)-[r:RANK]->(:Ranking {name: 'Tranco'}) RETURN min(r.rank)",
+];
+
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[idx]
+}
+
+/// One timed read through a freshly acquired snapshot; seconds.
+fn timed_read(store: &GraphStore, q: &str) -> f64 {
+    let t0 = Instant::now();
+    let snap = store.load();
+    query(snap.graph(), q).expect("read query executes");
+    t0.elapsed().as_secs_f64()
+}
+
+/// Reads in a loop until `stop`, returning per-read latencies.
+fn read_loop(store: &GraphStore, stop: &AtomicBool) -> Vec<f64> {
+    let mut samples = Vec::new();
+    let mut i = 0usize;
+    while !stop.load(Ordering::Acquire) {
+        samples.push(timed_read(store, READ_QUERIES[i % READ_QUERIES.len()]));
+        i += 1;
+    }
+    samples
+}
+
+struct Arm {
+    batch_size: usize,
+    read_p50_us: f64,
+    read_p99_us: f64,
+    apply_ms_median: f64,
+    swap_us_median: f64,
+    swap_us_max: f64,
+    final_version: u64,
+}
+
+/// Runs `rounds` publishes of `batch_size` new ASes against a fresh
+/// store while one reader hammers it; returns both sides' numbers.
+fn contended_arm(base: &Graph, batch_size: usize, rounds: usize) -> Arm {
+    let store = Arc::new(GraphStore::new(base.clone()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || read_loop(&store, &stop))
+    };
+
+    let mut applies = Vec::with_capacity(rounds);
+    let mut swaps = Vec::with_capacity(rounds);
+    for i in 0..rounds {
+        let snap = store.load();
+        let batch = growth_batch(snap.graph(), 4000 + i as u64, batch_size);
+        let report = store.ingest(&batch).expect("batch applies");
+        applies.push(report.apply.as_secs_f64());
+        swaps.push(report.swap.as_secs_f64());
+    }
+    stop.store(true, Ordering::Release);
+    let mut reads = reader.join().expect("reader finished");
+
+    Arm {
+        batch_size,
+        read_p50_us: percentile(&mut reads, 0.50) * 1e6,
+        read_p99_us: percentile(&mut reads, 0.99) * 1e6,
+        apply_ms_median: percentile(&mut applies, 0.50) * 1e3,
+        swap_us_median: percentile(&mut swaps, 0.50) * 1e6,
+        swap_us_max: percentile(&mut swaps, 1.0) * 1e6,
+        final_version: store.version(),
+    }
+}
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+
+    let base = generate(&IypConfig::default()).graph;
+
+    // Idle baseline: same reader loop, nothing publishing.
+    let idle_store = GraphStore::new(base.clone());
+    let mut idle = Vec::with_capacity(rounds * 30);
+    for i in 0..rounds * 30 {
+        idle.push(timed_read(
+            &idle_store,
+            READ_QUERIES[i % READ_QUERIES.len()],
+        ));
+    }
+    let idle_p50 = percentile(&mut idle, 0.50) * 1e6;
+    let idle_p99 = percentile(&mut idle, 0.99) * 1e6;
+
+    let arms: Vec<Arm> = [1usize, 10, 100]
+        .iter()
+        .map(|&size| contended_arm(&base, size, rounds))
+        .collect();
+
+    println!("rounds per arm:     {rounds}");
+    println!("idle reads:         p50 {idle_p50:.1}us  p99 {idle_p99:.1}us");
+    for a in &arms {
+        println!(
+            "batch {:>3} new ASes: reads p50 {:.1}us p99 {:.1}us | \
+             apply median {:.3}ms | swap median {:.1}us max {:.1}us | v{}",
+            a.batch_size,
+            a.read_p50_us,
+            a.read_p99_us,
+            a.apply_ms_median,
+            a.swap_us_median,
+            a.swap_us_max,
+            a.final_version
+        );
+    }
+
+    let report = serde_json::json!({
+        "bench": "ingest_swap",
+        "rounds": rounds as u64,
+        "idle_read_p50_us": idle_p50,
+        "idle_read_p99_us": idle_p99,
+        "arms": arms.iter().map(|a| serde_json::json!({
+            "batch_size": a.batch_size as u64,
+            "read_p50_us": a.read_p50_us,
+            "read_p99_us": a.read_p99_us,
+            "apply_ms_median": a.apply_ms_median,
+            "swap_us_median": a.swap_us_median,
+            "swap_us_max": a.swap_us_max,
+            "final_version": a.final_version,
+        })).collect::<Vec<_>>(),
+    });
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_swap.json");
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&report).expect("report serializes") + "\n",
+    )
+    .expect("BENCH_swap.json writes");
+    println!("wrote {out}");
+
+    for a in &arms {
+        assert_eq!(a.final_version, rounds as u64 + 1, "a publish went missing");
+        assert!(
+            a.swap_us_median < 10_000.0,
+            "median swap {}us at batch {} — the swap should be a pointer \
+             exchange, not a copy under the lock",
+            a.swap_us_median,
+            a.batch_size
+        );
+    }
+}

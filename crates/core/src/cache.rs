@@ -10,13 +10,16 @@
 //!   → materialized [`QueryResult`], bounded LRU with optional TTL.
 //!
 //! Correctness rests on the graph's monotonic **write epoch**
-//! ([`iyp_graphdb::Graph::epoch`]): every entry records the epoch it was
-//! computed at, and a lookup whose recorded epoch differs from the graph's
-//! current epoch discards the entry instead of serving it. Any
-//! CREATE/MERGE/SET/DELETE bumps the epoch, so a stale result can never be
-//! returned — there is no invalidation bookkeeping to get wrong, at the
-//! cost of a full logical flush on any write (the right trade for a
-//! read-mostly graph).
+//! ([`iyp_graphdb::Graph::epoch`]), read off the immutable
+//! [`GraphSnapshot`] every query executes against: each entry records
+//! the epoch it was computed at, and a lookup whose recorded epoch
+//! differs from the snapshot's epoch discards the entry instead of
+//! serving it. Any CREATE/MERGE/SET/DELETE bumps the epoch, and
+//! [`iyp_graphdb::GraphStore`] keeps the epoch strictly increasing
+//! across snapshot swaps, so a stale result can never be returned — not
+//! within a snapshot's lifetime and not across an ingest — with no
+//! invalidation bookkeeping to get wrong, at the cost of a full logical
+//! flush on any write (the right trade for a read-mostly graph).
 //!
 //! Hits return the result behind an [`Arc`] so heavy rows are never
 //! copied on the hot path; counters (hits, misses, evictions, epoch
@@ -26,7 +29,7 @@
 use crate::obs::STAGE_METRIC;
 use iyp_cypher::cache::Lru;
 use iyp_cypher::{CypherError, ExecLimits, Params, PlanCache, QueryResult};
-use iyp_graphdb::Graph;
+use iyp_graphdb::GraphSnapshot;
 use iyp_obs::{Histogram, Registry};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -179,33 +182,33 @@ impl QueryCache {
         key
     }
 
-    /// Executes `src` read-only against `graph`, serving a cached result
-    /// when one exists for the current write epoch.
+    /// Executes `src` read-only against `snap`, serving a cached result
+    /// when one exists for the snapshot's write epoch.
     pub fn get_or_execute(
         &self,
-        graph: &Graph,
+        snap: &GraphSnapshot,
         src: &str,
         params: &Params,
     ) -> Result<Arc<QueryResult>, CypherError> {
-        self.get_or_execute_with_limits(graph, src, params, ExecLimits::none())
+        self.get_or_execute_with_limits(snap, src, params, ExecLimits::none())
     }
 
     /// [`QueryCache::get_or_execute`] with a wall-clock deadline applied
     /// to cold executions — the server's untrusted-Cypher entry point.
     pub fn get_or_execute_with_deadline(
         &self,
-        graph: &Graph,
+        snap: &GraphSnapshot,
         src: &str,
         params: &Params,
         timeout: Duration,
     ) -> Result<Arc<QueryResult>, CypherError> {
-        self.get_or_execute_with_limits(graph, src, params, ExecLimits::timeout(timeout))
+        self.get_or_execute_with_limits(snap, src, params, ExecLimits::timeout(timeout))
     }
 
     /// The general form: cold executions run under `limits`.
     pub fn get_or_execute_with_limits(
         &self,
-        graph: &Graph,
+        snap: &GraphSnapshot,
         src: &str,
         params: &Params,
         limits: ExecLimits,
@@ -213,14 +216,14 @@ impl QueryCache {
         if !self.config.enabled {
             self.misses.fetch_add(1, Ordering::Relaxed);
             let p = self.prepare_timed(src)?;
-            return self.execute_timed(graph, &p, params, limits);
+            return self.execute_timed(snap, &p, params, limits);
         }
 
         let key = Self::key(src, params);
-        // Read the epoch before the lookup/execution: if a writer bumps it
-        // concurrently we may store an entry that immediately invalidates,
-        // which is wasteful but never wrong.
-        let epoch = graph.epoch();
+        // The snapshot is immutable, so its epoch is the one the whole
+        // query runs at — entries recorded here can only ever be served
+        // to readers holding a snapshot with the same epoch.
+        let epoch = snap.epoch();
 
         {
             let lookup_start = self.timers.as_ref().map(|_| Instant::now());
@@ -256,7 +259,7 @@ impl QueryCache {
 
         self.misses.fetch_add(1, Ordering::Relaxed);
         let p = self.prepare_timed(src)?;
-        let result = self.execute_timed(graph, &p, params, limits)?;
+        let result = self.execute_timed(snap, &p, params, limits)?;
         let entry = CachedResult {
             result: Arc::clone(&result),
             epoch,
@@ -295,7 +298,7 @@ impl QueryCache {
     /// ([`iyp_cypher::plan::plan_time_ns`]).
     fn execute_timed(
         &self,
-        graph: &Graph,
+        snap: &GraphSnapshot,
         prepared: &iyp_cypher::Prepared,
         params: &Params,
         limits: ExecLimits,
@@ -303,7 +306,7 @@ impl QueryCache {
         let compiled = prepared.compiled.as_deref();
         let Some(t) = &self.timers else {
             return Ok(Arc::new(iyp_cypher::execute_prepared_with_limits(
-                graph,
+                snap.graph(),
                 &prepared.query,
                 compiled,
                 params,
@@ -313,7 +316,7 @@ impl QueryCache {
         let plan0 = iyp_cypher::plan::plan_time_ns();
         let t0 = Instant::now();
         let result = iyp_cypher::execute_prepared_with_limits(
-            graph,
+            snap.graph(),
             &prepared.query,
             compiled,
             params,
@@ -351,16 +354,16 @@ impl QueryCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iyp_graphdb::{props, Props, Value};
+    use iyp_graphdb::{props, Graph, Props, Value};
 
-    fn tiny_graph() -> Graph {
+    fn tiny_graph() -> GraphSnapshot {
         let mut g = Graph::new();
         let a = g.add_node(["AS"], props!("asn" => 2497i64, "name" => "IIJ"));
         let b = g.add_node(["AS"], props!("asn" => 15169i64, "name" => "Google"));
         let c = g.add_node(["Country"], props!("country_code" => "JP"));
         g.add_rel(a, "COUNTRY", c, Props::new()).unwrap();
         g.add_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
-        g
+        GraphSnapshot::new(g, 1)
     }
 
     #[test]
@@ -411,15 +414,17 @@ mod tests {
 
     #[test]
     fn write_bumps_epoch_and_invalidates() {
-        let mut g = tiny_graph();
+        let snap = tiny_graph();
         let cache = QueryCache::new(CacheConfig::default());
         let q = "MATCH (a:AS) RETURN count(a)";
-        let before = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        let before = cache.get_or_execute(&snap, q, &Params::new()).unwrap();
         assert_eq!(before.rows[0][0], Value::Int(2));
 
+        let mut g = snap.into_graph();
         iyp_cypher::update(&mut g, "CREATE (x:AS {asn: 64512})").unwrap();
+        let snap = GraphSnapshot::new(g, 2);
 
-        let after = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        let after = cache.get_or_execute(&snap, q, &Params::new()).unwrap();
         assert_eq!(
             after.rows[0][0],
             Value::Int(3),

@@ -23,3 +23,9 @@
 
 /// Histogram family for pipeline stage latencies (`stage` label).
 pub const STAGE_METRIC: &str = "chatiyp_stage_seconds";
+
+/// Histogram family for snapshot publishes (`stage` label: `apply` for
+/// the off-lock clone + batch application, `swap` for the pointer swap —
+/// the only window a reader's snapshot acquisition can wait on).
+/// Recorded by [`crate::ChatIyp::ingest`].
+pub const SWAP_METRIC: &str = "chatiyp_snapshot_swap_seconds";

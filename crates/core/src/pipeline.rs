@@ -3,12 +3,12 @@
 
 use crate::cache::QueryCache;
 use crate::config::ChatIypConfig;
-use crate::obs::STAGE_METRIC;
+use crate::obs::{STAGE_METRIC, SWAP_METRIC};
 use crate::response::{ChatResponse, ContextChunk, Route, Timings};
 use crate::retriever::{StructuredRetrieval, TextToCypherRetriever, VectorContextRetriever};
 use iyp_data::IypDataset;
 use iyp_embed::tokenize::words;
-use iyp_graphdb::Graph;
+use iyp_graphdb::{DeltaBatch, DeltaError, GraphSnapshot, GraphStore, SwapReport};
 use iyp_llm::{generate_answer, EntityCatalog, Reranker, SimLm, Translator};
 use iyp_obs::{Registry, RingSink, Trace, TraceSink, TraceTree};
 use std::sync::Arc;
@@ -16,14 +16,16 @@ use std::time::Instant;
 
 /// The assembled ChatIYP system.
 ///
-/// The graph lives behind an [`Arc`] so callers holding the pipeline can
-/// hand out cheap shared handles ([`ChatIyp::graph_arc`]) — the server's
-/// worker pool serves direct-Cypher reads from the same allocation the
-/// pipeline queries, with no copy and no re-wrapping. Every stage takes
-/// `&self`, so one instance answers concurrent [`ChatIyp::ask`] calls
-/// from many threads.
+/// The graph lives inside a [`GraphStore`]: readers resolve the current
+/// immutable [`GraphSnapshot`] once per request ([`ChatIyp::snapshot`])
+/// and run the whole request against it, while [`ChatIyp::ingest`]
+/// applies a [`DeltaBatch`] off to the side and publishes the result
+/// with a single pointer swap — queries in flight keep their snapshot,
+/// new queries see the new version. Every stage takes `&self`, so one
+/// instance answers concurrent [`ChatIyp::ask`] calls from many
+/// threads.
 pub struct ChatIyp {
-    graph: Arc<Graph>,
+    store: Arc<GraphStore>,
     config: ChatIypConfig,
     lm: SimLm,
     text2cypher: TextToCypherRetriever,
@@ -53,7 +55,7 @@ impl ChatIyp {
         cache.attach_registry(&registry);
         let traces = Arc::new(RingSink::new(config.trace_ring_capacity));
         ChatIyp {
-            graph: Arc::new(dataset.graph),
+            store: Arc::new(GraphStore::new(dataset.graph)),
             config,
             lm: lm.clone(),
             text2cypher: TextToCypherRetriever::new(translator),
@@ -65,15 +67,36 @@ impl ChatIyp {
         }
     }
 
-    /// The underlying graph (read access for direct Cypher, stats, …).
-    pub fn graph(&self) -> &Graph {
-        &self.graph
+    /// The versioned store the pipeline reads through.
+    pub fn store(&self) -> &Arc<GraphStore> {
+        &self.store
     }
 
-    /// A shared handle to the underlying graph. Clones of the handle
-    /// alias the same graph the pipeline itself queries.
-    pub fn graph_arc(&self) -> Arc<Graph> {
-        Arc::clone(&self.graph)
+    /// Resolves the current graph snapshot. Callers should resolve once
+    /// per request and use the returned handle throughout — it is
+    /// immutable, so every read within the request is consistent even
+    /// while an ingest publishes a newer version.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        self.store.load()
+    }
+
+    /// Applies a mutation batch and publishes the resulting graph as the
+    /// next snapshot version. In-flight requests keep the snapshot they
+    /// resolved; the epoch-keyed query cache invalidates lazily (entries
+    /// recorded against the old snapshot can never validate against the
+    /// new one). Records `apply`/`swap` latencies into [`SWAP_METRIC`].
+    ///
+    /// Note: the vector store and entity catalog are built at
+    /// construction and are not rebuilt on ingest — semantic fallback
+    /// answers may lag the graph until the process reloads (documented
+    /// in DESIGN.md).
+    pub fn ingest(&self, batch: &DeltaBatch) -> Result<SwapReport, DeltaError> {
+        let report = self.store.ingest(batch)?;
+        self.registry
+            .observe(SWAP_METRIC, &[("stage", "apply")], report.apply);
+        self.registry
+            .observe(SWAP_METRIC, &[("stage", "swap")], report.swap);
+        Ok(report)
     }
 
     /// The active configuration.
@@ -132,10 +155,13 @@ impl ChatIyp {
 
         // Stage 2a: TextToCypherRetriever (with optional self-correction
         // retries on failed/empty executions).
+        // One snapshot for the whole request: all reads below are
+        // consistent even if an ingest swaps in a new version mid-ask.
+        let snap = self.store.load();
         let structured: Option<StructuredRetrieval> = if self.config.enable_text2cypher {
             let _s = trace.span("text2cypher");
             Some(self.text2cypher.retrieve_cached_with_limits(
-                &self.graph,
+                &snap,
                 question,
                 self.config.max_retries,
                 Some(&self.cache),
@@ -323,9 +349,9 @@ mod tests {
         assert!(cy.contains("POPULATION"), "cypher: {cy}");
         assert!(cy.contains("2497"));
         // The answer carries the actual percent from the graph.
-        let pct = chat.graph().clone();
+        let snap = chat.snapshot();
         let gold = iyp_cypher::query(
-            &pct,
+            snap.graph(),
             "MATCH (a:AS {asn: 2497})-[p:POPULATION]->(c:Country {country_code: 'JP'}) RETURN p.percent",
         )
         .unwrap();
@@ -419,13 +445,56 @@ mod tests {
         assert_eq!(cold.query_result, warm.query_result);
     }
 
-    /// Graph handles from `graph_arc` alias the pipeline's own graph.
+    /// Snapshot handles alias the pipeline's own current snapshot until
+    /// an ingest publishes a new one.
     #[test]
-    fn graph_arc_shares_the_pipeline_graph() {
+    fn snapshot_shares_the_pipeline_graph_until_ingest() {
         let chat = perfect();
-        let handle = chat.graph_arc();
-        assert!(std::ptr::eq(handle.as_ref(), chat.graph()));
-        assert_eq!(handle.node_count(), chat.graph().node_count());
+        let a = chat.snapshot();
+        let b = chat.snapshot();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.version(), 1);
+
+        let mut batch = DeltaBatch::new();
+        batch.add_node(["AS"], iyp_graphdb::props!("asn" => 64512i64));
+        let report = chat.ingest(&batch).unwrap();
+        assert_eq!((report.old_version, report.new_version), (1, 2));
+
+        let c = chat.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.version(), 2);
+        assert_eq!(c.node_count(), a.node_count() + 1);
+        // The pre-ingest handle is untouched.
+        assert_eq!(a.version(), 1);
+    }
+
+    /// Ingest invalidates cached answers: a count computed against the
+    /// old snapshot is never served against the new one.
+    #[test]
+    fn ingest_invalidates_cached_cypher_results() {
+        let chat = perfect();
+        let q = "MATCH (a:AS) RETURN count(a)";
+        let snap = chat.snapshot();
+        let before = chat
+            .query_cache()
+            .get_or_execute(&snap, q, &iyp_cypher::Params::new())
+            .unwrap();
+
+        let mut batch = DeltaBatch::new();
+        batch.add_node(["AS"], iyp_graphdb::props!("asn" => 64513i64));
+        chat.ingest(&batch).unwrap();
+
+        let snap = chat.snapshot();
+        let after = chat
+            .query_cache()
+            .get_or_execute(&snap, q, &iyp_cypher::Params::new())
+            .unwrap();
+        let n = |v: &iyp_cypher::QueryResult| match v.rows[0][0] {
+            iyp_graphdb::Value::Int(n) => n,
+            _ => panic!("count not an int"),
+        };
+        assert_eq!(n(&after), n(&before) + 1, "stale count served after ingest");
+        assert!(chat.query_cache().stats().invalidations >= 1);
     }
 
     /// At a low skill, self-correction retries should answer strictly

@@ -5,7 +5,7 @@ use crate::cache::QueryCache;
 use crate::response::ContextChunk;
 use iyp_cypher::QueryResult;
 use iyp_embed::DocStore;
-use iyp_graphdb::Graph;
+use iyp_graphdb::{Graph, GraphSnapshot};
 use iyp_llm::{Translation, Translator};
 
 /// The outcome of the structured retrieval stage.
@@ -39,9 +39,9 @@ impl TextToCypherRetriever {
         TextToCypherRetriever { translator }
     }
 
-    /// Translates and executes.
-    pub fn retrieve(&self, graph: &Graph, question: &str) -> StructuredRetrieval {
-        self.retrieve_with_retries(graph, question, 0)
+    /// Translates and executes against one snapshot.
+    pub fn retrieve(&self, snap: &GraphSnapshot, question: &str) -> StructuredRetrieval {
+        self.retrieve_with_retries(snap, question, 0)
     }
 
     /// Translates and executes with up to `max_retries` self-correction
@@ -50,11 +50,11 @@ impl TextToCypherRetriever {
     /// The last attempt is returned when none succeed.
     pub fn retrieve_with_retries(
         &self,
-        graph: &Graph,
+        snap: &GraphSnapshot,
         question: &str,
         max_retries: u32,
     ) -> StructuredRetrieval {
-        self.retrieve_cached(graph, question, max_retries, None)
+        self.retrieve_cached(snap, question, max_retries, None)
     }
 
     /// [`TextToCypherRetriever::retrieve_with_retries`], executing
@@ -63,13 +63,13 @@ impl TextToCypherRetriever {
     /// same Cypher) skip parse and execution entirely.
     pub fn retrieve_cached(
         &self,
-        graph: &Graph,
+        snap: &GraphSnapshot,
         question: &str,
         max_retries: u32,
         cache: Option<&QueryCache>,
     ) -> StructuredRetrieval {
         self.retrieve_cached_with_limits(
-            graph,
+            snap,
             question,
             max_retries,
             cache,
@@ -82,7 +82,7 @@ impl TextToCypherRetriever {
     /// deadline-free morsel parallelism.
     pub fn retrieve_cached_with_limits(
         &self,
-        graph: &Graph,
+        snap: &GraphSnapshot,
         question: &str,
         max_retries: u32,
         cache: Option<&QueryCache>,
@@ -91,7 +91,7 @@ impl TextToCypherRetriever {
         let run = |cy: &str| -> Result<QueryResult, String> {
             match cache {
                 Some(cache) => cache
-                    .get_or_execute_with_limits(graph, cy, &iyp_cypher::Params::new(), limits)
+                    .get_or_execute_with_limits(snap, cy, &iyp_cypher::Params::new(), limits)
                     // The response owns its rows; a hit clones the cached
                     // table (parse + planning + execution still skipped).
                     .map(|arc| (*arc).clone())
@@ -99,7 +99,7 @@ impl TextToCypherRetriever {
                 None => {
                     let q = iyp_cypher::parse(cy).map_err(|e| e.to_string())?;
                     iyp_cypher::execute_read_with_limits(
-                        graph,
+                        snap.graph(),
                         &q,
                         &iyp_cypher::Params::new(),
                         limits,
@@ -198,7 +198,8 @@ mod tests {
             }),
             cat,
         );
-        let r = TextToCypherRetriever::new(t).retrieve(&d.graph, "What is the name of AS2497?");
+        let snap = GraphSnapshot::new(d.graph, 1);
+        let r = TextToCypherRetriever::new(t).retrieve(&snap, "What is the name of AS2497?");
         assert!(r.has_rows());
         assert_eq!(r.result.unwrap().rows[0][0].to_string(), "IIJ");
     }
@@ -208,7 +209,8 @@ mod tests {
         let d = generate(&IypConfig::tiny());
         let cat = EntityCatalog::from_dataset(&d);
         let t = Translator::new(SimLm::with_seed(1), cat);
-        let r = TextToCypherRetriever::new(t).retrieve(&d.graph, "how is the weather?");
+        let snap = GraphSnapshot::new(d.graph, 1);
+        let r = TextToCypherRetriever::new(t).retrieve(&snap, "how is the weather?");
         assert!(!r.has_rows());
         assert!(r.translation.cypher.is_none());
     }

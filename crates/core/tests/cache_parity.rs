@@ -6,25 +6,25 @@ use chatiyp_core::cache::{CacheConfig, QueryCache};
 use iyp_cypher::corpus::PARITY_QUERIES;
 use iyp_cypher::Params;
 use iyp_data::{generate, IypConfig};
-use iyp_graphdb::Graph;
+use iyp_graphdb::{Graph, GraphSnapshot};
 use proptest::prelude::*;
 
 /// Every corpus query: the cold (miss) pass and the warm (hit) pass both
 /// serialize byte-for-byte like direct uncached execution.
 #[test]
 fn cached_results_byte_identical_across_parity_corpus() {
-    let g = generate(&IypConfig::default()).graph;
+    let snap = GraphSnapshot::new(generate(&IypConfig::default()).graph, 1);
     let cache = QueryCache::new(CacheConfig::default());
     for q in PARITY_QUERIES {
-        let uncached = iyp_cypher::query(&g, q).expect("corpus query executes");
+        let uncached = iyp_cypher::query(snap.graph(), q).expect("corpus query executes");
         let golden = serde_json::to_string(&uncached).unwrap();
-        let cold = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        let cold = cache.get_or_execute(&snap, q, &Params::new()).unwrap();
         assert_eq!(
             serde_json::to_string(&*cold).unwrap(),
             golden,
             "cold cache pass diverged: {q}"
         );
-        let warm = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+        let warm = cache.get_or_execute(&snap, q, &Params::new()).unwrap();
         assert_eq!(
             serde_json::to_string(&*warm).unwrap(),
             golden,
@@ -89,27 +89,34 @@ proptest! {
         g.create_index("AS", "asn");
         iyp_cypher::update(&mut g, "CREATE (x:AS {asn: 1, name: 'seed'})").unwrap();
         let cache = QueryCache::new(CacheConfig::default());
+        let mut version = 1u64;
+        let mut snap = GraphSnapshot::new(g, version);
 
         // Warm every probe.
         for q in PROBES {
-            cache.get_or_execute(&g, q, &Params::new()).unwrap();
+            cache.get_or_execute(&snap, q, &Params::new()).unwrap();
         }
 
         for w in writes {
+            // Mutate the graph and republish it as the next snapshot —
+            // the in-place analogue of a store ingest+swap.
+            let mut g = snap.into_graph();
             let epoch_before = g.epoch();
             iyp_cypher::update(&mut g, &w.cypher()).unwrap();
             prop_assert!(g.epoch() > epoch_before, "write did not bump epoch: {}", w.cypher());
+            version += 1;
+            snap = GraphSnapshot::new(g, version);
 
             for q in PROBES {
-                let fresh = iyp_cypher::query(&g, q).unwrap();
-                let via_cache = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+                let fresh = iyp_cypher::query(snap.graph(), q).unwrap();
+                let via_cache = cache.get_or_execute(&snap, q, &Params::new()).unwrap();
                 prop_assert_eq!(
                     serde_json::to_string(&*via_cache).unwrap(),
                     serde_json::to_string(&fresh).unwrap(),
                     "stale result served after {}", w.cypher()
                 );
                 // Immediately repeated read: now a hit, still identical.
-                let hit = cache.get_or_execute(&g, q, &Params::new()).unwrap();
+                let hit = cache.get_or_execute(&snap, q, &Params::new()).unwrap();
                 prop_assert_eq!(
                     serde_json::to_string(&*hit).unwrap(),
                     serde_json::to_string(&fresh).unwrap()

@@ -1,0 +1,180 @@
+//! Concurrent stress test for the versioned read path: reader threads
+//! replay a slice of the parity corpus through the epoch-keyed
+//! [`QueryCache`] while a writer publishes a stream of growth batches.
+//! Every response must be byte-identical to the golden answer for the
+//! snapshot version that served it — a cache hit leaking across an
+//! epoch, or a reader observing a half-applied batch, fails the
+//! fingerprint comparison immediately.
+
+use chatiyp_core::cache::{CacheConfig, QueryCache};
+use iyp_cypher::corpus::PARITY_QUERIES;
+use iyp_cypher::{query, Params};
+use iyp_data::{generate, growth_batch, IypConfig};
+use iyp_graphdb::{Graph, GraphStore};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const WRITER_BATCHES: usize = 6;
+const NEW_AS_PER_BATCH: usize = 4;
+const READERS: usize = 4;
+
+/// Every 4th corpus query — enough shapes to exercise scans, expands and
+/// aggregates without making the golden precompute dominate the test.
+fn corpus_slice() -> Vec<&'static str> {
+    PARITY_QUERIES.iter().step_by(4).copied().collect()
+}
+
+fn goldens_for(g: &Graph, queries: &[&'static str]) -> HashMap<&'static str, String> {
+    queries
+        .iter()
+        .map(|q| (*q, query(g, q).expect("golden executes").fingerprint(true)))
+        .collect()
+}
+
+/// Replays the writer's exact batch sequence on a replica store, so the
+/// golden answers for version `v` come from the byte-identical graph the
+/// live store publishes as version `v`. Both stores start from the same
+/// base graph and `growth_batch` is a pure function of (graph, seed), so
+/// the replicas stay in lockstep by induction.
+fn precompute_goldens(
+    base: &Graph,
+    queries: &[&'static str],
+) -> Vec<HashMap<&'static str, String>> {
+    let replica = GraphStore::new(base.clone());
+    let mut goldens = vec![goldens_for(replica.load().graph(), queries)];
+    for i in 0..WRITER_BATCHES {
+        let snap = replica.load();
+        let batch = growth_batch(snap.graph(), 1000 + i as u64, NEW_AS_PER_BATCH);
+        replica.ingest(&batch).expect("replica batch applies");
+        goldens.push(goldens_for(replica.load().graph(), queries));
+    }
+    goldens
+}
+
+#[test]
+fn concurrent_corpus_replay_is_version_consistent_under_ingest() {
+    let queries = corpus_slice();
+    let base = generate(&IypConfig::tiny()).graph;
+    let goldens = Arc::new(precompute_goldens(&base, &queries));
+
+    let store = Arc::new(GraphStore::new(base));
+    let cache = Arc::new(QueryCache::new(CacheConfig::default()));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            let goldens = Arc::clone(&goldens);
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let params = Params::new();
+                let mut seen = BTreeSet::new();
+                // One extra full pass after the writer signals done, so
+                // every reader verifies the final published version too.
+                let mut done = false;
+                while !done {
+                    done = stop.load(Ordering::Acquire);
+                    for (i, q) in queries.iter().enumerate() {
+                        // One snapshot per query, acquired at query start:
+                        // the version it reports is the version that must
+                        // explain the bytes we get back.
+                        let snap = store.load();
+                        let v = snap.version();
+                        let got = cache
+                            .get_or_execute(&snap, q, &params)
+                            .unwrap_or_else(|e| panic!("reader {t} query failed: {q}\n{e}"))
+                            .fingerprint(true);
+                        let want = &goldens[(v - 1) as usize][q];
+                        assert_eq!(
+                            &got, want,
+                            "reader {t} iter {i}: response did not match golden \
+                             for snapshot version {v} on: {q}"
+                        );
+                        seen.insert(v);
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // Writer: publish the same deterministic batch sequence the goldens
+    // were computed from, pausing briefly so readers interleave.
+    for i in 0..WRITER_BATCHES {
+        let snap = store.load();
+        let batch = growth_batch(snap.graph(), 1000 + i as u64, NEW_AS_PER_BATCH);
+        let report = store.ingest(&batch).expect("live batch applies");
+        assert_eq!(report.old_version, i as u64 + 1);
+        assert_eq!(report.new_version, i as u64 + 2);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::Release);
+
+    let mut seen = BTreeSet::new();
+    for h in readers {
+        seen.extend(h.join().expect("no reader panicked"));
+    }
+    assert_eq!(store.version(), WRITER_BATCHES as u64 + 1);
+    // Every reader's final pass ran after the last publish, so the final
+    // version is always observed; version 1 is observed because readers
+    // start before the writer's first publish completes its first sleep.
+    assert!(
+        seen.contains(&(WRITER_BATCHES as u64 + 1)),
+        "no reader saw the final version: {seen:?}"
+    );
+    assert!(seen.len() >= 2, "readers never spanned a publish: {seen:?}");
+
+    let stats = cache.stats();
+    assert!(stats.hits > 0, "stress run never hit the cache: {stats:?}");
+}
+
+/// Deterministic zero-stale-hits check, no timing involved: prime the
+/// cache at version 1, publish, and look the same query up through the
+/// new snapshot — the old entry must be invalidated, never returned.
+#[test]
+fn cache_entries_never_leak_across_a_publish() {
+    let store = GraphStore::new(generate(&IypConfig::tiny()).graph);
+    let cache = QueryCache::new(CacheConfig::default());
+    let params = Params::new();
+    let q = "MATCH (a:AS) RETURN count(a)";
+
+    let snap1 = store.load();
+    let before = cache
+        .get_or_execute(&snap1, q, &params)
+        .unwrap()
+        .fingerprint(true);
+
+    let batch = growth_batch(snap1.graph(), 7, 3);
+    store.ingest(&batch).expect("batch applies");
+
+    let snap2 = store.load();
+    let after = cache
+        .get_or_execute(&snap2, q, &params)
+        .unwrap()
+        .fingerprint(true);
+    assert_ne!(after, before, "post-publish lookup served the stale count");
+
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits, 0,
+        "cross-epoch lookup counted as a hit: {stats:?}"
+    );
+    assert_eq!(stats.misses, 2);
+    assert_eq!(
+        stats.invalidations, 1,
+        "stale entry was not invalidated: {stats:?}"
+    );
+
+    // The held version-1 snapshot still answers with its own bytes —
+    // and now hits, because its epoch still matches its cache entry...
+    // except the entry was just invalidated, so it re-executes and
+    // caches per-epoch again.
+    let replay = cache
+        .get_or_execute(&snap1, q, &params)
+        .unwrap()
+        .fingerprint(true);
+    assert_eq!(replay, before, "held snapshot drifted after a publish");
+}

@@ -1,0 +1,407 @@
+//! Delta batches: serializable mutation sets applied atomically by the
+//! [`crate::store::GraphStore`].
+//!
+//! A [`DeltaBatch`] is an ordered list of [`DeltaOp`]s — the wire format
+//! of one IYP ingest (new BGP/WHOIS/APNIC data expressed as node and
+//! relationship changes). Ops reference nodes either by their existing id
+//! or positionally, as "the `i`-th node this batch creates"
+//! ([`NodeRef::New`]), so a batch can wire fresh nodes together before
+//! any id is known.
+//!
+//! Application is all-or-nothing *by construction*: the store applies a
+//! batch to a private copy of the current snapshot's graph, so a failing
+//! op simply discards the copy — readers never observe a half-applied
+//! batch.
+
+use crate::graph::{Graph, GraphError, NodeId, RelId};
+use crate::props::Props;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node reference inside a batch: an id that already exists in the
+/// target snapshot, or the index of a node the same batch creates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// A node that exists in the snapshot the batch is applied to.
+    Existing(NodeId),
+    /// The `i`-th node created by this batch's `AddNode` ops (0-based,
+    /// in op order).
+    New(usize),
+}
+
+impl From<NodeId> for NodeRef {
+    fn from(id: NodeId) -> Self {
+        NodeRef::Existing(id)
+    }
+}
+
+/// One mutation inside a [`DeltaBatch`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DeltaOp {
+    /// Create a node with the given labels and properties.
+    AddNode {
+        /// Label names (interned on apply).
+        labels: Vec<String>,
+        /// Initial properties.
+        props: Props,
+    },
+    /// Create a relationship `src -[ty]-> dst`.
+    AddRel {
+        /// Source endpoint.
+        src: NodeRef,
+        /// Relationship type name.
+        ty: String,
+        /// Target endpoint.
+        dst: NodeRef,
+        /// Relationship properties.
+        props: Props,
+    },
+    /// Set (or with `Value::Null`, clear) one node property.
+    SetNodeProp {
+        /// The node to update.
+        node: NodeRef,
+        /// Property key.
+        key: String,
+        /// New value.
+        value: Value,
+    },
+    /// Set one relationship property.
+    SetRelProp {
+        /// The relationship to update (existing rels only — a rel this
+        /// batch creates can carry its properties in `AddRel`).
+        rel: RelId,
+        /// Property key.
+        key: String,
+        /// New value.
+        value: Value,
+    },
+    /// Add a label to a node.
+    AddLabel {
+        /// The node to label.
+        node: NodeRef,
+        /// Label name.
+        label: String,
+    },
+    /// Detach-delete a node (all its relationships go with it).
+    RemoveNode {
+        /// The node to remove.
+        node: NodeRef,
+    },
+    /// Remove a relationship.
+    RemoveRel {
+        /// The relationship to remove.
+        rel: RelId,
+    },
+    /// Create (and backfill) a hash index on `(label, key)`.
+    CreateIndex {
+        /// Label name.
+        label: String,
+        /// Property key.
+        key: String,
+    },
+}
+
+/// Errors raised while applying a batch. The failing op's index is
+/// reported so ingest clients can pinpoint the bad entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A [`NodeRef::New`] pointed past the nodes the batch created so far.
+    UnknownNewNode {
+        /// Index of the failing op within the batch.
+        op: usize,
+        /// The out-of-range `New` index.
+        index: usize,
+    },
+    /// The underlying graph mutation failed (missing node/rel).
+    Graph {
+        /// Index of the failing op within the batch.
+        op: usize,
+        /// The graph-level error.
+        source: GraphError,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::UnknownNewNode { op, index } => {
+                write!(
+                    f,
+                    "op {op}: NodeRef::New({index}) not created by this batch"
+                )
+            }
+            DeltaError::Graph { op, source } => write!(f, "op {op}: {source}"),
+        }
+    }
+}
+impl std::error::Error for DeltaError {}
+
+/// An ordered, serializable batch of graph mutations.
+///
+/// Build one with the fluent helpers ([`DeltaBatch::add_node`] returns
+/// the [`NodeRef`] later ops use), or deserialize one from the JSON an
+/// ingest client posts to `POST /admin/ingest`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DeltaBatch {
+    /// The mutations, applied in order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Queues a node creation; the returned [`NodeRef`] addresses the new
+    /// node in later ops of the same batch.
+    pub fn add_node<I, S>(&mut self, labels: I, props: Props) -> NodeRef
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let index = self
+            .ops
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::AddNode { .. }))
+            .count();
+        self.ops.push(DeltaOp::AddNode {
+            labels: labels.into_iter().map(Into::into).collect(),
+            props,
+        });
+        NodeRef::New(index)
+    }
+
+    /// Queues a relationship creation.
+    pub fn add_rel(
+        &mut self,
+        src: impl Into<NodeRef>,
+        ty: impl Into<String>,
+        dst: impl Into<NodeRef>,
+        props: Props,
+    ) {
+        self.ops.push(DeltaOp::AddRel {
+            src: src.into(),
+            ty: ty.into(),
+            dst: dst.into(),
+            props,
+        });
+    }
+
+    /// Queues a node property update.
+    pub fn set_node_prop(
+        &mut self,
+        node: impl Into<NodeRef>,
+        key: impl Into<String>,
+        value: impl Into<Value>,
+    ) {
+        self.ops.push(DeltaOp::SetNodeProp {
+            node: node.into(),
+            key: key.into(),
+            value: value.into(),
+        });
+    }
+
+    /// Queues a relationship property update.
+    pub fn set_rel_prop(&mut self, rel: RelId, key: impl Into<String>, value: impl Into<Value>) {
+        self.ops.push(DeltaOp::SetRelProp {
+            rel,
+            key: key.into(),
+            value: value.into(),
+        });
+    }
+
+    /// Queues a label addition.
+    pub fn add_label(&mut self, node: impl Into<NodeRef>, label: impl Into<String>) {
+        self.ops.push(DeltaOp::AddLabel {
+            node: node.into(),
+            label: label.into(),
+        });
+    }
+
+    /// Queues a detach-delete of a node.
+    pub fn remove_node(&mut self, node: impl Into<NodeRef>) {
+        self.ops.push(DeltaOp::RemoveNode { node: node.into() });
+    }
+
+    /// Queues a relationship removal.
+    pub fn remove_rel(&mut self, rel: RelId) {
+        self.ops.push(DeltaOp::RemoveRel { rel });
+    }
+
+    /// Queues an index creation.
+    pub fn create_index(&mut self, label: impl Into<String>, key: impl Into<String>) {
+        self.ops.push(DeltaOp::CreateIndex {
+            label: label.into(),
+            key: key.into(),
+        });
+    }
+
+    /// Applies every op to `graph` in order, returning the number of ops
+    /// applied.
+    ///
+    /// On error the graph is left with a *prefix* of the batch applied —
+    /// callers that need atomicity apply to a scratch copy and discard it
+    /// on failure, which is exactly what
+    /// [`crate::store::GraphStore::ingest`] does.
+    pub fn apply(&self, graph: &mut Graph) -> Result<usize, DeltaError> {
+        let mut created: Vec<NodeId> = Vec::new();
+        let resolve = |r: NodeRef, created: &[NodeId], op: usize| -> Result<NodeId, DeltaError> {
+            match r {
+                NodeRef::Existing(id) => Ok(id),
+                NodeRef::New(i) => created
+                    .get(i)
+                    .copied()
+                    .ok_or(DeltaError::UnknownNewNode { op, index: i }),
+            }
+        };
+        for (i, op) in self.ops.iter().enumerate() {
+            let graph_err = |source: GraphError| DeltaError::Graph { op: i, source };
+            match op {
+                DeltaOp::AddNode { labels, props } => {
+                    created.push(graph.add_node(labels.iter().map(String::as_str), props.clone()));
+                }
+                DeltaOp::AddRel {
+                    src,
+                    ty,
+                    dst,
+                    props,
+                } => {
+                    let src = resolve(*src, &created, i)?;
+                    let dst = resolve(*dst, &created, i)?;
+                    graph
+                        .add_rel(src, ty, dst, props.clone())
+                        .map_err(graph_err)?;
+                }
+                DeltaOp::SetNodeProp { node, key, value } => {
+                    let node = resolve(*node, &created, i)?;
+                    graph
+                        .set_node_prop(node, key, value.clone())
+                        .map_err(graph_err)?;
+                }
+                DeltaOp::SetRelProp { rel, key, value } => {
+                    graph
+                        .set_rel_prop(*rel, key, value.clone())
+                        .map_err(graph_err)?;
+                }
+                DeltaOp::AddLabel { node, label } => {
+                    let node = resolve(*node, &created, i)?;
+                    graph.add_label(node, label).map_err(graph_err)?;
+                }
+                DeltaOp::RemoveNode { node } => {
+                    let node = resolve(*node, &created, i)?;
+                    graph.remove_node(node).map_err(graph_err)?;
+                }
+                DeltaOp::RemoveRel { rel } => {
+                    graph.remove_rel(*rel).map_err(graph_err)?;
+                }
+                DeltaOp::CreateIndex { label, key } => {
+                    graph.create_index(label, key);
+                }
+            }
+        }
+        Ok(self.ops.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    fn seeded() -> (Graph, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_node(["AS"], props!("asn" => 2497i64, "name" => "IIJ"));
+        let jp = g.add_node(["Country"], props!("country_code" => "JP"));
+        g.add_rel(a, "COUNTRY", jp, Props::new()).unwrap();
+        (g, a, jp)
+    }
+
+    #[test]
+    fn batch_creates_and_wires_new_nodes() {
+        let (mut g, a, jp) = seeded();
+        let mut b = DeltaBatch::new();
+        let x = b.add_node(["AS"], props!("asn" => 64500i64, "name" => "NewNet"));
+        b.add_rel(x, "COUNTRY", jp, Props::new());
+        b.add_rel(x, "PEERS_WITH", a, Props::new());
+        b.set_node_prop(a, "name", "IIJ-renamed");
+        let applied = b.apply(&mut g).unwrap();
+        assert_eq!(applied, 4);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.rel_count(), 3);
+        assert_eq!(
+            g.node(a).unwrap().props.get("name"),
+            Some(&Value::from("IIJ-renamed"))
+        );
+        // The new node is wired to both existing nodes.
+        let new_id = g
+            .nodes_with_label("AS")
+            .find(|&id| g.node(id).unwrap().props.get("asn") == Some(&Value::Int(64500)))
+            .unwrap();
+        assert_eq!(g.degree(new_id, crate::graph::Direction::Both), 2);
+    }
+
+    #[test]
+    fn unknown_new_ref_is_reported_with_op_index() {
+        let (mut g, _, _) = seeded();
+        let mut b = DeltaBatch::new();
+        let x = b.add_node(["AS"], Props::new());
+        b.add_rel(NodeRef::New(7), "PEERS_WITH", x, Props::new());
+        let err = b.apply(&mut g).unwrap_err();
+        assert_eq!(err, DeltaError::UnknownNewNode { op: 1, index: 7 });
+    }
+
+    #[test]
+    fn graph_errors_carry_the_op_index() {
+        let (mut g, a, _) = seeded();
+        let mut b = DeltaBatch::new();
+        b.set_node_prop(a, "name", "ok");
+        b.remove_node(NodeId(999));
+        let err = b.apply(&mut g).unwrap_err();
+        assert_eq!(
+            err,
+            DeltaError::Graph {
+                op: 1,
+                source: GraphError::NodeNotFound(NodeId(999)),
+            }
+        );
+    }
+
+    #[test]
+    fn batch_json_roundtrip() {
+        let mut b = DeltaBatch::new();
+        let x = b.add_node(["AS", "Tier1"], props!("asn" => 1i64));
+        b.add_rel(x, "PEERS_WITH", NodeId(0), props!("since" => 2020i64));
+        b.remove_rel(RelId(3));
+        b.create_index("AS", "asn");
+        let json = serde_json::to_string(&b).unwrap();
+        let back: DeltaBatch = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 4);
+        let (mut g1, _, _) = seeded();
+        let (mut g2, _, _) = seeded();
+        // RelId(3) doesn't exist in the seed graph: both fail identically.
+        assert_eq!(b.apply(&mut g1), back.apply(&mut g2));
+    }
+
+    #[test]
+    fn add_node_refs_count_only_add_node_ops() {
+        let mut b = DeltaBatch::new();
+        let x = b.add_node(["A"], Props::new());
+        b.create_index("A", "k");
+        b.set_node_prop(x, "k", 1i64);
+        let y = b.add_node(["B"], Props::new());
+        assert_eq!(x, NodeRef::New(0));
+        assert_eq!(y, NodeRef::New(1));
+    }
+}

@@ -129,6 +129,11 @@ pub struct Graph {
     /// Monotonic write epoch: bumped by every successful mutation, so
     /// caches keyed on query text can detect that previously recorded
     /// results may be stale (see `chatiyp-core`'s query cache).
+    ///
+    /// Persisted by snapshots (`serde(default)` keeps pre-epoch snapshot
+    /// files loadable at epoch 0) so a save → load round-trip cannot
+    /// rewind the counter a cache already observed.
+    #[serde(default)]
     epoch: u64,
 }
 
@@ -152,6 +157,19 @@ impl Graph {
 
     fn bump_epoch(&mut self) {
         self.epoch += 1;
+    }
+
+    /// Raises the epoch to at least `min` (no-op when already there).
+    ///
+    /// Used by [`crate::store::GraphStore`] when swapping in a graph
+    /// whose epoch is not ahead of the snapshot it replaces — e.g. one
+    /// reloaded from an old snapshot file — so epoch-keyed cache entries
+    /// recorded against the previous snapshot can never validate against
+    /// the new one.
+    pub fn raise_epoch_to(&mut self, min: u64) {
+        if self.epoch < min {
+            self.epoch = min;
+        }
     }
 
     /// Adds a node with the given labels and properties, returning its id.

@@ -26,18 +26,22 @@
 
 pub mod algo;
 pub mod dbhits;
+pub mod delta;
 pub mod graph;
 pub mod index;
 pub mod intern;
 pub mod props;
 pub mod snapshot;
 pub mod stats;
+pub mod store;
 pub mod value;
 
+pub use delta::{DeltaBatch, DeltaError, DeltaOp, NodeRef};
 pub use graph::{Direction, Graph, GraphError, NodeId, NodeRecord, RelId, RelRecord};
 pub use intern::{Interner, Sym};
 pub use props::Props;
 pub use stats::GraphStats;
+pub use store::{GraphSnapshot, GraphStore, SwapReport};
 pub use value::{Value, ValueError, ValueKey};
 
 /// A thread-shareable graph handle. The Cypher executor reads through a

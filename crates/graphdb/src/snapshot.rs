@@ -1,10 +1,24 @@
 //! Graph snapshots: JSON serialization to disk and back.
 //!
-//! The on-disk format is the serde representation of [`Graph`]; transient
-//! lookup tables are rebuilt on load. Snapshots make experiment runs
-//! reproducible without regenerating the synthetic dataset.
+//! Two on-disk formats live here:
+//!
+//! * the **bare graph** format ([`to_json`]/[`from_json`]) — the serde
+//!   representation of [`Graph`], including its write epoch, so a
+//!   save → load round-trip cannot rewind the counter the query cache
+//!   keys on;
+//! * the **versioned envelope** ([`snapshot_to_json`] /
+//!   [`snapshot_from_json`]) — `{"version": v, "graph": {…}}`, which
+//!   additionally preserves the [`GraphSnapshot`]'s store-assigned
+//!   publish version so a server restarted from disk resumes the version
+//!   sequence instead of resetting to 1.
+//!
+//! Transient lookup tables are rebuilt on load. Snapshots make
+//! experiment runs reproducible without regenerating the synthetic
+//! dataset.
 
 use crate::graph::Graph;
+use crate::store::GraphSnapshot;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
 use std::io;
@@ -59,6 +73,45 @@ pub fn load(path: impl AsRef<Path>) -> Result<Graph, SnapshotError> {
     from_json(&fs::read_to_string(path)?)
 }
 
+/// The versioned envelope: the graph plus the publish version the store
+/// assigned to the snapshot it was taken from.
+#[derive(Serialize, Deserialize)]
+struct VersionedEnvelope {
+    version: u64,
+    graph: Graph,
+}
+
+/// Serializes a [`GraphSnapshot`] (graph + publish version) to JSON.
+pub fn snapshot_to_json(snapshot: &GraphSnapshot) -> Result<String, SnapshotError> {
+    let env = VersionedEnvelope {
+        version: snapshot.version(),
+        graph: snapshot.graph().clone(),
+    };
+    serde_json::to_string(&env).map_err(|e| SnapshotError::Format(e.to_string()))
+}
+
+/// Deserializes a [`GraphSnapshot`] from the versioned envelope format.
+pub fn snapshot_from_json(json: &str) -> Result<GraphSnapshot, SnapshotError> {
+    let mut env: VersionedEnvelope =
+        serde_json::from_str(json).map_err(|e| SnapshotError::Format(e.to_string()))?;
+    env.graph.after_deserialize();
+    Ok(GraphSnapshot::new(env.graph, env.version))
+}
+
+/// Writes a versioned snapshot file.
+pub fn save_snapshot(
+    snapshot: &GraphSnapshot,
+    path: impl AsRef<Path>,
+) -> Result<(), SnapshotError> {
+    fs::write(path, snapshot_to_json(snapshot)?)?;
+    Ok(())
+}
+
+/// Reads a versioned snapshot file.
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<GraphSnapshot, SnapshotError> {
+    snapshot_from_json(&fs::read_to_string(path)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +143,96 @@ mod tests {
             back.index_lookup("AS", "asn", &Value::Int(2497)),
             Some(vec![a])
         );
+    }
+
+    /// Regression (PR 5): a save → mutate → load round-trip must not
+    /// rewind the write epoch, or an epoch-keyed cache could serve bytes
+    /// computed against the pre-save graph to readers of the reloaded
+    /// one.
+    #[test]
+    fn epoch_survives_save_mutate_load() {
+        let mut g = Graph::new();
+        let a = g.add_node(["AS"], props!("asn" => 1i64));
+        g.add_node(["AS"], props!("asn" => 2i64));
+        let saved_epoch = g.epoch();
+        assert!(saved_epoch > 0);
+        let json = to_json(&g).unwrap();
+
+        // Mutations after the save advance the live graph's epoch...
+        g.set_node_prop(a, "asn", 99i64).unwrap();
+        assert!(g.epoch() > saved_epoch);
+
+        // ...and the reload resumes from the saved epoch, not from 0.
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.epoch(), saved_epoch, "reload rewound the epoch");
+
+        // Further writes on the reloaded graph keep advancing it.
+        let mut back = back;
+        back.set_node_prop(a, "asn", 100i64).unwrap();
+        assert!(back.epoch() > saved_epoch);
+    }
+
+    /// Pre-epoch snapshot files (no `epoch` field) still load, at epoch 0.
+    #[test]
+    fn legacy_snapshot_without_epoch_loads_at_zero() {
+        let g = {
+            let mut g = Graph::new();
+            g.add_node(["AS"], props!("asn" => 1i64));
+            g
+        };
+        let mut v: serde_json::Value = serde_json::from_str(&to_json(&g).unwrap()).unwrap();
+        if let serde_json::Value::Map(entries) = &mut v {
+            entries.retain(|(k, _)| k != "epoch");
+        }
+        let back = from_json(&v.to_string()).unwrap();
+        assert_eq!(back.epoch(), 0);
+        assert_eq!(back.node_count(), 1);
+    }
+
+    /// The versioned envelope preserves both the publish version and the
+    /// epoch across a round-trip.
+    #[test]
+    fn versioned_envelope_roundtrip() {
+        let mut g = Graph::new();
+        g.add_node(["AS"], props!("asn" => 2497i64));
+        g.create_index("AS", "asn");
+        let epoch = g.epoch();
+        let snap = crate::store::GraphSnapshot::new(g, 17);
+
+        let back = snapshot_from_json(&snapshot_to_json(&snap).unwrap()).unwrap();
+        assert_eq!(back.version(), 17);
+        assert_eq!(back.epoch(), epoch);
+        assert_eq!(back.node_count(), 1);
+        // Interner + index survive through the envelope too.
+        assert_eq!(
+            back.index_lookup("AS", "asn", &Value::Int(2497))
+                .map(|ids| ids.len()),
+            Some(1)
+        );
+    }
+
+    /// A reloaded snapshot republished into a store can never regress
+    /// the epoch a cache already observed: the store raises it.
+    #[test]
+    fn reloaded_snapshot_republish_keeps_epoch_monotonic() {
+        let mut g = Graph::new();
+        g.add_node(["AS"], props!("asn" => 1i64));
+        let json = to_json(&g).unwrap();
+
+        let store = crate::store::GraphStore::new(g);
+        // The live graph moves on past the saved file.
+        let mut batch = crate::delta::DeltaBatch::new();
+        batch.add_node(["AS"], props!("asn" => 2i64));
+        for _ in 0..5 {
+            store.ingest(&batch).unwrap();
+        }
+        let live_epoch = store.load().epoch();
+
+        // Restoring the old file must not take the epoch backwards.
+        let reloaded = from_json(&json).unwrap();
+        assert!(reloaded.epoch() < live_epoch);
+        store.publish(reloaded);
+        assert!(store.load().epoch() > live_epoch);
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! The versioned graph store: snapshot-isolated reads with live ingest.
+//!
+//! A [`GraphStore`] owns the current immutable [`GraphSnapshot`] behind a
+//! swappable shared pointer. Readers call [`GraphStore::load`] **once at
+//! query start** and execute the whole query against that snapshot — the
+//! graph inside a published snapshot is never mutated again, so there are
+//! no torn reads and no locks on the query hot path. Writers build the
+//! next graph off-line (clone current + apply a [`DeltaBatch`], or a
+//! full [`GraphStore::publish`]) and make it visible with a single
+//! pointer swap.
+//!
+//! The swap itself is the only moment readers and the writer meet: the
+//! read side clones an `Arc` under a briefly-held read lock (a few
+//! atomic ops), and the writer holds the write lock only for the pointer
+//! store. All the expensive work — cloning the graph, applying the
+//! batch — happens outside any lock, so a multi-second ingest never
+//! stalls a query.
+//!
+//! ## Versions, epochs and the query cache
+//!
+//! Each snapshot carries a **version** (1 for the first publish, +1 per
+//! swap) and exposes its graph's write **epoch**. The store maintains
+//! the invariant that a newly published snapshot's epoch is strictly
+//! greater than its predecessor's whenever the data could differ
+//! ([`Graph::raise_epoch_to`]), so epoch-keyed caches (see
+//! `chatiyp-core`'s `QueryCache`) can never serve bytes computed against
+//! one snapshot to a reader holding another.
+
+use crate::delta::{DeltaBatch, DeltaError};
+use crate::graph::Graph;
+use parking_lot::{Mutex, RwLock};
+use std::ops::Deref;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An immutable, versioned view of the graph.
+///
+/// Dereferences to [`Graph`], so every read-only `Graph` API works on a
+/// snapshot unchanged; the extra state is the publish [`version`] the
+/// store assigned.
+///
+/// [`version`]: GraphSnapshot::version
+#[derive(Debug)]
+pub struct GraphSnapshot {
+    graph: Graph,
+    version: u64,
+}
+
+impl GraphSnapshot {
+    /// Wraps a graph as a snapshot at an explicit version. Mostly useful
+    /// in tests and tools; live systems get snapshots from a
+    /// [`GraphStore`].
+    pub fn new(graph: Graph, version: u64) -> Self {
+        GraphSnapshot { graph, version }
+    }
+
+    /// The store-assigned publish version (1-based; strictly increases
+    /// across swaps).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The wrapped graph's write epoch — the cache-correctness token.
+    pub fn epoch(&self) -> u64 {
+        self.graph.epoch()
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Unwraps into the graph (tools that want to mutate a copy).
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+impl Deref for GraphSnapshot {
+    type Target = Graph;
+    fn deref(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+/// What one publish/ingest did, returned to the caller (and serialized
+/// by the server's `POST /admin/ingest`).
+#[derive(Debug, Clone)]
+pub struct SwapReport {
+    /// Version readers saw before the swap.
+    pub old_version: u64,
+    /// Version readers see after the swap.
+    pub new_version: u64,
+    /// Ops applied (0 for a full `publish`).
+    pub ops_applied: usize,
+    /// Live nodes in the new snapshot.
+    pub nodes: usize,
+    /// Live relationships in the new snapshot.
+    pub rels: usize,
+    /// Time spent building the new graph (clone + batch apply), outside
+    /// any lock.
+    pub apply: Duration,
+    /// Time the pointer swap held the write lock — the only window in
+    /// which a reader's `load` can wait.
+    pub swap: Duration,
+}
+
+/// The swappable holder of the current [`GraphSnapshot`].
+///
+/// Cheap to share (`Arc<GraphStore>`); see the module docs for the
+/// concurrency model.
+pub struct GraphStore {
+    current: RwLock<Arc<GraphSnapshot>>,
+    /// Serializes writers: batches are applied one at a time, each on
+    /// top of the snapshot the previous one published.
+    writer: Mutex<()>,
+}
+
+impl GraphStore {
+    /// Publishes `graph` as version 1 and returns the store.
+    pub fn new(graph: Graph) -> Self {
+        GraphStore {
+            current: RwLock::new(Arc::new(GraphSnapshot::new(graph, 1))),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Acquires the current snapshot. Call once at query start and use
+    /// the returned handle for the whole query — later swaps don't
+    /// affect it, and dropping it releases the old graph's memory once
+    /// the last reader finishes.
+    pub fn load(&self) -> Arc<GraphSnapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The current published version.
+    pub fn version(&self) -> u64 {
+        self.current.read().version
+    }
+
+    /// Replaces the graph wholesale (a re-generated dataset, a snapshot
+    /// file reload). The incoming graph's epoch is raised above the old
+    /// snapshot's if needed, so cache entries keyed to the old snapshot
+    /// can never validate against the new one.
+    pub fn publish(&self, graph: Graph) -> SwapReport {
+        let _w = self.writer.lock();
+        self.publish_locked(graph, 0, Duration::ZERO)
+    }
+
+    /// Applies `batch` to a copy of the current snapshot and publishes
+    /// the result. Readers keep executing against the old snapshot for
+    /// the whole apply; a failing op discards the copy and publishes
+    /// nothing.
+    pub fn ingest(&self, batch: &DeltaBatch) -> Result<SwapReport, DeltaError> {
+        let _w = self.writer.lock();
+        let base = self.load();
+        let t0 = Instant::now();
+        let mut next = base.graph.clone();
+        let ops_applied = batch.apply(&mut next)?;
+        let apply = t0.elapsed();
+        Ok(self.publish_locked(next, ops_applied, apply))
+    }
+
+    /// Swaps `graph` in as the next version. Caller holds `writer`.
+    fn publish_locked(&self, mut graph: Graph, ops_applied: usize, apply: Duration) -> SwapReport {
+        let old = self.load();
+        // Epoch monotonicity across swaps: an arbitrary published graph
+        // (or an ingest that only re-added existing labels) may carry an
+        // epoch at or below the old snapshot's while holding different
+        // data. Raising it guarantees epoch-keyed cache entries recorded
+        // against the old snapshot miss against the new one.
+        graph.raise_epoch_to(old.epoch() + 1);
+        let next = Arc::new(GraphSnapshot::new(graph, old.version + 1));
+        let report = SwapReport {
+            old_version: old.version,
+            new_version: next.version,
+            ops_applied,
+            nodes: next.node_count(),
+            rels: next.rel_count(),
+            apply,
+            swap: Duration::ZERO,
+        };
+        let t0 = Instant::now();
+        *self.current.write() = next;
+        SwapReport {
+            swap: t0.elapsed(),
+            ..report
+        }
+    }
+}
+
+impl std::fmt::Debug for GraphStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cur = self.load();
+        f.debug_struct("GraphStore")
+            .field("version", &cur.version())
+            .field("epoch", &cur.epoch())
+            .field("nodes", &cur.node_count())
+            .finish()
+    }
+}
+
+// Shared by server workers, the pipeline, and ingest writers.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GraphStore>();
+    assert_send_sync::<GraphSnapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+    use crate::value::Value;
+    use crate::Props;
+
+    fn seed_graph() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node(["AS"], props!("asn" => 2497i64, "name" => "IIJ"));
+        let jp = g.add_node(["Country"], props!("country_code" => "JP"));
+        g.add_rel(a, "COUNTRY", jp, Props::new()).unwrap();
+        g
+    }
+
+    fn grow_batch(asn: i64) -> DeltaBatch {
+        let mut b = DeltaBatch::new();
+        let x = b.add_node(["AS"], props!("asn" => asn));
+        b.add_rel(x, "PEERS_WITH", crate::graph::NodeId(0), Props::new());
+        b
+    }
+
+    #[test]
+    fn first_publish_is_version_one() {
+        let store = GraphStore::new(seed_graph());
+        let snap = store.load();
+        assert_eq!(snap.version(), 1);
+        assert_eq!(snap.node_count(), 2);
+        assert_eq!(store.version(), 1);
+    }
+
+    #[test]
+    fn ingest_publishes_a_new_version_and_old_readers_keep_theirs() {
+        let store = GraphStore::new(seed_graph());
+        let before = store.load();
+        let report = store.ingest(&grow_batch(64500)).unwrap();
+        assert_eq!((report.old_version, report.new_version), (1, 2));
+        assert_eq!(report.ops_applied, 2);
+        assert_eq!(report.nodes, 3);
+
+        let after = store.load();
+        assert_eq!(after.version(), 2);
+        assert_eq!(after.node_count(), 3);
+        // The pre-swap handle still sees the old world, untouched.
+        assert_eq!(before.version(), 1);
+        assert_eq!(before.node_count(), 2);
+        assert!(after.epoch() > before.epoch());
+    }
+
+    #[test]
+    fn failed_ingest_publishes_nothing() {
+        let store = GraphStore::new(seed_graph());
+        let mut bad = grow_batch(64501);
+        bad.remove_node(crate::graph::NodeId(999));
+        let err = store.ingest(&bad).unwrap_err();
+        assert!(matches!(err, DeltaError::Graph { op: 2, .. }));
+        let snap = store.load();
+        assert_eq!(snap.version(), 1);
+        assert_eq!(snap.node_count(), 2, "partial batch leaked into a snapshot");
+    }
+
+    #[test]
+    fn publish_raises_a_regressing_epoch() {
+        let store = GraphStore::new(seed_graph());
+        // Advance the live snapshot's epoch well past a fresh graph's.
+        for i in 0..10 {
+            store.ingest(&grow_batch(64510 + i)).unwrap();
+        }
+        let old_epoch = store.load().epoch();
+        // A freshly built graph has a small epoch; publishing it would
+        // let old cache entries validate if the store didn't raise it.
+        let fresh = seed_graph();
+        assert!(fresh.epoch() < old_epoch);
+        let report = store.publish(fresh);
+        let snap = store.load();
+        assert!(snap.epoch() > old_epoch, "epoch regressed across publish");
+        assert_eq!(snap.version(), report.new_version);
+        assert_eq!(snap.node_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_readers_see_a_consistent_world_during_ingest() {
+        let store = Arc::new(GraphStore::new(seed_graph()));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let mut readers = Vec::new();
+            for _ in 0..4 {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                readers.push(s.spawn(move || {
+                    let mut observed = std::collections::BTreeSet::new();
+                    // One extra iteration after the stop flag flips, so
+                    // every reader is guaranteed to observe the final
+                    // published version (the writer raises the flag only
+                    // after its last swap).
+                    let mut done = false;
+                    while !done {
+                        done = stop.load(std::sync::atomic::Ordering::Acquire);
+                        let snap = store.load();
+                        // Node count is a pure function of the version:
+                        // seed has 2 nodes, each batch adds exactly one.
+                        assert_eq!(snap.node_count() as u64, 1 + snap.version());
+                        observed.insert(snap.version());
+                    }
+                    observed
+                }));
+            }
+            for i in 0..50 {
+                store.ingest(&grow_batch(65000 + i)).unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+            let all: std::collections::BTreeSet<u64> = readers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            assert!(all.contains(&51), "no reader saw the final version");
+        });
+        assert_eq!(store.version(), 51);
+    }
+
+    #[test]
+    fn snapshot_derefs_to_graph() {
+        let snap = GraphSnapshot::new(seed_graph(), 7);
+        assert_eq!(snap.version(), 7);
+        assert_eq!(snap.node_count(), 2);
+        assert_eq!(snap.label_count("AS"), 1);
+        assert_eq!(
+            snap.graph()
+                .node(crate::graph::NodeId(0))
+                .unwrap()
+                .props
+                .get("asn"),
+            Some(&Value::Int(2497))
+        );
+    }
+}

@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod countries;
+pub mod delta;
 pub mod describe;
 pub mod export;
 pub mod generator;
 pub mod schema;
 pub mod topology;
 
+pub use delta::{growth_batch, max_asn};
 pub use describe::{describe_all, NodeDoc};
 pub use generator::{generate, DatasetManifest, IypConfig, IypDataset};

@@ -4,22 +4,72 @@
 //! * `POST /ask` — `{"question": "..."}` → full pipeline response;
 //!   `?trace=1` adds the request's span tree to the response
 //! * `GET  /health` — liveness + graph size
+//! * `GET  /healthz` — readiness: 200 once a snapshot is published,
+//!   503 + `Retry-After` while the initial dataset is still loading
 //! * `GET  /schema` — the IYP schema summary
 //! * `POST /cypher` — `{"query": "..."}` → direct read-only Cypher
 //!   (the expert escape hatch); `PROFILE`/`EXPLAIN` query prefixes
 //!   return per-operator statistics / the plan instead of plain rows
-//! * `GET  /stats` — graph shape + cache counters (JSON)
+//! * `POST /admin/ingest` — a `DeltaBatch` in JSON → applies it and
+//!   swaps in the next snapshot version, reporting old/new version and
+//!   the new graph's node/edge counts
+//! * `GET  /stats` — graph shape + live snapshot version + cache
+//!   counters (JSON)
 //! * `GET  /metrics` — Prometheus text exposition (stage + HTTP
 //!   histograms, cache counters, graph gauges)
+//!
+//! Every request resolves the pipeline's current [`GraphSnapshot`]
+//! **once** in [`handle`] and serves entirely from it, so a concurrent
+//! ingest can never tear a response.
 
 use crate::http::{Request, Response};
 use chatiyp_core::ChatIyp;
-use iyp_graphdb::Graph;
+use iyp_graphdb::{DeltaBatch, GraphSnapshot};
 use iyp_obs::TraceTree;
 use serde::{Deserialize, Serialize};
 use serde_json::json;
 use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Shared server state: the pipeline, published once ready.
+///
+/// The server can start accepting connections before the dataset is
+/// generated/loaded ([`AppState::deferred`] + [`AppState::publish`]);
+/// until then every endpoint answers 503 with a `Retry-After`, and
+/// `GET /healthz` is the probe that flips to 200 on readiness.
+pub struct AppState {
+    chat: OnceLock<Arc<ChatIyp>>,
+}
+
+impl AppState {
+    /// A state that is ready from the start.
+    pub fn ready(chat: Arc<ChatIyp>) -> Self {
+        let state = AppState::deferred();
+        state.publish(chat);
+        state
+    }
+
+    /// A state with no pipeline yet; serve 503s until [`publish`].
+    ///
+    /// [`publish`]: AppState::publish
+    pub fn deferred() -> Self {
+        AppState {
+            chat: OnceLock::new(),
+        }
+    }
+
+    /// Publishes the pipeline, flipping readiness. Returns false when a
+    /// pipeline was already published (the first one wins).
+    pub fn publish(&self, chat: Arc<ChatIyp>) -> bool {
+        self.chat.set(chat).is_ok()
+    }
+
+    /// The pipeline, once published.
+    pub fn chat(&self) -> Option<&Arc<ChatIyp>> {
+        self.chat.get()
+    }
+}
 
 /// Histogram family for HTTP request latencies (`path` label).
 pub const HTTP_METRIC: &str = "chatiyp_http_request_seconds";
@@ -56,13 +106,22 @@ pub struct AskResponse<'a> {
     pub latency_us: u64,
 }
 
-/// Handles one request: dispatches to the route handler, then records
-/// the request into the pipeline's metric registry (latency histogram
-/// per path, request counter per path + status) so `GET /metrics` sees
-/// HTTP traffic alongside the pipeline stages.
-pub fn handle(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
+/// Handles one request: resolves readiness and the current graph
+/// snapshot, dispatches to the route handler, then records the request
+/// into the pipeline's metric registry (latency histogram per path,
+/// request counter per path + status) so `GET /metrics` sees HTTP
+/// traffic alongside the pipeline stages. Before the pipeline is
+/// published, every endpoint answers 503 + `Retry-After` (and nothing
+/// is recorded — there is no registry yet).
+pub fn handle(state: &AppState, req: &Request) -> Response {
+    let Some(chat) = state.chat() else {
+        return not_ready();
+    };
     let t0 = Instant::now();
-    let resp = dispatch(chat, graph, req);
+    // One snapshot per request: every read below sees one version, even
+    // while `/admin/ingest` publishes the next one concurrently.
+    let snap = chat.snapshot();
+    let resp = dispatch(chat, &snap, req);
     let path = metric_path(req.path());
     let registry = chat.registry();
     registry.observe(HTTP_METRIC, &[("path", path)], t0.elapsed());
@@ -74,20 +133,33 @@ pub fn handle(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
     resp
 }
 
-/// Dispatches one request. Graph-only endpoints (`/cypher`, `/health`,
-/// `/stats`) read from the shared `graph` handle — the same allocation
-/// the pipeline queries — so they never touch pipeline state.
-fn dispatch(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
+/// The 503 every route serves while the initial snapshot is loading.
+/// `Retry-After: 1` keeps well-behaved probes cheap.
+fn not_ready() -> Response {
+    Response::json(
+        503,
+        json!({"status": "loading", "error": "snapshot not yet published"}).to_string(),
+    )
+    .with_header("retry-after", "1")
+}
+
+/// Dispatches one request. Graph-reading endpoints (`/cypher`,
+/// `/health`, `/stats`) serve from the request's snapshot — the same
+/// immutable graph the pipeline queries — so they never see a
+/// half-applied ingest.
+fn dispatch(chat: &ChatIyp, snap: &GraphSnapshot, req: &Request) -> Response {
     match (req.method.as_str(), req.path()) {
         ("POST", "/ask") => handle_ask(chat, req),
-        ("POST", "/cypher") => handle_cypher(chat, graph, req),
-        ("GET", "/health") => handle_health(graph),
-        ("GET", "/stats") => handle_stats(chat, graph),
-        ("GET", "/metrics") => handle_metrics(chat, graph),
+        ("POST", "/cypher") => handle_cypher(chat, snap, req),
+        ("POST", "/admin/ingest") => handle_ingest(chat, req),
+        ("GET", "/health") => handle_health(snap),
+        ("GET", "/healthz") => handle_healthz(snap),
+        ("GET", "/stats") => handle_stats(chat, snap),
+        ("GET", "/metrics") => handle_metrics(chat, snap),
         ("GET", "/schema") => Response::text(200, iyp_data::schema::schema_summary()),
         ("GET", _) | ("POST", _) => Response::json(
             404,
-            json!({"error": "unknown endpoint", "endpoints": ["/ask", "/cypher", "/health", "/metrics", "/schema", "/stats"]})
+            json!({"error": "unknown endpoint", "endpoints": ["/admin/ingest", "/ask", "/cypher", "/health", "/healthz", "/metrics", "/schema", "/stats"]})
                 .to_string(),
         ),
         (method, _) => Response::json(
@@ -102,9 +174,11 @@ fn dispatch(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
 /// request targets cannot grow the label set.
 fn metric_path(path: &str) -> &'static str {
     match path {
+        "/admin/ingest" => "/admin/ingest",
         "/ask" => "/ask",
         "/cypher" => "/cypher",
         "/health" => "/health",
+        "/healthz" => "/healthz",
         "/metrics" => "/metrics",
         "/schema" => "/schema",
         "/stats" => "/stats",
@@ -119,6 +193,7 @@ fn status_label(status: u16) -> &'static str {
         400 => "400",
         404 => "404",
         405 => "405",
+        503 => "503",
         _ => "other",
     }
 }
@@ -228,7 +303,7 @@ fn cypher_route(query: &str) -> CypherRoute {
     }
 }
 
-fn handle_cypher(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
+fn handle_cypher(chat: &ChatIyp, snap: &GraphSnapshot, req: &Request) -> Response {
     let parsed: Result<CypherRequest, _> = serde_json::from_slice(&req.body);
     let c = match parsed {
         Err(e) => {
@@ -241,7 +316,7 @@ fn handle_cypher(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
     };
     match cypher_route(&c.query) {
         // `EXPLAIN <query>`: render the plan, execute nothing.
-        CypherRoute::Explain => match iyp_cypher::explain(graph, &c.query) {
+        CypherRoute::Explain => match iyp_cypher::explain(snap.graph(), &c.query) {
             Ok(plan) => Response::json(200, json!({"plan": plan}).to_string()),
             Err(e) => Response::json(400, json!({"error": e.to_string()}).to_string()),
         },
@@ -251,7 +326,7 @@ fn handle_cypher(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
         // db hits are credited back to the profiled operators, so the
         // reported totals are worker-count independent.
         CypherRoute::Profile => match iyp_cypher::profile_with_limits(
-            graph,
+            snap.graph(),
             &c.query,
             &iyp_cypher::Params::new(),
             iyp_cypher::ExecLimits::timeout(std::time::Duration::from_secs(2))
@@ -271,7 +346,7 @@ fn handle_cypher(chat: &ChatIyp, graph: &Graph, req: &Request) -> Response {
         // pathological pattern cannot pin a worker; cold executions use
         // the configured morsel parallelism.
         CypherRoute::Plain => match chat.query_cache().get_or_execute_with_limits(
-            graph,
+            snap,
             &c.query,
             &iyp_cypher::Params::new(),
             iyp_cypher::ExecLimits::timeout(std::time::Duration::from_secs(2))
@@ -331,7 +406,7 @@ fn profile_json(prof: &iyp_cypher::QueryProfile) -> serde_json::Value {
 /// Prometheus text format, followed by cache counters and graph gauges
 /// read at scrape time (they live outside the registry, so they are
 /// appended by hand — see docs/OBSERVABILITY.md).
-fn handle_metrics(chat: &ChatIyp, graph: &Graph) -> Response {
+fn handle_metrics(chat: &ChatIyp, snap: &GraphSnapshot) -> Response {
     let mut out = chat.registry().render_prometheus();
     let cs = chat.query_cache().stats();
 
@@ -375,17 +450,22 @@ fn handle_metrics(chat: &ChatIyp, graph: &Graph) -> Response {
         (
             "chatiyp_graph_nodes",
             "Nodes in the graph.",
-            graph.node_count() as u64,
+            snap.node_count() as u64,
         ),
         (
             "chatiyp_graph_relationships",
             "Relationships in the graph.",
-            graph.rel_count() as u64,
+            snap.rel_count() as u64,
         ),
         (
             "chatiyp_graph_epoch",
             "Graph write epoch (bumps on mutation).",
-            graph.epoch(),
+            snap.epoch(),
+        ),
+        (
+            "chatiyp_graph_version",
+            "Published snapshot version (bumps on ingest/publish).",
+            snap.version(),
         ),
         (
             "chatiyp_query_workers",
@@ -398,13 +478,18 @@ fn handle_metrics(chat: &ChatIyp, graph: &Graph) -> Response {
     Response::text(200, out)
 }
 
-fn handle_stats(chat: &ChatIyp, graph: &Graph) -> Response {
-    let stats = iyp_graphdb::GraphStats::compute(graph);
+fn handle_stats(chat: &ChatIyp, snap: &GraphSnapshot) -> Response {
+    let stats = iyp_graphdb::GraphStats::compute(snap.graph());
     let mut body = serde_json::to_value(&stats);
-    // Graft the cache counters and the graph's write epoch onto the
-    // GraphStats object so operators see hit rates next to graph shape.
+    // Graft the cache counters, the write epoch, and the live snapshot
+    // version onto the GraphStats object so operators see hit rates and
+    // ingest progress next to graph shape.
     if let serde_json::Value::Map(entries) = &mut body {
-        entries.push(("epoch".to_string(), serde_json::to_value(&graph.epoch())));
+        entries.push(("epoch".to_string(), serde_json::to_value(&snap.epoch())));
+        entries.push((
+            "graph_version".to_string(),
+            serde_json::to_value(&snap.version()),
+        ));
         entries.push((
             "cache".to_string(),
             serde_json::to_value(&chat.query_cache().stats()),
@@ -417,16 +502,58 @@ fn handle_stats(chat: &ChatIyp, graph: &Graph) -> Response {
     Response::json(200, body.to_string())
 }
 
-fn handle_health(graph: &Graph) -> Response {
+fn handle_health(snap: &GraphSnapshot) -> Response {
     Response::json(
         200,
         json!({
             "status": "ok",
-            "nodes": graph.node_count(),
-            "relationships": graph.rel_count(),
+            "nodes": snap.node_count(),
+            "relationships": snap.rel_count(),
         })
         .to_string(),
     )
+}
+
+/// Readiness. Reaching this handler means a snapshot is published (the
+/// deferred path answers 503 in [`handle`] before dispatch), so it
+/// reports ready plus the live version for probes that log it.
+fn handle_healthz(snap: &GraphSnapshot) -> Response {
+    Response::json(
+        200,
+        json!({"status": "ready", "graph_version": snap.version()}).to_string(),
+    )
+}
+
+/// `POST /admin/ingest`: applies a [`DeltaBatch`] and publishes the
+/// next snapshot version. Readers in flight keep the snapshot they
+/// resolved; the response reports the version transition and the new
+/// graph's size, plus apply/swap timings in microseconds.
+fn handle_ingest(chat: &ChatIyp, req: &Request) -> Response {
+    let batch: DeltaBatch = match serde_json::from_slice(&req.body) {
+        Err(e) => {
+            return Response::json(
+                400,
+                json!({"error": format!("invalid ingest batch: {e}")}).to_string(),
+            )
+        }
+        Ok(b) => b,
+    };
+    match chat.ingest(&batch) {
+        Ok(report) => Response::json(
+            200,
+            json!({
+                "old_version": report.old_version,
+                "new_version": report.new_version,
+                "ops_applied": report.ops_applied,
+                "nodes": report.nodes,
+                "rels": report.rels,
+                "apply_us": report.apply.as_micros() as u64,
+                "swap_us": report.swap.as_micros() as u64,
+            })
+            .to_string(),
+        ),
+        Err(e) => Response::json(400, json!({"error": e.to_string()}).to_string()),
+    }
 }
 
 #[cfg(test)]
@@ -436,8 +563,8 @@ mod tests {
     use iyp_data::{generate, IypConfig};
     use iyp_llm::LmConfig;
 
-    fn chat() -> ChatIyp {
-        ChatIyp::new(
+    fn chat() -> AppState {
+        AppState::ready(Arc::new(ChatIyp::new(
             generate(&IypConfig::tiny()),
             ChatIypConfig {
                 lm: LmConfig {
@@ -447,7 +574,7 @@ mod tests {
                 },
                 ..Default::default()
             },
-        )
+        )))
     }
 
     fn req(method: &str, path: &str, body: &str) -> Request {
@@ -465,7 +592,6 @@ mod tests {
         let c = chat();
         let r = handle(
             &c,
-            c.graph(),
             &req(
                 "POST",
                 "/ask",
@@ -482,12 +608,9 @@ mod tests {
     #[test]
     fn ask_rejects_bad_json_and_empty_question() {
         let c = chat();
+        assert_eq!(handle(&c, &req("POST", "/ask", "not json")).status, 400);
         assert_eq!(
-            handle(&c, c.graph(), &req("POST", "/ask", "not json")).status,
-            400
-        );
-        assert_eq!(
-            handle(&c, c.graph(), &req("POST", "/ask", r#"{"question":"  "}"#)).status,
+            handle(&c, &req("POST", "/ask", r#"{"question":"  "}"#)).status,
             400
         );
     }
@@ -497,7 +620,6 @@ mod tests {
         let c = chat();
         let r = handle(
             &c,
-            c.graph(),
             &req(
                 "POST",
                 "/cypher",
@@ -510,7 +632,6 @@ mod tests {
         // Write queries are refused.
         let r = handle(
             &c,
-            c.graph(),
             &req("POST", "/cypher", r#"{"query":"CREATE (x:AS {asn: 1})"}"#),
         );
         assert_eq!(r.status, 400);
@@ -519,13 +640,13 @@ mod tests {
     #[test]
     fn health_and_schema() {
         let c = chat();
-        let r = handle(&c, c.graph(), &req("GET", "/health", ""));
+        let r = handle(&c, &req("GET", "/health", ""));
         assert_eq!(r.status, 200);
         let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
         assert_eq!(body["status"], "ok");
         assert!(body["nodes"].as_u64().unwrap() > 0);
 
-        let r = handle(&c, c.graph(), &req("GET", "/schema", ""));
+        let r = handle(&c, &req("GET", "/schema", ""));
         assert_eq!(r.status, 200);
         assert!(String::from_utf8_lossy(&r.body).contains("ORIGINATE"));
     }
@@ -533,7 +654,7 @@ mod tests {
     #[test]
     fn stats_endpoint_reports_graph_shape() {
         let c = chat();
-        let r = handle(&c, c.graph(), &req("GET", "/stats", ""));
+        let r = handle(&c, &req("GET", "/stats", ""));
         assert_eq!(r.status, 200);
         let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
         assert!(body["nodes"].as_u64().unwrap() > 0);
@@ -545,7 +666,7 @@ mod tests {
     #[test]
     fn stats_endpoint_exposes_cache_counters_and_epoch() {
         let c = chat();
-        let r = handle(&c, c.graph(), &req("GET", "/stats", ""));
+        let r = handle(&c, &req("GET", "/stats", ""));
         let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
         // Existing graph-shape keys survive the merge.
         assert!(body["nodes"].as_u64().unwrap() > 0);
@@ -555,15 +676,9 @@ mod tests {
 
         // Two identical /cypher calls: the second is a hit, visible in /stats.
         let q = r#"{"query":"MATCH (a:AS) RETURN count(a)"}"#;
-        assert_eq!(
-            handle(&c, c.graph(), &req("POST", "/cypher", q)).status,
-            200
-        );
-        assert_eq!(
-            handle(&c, c.graph(), &req("POST", "/cypher", q)).status,
-            200
-        );
-        let r = handle(&c, c.graph(), &req("GET", "/stats", ""));
+        assert_eq!(handle(&c, &req("POST", "/cypher", q)).status, 200);
+        assert_eq!(handle(&c, &req("POST", "/cypher", q)).status, 200);
+        let r = handle(&c, &req("GET", "/stats", ""));
         let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
         assert_eq!(body["cache"]["misses"].as_u64(), Some(1));
         assert_eq!(body["cache"]["hits"].as_u64(), Some(1));
@@ -574,8 +689,8 @@ mod tests {
     fn cypher_responses_identical_across_cache_hit() {
         let c = chat();
         let q = r#"{"query":"MATCH (a:AS) RETURN a.asn ORDER BY a.asn"}"#;
-        let cold = handle(&c, c.graph(), &req("POST", "/cypher", q));
-        let warm = handle(&c, c.graph(), &req("POST", "/cypher", q));
+        let cold = handle(&c, &req("POST", "/cypher", q));
+        let warm = handle(&c, &req("POST", "/cypher", q));
         assert_eq!(cold.status, 200);
         assert_eq!(cold.body, warm.body, "cache hit changed the wire bytes");
     }
@@ -585,7 +700,6 @@ mod tests {
         let c = chat();
         let r = handle(
             &c,
-            c.graph(),
             &req(
                 "POST",
                 "/ask?trace=1",
@@ -604,7 +718,6 @@ mod tests {
         // Without the flag, no trace key is grafted on.
         let r = handle(
             &c,
-            c.graph(),
             &req(
                 "POST",
                 "/ask",
@@ -621,7 +734,6 @@ mod tests {
         for target in ["/ask?trace=0", "/ask?trace=false"] {
             let r = handle(
                 &c,
-                c.graph(),
                 &req(
                     "POST",
                     target,
@@ -639,7 +751,6 @@ mod tests {
         let c = chat();
         let r = handle(
             &c,
-            c.graph(),
             &req(
                 "POST",
                 "/cypher",
@@ -669,7 +780,6 @@ mod tests {
         let c = chat();
         let r = handle(
             &c,
-            c.graph(),
             &req(
                 "POST",
                 "/cypher",
@@ -688,7 +798,6 @@ mod tests {
         let c = chat();
         let r = handle(
             &c,
-            c.graph(),
             &req(
                 "POST",
                 "/cypher",
@@ -704,7 +813,6 @@ mod tests {
         // Warm the pipeline so stage histograms exist.
         let r = handle(
             &c,
-            c.graph(),
             &req(
                 "POST",
                 "/ask",
@@ -712,7 +820,7 @@ mod tests {
             ),
         );
         assert_eq!(r.status, 200);
-        let r = handle(&c, c.graph(), &req("GET", "/metrics", ""));
+        let r = handle(&c, &req("GET", "/metrics", ""));
         assert_eq!(r.status, 200);
         let text = String::from_utf8(r.body).unwrap();
         // Pipeline stage histograms.
@@ -736,14 +844,13 @@ mod tests {
         let c = chat();
         handle(
             &c,
-            c.graph(),
             &req(
                 "POST",
                 "/ask",
                 r#"{"question":"What is the name of AS2497?"}"#,
             ),
         );
-        let r = handle(&c, c.graph(), &req("GET", "/metrics", ""));
+        let r = handle(&c, &req("GET", "/metrics", ""));
         let text = String::from_utf8(r.body).unwrap();
         // Every non-comment line is `<series> <number>`.
         for line in text
@@ -765,8 +872,8 @@ mod tests {
     #[test]
     fn unknown_requests_are_counted_under_other() {
         let c = chat();
-        handle(&c, c.graph(), &req("GET", "/not-a-route", ""));
-        let r = handle(&c, c.graph(), &req("GET", "/metrics", ""));
+        handle(&c, &req("GET", "/not-a-route", ""));
+        let r = handle(&c, &req("GET", "/metrics", ""));
         let text = String::from_utf8(r.body).unwrap();
         assert!(
             text.contains("chatiyp_http_requests_total{path=\"other\",status=\"404\"} 1"),
@@ -780,7 +887,7 @@ mod tests {
     #[test]
     fn stats_serves_exactly_the_documented_fields() {
         let c = chat();
-        let r = handle(&c, c.graph(), &req("GET", "/stats", ""));
+        let r = handle(&c, &req("GET", "/stats", ""));
         let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
         let serde_json::Value::Map(entries) = &body else {
             panic!("stats body is not an object")
@@ -791,6 +898,7 @@ mod tests {
             "cache",
             "degree",
             "epoch",
+            "graph_version",
             "nodes",
             "nodes_by_label",
             "query_parallelism",
@@ -837,10 +945,126 @@ mod tests {
     #[test]
     fn unknown_paths_and_methods() {
         let c = chat();
-        assert_eq!(handle(&c, c.graph(), &req("GET", "/nope", "")).status, 404);
+        assert_eq!(handle(&c, &req("GET", "/nope", "")).status, 404);
+        assert_eq!(handle(&c, &req("DELETE", "/ask", "")).status, 405);
+    }
+
+    #[test]
+    fn healthz_reports_ready_with_version() {
+        let c = chat();
+        let r = handle(&c, &req("GET", "/healthz", ""));
+        assert_eq!(r.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(body["status"], "ready");
+        assert_eq!(body["graph_version"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn deferred_state_serves_503_until_published() {
+        let state = AppState::deferred();
+        for (method, path) in [
+            ("GET", "/healthz"),
+            ("GET", "/health"),
+            ("GET", "/stats"),
+            ("POST", "/ask"),
+        ] {
+            let r = handle(&state, &req(method, path, "{}"));
+            assert_eq!(r.status, 503, "{method} {path}");
+            assert!(
+                r.extra_headers
+                    .iter()
+                    .any(|(n, v)| *n == "retry-after" && v == "1"),
+                "{method} {path} lacks retry-after"
+            );
+        }
+        // Publish flips readiness; a second publish is refused.
+        let built = chat();
+        let chat = Arc::clone(built.chat().unwrap());
+        assert!(state.publish(Arc::clone(&chat)));
+        assert!(!state.publish(chat));
+        assert_eq!(handle(&state, &req("GET", "/healthz", "")).status, 200);
+    }
+
+    #[test]
+    fn ingest_endpoint_swaps_versions_and_updates_reads() {
+        let c = chat();
+        let count_q = r#"{"query":"MATCH (a:AS) RETURN count(a)"}"#;
+        let count = |c: &AppState| -> i64 {
+            let r = handle(c, &req("POST", "/cypher", count_q));
+            assert_eq!(r.status, 200);
+            let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+            body["rows"][0][0].as_i64().unwrap()
+        };
+        let before = count(&c);
+
+        let mut batch = DeltaBatch::new();
+        let x = batch.add_node(["AS"], iyp_graphdb::props!("asn" => 64512i64));
+        batch.add_node(["AS"], iyp_graphdb::props!("asn" => 64513i64));
+        batch.set_node_prop(x, "name", iyp_graphdb::Value::from("Ingested"));
+        let body = serde_json::to_string(&batch).unwrap();
+        let r = handle(&c, &req("POST", "/admin/ingest", &body));
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+        let rep: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(rep["old_version"].as_u64(), Some(1));
+        assert_eq!(rep["new_version"].as_u64(), Some(2));
+        assert_eq!(rep["ops_applied"].as_u64(), Some(3));
+        assert!(rep["nodes"].as_u64().unwrap() > 0);
+        assert!(rep["apply_us"].as_u64().is_some());
+        assert!(rep["swap_us"].as_u64().is_some());
+
+        // Reads see the new snapshot — including through the cache.
+        assert_eq!(count(&c), before + 2);
+        let r = handle(&c, &req("GET", "/stats", ""));
+        let stats: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(stats["graph_version"].as_u64(), Some(2));
+        let r = handle(&c, &req("GET", "/healthz", ""));
+        let hz: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(hz["graph_version"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn ingest_rejects_bad_batches_without_swapping() {
+        let c = chat();
+        // Not JSON at all.
         assert_eq!(
-            handle(&c, c.graph(), &req("DELETE", "/ask", "")).status,
-            405
+            handle(&c, &req("POST", "/admin/ingest", "not json")).status,
+            400
+        );
+        // A structurally valid batch with an invalid op: nothing publishes.
+        let mut batch = DeltaBatch::new();
+        batch.remove_node(iyp_graphdb::NodeId(u64::MAX));
+        let body = serde_json::to_string(&batch).unwrap();
+        assert_eq!(handle(&c, &req("POST", "/admin/ingest", &body)).status, 400);
+        let r = handle(&c, &req("GET", "/healthz", ""));
+        let hz: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(
+            hz["graph_version"].as_u64(),
+            Some(1),
+            "failed batch swapped"
+        );
+    }
+
+    #[test]
+    fn metrics_exposes_graph_version_gauge() {
+        let c = chat();
+        let r = handle(&c, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(
+            text.contains("# TYPE chatiyp_graph_version gauge"),
+            "{text}"
+        );
+        assert!(text.contains("\nchatiyp_graph_version 1"));
+
+        let batch = DeltaBatch::new();
+        let body = serde_json::to_string(&batch).unwrap();
+        assert_eq!(handle(&c, &req("POST", "/admin/ingest", &body)).status, 200);
+        let r = handle(&c, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("\nchatiyp_graph_version 2"));
+        // The swap histograms are recorded under the snapshot metric.
+        assert!(
+            text.contains("chatiyp_snapshot_swap_seconds_count{stage=\"swap\"} 1"),
+            "{text}"
         );
     }
 }

@@ -244,6 +244,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// Extra response headers (already-valid `name: value` pairs), e.g.
+    /// `Retry-After` on a 503 while the snapshot is still loading.
+    pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -253,6 +256,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into(),
+            extra_headers: Vec::new(),
         }
     }
 
@@ -262,7 +266,14 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
+            extra_headers: Vec::new(),
         }
+    }
+
+    /// Adds an extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
     }
 
     /// Serializes the response to wire format with `Connection: close`.
@@ -279,19 +290,24 @@ impl Response {
             405 => "Method Not Allowed",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         };
         let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut out = BytesMut::with_capacity(self.body.len() + 128);
         out.extend_from_slice(
             format!(
-                "HTTP/1.1 {} {reason}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+                "HTTP/1.1 {} {reason}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
                 self.status,
                 self.content_type,
                 self.body.len()
             )
             .as_bytes(),
         );
+        for (name, value) in &self.extra_headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
         out.extend_from_slice(&self.body);
         out
     }
@@ -481,6 +497,18 @@ mod tests {
         // Unrelated tokens fall back to the version default.
         assert!(req(true, Some("upgrade")).wants_keep_alive());
         assert!(!req(false, Some("upgrade")).wants_keep_alive());
+    }
+
+    #[test]
+    fn extra_headers_sit_before_the_blank_line() {
+        let bytes = Response::text(503, "loading")
+            .with_header("retry-after", "1")
+            .to_bytes();
+        let s = String::from_utf8_lossy(&bytes);
+        assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        let (head, body) = s.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("retry-after: 1"));
+        assert_eq!(body, "loading");
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod api;
 pub mod http;
 pub mod serve;
 
-pub use api::{AskRequest, CypherRequest};
+pub use api::{AppState, AskRequest, CypherRequest};
 pub use http::{Request, Response};
 pub use serve::{Server, ServerConfig};

@@ -1,11 +1,10 @@
 //! The threaded server: an acceptor feeding a fixed worker pool over a
 //! crossbeam channel, with graceful shutdown.
 
-use crate::api::handle;
+use crate::api::{handle, AppState};
 use crate::http::{HttpError, Response};
 use chatiyp_core::ChatIyp;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use iyp_graphdb::Graph;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -43,29 +42,50 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds and spawns the acceptor + worker pool. The pipeline is shared
-    /// read-only across workers; each worker also holds the pipeline's own
-    /// `Arc<Graph>` handle, so graph-only endpoints are served from the
-    /// shared graph without re-wrapping it.
+    /// Binds and spawns the acceptor + worker pool with a ready pipeline.
+    /// Workers share one [`AppState`]; every request resolves the current
+    /// graph snapshot through it.
     pub fn start(chat: ChatIyp, config: ServerConfig) -> std::io::Result<Server> {
+        Self::start_with_state(Arc::new(AppState::ready(Arc::new(chat))), config)
+    }
+
+    /// Binds and starts serving **before** the pipeline exists: the
+    /// socket accepts immediately, every endpoint answers 503 +
+    /// `Retry-After`, and `builder` runs on a background thread. Once it
+    /// returns, its pipeline is published and `GET /healthz` flips to
+    /// 200 — the load-balancer-friendly way to boot a server whose
+    /// dataset takes a while to generate or load from disk.
+    pub fn start_deferred<F>(config: ServerConfig, builder: F) -> std::io::Result<Server>
+    where
+        F: FnOnce() -> ChatIyp + Send + 'static,
+    {
+        let state = Arc::new(AppState::deferred());
+        let publisher = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("chatiyp-loader".into())
+            .spawn(move || {
+                publisher.publish(Arc::new(builder()));
+            })
+            .expect("spawn loader");
+        Self::start_with_state(state, config)
+    }
+
+    fn start_with_state(state: Arc<AppState>, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let graph = chat.graph_arc();
-        let chat = Arc::new(chat);
 
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(128);
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
             let rx = rx.clone();
-            let chat = Arc::clone(&chat);
-            let graph = Arc::clone(&graph);
+            let state = Arc::clone(&state);
             let read_timeout = config.read_timeout;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("chatiyp-worker-{i}"))
-                    .spawn(move || worker_loop(rx, chat, graph, read_timeout))
+                    .spawn(move || worker_loop(rx, state, read_timeout))
                     .expect("spawn worker"),
             );
         }
@@ -128,23 +148,18 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(
-    rx: Receiver<TcpStream>,
-    chat: Arc<ChatIyp>,
-    graph: Arc<Graph>,
-    read_timeout: Duration,
-) {
+fn worker_loop(rx: Receiver<TcpStream>, state: Arc<AppState>, read_timeout: Duration) {
     // The loop ends when the acceptor drops the sender.
     while let Ok(stream) = rx.recv() {
         let _ = stream.set_read_timeout(Some(read_timeout));
-        serve_connection(stream, &chat, &graph);
+        serve_connection(stream, &state);
     }
 }
 
 /// Serves one connection: keep-alive loop with a per-connection buffered
 /// reader (so pipelined request bytes survive between reads), bounded by
 /// [`crate::http::MAX_REQUESTS_PER_CONN`].
-fn serve_connection(stream: TcpStream, chat: &ChatIyp, graph: &Graph) {
+fn serve_connection(stream: TcpStream, state: &AppState) {
     use crate::http::{read_request_buffered, MAX_REQUESTS_PER_CONN};
     let mut reader = std::io::BufReader::new(stream);
     for served in 0..MAX_REQUESTS_PER_CONN {
@@ -152,7 +167,7 @@ fn serve_connection(stream: TcpStream, chat: &ChatIyp, graph: &Graph) {
         let (response, keep_alive) = match parsed {
             Ok(req) => {
                 let keep = req.wants_keep_alive() && served + 1 < MAX_REQUESTS_PER_CONN;
-                (handle(chat, graph, &req), keep)
+                (handle(state, &req), keep)
             }
             Err(HttpError::TooLarge) => (
                 Response::json(413, r#"{"error":"body too large"}"#.as_bytes().to_vec()),
@@ -394,6 +409,106 @@ mod tests {
         // The pool must still serve real requests afterwards.
         let reply = request(server.addr(), "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
         assert!(reply.contains("\"status\":\"ok\""), "reply: {reply}");
+        server.shutdown();
+    }
+
+    /// A deferred server accepts connections immediately, answers 503 +
+    /// Retry-After while the pipeline builds, and flips `/healthz` to
+    /// 200 once the loader publishes — without dropping a single
+    /// connection along the way.
+    #[test]
+    fn deferred_start_serves_503_then_flips_ready() {
+        use std::sync::mpsc;
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let server = Server::start_deferred(
+            ServerConfig {
+                addr: "127.0.0.1:0".parse().unwrap(),
+                workers: 2,
+                read_timeout: Duration::from_secs(2),
+            },
+            move || {
+                // Hold the pipeline back until the test has observed 503.
+                release_rx.recv().ok();
+                ChatIyp::new(
+                    generate(&IypConfig::tiny()),
+                    ChatIypConfig {
+                        lm: LmConfig {
+                            seed: 42,
+                            skill: 1.0,
+                            variety: 0.0,
+                        },
+                        ..Default::default()
+                    },
+                )
+            },
+        )
+        .expect("server starts");
+
+        let probe = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+        let reply = request(server.addr(), probe);
+        assert!(reply.starts_with("HTTP/1.1 503"), "reply: {reply}");
+        assert!(reply.contains("retry-after: 1"), "reply: {reply}");
+        // Non-probe endpoints refuse too, rather than hanging.
+        let reply = request(server.addr(), "GET /stats HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 503"), "reply: {reply}");
+
+        release_tx.send(()).unwrap();
+        // Poll until ready (the loader thread needs a moment).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let reply = request(server.addr(), probe);
+            if reply.starts_with("HTTP/1.1 200") {
+                assert!(reply.contains("\"status\":\"ready\""), "reply: {reply}");
+                assert!(reply.contains("\"graph_version\":1"), "reply: {reply}");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never became ready; last reply: {reply}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // And the full API works after readiness.
+        let reply = request(server.addr(), "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(reply.contains("\"status\":\"ok\""), "reply: {reply}");
+        server.shutdown();
+    }
+
+    /// Live ingest over HTTP: POST /admin/ingest swaps in a new version
+    /// while /cypher readers keep answering; afterwards reads see the
+    /// grown graph.
+    #[test]
+    fn ingest_over_tcp_swaps_versions() {
+        let server = start_test_server();
+        let count_raw = || {
+            let body = r#"{"query":"MATCH (a:AS) RETURN count(a)"}"#;
+            format!(
+                "POST /cypher HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+        };
+        let before = request(server.addr(), &count_raw());
+        assert!(before.starts_with("HTTP/1.1 200"), "{before}");
+
+        let mut batch = iyp_graphdb::DeltaBatch::new();
+        batch.add_node(["AS"], iyp_graphdb::props!("asn" => 64999i64));
+        let body = serde_json::to_string(&batch).unwrap();
+        let raw = format!(
+            "POST /admin/ingest HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let reply = request(server.addr(), &raw);
+        assert!(reply.starts_with("HTTP/1.1 200"), "reply: {reply}");
+        assert!(reply.contains("\"old_version\":1"), "reply: {reply}");
+        assert!(reply.contains("\"new_version\":2"), "reply: {reply}");
+
+        let after = request(server.addr(), &count_raw());
+        let count_of = |resp: &str| -> i64 {
+            let json = resp.split("\r\n\r\n").nth(1).unwrap();
+            let v: serde_json::Value = serde_json::from_str(json).unwrap();
+            v["rows"][0][0].as_i64().unwrap()
+        };
+        assert_eq!(count_of(&after), count_of(&before) + 1);
         server.shutdown();
     }
 

@@ -55,7 +55,9 @@ fn main() {
             continue;
         }
         if line == ":stats" {
-            let stats = GraphStats::compute(chat.graph());
+            let snap = chat.snapshot();
+            let stats = GraphStats::compute(snap.graph());
+            println!("snapshot version {}", snap.version());
             println!(
                 "{} nodes / {} rels; mean degree {:.1}",
                 stats.nodes, stats.rels, stats.degree.mean
@@ -66,14 +68,14 @@ fn main() {
             continue;
         }
         if let Some(cy) = line.strip_prefix(":explain ") {
-            match iyp_cypher::explain(chat.graph(), cy) {
+            match iyp_cypher::explain(chat.snapshot().graph(), cy) {
                 Ok(plan) => print!("{plan}"),
                 Err(e) => println!("error: {e}"),
             }
             continue;
         }
         if let Some(cy) = line.strip_prefix(":cypher ") {
-            match query(chat.graph(), cy) {
+            match query(chat.snapshot().graph(), cy) {
                 Ok(result) => print!("{result}"),
                 Err(e) => println!("error: {e}"),
             }

@@ -9,7 +9,7 @@
 //!
 //! Then, from another shell:
 //! ```text
-//! curl -s localhost:8047/health
+//! curl -s localhost:8047/healthz          # 503 while loading, then 200
 //! curl -s localhost:8047/schema
 //! curl -s -X POST localhost:8047/ask \
 //!      -d '{"question": "What is the percentage of Japan'\''s population in AS2497?"}'
@@ -27,22 +27,25 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(8047);
 
-    println!("Generating the synthetic IYP graph ...");
-    let dataset = generate(&IypConfig::default());
-    println!(
-        "  {} nodes, {} relationships",
-        dataset.graph.node_count(),
-        dataset.graph.rel_count()
-    );
-    let chat = ChatIyp::new(dataset, ChatIypConfig::default());
-
     let config = ServerConfig {
         addr: format!("127.0.0.1:{port}").parse().expect("valid address"),
         ..Default::default()
     };
-    let server = Server::start(chat, config).expect("bind");
+    // The socket binds immediately; dataset generation happens on the
+    // loader thread while early requests get 503 + Retry-After.
+    let server = Server::start_deferred(config, || {
+        println!("Generating the synthetic IYP graph ...");
+        let dataset = generate(&IypConfig::default());
+        println!(
+            "  {} nodes, {} relationships",
+            dataset.graph.node_count(),
+            dataset.graph.rel_count()
+        );
+        ChatIyp::new(dataset, ChatIypConfig::default())
+    })
+    .expect("bind");
     println!("ChatIYP API listening on http://{}", server.addr());
-    println!("endpoints: POST /ask, POST /cypher, GET /health, GET /schema");
+    println!("endpoints: POST /ask, POST /cypher, POST /admin/ingest, GET /healthz, GET /schema");
     println!("press Ctrl-C to stop");
 
     // Serve until killed.

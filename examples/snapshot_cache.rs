@@ -10,22 +10,23 @@
 
 use iyp_cypher::query;
 use iyp_data::{generate, IypConfig};
-use iyp_graphdb::snapshot;
+use iyp_graphdb::{snapshot, GraphSnapshot};
 use std::time::Instant;
 
 fn main() {
     let path = std::env::temp_dir().join("chatiyp_iyp_snapshot.json");
 
-    let graph = if path.exists() {
+    let snap = if path.exists() {
         let t = Instant::now();
-        let g = snapshot::load(&path).expect("snapshot loads");
+        let s = snapshot::load_snapshot(&path).expect("snapshot loads");
         println!(
-            "loaded snapshot {} ({} nodes) in {:?}",
+            "loaded snapshot v{} {} ({} nodes) in {:?}",
+            s.version(),
             path.display(),
-            g.node_count(),
+            s.node_count(),
             t.elapsed()
         );
-        g
+        s
     } else {
         let t = Instant::now();
         let dataset = generate(&IypConfig::default());
@@ -34,15 +35,17 @@ fn main() {
             dataset.graph.node_count(),
             t.elapsed()
         );
+        let s = GraphSnapshot::new(dataset.graph, 1);
         let t = Instant::now();
-        snapshot::save(&dataset.graph, &path).expect("snapshot saves");
+        snapshot::save_snapshot(&s, &path).expect("snapshot saves");
         println!("saved snapshot to {} in {:?}", path.display(), t.elapsed());
-        dataset.graph
+        s
     };
+    let graph = snap.graph();
 
     // The snapshot preserves everything queries need — including indexes.
     let r = query(
-        &graph,
+        graph,
         "MATCH (a:AS {asn: 2497})-[p:POPULATION]->(c:Country {country_code: 'JP'}) \
          RETURN a.name, p.percent",
     )
@@ -50,7 +53,7 @@ fn main() {
     print!("{r}");
 
     let r = query(
-        &graph,
+        graph,
         "MATCH (a:AS)-[r:RANK]->(:Ranking {name: 'CAIDA ASRank'}) \
          WHERE r.rank <= 3 RETURN a.name, r.rank ORDER BY r.rank",
     )

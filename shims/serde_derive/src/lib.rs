@@ -40,6 +40,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 #[derive(Default, Clone)]
 struct FieldAttrs {
     skip: bool,
+    default: bool,
     with: Option<String>,
 }
 
@@ -110,6 +111,7 @@ fn apply_field_attr(args: &[TokenTree], attrs: &mut FieldAttrs) {
     while i < args.len() {
         match &args[i] {
             TokenTree::Ident(id) if id.to_string() == "skip" => attrs.skip = true,
+            TokenTree::Ident(id) if id.to_string() == "default" => attrs.default = true,
             TokenTree::Ident(id) if id.to_string() == "with" => {
                 // with = "module"
                 if let Some(TokenTree::Literal(lit)) = args.get(i + 2) {
@@ -456,6 +458,11 @@ fn de_named_fields(fields: &[Field], map_var: &str, type_name: &str) -> String {
                  Some(__v) => {w}::deserialize(__v)?,\n\
                  None => return ::core::result::Result::Err(::serde::Error::custom(\
                  \"missing field `{n}` in {type_name}\")),\n}}"
+            ),
+            None if f.attrs.default => format!(
+                "match ::serde::content_get({map_var}, \"{n}\") {{\n\
+                 Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n\
+                 None => ::core::default::Default::default(),\n}}"
             ),
             None => format!(
                 "match ::serde::content_get({map_var}, \"{n}\") {{\n\

@@ -43,14 +43,20 @@ fn main() {
         }
         Some("serve") => {
             let port: u16 = args.get(1).and_then(|p| p.parse().ok()).unwrap_or(8047);
-            let chat = build_pipeline();
             let config = chatiyp_server::ServerConfig {
                 addr: format!("127.0.0.1:{port}").parse().expect("valid address"),
                 ..Default::default()
             };
-            let server = chatiyp_server::Server::start(chat, config).expect("bind");
+            // Bind first, build the graph in the background: the socket
+            // answers 503 + Retry-After until the pipeline is published.
+            let server =
+                chatiyp_server::Server::start_deferred(config, build_pipeline).expect("bind");
             println!("ChatIYP API listening on http://{}", server.addr());
-            println!("endpoints: POST /ask, POST /cypher, GET /health, GET /schema, GET /stats");
+            println!("graph loading in the background; poll GET /healthz for readiness");
+            println!(
+                "endpoints: POST /ask, POST /cypher, POST /admin/ingest, \
+                 GET /health, GET /healthz, GET /schema, GET /stats, GET /metrics"
+            );
             loop {
                 std::thread::sleep(std::time::Duration::from_secs(3600));
             }

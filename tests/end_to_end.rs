@@ -211,6 +211,78 @@ fn http_server_serves_the_pipeline() {
 }
 
 #[test]
+fn live_ingest_over_http_is_visible_to_subsequent_reads() {
+    use chatiyp_suite::data::growth_batch;
+    use chatiyp_suite::server::{Server, ServerConfig};
+    use std::io::{Read, Write};
+
+    fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> String {
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).unwrap();
+        reply
+    }
+
+    let dataset = generate(&IypConfig::tiny());
+    let count_q = "MATCH (a:AS) RETURN count(a)";
+    let before = query(&dataset.graph, count_q)
+        .unwrap()
+        .single_value()
+        .unwrap()
+        .as_int()
+        .unwrap();
+    // Build the delta against the same pre-ingest graph the server starts
+    // from, exactly as an external feed would.
+    let batch = growth_batch(&dataset.graph, 7, 5);
+    let body = serde_json::to_string(&batch).unwrap();
+
+    let chat = ChatIyp::new(dataset, oracle_config());
+    let server = Server::start(
+        chat,
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().unwrap(),
+            workers: 2,
+            read_timeout: std::time::Duration::from_secs(2),
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let cypher_body = format!(r#"{{"query":"{count_q}"}}"#);
+    let r0 = http(addr, "POST", "/cypher", &cypher_body);
+    assert!(r0.starts_with("HTTP/1.1 200"), "pre-ingest read: {r0}");
+    assert!(r0.contains(&before.to_string()), "pre-ingest count: {r0}");
+
+    let ri = http(addr, "POST", "/admin/ingest", &body);
+    assert!(ri.starts_with("HTTP/1.1 200"), "ingest: {ri}");
+    assert!(ri.contains("\"old_version\":1"), "ingest: {ri}");
+    assert!(ri.contains("\"new_version\":2"), "ingest: {ri}");
+
+    // Reads issued after the swap see the grown graph and report the new
+    // version in /stats.
+    let r1 = http(addr, "POST", "/cypher", &cypher_body);
+    assert!(
+        r1.contains(&(before + 5).to_string()),
+        "post-ingest count (want {}): {r1}",
+        before + 5
+    );
+    let stats = http(addr, "GET", "/stats", "");
+    assert!(stats.contains("\"graph_version\":2"), "stats: {stats}");
+    let healthz = http(addr, "GET", "/healthz", "");
+    assert!(healthz.starts_with("HTTP/1.1 200"), "healthz: {healthz}");
+    assert!(
+        healthz.contains("\"graph_version\":2"),
+        "healthz: {healthz}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn snapshot_roundtrip_preserves_query_results() {
     use chatiyp_suite::graphdb::snapshot;
     let dataset = generate(&IypConfig::tiny());
