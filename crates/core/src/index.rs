@@ -1,0 +1,188 @@
+//! The versioned retrieval index: the semantic half of a snapshot.
+//!
+//! PR 5 made the *graph* snapshot-isolated, but the embedding `DocStore`
+//! and the `EntityCatalog` were still built once at pipeline construction
+//! — after an ingest, Cypher saw the new world while the semantic
+//! fallback and entity linking answered from the old one. A
+//! [`RetrievalIndex`] bundles both retrieval structures and stamps them
+//! with the graph `version`/`epoch` they were derived from, so the
+//! pipeline can publish graph and retrieval state as one consistent pair
+//! (see `ChatIyp::resolve`) and refresh the index incrementally from an
+//! ingest's delta instead of re-embedding the whole corpus.
+
+use crate::response::ContextChunk;
+use crate::retriever::retrieve_chunks;
+use iyp_data::DocDelta;
+use iyp_embed::DocStore;
+use iyp_graphdb::{Graph, GraphSnapshot};
+use iyp_llm::EntityCatalog;
+
+/// The retrieval-side state of one published graph version: the embedded
+/// node-description corpus and the entity catalog, stamped with the
+/// `(version, epoch)` of the snapshot they describe.
+///
+/// Cloning is cheap relative to a rebuild (vectors and strings are
+/// memcpy'd, nothing is re-embedded); an ingest clones the current index
+/// off-lock, patches the clone via [`RetrievalIndex::apply_delta`], and
+/// swaps it in alongside the graph snapshot.
+#[derive(Clone)]
+pub struct RetrievalIndex {
+    docs: DocStore,
+    catalog: EntityCatalog,
+    version: u64,
+    epoch: u64,
+}
+
+impl RetrievalIndex {
+    /// Builds the index from scratch over a snapshot: one document per
+    /// describable node (via `iyp_data::describe_all`) and a catalog
+    /// rebuilt from the graph. The baseline the incremental path is
+    /// benchmarked against (`bin/index_refresh`).
+    pub fn from_snapshot(snap: &GraphSnapshot) -> Self {
+        let mut index = Self::from_graph_at(snap.graph(), snap.version(), snap.epoch());
+        index.catalog = EntityCatalog::from_graph(snap.graph());
+        index
+    }
+
+    /// Builds the docs from `graph` with an explicit stamp, leaving the
+    /// catalog to the caller (construction from a dataset uses the richer
+    /// `EntityCatalog::from_dataset`).
+    pub fn from_graph_at(graph: &Graph, version: u64, epoch: u64) -> Self {
+        let mut docs = DocStore::new();
+        for doc in iyp_data::describe_all(graph) {
+            docs.add(doc.title, doc.text, doc.node.0);
+        }
+        RetrievalIndex {
+            docs,
+            catalog: EntityCatalog::default(),
+            version,
+            epoch,
+        }
+    }
+
+    /// Replaces the catalog (used at construction, where the dataset's
+    /// lookup tables are available).
+    pub fn with_catalog(mut self, catalog: EntityCatalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Patches the index in place with one ingest's document/catalog
+    /// delta: removed nodes drop their documents, affected nodes are
+    /// re-embedded, and the catalog retracts old-graph entries before
+    /// inserting new-graph ones. The caller re-stamps afterwards
+    /// ([`RetrievalIndex::stamp`]) once the paired graph version is
+    /// known.
+    ///
+    /// Re-rendered documents whose text came out identical to the stored
+    /// copy are skipped: the delta conservatively re-renders every node a
+    /// change *might* have reached, but embedding is the expensive step,
+    /// so only genuinely changed text pays for it.
+    pub fn apply_delta(&mut self, old_graph: &Graph, new_graph: &Graph, delta: &DocDelta) {
+        for id in &delta.removals {
+            self.docs.remove(id.0);
+        }
+        for doc in &delta.upserts {
+            let unchanged = self
+                .docs
+                .get(doc.node.0)
+                .is_some_and(|d| d.title == doc.title && d.text == doc.text);
+            if !unchanged {
+                self.docs
+                    .upsert(doc.title.clone(), doc.text.clone(), doc.node.0);
+            }
+        }
+        self.catalog.apply_delta(old_graph, new_graph, delta);
+    }
+
+    /// Stamps the index with the graph version/epoch it now describes.
+    pub fn stamp(&mut self, version: u64, epoch: u64) {
+        self.version = version;
+        self.epoch = epoch;
+    }
+
+    /// The graph version this index was derived from.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The graph epoch this index was derived from.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The embedded document corpus.
+    pub fn docs(&self) -> &DocStore {
+        &self.docs
+    }
+
+    /// The entity catalog questions are resolved against.
+    pub fn catalog(&self) -> &EntityCatalog {
+        &self.catalog
+    }
+
+    /// Top-`k` semantic context chunks for a question.
+    pub fn retrieve(&self, question: &str, k: usize) -> Vec<ContextChunk> {
+        retrieve_chunks(&self.docs, question, k)
+    }
+}
+
+impl std::fmt::Debug for RetrievalIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetrievalIndex")
+            .field("version", &self.version)
+            .field("epoch", &self.epoch)
+            .field("docs", &self.docs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_data::{describe_delta, generate, growth_batch, IypConfig};
+
+    #[test]
+    fn incremental_apply_matches_full_rebuild_results() {
+        let d = generate(&IypConfig::tiny());
+        let old_graph = d.graph;
+        let old_snap = GraphSnapshot::new(old_graph.clone(), 1);
+        let mut index = RetrievalIndex::from_snapshot(&old_snap);
+
+        let batch = growth_batch(&old_graph, 3, 20);
+        let mut new_graph = old_graph.clone();
+        let applied = batch.apply_tracked(&mut new_graph).unwrap();
+        let delta = describe_delta(&new_graph, &applied);
+        index.apply_delta(&old_graph, &new_graph, &delta);
+        index.stamp(2, old_snap.epoch() + 1);
+
+        let rebuilt = RetrievalIndex::from_snapshot(&GraphSnapshot::new(new_graph.clone(), 2));
+        assert_eq!(index.docs().len(), rebuilt.docs().len());
+        assert_eq!(index.catalog(), rebuilt.catalog());
+
+        // Retrieval over the patched index finds a freshly ingested AS.
+        let new_asn = iyp_data::max_asn(&new_graph);
+        let q = format!("Tell me about Ingest Networks {new_asn}");
+        let hits = index.retrieve(&q, 3);
+        assert!(
+            hits.iter().any(|h| h.title.contains(&new_asn.to_string())),
+            "patched index missed the new AS; hits: {:?}",
+            hits.iter().map(|h| &h.title).collect::<Vec<_>>()
+        );
+        // And ranks it exactly as a from-scratch rebuild would.
+        let rebuilt_hits = rebuilt.retrieve(&q, 3);
+        let titles = |hs: &[ContextChunk]| hs.iter().map(|h| h.title.clone()).collect::<Vec<_>>();
+        assert_eq!(titles(&hits), titles(&rebuilt_hits));
+    }
+
+    #[test]
+    fn stamp_tracks_the_paired_snapshot() {
+        let d = generate(&IypConfig::tiny());
+        let snap = GraphSnapshot::new(d.graph, 1);
+        let mut index = RetrievalIndex::from_snapshot(&snap);
+        assert_eq!(index.version(), 1);
+        assert_eq!(index.epoch(), snap.epoch());
+        index.stamp(9, 40);
+        assert_eq!((index.version(), index.epoch()), (9, 40));
+    }
+}

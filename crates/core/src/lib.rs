@@ -33,6 +33,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod index;
 pub mod obs;
 pub mod pipeline;
 pub mod response;
@@ -40,6 +41,7 @@ pub mod retriever;
 
 pub use cache::{CacheConfig, CacheStats, QueryCache};
 pub use config::ChatIypConfig;
-pub use pipeline::ChatIyp;
+pub use index::RetrievalIndex;
+pub use pipeline::{ChatIyp, IngestReport, RetrievalHandle};
 pub use response::{ChatResponse, ContextChunk, Route, Timings};
 pub use retriever::{StructuredRetrieval, TextToCypherRetriever, VectorContextRetriever};

@@ -29,3 +29,13 @@ pub const STAGE_METRIC: &str = "chatiyp_stage_seconds";
 /// the only window a reader's snapshot acquisition can wait on).
 /// Recorded by [`crate::ChatIyp::ingest`].
 pub const SWAP_METRIC: &str = "chatiyp_snapshot_swap_seconds";
+
+/// Histogram family for retrieval-index refreshes (`stage` label),
+/// recorded by [`crate::ChatIyp::ingest`] alongside [`SWAP_METRIC`]:
+///
+/// | stage    | what it times |
+/// |----------|---------------|
+/// | `derive` | deriving the document/catalog delta from the applied batch (`iyp_data::describe_delta`) |
+/// | `apply`  | cloning the current index and patching it off-lock (re-embedding affected docs, catalog delta) |
+/// | `swap`   | publishing the `(snapshot, index)` pair — the only window a reader's `resolve` can wait on |
+pub const INDEX_METRIC: &str = "chatiyp_index_refresh_seconds";

@@ -3,33 +3,82 @@
 
 use crate::cache::QueryCache;
 use crate::config::ChatIypConfig;
-use crate::obs::{STAGE_METRIC, SWAP_METRIC};
+use crate::index::RetrievalIndex;
+use crate::obs::{INDEX_METRIC, STAGE_METRIC, SWAP_METRIC};
 use crate::response::{ChatResponse, ContextChunk, Route, Timings};
-use crate::retriever::{StructuredRetrieval, TextToCypherRetriever, VectorContextRetriever};
+use crate::retriever::{StructuredRetrieval, TextToCypherRetriever};
 use iyp_data::IypDataset;
 use iyp_embed::tokenize::words;
 use iyp_graphdb::{DeltaBatch, DeltaError, GraphSnapshot, GraphStore, SwapReport};
 use iyp_llm::{generate_answer, EntityCatalog, Reranker, SimLm, Translator};
 use iyp_obs::{Registry, RingSink, Trace, TraceSink, TraceTree};
+use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// One request's consistent view of the world: the graph snapshot and
+/// the retrieval index derived from it, resolved together by
+/// [`ChatIyp::resolve`]. Both halves describe the same published
+/// version, and holding the handle keeps that version alive — later
+/// ingests never mutate it.
+#[derive(Clone, Debug)]
+pub struct RetrievalHandle {
+    /// The immutable graph snapshot the symbolic path reads.
+    pub snapshot: Arc<GraphSnapshot>,
+    /// The retrieval index (doc corpus + entity catalog) derived from
+    /// exactly that snapshot.
+    pub index: Arc<RetrievalIndex>,
+}
+
+/// What one [`ChatIyp::ingest`] did: the graph swap plus the paired
+/// retrieval-index refresh.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// The graph-side publish (versions, counts, apply/swap timings).
+    pub graph: SwapReport,
+    /// The version stamped into the refreshed retrieval index — always
+    /// equal to `graph.new_version`, reported so callers can assert the
+    /// pair stayed in lockstep.
+    pub index_version: u64,
+    /// Time deriving the document/catalog delta from the applied batch.
+    pub derive: Duration,
+    /// Time cloning the current index and patching it, off-lock.
+    pub index_apply: Duration,
+    /// Time publishing the `(snapshot, index)` pair — the only window a
+    /// reader's [`ChatIyp::resolve`] can wait on.
+    pub index_swap: Duration,
+}
 
 /// The assembled ChatIYP system.
 ///
-/// The graph lives inside a [`GraphStore`]: readers resolve the current
-/// immutable [`GraphSnapshot`] once per request ([`ChatIyp::snapshot`])
-/// and run the whole request against it, while [`ChatIyp::ingest`]
-/// applies a [`DeltaBatch`] off to the side and publishes the result
-/// with a single pointer swap — queries in flight keep their snapshot,
-/// new queries see the new version. Every stage takes `&self`, so one
-/// instance answers concurrent [`ChatIyp::ask`] calls from many
-/// threads.
+/// The graph lives inside a [`GraphStore`] and the retrieval state (doc
+/// corpus + entity catalog) inside a [`RetrievalIndex`] behind the same
+/// publish discipline: readers resolve one consistent
+/// `(snapshot, index)` pair per request ([`ChatIyp::resolve`]) and run
+/// the whole request against it, while [`ChatIyp::ingest`] applies a
+/// [`DeltaBatch`] off to the side, patches a copy of the index from the
+/// delta, and publishes both with one paired swap — queries in flight
+/// keep their pair, new queries see the new version on every path
+/// (Cypher, semantic fallback, entity linking). Every stage takes
+/// `&self`, so one instance answers concurrent [`ChatIyp::ask`] calls
+/// from many threads.
 pub struct ChatIyp {
     store: Arc<GraphStore>,
+    /// The published retrieval index. Readers clone the `Arc` under the
+    /// read lock *and load the graph snapshot inside the same critical
+    /// section* ([`ChatIyp::resolve`]); the ingest path publishes the
+    /// graph while holding the write lock, so a reader observes either
+    /// (old graph, old index) or (new graph, new index), never a torn
+    /// pair.
+    index: RwLock<Arc<RetrievalIndex>>,
+    /// Serializes ingests end-to-end (prepare → publish). The store has
+    /// its own writer lock, but the index refresh is prepared off-lock
+    /// from the *current* pair; two interleaved prepares would lose the
+    /// first one's refresh.
+    ingest_lock: Mutex<()>,
     config: ChatIypConfig,
     lm: SimLm,
     text2cypher: TextToCypherRetriever,
-    vector: VectorContextRetriever,
     reranker: Reranker,
     cache: QueryCache,
     registry: Arc<Registry>,
@@ -48,18 +97,22 @@ impl ChatIyp {
     pub fn new(dataset: IypDataset, config: ChatIypConfig) -> Self {
         let catalog = EntityCatalog::from_dataset(&dataset);
         let lm = SimLm::new(config.lm.clone());
-        let translator = Translator::new(lm.clone(), catalog);
-        let vector = VectorContextRetriever::from_graph(&dataset.graph);
+        let translator = Translator::new(lm.clone(), catalog.clone());
         let registry = Arc::new(Registry::new());
         let mut cache = QueryCache::new(config.cache.clone());
         cache.attach_registry(&registry);
         let traces = Arc::new(RingSink::new(config.trace_ring_capacity));
+        let store = Arc::new(GraphStore::new(dataset.graph));
+        let seed = store.load();
+        let index = RetrievalIndex::from_graph_at(seed.graph(), seed.version(), seed.epoch())
+            .with_catalog(catalog);
         ChatIyp {
-            store: Arc::new(GraphStore::new(dataset.graph)),
+            store,
+            index: RwLock::new(Arc::new(index)),
+            ingest_lock: Mutex::new(()),
             config,
             lm: lm.clone(),
             text2cypher: TextToCypherRetriever::new(translator),
-            vector,
             reranker: Reranker::new(lm),
             cache,
             registry,
@@ -75,28 +128,98 @@ impl ChatIyp {
     /// Resolves the current graph snapshot. Callers should resolve once
     /// per request and use the returned handle throughout — it is
     /// immutable, so every read within the request is consistent even
-    /// while an ingest publishes a newer version.
+    /// while an ingest publishes a newer version. Requests that also
+    /// touch the semantic path should use [`ChatIyp::resolve`] to get
+    /// the paired retrieval index from the same version.
     pub fn snapshot(&self) -> Arc<GraphSnapshot> {
         self.store.load()
     }
 
-    /// Applies a mutation batch and publishes the resulting graph as the
-    /// next snapshot version. In-flight requests keep the snapshot they
-    /// resolved; the epoch-keyed query cache invalidates lazily (entries
-    /// recorded against the old snapshot can never validate against the
-    /// new one). Records `apply`/`swap` latencies into [`SWAP_METRIC`].
+    /// Resolves one consistent `(snapshot, index)` pair. The graph load
+    /// happens inside the index read critical section, and the ingest
+    /// path publishes the graph while holding the index write lock, so
+    /// the returned halves always describe the same published version —
+    /// a request can interleave Cypher execution, entity linking and
+    /// semantic retrieval without ever mixing worlds.
+    pub fn resolve(&self) -> RetrievalHandle {
+        let index = self.index.read();
+        let snapshot = self.store.load();
+        RetrievalHandle {
+            snapshot,
+            index: Arc::clone(&index),
+        }
+    }
+
+    /// The retrieval index paired with the current snapshot.
+    pub fn retrieval_index(&self) -> Arc<RetrievalIndex> {
+        Arc::clone(&self.index.read())
+    }
+
+    /// Applies a mutation batch and publishes the resulting graph **and**
+    /// a refreshed retrieval index as the next version, atomically as a
+    /// pair. In-flight requests keep the pair they resolved; the
+    /// epoch-keyed query cache invalidates lazily (entries recorded
+    /// against the old snapshot can never validate against the new one).
     ///
-    /// Note: the vector store and entity catalog are built at
-    /// construction and are not rebuilt on ingest — semantic fallback
-    /// answers may lag the graph until the process reloads (documented
-    /// in DESIGN.md).
-    pub fn ingest(&self, batch: &DeltaBatch) -> Result<SwapReport, DeltaError> {
-        let report = self.store.ingest(batch)?;
-        self.registry
-            .observe(SWAP_METRIC, &[("stage", "apply")], report.apply);
-        self.registry
-            .observe(SWAP_METRIC, &[("stage", "swap")], report.swap);
-        Ok(report)
+    /// The expensive work happens off-lock: the batch is applied to a
+    /// copy of the graph, the document/catalog delta is derived from the
+    /// applied ops (`iyp_data::describe_delta`) and patched into a clone
+    /// of the current index — only affected nodes are re-embedded, not
+    /// the corpus. Readers are blocked only for the paired pointer swap.
+    /// Records `apply`/`swap` into [`SWAP_METRIC`] and
+    /// `derive`/`apply`/`swap` into [`INDEX_METRIC`].
+    pub fn ingest(&self, batch: &DeltaBatch) -> Result<IngestReport, DeltaError> {
+        let _g = self.ingest_lock.lock();
+        let base = self.store.load();
+
+        // Graph: clone + apply, tracking which nodes changed.
+        let t0 = Instant::now();
+        let mut next_graph = base.graph().clone();
+        let applied = batch.apply_tracked(&mut next_graph)?;
+        let apply = t0.elapsed();
+
+        // Derive the retrieval-side consequences of the batch.
+        let t0 = Instant::now();
+        let delta = iyp_data::describe_delta(&next_graph, &applied);
+        let derive = t0.elapsed();
+
+        // Patch a private copy of the index — readers keep searching the
+        // published one the whole time.
+        let t0 = Instant::now();
+        let mut next_index = (**self.index.read()).clone();
+        next_index.apply_delta(base.graph(), &next_graph, &delta);
+        let index_apply = t0.elapsed();
+
+        // Publish the pair. Holding the index write lock across the
+        // graph publish is what makes the pair atomic for `resolve`.
+        let t0 = Instant::now();
+        let mut index_slot = self.index.write();
+        let graph_report = self
+            .store
+            .publish_prepared(next_graph, applied.ops_applied, apply);
+        let published = self.store.load();
+        next_index.stamp(published.version(), published.epoch());
+        *index_slot = Arc::new(next_index);
+        drop(index_slot);
+        let index_swap = t0.elapsed();
+
+        for (stage, d) in [("apply", graph_report.apply), ("swap", graph_report.swap)] {
+            self.registry.observe(SWAP_METRIC, &[("stage", stage)], d);
+        }
+        for (stage, d) in [
+            ("derive", derive),
+            ("apply", index_apply),
+            ("swap", index_swap),
+        ] {
+            self.registry.observe(INDEX_METRIC, &[("stage", stage)], d);
+        }
+        Ok(IngestReport {
+            index_version: graph_report.new_version,
+            graph: graph_report,
+            derive,
+            index_apply,
+            index_swap,
+        })
     }
 
     /// The active configuration.
@@ -155,17 +278,21 @@ impl ChatIyp {
 
         // Stage 2a: TextToCypherRetriever (with optional self-correction
         // retries on failed/empty executions).
-        // One snapshot for the whole request: all reads below are
-        // consistent even if an ingest swaps in a new version mid-ask.
-        let snap = self.store.load();
+        // One resolved (snapshot, index) pair for the whole request: the
+        // symbolic path, entity linking and the semantic fallback below
+        // all read the same published version, even if an ingest swaps in
+        // a newer pair mid-ask.
+        let handle = self.resolve();
+        let snap = &handle.snapshot;
         let structured: Option<StructuredRetrieval> = if self.config.enable_text2cypher {
             let _s = trace.span("text2cypher");
-            Some(self.text2cypher.retrieve_cached_with_limits(
-                &snap,
+            Some(self.text2cypher.retrieve_cached_with_limits_using(
+                snap,
                 question,
                 self.config.max_retries,
                 Some(&self.cache),
                 iyp_cypher::ExecLimits::none().with_parallelism(self.config.query_parallelism),
+                handle.index.catalog(),
             ))
         } else {
             None
@@ -182,7 +309,7 @@ impl ChatIyp {
         if !structured_ok && self.config.enable_vector_fallback {
             let retrieve_span = trace.span("embed_retrieve");
             let t0 = Instant::now();
-            let mut candidates = self.vector.retrieve(question, self.config.vector_top_k);
+            let mut candidates = handle.index.retrieve(question, self.config.vector_top_k);
             self.registry
                 .observe(STAGE_METRIC, &[("stage", "embed_retrieve")], t0.elapsed());
             retrieve_span.field("candidates", candidates.len());
@@ -458,7 +585,8 @@ mod tests {
         let mut batch = DeltaBatch::new();
         batch.add_node(["AS"], iyp_graphdb::props!("asn" => 64512i64));
         let report = chat.ingest(&batch).unwrap();
-        assert_eq!((report.old_version, report.new_version), (1, 2));
+        assert_eq!((report.graph.old_version, report.graph.new_version), (1, 2));
+        assert_eq!(report.index_version, 2);
 
         let c = chat.snapshot();
         assert!(!Arc::ptr_eq(&a, &c));
@@ -547,6 +675,106 @@ mod tests {
         let without = count_correct_with_retries(0);
         let with = count_correct_with_retries(2);
         assert!(with > without, "retries did not help: {with} vs {without}");
+    }
+
+    /// The previously-stale path, now fixed: after an ingest, a
+    /// semantic-fallback question about the new node returns its context
+    /// — while a handle resolved *before* the ingest still answers from
+    /// the old index (snapshot isolation cuts both ways).
+    #[test]
+    fn semantic_fallback_sees_ingested_nodes_and_held_handles_do_not() {
+        let chat = perfect();
+        let pre = chat.resolve();
+        assert_eq!(pre.snapshot.version(), pre.index.version());
+
+        let batch = iyp_data::growth_batch(pre.snapshot.graph(), 77, 5);
+        let report = chat.ingest(&batch).unwrap();
+        assert_eq!(report.index_version, report.graph.new_version);
+
+        let new_asn = iyp_data::max_asn(chat.snapshot().graph());
+        // This phrasing has no intent template, so it takes the vector
+        // fallback — the route that used to answer from a stale corpus.
+        let q = format!("Tell me everything interesting about Ingest Networks {new_asn}");
+        let r = chat.ask(&q);
+        assert_eq!(r.route, Route::VectorFallback);
+        assert!(
+            r.contexts
+                .iter()
+                .any(|c| c.title.contains(&new_asn.to_string())),
+            "fallback missed the ingested AS; contexts: {:?}",
+            r.contexts.iter().map(|c| &c.title).collect::<Vec<_>>()
+        );
+
+        // The pre-ingest handle still describes the old world, pair-wise:
+        // same stamped version, and no document for the new node.
+        assert_eq!(pre.snapshot.version(), pre.index.version());
+        assert!(pre
+            .index
+            .retrieve(&q, 10)
+            .iter()
+            .all(|c| !c.title.contains(&new_asn.to_string())));
+        // While the freshly resolved pair is the new world.
+        let post = chat.resolve();
+        assert_eq!(post.snapshot.version(), post.index.version());
+        assert_eq!(post.snapshot.version(), report.graph.new_version);
+    }
+
+    /// Entity linking tracks the ingest too: a question naming a
+    /// freshly ingested network by *name* routes through Cypher, because
+    /// the refreshed catalog resolves the name to its ASN.
+    #[test]
+    fn catalog_refresh_routes_new_names_through_cypher() {
+        let chat = perfect();
+        let batch = iyp_data::growth_batch(chat.snapshot().graph(), 31, 4);
+        chat.ingest(&batch).unwrap();
+        let new_asn = iyp_data::max_asn(chat.snapshot().graph());
+        let q = format!("What is the ASN of Ingest Networks {new_asn}?");
+        let r = chat.ask(&q);
+        assert_eq!(r.route, Route::Cypher, "answer: {}", r.answer);
+        assert!(
+            r.answer.contains(&new_asn.to_string()),
+            "answer '{}' lacks {new_asn}",
+            r.answer
+        );
+    }
+
+    /// Concurrent resolvers never observe a torn pair while ingests
+    /// publish: snapshot version and index stamp always agree.
+    #[test]
+    fn resolve_never_returns_a_torn_pair_under_concurrent_ingest() {
+        let chat = std::sync::Arc::new(perfect());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let mut readers = Vec::new();
+            for _ in 0..4 {
+                let chat = std::sync::Arc::clone(&chat);
+                let stop = std::sync::Arc::clone(&stop);
+                readers.push(s.spawn(move || {
+                    let mut seen = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        let h = chat.resolve();
+                        assert_eq!(
+                            h.snapshot.version(),
+                            h.index.version(),
+                            "torn (snapshot, index) pair"
+                        );
+                        assert_eq!(h.snapshot.epoch(), h.index.epoch());
+                        seen = seen.max(h.snapshot.version());
+                    }
+                    seen
+                }));
+            }
+            for _ in 0..20 {
+                let batch = iyp_data::growth_batch(chat.snapshot().graph(), 5, 2);
+                chat.ingest(&batch).unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
+        assert_eq!(chat.snapshot().version(), 21);
+        assert_eq!(chat.retrieval_index().version(), 21);
     }
 
     #[test]

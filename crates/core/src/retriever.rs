@@ -6,7 +6,7 @@ use crate::response::ContextChunk;
 use iyp_cypher::QueryResult;
 use iyp_embed::DocStore;
 use iyp_graphdb::{Graph, GraphSnapshot};
-use iyp_llm::{Translation, Translator};
+use iyp_llm::{EntityCatalog, Translation, Translator};
 
 /// The outcome of the structured retrieval stage.
 #[derive(Debug, Clone)]
@@ -88,6 +88,30 @@ impl TextToCypherRetriever {
         cache: Option<&QueryCache>,
         limits: iyp_cypher::ExecLimits,
     ) -> StructuredRetrieval {
+        self.retrieve_cached_with_limits_using(
+            snap,
+            question,
+            max_retries,
+            cache,
+            limits,
+            &self.translator.catalog,
+        )
+    }
+
+    /// [`TextToCypherRetriever::retrieve_cached_with_limits`], resolving
+    /// entity mentions against an explicit catalog instead of the
+    /// translator's construction-time one — the entry point for the
+    /// pipeline, whose catalog is versioned with the graph and must come
+    /// from the same resolved `(snapshot, index)` pair as `snap`.
+    pub fn retrieve_cached_with_limits_using(
+        &self,
+        snap: &GraphSnapshot,
+        question: &str,
+        max_retries: u32,
+        cache: Option<&QueryCache>,
+        limits: iyp_cypher::ExecLimits,
+        catalog: &EntityCatalog,
+    ) -> StructuredRetrieval {
         let run = |cy: &str| -> Result<QueryResult, String> {
             match cache {
                 Some(cache) => cache
@@ -110,7 +134,9 @@ impl TextToCypherRetriever {
         };
         let mut last = None;
         for attempt in 0..=max_retries {
-            let translation = self.translator.translate_attempt(question, attempt);
+            let translation = self
+                .translator
+                .translate_attempt_with(question, attempt, catalog);
             // A question the model cannot parse at all won't improve with
             // re-prompting; bail out immediately.
             let no_query = translation.cypher.is_none();
@@ -135,6 +161,24 @@ impl TextToCypherRetriever {
     }
 }
 
+/// Maps top-`k` document hits for `question` into context chunks.
+///
+/// Shared by [`VectorContextRetriever`] and the versioned
+/// [`crate::index::RetrievalIndex`] so both produce identical chunks
+/// (hit count capped at the live corpus size; ties broken by ascending
+/// doc id, making the ordering fully deterministic).
+pub(crate) fn retrieve_chunks(store: &DocStore, question: &str, k: usize) -> Vec<ContextChunk> {
+    store
+        .search(question, k)
+        .into_iter()
+        .map(|hit| ContextChunk {
+            title: hit.doc.title.clone(),
+            text: hit.doc.text.clone(),
+            score: f64::from(hit.score),
+        })
+        .collect()
+}
+
 /// VectorContextRetriever: dense retrieval over node descriptions,
 /// used when structured retrieval fails or returns nothing.
 pub struct VectorContextRetriever {
@@ -156,17 +200,11 @@ impl VectorContextRetriever {
         VectorContextRetriever { store }
     }
 
-    /// Top-`k` context chunks for a question.
+    /// Top-`k` context chunks for a question. Returns at most the number
+    /// of live documents (a `k` past the corpus is not an error), ordered
+    /// by descending score with ties broken by ascending doc id.
     pub fn retrieve(&self, question: &str, k: usize) -> Vec<ContextChunk> {
-        self.store
-            .search(question, k)
-            .into_iter()
-            .map(|hit| ContextChunk {
-                title: hit.doc.title.clone(),
-                text: hit.doc.text.clone(),
-                score: f64::from(hit.score),
-            })
-            .collect()
+        retrieve_chunks(&self.store, question, k)
     }
 
     /// Number of indexed documents.
@@ -226,6 +264,101 @@ mod tests {
             hits.iter().any(|h| h.title.contains("2497")),
             "hits: {:?}",
             hits.iter().map(|h| &h.title).collect::<Vec<_>>()
+        );
+    }
+
+    /// `k` past the corpus size returns exactly the corpus, once each —
+    /// not an error, not duplicates, not fewer than available.
+    #[test]
+    fn vector_retrieve_with_oversized_k_returns_every_doc_once() {
+        let mut store = DocStore::new();
+        store.add("AS2497 IIJ", "an autonomous system in Japan", 1);
+        store.add("AS15169 Google", "a cloud network", 2);
+        store.add("JPIX", "an exchange point in Tokyo", 3);
+        let v = VectorContextRetriever::new(store);
+        let hits = v.retrieve("networks", 50);
+        assert_eq!(hits.len(), 3, "k=50 over 3 docs must return all 3");
+        let mut titles: Vec<&str> = hits.iter().map(|h| h.title.as_str()).collect();
+        titles.sort_unstable();
+        titles.dedup();
+        assert_eq!(titles.len(), 3, "duplicate hits: {hits:?}");
+    }
+
+    /// Searching an empty store yields an empty result, for any `k`.
+    #[test]
+    fn vector_retrieve_over_empty_store_is_empty() {
+        let v = VectorContextRetriever::new(DocStore::new());
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert!(v.retrieve("anything at all", 0).is_empty());
+        assert!(v.retrieve("anything at all", 1).is_empty());
+        assert!(v.retrieve("anything at all", 10_000).is_empty());
+    }
+
+    /// Tied scores order by ascending doc id (insertion order), pinning
+    /// the determinism the rest of the pipeline relies on.
+    #[test]
+    fn vector_retrieve_breaks_ties_by_insertion_order() {
+        // Identical title+text embed to identical vectors: guaranteed
+        // ties, distinguishable only by tag.
+        let mut store = DocStore::new();
+        for tag in 0..4u64 {
+            store.add("same title", "identical text body", tag);
+        }
+        let tags: Vec<u64> = store
+            .search("identical text body", 4)
+            .iter()
+            .map(|h| h.doc.tag)
+            .collect();
+        assert_eq!(tags, vec![0, 1, 2, 3], "ties must order by doc id");
+
+        let v = VectorContextRetriever::new(store);
+        let hits = v.retrieve("identical text body", 4);
+        assert_eq!(hits.len(), 4);
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+        // And the whole result is reproducible call-to-call.
+        let again = v.retrieve("identical text body", 4);
+        assert_eq!(
+            hits.iter().map(|h| (&h.title, h.score)).collect::<Vec<_>>(),
+            again
+                .iter()
+                .map(|h| (&h.title, h.score))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    /// The explicit-catalog entry point resolves against the caller's
+    /// catalog, not the translator's construction-time one.
+    #[test]
+    fn structured_retrieval_uses_the_explicit_catalog() {
+        let d = generate(&IypConfig::tiny());
+        let stale = EntityCatalog::from_dataset(&d);
+        let mut fresh = stale.clone();
+        fresh.as_names.insert("newnet".into(), 2497);
+        let t = Translator::new(
+            SimLm::new(LmConfig {
+                seed: 1,
+                skill: 1.0,
+                variety: 0.0,
+            }),
+            stale,
+        );
+        let snap = GraphSnapshot::new(d.graph, 1);
+        let retriever = TextToCypherRetriever::new(t);
+        let q = "What is the ASN of NewNet?";
+        let with_stale = retriever.retrieve(&snap, q);
+        assert!(with_stale.translation.cypher.is_none());
+        let with_fresh = retriever.retrieve_cached_with_limits_using(
+            &snap,
+            q,
+            0,
+            None,
+            iyp_cypher::ExecLimits::none(),
+            &fresh,
+        );
+        assert!(
+            with_fresh.translation.cypher.is_some(),
+            "fresh catalog not consulted"
         );
     }
 }

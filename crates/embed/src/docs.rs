@@ -1,5 +1,13 @@
 //! A document store pairing texts with their embeddings and a flat index —
 //! the unit the VectorContextRetriever searches over.
+//!
+//! The store is **incrementally mutable**: documents are keyed by a
+//! caller-supplied `tag` (e.g. a graph node id), and [`DocStore::upsert`] /
+//! [`DocStore::remove`] patch single documents in place — tombstoned slots
+//! are recycled by later upserts — so a refreshed copy of the store can be
+//! produced from an ingest delta without re-embedding the whole corpus.
+
+use std::collections::HashMap;
 
 use crate::embedder::{Embedder, Vector};
 use crate::index::{FlatIndex, Hit};
@@ -12,15 +20,21 @@ pub struct Doc {
     /// Full text (what gets embedded and returned as context).
     pub text: String,
     /// Opaque tag the caller can use to map back to its own ids
-    /// (e.g. a graph `NodeId`).
+    /// (e.g. a graph `NodeId`). Unique within a store: upserting an
+    /// existing tag replaces that document.
     pub tag: u64,
 }
 
 /// A searchable corpus of documents.
+#[derive(Clone)]
 pub struct DocStore {
     embedder: Embedder,
     docs: Vec<Doc>,
     index: FlatIndex,
+    /// tag → slot in `docs`/`index` for live documents.
+    by_tag: HashMap<u64, usize>,
+    /// Tombstoned slots available for reuse by the next upsert.
+    free: Vec<usize>,
 }
 
 /// A search result with its document.
@@ -39,11 +53,21 @@ impl DocStore {
             embedder: Embedder::default(),
             docs: Vec::new(),
             index: FlatIndex::new(),
+            by_tag: HashMap::new(),
+            free: Vec::new(),
         }
     }
 
-    /// Adds a document.
+    /// Adds or replaces the document with this `tag` (alias of
+    /// [`DocStore::upsert`], kept for construction-time readability).
     pub fn add(&mut self, title: impl Into<String>, text: impl Into<String>, tag: u64) {
+        self.upsert(title, text, tag);
+    }
+
+    /// Adds the document if `tag` is new, replaces it (re-embedding the new
+    /// text into the same slot) if the tag is already present. Removed
+    /// slots are recycled before the store grows.
+    pub fn upsert(&mut self, title: impl Into<String>, text: impl Into<String>, tag: u64) {
         let doc = Doc {
             title: title.into(),
             text: text.into(),
@@ -51,18 +75,52 @@ impl DocStore {
         };
         // Title is embedded twice as heavily as once: it names the entity.
         let embed_text = format!("{} {} {}", doc.title, doc.title, doc.text);
-        self.index.add(self.embedder.embed(&embed_text));
-        self.docs.push(doc);
+        let vector = self.embedder.embed(&embed_text);
+        if let Some(&slot) = self.by_tag.get(&tag) {
+            self.index.set(slot, vector);
+            self.docs[slot] = doc;
+        } else if let Some(slot) = self.free.pop() {
+            self.index.set(slot, vector);
+            self.docs[slot] = doc;
+            self.by_tag.insert(tag, slot);
+        } else {
+            let slot = self.index.add(vector);
+            debug_assert_eq!(slot, self.docs.len());
+            self.docs.push(doc);
+            self.by_tag.insert(tag, slot);
+        }
     }
 
-    /// Number of documents.
+    /// Removes the document with this `tag`, if present. Its slot is
+    /// tombstoned (skipped by searches) and recycled by a later upsert.
+    /// Returns whether a document was removed.
+    pub fn remove(&mut self, tag: u64) -> bool {
+        let Some(slot) = self.by_tag.remove(&tag) else {
+            return false;
+        };
+        self.index.remove(slot);
+        self.free.push(slot);
+        true
+    }
+
+    /// Does the store hold a live document with this `tag`?
+    pub fn contains(&self, tag: u64) -> bool {
+        self.by_tag.contains_key(&tag)
+    }
+
+    /// The live document with this `tag`, if present.
+    pub fn get(&self, tag: u64) -> Option<&Doc> {
+        self.by_tag.get(&tag).map(|&slot| &self.docs[slot])
+    }
+
+    /// Number of live documents.
     pub fn len(&self) -> usize {
-        self.docs.len()
+        self.by_tag.len()
     }
 
-    /// True if empty.
+    /// True if no live documents remain.
     pub fn is_empty(&self) -> bool {
-        self.docs.is_empty()
+        self.by_tag.is_empty()
     }
 
     /// Top-`k` documents for a query.
@@ -137,5 +195,59 @@ mod tests {
         let store = DocStore::new();
         assert!(store.search("anything", 3).is_empty());
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn upsert_replaces_existing_tag_in_place() {
+        let mut store = DocStore::new();
+        store.add("AS2497 IIJ", "an autonomous system in Japan", 2497);
+        store.add("JPIX", "an exchange point in Tokyo", 7);
+        assert_eq!(store.len(), 2);
+
+        store.upsert("AS2497 Renamed Networks", "now a cloud platform", 2497);
+        assert_eq!(
+            store.len(),
+            2,
+            "upsert of a live tag must not grow the store"
+        );
+        assert_eq!(store.get(2497).unwrap().title, "AS2497 Renamed Networks");
+        let hits = store.search("Renamed Networks cloud platform", 1);
+        assert_eq!(hits[0].doc.tag, 2497);
+    }
+
+    #[test]
+    fn remove_hides_doc_and_slot_is_recycled() {
+        let mut store = DocStore::new();
+        store.add("AS2497 IIJ", "an autonomous system in Japan", 2497);
+        store.add("JPIX", "an exchange point in Tokyo", 7);
+
+        assert!(store.remove(2497));
+        assert!(!store.remove(2497), "double-remove reports nothing removed");
+        assert_eq!(store.len(), 1);
+        assert!(!store.contains(2497));
+        assert!(store
+            .search("autonomous system in Japan", 5)
+            .iter()
+            .all(|h| h.doc.tag != 2497));
+
+        // The tombstoned slot is reused, so the store does not grow.
+        store.upsert("AS64500 Fresh", "a newly ingested network", 64500);
+        assert_eq!(store.len(), 2);
+        let hits = store.search("newly ingested network", 1);
+        assert_eq!(hits[0].doc.tag, 64500);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut store = DocStore::new();
+        store.add("AS2497 IIJ", "an autonomous system in Japan", 2497);
+        let mut copy = store.clone();
+        copy.remove(2497);
+        copy.upsert("AS64500 Fresh", "a newly ingested network", 64500);
+        // The original is untouched — this is what lets ingest mutate an
+        // off-lock copy while readers keep searching the published one.
+        assert!(store.contains(2497));
+        assert!(!store.contains(64500));
+        assert!(copy.contains(64500));
     }
 }

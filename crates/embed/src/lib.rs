@@ -18,7 +18,7 @@
 //! assert_eq!(hits[0].doc.tag, 2497);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod docs;
 pub mod embedder;

@@ -137,6 +137,55 @@ impl fmt::Display for DeltaError {
 }
 impl std::error::Error for DeltaError {}
 
+/// What applying a batch touched — the input downstream derived state
+/// (vector documents, entity catalogs) needs to refresh incrementally
+/// instead of rebuilding from the whole graph.
+///
+/// Node ids refer to the graph the batch was applied to. `touched`
+/// includes every node whose *own* record changed (property set, label
+/// added) **and** every node adjacent to a structural change (both
+/// endpoints of added/removed/re-propertied relationships, and the
+/// former neighbors of removed nodes), because a node's derived
+/// description typically renders 1-hop context. `prop_changed` is the
+/// subset of `touched` whose own properties or labels changed — the
+/// only changes that can invalidate a *neighbor's* derived description
+/// (which renders neighbor names and label-filtered counts, but never
+/// facts two hops away), so consumers expand one hop from
+/// `prop_changed` alone instead of from everything the batch brushed.
+/// Ids may repeat across and within the lists; consumers dedup.
+#[derive(Debug, Clone, Default)]
+pub struct AppliedDelta {
+    /// Ops applied (the whole batch, on success).
+    pub ops_applied: usize,
+    /// Nodes this batch created, in creation order.
+    pub created: Vec<NodeId>,
+    /// Pre-existing nodes whose record or 1-hop neighborhood changed.
+    pub touched: Vec<NodeId>,
+    /// Nodes whose own properties or labels changed (a subset of
+    /// `created ∪ touched`): the set whose neighbors' derived
+    /// descriptions may be stale.
+    pub prop_changed: Vec<NodeId>,
+    /// Nodes this batch removed (their ids are dead in the new graph).
+    pub removed: Vec<NodeId>,
+}
+
+impl AppliedDelta {
+    /// Every surviving node id the batch affected, deduplicated and
+    /// sorted: `created ∪ touched`, minus `removed`.
+    pub fn affected(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self
+            .created
+            .iter()
+            .chain(&self.touched)
+            .filter(|id| !self.removed.contains(id))
+            .copied()
+            .collect();
+        ids.sort_unstable_by_key(|id| id.0);
+        ids.dedup();
+        ids
+    }
+}
+
 /// An ordered, serializable batch of graph mutations.
 ///
 /// Build one with the fluent helpers ([`DeltaBatch::add_node`] returns
@@ -256,6 +305,16 @@ impl DeltaBatch {
     /// on failure, which is exactly what
     /// [`crate::store::GraphStore::ingest`] does.
     pub fn apply(&self, graph: &mut Graph) -> Result<usize, DeltaError> {
+        self.apply_tracked(graph).map(|d| d.ops_applied)
+    }
+
+    /// [`DeltaBatch::apply`], additionally reporting *which* nodes the
+    /// batch created, touched, and removed (see [`AppliedDelta`]) — the
+    /// contract incremental index refresh builds on. The tracking is a
+    /// few `Vec` pushes per op plus one adjacency read per removal, so
+    /// it is cheap next to the graph clone an ingest already pays for.
+    pub fn apply_tracked(&self, graph: &mut Graph) -> Result<AppliedDelta, DeltaError> {
+        let mut delta = AppliedDelta::default();
         let mut created: Vec<NodeId> = Vec::new();
         let resolve = |r: NodeRef, created: &[NodeId], op: usize| -> Result<NodeId, DeltaError> {
             match r {
@@ -270,7 +329,9 @@ impl DeltaBatch {
             let graph_err = |source: GraphError| DeltaError::Graph { op: i, source };
             match op {
                 DeltaOp::AddNode { labels, props } => {
-                    created.push(graph.add_node(labels.iter().map(String::as_str), props.clone()));
+                    let id = graph.add_node(labels.iter().map(String::as_str), props.clone());
+                    created.push(id);
+                    delta.created.push(id);
                 }
                 DeltaOp::AddRel {
                     src,
@@ -283,27 +344,47 @@ impl DeltaBatch {
                     graph
                         .add_rel(src, ty, dst, props.clone())
                         .map_err(graph_err)?;
+                    delta.touched.push(src);
+                    delta.touched.push(dst);
                 }
                 DeltaOp::SetNodeProp { node, key, value } => {
                     let node = resolve(*node, &created, i)?;
                     graph
                         .set_node_prop(node, key, value.clone())
                         .map_err(graph_err)?;
+                    delta.touched.push(node);
+                    delta.prop_changed.push(node);
                 }
                 DeltaOp::SetRelProp { rel, key, value } => {
                     graph
                         .set_rel_prop(*rel, key, value.clone())
                         .map_err(graph_err)?;
+                    if let Some(r) = graph.rel(*rel) {
+                        delta.touched.push(r.src);
+                        delta.touched.push(r.dst);
+                    }
                 }
                 DeltaOp::AddLabel { node, label } => {
                     let node = resolve(*node, &created, i)?;
                     graph.add_label(node, label).map_err(graph_err)?;
+                    delta.touched.push(node);
+                    delta.prop_changed.push(node);
                 }
                 DeltaOp::RemoveNode { node } => {
                     let node = resolve(*node, &created, i)?;
+                    // The detach-delete severs every incident rel, so the
+                    // ex-neighbors' derived descriptions change too.
+                    for (_, nbr) in graph.neighbors(node, crate::graph::Direction::Both, None) {
+                        delta.touched.push(nbr);
+                    }
                     graph.remove_node(node).map_err(graph_err)?;
+                    delta.removed.push(node);
                 }
                 DeltaOp::RemoveRel { rel } => {
+                    if let Some(r) = graph.rel(*rel) {
+                        delta.touched.push(r.src);
+                        delta.touched.push(r.dst);
+                    }
                     graph.remove_rel(*rel).map_err(graph_err)?;
                 }
                 DeltaOp::CreateIndex { label, key } => {
@@ -311,7 +392,8 @@ impl DeltaBatch {
                 }
             }
         }
-        Ok(self.ops.len())
+        delta.ops_applied = self.ops.len();
+        Ok(delta)
     }
 }
 
@@ -392,6 +474,84 @@ mod tests {
         let (mut g2, _, _) = seeded();
         // RelId(3) doesn't exist in the seed graph: both fail identically.
         assert_eq!(b.apply(&mut g1), back.apply(&mut g2));
+    }
+
+    #[test]
+    fn apply_tracked_reports_created_touched_removed() {
+        let (mut g, a, jp) = seeded();
+        let mut b = DeltaBatch::new();
+        let x = b.add_node(["AS"], props!("asn" => 64500i64));
+        b.add_rel(x, "COUNTRY", jp, Props::new());
+        b.set_node_prop(a, "name", "IIJ-renamed");
+        let d = b.apply_tracked(&mut g).unwrap();
+        assert_eq!(d.ops_applied, 3);
+        assert_eq!(d.created.len(), 1);
+        let new_id = d.created[0];
+        // AddRel touches both endpoints; SetNodeProp touches its node.
+        assert!(d.touched.contains(&new_id));
+        assert!(d.touched.contains(&jp));
+        assert!(d.touched.contains(&a));
+        assert!(d.removed.is_empty());
+        // affected() dedups and keeps only live ids.
+        let affected = d.affected();
+        assert_eq!(affected.len(), 3);
+        assert!(affected.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn apply_tracked_distinguishes_prop_changes_from_adjacency_touches() {
+        let (mut g, a, jp) = seeded();
+        let mut b = DeltaBatch::new();
+        let x = b.add_node(["AS"], props!("asn" => 64500i64));
+        b.add_rel(x, "COUNTRY", jp, Props::new());
+        b.set_node_prop(a, "name", "IIJ-renamed");
+        b.add_label(a, "Transit");
+        let d = b.apply_tracked(&mut g).unwrap();
+        // Only the renamed/relabelled node's own record changed; the
+        // country was brushed by adjacency but its props are intact.
+        assert!(d.prop_changed.contains(&a));
+        assert!(!d.prop_changed.contains(&jp));
+        assert!(!d.prop_changed.contains(&d.created[0]));
+        // prop_changed stays a subset of touched.
+        assert!(d.prop_changed.iter().all(|id| d.touched.contains(id)));
+    }
+
+    #[test]
+    fn apply_tracked_records_neighbors_of_removed_nodes() {
+        let (mut g, a, jp) = seeded();
+        let mut b = DeltaBatch::new();
+        b.remove_node(a);
+        let d = b.apply_tracked(&mut g).unwrap();
+        assert_eq!(d.removed, vec![a]);
+        // The country lost a COUNTRY rel when `a` was detach-deleted.
+        assert!(d.touched.contains(&jp), "ex-neighbor not touched");
+        // A removed node never shows up in affected().
+        assert!(!d.affected().contains(&a));
+        assert!(d.affected().contains(&jp));
+    }
+
+    #[test]
+    fn apply_tracked_remove_rel_touches_both_endpoints() {
+        let (mut g, a, jp) = seeded();
+        let rel = g.neighbors(a, crate::graph::Direction::Outgoing, None)[0].0;
+        let mut b = DeltaBatch::new();
+        b.remove_rel(rel);
+        let d = b.apply_tracked(&mut g).unwrap();
+        assert!(d.touched.contains(&a));
+        assert!(d.touched.contains(&jp));
+        assert!(d.created.is_empty() && d.removed.is_empty());
+    }
+
+    #[test]
+    fn node_created_and_removed_in_one_batch_is_not_affected() {
+        let (mut g, _, _) = seeded();
+        let mut b = DeltaBatch::new();
+        let x = b.add_node(["AS"], props!("asn" => 64501i64));
+        b.remove_node(x);
+        let d = b.apply_tracked(&mut g).unwrap();
+        assert_eq!(d.created.len(), 1);
+        assert_eq!(d.removed, d.created);
+        assert!(d.affected().is_empty());
     }
 
     #[test]

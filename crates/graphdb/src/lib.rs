@@ -36,7 +36,7 @@ pub mod stats;
 pub mod store;
 pub mod value;
 
-pub use delta::{DeltaBatch, DeltaError, DeltaOp, NodeRef};
+pub use delta::{AppliedDelta, DeltaBatch, DeltaError, DeltaOp, NodeRef};
 pub use graph::{Direction, Graph, GraphError, NodeId, NodeRecord, RelId, RelRecord};
 pub use intern::{Interner, Sym};
 pub use props::Props;

@@ -161,6 +161,28 @@ impl GraphStore {
         Ok(self.publish_locked(next, ops_applied, apply))
     }
 
+    /// Publishes a graph the *caller* already built off-lock (clone +
+    /// batch apply done outside this call), attributing `ops_applied`
+    /// and the caller-measured `apply` duration to the report. This is
+    /// the entry point for publishers that must swap other derived
+    /// state alongside the graph (the pipeline's retrieval index): only
+    /// the pointer exchange happens here, so the caller can bracket it
+    /// with its own swaps under its own lock.
+    ///
+    /// The caller is responsible for serializing its prepare→publish
+    /// sequences (the pipeline holds its own ingest mutex); interleaving
+    /// two prepares based on the same snapshot would lose the first
+    /// publish's data, exactly as with any read-modify-write.
+    pub fn publish_prepared(
+        &self,
+        graph: Graph,
+        ops_applied: usize,
+        apply: Duration,
+    ) -> SwapReport {
+        let _w = self.writer.lock();
+        self.publish_locked(graph, ops_applied, apply)
+    }
+
     /// Swaps `graph` in as the next version. Caller holds `writer`.
     fn publish_locked(&self, mut graph: Graph, ops_applied: usize, apply: Duration) -> SwapReport {
         let old = self.load();

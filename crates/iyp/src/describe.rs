@@ -4,7 +4,7 @@
 //! this module renders those documents deterministically from the graph.
 
 use crate::schema::{labels, rels};
-use iyp_graphdb::{Direction, Graph, NodeId, Value};
+use iyp_graphdb::{AppliedDelta, Direction, Graph, NodeId, Value};
 use std::fmt::Write;
 
 /// A describable document: the node it came from and its rendered text.
@@ -23,19 +23,82 @@ pub struct NodeDoc {
 /// Renders documents for every AS, IXP, Country and DomainName node —
 /// the entity types users ask about.
 pub fn describe_all(graph: &Graph) -> Vec<NodeDoc> {
-    let mut docs = Vec::new();
-    for id in graph.all_nodes() {
-        if graph.node_has_label(id, labels::AS) {
-            docs.push(describe_as(graph, id));
-        } else if graph.node_has_label(id, labels::IXP) {
-            docs.push(describe_ixp(graph, id));
-        } else if graph.node_has_label(id, labels::COUNTRY) {
-            docs.push(describe_country(graph, id));
-        } else if graph.node_has_label(id, labels::DOMAIN_NAME) {
-            docs.push(describe_domain(graph, id));
+    graph
+        .all_nodes()
+        .filter_map(|id| describe_node(graph, id))
+        .collect()
+}
+
+/// Renders the document for a single node, or `None` if the node is
+/// absent or not one of the describable entity types.
+pub fn describe_node(graph: &Graph, id: NodeId) -> Option<NodeDoc> {
+    graph.node(id)?;
+    if graph.node_has_label(id, labels::AS) {
+        Some(describe_as(graph, id))
+    } else if graph.node_has_label(id, labels::IXP) {
+        Some(describe_ixp(graph, id))
+    } else if graph.node_has_label(id, labels::COUNTRY) {
+        Some(describe_country(graph, id))
+    } else if graph.node_has_label(id, labels::DOMAIN_NAME) {
+        Some(describe_domain(graph, id))
+    } else {
+        None
+    }
+}
+
+/// The document-level consequences of one applied
+/// [`DeltaBatch`](iyp_graphdb::DeltaBatch): which node documents must be re-rendered
+/// and which must be dropped to bring a description corpus built from the
+/// pre-ingest graph up to date with the post-ingest graph.
+#[derive(Debug, Clone, Default)]
+pub struct DocDelta {
+    /// Fresh renders (new or changed nodes, and their 1-hop neighbors
+    /// whose descriptions embed facts about them).
+    pub upserts: Vec<NodeDoc>,
+    /// Nodes whose documents must be removed.
+    pub removals: Vec<NodeId>,
+}
+
+/// Derives the [`DocDelta`] for an applied batch against the **post-apply**
+/// graph.
+///
+/// Descriptions render 1-hop context (an AS mentions its country and IXPs;
+/// a country counts its ASes), so the affected set must cover neighbors of
+/// changes — but only where the change can actually leak into a neighbor's
+/// text. Adjacency changes already put both endpoints in
+/// [`AppliedDelta::touched`], and no document renders facts two hops away,
+/// so the only cross-node staleness left is a node's *own record*
+/// changing: a rename or relabel invalidates neighbor documents that
+/// render its name or count it by label. The expansion therefore goes one
+/// hop out from [`AppliedDelta::prop_changed`] alone — expanding from all
+/// of `touched` would drag in every AS of any country the batch brushed,
+/// making the delta scale with the graph instead of the batch.
+/// Non-describable affected nodes (prefixes, organizations, …) render
+/// nothing and are skipped. Removals cover every node the batch deleted —
+/// callers may hold no document for some of them, which is harmless.
+pub fn describe_delta(new_graph: &Graph, applied: &AppliedDelta) -> DocDelta {
+    let mut changed = applied.prop_changed.clone();
+    changed.sort_unstable_by_key(|id| id.0);
+    changed.dedup();
+
+    let mut ids = applied.affected();
+    for &id in &changed {
+        for (_, nbr) in new_graph.neighbors(id, Direction::Both, None) {
+            ids.push(nbr);
         }
     }
-    docs
+    ids.sort_unstable_by_key(|id| id.0);
+    ids.dedup();
+
+    let upserts = ids
+        .into_iter()
+        .filter(|id| !applied.removed.contains(id))
+        .filter_map(|id| describe_node(new_graph, id))
+        .collect();
+    DocDelta {
+        upserts,
+        removals: applied.removed.clone(),
+    }
 }
 
 fn prop_str(graph: &Graph, id: NodeId, key: &str) -> String {
@@ -239,6 +302,100 @@ mod tests {
             "text: {}",
             doc.text
         );
+    }
+
+    #[test]
+    fn describe_delta_patch_equals_full_rerender() {
+        use crate::delta::growth_batch;
+        use std::collections::BTreeMap;
+
+        let d = generate(&IypConfig::tiny());
+        let old_graph = d.graph;
+        let batch = growth_batch(&old_graph, 7, 12);
+        let mut new_graph = old_graph.clone();
+        let applied = batch.apply_tracked(&mut new_graph).unwrap();
+
+        // Patch the old corpus with the delta…
+        let mut corpus: BTreeMap<u64, NodeDoc> = describe_all(&old_graph)
+            .into_iter()
+            .map(|doc| (doc.node.0, doc))
+            .collect();
+        let delta = describe_delta(&new_graph, &applied);
+        for id in &delta.removals {
+            corpus.remove(&id.0);
+        }
+        for doc in delta.upserts {
+            corpus.insert(doc.node.0, doc);
+        }
+
+        // …and it must be textually identical to a from-scratch render.
+        let fresh: BTreeMap<u64, NodeDoc> = describe_all(&new_graph)
+            .into_iter()
+            .map(|doc| (doc.node.0, doc))
+            .collect();
+        assert_eq!(corpus.len(), fresh.len());
+        for (id, doc) in &fresh {
+            let patched = &corpus[id];
+            assert_eq!(patched.title, doc.title, "node {id}");
+            assert_eq!(patched.text, doc.text, "node {id}");
+        }
+    }
+
+    #[test]
+    fn describe_delta_is_tight_for_pure_adjacency_changes() {
+        use iyp_graphdb::{DeltaBatch, Props};
+
+        let d = generate(&IypConfig::tiny());
+        let old_graph = d.graph;
+        let japan = d.country_by_code["JP"];
+        let iij = d.as_by_asn[&2497];
+        let mut batch = DeltaBatch::new();
+        let x = batch.add_node(
+            ["AS"],
+            iyp_graphdb::props!("asn" => 64500i64, "name" => "NewNet"),
+        );
+        batch.add_rel(x, crate::schema::rels::COUNTRY, japan, Props::new());
+        let mut new_graph = old_graph.clone();
+        let applied = batch.apply_tracked(&mut new_graph).unwrap();
+
+        let delta = describe_delta(&new_graph, &applied);
+        // The new AS and its country (whose AS count changed) re-render…
+        assert!(delta
+            .upserts
+            .iter()
+            .any(|doc| doc.node == applied.created[0]));
+        assert!(delta.upserts.iter().any(|doc| doc.node == japan));
+        // …but the country's *other* ASes render no fact that changed, so
+        // the delta must not scale with the country's degree.
+        assert!(
+            delta.upserts.iter().all(|doc| doc.node != iij),
+            "a pure adjacency change dragged a 2-hop neighbor into the delta"
+        );
+    }
+
+    #[test]
+    fn describe_delta_covers_removed_nodes_and_their_neighbors() {
+        use iyp_graphdb::{DeltaBatch, DeltaOp};
+
+        let d = generate(&IypConfig::tiny());
+        let old_graph = d.graph;
+        let iij = d.as_by_asn[&2497];
+        let batch = DeltaBatch {
+            ops: vec![DeltaOp::RemoveNode { node: iij.into() }],
+        };
+        let mut new_graph = old_graph.clone();
+        let applied = batch.apply_tracked(&mut new_graph).unwrap();
+
+        let delta = describe_delta(&new_graph, &applied);
+        assert_eq!(delta.removals, vec![iij]);
+        // Japan counted IIJ among its registered ASes; its document must
+        // be re-rendered (and must not mention the removed node's count).
+        let japan = d.country_by_code["JP"];
+        assert!(
+            delta.upserts.iter().any(|doc| doc.node == japan),
+            "expected a refreshed document for the removed node's country"
+        );
+        assert!(delta.upserts.iter().all(|doc| doc.node != iij));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! assert_eq!(r.rows[0][0].to_string(), "Japan");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod countries;
 pub mod delta;
@@ -35,5 +35,5 @@ pub mod schema;
 pub mod topology;
 
 pub use delta::{growth_batch, max_asn};
-pub use describe::{describe_all, NodeDoc};
+pub use describe::{describe_all, describe_delta, describe_node, DocDelta, NodeDoc};
 pub use generator::{generate, DatasetManifest, IypConfig, IypDataset};

@@ -343,7 +343,13 @@ impl Intent {
 /// Known entities the parser can resolve mentions against — built from the
 /// generated dataset (the stand-in for the schema/entity context ChatIYP's
 /// prompt chain carries).
-#[derive(Debug, Clone, Default)]
+///
+/// The catalog is versionable alongside the graph: [`EntityCatalog::from_graph`]
+/// rebuilds it from any graph snapshot, and [`EntityCatalog::apply_delta`]
+/// patches it incrementally from an ingest's [`iyp_data::DocDelta`] so a
+/// refreshed copy tracks renames, insertions and removals without a full
+/// rescan.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EntityCatalog {
     /// Lower-cased network name → ASN.
     pub as_names: HashMap<String, u32>,
@@ -389,6 +395,126 @@ impl EntityCatalog {
             cat.tags.insert(tag.to_lowercase(), tag.to_string());
         }
         cat
+    }
+
+    /// Rebuilds the catalog from a graph snapshot alone — the from-scratch
+    /// counterpart of [`EntityCatalog::apply_delta`], and the baseline the
+    /// `index_refresh` bench compares incremental patching against.
+    pub fn from_graph(graph: &iyp_graphdb::Graph) -> Self {
+        let mut cat = EntityCatalog::default();
+        for c in iyp_data::countries::COUNTRIES {
+            cat.countries
+                .insert(c.name.to_lowercase(), c.code.to_string());
+            cat.countries
+                .insert(c.code.to_lowercase(), c.code.to_string());
+        }
+        for tag in iyp_data::schema::TAGS {
+            cat.tags.insert(tag.to_lowercase(), tag.to_string());
+        }
+        for id in graph.all_nodes() {
+            cat.insert_node_entries(graph, id);
+        }
+        cat
+    }
+
+    /// Patches the catalog with one ingest's worth of entity changes.
+    ///
+    /// `delta` is the document delta derived from the applied batch
+    /// ([`iyp_data::describe_delta`]); its upsert/removal node sets are
+    /// exactly the nodes whose catalog entries may have changed. Old-graph
+    /// entries for every affected node are retracted first (so a renamed
+    /// AS drops its stale name → ASN mapping), then entries are re-derived
+    /// from the new graph. The result is identical to a from-scratch
+    /// [`EntityCatalog::from_graph`] over the new graph.
+    pub fn apply_delta(
+        &mut self,
+        old_graph: &iyp_graphdb::Graph,
+        new_graph: &iyp_graphdb::Graph,
+        delta: &iyp_data::DocDelta,
+    ) {
+        for &id in delta
+            .removals
+            .iter()
+            .chain(delta.upserts.iter().map(|doc| &doc.node))
+        {
+            self.remove_node_entries(old_graph, id);
+        }
+        for doc in &delta.upserts {
+            self.insert_node_entries(new_graph, doc.node);
+        }
+    }
+
+    /// Inserts the catalog entries a node contributes, if any.
+    fn insert_node_entries(&mut self, graph: &iyp_graphdb::Graph, id: iyp_graphdb::NodeId) {
+        use iyp_data::schema::labels;
+        let Some(node) = graph.node(id) else { return };
+        let name = node
+            .props
+            .get("name")
+            .and_then(|v| v.as_str().map(String::from));
+        if graph.node_has_label(id, labels::AS) {
+            if let (Some(name), Some(asn)) = (
+                name.as_deref(),
+                node.props.get("asn").and_then(|v| v.as_int()),
+            ) {
+                self.as_names.insert(name.to_lowercase(), asn as u32);
+                self.as_display.insert(asn as u32, name.to_string());
+            }
+        } else if graph.node_has_label(id, labels::IXP) {
+            if let Some(name) = name {
+                self.ixps.insert(name.to_lowercase(), name);
+            }
+        } else if graph.node_has_label(id, labels::DOMAIN_NAME) {
+            if let Some(name) = name {
+                self.domains.insert(name.to_lowercase(), name);
+            }
+        } else if graph.node_has_label(id, labels::COUNTRY) {
+            if let (Some(name), Some(code)) = (
+                name,
+                node.props
+                    .get("country_code")
+                    .and_then(|v| v.as_str().map(String::from)),
+            ) {
+                self.countries.insert(name.to_lowercase(), code.clone());
+                self.countries.insert(code.to_lowercase(), code);
+            }
+        }
+    }
+
+    /// Retracts the catalog entries a node contributed when `graph` was
+    /// current. A node absent from `graph` (created by the very batch being
+    /// applied) contributes nothing and is skipped. Entries are only
+    /// removed while they still point at this node's values, so two
+    /// entities sharing a name cannot evict each other.
+    fn remove_node_entries(&mut self, graph: &iyp_graphdb::Graph, id: iyp_graphdb::NodeId) {
+        use iyp_data::schema::labels;
+        let Some(node) = graph.node(id) else { return };
+        let name = node
+            .props
+            .get("name")
+            .and_then(|v| v.as_str().map(String::from));
+        if graph.node_has_label(id, labels::AS) {
+            if let (Some(name), Some(asn)) = (
+                name.as_deref(),
+                node.props.get("asn").and_then(|v| v.as_int()),
+            ) {
+                let key = name.to_lowercase();
+                if self.as_names.get(&key) == Some(&(asn as u32)) {
+                    self.as_names.remove(&key);
+                }
+                self.as_display.remove(&(asn as u32));
+            }
+        } else if graph.node_has_label(id, labels::IXP) {
+            if let Some(name) = name {
+                self.ixps.remove(&name.to_lowercase());
+            }
+        } else if graph.node_has_label(id, labels::DOMAIN_NAME) {
+            if let Some(name) = name {
+                self.domains.remove(&name.to_lowercase());
+            }
+        }
+        // Country nodes: the static country table stays authoritative, so
+        // retraction would only ever re-insert the same mapping.
     }
 }
 
@@ -990,6 +1116,50 @@ mod tests {
         let m = extract_mentions("How many members does Mexico City-IX have?", &cat);
         assert_eq!(m.ixps, vec!["Mexico City-IX".to_string()]);
         assert!(m.countries.is_empty(), "country leaked: {:?}", m.countries);
+    }
+
+    #[test]
+    fn from_graph_matches_from_dataset_entity_maps() {
+        let d = generate(&IypConfig::tiny());
+        let from_dataset = EntityCatalog::from_dataset(&d);
+        let from_graph = EntityCatalog::from_graph(&d.graph);
+        assert_eq!(from_graph.as_names, from_dataset.as_names);
+        assert_eq!(from_graph.as_display, from_dataset.as_display);
+        assert_eq!(from_graph.ixps, from_dataset.ixps);
+        assert_eq!(from_graph.domains, from_dataset.domains);
+        assert_eq!(from_graph.tags, from_dataset.tags);
+        assert_eq!(from_graph.countries, from_dataset.countries);
+    }
+
+    #[test]
+    fn apply_delta_matches_full_rebuild_and_tracks_renames() {
+        let d = generate(&IypConfig::tiny());
+        let old_graph = d.graph;
+        // growth_batch adds fresh ASes and renames an existing one.
+        let batch = iyp_data::growth_batch(&old_graph, 11, 9);
+        let mut new_graph = old_graph.clone();
+        let applied = batch.apply_tracked(&mut new_graph).unwrap();
+        let delta = iyp_data::describe_delta(&new_graph, &applied);
+
+        let mut patched = EntityCatalog::from_graph(&old_graph);
+        patched.apply_delta(&old_graph, &new_graph, &delta);
+        assert_eq!(patched, EntityCatalog::from_graph(&new_graph));
+
+        // The patched catalog resolves a newly ingested network by name…
+        let new_asn = iyp_data::max_asn(&new_graph) as u32;
+        let new_name = format!("ingest networks {new_asn}");
+        assert_eq!(patched.as_names.get(&new_name), Some(&new_asn));
+        // …and parse_question routes a question about it to an intent.
+        let q = format!("What is the ASN of Ingest Networks {new_asn}?");
+        assert!(
+            parse_question(&q, &patched).is_some(),
+            "patched catalog failed to resolve {q:?}"
+        );
+        let stale = EntityCatalog::from_graph(&old_graph);
+        assert!(
+            parse_question(&q, &stale).is_none(),
+            "stale catalog unexpectedly resolved the new network"
+        );
     }
 
     #[test]

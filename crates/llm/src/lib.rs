@@ -21,7 +21,7 @@
 //! distribution, not of GPT-3.5 itself; the error model reproduces that
 //! distribution mechanistically and deterministically (see DESIGN.md).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod errors;
 pub mod intent;

@@ -166,7 +166,20 @@ impl Translator {
     /// failure redraws its mistakes, so each attempt gets an independent
     /// error draw. Attempt 0 is the plain [`Translator::translate`].
     pub fn translate_attempt(&self, question: &str, attempt: u32) -> Translation {
-        let Some(intent) = parse_question(question, &self.catalog) else {
+        self.translate_attempt_with(question, attempt, &self.catalog)
+    }
+
+    /// Like [`Translator::translate_attempt`], but resolving mentions
+    /// against an explicit catalog instead of the construction-time one —
+    /// the entry point for pipelines whose catalog is versioned alongside
+    /// the graph and swapped on ingest.
+    pub fn translate_attempt_with(
+        &self,
+        question: &str,
+        attempt: u32,
+        catalog: &EntityCatalog,
+    ) -> Translation {
+        let Some(intent) = parse_question(question, catalog) else {
             return Translation {
                 cypher: None,
                 intent: None,

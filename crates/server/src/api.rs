@@ -11,19 +11,22 @@
 //!   (the expert escape hatch); `PROFILE`/`EXPLAIN` query prefixes
 //!   return per-operator statistics / the plan instead of plain rows
 //! * `POST /admin/ingest` — a `DeltaBatch` in JSON → applies it and
-//!   swaps in the next snapshot version, reporting old/new version and
-//!   the new graph's node/edge counts
-//! * `GET  /stats` — graph shape + live snapshot version + cache
-//!   counters (JSON)
+//!   swaps in the next `(snapshot, retrieval index)` pair, reporting
+//!   old/new version, the published `index_version`, the new graph's
+//!   node/edge counts, and the apply/derive/swap timings
+//! * `GET  /stats` — graph shape + live snapshot version + paired
+//!   retrieval-index version + cache counters (JSON)
 //! * `GET  /metrics` — Prometheus text exposition (stage + HTTP
-//!   histograms, cache counters, graph gauges)
+//!   histograms, cache counters, graph + index gauges)
 //!
-//! Every request resolves the pipeline's current [`GraphSnapshot`]
-//! **once** in [`handle`] and serves entirely from it, so a concurrent
-//! ingest can never tear a response.
+//! Every request resolves the pipeline's current
+//! `(GraphSnapshot, RetrievalIndex)` pair **once** in [`handle`] (via
+//! [`ChatIyp::resolve`]) and serves entirely from it, so a concurrent
+//! ingest can never tear a response — the graph version and the
+//! retrieval-index version a request reports always match.
 
 use crate::http::{Request, Response};
-use chatiyp_core::ChatIyp;
+use chatiyp_core::{ChatIyp, RetrievalHandle};
 use iyp_graphdb::{DeltaBatch, GraphSnapshot};
 use iyp_obs::TraceTree;
 use serde::{Deserialize, Serialize};
@@ -118,10 +121,11 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         return not_ready();
     };
     let t0 = Instant::now();
-    // One snapshot per request: every read below sees one version, even
-    // while `/admin/ingest` publishes the next one concurrently.
-    let snap = chat.snapshot();
-    let resp = dispatch(chat, &snap, req);
+    // One paired resolve per request: every read below sees one
+    // (graph, retrieval index) pair, even while `/admin/ingest`
+    // publishes the next one concurrently.
+    let handle = chat.resolve();
+    let resp = dispatch(chat, &handle, req);
     let path = metric_path(req.path());
     let registry = chat.registry();
     registry.observe(HTTP_METRIC, &[("path", path)], t0.elapsed());
@@ -144,18 +148,19 @@ fn not_ready() -> Response {
 }
 
 /// Dispatches one request. Graph-reading endpoints (`/cypher`,
-/// `/health`, `/stats`) serve from the request's snapshot — the same
-/// immutable graph the pipeline queries — so they never see a
-/// half-applied ingest.
-fn dispatch(chat: &ChatIyp, snap: &GraphSnapshot, req: &Request) -> Response {
+/// `/health`, `/stats`) serve from the request's resolved handle — the
+/// same immutable graph + retrieval index the pipeline queries — so
+/// they never see a half-applied ingest or a torn pair.
+fn dispatch(chat: &ChatIyp, handle: &RetrievalHandle, req: &Request) -> Response {
+    let snap = &handle.snapshot;
     match (req.method.as_str(), req.path()) {
         ("POST", "/ask") => handle_ask(chat, req),
         ("POST", "/cypher") => handle_cypher(chat, snap, req),
         ("POST", "/admin/ingest") => handle_ingest(chat, req),
         ("GET", "/health") => handle_health(snap),
         ("GET", "/healthz") => handle_healthz(snap),
-        ("GET", "/stats") => handle_stats(chat, snap),
-        ("GET", "/metrics") => handle_metrics(chat, snap),
+        ("GET", "/stats") => handle_stats(chat, handle),
+        ("GET", "/metrics") => handle_metrics(chat, handle),
         ("GET", "/schema") => Response::text(200, iyp_data::schema::schema_summary()),
         ("GET", _) | ("POST", _) => Response::json(
             404,
@@ -406,7 +411,8 @@ fn profile_json(prof: &iyp_cypher::QueryProfile) -> serde_json::Value {
 /// Prometheus text format, followed by cache counters and graph gauges
 /// read at scrape time (they live outside the registry, so they are
 /// appended by hand — see docs/OBSERVABILITY.md).
-fn handle_metrics(chat: &ChatIyp, snap: &GraphSnapshot) -> Response {
+fn handle_metrics(chat: &ChatIyp, handle: &RetrievalHandle) -> Response {
+    let snap = &handle.snapshot;
     let mut out = chat.registry().render_prometheus();
     let cs = chat.query_cache().stats();
 
@@ -468,6 +474,11 @@ fn handle_metrics(chat: &ChatIyp, snap: &GraphSnapshot) -> Response {
             snap.version(),
         ),
         (
+            "chatiyp_index_version",
+            "Retrieval-index version paired with the snapshot (equal to chatiyp_graph_version unless a pair is mid-publish).",
+            handle.index.version(),
+        ),
+        (
             "chatiyp_query_workers",
             "Configured morsel-parallel MATCH worker count.",
             chat.config().query_parallelism as u64,
@@ -478,17 +489,23 @@ fn handle_metrics(chat: &ChatIyp, snap: &GraphSnapshot) -> Response {
     Response::text(200, out)
 }
 
-fn handle_stats(chat: &ChatIyp, snap: &GraphSnapshot) -> Response {
+fn handle_stats(chat: &ChatIyp, handle: &RetrievalHandle) -> Response {
+    let snap = &handle.snapshot;
     let stats = iyp_graphdb::GraphStats::compute(snap.graph());
     let mut body = serde_json::to_value(&stats);
-    // Graft the cache counters, the write epoch, and the live snapshot
-    // version onto the GraphStats object so operators see hit rates and
-    // ingest progress next to graph shape.
+    // Graft the cache counters, the write epoch, and the live snapshot +
+    // retrieval-index versions onto the GraphStats object so operators
+    // see hit rates and ingest progress next to graph shape. The two
+    // versions come from one paired resolve, so they always match.
     if let serde_json::Value::Map(entries) = &mut body {
         entries.push(("epoch".to_string(), serde_json::to_value(&snap.epoch())));
         entries.push((
             "graph_version".to_string(),
             serde_json::to_value(&snap.version()),
+        ));
+        entries.push((
+            "index_version".to_string(),
+            serde_json::to_value(&handle.index.version()),
         ));
         entries.push((
             "cache".to_string(),
@@ -525,9 +542,11 @@ fn handle_healthz(snap: &GraphSnapshot) -> Response {
 }
 
 /// `POST /admin/ingest`: applies a [`DeltaBatch`] and publishes the
-/// next snapshot version. Readers in flight keep the snapshot they
-/// resolved; the response reports the version transition and the new
-/// graph's size, plus apply/swap timings in microseconds.
+/// next `(snapshot, retrieval index)` pair. Readers in flight keep the
+/// pair they resolved; the response reports the version transition, the
+/// published retrieval-index version (always equal to `new_version`),
+/// the new graph's size, and the graph apply/swap plus index
+/// derive/apply/swap timings in microseconds.
 fn handle_ingest(chat: &ChatIyp, req: &Request) -> Response {
     let batch: DeltaBatch = match serde_json::from_slice(&req.body) {
         Err(e) => {
@@ -542,13 +561,17 @@ fn handle_ingest(chat: &ChatIyp, req: &Request) -> Response {
         Ok(report) => Response::json(
             200,
             json!({
-                "old_version": report.old_version,
-                "new_version": report.new_version,
-                "ops_applied": report.ops_applied,
-                "nodes": report.nodes,
-                "rels": report.rels,
-                "apply_us": report.apply.as_micros() as u64,
-                "swap_us": report.swap.as_micros() as u64,
+                "old_version": report.graph.old_version,
+                "new_version": report.graph.new_version,
+                "index_version": report.index_version,
+                "ops_applied": report.graph.ops_applied,
+                "nodes": report.graph.nodes,
+                "rels": report.graph.rels,
+                "apply_us": report.graph.apply.as_micros() as u64,
+                "swap_us": report.graph.swap.as_micros() as u64,
+                "index_derive_us": report.derive.as_micros() as u64,
+                "index_apply_us": report.index_apply.as_micros() as u64,
+                "index_swap_us": report.index_swap.as_micros() as u64,
             })
             .to_string(),
         ),
@@ -899,6 +922,7 @@ mod tests {
             "degree",
             "epoch",
             "graph_version",
+            "index_version",
             "nodes",
             "nodes_by_label",
             "query_parallelism",
@@ -1007,16 +1031,21 @@ mod tests {
         let rep: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
         assert_eq!(rep["old_version"].as_u64(), Some(1));
         assert_eq!(rep["new_version"].as_u64(), Some(2));
+        assert_eq!(rep["index_version"].as_u64(), Some(2));
         assert_eq!(rep["ops_applied"].as_u64(), Some(3));
         assert!(rep["nodes"].as_u64().unwrap() > 0);
         assert!(rep["apply_us"].as_u64().is_some());
         assert!(rep["swap_us"].as_u64().is_some());
+        assert!(rep["index_derive_us"].as_u64().is_some());
+        assert!(rep["index_apply_us"].as_u64().is_some());
+        assert!(rep["index_swap_us"].as_u64().is_some());
 
         // Reads see the new snapshot — including through the cache.
         assert_eq!(count(&c), before + 2);
         let r = handle(&c, &req("GET", "/stats", ""));
         let stats: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
         assert_eq!(stats["graph_version"].as_u64(), Some(2));
+        assert_eq!(stats["index_version"].as_u64(), Some(2));
         let r = handle(&c, &req("GET", "/healthz", ""));
         let hz: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
         assert_eq!(hz["graph_version"].as_u64(), Some(2));
@@ -1066,5 +1095,102 @@ mod tests {
             text.contains("chatiyp_snapshot_swap_seconds_count{stage=\"swap\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn metrics_exposes_index_version_gauge_and_refresh_histograms() {
+        let c = chat();
+        let r = handle(&c, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(
+            text.contains("# TYPE chatiyp_index_version gauge"),
+            "{text}"
+        );
+        assert!(text.contains("\nchatiyp_index_version 1"));
+
+        let batch = DeltaBatch::new();
+        let body = serde_json::to_string(&batch).unwrap();
+        assert_eq!(handle(&c, &req("POST", "/admin/ingest", &body)).status, 200);
+        let r = handle(&c, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
+        // The index version moves in lockstep with the graph version.
+        assert!(text.contains("\nchatiyp_index_version 2"));
+        assert!(text.contains("\nchatiyp_graph_version 2"));
+        // The refresh stages are recorded under the index metric.
+        for stage in ["derive", "apply", "swap"] {
+            assert!(
+                text.contains(&format!(
+                    "chatiyp_index_refresh_seconds_count{{stage=\"{stage}\"}} 1"
+                )),
+                "missing index refresh stage {stage}: {text}"
+            );
+        }
+    }
+
+    /// The acceptance e2e: a node added through `POST /admin/ingest` is
+    /// retrievable by the semantic fallback immediately afterwards — on
+    /// a stale index the fallback would serve pre-ingest context and
+    /// this test fails.
+    #[test]
+    fn ingest_endpoint_refreshes_semantic_fallback_and_catalog() {
+        let c = chat();
+        let name = "Ingest Networks 64512";
+        let fallback_q =
+            json!({"question": format!("Tell me everything interesting about {name}")}).to_string();
+
+        // Before the ingest the fallback cannot surface the node.
+        let r = handle(&c, &req("POST", "/ask", &fallback_q));
+        assert_eq!(r.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(
+            !body["contexts"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .any(|t| t.as_str().unwrap().contains(name)),
+            "new node retrieved before it was ingested: {body}"
+        );
+
+        let mut batch = DeltaBatch::new();
+        let x = batch.add_node(["AS"], iyp_graphdb::props!("asn" => 64512i64));
+        batch.set_node_prop(x, "name", iyp_graphdb::Value::from(name));
+        let r = handle(
+            &c,
+            &req(
+                "POST",
+                "/admin/ingest",
+                &serde_json::to_string(&batch).unwrap(),
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+
+        // The semantic fallback now retrieves the freshly ingested node.
+        let r = handle(&c, &req("POST", "/ask", &fallback_q));
+        assert_eq!(r.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(body["route"], "vector-fallback", "{body}");
+        assert!(
+            body["contexts"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .any(|t| t.as_str().unwrap().contains(name)),
+            "semantic fallback missed the ingested node: {body}"
+        );
+
+        // The entity catalog refreshed too: the new name now routes
+        // through Cypher and resolves to the ingested ASN.
+        let r = handle(
+            &c,
+            &req(
+                "POST",
+                "/ask",
+                &json!({"question": format!("What is the ASN of {name}?")}).to_string(),
+            ),
+        );
+        assert_eq!(r.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(body["route"], "cypher", "{body}");
+        assert!(body["answer"].as_str().unwrap().contains("64512"), "{body}");
     }
 }
