@@ -1,0 +1,126 @@
+//! Measures what the resilience layer costs when nothing is failing.
+//!
+//! Two arms over the same question batch, median-of-interleaved-passes:
+//! the layer disabled entirely vs enabled with no fault plan and no
+//! deadline (the production default). The enabled arm pays for budget
+//! bookkeeping and the per-stage fault checks — which must be nearly
+//! free, because every healthy request pays them.
+//!
+//! The overhead target is <2%; the bench hard-fails only above a
+//! generous 10% so a noisy container doesn't flake, while the printed
+//! number is what docs/RESILIENCE.md cites. Results are written to
+//! `BENCH_resilience.json` at the repository root.
+//!
+//! ```text
+//! cargo run --release -p chatiyp-bench --bin degradation_overhead [-- PASSES]
+//! ```
+
+use chatiyp_core::{ChatIyp, ChatIypConfig, ResilienceConfig};
+use iyp_data::{generate, IypConfig};
+use iyp_llm::LmConfig;
+use std::time::Instant;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn pipeline(resilience: ResilienceConfig) -> ChatIyp {
+    let config = ChatIypConfig {
+        lm: LmConfig {
+            seed: 42,
+            skill: 1.0,
+            variety: 0.0,
+        },
+        resilience,
+        ..Default::default()
+    };
+    ChatIyp::new(generate(&IypConfig::tiny()), config)
+}
+
+/// One timed pass of the question batch through a pipeline; seconds.
+fn ask_pass(chat: &ChatIyp, questions: &[String]) -> f64 {
+    let t0 = Instant::now();
+    for q in questions {
+        chat.ask(q);
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let passes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+
+    let dataset = generate(&IypConfig::tiny());
+    let questions: Vec<String> = dataset
+        .ases
+        .iter()
+        .flat_map(|a| {
+            [
+                format!("What is the name of AS{}?", a.asn),
+                format!("In which country is AS{} registered?", a.asn),
+            ]
+        })
+        .collect();
+
+    let disabled = pipeline(ResilienceConfig::disabled());
+    let enabled = pipeline(ResilienceConfig::default());
+    assert!(!disabled.config().resilience.enabled && enabled.config().resilience.enabled);
+    assert!(
+        enabled.config().resilience.faults.is_none(),
+        "the enabled arm must be zero-fault"
+    );
+
+    // Warm both arms (caches, allocator) before measuring.
+    ask_pass(&disabled, &questions);
+    ask_pass(&enabled, &questions);
+
+    // Interleave the arms so drift (thermal, scheduler) hits both.
+    let mut t_disabled = Vec::with_capacity(passes);
+    let mut t_enabled = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        t_disabled.push(ask_pass(&disabled, &questions));
+        t_enabled.push(ask_pass(&enabled, &questions));
+    }
+    let m_disabled = median(&mut t_disabled);
+    let m_enabled = median(&mut t_enabled);
+    let overhead = (m_enabled - m_disabled) / m_disabled * 100.0;
+
+    println!("questions per pass:      {}", questions.len());
+    println!("passes:                  {passes} (median)");
+    println!("ask, resilience off:     {:.3}ms", m_disabled * 1e3);
+    println!("ask, resilience on:      {:.3}ms", m_enabled * 1e3);
+    println!("resilience overhead:     {overhead:+.2}% (target <2%)");
+
+    // Sanity: the enabled zero-fault arm never degrades or retries.
+    let counters = enabled.resilience_stats();
+    assert_eq!(
+        (counters.retries, counters.degraded),
+        (0, 0),
+        "zero-fault arm recorded resilience events: {counters:?}"
+    );
+
+    let report = serde_json::json!({
+        "bench": "degradation_overhead",
+        "questions_per_pass": questions.len() as u64,
+        "passes": passes as u64,
+        "disabled_ms": m_disabled * 1e3,
+        "enabled_ms": m_enabled * 1e3,
+        "overhead_pct": overhead,
+    });
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resilience.json");
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&report).expect("report serializes") + "\n",
+    )
+    .expect("BENCH_resilience.json writes");
+    println!("wrote {out}");
+
+    // Generous gate: the target is <2%, but CI containers are noisy.
+    assert!(
+        overhead < 10.0,
+        "resilience overhead {overhead:.2}% exceeds the 10% hard ceiling"
+    );
+}

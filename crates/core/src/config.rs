@@ -2,6 +2,7 @@
 //! retrieval knobs, and query-cache sizing.
 
 use crate::cache::CacheConfig;
+use crate::resilience::ResilienceConfig;
 use iyp_llm::LmConfig;
 
 /// Configuration of the ChatIYP pipeline.
@@ -40,6 +41,10 @@ pub struct ChatIypConfig {
     pub trace_requests: bool,
     /// How many recent request traces the ring buffer retains.
     pub trace_ring_capacity: usize,
+    /// Resilience layer: fault injection, per-request budget, transient
+    /// fault retry/backoff, graceful degradation. See
+    /// [`crate::resilience`] and `docs/RESILIENCE.md`.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ChatIypConfig {
@@ -58,6 +63,7 @@ impl Default for ChatIypConfig {
                 .unwrap_or(1),
             trace_requests: true,
             trace_ring_capacity: 64,
+            resilience: ResilienceConfig::default(),
         }
     }
 }

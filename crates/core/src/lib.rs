@@ -36,12 +36,17 @@ pub mod config;
 pub mod index;
 pub mod obs;
 pub mod pipeline;
+pub mod resilience;
 pub mod response;
 pub mod retriever;
 
 pub use cache::{CacheConfig, CacheStats, QueryCache};
 pub use config::ChatIypConfig;
 pub use index::RetrievalIndex;
-pub use pipeline::{ChatIyp, IngestReport, RetrievalHandle};
+pub use pipeline::{ChatIyp, CypherExecError, IngestReport, RetrievalHandle};
+pub use resilience::{
+    Budget, DegradedReason, FaultError, FaultPlan, FaultPoint, FaultRule, ResilienceConfig,
+    ResilienceCounters, ResilienceStats, RetryPolicy,
+};
 pub use response::{ChatResponse, ContextChunk, Route, Timings};
 pub use retriever::{StructuredRetrieval, TextToCypherRetriever, VectorContextRetriever};

@@ -5,14 +5,20 @@ use crate::cache::QueryCache;
 use crate::config::ChatIypConfig;
 use crate::index::RetrievalIndex;
 use crate::obs::{INDEX_METRIC, STAGE_METRIC, SWAP_METRIC};
+use crate::resilience::{
+    DegradedReason, FaultError, FaultPoint, ResilienceCounters, ResilienceCtx, ResilienceStats,
+    RETRIEVE_BUDGET_SHARE,
+};
 use crate::response::{ChatResponse, ContextChunk, Route, Timings};
 use crate::retriever::{StructuredRetrieval, TextToCypherRetriever};
+use iyp_cypher::QueryResult;
 use iyp_data::IypDataset;
 use iyp_embed::tokenize::words;
 use iyp_graphdb::{DeltaBatch, DeltaError, GraphSnapshot, GraphStore, SwapReport};
-use iyp_llm::{generate_answer, EntityCatalog, Reranker, SimLm, Translator};
+use iyp_llm::{generate_answer, EntityCatalog, Intent, Reranker, SimLm, Translator};
 use iyp_obs::{Registry, RingSink, Trace, TraceSink, TraceTree};
 use parking_lot::{Mutex, RwLock};
+use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -83,7 +89,31 @@ pub struct ChatIyp {
     cache: QueryCache,
     registry: Arc<Registry>,
     traces: Arc<RingSink>,
+    resilience: ResilienceStats,
 }
+
+/// Why a raw Cypher execution (the `/cypher` path) did not produce a
+/// result: a transient outage the caller should retry later, or a real
+/// query error the caller must fix.
+#[derive(Debug)]
+pub enum CypherExecError {
+    /// The resilience layer's `exec` fault point reported the execution
+    /// substrate down — maps to `503 + Retry-After`, not a query error.
+    Unavailable(FaultError),
+    /// The engine rejected or failed the query — maps to `400`.
+    Query(iyp_cypher::CypherError),
+}
+
+impl fmt::Display for CypherExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CypherExecError::Unavailable(e) => write!(f, "execution unavailable: {e}"),
+            CypherExecError::Query(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CypherExecError {}
 
 // The pipeline is shared read-only across server workers and bench
 // threads; keep it that way.
@@ -117,6 +147,7 @@ impl ChatIyp {
             cache,
             registry,
             traces,
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -247,6 +278,40 @@ impl ChatIyp {
         self.traces.recent(n)
     }
 
+    /// Lifetime resilience counters (fault retries performed, degraded
+    /// responses served) — surfaced in `/stats` and as
+    /// `chatiyp_retries_total` / `chatiyp_degraded_total` in `/metrics`.
+    pub fn resilience_stats(&self) -> ResilienceCounters {
+        self.resilience.snapshot()
+    }
+
+    /// Executes a raw read-only Cypher query through the shared query
+    /// cache, passing the resilience layer's `exec` fault point first —
+    /// the `/cypher` endpoint's entry. An injected execution outage
+    /// returns [`CypherExecError::Unavailable`] (serve `503` +
+    /// `Retry-After`); engine errors come back as
+    /// [`CypherExecError::Query`] (serve `400`). With the layer
+    /// disabled or no fault plan configured, this is exactly a cache
+    /// execution.
+    pub fn execute_cypher_with_limits(
+        &self,
+        snap: &GraphSnapshot,
+        query: &str,
+        limits: iyp_cypher::ExecLimits,
+    ) -> Result<Arc<QueryResult>, CypherExecError> {
+        let res = &self.config.resilience;
+        if res.enabled {
+            if let Some(plan) = &res.faults {
+                if let Err(fault) = plan.check(FaultPoint::Exec) {
+                    return Err(CypherExecError::Unavailable(fault));
+                }
+            }
+        }
+        self.cache
+            .get_or_execute_with_limits(snap, query, &iyp_cypher::Params::new(), limits)
+            .map_err(CypherExecError::Query)
+    }
+
     /// Answers a natural-language question.
     pub fn ask(&self, question: &str) -> ChatResponse {
         self.ask_traced(question).0
@@ -276,6 +341,23 @@ impl ChatIyp {
         let t_start = Instant::now();
         let ask_span = trace.span("ask");
 
+        // Resilience context for this request: the end-to-end budget
+        // starts now; stages receive `Option<&_>` so the disabled path
+        // costs one branch.
+        let res = &self.config.resilience;
+        let ctx: Option<ResilienceCtx<'_>> = if res.enabled {
+            Some(ResilienceCtx {
+                budget: crate::resilience::Budget::new(res.ask_deadline),
+                retry: &res.retry,
+                faults: res.faults.as_deref(),
+                stats: &self.resilience,
+            })
+        } else {
+            None
+        };
+        // The first degradation that shaped this response, if any.
+        let mut degraded: Option<DegradedReason> = None;
+
         // Stage 2a: TextToCypherRetriever (with optional self-correction
         // retries on failed/empty executions).
         // One resolved (snapshot, index) pair for the whole request: the
@@ -286,17 +368,21 @@ impl ChatIyp {
         let snap = &handle.snapshot;
         let structured: Option<StructuredRetrieval> = if self.config.enable_text2cypher {
             let _s = trace.span("text2cypher");
-            Some(self.text2cypher.retrieve_cached_with_limits_using(
+            Some(self.text2cypher.retrieve_resilient(
                 snap,
                 question,
                 self.config.max_retries,
                 Some(&self.cache),
                 iyp_cypher::ExecLimits::none().with_parallelism(self.config.query_parallelism),
                 handle.index.catalog(),
+                ctx.as_ref(),
             ))
         } else {
             None
         };
+        if let Some(reason) = structured.as_ref().and_then(|s| s.degraded) {
+            degraded = Some(reason);
+        }
 
         let structured_ok = structured
             .as_ref()
@@ -304,39 +390,55 @@ impl ChatIyp {
             .unwrap_or(false);
 
         // Stage 2b/2c: semantic fallback when the symbolic path failed or
-        // came back empty.
+        // came back empty. The embedder is a fault point of its own, and
+        // the stage respects the retrieval share of the request budget —
+        // an unavailable index degrades to answering from the structured
+        // stage alone (or a marked failure), never an abort.
         let mut contexts: Vec<ContextChunk> = Vec::new();
         if !structured_ok && self.config.enable_vector_fallback {
-            let retrieve_span = trace.span("embed_retrieve");
-            let t0 = Instant::now();
-            let mut candidates = handle.index.retrieve(question, self.config.vector_top_k);
-            self.registry
-                .observe(STAGE_METRIC, &[("stage", "embed_retrieve")], t0.elapsed());
-            retrieve_span.field("candidates", candidates.len());
-            drop(retrieve_span);
-            if self.config.enable_reranker && !candidates.is_empty() {
-                let _s = trace.span("rerank");
+            let skip_retrieval = match &ctx {
+                Some(c) if !c.budget.within_share(RETRIEVE_BUDGET_SHARE) => {
+                    degraded.get_or_insert(DegradedReason::BudgetExhausted);
+                    true
+                }
+                Some(c) if c.check(FaultPoint::Embed).is_err() => {
+                    degraded.get_or_insert(DegradedReason::RetrievalUnavailable);
+                    true
+                }
+                _ => false,
+            };
+            if !skip_retrieval {
+                let retrieve_span = trace.span("embed_retrieve");
                 let t0 = Instant::now();
-                let texts: Vec<String> = candidates
-                    .iter()
-                    .map(|c| format!("{} {}", c.title, c.text))
-                    .collect();
-                let ranked = self
-                    .reranker
-                    .rerank(question, &texts, self.config.rerank_top_k);
+                let mut candidates = handle.index.retrieve(question, self.config.vector_top_k);
                 self.registry
-                    .observe(STAGE_METRIC, &[("stage", "rerank")], t0.elapsed());
-                contexts = ranked
-                    .into_iter()
-                    .map(|r| {
-                        let mut c = candidates[r.index].clone();
-                        c.score = r.score;
-                        c
-                    })
-                    .collect();
-            } else {
-                candidates.truncate(self.config.rerank_top_k);
-                contexts = candidates;
+                    .observe(STAGE_METRIC, &[("stage", "embed_retrieve")], t0.elapsed());
+                retrieve_span.field("candidates", candidates.len());
+                drop(retrieve_span);
+                if self.config.enable_reranker && !candidates.is_empty() {
+                    let _s = trace.span("rerank");
+                    let t0 = Instant::now();
+                    let texts: Vec<String> = candidates
+                        .iter()
+                        .map(|c| format!("{} {}", c.title, c.text))
+                        .collect();
+                    let ranked = self
+                        .reranker
+                        .rerank(question, &texts, self.config.rerank_top_k);
+                    self.registry
+                        .observe(STAGE_METRIC, &[("stage", "rerank")], t0.elapsed());
+                    contexts = ranked
+                        .into_iter()
+                        .map(|r| {
+                            let mut c = candidates[r.index].clone();
+                            c.score = r.score;
+                            c
+                        })
+                        .collect();
+                } else {
+                    candidates.truncate(self.config.rerank_top_k);
+                    contexts = candidates;
+                }
             }
         }
         let t_retrieval = t_start.elapsed();
@@ -355,13 +457,20 @@ impl ChatIyp {
             let s = structured.as_ref().expect("structured_ok implies Some");
             let result = s.result.as_ref().expect("has_rows implies result");
             (
-                generate_answer(&self.lm, question, s.translation.intent.as_ref(), result),
+                self.generate_resilient(
+                    ctx.as_ref(),
+                    &mut degraded,
+                    question,
+                    s.translation.intent.as_ref(),
+                    result,
+                ),
                 Route::Cypher,
             )
         } else if structured_empty {
             let s = structured.as_ref().expect("structured_empty implies Some");
-            let refusal = generate_answer(
-                &self.lm,
+            let refusal = self.generate_resilient(
+                ctx.as_ref(),
+                &mut degraded,
                 question,
                 s.translation.intent.as_ref(),
                 &iyp_cypher::QueryResult::empty(),
@@ -379,8 +488,9 @@ impl ChatIyp {
             (answer_from_context(question, best), Route::VectorFallback)
         } else {
             (
-                generate_answer(
-                    &self.lm,
+                self.generate_resilient(
+                    ctx.as_ref(),
+                    &mut degraded,
                     question,
                     structured
                         .as_ref()
@@ -394,6 +504,10 @@ impl ChatIyp {
         self.registry
             .observe(STAGE_METRIC, &[("stage", "llm_generate")], t_generation);
         drop(generate_span);
+
+        if degraded.is_some() {
+            self.resilience.note_degraded();
+        }
 
         ask_span.field("route", route);
         ask_span.field("question_len", question.len());
@@ -420,6 +534,7 @@ impl ChatIyp {
             route,
             intent,
             injected_error,
+            degraded: degraded.map(DegradedReason::as_str),
             timings: Timings {
                 retrieval: t_retrieval,
                 generation: t_generation,
@@ -427,6 +542,74 @@ impl ChatIyp {
             },
         }
     }
+
+    /// Runs answer generation under the resilience layer: the LM call is
+    /// the [`FaultPoint::LlmGenerate`] fault point, retried with backoff
+    /// within the remaining budget. When retries exhaust (or the budget
+    /// already expired), the pipeline still answers — with a plain,
+    /// LM-free rendering of the retrieved rows, marked
+    /// [`DegradedReason::GenerationUnavailable`] (or
+    /// [`DegradedReason::BudgetExhausted`]) — rather than aborting.
+    fn generate_resilient(
+        &self,
+        ctx: Option<&ResilienceCtx<'_>>,
+        degraded: &mut Option<DegradedReason>,
+        question: &str,
+        intent: Option<&Intent>,
+        result: &QueryResult,
+    ) -> String {
+        let Some(ctx) = ctx else {
+            return generate_answer(&self.lm, question, intent, result);
+        };
+        if ctx.budget.expired() {
+            degraded.get_or_insert(DegradedReason::BudgetExhausted);
+            return plain_answer(question, result);
+        }
+        let mut fault_retries = 0u32;
+        loop {
+            match ctx.check(FaultPoint::LlmGenerate) {
+                Ok(()) => return generate_answer(&self.lm, question, intent, result),
+                Err(_) if ctx.retry_after_fault(fault_retries, question, 1.0) => {
+                    fault_retries += 1;
+                }
+                Err(_) => {
+                    degraded.get_or_insert(DegradedReason::GenerationUnavailable);
+                    return plain_answer(question, result);
+                }
+            }
+        }
+    }
+}
+
+/// The LM-free degraded answer: a plain rendering of the retrieved rows
+/// (or an honest "no rows"), deterministic and clearly mechanical — a
+/// degraded response reads degraded rather than imitating fluent prose
+/// the generation stage could not produce.
+fn plain_answer(question: &str, result: &QueryResult) -> String {
+    if result.is_empty() {
+        return format!("IYP returned no rows for this question: {question}");
+    }
+    let shown = result.rows.len().min(3);
+    let rendered: Vec<String> = result.rows[..shown]
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        })
+        .collect();
+    let more = result.rows.len() - shown;
+    let suffix = if more > 0 {
+        format!(" (and {more} more rows)")
+    } else {
+        String::new()
+    };
+    format!(
+        "IYP query result ({}): {}{suffix}",
+        result.columns.join(", "),
+        rendered.join("; ")
+    )
 }
 
 /// Builds an answer from the best semantic context: the sentence of the

@@ -82,6 +82,13 @@ pub struct ChatResponse {
     /// The simulated model's injected translation error, if any —
     /// surfaced for evaluation analysis only.
     pub injected_error: Option<TranslationError>,
+    /// Why the response is degraded, if it is — one of the stable
+    /// markers from [`crate::resilience::DegradedReason`] (e.g.
+    /// `"text2cypher-unavailable"`). `None` means full service. A
+    /// degraded answer is never served as if it were healthy: any
+    /// response whose shape was changed by a fault or an exhausted
+    /// budget carries this marker, surfaced verbatim through `/ask`.
+    pub degraded: Option<&'static str>,
     /// Stage timings.
     pub timings: Timings,
 }
@@ -94,6 +101,9 @@ impl fmt::Display for ChatResponse {
             writeln!(f, "Cypher: {cy}")?;
         }
         writeln!(f, "Route: {}", self.route)?;
+        if let Some(reason) = self.degraded {
+            writeln!(f, "Degraded: {reason}")?;
+        }
         if !self.contexts.is_empty() {
             writeln!(f, "Contexts:")?;
             for c in &self.contexts {
@@ -126,6 +136,7 @@ mod tests {
             route: Route::Cypher,
             intent: Some(Intent::AsName { asn: 2497 }),
             injected_error: None,
+            degraded: None,
             timings: Timings::default(),
         }
     }
@@ -144,5 +155,15 @@ mod tests {
         let json = serde_json::to_string(&sample()).unwrap();
         assert!(json.contains("\"route\":\"Cypher\""));
         assert!(json.contains("\"answer\""));
+        assert!(json.contains("\"degraded\":null"));
+    }
+
+    #[test]
+    fn degraded_marker_shows_in_display_and_json() {
+        let mut r = sample();
+        r.degraded = Some("text2cypher-unavailable");
+        assert!(r.to_string().contains("Degraded: text2cypher-unavailable"));
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"degraded\":\"text2cypher-unavailable\""));
     }
 }

@@ -2,6 +2,7 @@
 //! VectorContextRetriever (semantic).
 
 use crate::cache::QueryCache;
+use crate::resilience::{DegradedReason, FaultPoint, ResilienceCtx, TRANSLATE_BUDGET_SHARE};
 use crate::response::ContextChunk;
 use iyp_cypher::QueryResult;
 use iyp_embed::DocStore;
@@ -16,8 +17,13 @@ pub struct StructuredRetrieval {
     /// The execution result; `None` when there was no query or execution
     /// failed.
     pub result: Option<QueryResult>,
-    /// Execution error text, if the generated query did not run.
+    /// Failure text when the structured stage did not produce a result:
+    /// an execution error, or an injected/transient fault description.
     pub exec_error: Option<String>,
+    /// Set when the stage's outcome was shaped by a fault or exhausted
+    /// budget rather than the model's own ability — the pipeline
+    /// propagates it into the response's `degraded` marker.
+    pub degraded: Option<DegradedReason>,
 }
 
 impl StructuredRetrieval {
@@ -112,6 +118,35 @@ impl TextToCypherRetriever {
         limits: iyp_cypher::ExecLimits,
         catalog: &EntityCatalog,
     ) -> StructuredRetrieval {
+        self.retrieve_resilient(snap, question, max_retries, cache, limits, catalog, None)
+    }
+
+    /// [`TextToCypherRetriever::retrieve_cached_with_limits_using`] with
+    /// an optional resilience context — the pipeline's entry point when
+    /// the resilience layer is on.
+    ///
+    /// With a context, every translation call passes the
+    /// [`FaultPoint::LlmTranslate`] check and every execution the
+    /// [`FaultPoint::Exec`] check. An injected (transient) fault retries
+    /// the *same* attempt after a capped, jittered backoff — distinct
+    /// from the `max_retries` self-correction re-prompts, which advance
+    /// the attempt index. When the fault-retry budget or the stage's
+    /// share of the request deadline runs out, the stage gives up and
+    /// returns a retrieval marked
+    /// [`DegradedReason::Text2CypherUnavailable`] (or
+    /// [`DegradedReason::BudgetExhausted`]) so the pipeline can fall
+    /// through to semantic retrieval instead of aborting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn retrieve_resilient(
+        &self,
+        snap: &GraphSnapshot,
+        question: &str,
+        max_retries: u32,
+        cache: Option<&QueryCache>,
+        limits: iyp_cypher::ExecLimits,
+        catalog: &EntityCatalog,
+        ctx: Option<&ResilienceCtx<'_>>,
+    ) -> StructuredRetrieval {
         let run = |cy: &str| -> Result<QueryResult, String> {
             match cache {
                 Some(cache) => cache
@@ -132,32 +167,94 @@ impl TextToCypherRetriever {
                 }
             }
         };
-        let mut last = None;
-        for attempt in 0..=max_retries {
+        // `attempt` indexes self-correction re-prompts (each produces a
+        // fresh translation); `fault_retries` counts backoff retries of
+        // a transiently faulted call (same attempt replayed).
+        let mut attempt = 0u32;
+        let mut fault_retries = 0u32;
+        loop {
+            if let Some(ctx) = ctx {
+                // Past the structured stage's share of the deadline,
+                // stop burning budget and fall through.
+                if (attempt > 0 || fault_retries > 0)
+                    && !ctx.budget.within_share(TRANSLATE_BUDGET_SHARE)
+                {
+                    return StructuredRetrieval {
+                        translation: Translation {
+                            cypher: None,
+                            intent: None,
+                            injected_error: None,
+                        },
+                        result: None,
+                        exec_error: Some("structured stage budget exhausted".into()),
+                        degraded: Some(DegradedReason::BudgetExhausted),
+                    };
+                }
+                // The translation call is the LlmTranslate fault point.
+                if let Err(fault) = ctx.check(FaultPoint::LlmTranslate) {
+                    if ctx.retry_after_fault(fault_retries, question, TRANSLATE_BUDGET_SHARE) {
+                        fault_retries += 1;
+                        continue;
+                    }
+                    return StructuredRetrieval {
+                        translation: Translation {
+                            cypher: None,
+                            intent: None,
+                            injected_error: None,
+                        },
+                        result: None,
+                        exec_error: Some(fault.to_string()),
+                        degraded: Some(DegradedReason::Text2CypherUnavailable),
+                    };
+                }
+            }
             let translation = self
                 .translator
                 .translate_attempt_with(question, attempt, catalog);
             // A question the model cannot parse at all won't improve with
             // re-prompting; bail out immediately.
             let no_query = translation.cypher.is_none();
+            let mut transient_exec = false;
             let (result, exec_error) = match &translation.cypher {
                 None => (None, None),
-                Some(cy) => match run(cy) {
-                    Ok(r) => (Some(r), None),
-                    Err(e) => (None, Some(e)),
-                },
+                Some(cy) => {
+                    // Execution is the Exec fault point.
+                    let fault = ctx.and_then(|c| c.check(FaultPoint::Exec).err());
+                    match fault {
+                        Some(f) => {
+                            transient_exec = true;
+                            (None, Some(f.to_string()))
+                        }
+                        None => match run(cy) {
+                            Ok(r) => (Some(r), None),
+                            Err(e) => (None, Some(e)),
+                        },
+                    }
+                }
             };
-            let retrieval = StructuredRetrieval {
+            let mut retrieval = StructuredRetrieval {
                 translation,
                 result,
                 exec_error,
+                degraded: None,
             };
             if retrieval.has_rows() || no_query {
                 return retrieval;
             }
-            last = Some(retrieval);
+            if transient_exec {
+                let ctx = ctx.expect("transient faults only injected with a context");
+                if ctx.retry_after_fault(fault_retries, question, TRANSLATE_BUDGET_SHARE) {
+                    fault_retries += 1;
+                    continue; // replay the same attempt; translation is deterministic
+                }
+                retrieval.degraded = Some(DegradedReason::Text2CypherUnavailable);
+                return retrieval;
+            }
+            if attempt >= max_retries {
+                return retrieval;
+            }
+            attempt += 1;
         }
-        last.expect("loop ran at least once")
     }
 }
 

@@ -26,12 +26,13 @@
 //! retrieval-index version a request reports always match.
 
 use crate::http::{Request, Response};
-use chatiyp_core::{ChatIyp, RetrievalHandle};
+use chatiyp_core::{ChatIyp, CypherExecError, RetrievalHandle};
 use iyp_graphdb::{DeltaBatch, GraphSnapshot};
 use iyp_obs::TraceTree;
 use serde::{Deserialize, Serialize};
 use serde_json::json;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -43,6 +44,10 @@ use std::time::Instant;
 /// `GET /healthz` is the probe that flips to 200 on readiness.
 pub struct AppState {
     chat: OnceLock<Arc<ChatIyp>>,
+    /// Connections refused with `429` because the admission queue was
+    /// full. Lives here (not in the pipeline's registry) because sheds
+    /// can happen before any pipeline is published.
+    shed: AtomicU64,
 }
 
 impl AppState {
@@ -59,6 +64,7 @@ impl AppState {
     pub fn deferred() -> Self {
         AppState {
             chat: OnceLock::new(),
+            shed: AtomicU64::new(0),
         }
     }
 
@@ -71,6 +77,16 @@ impl AppState {
     /// The pipeline, once published.
     pub fn chat(&self) -> Option<&Arc<ChatIyp>> {
         self.chat.get()
+    }
+
+    /// Counts one shed connection (admission queue full → `429`).
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many connections have been shed since startup.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 }
 
@@ -105,6 +121,9 @@ pub struct AskResponse<'a> {
     pub route: String,
     /// Retrieved context titles (vector route).
     pub contexts: Vec<&'a str>,
+    /// Why the response is degraded (stable marker such as
+    /// `"text2cypher-unavailable"`), or `null` for full service.
+    pub degraded: Option<&'a str>,
     /// End-to-end latency in microseconds.
     pub latency_us: u64,
 }
@@ -125,7 +144,7 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
     // (graph, retrieval index) pair, even while `/admin/ingest`
     // publishes the next one concurrently.
     let handle = chat.resolve();
-    let resp = dispatch(chat, &handle, req);
+    let resp = dispatch(state, chat, &handle, req);
     let path = metric_path(req.path());
     let registry = chat.registry();
     registry.observe(HTTP_METRIC, &[("path", path)], t0.elapsed());
@@ -151,7 +170,7 @@ fn not_ready() -> Response {
 /// `/health`, `/stats`) serve from the request's resolved handle — the
 /// same immutable graph + retrieval index the pipeline queries — so
 /// they never see a half-applied ingest or a torn pair.
-fn dispatch(chat: &ChatIyp, handle: &RetrievalHandle, req: &Request) -> Response {
+fn dispatch(state: &AppState, chat: &ChatIyp, handle: &RetrievalHandle, req: &Request) -> Response {
     let snap = &handle.snapshot;
     match (req.method.as_str(), req.path()) {
         ("POST", "/ask") => handle_ask(chat, req),
@@ -159,8 +178,8 @@ fn dispatch(chat: &ChatIyp, handle: &RetrievalHandle, req: &Request) -> Response
         ("POST", "/admin/ingest") => handle_ingest(chat, req),
         ("GET", "/health") => handle_health(snap),
         ("GET", "/healthz") => handle_healthz(snap),
-        ("GET", "/stats") => handle_stats(chat, handle),
-        ("GET", "/metrics") => handle_metrics(chat, handle),
+        ("GET", "/stats") => handle_stats(state, chat, handle),
+        ("GET", "/metrics") => handle_metrics(state, chat, handle),
         ("GET", "/schema") => Response::text(200, iyp_data::schema::schema_summary()),
         ("GET", _) | ("POST", _) => Response::json(
             404,
@@ -198,7 +217,10 @@ fn status_label(status: u16) -> &'static str {
         400 => "400",
         404 => "404",
         405 => "405",
+        413 => "413",
+        429 => "429",
         503 => "503",
+        504 => "504",
         _ => "other",
     }
 }
@@ -271,6 +293,7 @@ fn handle_ask(chat: &ChatIyp, req: &Request) -> Response {
                 cypher: r.cypher.as_deref(),
                 route: r.route.to_string(),
                 contexts: r.contexts.iter().map(|c| c.title.as_str()).collect(),
+                degraded: r.degraded,
                 latency_us: r.timings.total.as_micros() as u64,
             };
             let mut value = serde_json::to_value(&body);
@@ -349,11 +372,12 @@ fn handle_cypher(chat: &ChatIyp, snap: &GraphSnapshot, req: &Request) -> Respons
         // Plain queries run through the shared query cache (repeated
         // queries skip parse + execution) and under a deadline so a
         // pathological pattern cannot pin a worker; cold executions use
-        // the configured morsel parallelism.
-        CypherRoute::Plain => match chat.query_cache().get_or_execute_with_limits(
+        // the configured morsel parallelism. An injected execution-stage
+        // fault answers 503 + `Retry-After` — transient unavailability,
+        // not a query error — while a bad query stays a 400.
+        CypherRoute::Plain => match chat.execute_cypher_with_limits(
             snap,
             &c.query,
-            &iyp_cypher::Params::new(),
             iyp_cypher::ExecLimits::timeout(std::time::Duration::from_secs(2))
                 .with_parallelism(chat.config().query_parallelism),
         ) {
@@ -361,7 +385,14 @@ fn handle_cypher(chat: &ChatIyp, snap: &GraphSnapshot, req: &Request) -> Respons
                 200,
                 serde_json::to_string(&*result).expect("result serializes"),
             ),
-            Err(e) => Response::json(400, json!({"error": e.to_string()}).to_string()),
+            Err(CypherExecError::Unavailable(e)) => Response::json(
+                503,
+                json!({"error": format!("execution temporarily unavailable: {e}")}).to_string(),
+            )
+            .with_header("retry-after", "1"),
+            Err(CypherExecError::Query(e)) => {
+                Response::json(400, json!({"error": e.to_string()}).to_string())
+            }
         },
     }
 }
@@ -411,10 +442,35 @@ fn profile_json(prof: &iyp_cypher::QueryProfile) -> serde_json::Value {
 /// Prometheus text format, followed by cache counters and graph gauges
 /// read at scrape time (they live outside the registry, so they are
 /// appended by hand — see docs/OBSERVABILITY.md).
-fn handle_metrics(chat: &ChatIyp, handle: &RetrievalHandle) -> Response {
+fn handle_metrics(state: &AppState, chat: &ChatIyp, handle: &RetrievalHandle) -> Response {
     let snap = &handle.snapshot;
     let mut out = chat.registry().render_prometheus();
     let cs = chat.query_cache().stats();
+    let rc = chat.resilience_stats();
+
+    for (name, help, v) in [
+        (
+            "chatiyp_retries_total",
+            "Transient-fault retries performed by the pipeline.",
+            rc.retries,
+        ),
+        (
+            "chatiyp_degraded_total",
+            "Responses served with a degraded marker.",
+            rc.degraded,
+        ),
+        (
+            "chatiyp_shed_total",
+            "Connections shed with 429 because the admission queue was full.",
+            state.shed_count(),
+        ),
+    ] {
+        writeln!(
+            out,
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}"
+        )
+        .expect("write");
+    }
 
     out.push_str("# HELP chatiyp_cache_events_total Result-tier query cache events.\n");
     out.push_str("# TYPE chatiyp_cache_events_total counter\n");
@@ -489,7 +545,7 @@ fn handle_metrics(chat: &ChatIyp, handle: &RetrievalHandle) -> Response {
     Response::text(200, out)
 }
 
-fn handle_stats(chat: &ChatIyp, handle: &RetrievalHandle) -> Response {
+fn handle_stats(state: &AppState, chat: &ChatIyp, handle: &RetrievalHandle) -> Response {
     let snap = &handle.snapshot;
     let stats = iyp_graphdb::GraphStats::compute(snap.graph());
     let mut body = serde_json::to_value(&stats);
@@ -514,6 +570,15 @@ fn handle_stats(chat: &ChatIyp, handle: &RetrievalHandle) -> Response {
         entries.push((
             "query_parallelism".to_string(),
             serde_json::to_value(&chat.config().query_parallelism),
+        ));
+        let rc = chat.resilience_stats();
+        entries.push((
+            "resilience".to_string(),
+            json!({
+                "retries": rc.retries,
+                "degraded": rc.degraded,
+                "shed": state.shed_count(),
+            }),
         ));
     }
     Response::json(200, body.to_string())
@@ -928,6 +993,7 @@ mod tests {
             "query_parallelism",
             "rels",
             "rels_by_type",
+            "resilience",
         ];
         assert_eq!(
             got, documented,
@@ -964,6 +1030,145 @@ mod tests {
             body["query_parallelism"].as_u64().unwrap_or(0) >= 1,
             "query_parallelism must be at least 1"
         );
+        // The resilience object carries exactly the documented counters.
+        let serde_json::Value::Map(res) = &body["resilience"] else {
+            panic!("resilience is not an object")
+        };
+        let mut res_keys: Vec<&str> = res.iter().map(|(k, _)| k.as_str()).collect();
+        res_keys.sort_unstable();
+        assert_eq!(
+            res_keys,
+            ["degraded", "retries", "shed"],
+            "resilience counters drifted from the documented set"
+        );
+    }
+
+    /// A pipeline with a permanent injected fault at one point.
+    fn faulty_chat(point: chatiyp_core::FaultPoint) -> AppState {
+        use chatiyp_core::{FaultPlan, FaultRule, ResilienceConfig, RetryPolicy};
+        let plan = FaultPlan::new(7).rule(point, FaultRule::window(0, u64::MAX));
+        AppState::ready(Arc::new(ChatIyp::new(
+            generate(&IypConfig::tiny()),
+            ChatIypConfig {
+                lm: LmConfig {
+                    seed: 42,
+                    skill: 1.0,
+                    variety: 0.0,
+                },
+                resilience: ResilienceConfig {
+                    faults: Some(plan.into_arc()),
+                    retry: RetryPolicy {
+                        base: std::time::Duration::ZERO,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )))
+    }
+
+    #[test]
+    fn ask_surfaces_the_degraded_marker() {
+        // Healthy pipeline: degraded is null on the wire.
+        let c = chat();
+        let r = handle(
+            &c,
+            &req(
+                "POST",
+                "/ask",
+                r#"{"question":"What is the name of AS2497?"}"#,
+            ),
+        );
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(body["degraded"].is_null(), "{body}");
+
+        // Translator outage: still 200, but marked degraded and served
+        // from the vector fallback.
+        let c = faulty_chat(chatiyp_core::FaultPoint::LlmTranslate);
+        let r = handle(
+            &c,
+            &req(
+                "POST",
+                "/ask",
+                r#"{"question":"What is the name of AS2497?"}"#,
+            ),
+        );
+        assert_eq!(r.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(
+            body["degraded"].as_str(),
+            Some("text2cypher-unavailable"),
+            "{body}"
+        );
+        assert_eq!(body["route"], "vector-fallback", "{body}");
+    }
+
+    #[test]
+    fn cypher_answers_503_with_retry_after_during_exec_outage() {
+        let c = faulty_chat(chatiyp_core::FaultPoint::Exec);
+        let q = r#"{"query":"MATCH (a:AS) RETURN count(a)"}"#;
+        let r = handle(&c, &req("POST", "/cypher", q));
+        assert_eq!(r.status, 503, "{}", String::from_utf8_lossy(&r.body));
+        assert!(
+            r.extra_headers
+                .iter()
+                .any(|(n, v)| *n == "retry-after" && v == "1"),
+            "503 lacks retry-after"
+        );
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(
+            body["error"]
+                .as_str()
+                .unwrap()
+                .contains("temporarily unavailable"),
+            "{body}"
+        );
+        // A bad query is still a 400, not a 503 — error classes stay apart.
+        let c = chat();
+        let r = handle(
+            &c,
+            &req("POST", "/cypher", r#"{"query":"MATCH (a RETURN a"}"#),
+        );
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn stats_and_metrics_expose_resilience_counters() {
+        let c = faulty_chat(chatiyp_core::FaultPoint::LlmTranslate);
+        c.note_shed();
+        c.note_shed();
+        let r = handle(
+            &c,
+            &req(
+                "POST",
+                "/ask",
+                r#"{"question":"What is the name of AS2497?"}"#,
+            ),
+        );
+        assert_eq!(r.status, 200);
+
+        let r = handle(&c, &req("GET", "/stats", ""));
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(body["resilience"]["shed"].as_u64(), Some(2), "{body}");
+        assert!(
+            body["resilience"]["degraded"].as_u64().unwrap() >= 1,
+            "{body}"
+        );
+        assert!(
+            body["resilience"]["retries"].as_u64().unwrap() >= 1,
+            "{body}"
+        );
+
+        let r = handle(&c, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(
+            text.contains("# TYPE chatiyp_retries_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE chatiyp_degraded_total counter"));
+        assert!(text.contains("# TYPE chatiyp_shed_total counter"));
+        assert!(text.contains("\nchatiyp_shed_total 2"), "{text}");
     }
 
     #[test]

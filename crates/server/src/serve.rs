@@ -4,12 +4,12 @@
 use crate::api::{handle, AppState};
 use crate::http::{HttpError, Response};
 use chatiyp_core::ChatIyp;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -20,6 +20,18 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Per-connection socket read timeout.
     pub read_timeout: Duration,
+    /// Admission-queue bound: connections accepted but not yet picked up
+    /// by a worker. When the queue is full the acceptor *sheds* instead
+    /// of queueing unboundedly — the connection gets an immediate
+    /// `429 Too Many Requests` + `Retry-After` and is closed, and the
+    /// shed counter (`/stats` → `resilience.shed`,
+    /// `chatiyp_shed_total` in `/metrics`) increments.
+    pub queue_capacity: usize,
+    /// How long an accepted connection may wait in the admission queue
+    /// before its first request is abandoned with `504 Gateway Timeout`.
+    /// A request a worker has already started is never cut off. `None`
+    /// disables the check.
+    pub queue_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -28,6 +40,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:8047".parse().expect("valid literal addr"),
             workers: 4,
             read_timeout: Duration::from_secs(10),
+            queue_capacity: 128,
+            queue_deadline: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -76,31 +90,42 @@ impl Server {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
 
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(128);
+        type Queued = (TcpStream, Instant);
+        let (tx, rx): (Sender<Queued>, Receiver<Queued>) = bounded(config.queue_capacity.max(1));
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
             let rx = rx.clone();
             let state = Arc::clone(&state);
             let read_timeout = config.read_timeout;
+            let queue_deadline = config.queue_deadline;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("chatiyp-worker-{i}"))
-                    .spawn(move || worker_loop(rx, state, read_timeout))
+                    .spawn(move || worker_loop(rx, state, read_timeout, queue_deadline))
                     .expect("spawn worker"),
             );
         }
 
         let stop_accept = Arc::clone(&stop);
+        let shed_state = Arc::clone(&state);
         let acceptor = std::thread::Builder::new()
             .name("chatiyp-acceptor".into())
             .spawn(move || {
                 while !stop_accept.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            // If the queue is full the connection waits here;
-                            // backpressure instead of unbounded memory.
-                            if tx.send(stream).is_err() {
-                                break;
+                            // Bounded admission: a full queue sheds the
+                            // connection with an immediate 429 instead of
+                            // queueing work the pool cannot reach — in-
+                            // flight and already-queued requests keep
+                            // their workers.
+                            match tx.try_send((stream, Instant::now())) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full((stream, _))) => {
+                                    shed_state.note_shed();
+                                    shed(stream);
+                                }
+                                Err(TrySendError::Disconnected(_)) => break,
                             }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -148,9 +173,64 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(rx: Receiver<TcpStream>, state: Arc<AppState>, read_timeout: Duration) {
+/// The load-shed reply: `429` + `Retry-After`, written inline by the
+/// acceptor (the body is a handful of bytes; socket buffers absorb it)
+/// before the connection is closed.
+fn shed(stream: TcpStream) {
+    let resp = Response::json(
+        429,
+        r#"{"error":"server overloaded, request shed"}"#.as_bytes().to_vec(),
+    )
+    .with_header("retry-after", "1");
+    reject(stream, resp);
+}
+
+/// Writes a rejection response and closes the connection without
+/// triggering a TCP reset. The client has usually already sent request
+/// bytes the server never read; closing with unread data pending makes
+/// the kernel send RST, which discards the in-flight reply at the
+/// client. Shutting down the write half first and briefly draining the
+/// read half lets the status line land before the socket dies. The
+/// drain is bounded (timeout + byte cap) so a hostile peer cannot pin
+/// the caller.
+fn reject(mut stream: TcpStream, resp: Response) {
+    if resp.write_conn(&mut stream, false).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 1024];
+    for _ in 0..64 {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<(TcpStream, Instant)>,
+    state: Arc<AppState>,
+    read_timeout: Duration,
+    queue_deadline: Option<Duration>,
+) {
     // The loop ends when the acceptor drops the sender.
-    while let Ok(stream) = rx.recv() {
+    while let Ok((stream, accepted_at)) = rx.recv() {
+        // A connection that waited in the admission queue past the
+        // deadline gets an honest 504 instead of a stale answer; the
+        // client has likely timed out already. Requests a worker has
+        // begun serving are never cut off.
+        if queue_deadline.is_some_and(|d| accepted_at.elapsed() > d) {
+            let resp = Response::json(
+                504,
+                r#"{"error":"timed out waiting in the admission queue"}"#
+                    .as_bytes()
+                    .to_vec(),
+            )
+            .with_header("retry-after", "1");
+            reject(stream, resp);
+            continue;
+        }
         let _ = stream.set_read_timeout(Some(read_timeout));
         serve_connection(stream, &state);
     }
@@ -226,6 +306,7 @@ mod tests {
                 addr: "127.0.0.1:0".parse().unwrap(),
                 workers: 2,
                 read_timeout: Duration::from_secs(2),
+                ..Default::default()
             },
         )
         .expect("server starts")
@@ -425,6 +506,7 @@ mod tests {
                 addr: "127.0.0.1:0".parse().unwrap(),
                 workers: 2,
                 read_timeout: Duration::from_secs(2),
+                ..Default::default()
             },
             move || {
                 // Hold the pipeline back until the test has observed 503.
@@ -509,6 +591,142 @@ mod tests {
             v["rows"][0][0].as_i64().unwrap()
         };
         assert_eq!(count_of(&after), count_of(&before) + 1);
+        server.shutdown();
+    }
+
+    /// A tiny server (one worker, one queue slot) for overload tests.
+    fn start_tiny_server(queue_deadline: Option<Duration>) -> Server {
+        let chat = ChatIyp::new(
+            generate(&IypConfig::tiny()),
+            ChatIypConfig {
+                lm: LmConfig {
+                    seed: 42,
+                    skill: 1.0,
+                    variety: 0.0,
+                },
+                ..Default::default()
+            },
+        );
+        Server::start(
+            chat,
+            ServerConfig {
+                addr: "127.0.0.1:0".parse().unwrap(),
+                workers: 1,
+                read_timeout: Duration::from_secs(2),
+                queue_capacity: 1,
+                queue_deadline,
+            },
+        )
+        .expect("server starts")
+    }
+
+    /// Opens a connection and parks the single worker on it: the worker
+    /// blocks reading a request that never completes until the stream is
+    /// dropped (read error) or the read timeout fires.
+    fn hold_worker(addr: SocketAddr) -> TcpStream {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /ask HTTP/1.1\r\nHost: t\r\n").unwrap();
+        // Give the worker a moment to dequeue the connection.
+        std::thread::sleep(Duration::from_millis(150));
+        s
+    }
+
+    /// The acceptance overload test: with the single worker held and the
+    /// one-slot queue full, flooding yields immediate 429s with
+    /// `Retry-After` while queued requests still complete, and the shed
+    /// count shows up in `/stats` and `/metrics`.
+    #[test]
+    fn overload_sheds_429_while_queued_requests_complete() {
+        let server = start_tiny_server(Some(Duration::from_secs(30)));
+        let addr = server.addr();
+        let held = hold_worker(addr);
+
+        // Flood: the first connection takes the queue slot, the rest are
+        // shed by the acceptor. Each reader thread collects its reply.
+        let floods: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    s.write_all(b"GET /health HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+                        .unwrap();
+                    let mut out = String::new();
+                    let _ = s.read_to_string(&mut out);
+                    out
+                })
+            })
+            .collect();
+
+        // Let the acceptor process the whole flood, then release the
+        // worker so queued connections drain.
+        std::thread::sleep(Duration::from_millis(300));
+        drop(held);
+
+        let replies: Vec<String> = floods.into_iter().map(|h| h.join().unwrap()).collect();
+        let sheds = replies
+            .iter()
+            .filter(|r| r.starts_with("HTTP/1.1 429"))
+            .count();
+        let served = replies
+            .iter()
+            .filter(|r| r.starts_with("HTTP/1.1 200"))
+            .count();
+        assert!(sheds >= 1, "no connection was shed: {replies:?}");
+        assert!(served >= 1, "no queued request completed: {replies:?}");
+        for r in replies.iter().filter(|r| r.starts_with("HTTP/1.1 429")) {
+            assert!(
+                r.contains("retry-after: 1"),
+                "shed reply lacks retry-after: {r}"
+            );
+            assert!(r.contains("request shed"), "shed reply body: {r}");
+        }
+
+        // The sheds are visible to operators.
+        let stats = request(addr, "GET /stats HTTP/1.1\r\nHost: t\r\n\r\n");
+        let json = stats.split("\r\n\r\n").nth(1).unwrap();
+        let v: serde_json::Value = serde_json::from_str(json).unwrap();
+        assert_eq!(v["resilience"]["shed"].as_u64(), Some(sheds as u64), "{v}");
+        let metrics = request(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(
+            metrics.contains(&format!("chatiyp_shed_total {sheds}")),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
+
+    /// A connection that out-waits the queue deadline gets an honest 504
+    /// instead of a late answer.
+    #[test]
+    fn queue_deadline_expiry_answers_504() {
+        let server = start_tiny_server(Some(Duration::from_millis(50)));
+        let addr = server.addr();
+        let held = hold_worker(addr);
+
+        // This connection sits in the queue while the worker is held...
+        let mut queued = TcpStream::connect(addr).unwrap();
+        queued
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        queued
+            .write_all(b"GET /health HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+
+        // ...long past the 50ms deadline.
+        std::thread::sleep(Duration::from_millis(400));
+        drop(held);
+
+        let mut out = String::new();
+        queued.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 504"), "reply: {out}");
+        assert!(out.contains("admission queue"), "reply: {out}");
+        assert!(out.contains("retry-after: 1"), "reply: {out}");
+        // Close our half so the worker's bounded post-504 drain returns
+        // immediately instead of holding the pool until its timeout.
+        drop(queued);
+
+        // The pool recovers: fresh requests are served normally.
+        let reply = request(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(reply.contains("\"status\":\"ok\""), "reply: {reply}");
         server.shutdown();
     }
 

@@ -192,6 +192,7 @@ fn http_server_serves_the_pipeline() {
             addr: "127.0.0.1:0".parse().unwrap(),
             workers: 2,
             read_timeout: std::time::Duration::from_secs(2),
+            ..Default::default()
         },
     )
     .unwrap();
@@ -248,6 +249,7 @@ fn live_ingest_over_http_is_visible_to_subsequent_reads() {
             addr: "127.0.0.1:0".parse().unwrap(),
             workers: 2,
             read_timeout: std::time::Duration::from_secs(2),
+            ..Default::default()
         },
     )
     .unwrap();
