@@ -197,17 +197,19 @@ impl ChatIyp {
     /// applied ops (`iyp_data::describe_delta`) and patched into a clone
     /// of the current index — only affected nodes are re-embedded, not
     /// the corpus. Readers are blocked only for the paired pointer swap.
-    /// Records `apply`/`swap` into [`SWAP_METRIC`] and
+    /// Records `clone`/`apply`/`swap` into [`SWAP_METRIC`] and
     /// `derive`/`apply`/`swap` into [`INDEX_METRIC`].
     pub fn ingest(&self, batch: &DeltaBatch) -> Result<IngestReport, DeltaError> {
         let _g = self.ingest_lock.lock();
         let base = self.store.load();
 
-        // Graph: clone + apply, tracking which nodes changed.
+        // Graph: COW clone (pointer-copy of page tables) + O(delta)
+        // apply, tracking which nodes changed.
         let t0 = Instant::now();
         let mut next_graph = base.graph().clone();
+        let cloned = t0.elapsed();
         let applied = batch.apply_tracked(&mut next_graph)?;
-        let apply = t0.elapsed();
+        let apply = t0.elapsed() - cloned;
 
         // Derive the retrieval-side consequences of the batch.
         let t0 = Instant::now();
@@ -225,16 +227,20 @@ impl ChatIyp {
         // graph publish is what makes the pair atomic for `resolve`.
         let t0 = Instant::now();
         let mut index_slot = self.index.write();
-        let graph_report = self
-            .store
-            .publish_prepared(next_graph, applied.ops_applied, apply);
+        let graph_report =
+            self.store
+                .publish_prepared(next_graph, applied.ops_applied, cloned, apply);
         let published = self.store.load();
         next_index.stamp(published.version(), published.epoch());
         *index_slot = Arc::new(next_index);
         drop(index_slot);
         let index_swap = t0.elapsed();
 
-        for (stage, d) in [("apply", graph_report.apply), ("swap", graph_report.swap)] {
+        for (stage, d) in [
+            ("clone", graph_report.clone),
+            ("apply", graph_report.apply),
+            ("swap", graph_report.swap),
+        ] {
             self.registry.observe(SWAP_METRIC, &[("stage", stage)], d);
         }
         for (stage, d) in [

@@ -5,13 +5,21 @@
 //! each node (outgoing and incoming relationship lists) so pattern expansion
 //! is O(degree). Label membership and any explicitly created property
 //! indexes are maintained incrementally on mutation.
+//!
+//! Storage is paged and copy-on-write (see [`crate::page`]): node and
+//! relationship records live in `Arc`-shared fixed-size pages, label
+//! membership in `Arc`-shared shards, index entries in `Arc`-shared
+//! partitions. `Graph::clone` is therefore a pointer-copy of the page
+//! tables — microseconds, independent of graph size — and mutating a
+//! clone path-copies only the pages the mutation touches.
 
 use crate::index::{IndexSet, OrderedIndex};
 use crate::intern::{Interner, Sym};
+use crate::page::{LabelSet, PagedVec};
 use crate::props::Props;
+use crate::stats::MemoryStats;
 use crate::value::{Value, ValueKey};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// Identifier of a node. Stable for the lifetime of the graph; never reused
@@ -117,12 +125,12 @@ impl std::error::Error for GraphError {}
 /// The property-graph store.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct Graph {
-    nodes: Vec<Option<NodeRecord>>,
-    rels: Vec<Option<RelRecord>>,
+    nodes: PagedVec<NodeRecord>,
+    rels: PagedVec<RelRecord>,
     labels: Interner,
     rel_types: Interner,
-    /// label symbol → sorted set of node ids carrying it.
-    label_members: Vec<BTreeSet<NodeId>>,
+    /// label symbol → sharded sorted set of node ids carrying it.
+    label_members: Vec<LabelSet>,
     indexes: IndexSet,
     live_nodes: usize,
     live_rels: usize,
@@ -189,13 +197,13 @@ impl Graph {
             self.label_members[sym.0 as usize].insert(id);
         }
         self.indexes.on_node_added(id, &syms, &props);
-        self.nodes.push(Some(NodeRecord {
+        self.nodes.push(NodeRecord {
             id,
             labels: syms,
             props,
             out: Vec::new(),
             inc: Vec::new(),
-        }));
+        });
         self.live_nodes += 1;
         self.bump_epoch();
         id
@@ -217,13 +225,13 @@ impl Graph {
         }
         let ty = self.rel_types.intern(ty);
         let id = RelId(self.rels.len() as u64);
-        self.rels.push(Some(RelRecord {
+        self.rels.push(RelRecord {
             id,
             ty,
             src,
             dst,
             props,
-        }));
+        });
         self.node_mut_raw(src).out.push(id);
         self.node_mut_raw(dst).inc.push(id);
         self.live_rels += 1;
@@ -235,8 +243,7 @@ impl Graph {
     pub fn remove_rel(&mut self, id: RelId) -> Result<RelRecord, GraphError> {
         let rec = self
             .rels
-            .get_mut(id.0 as usize)
-            .and_then(Option::take)
+            .take(id.0 as usize)
             .ok_or(GraphError::RelNotFound(id))?;
         self.node_mut_raw(rec.src).out.retain(|&r| r != id);
         self.node_mut_raw(rec.dst).inc.retain(|&r| r != id);
@@ -255,9 +262,9 @@ impl Graph {
             // A self-loop appears in both lists; the second remove is a no-op.
             let _ = self.remove_rel(r);
         }
-        let rec = self.nodes[id.0 as usize].take().expect("checked above");
+        let rec = self.nodes.take(id.0 as usize).expect("checked above");
         for &sym in &rec.labels {
-            self.label_members[sym.0 as usize].remove(&id);
+            self.label_members[sym.0 as usize].remove(id);
         }
         self.indexes.on_node_removed(id, &rec.labels, &rec.props);
         self.live_nodes -= 1;
@@ -295,7 +302,6 @@ impl Graph {
         let rec = self
             .rels
             .get_mut(id.0 as usize)
-            .and_then(Option::as_mut)
             .ok_or(GraphError::RelNotFound(id))?;
         rec.props.set(key, value);
         self.bump_epoch();
@@ -322,14 +328,14 @@ impl Graph {
     fn intern_label(&mut self, label: &str) -> Sym {
         let sym = self.labels.intern(label);
         while self.label_members.len() <= sym.0 as usize {
-            self.label_members.push(BTreeSet::new());
+            self.label_members.push(LabelSet::new());
         }
         sym
     }
 
     fn node_mut_raw(&mut self, id: NodeId) -> &mut NodeRecord {
-        self.nodes[id.0 as usize]
-            .as_mut()
+        self.nodes
+            .get_mut(id.0 as usize)
             .expect("caller verified node exists")
     }
 
@@ -339,12 +345,12 @@ impl Graph {
 
     /// Returns the node record, or `None` if deleted/nonexistent.
     pub fn node(&self, id: NodeId) -> Option<&NodeRecord> {
-        self.nodes.get(id.0 as usize).and_then(Option::as_ref)
+        self.nodes.get(id.0 as usize)
     }
 
     /// Returns the relationship record.
     pub fn rel(&self, id: RelId) -> Option<&RelRecord> {
-        self.rels.get(id.0 as usize).and_then(Option::as_ref)
+        self.rels.get(id.0 as usize)
     }
 
     /// Number of live nodes.
@@ -406,12 +412,12 @@ impl Graph {
     /// All live node ids, ascending.
     pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         crate::dbhits::add(1 + self.live_nodes as u64);
-        self.nodes.iter().filter_map(|n| n.as_ref().map(|r| r.id))
+        self.nodes.iter().filter_map(|n| n.map(|r| r.id))
     }
 
     /// All live relationship ids, ascending.
     pub fn all_rels(&self) -> impl Iterator<Item = RelId> + '_ {
-        self.rels.iter().filter_map(|r| r.as_ref().map(|r| r.id))
+        self.rels.iter().filter_map(|r| r.map(|r| r.id))
     }
 
     /// Node ids carrying `label`, ascending. Empty if the label is unknown.
@@ -420,7 +426,7 @@ impl Graph {
             Some(sym) => {
                 let members = &self.label_members[sym.0 as usize];
                 crate::dbhits::add(1 + members.len() as u64);
-                Box::new(members.iter().copied())
+                Box::new(members.iter())
             }
             None => {
                 crate::dbhits::add(1);
@@ -540,7 +546,7 @@ impl Graph {
     /// Idempotent.
     pub fn create_index(&mut self, label: &str, key: &str) {
         let sym = self.intern_label(label);
-        let members: Vec<NodeId> = self.label_members[sym.0 as usize].iter().copied().collect();
+        let members: Vec<NodeId> = self.label_members[sym.0 as usize].iter().collect();
         let entries: Vec<(NodeId, ValueKey)> = members
             .iter()
             .filter_map(|&id| {
@@ -613,6 +619,79 @@ impl Graph {
     pub fn after_deserialize(&mut self) {
         self.labels.rebuild_lookup();
         self.rel_types.rebuild_lookup();
+    }
+
+    // ------------------------------------------------------------------
+    // Copy-on-write accounting
+    // ------------------------------------------------------------------
+
+    /// Memory accounting for this snapshot's paged storage: approximate
+    /// retained heap bytes plus shared-vs-owned counts for record pages,
+    /// label shards, and index partitions. "Shared" structures are held
+    /// jointly with other live `Graph` clones (older snapshots, in-flight
+    /// ingest copies); "owned" ones belong to this graph alone.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let node_bytes = self.nodes.heap_bytes(|rec| {
+            rec.labels.capacity() * std::mem::size_of::<Sym>()
+                + rec.out.capacity() * std::mem::size_of::<RelId>()
+                + rec.inc.capacity() * std::mem::size_of::<RelId>()
+                + props_heap_bytes(&rec.props)
+        });
+        let rel_bytes = self.rels.heap_bytes(|rec| props_heap_bytes(&rec.props));
+        let label_bytes: usize = self.label_members.iter().map(LabelSet::heap_bytes).sum();
+        MemoryStats {
+            retained_bytes: node_bytes + rel_bytes + label_bytes + self.indexes.heap_bytes(),
+            node_pages: self.nodes.page_count(),
+            node_pages_shared: self.nodes.shared_page_count(),
+            rel_pages: self.rels.page_count(),
+            rel_pages_shared: self.rels.shared_page_count(),
+            label_shards: self.label_members.iter().map(LabelSet::shard_count).sum(),
+            label_shards_shared: self
+                .label_members
+                .iter()
+                .map(LabelSet::shared_shard_count)
+                .sum(),
+            index_partitions: self.indexes.partition_count(),
+            index_partitions_shared: self.indexes.shared_partition_count(),
+        }
+    }
+
+    /// A clone with every page, shard, and partition privately owned —
+    /// the allocation profile of the pre-paged store's `Graph::clone`.
+    /// Exists for benches (`bin/cow_ingest`) to measure what path-copying
+    /// saves; production code paths never call it.
+    pub fn deep_clone(&self) -> Graph {
+        let mut g = self.clone();
+        g.nodes.make_owned();
+        g.rels.make_owned();
+        for set in &mut g.label_members {
+            set.make_owned();
+        }
+        g.indexes.make_owned();
+        g
+    }
+}
+
+/// Approximate heap bytes owned by a property map.
+fn props_heap_bytes(props: &Props) -> usize {
+    props
+        .iter()
+        .map(|(k, v)| k.len() + value_heap_bytes(v) + 48)
+        .sum()
+}
+
+fn value_heap_bytes(v: &Value) -> usize {
+    match v {
+        Value::Str(s) => s.len(),
+        Value::List(items) => {
+            items.capacity() * std::mem::size_of::<Value>()
+                + items.iter().map(value_heap_bytes).sum::<usize>()
+        }
+        Value::Map(m) => m
+            .iter()
+            .map(|(k, v)| k.len() + value_heap_bytes(v) + 48)
+            .sum(),
+        _ => 0,
     }
 }
 
@@ -854,5 +933,52 @@ mod tests {
         // Idempotent.
         g.add_label(a, "Tier1").unwrap();
         assert_eq!(g.node(a).unwrap().labels.len(), 2);
+    }
+
+    #[test]
+    fn clone_is_shallow_and_isolated() {
+        let mut g = Graph::new();
+        for i in 0..600i64 {
+            g.add_node(["AS"], props!("asn" => i));
+        }
+        g.create_index("AS", "asn");
+        let snap = g.clone();
+        let m = g.memory_stats();
+        assert_eq!(m.node_pages_shared, m.node_pages, "clone was not shallow");
+
+        // Mutations on the original are invisible to the clone.
+        let before = snap.node_count();
+        g.add_node(["AS"], props!("asn" => 9999i64));
+        g.set_node_prop(NodeId(0), "asn", -1i64).unwrap();
+        g.remove_node(NodeId(1)).unwrap();
+        assert_eq!(snap.node_count(), before);
+        assert_eq!(
+            snap.node(NodeId(0)).unwrap().props.get("asn"),
+            Some(&Value::Int(0))
+        );
+        assert!(snap.node(NodeId(1)).is_some());
+        assert_eq!(
+            snap.index_lookup("AS", "asn", &Value::Int(1)),
+            Some(vec![NodeId(1)])
+        );
+        // Only the touched pages were un-shared.
+        let m2 = g.memory_stats();
+        assert!(m2.node_pages_shared >= m2.node_pages - 2);
+    }
+
+    #[test]
+    fn deep_clone_owns_everything() {
+        let mut g = Graph::new();
+        for i in 0..300i64 {
+            g.add_node(["AS"], props!("asn" => i));
+        }
+        g.create_index("AS", "asn");
+        let deep = g.deep_clone();
+        let m = deep.memory_stats();
+        assert_eq!(m.node_pages_shared, 0);
+        assert_eq!(m.index_partitions_shared, 0);
+        assert_eq!(m.label_shards_shared, 0);
+        // Same contents, fully private storage.
+        assert_eq!(deep.node_count(), g.node_count());
     }
 }

@@ -4,53 +4,204 @@
 //! exact-match seeks for queries like `MATCH (a:AS {asn: 2497})`. An ordered
 //! view can be derived for range predicates. Indexes are maintained
 //! incrementally by [`crate::graph::Graph`] on every mutation.
+//!
+//! Storage is partitioned for copy-on-write cloning: each index's entries
+//! are split across power-of-two hash partitions held behind `Arc`s, so
+//! cloning an [`IndexSet`] copies partition pointers and an index update
+//! path-copies only the one partition holding the touched key. Partitions
+//! reshard (double) when they average more than [`RESHARD_TARGET`] keys,
+//! keeping the path-copy cost bounded as the graph grows — the same
+//! discipline as [`crate::page::PAGE_SIZE`]-record pages in the node and
+//! relationship tables. The on-disk layout is unchanged from the flat
+//! store: a single key-sorted pair list per index.
 
 use crate::graph::NodeId;
 use crate::intern::Sym;
 use crate::props::Props;
 use crate::value::ValueKey;
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 use std::ops::Bound;
+use std::sync::Arc;
 
-/// One hash index over `(label, key)`.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+/// Reshard when an index averages more than this many keys per partition.
+///
+/// Kept deliberately small: a partition copy deep-clones its `ValueKey`s
+/// (string allocations), so the per-touched-partition write amplification
+/// is what this bounds. At 8 keys a path-copy is about a microsecond even
+/// from cold memory; the cost of the longer partition table (one `Arc`
+/// bump per partition per graph clone, walked sequentially) is noise by
+/// comparison.
+const RESHARD_TARGET: usize = 8;
+
+/// One hash index over `(label, key)`, hash-partitioned by value key.
+#[derive(Debug, Clone)]
 struct HashIndex {
-    // Serialized as a list of pairs: JSON maps require string keys.
-    #[serde(with = "pairs")]
-    entries: BTreeMap<ValueKey, Vec<NodeId>>,
+    /// Power-of-two partition table; a key lives in partition
+    /// `hash(key) & (len - 1)`.
+    partitions: Vec<Arc<BTreeMap<ValueKey, Vec<NodeId>>>>,
+    /// Total distinct keys across partitions, driving resharding.
+    keys: usize,
 }
 
-mod pairs {
-    use super::*;
-    use serde::Content;
-
-    pub fn serialize(map: &BTreeMap<ValueKey, Vec<NodeId>>) -> Content {
-        let v: Vec<(&ValueKey, &Vec<NodeId>)> = map.iter().collect();
-        serde::Serialize::serialize(&v)
+impl Default for HashIndex {
+    fn default() -> Self {
+        HashIndex {
+            partitions: vec![Arc::new(BTreeMap::new())],
+            keys: 0,
+        }
     }
+}
 
-    pub fn deserialize(content: &Content) -> Result<BTreeMap<ValueKey, Vec<NodeId>>, serde::Error> {
-        let v: Vec<(ValueKey, Vec<NodeId>)> = serde::Deserialize::deserialize(content)?;
-        Ok(v.into_iter().collect())
-    }
+fn partition_of(key: &ValueKey, count: usize) -> usize {
+    // DefaultHasher::new() is fixed-keyed, so placement is deterministic
+    // within a build; placement is never persisted (snapshots store the
+    // flat sorted pair list), so cross-build determinism is not needed.
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish() as usize & (count - 1)
 }
 
 impl HashIndex {
     fn insert(&mut self, key: ValueKey, id: NodeId) {
-        let bucket = self.entries.entry(key).or_default();
+        let p = partition_of(&key, self.partitions.len());
+        let part = Arc::make_mut(&mut self.partitions[p]);
+        let new_key = !part.contains_key(&key);
+        let bucket = part.entry(key).or_default();
         if let Err(pos) = bucket.binary_search(&id) {
             bucket.insert(pos, id);
+        }
+        if new_key {
+            self.keys += 1;
+            if self.keys > self.partitions.len() * RESHARD_TARGET {
+                self.reshard();
+            }
         }
     }
 
     fn remove(&mut self, key: &ValueKey, id: NodeId) {
-        if let Some(bucket) = self.entries.get_mut(key) {
-            if let Ok(pos) = bucket.binary_search(&id) {
-                bucket.remove(pos);
+        let p = partition_of(key, self.partitions.len());
+        // Probe through the shared reference first so a miss (unknown key
+        // or id not in its bucket) never forces a partition copy.
+        match self.partitions[p].get(key) {
+            Some(bucket) if bucket.binary_search(&id).is_ok() => {}
+            _ => return,
+        }
+        let bucket = Arc::make_mut(&mut self.partitions[p])
+            .get_mut(key)
+            .expect("checked above");
+        let pos = bucket.binary_search(&id).expect("checked above");
+        bucket.remove(pos);
+        // The bucket stays (possibly empty): lookups on a once-indexed key
+        // must keep answering `Some(vec![])`, not "no index".
+    }
+
+    fn get(&self, key: &ValueKey) -> Option<&Vec<NodeId>> {
+        self.partitions[partition_of(key, self.partitions.len())].get(key)
+    }
+
+    /// Doubles the partition count, redistributing every key. O(index),
+    /// but amortized O(1) per insert by the doubling schedule.
+    fn reshard(&mut self) {
+        let count = self.partitions.len() * 2;
+        let mut parts: Vec<BTreeMap<ValueKey, Vec<NodeId>>> =
+            (0..count).map(|_| BTreeMap::new()).collect();
+        for part in &self.partitions {
+            for (k, ids) in part.iter() {
+                parts[partition_of(k, count)].insert(k.clone(), ids.clone());
+            }
+        }
+        self.partitions = parts.into_iter().map(Arc::new).collect();
+    }
+
+    /// All `(key, ids)` pairs with keys in `[lo, hi]`, ordered by key.
+    fn range_pairs(
+        &self,
+        lo: Bound<&ValueKey>,
+        hi: Bound<&ValueKey>,
+    ) -> Vec<(&ValueKey, &Vec<NodeId>)> {
+        let mut pairs: Vec<(&ValueKey, &Vec<NodeId>)> = self
+            .partitions
+            .iter()
+            .flat_map(|p| p.range::<ValueKey, _>((lo, hi)))
+            .collect();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        pairs
+    }
+}
+
+impl Serialize for HashIndex {
+    /// Serializes the partition-merged, key-sorted pair list — exactly the
+    /// layout the pre-partitioned store wrote (`{"entries": [[k, ids]…]}`),
+    /// so snapshot files carry no partition geometry.
+    fn serialize(&self) -> Content {
+        let pairs = self.range_pairs(Bound::Unbounded, Bound::Unbounded);
+        Content::Map(vec![("entries".to_string(), Serialize::serialize(&pairs))])
+    }
+}
+
+impl Deserialize for HashIndex {
+    fn deserialize(c: &Content) -> Result<Self, serde::Error> {
+        let entries = c
+            .get("entries")
+            .ok_or_else(|| serde::Error::custom("index missing `entries`"))?;
+        let pairs: Vec<(ValueKey, Vec<NodeId>)> = Deserialize::deserialize(entries)?;
+        let mut idx = HashIndex::default();
+        for (key, ids) in pairs {
+            idx.bulk_insert(key, ids);
+        }
+        Ok(idx)
+    }
+}
+
+impl HashIndex {
+    /// Inserts a whole bucket (deserialization / backfill path). Keeps
+    /// empty buckets, which `insert` would never create but `remove`
+    /// leaves behind and snapshots faithfully persist.
+    fn bulk_insert(&mut self, key: ValueKey, ids: Vec<NodeId>) {
+        let p = partition_of(&key, self.partitions.len());
+        let new_key = !self.partitions[p].contains_key(&key);
+        Arc::make_mut(&mut self.partitions[p]).insert(key, ids);
+        if new_key {
+            self.keys += 1;
+            if self.keys > self.partitions.len() * RESHARD_TARGET {
+                self.reshard();
             }
         }
     }
+
+    fn heap_bytes(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .map(|(k, ids)| {
+                        key_heap_bytes(k)
+                            + ids.capacity() * std::mem::size_of::<NodeId>()
+                            // BTreeMap node overhead, roughly.
+                            + 48
+                    })
+                    .sum::<usize>()
+            })
+            .sum::<usize>()
+            + self.partitions.capacity()
+                * std::mem::size_of::<Arc<BTreeMap<ValueKey, Vec<NodeId>>>>()
+    }
+}
+
+fn key_heap_bytes(k: &ValueKey) -> usize {
+    std::mem::size_of::<ValueKey>()
+        + match k {
+            ValueKey::Str(s) => s.len(),
+            ValueKey::List(items) => items.iter().map(key_heap_bytes).sum(),
+            ValueKey::Map(entries) => entries
+                .iter()
+                .map(|(name, v)| name.len() + key_heap_bytes(v))
+                .sum(),
+            _ => 0,
+        }
 }
 
 /// An ordered snapshot of an index, for repeated range scans.
@@ -140,14 +291,7 @@ impl IndexSet {
     /// Exact lookup; `None` if no such index.
     pub fn lookup(&self, label: Sym, key: &str, value: &ValueKey) -> Option<Vec<NodeId>> {
         let i = self.slot(label, key)?;
-        Some(
-            self.indexes[i]
-                .1
-                .entries
-                .get(value)
-                .cloned()
-                .unwrap_or_default(),
-        )
+        Some(self.indexes[i].1.get(value).cloned().unwrap_or_default())
     }
 
     /// Range lookup over the index's ordered keys; `None` if no such index.
@@ -161,16 +305,16 @@ impl IndexSet {
         let i = self.slot(label, key)?;
         let lo_bound = match &lo {
             None => Bound::Unbounded,
-            Some((k, true)) => Bound::Included(k.clone()),
-            Some((k, false)) => Bound::Excluded(k.clone()),
+            Some((k, true)) => Bound::Included(k),
+            Some((k, false)) => Bound::Excluded(k),
         };
         let hi_bound = match &hi {
             None => Bound::Unbounded,
-            Some((k, true)) => Bound::Included(k.clone()),
-            Some((k, false)) => Bound::Excluded(k.clone()),
+            Some((k, true)) => Bound::Included(k),
+            Some((k, false)) => Bound::Excluded(k),
         };
         let mut out = Vec::new();
-        for (_, ids) in self.indexes[i].1.entries.range((lo_bound, hi_bound)) {
+        for (_, ids) in self.indexes[i].1.range_pairs(lo_bound, hi_bound) {
             out.extend(ids.iter().copied());
         }
         Some(out)
@@ -190,7 +334,10 @@ impl IndexSet {
     pub fn ordered(&self, label: Sym, key: &str) -> Option<OrderedIndex> {
         let i = self.slot(label, key)?;
         let mut entries = Vec::new();
-        for (k, ids) in &self.indexes[i].1.entries {
+        for (k, ids) in self.indexes[i]
+            .1
+            .range_pairs(Bound::Unbounded, Bound::Unbounded)
+        {
             for id in ids {
                 entries.push((k.clone(), *id));
             }
@@ -236,6 +383,43 @@ impl IndexSet {
                 if !new.is_null() {
                     idx.insert(ValueKey::of(new), id);
                 }
+            }
+        }
+    }
+
+    // ---- copy-on-write accounting ----
+
+    /// Total hash partitions across all indexes.
+    pub(crate) fn partition_count(&self) -> usize {
+        self.indexes
+            .iter()
+            .map(|(_, idx)| idx.partitions.len())
+            .sum()
+    }
+
+    /// Partitions whose `Arc` is shared with another `IndexSet` clone.
+    pub(crate) fn shared_partition_count(&self) -> usize {
+        self.indexes
+            .iter()
+            .flat_map(|(_, idx)| idx.partitions.iter())
+            .filter(|p| Arc::strong_count(p) > 1)
+            .count()
+    }
+
+    /// Approximate heap bytes reachable from all indexes.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.indexes
+            .iter()
+            .map(|((_, key), idx)| key.len() + idx.heap_bytes())
+            .sum()
+    }
+
+    /// Materializes private copies of all shared partitions (bench-only;
+    /// see [`crate::page::PagedVec::make_owned`]).
+    pub(crate) fn make_owned(&mut self) {
+        for (_, idx) in &mut self.indexes {
+            for p in &mut idx.partitions {
+                Arc::make_mut(p);
             }
         }
     }
@@ -330,5 +514,82 @@ mod tests {
             set.lookup(Sym(0), "x", &ValueKey::of(&Value::Int(2))),
             Some(vec![NodeId(2)])
         );
+    }
+
+    #[test]
+    fn resharding_preserves_lookups_and_order() {
+        let mut set = IndexSet::default();
+        // Well past one reshard (RESHARD_TARGET keys/partition).
+        set.create(
+            Sym(0),
+            "asn",
+            (0..2000u64).map(|i| (NodeId(i), ValueKey::of(&Value::Int(i as i64)))),
+        );
+        let parts = set.partition_count();
+        assert!(parts > 1, "expected reshard, still at {parts} partition(s)");
+        assert!(parts.is_power_of_two());
+        for probe in [0i64, 777, 1999] {
+            assert_eq!(
+                set.lookup(Sym(0), "asn", &ValueKey::of(&Value::Int(probe))),
+                Some(vec![NodeId(probe as u64)])
+            );
+        }
+        // Range output stays globally key-ordered despite hash placement.
+        let lo = ValueKey::of(&Value::Int(100));
+        let hi = ValueKey::of(&Value::Int(110));
+        let ids = set
+            .range(Sym(0), "asn", Some((lo, true)), Some((hi, false)))
+            .unwrap();
+        assert_eq!(ids, (100..110).map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clone_shares_partitions_and_updates_path_copy() {
+        let mut set = IndexSet::default();
+        set.create(
+            Sym(0),
+            "asn",
+            (0..2000u64).map(|i| (NodeId(i), ValueKey::of(&Value::Int(i as i64)))),
+        );
+        let snap = set.clone();
+        assert_eq!(set.shared_partition_count(), set.partition_count());
+        set.on_prop_changed(
+            NodeId(5),
+            &[Sym(0)],
+            "asn",
+            Some(&Value::Int(5)),
+            &Value::Int(100_000),
+        );
+        // At most two partitions (old key's, new key's) were copied.
+        assert!(set.shared_partition_count() >= set.partition_count() - 2);
+        assert_eq!(
+            snap.lookup(Sym(0), "asn", &ValueKey::of(&Value::Int(5))),
+            Some(vec![NodeId(5)]),
+            "snapshot saw the mutation"
+        );
+        assert_eq!(
+            set.lookup(Sym(0), "asn", &ValueKey::of(&Value::Int(5))),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn serde_layout_is_flat_sorted_pairs() {
+        let mut set = IndexSet::default();
+        set.create(
+            Sym(0),
+            "asn",
+            (0..600u64)
+                .rev()
+                .map(|i| (NodeId(i), ValueKey::of(&Value::Int(i as i64)))),
+        );
+        let c = serde::Serialize::serialize(&set);
+        let back: IndexSet = serde::Deserialize::deserialize(&c).unwrap();
+        assert_eq!(serde::Serialize::serialize(&back), c, "not canonical");
+        assert_eq!(
+            back.lookup(Sym(0), "asn", &ValueKey::of(&Value::Int(599))),
+            Some(vec![NodeId(599)])
+        );
+        assert!(back.partition_count() > 1, "reload skipped resharding");
     }
 }

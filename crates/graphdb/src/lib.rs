@@ -30,6 +30,7 @@ pub mod delta;
 pub mod graph;
 pub mod index;
 pub mod intern;
+pub mod page;
 pub mod props;
 pub mod snapshot;
 pub mod stats;
@@ -39,8 +40,9 @@ pub mod value;
 pub use delta::{AppliedDelta, DeltaBatch, DeltaError, DeltaOp, NodeRef};
 pub use graph::{Direction, Graph, GraphError, NodeId, NodeRecord, RelId, RelRecord};
 pub use intern::{Interner, Sym};
+pub use page::{LabelSet, PagedVec, PAGE_SIZE};
 pub use props::Props;
-pub use stats::GraphStats;
+pub use stats::{GraphStats, MemoryStats};
 pub use store::{GraphSnapshot, GraphStore, SwapReport};
 pub use value::{Value, ValueError, ValueKey};
 

@@ -235,6 +235,107 @@ mod tests {
         assert!(store.load().epoch() > live_epoch);
     }
 
+    /// Rewrites a paged-layout graph JSON value into the legacy flat
+    /// layout the pre-paged store wrote: `nodes`/`rels` as one flat slot
+    /// array instead of `{"page_size", "pages"}`. Label members and index
+    /// entries already serialize legacy-identically.
+    fn flatten_to_legacy(v: &mut serde_json::Value) {
+        let serde_json::Value::Map(entries) = v else {
+            panic!("graph json is not a map");
+        };
+        for (k, val) in entries.iter_mut() {
+            if k != "nodes" && k != "rels" {
+                continue;
+            }
+            let Some(serde_json::Value::Seq(pages)) = val.get("pages").cloned() else {
+                panic!("`{k}` is not in the paged layout");
+            };
+            let mut flat = Vec::new();
+            for page in pages {
+                match page {
+                    serde_json::Value::Seq(slots) => flat.extend(slots),
+                    other => panic!("page is not an array: {other:?}"),
+                }
+            }
+            *val = serde_json::Value::Seq(flat);
+        }
+    }
+
+    /// Snapshot files written by the pre-paged store (flat `nodes`/`rels`
+    /// slot arrays) still load, and re-saving them produces the canonical
+    /// paged layout with identical content.
+    #[test]
+    fn legacy_flat_snapshot_loads_identically() {
+        let mut g = Graph::new();
+        for i in 0..300i64 {
+            g.add_node(["AS"], props!("asn" => i));
+        }
+        let a = crate::graph::NodeId(0);
+        let b = crate::graph::NodeId(1);
+        g.add_rel(a, "PEERS_WITH", b, props!("since" => 2020i64))
+            .unwrap();
+        g.create_index("AS", "asn");
+        g.remove_node(crate::graph::NodeId(2)).unwrap(); // a tombstone
+        let paged_json = to_json(&g).unwrap();
+
+        let mut v: serde_json::Value = serde_json::from_str(&paged_json).unwrap();
+        flatten_to_legacy(&mut v);
+        let legacy_json = v.to_string();
+        assert_ne!(legacy_json, paged_json);
+
+        let back = from_json(&legacy_json).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.rel_count(), 1);
+        assert_eq!(back.epoch(), g.epoch());
+        assert!(back.node(crate::graph::NodeId(2)).is_none());
+        assert_eq!(
+            back.index_lookup("AS", "asn", &Value::Int(250)),
+            Some(vec![crate::graph::NodeId(250)])
+        );
+        assert_eq!(
+            to_json(&back).unwrap(),
+            paged_json,
+            "legacy load re-saves differently from the paged original"
+        );
+    }
+
+    /// The versioned envelope path also accepts legacy flat payloads.
+    #[test]
+    fn legacy_flat_versioned_envelope_loads() {
+        let mut g = Graph::new();
+        g.add_node(["AS"], props!("asn" => 2497i64));
+        let snap = crate::store::GraphSnapshot::new(g, 9);
+        let mut v: serde_json::Value =
+            serde_json::from_str(&snapshot_to_json(&snap).unwrap()).unwrap();
+        let serde_json::Value::Map(entries) = &mut v else {
+            panic!("envelope is not a map");
+        };
+        let graph_v = entries
+            .iter_mut()
+            .find(|(k, _)| k == "graph")
+            .map(|(_, v)| v)
+            .unwrap();
+        flatten_to_legacy(graph_v);
+        let back = snapshot_from_json(&v.to_string()).unwrap();
+        assert_eq!(back.version(), 9);
+        assert_eq!(back.node_count(), 1);
+    }
+
+    /// A paged snapshot reloads byte-identically: save → load → save is a
+    /// fixed point.
+    #[test]
+    fn paged_snapshot_resave_is_byte_identical() {
+        let mut g = Graph::new();
+        for i in 0..600i64 {
+            g.add_node(["AS"], props!("asn" => i, "name" => format!("AS{i}")));
+        }
+        g.create_index("AS", "asn");
+        g.remove_node(crate::graph::NodeId(3)).unwrap();
+        let json = to_json(&g).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(to_json(&back).unwrap(), json);
+    }
+
     #[test]
     fn bad_json_is_a_format_error() {
         match from_json("{not json") {

@@ -21,6 +21,36 @@ pub struct GraphStats {
     pub degree: DegreeStats,
 }
 
+/// Memory accounting for a paged, copy-on-write graph snapshot.
+///
+/// Computed by [`Graph::memory_stats`]. A "shared" page/shard/partition is
+/// one whose `Arc` is also held by another live `Graph` clone — an older
+/// snapshot a reader still pins, or an in-flight ingest copy — so the
+/// marginal cost of this snapshot is only its *owned* structures, while
+/// `retained_bytes` is what the snapshot keeps reachable in total.
+#[derive(Debug, Clone, Serialize)]
+pub struct MemoryStats {
+    /// Approximate heap bytes reachable from the snapshot (each shared
+    /// structure counted once).
+    pub retained_bytes: usize,
+    /// Node-table pages.
+    pub node_pages: usize,
+    /// Node-table pages shared with other clones.
+    pub node_pages_shared: usize,
+    /// Relationship-table pages.
+    pub rel_pages: usize,
+    /// Relationship-table pages shared with other clones.
+    pub rel_pages_shared: usize,
+    /// Label-membership shards across all labels.
+    pub label_shards: usize,
+    /// Label-membership shards shared with other clones.
+    pub label_shards_shared: usize,
+    /// Hash-index partitions across all indexes.
+    pub index_partitions: usize,
+    /// Hash-index partitions shared with other clones.
+    pub index_partitions_shared: usize,
+}
+
 /// Degree distribution summary.
 #[derive(Debug, Clone, Serialize)]
 pub struct DegreeStats {

@@ -97,8 +97,15 @@ pub struct SwapReport {
     pub nodes: usize,
     /// Live relationships in the new snapshot.
     pub rels: usize,
-    /// Time spent building the new graph (clone + batch apply), outside
-    /// any lock.
+    /// Time spent cloning the base snapshot for the writer. With the
+    /// paged copy-on-write store this is a pointer-copy of the page
+    /// tables, label shards and index partition tables — O(pages),
+    /// hundreds of microseconds even at 16× the generated dataset, and
+    /// independent of batch size (the pre-paged store buried an
+    /// O(graph) deep copy of every record here, inside `apply`).
+    pub clone: Duration,
+    /// Time spent applying the batch to the clone, outside any lock.
+    /// O(delta): only pages touched by the batch are path-copied.
     pub apply: Duration,
     /// Time the pointer swap held the write lock — the only window in
     /// which a reader's `load` can wait.
@@ -144,7 +151,7 @@ impl GraphStore {
     /// can never validate against the new one.
     pub fn publish(&self, graph: Graph) -> SwapReport {
         let _w = self.writer.lock();
-        self.publish_locked(graph, 0, Duration::ZERO)
+        self.publish_locked(graph, 0, Duration::ZERO, Duration::ZERO)
     }
 
     /// Applies `batch` to a copy of the current snapshot and publishes
@@ -155,15 +162,18 @@ impl GraphStore {
         let _w = self.writer.lock();
         let base = self.load();
         let t0 = Instant::now();
+        // COW clone: copies page tables, shares every page.
         let mut next = base.graph.clone();
+        let cloned = t0.elapsed();
         let ops_applied = batch.apply(&mut next)?;
-        let apply = t0.elapsed();
-        Ok(self.publish_locked(next, ops_applied, apply))
+        let apply = t0.elapsed() - cloned;
+        Ok(self.publish_locked(next, ops_applied, cloned, apply))
     }
 
     /// Publishes a graph the *caller* already built off-lock (clone +
     /// batch apply done outside this call), attributing `ops_applied`
-    /// and the caller-measured `apply` duration to the report. This is
+    /// and the caller-measured `clone`/`apply` durations to the report.
+    /// This is
     /// the entry point for publishers that must swap other derived
     /// state alongside the graph (the pipeline's retrieval index): only
     /// the pointer exchange happens here, so the caller can bracket it
@@ -177,14 +187,21 @@ impl GraphStore {
         &self,
         graph: Graph,
         ops_applied: usize,
+        clone: Duration,
         apply: Duration,
     ) -> SwapReport {
         let _w = self.writer.lock();
-        self.publish_locked(graph, ops_applied, apply)
+        self.publish_locked(graph, ops_applied, clone, apply)
     }
 
     /// Swaps `graph` in as the next version. Caller holds `writer`.
-    fn publish_locked(&self, mut graph: Graph, ops_applied: usize, apply: Duration) -> SwapReport {
+    fn publish_locked(
+        &self,
+        mut graph: Graph,
+        ops_applied: usize,
+        clone: Duration,
+        apply: Duration,
+    ) -> SwapReport {
         let old = self.load();
         // Epoch monotonicity across swaps: an arbitrary published graph
         // (or an ingest that only re-added existing labels) may carry an
@@ -199,6 +216,7 @@ impl GraphStore {
             ops_applied,
             nodes: next.node_count(),
             rels: next.rel_count(),
+            clone,
             apply,
             swap: Duration::ZERO,
         };

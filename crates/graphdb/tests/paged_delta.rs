@@ -1,0 +1,251 @@
+//! Delta edge cases against the paged copy-on-write storage.
+//!
+//! These tests pin down batch behaviours that only get interesting once
+//! the graph path-copies pages instead of owning its storage outright:
+//! ops that touch the same page repeatedly, ops that create and destroy
+//! a node inside one batch, and — via proptest — the equivalence of
+//! applying a batch to a COW clone versus a fully-owned deep clone.
+
+use iyp_graphdb::{props, DeltaBatch, Graph, NodeId, Props, Value};
+use proptest::prelude::*;
+
+/// A small multi-page base graph: 40 AS nodes (PAGE_SIZE is 16, so three
+/// node pages) with an index on `asn`, chained by PEERS_WITH rels.
+fn base_graph() -> Graph {
+    let mut g = Graph::new();
+    g.create_index("AS", "asn");
+    let ids: Vec<NodeId> = (0..40)
+        .map(|i| g.add_node(["AS"], props!("asn" => i as i64)))
+        .collect();
+    for w in ids.windows(2) {
+        g.add_rel(w[0], "PEERS_WITH", w[1], Props::new())
+            .expect("endpoints live");
+    }
+    g
+}
+
+/// Creating and deleting the same `NodeRef::New` inside one batch must
+/// leave no trace: no node, no label membership, no index entry, and no
+/// rels that were wired to it.
+#[test]
+fn create_then_delete_same_new_ref() {
+    let base = base_graph();
+    let mut g = base.clone();
+    let (nodes_before, rels_before) = (g.node_count(), g.rel_count());
+
+    let mut b = DeltaBatch::new();
+    let n = b.add_node(["AS"], props!("asn" => 999i64));
+    let anchor = base.index_lookup("AS", "asn", &Value::Int(0)).unwrap()[0];
+    b.add_rel(n, "PEERS_WITH", anchor, Props::new());
+    b.add_rel(anchor, "PEERS_WITH", n, Props::new());
+    b.remove_node(n);
+    b.apply(&mut g).expect("batch applies");
+
+    assert_eq!(g.node_count(), nodes_before);
+    // Removing the node detach-deletes both rels wired to it in-batch.
+    assert_eq!(g.rel_count(), rels_before);
+    assert_eq!(g.label_count("AS"), nodes_before);
+    assert_eq!(
+        g.index_lookup("AS", "asn", &Value::Int(999)).unwrap(),
+        Vec::<NodeId>::new()
+    );
+    // The shared base saw none of it.
+    assert_eq!(base.node_count(), nodes_before);
+    assert_eq!(base.rel_count(), rels_before);
+}
+
+/// Setting a property and then clearing it (Value::Null) in the same
+/// batch: the final state has no property and no stale index entry for
+/// the intermediate value.
+#[test]
+fn prop_set_then_clear_same_node() {
+    let base = base_graph();
+    let mut g = base.clone();
+    let target = base.index_lookup("AS", "asn", &Value::Int(7)).unwrap()[0];
+
+    let mut b = DeltaBatch::new();
+    b.set_node_prop(target, "asn", 4242i64);
+    b.set_node_prop(target, "asn", Value::Null);
+    b.apply(&mut g).expect("batch applies");
+
+    assert_eq!(g.node(target).unwrap().props.get("asn"), None);
+    assert_eq!(
+        g.index_lookup("AS", "asn", &Value::Int(4242)).unwrap(),
+        Vec::<NodeId>::new()
+    );
+    assert_eq!(
+        g.index_lookup("AS", "asn", &Value::Int(7)).unwrap(),
+        Vec::<NodeId>::new()
+    );
+    // The COW source still indexes the original value on the same node.
+    assert_eq!(
+        base.index_lookup("AS", "asn", &Value::Int(7)).unwrap(),
+        vec![target]
+    );
+}
+
+/// Repeated updates through the same indexed key leave exactly one index
+/// entry — the last write wins.
+#[test]
+fn prop_set_twice_last_wins() {
+    let base = base_graph();
+    let mut g = base.clone();
+    let target = base.index_lookup("AS", "asn", &Value::Int(3)).unwrap()[0];
+
+    let mut b = DeltaBatch::new();
+    b.set_node_prop(target, "asn", 100i64);
+    b.set_node_prop(target, "asn", 200i64);
+    b.apply(&mut g).expect("batch applies");
+
+    assert_eq!(
+        g.index_lookup("AS", "asn", &Value::Int(100)).unwrap(),
+        Vec::<NodeId>::new()
+    );
+    assert_eq!(
+        g.index_lookup("AS", "asn", &Value::Int(200)).unwrap(),
+        vec![target]
+    );
+    assert_eq!(
+        g.node(target).unwrap().props.get("asn"),
+        Some(&Value::Int(200))
+    );
+}
+
+/// Many ops aimed at the same existing node — the same page is
+/// path-copied once and then mutated in place (make_mut short-circuits
+/// on an owned page), and every op lands.
+#[test]
+fn duplicate_existing_refs_in_one_batch() {
+    let base = base_graph();
+    let mut g = base.clone();
+    let target = base.index_lookup("AS", "asn", &Value::Int(20)).unwrap()[0];
+    let rels_before = g.rel_count();
+
+    let mut b = DeltaBatch::new();
+    b.set_node_prop(target, "name", "alpha");
+    b.add_label(target, "Tagged");
+    b.add_rel(target, "PEERS_WITH", target, Props::new());
+    b.add_rel(target, "PEERS_WITH", target, Props::new());
+    b.set_node_prop(target, "name", "omega");
+    b.apply(&mut g).expect("batch applies");
+
+    assert_eq!(
+        g.node(target).unwrap().props.get("name"),
+        Some(&Value::from("omega"))
+    );
+    assert!(g.node_has_label(target, "Tagged"));
+    assert_eq!(g.rel_count(), rels_before + 2);
+    // Base node untouched: no name, no extra label, original degree.
+    assert_eq!(base.node(target).unwrap().props.get("name"), None);
+    assert!(!base.node_has_label(target, "Tagged"));
+    assert_eq!(base.rel_count(), rels_before);
+}
+
+// ---------------------------------------------------------------------
+// Proptest: applying a batch to a COW clone of a graph is observationally
+// identical to applying it to a fully-owned deep clone, and never leaks
+// writes into the shared source.
+// ---------------------------------------------------------------------
+
+/// One batch op, with targets drawn as indices into a virtual pool of
+/// (existing nodes ++ nodes created so far by this batch).
+#[derive(Debug, Clone)]
+enum BOp {
+    AddNode { label: u8, key: i64 },
+    AddRel { src: usize, dst: usize },
+    SetProp { target: usize, value: i64 },
+    ClearProp { target: usize },
+    AddLabel { target: usize, label: u8 },
+    RemoveNode { target: usize },
+}
+
+fn bop_strategy() -> impl Strategy<Value = BOp> {
+    prop_oneof![
+        (0u8..3, any::<i64>()).prop_map(|(label, key)| BOp::AddNode { label, key }),
+        (any::<usize>(), any::<usize>()).prop_map(|(src, dst)| BOp::AddRel { src, dst }),
+        (any::<usize>(), any::<i64>()).prop_map(|(target, value)| BOp::SetProp { target, value }),
+        any::<usize>().prop_map(|target| BOp::ClearProp { target }),
+        (any::<usize>(), 0u8..3).prop_map(|(target, label)| BOp::AddLabel { target, label }),
+        any::<usize>().prop_map(|target| BOp::RemoveNode { target }),
+    ]
+}
+
+const BLABELS: [&str; 3] = ["AS", "Prefix", "Country"];
+
+/// Lower an op spec into the batch. Targets resolve against the base
+/// node ids first, then positionally into the batch's own creations —
+/// including creations that a later `RemoveNode` destroys, so the batch
+/// may legitimately fail to apply (both arms must then fail alike).
+fn lower(b: &mut DeltaBatch, base_ids: &[NodeId], created: &mut usize, op: BOp) {
+    let pool = base_ids.len() + *created;
+    let resolve = |i: usize| -> iyp_graphdb::NodeRef {
+        let i = i % pool;
+        if i < base_ids.len() {
+            base_ids[i].into()
+        } else {
+            iyp_graphdb::NodeRef::New(i - base_ids.len())
+        }
+    };
+    match op {
+        BOp::AddNode { label, key } => {
+            b.add_node(
+                [BLABELS[label as usize % BLABELS.len()]],
+                props!("asn" => key),
+            );
+            *created += 1;
+        }
+        BOp::AddRel { src, dst } => {
+            b.add_rel(resolve(src), "PEERS_WITH", resolve(dst), Props::new());
+        }
+        BOp::SetProp { target, value } => {
+            b.set_node_prop(resolve(target), "asn", value);
+        }
+        BOp::ClearProp { target } => {
+            b.set_node_prop(resolve(target), "asn", Value::Null);
+        }
+        BOp::AddLabel { target, label } => {
+            b.add_label(resolve(target), BLABELS[label as usize % BLABELS.len()]);
+        }
+        BOp::RemoveNode { target } => {
+            b.remove_node(resolve(target));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// COW apply ≡ owned apply, and the shared source is never written.
+    #[test]
+    fn paged_apply_matches_owned_apply(ops in proptest::collection::vec(bop_strategy(), 1..40)) {
+        let base = base_graph();
+        let base_ids: Vec<NodeId> = base.all_nodes().collect();
+        let before = iyp_graphdb::snapshot::to_json(&base).unwrap();
+
+        let mut b = DeltaBatch::new();
+        let mut created = 0usize;
+        for op in ops {
+            lower(&mut b, &base_ids, &mut created, op);
+        }
+
+        let mut cow = base.clone();       // shares every page with `base`
+        let mut owned = base.deep_clone(); // shares nothing
+        let r_cow = b.apply(&mut cow);
+        let r_owned = b.apply(&mut owned);
+
+        // Same outcome — including the same error on the same op when a
+        // ref points at a node the batch itself removed.
+        prop_assert_eq!(&r_cow, &r_owned);
+
+        // Same final state, even after a mid-batch failure (the store
+        // discards failed copies; the graphs themselves just have to
+        // diverge identically).
+        let j_cow = iyp_graphdb::snapshot::to_json(&cow).unwrap();
+        let j_owned = iyp_graphdb::snapshot::to_json(&owned).unwrap();
+        prop_assert_eq!(j_cow, j_owned);
+
+        // And the shared source is byte-identical to before the apply.
+        let after = iyp_graphdb::snapshot::to_json(&base).unwrap();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -447,6 +447,7 @@ fn handle_metrics(state: &AppState, chat: &ChatIyp, handle: &RetrievalHandle) ->
     let mut out = chat.registry().render_prometheus();
     let cs = chat.query_cache().stats();
     let rc = chat.resilience_stats();
+    let mem = snap.graph().memory_stats();
 
     for (name, help, v) in [
         (
@@ -539,6 +540,11 @@ fn handle_metrics(state: &AppState, chat: &ChatIyp, handle: &RetrievalHandle) ->
             "Configured morsel-parallel MATCH worker count.",
             chat.config().query_parallelism as u64,
         ),
+        (
+            "chatiyp_snapshot_bytes",
+            "Approximate heap bytes retained by the published graph snapshot (shared pages counted once).",
+            mem.retained_bytes as u64,
+        ),
     ] {
         writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}").expect("write");
     }
@@ -580,6 +586,28 @@ fn handle_stats(state: &AppState, chat: &ChatIyp, handle: &RetrievalHandle) -> R
                 "shed": state.shed_count(),
             }),
         ));
+        // Copy-on-write storage accounting: how much heap the snapshot
+        // retains and how much of its paged storage is shared with other
+        // live clones (older snapshots readers still pin, in-flight
+        // ingest copies) versus privately owned.
+        let mem = snap.graph().memory_stats();
+        entries.push((
+            "snapshot_retained_bytes".to_string(),
+            serde_json::to_value(&mem.retained_bytes),
+        ));
+        entries.push((
+            "pages".to_string(),
+            json!({
+                "node_pages": mem.node_pages,
+                "node_pages_shared": mem.node_pages_shared,
+                "rel_pages": mem.rel_pages,
+                "rel_pages_shared": mem.rel_pages_shared,
+                "label_shards": mem.label_shards,
+                "label_shards_shared": mem.label_shards_shared,
+                "index_partitions": mem.index_partitions,
+                "index_partitions_shared": mem.index_partitions_shared,
+            }),
+        ));
     }
     Response::json(200, body.to_string())
 }
@@ -610,7 +638,7 @@ fn handle_healthz(snap: &GraphSnapshot) -> Response {
 /// next `(snapshot, retrieval index)` pair. Readers in flight keep the
 /// pair they resolved; the response reports the version transition, the
 /// published retrieval-index version (always equal to `new_version`),
-/// the new graph's size, and the graph apply/swap plus index
+/// the new graph's size, and the graph clone/apply/swap plus index
 /// derive/apply/swap timings in microseconds.
 fn handle_ingest(chat: &ChatIyp, req: &Request) -> Response {
     let batch: DeltaBatch = match serde_json::from_slice(&req.body) {
@@ -632,6 +660,7 @@ fn handle_ingest(chat: &ChatIyp, req: &Request) -> Response {
                 "ops_applied": report.graph.ops_applied,
                 "nodes": report.graph.nodes,
                 "rels": report.graph.rels,
+                "clone_us": report.graph.clone.as_micros() as u64,
                 "apply_us": report.graph.apply.as_micros() as u64,
                 "swap_us": report.graph.swap.as_micros() as u64,
                 "index_derive_us": report.derive.as_micros() as u64,
@@ -990,15 +1019,41 @@ mod tests {
             "index_version",
             "nodes",
             "nodes_by_label",
+            "pages",
             "query_parallelism",
             "rels",
             "rels_by_type",
             "resilience",
+            "snapshot_retained_bytes",
         ];
         assert_eq!(
             got, documented,
             "stats fields drifted from the documented set"
         );
+        // The paged-storage accounting object carries exactly the
+        // documented counters, and the retained-bytes figure is a real
+        // (nonzero for a generated dataset) number.
+        let serde_json::Value::Map(pages) = &body["pages"] else {
+            panic!("pages is not an object")
+        };
+        let mut page_keys: Vec<&str> = pages.iter().map(|(k, _)| k.as_str()).collect();
+        page_keys.sort_unstable();
+        assert_eq!(
+            page_keys,
+            [
+                "index_partitions",
+                "index_partitions_shared",
+                "label_shards",
+                "label_shards_shared",
+                "node_pages",
+                "node_pages_shared",
+                "rel_pages",
+                "rel_pages_shared",
+            ],
+            "page accounting drifted from the documented set"
+        );
+        assert!(body["snapshot_retained_bytes"].as_u64().unwrap_or(0) > 0);
+        assert!(body["pages"]["node_pages"].as_u64().unwrap_or(0) > 0);
         // The nested cache object too: these counters are documented.
         let serde_json::Value::Map(cache) = &body["cache"] else {
             panic!("cache is not an object")
@@ -1239,6 +1294,7 @@ mod tests {
         assert_eq!(rep["index_version"].as_u64(), Some(2));
         assert_eq!(rep["ops_applied"].as_u64(), Some(3));
         assert!(rep["nodes"].as_u64().unwrap() > 0);
+        assert!(rep["clone_us"].as_u64().is_some());
         assert!(rep["apply_us"].as_u64().is_some());
         assert!(rep["swap_us"].as_u64().is_some());
         assert!(rep["index_derive_us"].as_u64().is_some());
@@ -1295,11 +1351,33 @@ mod tests {
         let r = handle(&c, &req("GET", "/metrics", ""));
         let text = String::from_utf8(r.body).unwrap();
         assert!(text.contains("\nchatiyp_graph_version 2"));
-        // The swap histograms are recorded under the snapshot metric.
+        // The swap histograms are recorded under the snapshot metric,
+        // with the COW clone stage broken out from the batch apply.
+        for stage in ["clone", "apply", "swap"] {
+            assert!(
+                text.contains(&format!(
+                    "chatiyp_snapshot_swap_seconds_count{{stage=\"{stage}\"}} 1"
+                )),
+                "missing snapshot swap stage {stage}: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_exposes_snapshot_bytes_gauge() {
+        let c = chat();
+        let r = handle(&c, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
         assert!(
-            text.contains("chatiyp_snapshot_swap_seconds_count{stage=\"swap\"} 1"),
+            text.contains("# TYPE chatiyp_snapshot_bytes gauge"),
             "{text}"
         );
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("chatiyp_snapshot_bytes "))
+            .expect("gauge sample missing");
+        let bytes: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(bytes > 0, "snapshot bytes gauge is zero");
     }
 
     #[test]
