@@ -1,0 +1,267 @@
+//! Durability wiring for the pipeline: the WAL + checkpoint lifecycle
+//! that makes live ingest survive crashes.
+//!
+//! The mechanics live in `iyp_graphdb::wal` (frames, segments, fsync)
+//! and `iyp_graphdb::snapshot` (atomic checkpoint files); this module
+//! owns the *policy*: where the data directory lives, what the ingest
+//! path appends before publishing, what a checkpoint saves and
+//! truncates, and what recovery replays. See `docs/DURABILITY.md` for
+//! the operator-facing contract.
+//!
+//! The invariants, in one place:
+//!
+//! 1. **Append before publish.** [`crate::ChatIyp::ingest`] validates
+//!    the batch (applies it to the private copy), then appends it to the
+//!    WAL, then publishes. An acknowledged ingest is always on disk; a
+//!    failed WAL append publishes nothing.
+//! 2. **Versions are the dedup key.** WAL records carry the publish
+//!    version they produced. Recovery replays only records above the
+//!    recovered base's version, so replay after any crash point is
+//!    idempotent.
+//! 3. **Checkpoints are atomic and truncate.** A checkpoint saves the
+//!    current snapshot via temp-file + fsync + rename, then deletes WAL
+//!    segments fully covered by it. A crash mid-checkpoint leaves the
+//!    old checkpoint and the full WAL — strictly recoverable.
+
+use crate::resilience::FaultError;
+use iyp_graphdb::snapshot::SnapshotError;
+use iyp_graphdb::wal::{AppendInfo, FsyncPolicy, Wal, WalConfig, WalError, WalStats};
+use iyp_graphdb::{DeltaBatch, DeltaError};
+use parking_lot::Mutex;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Where and how the pipeline persists: the data directory (WAL
+/// segments + `checkpoint.json`), the fsync policy, and segment sizing.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding WAL segments and the checkpoint file. Created
+    /// on open if missing.
+    pub data_dir: PathBuf,
+    /// When the WAL fsyncs appended frames.
+    pub fsync: FsyncPolicy,
+    /// WAL segment rotation threshold.
+    pub segment_max_bytes: u64,
+}
+
+impl DurabilityConfig {
+    /// Durable-by-default config over `data_dir`: fsync every append,
+    /// 4 MiB segments.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            data_dir: data_dir.into(),
+            fsync: FsyncPolicy::Always,
+            segment_max_bytes: 4 * 1024 * 1024,
+        }
+    }
+
+    /// Builder: sets the fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Builder: sets the segment rotation threshold.
+    pub fn with_segment_max_bytes(mut self, bytes: u64) -> Self {
+        self.segment_max_bytes = bytes;
+        self
+    }
+
+    /// The WAL-level slice of this config.
+    pub fn wal_config(&self) -> WalConfig {
+        WalConfig {
+            segment_max_bytes: self.segment_max_bytes,
+            fsync: self.fsync,
+        }
+    }
+
+    /// Where the checkpoint lives: `<data_dir>/checkpoint.json`.
+    pub fn checkpoint_path(&self) -> PathBuf {
+        self.data_dir.join("checkpoint.json")
+    }
+}
+
+/// Errors from the durable ingest / checkpoint / recovery paths.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// The WAL refused (I/O failure, corruption, version misorder).
+    Wal(WalError),
+    /// Checkpoint save or load failed.
+    Snapshot(SnapshotError),
+    /// The resilience layer injected a fault at [`crate::FaultPoint::Wal`] —
+    /// treated exactly like a real append failure: nothing published.
+    Fault(FaultError),
+    /// A recovered WAL record failed to re-apply — the log and the
+    /// checkpoint disagree about history.
+    Replay {
+        /// The record's publish version.
+        version: u64,
+        /// Why the batch failed to apply.
+        error: DeltaError,
+    },
+    /// The WAL holds a version the recovered base can't reach (a gap —
+    /// segments below were truncated without a covering checkpoint).
+    VersionGap {
+        /// The next version the base could accept.
+        expected: u64,
+        /// The version the log resumed at instead.
+        got: u64,
+    },
+    /// The operation needs durability but the pipeline was built
+    /// without a data directory.
+    NotConfigured,
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Wal(e) => write!(f, "{e}"),
+            DurabilityError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
+            DurabilityError::Fault(e) => write!(f, "wal unavailable: {e}"),
+            DurabilityError::Replay { version, error } => {
+                write!(f, "wal replay failed at version {version}: {error}")
+            }
+            DurabilityError::VersionGap { expected, got } => write!(
+                f,
+                "wal resumes at version {got} but the recovered base expects {expected} next \
+                 (missing segments without a covering checkpoint)"
+            ),
+            DurabilityError::NotConfigured => {
+                write!(f, "durability not configured (serve without --data-dir)")
+            }
+        }
+    }
+}
+impl std::error::Error for DurabilityError {}
+
+impl From<WalError> for DurabilityError {
+    fn from(e: WalError) -> Self {
+        DurabilityError::Wal(e)
+    }
+}
+impl From<SnapshotError> for DurabilityError {
+    fn from(e: SnapshotError) -> Self {
+        DurabilityError::Snapshot(e)
+    }
+}
+
+/// Durability counters surfaced in `/stats` (`durability` block) and
+/// `/metrics`.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityStats {
+    /// WAL segment files on disk.
+    pub wal_segments: usize,
+    /// Total WAL bytes on disk.
+    pub wal_bytes: u64,
+    /// Version of the last checkpoint (0 = never checkpointed).
+    pub last_checkpoint_version: u64,
+    /// WAL records replayed by this process's recovery at boot.
+    pub replayed: u64,
+}
+
+/// What [`crate::ChatIyp::checkpoint`] did.
+#[derive(Debug, Clone)]
+pub struct CheckpointReport {
+    /// The snapshot version the checkpoint captured.
+    pub version: u64,
+    /// Size of the written checkpoint file.
+    pub snapshot_bytes: u64,
+    /// WAL segments deleted because the checkpoint covers them.
+    pub truncated_segments: Vec<PathBuf>,
+    /// WAL shape after truncation.
+    pub wal: WalStats,
+    /// End-to-end checkpoint time (save + truncate).
+    pub duration: Duration,
+}
+
+/// What recovery (`ChatIyp::open_durable`) found and did at boot.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Version loaded from `checkpoint.json`, if one existed.
+    pub checkpoint_version: Option<u64>,
+    /// The base version recovery started from (checkpoint version, or 1
+    /// for a freshly generated dataset).
+    pub base_version: u64,
+    /// WAL records replayed on top of the base.
+    pub replayed: u64,
+    /// Bytes dropped from a torn final frame, if the last append was
+    /// interrupted mid-write.
+    pub torn_tail_bytes: u64,
+    /// Time loading the base (checkpoint file or dataset generation).
+    pub load: Duration,
+    /// Time replaying WAL records through the store.
+    pub replay: Duration,
+    /// Time rebuilding the retrieval index from the recovered graph
+    /// (built once, after replay — not per record).
+    pub index_build: Duration,
+}
+
+/// The pipeline's handle on its durable state: the open WAL, the
+/// checkpoint location, and recovery/checkpoint counters.
+#[derive(Debug)]
+pub struct Durability {
+    wal: Mutex<Wal>,
+    checkpoint_path: PathBuf,
+    /// 0 = no checkpoint yet.
+    last_checkpoint_version: AtomicU64,
+    /// Records replayed at boot (fixed after recovery).
+    replayed: AtomicU64,
+}
+
+impl Durability {
+    /// Wraps an opened WAL. `checkpoint_version` is the version of the
+    /// checkpoint recovery loaded (None if it started from scratch);
+    /// `replayed` is how many records recovery re-applied.
+    pub(crate) fn new(
+        wal: Wal,
+        checkpoint_path: PathBuf,
+        checkpoint_version: Option<u64>,
+        replayed: u64,
+    ) -> Self {
+        Durability {
+            wal: Mutex::new(wal),
+            checkpoint_path,
+            last_checkpoint_version: AtomicU64::new(checkpoint_version.unwrap_or(0)),
+            replayed: AtomicU64::new(replayed),
+        }
+    }
+
+    /// Appends one batch at `version`. Called by the ingest path under
+    /// the pipeline's ingest lock, *before* the publish.
+    pub(crate) fn append(&self, version: u64, batch: &DeltaBatch) -> Result<AppendInfo, WalError> {
+        self.wal.lock().append(version, batch)
+    }
+
+    /// Deletes WAL segments fully covered by `version` and records it as
+    /// the checkpoint version. Returns the removed paths and the
+    /// post-truncation stats.
+    pub(crate) fn note_checkpoint(
+        &self,
+        version: u64,
+    ) -> Result<(Vec<PathBuf>, WalStats), WalError> {
+        let mut wal = self.wal.lock();
+        let removed = wal.truncate_below(version)?;
+        let stats = wal.stats();
+        self.last_checkpoint_version
+            .store(version, Ordering::Relaxed);
+        Ok((removed, stats))
+    }
+
+    /// Where the checkpoint file lives.
+    pub fn checkpoint_path(&self) -> &Path {
+        &self.checkpoint_path
+    }
+
+    /// Current counters for `/stats` and `/metrics`.
+    pub fn stats(&self) -> DurabilityStats {
+        let wal = self.wal.lock().stats();
+        DurabilityStats {
+            wal_segments: wal.segments,
+            wal_bytes: wal.bytes,
+            last_checkpoint_version: self.last_checkpoint_version.load(Ordering::Relaxed),
+            replayed: self.replayed.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -49,9 +49,19 @@ impl RetrievalIndex {
     /// `EntityCatalog::from_dataset`).
     pub fn from_graph_at(graph: &Graph, version: u64, epoch: u64) -> Self {
         let mut docs = DocStore::new();
-        for doc in iyp_data::describe_all(graph) {
-            docs.add(doc.title, doc.text, doc.node.0);
-        }
+        // Full builds embed thousands of documents — the batch path
+        // parallelizes the embedding across cores, which is what keeps
+        // crash recovery's one index rebuild cheap.
+        docs.upsert_batch(
+            iyp_data::describe_all(graph)
+                .into_iter()
+                .map(|doc| iyp_embed::Doc {
+                    title: doc.title,
+                    text: doc.text,
+                    tag: doc.node.0,
+                })
+                .collect(),
+        );
         RetrievalIndex {
             docs,
             catalog: EntityCatalog::default(),

@@ -33,6 +33,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod durability;
 pub mod index;
 pub mod obs;
 pub mod pipeline;
@@ -42,8 +43,11 @@ pub mod retriever;
 
 pub use cache::{CacheConfig, CacheStats, QueryCache};
 pub use config::ChatIypConfig;
+pub use durability::{
+    CheckpointReport, DurabilityConfig, DurabilityError, DurabilityStats, RecoveryReport,
+};
 pub use index::RetrievalIndex;
-pub use pipeline::{ChatIyp, CypherExecError, IngestReport, RetrievalHandle};
+pub use pipeline::{ChatIyp, CypherExecError, IngestError, IngestReport, RetrievalHandle};
 pub use resilience::{
     Budget, DegradedReason, FaultError, FaultPlan, FaultPoint, FaultRule, ResilienceConfig,
     ResilienceCounters, ResilienceStats, RetryPolicy,

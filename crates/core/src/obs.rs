@@ -39,3 +39,18 @@ pub const SWAP_METRIC: &str = "chatiyp_snapshot_swap_seconds";
 /// | `apply`  | cloning the current index and patching it off-lock (re-embedding affected docs, catalog delta) |
 /// | `swap`   | publishing the `(snapshot, index)` pair — the only window a reader's `resolve` can wait on |
 pub const INDEX_METRIC: &str = "chatiyp_index_refresh_seconds";
+
+/// Histogram for WAL frame appends on the durable ingest path (encode +
+/// write, excluding fsync). Recorded by [`crate::ChatIyp::ingest`] when
+/// durability is configured.
+pub const WAL_APPEND_METRIC: &str = "chatiyp_wal_append_seconds";
+
+/// Histogram for WAL fsyncs — only appends that actually synced under
+/// the configured [`iyp_graphdb::wal::FsyncPolicy`] record here, so the
+/// count relative to [`WAL_APPEND_METRIC`] shows the effective sync
+/// ratio. Recorded by [`crate::ChatIyp::ingest`].
+pub const WAL_FSYNC_METRIC: &str = "chatiyp_wal_fsync_seconds";
+
+/// Histogram for checkpoints (atomic snapshot save + WAL truncation),
+/// recorded by [`crate::ChatIyp::checkpoint`].
+pub const CHECKPOINT_METRIC: &str = "chatiyp_checkpoint_seconds";

@@ -3,8 +3,14 @@
 
 use crate::cache::QueryCache;
 use crate::config::ChatIypConfig;
+use crate::durability::{
+    CheckpointReport, Durability, DurabilityConfig, DurabilityError, DurabilityStats,
+    RecoveryReport,
+};
 use crate::index::RetrievalIndex;
-use crate::obs::{INDEX_METRIC, STAGE_METRIC, SWAP_METRIC};
+use crate::obs::{
+    CHECKPOINT_METRIC, INDEX_METRIC, STAGE_METRIC, SWAP_METRIC, WAL_APPEND_METRIC, WAL_FSYNC_METRIC,
+};
 use crate::resilience::{
     DegradedReason, FaultError, FaultPoint, ResilienceCounters, ResilienceCtx, ResilienceStats,
     RETRIEVE_BUDGET_SHARE,
@@ -14,7 +20,8 @@ use crate::retriever::{StructuredRetrieval, TextToCypherRetriever};
 use iyp_cypher::QueryResult;
 use iyp_data::IypDataset;
 use iyp_embed::tokenize::words;
-use iyp_graphdb::{DeltaBatch, DeltaError, GraphSnapshot, GraphStore, SwapReport};
+use iyp_graphdb::wal::Wal;
+use iyp_graphdb::{snapshot, DeltaBatch, DeltaError, GraphSnapshot, GraphStore, SwapReport};
 use iyp_llm::{generate_answer, EntityCatalog, Intent, Reranker, SimLm, Translator};
 use iyp_obs::{Registry, RingSink, Trace, TraceSink, TraceTree};
 use parking_lot::{Mutex, RwLock};
@@ -90,6 +97,39 @@ pub struct ChatIyp {
     registry: Arc<Registry>,
     traces: Arc<RingSink>,
     resilience: ResilienceStats,
+    /// The WAL + checkpoint handle when the pipeline was opened over a
+    /// data directory ([`ChatIyp::open_durable`]); `None` for the
+    /// in-memory-only constructors.
+    durability: Option<Durability>,
+}
+
+/// Why an [`ChatIyp::ingest`] was refused: a bad batch (the client's
+/// fault, a `400`), or a durability failure (the WAL could not persist
+/// the batch — nothing was published, the client should retry, a `503`).
+#[derive(Debug)]
+pub enum IngestError {
+    /// The batch failed to apply — nothing published, request invalid.
+    Delta(DeltaError),
+    /// The WAL append failed or was fault-injected down — nothing
+    /// published, safe to retry once the substrate recovers.
+    Durability(DurabilityError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Delta(e) => e.fmt(f),
+            IngestError::Durability(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<DeltaError> for IngestError {
+    fn from(e: DeltaError) -> Self {
+        IngestError::Delta(e)
+    }
 }
 
 /// Why a raw Cypher execution (the `/cypher` path) did not produce a
@@ -126,16 +166,26 @@ impl ChatIyp {
     /// Builds the pipeline over a generated dataset.
     pub fn new(dataset: IypDataset, config: ChatIypConfig) -> Self {
         let catalog = EntityCatalog::from_dataset(&dataset);
-        let lm = SimLm::new(config.lm.clone());
-        let translator = Translator::new(lm.clone(), catalog.clone());
-        let registry = Arc::new(Registry::new());
-        let mut cache = QueryCache::new(config.cache.clone());
-        cache.attach_registry(&registry);
-        let traces = Arc::new(RingSink::new(config.trace_ring_capacity));
         let store = Arc::new(GraphStore::new(dataset.graph));
         let seed = store.load();
         let index = RetrievalIndex::from_graph_at(seed.graph(), seed.version(), seed.epoch())
             .with_catalog(catalog);
+        Self::assemble(store, index, config, None)
+    }
+
+    /// Assembles the pipeline around an already-built store and index.
+    fn assemble(
+        store: Arc<GraphStore>,
+        index: RetrievalIndex,
+        config: ChatIypConfig,
+        durability: Option<Durability>,
+    ) -> Self {
+        let lm = SimLm::new(config.lm.clone());
+        let translator = Translator::new(lm.clone(), index.catalog().clone());
+        let registry = Arc::new(Registry::new());
+        let mut cache = QueryCache::new(config.cache.clone());
+        cache.attach_registry(&registry);
+        let traces = Arc::new(RingSink::new(config.trace_ring_capacity));
         ChatIyp {
             store,
             index: RwLock::new(Arc::new(index)),
@@ -148,7 +198,156 @@ impl ChatIyp {
             registry,
             traces,
             resilience: ResilienceStats::default(),
+            durability,
         }
+    }
+
+    /// Opens (or creates) a durable pipeline over a data directory:
+    /// recovers the latest checkpoint, replays the WAL tail through the
+    /// store's ingest path, rebuilds the retrieval index once from the
+    /// recovered graph, and leaves the WAL open for the ingest path to
+    /// append to.
+    ///
+    /// `base` produces the initial dataset when the directory holds no
+    /// checkpoint — a first boot (or a post-checkpoint-loss rebuild); it
+    /// must be deterministic for crash recovery to reproduce the same
+    /// world (the CLI passes the seeded generator).
+    ///
+    /// Recovery tolerates a torn final WAL frame (the crash-mid-append
+    /// signature; reported in [`RecoveryReport::torn_tail_bytes`]) but
+    /// refuses interior corruption — see `iyp_graphdb::wal`.
+    pub fn open_durable(
+        config: ChatIypConfig,
+        dcfg: &DurabilityConfig,
+        base: impl FnOnce() -> IypDataset,
+    ) -> Result<(Self, RecoveryReport), DurabilityError> {
+        let t0 = Instant::now();
+        let opened = Wal::open(&dcfg.data_dir, dcfg.wal_config())?;
+        let checkpoint_path = dcfg.checkpoint_path();
+
+        // Base world: the checkpoint if one exists, else the generated
+        // dataset (which publishes as version 1, same as a fresh serve).
+        let (store, checkpoint_version, catalog) = if checkpoint_path.exists() {
+            let snap = snapshot::load_snapshot(&checkpoint_path)?;
+            let version = snap.version();
+            (GraphStore::from_snapshot(snap), Some(version), None)
+        } else {
+            let dataset = base();
+            let catalog = EntityCatalog::from_dataset(&dataset);
+            (GraphStore::new(dataset.graph), None, Some(catalog))
+        };
+        let load = t0.elapsed();
+
+        // Replay the WAL tail: records at or below the base version are
+        // already inside it; everything above must form a gapless
+        // continuation. All surviving records apply to ONE working copy
+        // of the base graph and land in ONE publish — replay cost is
+        // O(total delta), not O(records) page-table clones, which is
+        // half of why recovery beats re-ingesting batch by batch.
+        let t1 = Instant::now();
+        let mut replayed = 0u64;
+        let base_snap = store.load();
+        let mut graph = base_snap.graph().clone();
+        let mut version = base_snap.version();
+        for record in &opened.records {
+            if record.version <= version {
+                continue;
+            }
+            if record.version != version + 1 {
+                return Err(DurabilityError::VersionGap {
+                    expected: version + 1,
+                    got: record.version,
+                });
+            }
+            record
+                .batch
+                .apply(&mut graph)
+                .map_err(|error| DurabilityError::Replay {
+                    version: record.version,
+                    error,
+                })?;
+            version += 1;
+            replayed += 1;
+        }
+        let store = if replayed > 0 {
+            GraphStore::from_snapshot(GraphSnapshot::new(graph, version))
+        } else {
+            store
+        };
+        let replay = t1.elapsed();
+
+        // One index build over the final graph — this is what makes
+        // replay an order of magnitude cheaper than re-ingesting each
+        // batch through the HTTP path, which pays an incremental index
+        // refresh (re-embedding affected docs) per batch.
+        let t2 = Instant::now();
+        let final_snap = store.load();
+        let index = match catalog {
+            Some(catalog) if replayed == 0 => RetrievalIndex::from_graph_at(
+                final_snap.graph(),
+                final_snap.version(),
+                final_snap.epoch(),
+            )
+            .with_catalog(catalog),
+            _ => RetrievalIndex::from_snapshot(&final_snap),
+        };
+        let index_build = t2.elapsed();
+
+        let report = RecoveryReport {
+            checkpoint_version,
+            base_version: checkpoint_version.unwrap_or(1),
+            replayed,
+            torn_tail_bytes: opened
+                .torn_tail
+                .as_ref()
+                .map(|t| t.dropped_bytes)
+                .unwrap_or(0),
+            load,
+            replay,
+            index_build,
+        };
+        let durability = Durability::new(opened.wal, checkpoint_path, checkpoint_version, replayed);
+        let chat = Self::assemble(Arc::new(store), index, config, Some(durability));
+        chat.registry
+            .observe(STAGE_METRIC, &[("stage", "recovery")], t0.elapsed());
+        Ok((chat, report))
+    }
+
+    /// Checkpoints the current snapshot: atomically writes it to
+    /// `checkpoint.json` in the data directory (temp file + fsync +
+    /// rename), then deletes WAL segments the checkpoint covers. Takes
+    /// the ingest lock, so the saved version is exact — no publish can
+    /// land between the save and the truncation.
+    ///
+    /// Errors with [`DurabilityError::NotConfigured`] on a pipeline
+    /// without a data directory. Records [`CHECKPOINT_METRIC`].
+    pub fn checkpoint(&self) -> Result<CheckpointReport, DurabilityError> {
+        let Some(dur) = &self.durability else {
+            return Err(DurabilityError::NotConfigured);
+        };
+        let _g = self.ingest_lock.lock();
+        let t0 = Instant::now();
+        let snap = self.store.load();
+        snapshot::save_snapshot(&snap, dur.checkpoint_path())?;
+        let snapshot_bytes = std::fs::metadata(dur.checkpoint_path())
+            .map(|m| m.len())
+            .unwrap_or(0);
+        let (truncated_segments, wal) = dur.note_checkpoint(snap.version())?;
+        let duration = t0.elapsed();
+        self.registry.observe(CHECKPOINT_METRIC, &[], duration);
+        Ok(CheckpointReport {
+            version: snap.version(),
+            snapshot_bytes,
+            truncated_segments,
+            wal,
+            duration,
+        })
+    }
+
+    /// Durability counters for `/stats` and `/metrics` — `None` when the
+    /// pipeline runs without a data directory.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.durability.as_ref().map(Durability::stats)
     }
 
     /// The versioned store the pipeline reads through.
@@ -199,7 +398,14 @@ impl ChatIyp {
     /// the corpus. Readers are blocked only for the paired pointer swap.
     /// Records `clone`/`apply`/`swap` into [`SWAP_METRIC`] and
     /// `derive`/`apply`/`swap` into [`INDEX_METRIC`].
-    pub fn ingest(&self, batch: &DeltaBatch) -> Result<IngestReport, DeltaError> {
+    ///
+    /// On a durable pipeline ([`ChatIyp::open_durable`]), the validated
+    /// batch is appended to the WAL (and fsynced per policy) **before**
+    /// anything is published: a successful return means the batch is on
+    /// disk, and a WAL failure ([`IngestError::Durability`]) publishes
+    /// nothing — readers never see a version the log doesn't hold. WAL
+    /// timings go to [`WAL_APPEND_METRIC`] / [`WAL_FSYNC_METRIC`].
+    pub fn ingest(&self, batch: &DeltaBatch) -> Result<IngestReport, IngestError> {
         let _g = self.ingest_lock.lock();
         let base = self.store.load();
 
@@ -210,6 +416,29 @@ impl ChatIyp {
         let cloned = t0.elapsed();
         let applied = batch.apply_tracked(&mut next_graph)?;
         let apply = t0.elapsed() - cloned;
+
+        // Durable write, now that the batch is known-valid: invalid
+        // batches never enter the log, and a crash after this point is
+        // recoverable by replay. The WAL is also a fault point — an
+        // injected outage fails the ingest exactly like a real disk
+        // error, with nothing published.
+        if let Some(dur) = &self.durability {
+            let res = &self.config.resilience;
+            if res.enabled {
+                if let Some(plan) = &res.faults {
+                    if let Err(fault) = plan.check(FaultPoint::Wal) {
+                        return Err(IngestError::Durability(DurabilityError::Fault(fault)));
+                    }
+                }
+            }
+            let info = dur
+                .append(base.version() + 1, batch)
+                .map_err(|e| IngestError::Durability(DurabilityError::Wal(e)))?;
+            self.registry.observe(WAL_APPEND_METRIC, &[], info.append);
+            if let Some(fsync) = info.fsync {
+                self.registry.observe(WAL_FSYNC_METRIC, &[], fsync);
+            }
+        }
 
         // Derive the retrieval-side consequences of the batch.
         let t0 = Instant::now();

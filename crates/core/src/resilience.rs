@@ -38,15 +38,20 @@ pub enum FaultPoint {
     Embed,
     /// Graph (Cypher) execution — both the `ask` path and `/cypher`.
     Exec,
+    /// The write-ahead-log append + fsync on the durable ingest path.
+    /// An injected fault here fails the ingest *before* anything is
+    /// published — the durable-write-or-nothing contract.
+    Wal,
 }
 
 impl FaultPoint {
     /// Every fault point, in counter order.
-    pub const ALL: [FaultPoint; 4] = [
+    pub const ALL: [FaultPoint; 5] = [
         FaultPoint::LlmTranslate,
         FaultPoint::LlmGenerate,
         FaultPoint::Embed,
         FaultPoint::Exec,
+        FaultPoint::Wal,
     ];
 
     /// Stable label used in error text, metrics, and docs.
@@ -56,6 +61,7 @@ impl FaultPoint {
             FaultPoint::LlmGenerate => "llm_generate",
             FaultPoint::Embed => "embed",
             FaultPoint::Exec => "exec",
+            FaultPoint::Wal => "wal",
         }
     }
 
@@ -65,6 +71,7 @@ impl FaultPoint {
             FaultPoint::LlmGenerate => 1,
             FaultPoint::Embed => 2,
             FaultPoint::Exec => 3,
+            FaultPoint::Wal => 4,
         }
     }
 }
@@ -143,8 +150,8 @@ impl std::error::Error for FaultError {}
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     seed: u64,
-    rules: [Option<FaultRule>; 4],
-    calls: [AtomicU64; 4],
+    rules: [Option<FaultRule>; 5],
+    calls: [AtomicU64; 5],
 }
 
 impl FaultPlan {

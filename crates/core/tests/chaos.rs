@@ -289,3 +289,66 @@ fn disabled_resilience_ignores_the_fault_plan() {
         );
     }
 }
+
+/// A WAL outage window on a durable pipeline: ingests inside the window
+/// fail with a typed durability error and publish **nothing** — no torn
+/// state in memory, no partial frame on disk. Once the window closes
+/// ingest succeeds again, and a reboot recovers exactly the acknowledged
+/// ingests — the durable-write-or-nothing contract, end to end.
+#[test]
+fn wal_outage_window_fails_ingest_cleanly_and_recovery_sees_only_acks() {
+    use chatiyp_core::{DurabilityConfig, DurabilityError, IngestError};
+
+    let dir = std::env::temp_dir().join("chatiyp_chaos_wal_outage");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // First two WAL appends fault, everything after succeeds.
+    let open = || {
+        ChatIyp::open_durable(
+            ChatIypConfig {
+                lm: oracle_lm(),
+                resilience: ResilienceConfig {
+                    faults: Some(
+                        FaultPlan::new(9)
+                            .rule(FaultPoint::Wal, FaultRule::window(0, 2))
+                            .into_arc(),
+                    ),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            &DurabilityConfig::new(&dir),
+            || generate(&IypConfig::tiny()),
+        )
+    };
+    let (chat, _) = open().expect("open durable pipeline");
+
+    let batch = {
+        let handle = chat.resolve();
+        iyp_data::growth_batch(handle.snapshot.graph(), 0, 4)
+    };
+    for attempt in 0..2 {
+        match chat.ingest(&batch) {
+            Err(IngestError::Durability(DurabilityError::Fault(_))) => {}
+            other => panic!("attempt {attempt}: expected a WAL fault, got {other:?}"),
+        }
+        assert_eq!(
+            chat.store().load().version(),
+            1,
+            "a failed WAL append must publish nothing"
+        );
+    }
+    // Window closed: the identical batch now lands.
+    chat.ingest(&batch).expect("ingest after the outage");
+    assert_eq!(chat.store().load().version(), 2);
+    let stats = chat.durability_stats().expect("durable pipeline has stats");
+    assert!(stats.wal_bytes > 0, "the acknowledged ingest is on disk");
+    drop(chat);
+
+    // Reboot: exactly the one acknowledged ingest replays — the two
+    // faulted attempts left no trace.
+    let (recovered, report) = open().expect("recover after the outage");
+    assert_eq!(report.replayed, 1);
+    assert_eq!(recovered.store().load().version(), 2);
+}

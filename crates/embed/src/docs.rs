@@ -73,21 +73,72 @@ impl DocStore {
             text: text.into(),
             tag,
         };
-        // Title is embedded twice as heavily as once: it names the entity.
-        let embed_text = format!("{} {} {}", doc.title, doc.title, doc.text);
-        let vector = self.embedder.embed(&embed_text);
-        if let Some(&slot) = self.by_tag.get(&tag) {
+        let vector = self.embedder.embed(&Self::embed_text(&doc));
+        self.insert_embedded(doc, vector);
+    }
+
+    /// Adds a whole batch, embedding across all available cores —
+    /// equivalent to (but much faster than) upserting each document in
+    /// order. Construction-time bulk loads (full index builds, crash
+    /// recovery) go through here; single-document churn stays on
+    /// [`DocStore::upsert`].
+    pub fn upsert_batch(&mut self, batch: Vec<Doc>) {
+        const PARALLEL_THRESHOLD: usize = 64;
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let vectors: Vec<Vector> = if batch.len() < PARALLEL_THRESHOLD || workers < 2 {
+            batch
+                .iter()
+                .map(|d| self.embedder.embed(&Self::embed_text(d)))
+                .collect()
+        } else {
+            let chunk = batch.len().div_ceil(workers);
+            let embedder = &self.embedder;
+            let mut parts: Vec<Vec<Vector>> = Vec::with_capacity(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = batch
+                    .chunks(chunk)
+                    .map(|docs| {
+                        s.spawn(move || {
+                            docs.iter()
+                                .map(|d| embedder.embed(&Self::embed_text(d)))
+                                .collect::<Vec<Vector>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("embed worker panicked"));
+                }
+            });
+            parts.into_iter().flatten().collect()
+        };
+        for (doc, vector) in batch.into_iter().zip(vectors) {
+            self.insert_embedded(doc, vector);
+        }
+    }
+
+    /// What actually gets embedded for a document. The title is embedded
+    /// twice as heavily as once: it names the entity.
+    fn embed_text(doc: &Doc) -> String {
+        format!("{} {} {}", doc.title, doc.title, doc.text)
+    }
+
+    /// The slot bookkeeping shared by the single and batch paths.
+    fn insert_embedded(&mut self, doc: Doc, vector: Vector) {
+        if let Some(&slot) = self.by_tag.get(&doc.tag) {
             self.index.set(slot, vector);
             self.docs[slot] = doc;
         } else if let Some(slot) = self.free.pop() {
+            let tag = doc.tag;
             self.index.set(slot, vector);
             self.docs[slot] = doc;
             self.by_tag.insert(tag, slot);
         } else {
             let slot = self.index.add(vector);
             debug_assert_eq!(slot, self.docs.len());
+            self.by_tag.insert(doc.tag, slot);
             self.docs.push(doc);
-            self.by_tag.insert(tag, slot);
         }
     }
 

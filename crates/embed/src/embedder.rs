@@ -7,7 +7,7 @@
 //! close in cosine space, which is the property the retriever and
 //! BERTScore-style metric rely on.
 
-use crate::tokenize::{char_trigrams, word_ngrams, words};
+use crate::tokenize::{char_trigrams, words};
 use serde::{Deserialize, Serialize};
 
 /// Default embedding dimensionality.
@@ -50,19 +50,43 @@ impl Embedder {
     }
 
     /// Embeds a text into a normalized vector.
+    ///
+    /// This is the hot loop of every index build, so the grams are
+    /// assembled in reused scratch buffers rather than through the
+    /// allocating [`char_trigrams`]/[`crate::tokenize::word_ngrams`]
+    /// helpers — the hashed bytes (and therefore the resulting vector)
+    /// are identical.
     pub fn embed(&self, text: &str) -> Vector {
         let mut v = vec![0f32; self.dim];
         let tokens = words(text);
         // Unigrams (weight 1.0), bigrams (1.5 — phrase structure matters),
         // char trigrams (0.5 — robustness to morphology/typos).
+        let mut chars: Vec<char> = Vec::new();
+        let mut gram = String::new();
         for t in &tokens {
             self.add_feature(&mut v, t, 1.0);
-            for g in char_trigrams(t) {
-                self.add_feature(&mut v, &g, 0.5);
+            chars.clear();
+            chars.push('^');
+            chars.extend(t.chars());
+            chars.push('$');
+            if chars.len() < 3 {
+                gram.clear();
+                gram.extend(chars.iter());
+                self.add_feature(&mut v, &gram, 0.5);
+            } else {
+                for w in chars.windows(3) {
+                    gram.clear();
+                    gram.extend(w.iter());
+                    self.add_feature(&mut v, &gram, 0.5);
+                }
             }
         }
-        for g in word_ngrams(&tokens, 2) {
-            self.add_feature(&mut v, &g, 1.5);
+        for w in tokens.windows(2) {
+            gram.clear();
+            gram.push_str(&w[0]);
+            gram.push('_');
+            gram.push_str(&w[1]);
+            self.add_feature(&mut v, &gram, 1.5);
         }
         let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
         if norm > 0.0 {
@@ -96,8 +120,12 @@ impl Embedder {
         // style): a chance collision of two different features must then
         // coincide in both slots to masquerade as similarity, which makes
         // spurious cosine quadratically rarer than with one slot.
+        //
+        // h2 hashes the feature behind a 0x03 prefix byte; folding the
+        // prefix into the FNV state directly avoids materializing the
+        // prefixed string (this runs a few hundred times per document).
         let h1 = fnv1a(feature.as_bytes());
-        let h2 = fnv1a(format!("\u{3}{feature}").as_bytes());
+        let h2 = fnv1a_from(fnv1a_from(FNV_OFFSET, &[0x03]), feature.as_bytes());
         let w = weight * std::f32::consts::FRAC_1_SQRT_2;
         for h in [h1, h2] {
             let slot = (h % self.dim as u64) as usize;
@@ -107,9 +135,16 @@ impl Embedder {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
 /// 64-bit FNV-1a, the deterministic feature hash.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
+    fnv1a_from(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a hash from state `h` — hashing a concatenation
+/// piecewise gives the same result as hashing it whole.
+fn fnv1a_from(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100000001b3);
@@ -159,6 +194,38 @@ mod tests {
         let z = e.embed("");
         assert!(z.0.iter().all(|&x| x == 0.0));
         assert_eq!(z.cosine(&e.embed("anything")), 0.0);
+    }
+
+    #[test]
+    fn scratch_buffer_grams_match_the_tokenize_helpers() {
+        // `embed` assembles grams in reused buffers for speed; this pins
+        // it to the reference implementation built on the public helpers.
+        let e = Embedder::default();
+        for text in [
+            "What is the name of AS2497?",
+            "Tokyo 日本 interconnection — JPIX, 40 members",
+            "a",
+            "",
+        ] {
+            let mut v = vec![0f32; e.dim];
+            let tokens = words(text);
+            for t in &tokens {
+                e.add_feature(&mut v, t, 1.0);
+                for g in crate::tokenize::char_trigrams(t) {
+                    e.add_feature(&mut v, &g, 0.5);
+                }
+            }
+            for g in crate::tokenize::word_ngrams(&tokens, 2) {
+                e.add_feature(&mut v, &g, 1.5);
+            }
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for x in &mut v {
+                    *x /= norm;
+                }
+            }
+            assert_eq!(e.embed(text), Vector(v), "text {text:?}");
+        }
     }
 
     #[test]

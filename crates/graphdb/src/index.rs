@@ -9,7 +9,7 @@
 //! are split across power-of-two hash partitions held behind `Arc`s, so
 //! cloning an [`IndexSet`] copies partition pointers and an index update
 //! path-copies only the one partition holding the touched key. Partitions
-//! reshard (double) when they average more than [`RESHARD_TARGET`] keys,
+//! reshard (double) when they average more than `RESHARD_TARGET` keys,
 //! keeping the path-copy cost bounded as the graph grows — the same
 //! discipline as [`crate::page::PAGE_SIZE`]-record pages in the node and
 //! relationship tables. The on-disk layout is unchanged from the flat

@@ -36,6 +36,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod value;
+pub mod wal;
 
 pub use delta::{AppliedDelta, DeltaBatch, DeltaError, DeltaOp, NodeRef};
 pub use graph::{Direction, Graph, GraphError, NodeId, NodeRecord, RelId, RelRecord};
@@ -45,6 +46,7 @@ pub use props::Props;
 pub use stats::{GraphStats, MemoryStats};
 pub use store::{GraphSnapshot, GraphStore, SwapReport};
 pub use value::{Value, ValueError, ValueKey};
+pub use wal::{FsyncPolicy, Wal, WalConfig, WalError, WalRecord, WalStats};
 
 /// A thread-shareable graph handle. The Cypher executor reads through a
 /// shared lock; dataset loading happens through a write lock up front.

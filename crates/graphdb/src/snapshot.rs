@@ -21,8 +21,8 @@ use crate::store::GraphSnapshot;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
-use std::io;
-use std::path::Path;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 
 /// Errors raised by snapshot save/load.
 #[derive(Debug)]
@@ -49,6 +49,62 @@ impl From<io::Error> for SnapshotError {
     }
 }
 
+impl SnapshotError {
+    /// Prefixes the error message with the file it came from, so a
+    /// corrupt snapshot among many is identifiable from the error alone.
+    fn at(self, path: &Path) -> Self {
+        match self {
+            SnapshotError::Io(e) => {
+                SnapshotError::Io(io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+            }
+            SnapshotError::Format(msg) => {
+                SnapshotError::Format(format!("{}: {msg}", path.display()))
+            }
+        }
+    }
+}
+
+/// The sibling temp path used by atomic writes: `<name>.tmp` in the same
+/// directory (same filesystem, so the rename is atomic).
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "snapshot".into());
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically replaces `path` with `bytes`: write a sibling temp file,
+/// fsync it, rename over the target. A crash at any point leaves either
+/// the old file or the new one — never a torn mix — because the rename
+/// is the only step that touches the destination name.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = tmp_path(path);
+    let result = (|| -> io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if let Err(e) = result {
+        // Don't leave a stale temp file behind a failed save.
+        fs::remove_file(&tmp).ok();
+        return Err(SnapshotError::Io(e).at(path));
+    }
+    // Make the rename itself durable on filesystems that need a
+    // directory sync (best-effort: read-only open can fail on exotic
+    // mounts without invalidating the write).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 /// Serializes the graph to a JSON string.
 pub fn to_json(graph: &Graph) -> Result<String, SnapshotError> {
     serde_json::to_string(graph).map_err(|e| SnapshotError::Format(e.to_string()))
@@ -62,15 +118,27 @@ pub fn from_json(json: &str) -> Result<Graph, SnapshotError> {
     Ok(g)
 }
 
-/// Writes a snapshot file.
+/// Writes a snapshot file atomically (temp file + fsync + rename): a
+/// crash mid-save can never tear an existing snapshot.
 pub fn save(graph: &Graph, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-    fs::write(path, to_json(graph)?)?;
-    Ok(())
+    write_atomic(path.as_ref(), to_json(graph)?.as_bytes())
 }
 
-/// Reads a snapshot file.
+/// Reads the file as text, classifying invalid UTF-8 as *content*
+/// corruption ([`SnapshotError::Format`]) rather than an I/O failure —
+/// a bit-flipped snapshot is a bad snapshot, not a broken disk.
+fn read_text(path: &Path) -> Result<String, SnapshotError> {
+    let bytes = fs::read(path).map_err(|e| SnapshotError::Io(e).at(path))?;
+    String::from_utf8(bytes)
+        .map_err(|e| SnapshotError::Format(format!("not valid utf-8: {e}")).at(path))
+}
+
+/// Reads a snapshot file. Errors (I/O or format) name the offending
+/// path; truncated or bit-flipped payloads come back as
+/// [`SnapshotError::Format`], never a panic.
 pub fn load(path: impl AsRef<Path>) -> Result<Graph, SnapshotError> {
-    from_json(&fs::read_to_string(path)?)
+    let path = path.as_ref();
+    from_json(&read_text(path)?).map_err(|e| e.at(path))
 }
 
 /// The versioned envelope: the graph plus the publish version the store
@@ -98,18 +166,21 @@ pub fn snapshot_from_json(json: &str) -> Result<GraphSnapshot, SnapshotError> {
     Ok(GraphSnapshot::new(env.graph, env.version))
 }
 
-/// Writes a versioned snapshot file.
+/// Writes a versioned snapshot file atomically (temp file + fsync +
+/// rename) — the checkpoint write path, where tearing the previous
+/// checkpoint would destroy the only recovery base.
 pub fn save_snapshot(
     snapshot: &GraphSnapshot,
     path: impl AsRef<Path>,
 ) -> Result<(), SnapshotError> {
-    fs::write(path, snapshot_to_json(snapshot)?)?;
-    Ok(())
+    write_atomic(path.as_ref(), snapshot_to_json(snapshot)?.as_bytes())
 }
 
-/// Reads a versioned snapshot file.
+/// Reads a versioned snapshot file. Errors name the offending path;
+/// corrupt payloads are [`SnapshotError::Format`], never a panic.
 pub fn load_snapshot(path: impl AsRef<Path>) -> Result<GraphSnapshot, SnapshotError> {
-    snapshot_from_json(&fs::read_to_string(path)?)
+    let path = path.as_ref();
+    snapshot_from_json(&read_text(path)?).map_err(|e| e.at(path))
 }
 
 #[cfg(test)]
@@ -341,6 +412,164 @@ mod tests {
         match from_json("{not json") {
             Err(SnapshotError::Format(_)) => {}
             other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    fn fresh_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("iyp_graphdb_snapshot_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn two_node_snapshot() -> crate::store::GraphSnapshot {
+        let mut g = Graph::new();
+        g.add_node(["AS"], props!("asn" => 2497i64, "name" => "IIJ"));
+        g.add_node(["Country"], props!("country_code" => "JP"));
+        g.create_index("AS", "asn");
+        crate::store::GraphSnapshot::new(g, 3)
+    }
+
+    /// Regression (PR 10 satellite): a failure mid-save must leave the
+    /// previously saved file intact — the save writes a sibling temp
+    /// file and only renames on success. The failure is simulated by
+    /// planting a *directory* at the temp path, which makes the temp
+    /// file creation (the first write step) fail.
+    #[test]
+    fn failed_save_leaves_old_snapshot_intact() {
+        let dir = fresh_dir("atomic");
+        let path = dir.join("checkpoint.json");
+        let snap = two_node_snapshot();
+        save_snapshot(&snap, &path).unwrap();
+        let original = std::fs::read_to_string(&path).unwrap();
+
+        std::fs::create_dir(dir.join("checkpoint.json.tmp")).unwrap();
+        let mut g2 = snap.graph().clone();
+        g2.add_node(["AS"], props!("asn" => 1i64));
+        let bigger = crate::store::GraphSnapshot::new(g2, 4);
+        let err = save_snapshot(&bigger, &path).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+        assert!(
+            err.to_string().contains("checkpoint.json"),
+            "error does not name the target: {err}"
+        );
+
+        // The old file is byte-for-byte untouched and still loads.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), original);
+        assert_eq!(load_snapshot(&path).unwrap().version(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A successful save cleans up after itself and fully replaces the
+    /// old content (no stale `.tmp` left behind, new bytes visible).
+    #[test]
+    fn atomic_save_replaces_and_leaves_no_temp() {
+        let dir = fresh_dir("atomic_ok");
+        let path = dir.join("checkpoint.json");
+        save_snapshot(&two_node_snapshot(), &path).unwrap();
+        let mut g2 = Graph::new();
+        g2.add_node(["AS"], props!("asn" => 9i64));
+        save_snapshot(&crate::store::GraphSnapshot::new(g2, 7), &path).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap().version(), 7);
+        assert!(
+            !dir.join("checkpoint.json.tmp").exists(),
+            "temp file left behind"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite hardening: every strict prefix of a snapshot file (a
+    /// byte-chopped write, pre-atomicity) must come back as a `Format`
+    /// error naming the path — never a panic, never a partial graph.
+    #[test]
+    fn truncated_snapshot_files_are_format_errors_with_path() {
+        let dir = fresh_dir("truncated");
+        let path = dir.join("checkpoint.json");
+        let snap = two_node_snapshot();
+        save_snapshot(&snap, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let chopped = dir.join("chopped.json");
+        // Every strict prefix leaves the top-level JSON object unclosed.
+        let step = (full.len() / 60).max(1);
+        for cut in (0..full.len()).step_by(step) {
+            std::fs::write(&chopped, &full[..cut]).unwrap();
+            match load_snapshot(&chopped) {
+                Err(SnapshotError::Format(msg)) => {
+                    assert!(
+                        msg.contains("chopped.json"),
+                        "error at cut {cut} does not name the path: {msg}"
+                    );
+                }
+                Ok(_) => panic!("truncation at {cut} bytes loaded successfully"),
+                Err(other) => panic!("truncation at {cut} gave non-format error: {other}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite hardening: single-bit flips anywhere in the payload
+    /// must either still load (the flip landed in a string literal) or
+    /// fail with `Format` — never panic, and never an `Io` error dressed
+    /// up as success.
+    #[test]
+    fn bit_flipped_snapshot_files_never_panic() {
+        let dir = fresh_dir("bitflip");
+        let path = dir.join("checkpoint.json");
+        save_snapshot(&two_node_snapshot(), &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let flipped = dir.join("flipped.json");
+        let step = (full.len() / 200).max(1);
+        let mut format_errors = 0;
+        for pos in (0..full.len()).step_by(step) {
+            for bit in [0, 3, 7] {
+                let mut bytes = full.clone();
+                bytes[pos] ^= 1 << bit;
+                std::fs::write(&flipped, &bytes).unwrap();
+                match load_snapshot(&flipped) {
+                    Ok(_) => {}
+                    Err(SnapshotError::Format(msg)) => {
+                        format_errors += 1;
+                        assert!(
+                            msg.contains("flipped.json"),
+                            "flip at {pos}/{bit} does not name the path: {msg}"
+                        );
+                    }
+                    Err(other) => panic!("flip at {pos}/{bit} gave non-format error: {other}"),
+                }
+            }
+        }
+        assert!(format_errors > 0, "no flip produced a format error");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A structurally valid JSON value that is not a snapshot envelope is
+    /// a `Format` error too (e.g. the bare-graph format fed to the
+    /// envelope loader).
+    #[test]
+    fn wrong_shape_is_a_format_error_with_path() {
+        let dir = fresh_dir("shape");
+        let path = dir.join("weird.json");
+        std::fs::write(&path, "[1, 2, 3]").unwrap();
+        match load_snapshot(&path) {
+            Err(SnapshotError::Format(msg)) => assert!(msg.contains("weird.json")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+        match load(&path) {
+            Err(SnapshotError::Format(msg)) => assert!(msg.contains("weird.json")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Missing files surface as `Io` errors that name the path.
+    #[test]
+    fn missing_file_io_error_names_path() {
+        let err = load_snapshot("/nonexistent/chatiyp/checkpoint.json").unwrap_err();
+        match &err {
+            SnapshotError::Io(e) => {
+                assert!(e.to_string().contains("checkpoint.json"), "{e}");
+            }
+            other => panic!("expected io error, got {other:?}"),
         }
     }
 

@@ -132,6 +132,18 @@ impl GraphStore {
         }
     }
 
+    /// Publishes an already-versioned snapshot as the store's initial
+    /// state — the recovery path: a checkpoint reloaded from disk (or a
+    /// checkpoint-plus-replayed-WAL graph) resumes its version sequence
+    /// instead of resetting to 1, so WAL records at or below the
+    /// snapshot's version are recognizably already applied.
+    pub fn from_snapshot(snapshot: GraphSnapshot) -> Self {
+        GraphStore {
+            current: RwLock::new(Arc::new(snapshot)),
+            writer: Mutex::new(()),
+        }
+    }
+
     /// Acquires the current snapshot. Call once at query start and use
     /// the returned handle for the whole query — later swaps don't
     /// affect it, and dropping it releases the old graph's memory once

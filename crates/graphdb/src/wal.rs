@@ -1,0 +1,863 @@
+//! Write-ahead log of [`DeltaBatch`] records: the durability substrate
+//! for live ingest.
+//!
+//! A [`Wal`] owns a directory of append-only **segment files**. Every
+//! published batch is appended as one **frame** *before* the in-memory
+//! swap, so a crash after the append can always be replayed and a crash
+//! before it loses nothing that was ever acknowledged.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! ┌────────────┬────────────┬───────────────────┐
+//! │ len: u32   │ crc: u32   │ payload: len bytes│
+//! │ (little-   │ (CRC-32/   │ JSON of WalRecord │
+//! │  endian)   │  IEEE of   │ {version, batch}  │
+//! │            │  payload)  │                   │
+//! └────────────┴────────────┴───────────────────┘
+//! ```
+//!
+//! Record versions are strictly increasing across the whole log — they
+//! are the store's publish versions, so replay is idempotent: a record
+//! at or below the recovered snapshot's version is skipped.
+//!
+//! ## Segments and rotation
+//!
+//! Segment files are named `wal-<first_version:020>.log` and rotate when
+//! the active segment would exceed [`WalConfig::segment_max_bytes`].
+//! Checkpointing calls [`Wal::truncate_below`], which deletes every
+//! segment whose records are all covered by the checkpointed snapshot.
+//!
+//! ## Recovery semantics
+//!
+//! [`Wal::open`] scans every segment front to back:
+//!
+//! * a **torn final frame** (truncated header or payload at the tail of
+//!   the *last* segment — the signature of a crash mid-append) is
+//!   tolerated: the file is truncated back to the last good frame and
+//!   the damage is reported in [`OpenedWal::torn_tail`];
+//! * a **CRC-corrupt or short interior frame** (anywhere else) means the
+//!   log can't be trusted and open refuses with [`WalError::Corrupt`] —
+//!   silently skipping a mid-log record would replay a different history
+//!   than the one that was acknowledged.
+
+use crate::delta::DeltaBatch;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Maximum payload length accepted when reading a frame. A length word
+/// above this is treated as corruption rather than an allocation request.
+const MAX_FRAME_PAYLOAD: u32 = 256 * 1024 * 1024;
+
+/// Frame header size: `len: u32` + `crc: u32`.
+const FRAME_HEADER: usize = 8;
+
+/// When to `fsync` the active segment after an append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every append — no acknowledged batch can be lost to a
+    /// power failure, at the cost of one fsync per ingest.
+    Always,
+    /// Sync after every `n` appends (and on segment rotation). A crash
+    /// can lose up to `n - 1` acknowledged batches to a *power* failure;
+    /// a process crash alone loses nothing (the OS holds the pages).
+    EveryN(u32),
+    /// Never sync; the OS flushes on its own schedule. Fastest, weakest.
+    Off,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling: `always`, `off`, `every_n` (defaults to
+    /// every 8 appends), or `every_n:<n>`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "off" => Ok(FsyncPolicy::Off),
+            "every_n" => Ok(FsyncPolicy::EveryN(8)),
+            other => match other.strip_prefix("every_n:") {
+                Some(n) => match n.parse::<u32>() {
+                    Ok(n) if n > 0 => Ok(FsyncPolicy::EveryN(n)),
+                    _ => Err(format!(
+                        "invalid fsync interval `{n}` (want a positive integer)"
+                    )),
+                },
+                None => Err(format!(
+                    "unknown fsync policy `{other}` (want always, every_n[:<n>], or off)"
+                )),
+            },
+        }
+    }
+
+    /// The CLI spelling of this policy.
+    pub fn as_str(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".to_string(),
+            FsyncPolicy::EveryN(n) => format!("every_n:{n}"),
+            FsyncPolicy::Off => "off".to_string(),
+        }
+    }
+}
+
+/// Tunables for a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Rotate to a new segment once the active one reaches this size.
+    pub segment_max_bytes: u64,
+    /// When to fsync after appends.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_max_bytes: 4 * 1024 * 1024,
+            fsync: FsyncPolicy::Always,
+        }
+    }
+}
+
+/// One logged ingest: the publish version the batch produced and the
+/// batch itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// The store version this batch published (strictly increasing).
+    pub version: u64,
+    /// The mutation batch, exactly as applied.
+    pub batch: DeltaBatch,
+}
+
+/// Errors raised by the WAL.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A frame failed its CRC or structural checks somewhere replay
+    /// cannot tolerate (anywhere but the tail of the last segment).
+    Corrupt {
+        /// The segment file holding the bad frame.
+        path: PathBuf,
+        /// Byte offset of the bad frame within the segment.
+        offset: u64,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// A record could not be serialized or deserialized.
+    Format(String),
+    /// An append's version did not advance past the last logged record.
+    VersionOrder {
+        /// The highest version already in the log.
+        last: u64,
+        /// The offending append's version.
+        got: u64,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "wal segment {} corrupt at offset {offset}: {detail}",
+                path.display()
+            ),
+            WalError::Format(e) => write!(f, "wal record format error: {e}"),
+            WalError::VersionOrder { last, got } => write!(
+                f,
+                "wal append version {got} does not advance past last logged version {last}"
+            ),
+        }
+    }
+}
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// A torn final frame found (and truncated away) during [`Wal::open`].
+#[derive(Debug, Clone)]
+pub struct TornTail {
+    /// The segment that carried the torn frame.
+    pub path: PathBuf,
+    /// Bytes dropped from its end.
+    pub dropped_bytes: u64,
+}
+
+/// What one [`Wal::append`] did.
+#[derive(Debug, Clone)]
+pub struct AppendInfo {
+    /// Bytes this frame occupies on disk (header + payload).
+    pub bytes: u64,
+    /// Time to encode and write the frame (excluding fsync).
+    pub append: Duration,
+    /// Time spent in fsync, if this append synced.
+    pub fsync: Option<Duration>,
+    /// Whether the append rotated to a new segment first.
+    pub rotated: bool,
+}
+
+/// Point-in-time WAL shape, surfaced through `/stats`.
+#[derive(Debug, Clone, Copy)]
+pub struct WalStats {
+    /// Segment files currently on disk (sealed + active).
+    pub segments: usize,
+    /// Total bytes across all segments.
+    pub bytes: u64,
+    /// Highest record version in the log (0 if empty).
+    pub last_version: u64,
+}
+
+/// The result of [`Wal::open`]: the writable log handle, every record
+/// that survived on disk (in version order), and tail-damage info.
+#[derive(Debug)]
+pub struct OpenedWal {
+    /// The log, positioned to append after the last surviving record.
+    pub wal: Wal,
+    /// All records on disk, in strictly increasing version order.
+    pub records: Vec<WalRecord>,
+    /// Set when a torn final frame was truncated away.
+    pub torn_tail: Option<TornTail>,
+}
+
+/// Metadata for one on-disk segment.
+#[derive(Debug)]
+struct SegmentMeta {
+    path: PathBuf,
+    /// Last record version contained, if any record exists.
+    last_version: Option<u64>,
+    bytes: u64,
+}
+
+/// An append-only write-ahead log over a directory of segment files.
+///
+/// Not internally synchronized: callers serialize appends (the pipeline
+/// holds its ingest lock across append + publish anyway, which is also
+/// what keeps the version sequence gap-free).
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    config: WalConfig,
+    /// Sealed (rotated-out) segments, oldest first.
+    sealed: Vec<SegmentMeta>,
+    /// The active segment's metadata and open handle, if any.
+    active: Option<(SegmentMeta, File)>,
+    /// Highest version ever appended or recovered (0 if none).
+    last_version: u64,
+    /// Appends since the last fsync (for [`FsyncPolicy::EveryN`]).
+    unsynced: u32,
+}
+
+/// Encodes one frame: `[len][crc][payload]`.
+fn encode_frame(record: &WalRecord) -> Result<Vec<u8>, WalError> {
+    let payload = serde_json::to_string(record).map_err(|e| WalError::Format(e.to_string()))?;
+    let payload = payload.as_bytes();
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    Ok(frame)
+}
+
+/// CRC-32 (IEEE 802.3, the `cksum`/zlib polynomial), bitwise.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Best-effort directory fsync, so segment creation/removal survives a
+/// power failure on filesystems that need it.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+fn segment_file_name(first_version: u64) -> String {
+    format!("wal-{first_version:020}.log")
+}
+
+/// Parses `wal-<version>.log` back into the version, if it matches.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// One segment's scan result.
+struct ScannedSegment {
+    meta: SegmentMeta,
+    records: Vec<WalRecord>,
+    /// Offset where a torn tail begins, if the file ends mid-frame.
+    torn_at: Option<u64>,
+}
+
+/// Reads every frame of one segment. `torn_at` is set (instead of an
+/// error) when the file ends mid-frame; the caller decides whether that
+/// position is tolerable.
+fn scan_segment(path: &Path) -> Result<ScannedSegment, WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut torn_at = None;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        if remaining < FRAME_HEADER {
+            torn_at = Some(offset as u64);
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(WalError::Corrupt {
+                path: path.to_path_buf(),
+                offset: offset as u64,
+                detail: format!("frame length {len} exceeds the {MAX_FRAME_PAYLOAD}-byte cap"),
+            });
+        }
+        let len = len as usize;
+        if remaining < FRAME_HEADER + len {
+            torn_at = Some(offset as u64);
+            break;
+        }
+        let payload = &bytes[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
+        let actual = crc32(payload);
+        if actual != crc {
+            return Err(WalError::Corrupt {
+                path: path.to_path_buf(),
+                offset: offset as u64,
+                detail: format!("crc mismatch (stored {crc:#010x}, computed {actual:#010x})"),
+            });
+        }
+        let record: WalRecord =
+            serde_json::from_str(std::str::from_utf8(payload).map_err(|e| WalError::Corrupt {
+                path: path.to_path_buf(),
+                offset: offset as u64,
+                detail: format!("payload is not utf-8 despite a valid crc: {e}"),
+            })?)
+            .map_err(|e| WalError::Corrupt {
+                path: path.to_path_buf(),
+                offset: offset as u64,
+                detail: format!("payload is not a wal record despite a valid crc: {e}"),
+            })?;
+        records.push(record);
+        offset += FRAME_HEADER + len;
+    }
+    let good_bytes = torn_at.unwrap_or(bytes.len() as u64);
+    Ok(ScannedSegment {
+        meta: SegmentMeta {
+            path: path.to_path_buf(),
+            last_version: records.last().map(|r| r.version),
+            bytes: good_bytes,
+        },
+        records,
+        torn_at,
+    })
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log in `dir`, replay-scanning every
+    /// segment. See the module docs for torn-tail vs corruption handling.
+    pub fn open(dir: impl AsRef<Path>, config: WalConfig) -> Result<OpenedWal, WalError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+
+        let mut names: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(v) = name.to_str().and_then(parse_segment_name) {
+                names.push((v, entry.path()));
+            }
+        }
+        names.sort();
+
+        let mut records = Vec::new();
+        let mut torn_tail = None;
+        let mut segments = Vec::new();
+        let last_index = names.len().saturating_sub(1);
+        for (i, (_, path)) in names.iter().enumerate() {
+            let scanned = scan_segment(path)?;
+            if let Some(at) = scanned.torn_at {
+                if i != last_index {
+                    // Mid-log truncation: rotation means records follow
+                    // this segment, so the tail here was never the write
+                    // frontier — refuse rather than drop history.
+                    return Err(WalError::Corrupt {
+                        path: path.clone(),
+                        offset: at,
+                        detail: "segment ends mid-frame but is not the last segment".into(),
+                    });
+                }
+                let full = fs::metadata(path)?.len();
+                let keep = scanned.meta.bytes;
+                OpenOptions::new().write(true).open(path)?.set_len(keep)?;
+                torn_tail = Some(TornTail {
+                    path: path.clone(),
+                    dropped_bytes: full - keep,
+                });
+            }
+            // Versions must increase across the whole log.
+            for r in &scanned.records {
+                let last = records.last().map(|r: &WalRecord| r.version).unwrap_or(0);
+                if r.version <= last {
+                    return Err(WalError::Corrupt {
+                        path: path.clone(),
+                        offset: 0,
+                        detail: format!(
+                            "record version {} does not advance past {last}",
+                            r.version
+                        ),
+                    });
+                }
+            }
+            records.extend(scanned.records);
+            segments.push(scanned.meta);
+        }
+
+        let last_version = records.last().map(|r| r.version).unwrap_or(0);
+        // The newest segment stays active for appends; older ones are
+        // sealed.
+        let active = match segments.pop() {
+            Some(meta) => {
+                let file = OpenOptions::new().append(true).open(&meta.path)?;
+                Some((meta, file))
+            }
+            None => None,
+        };
+
+        Ok(OpenedWal {
+            wal: Wal {
+                dir,
+                config,
+                sealed: segments,
+                active,
+                last_version,
+                unsynced: 0,
+            },
+            records,
+            torn_tail,
+        })
+    }
+
+    /// Appends one record. Must be called with strictly increasing
+    /// versions; rotates segments as configured; fsyncs per policy.
+    pub fn append(&mut self, version: u64, batch: &DeltaBatch) -> Result<AppendInfo, WalError> {
+        if version <= self.last_version {
+            return Err(WalError::VersionOrder {
+                last: self.last_version,
+                got: version,
+            });
+        }
+        let t0 = Instant::now();
+        let frame = encode_frame(&WalRecord {
+            version,
+            batch: batch.clone(),
+        })?;
+
+        // Rotate when the active segment is non-empty and this frame
+        // would push it past the cap.
+        let mut rotated = false;
+        if let Some((meta, file)) = &mut self.active {
+            if meta.last_version.is_some()
+                && meta.bytes + frame.len() as u64 > self.config.segment_max_bytes
+            {
+                if self.config.fsync != FsyncPolicy::Off {
+                    file.sync_data()?;
+                    self.unsynced = 0;
+                }
+                let (meta, _) = self.active.take().unwrap();
+                self.sealed.push(meta);
+                rotated = true;
+            }
+        }
+        if self.active.is_none() {
+            let path = self.dir.join(segment_file_name(version));
+            let file = OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(&path)?;
+            sync_dir(&self.dir);
+            self.active = Some((
+                SegmentMeta {
+                    path,
+                    last_version: None,
+                    bytes: 0,
+                },
+                file,
+            ));
+        }
+
+        let (meta, file) = self.active.as_mut().unwrap();
+        file.write_all(&frame)?;
+        meta.bytes += frame.len() as u64;
+        meta.last_version = Some(version);
+        self.last_version = version;
+        let append = t0.elapsed();
+
+        self.unsynced += 1;
+        let fsync = match self.config.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n,
+            FsyncPolicy::Off => false,
+        };
+        let fsync = if fsync {
+            let t1 = Instant::now();
+            file.sync_data()?;
+            self.unsynced = 0;
+            Some(t1.elapsed())
+        } else {
+            None
+        };
+
+        Ok(AppendInfo {
+            bytes: frame.len() as u64,
+            append,
+            fsync,
+            rotated,
+        })
+    }
+
+    /// Forces an fsync of the active segment regardless of policy.
+    pub fn sync(&mut self) -> Result<Duration, WalError> {
+        let t0 = Instant::now();
+        if let Some((_, file)) = &mut self.active {
+            file.sync_data()?;
+        }
+        self.unsynced = 0;
+        Ok(t0.elapsed())
+    }
+
+    /// Deletes every segment whose records are all at or below
+    /// `version` — the checkpoint-truncation step. Returns the removed
+    /// paths. The active segment is removed too when fully covered
+    /// (appends then start a fresh segment).
+    pub fn truncate_below(&mut self, version: u64) -> Result<Vec<PathBuf>, WalError> {
+        let mut removed = Vec::new();
+        let mut keep = Vec::new();
+        for meta in self.sealed.drain(..) {
+            let covered = meta.last_version.map(|v| v <= version).unwrap_or(true);
+            if covered {
+                fs::remove_file(&meta.path)?;
+                removed.push(meta.path);
+            } else {
+                keep.push(meta);
+            }
+        }
+        self.sealed = keep;
+        if let Some((meta, _)) = &self.active {
+            let covered = meta.last_version.map(|v| v <= version).unwrap_or(true);
+            if covered {
+                let (meta, file) = self.active.take().unwrap();
+                drop(file);
+                fs::remove_file(&meta.path)?;
+                removed.push(meta.path);
+                self.unsynced = 0;
+            }
+        }
+        if !removed.is_empty() {
+            sync_dir(&self.dir);
+        }
+        Ok(removed)
+    }
+
+    /// Current shape: segment count, total bytes, last logged version.
+    pub fn stats(&self) -> WalStats {
+        let mut segments = self.sealed.len();
+        let mut bytes: u64 = self.sealed.iter().map(|m| m.bytes).sum();
+        if let Some((meta, _)) = &self.active {
+            segments += 1;
+            bytes += meta.bytes;
+        }
+        WalStats {
+            segments,
+            bytes,
+            last_version: self.last_version,
+        }
+    }
+
+    /// Highest version ever logged (0 if the log is empty).
+    pub fn last_version(&self) -> u64 {
+        self.last_version
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("iyp_wal_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn batch(asn: i64) -> DeltaBatch {
+        let mut b = DeltaBatch::new();
+        let n = b.add_node(["AS"], props!("asn" => asn));
+        b.set_node_prop(n, "name", format!("AS{asn}"));
+        b
+    }
+
+    fn batch_json(b: &DeltaBatch) -> String {
+        serde_json::to_string(b).unwrap()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_reopen_replays_in_order() {
+        let dir = test_dir("roundtrip");
+        {
+            let mut opened = Wal::open(&dir, WalConfig::default()).unwrap();
+            assert!(opened.records.is_empty());
+            for v in 2..=6u64 {
+                let info = opened.wal.append(v, &batch(v as i64)).unwrap();
+                assert!(info.bytes > FRAME_HEADER as u64);
+                assert!(info.fsync.is_some(), "always policy must fsync");
+            }
+            assert_eq!(opened.wal.last_version(), 6);
+        }
+        let opened = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert!(opened.torn_tail.is_none());
+        let versions: Vec<u64> = opened.records.iter().map(|r| r.version).collect();
+        assert_eq!(versions, vec![2, 3, 4, 5, 6]);
+        for r in &opened.records {
+            assert_eq!(batch_json(&r.batch), batch_json(&batch(r.version as i64)));
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replay_spans_them() {
+        let dir = test_dir("rotation");
+        let config = WalConfig {
+            segment_max_bytes: 256, // a frame or two per segment
+            fsync: FsyncPolicy::Off,
+        };
+        let mut opened = Wal::open(&dir, config.clone()).unwrap();
+        let mut rotations = 0;
+        for v in 2..=20u64 {
+            if opened.wal.append(v, &batch(v as i64)).unwrap().rotated {
+                rotations += 1;
+            }
+        }
+        assert!(rotations >= 5, "tiny cap should rotate often");
+        let stats = opened.wal.stats();
+        assert_eq!(stats.segments, rotations + 1);
+        drop(opened);
+
+        let opened = Wal::open(&dir, config).unwrap();
+        let versions: Vec<u64> = opened.records.iter().map(|r| r.version).collect();
+        assert_eq!(versions, (2..=20).collect::<Vec<_>>());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_n_policy_syncs_on_schedule() {
+        let dir = test_dir("every_n");
+        let config = WalConfig {
+            fsync: FsyncPolicy::EveryN(3),
+            ..WalConfig::default()
+        };
+        let mut opened = Wal::open(&dir, config).unwrap();
+        let synced: Vec<bool> = (2..=8u64)
+            .map(|v| opened.wal.append(v, &batch(1)).unwrap().fsync.is_some())
+            .collect();
+        assert_eq!(synced, vec![false, false, true, false, false, true, false]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = test_dir("torn");
+        let mut opened = Wal::open(&dir, WalConfig::default()).unwrap();
+        for v in 2..=4u64 {
+            opened.wal.append(v, &batch(v as i64)).unwrap();
+        }
+        drop(opened);
+        // Simulate a crash mid-append: a half-written frame at the tail.
+        let seg = dir.join(segment_file_name(2));
+        let good_len = fs::metadata(&seg).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&1000u32.to_le_bytes()).unwrap();
+        f.write_all(&[0xAB; 10]).unwrap();
+        drop(f);
+
+        let opened = Wal::open(&dir, WalConfig::default()).unwrap();
+        let torn = opened.torn_tail.expect("torn tail not reported");
+        assert_eq!(torn.dropped_bytes, 14);
+        assert_eq!(fs::metadata(&seg).unwrap().len(), good_len);
+        assert_eq!(opened.records.len(), 3);
+
+        // The log still accepts appends after the repair.
+        let mut wal = opened.wal;
+        wal.append(5, &batch(5)).unwrap();
+        drop(wal);
+        let opened = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(opened.records.len(), 4);
+        assert!(opened.torn_tail.is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interior_corruption_is_refused() {
+        let dir = test_dir("corrupt");
+        let mut opened = Wal::open(&dir, WalConfig::default()).unwrap();
+        for v in 2..=4u64 {
+            opened.wal.append(v, &batch(v as i64)).unwrap();
+        }
+        drop(opened);
+        // Flip one payload byte of the first frame.
+        let seg = dir.join(segment_file_name(2));
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[FRAME_HEADER + 5] ^= 0x01;
+        fs::write(&seg, &bytes).unwrap();
+
+        match Wal::open(&dir, WalConfig::default()) {
+            Err(WalError::Corrupt { path, offset, .. }) => {
+                assert_eq!(path, seg);
+                assert_eq!(offset, 0);
+            }
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_log_truncation_is_refused() {
+        let dir = test_dir("midtrunc");
+        let config = WalConfig {
+            segment_max_bytes: 128,
+            fsync: FsyncPolicy::Off,
+        };
+        let mut opened = Wal::open(&dir, config.clone()).unwrap();
+        for v in 2..=10u64 {
+            opened.wal.append(v, &batch(v as i64)).unwrap();
+        }
+        assert!(opened.wal.stats().segments >= 3);
+        drop(opened);
+        // Chop the FIRST segment mid-frame — not a crash signature, since
+        // later segments exist.
+        let seg = dir.join(segment_file_name(2));
+        let len = fs::metadata(&seg).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        match Wal::open(&dir, config) {
+            Err(WalError::Corrupt { path, .. }) => assert_eq!(path, seg),
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_below_removes_covered_segments() {
+        let dir = test_dir("truncate");
+        let config = WalConfig {
+            segment_max_bytes: 200,
+            fsync: FsyncPolicy::Off,
+        };
+        let mut opened = Wal::open(&dir, config.clone()).unwrap();
+        for v in 2..=12u64 {
+            opened.wal.append(v, &batch(v as i64)).unwrap();
+        }
+        let before = opened.wal.stats();
+        assert!(before.segments >= 3);
+
+        // Checkpoint at version 7: segments fully ≤ 7 go away; the one
+        // straddling the boundary stays (its tail is still needed).
+        let removed = opened.wal.truncate_below(7).unwrap();
+        assert!(!removed.is_empty());
+        let after = opened.wal.stats();
+        assert!(after.segments < before.segments);
+        drop(opened);
+
+        let reopened = Wal::open(&dir, config.clone()).unwrap();
+        let versions: Vec<u64> = reopened.records.iter().map(|r| r.version).collect();
+        assert!(versions.contains(&12));
+        assert!(versions.iter().all(|&v| versions.contains(&12) && v > 0));
+        // Every surviving record above the checkpoint is intact.
+        for v in 8..=12 {
+            assert!(versions.contains(&v), "record {v} lost by truncation");
+        }
+
+        // Checkpoint at the head: everything goes, and the next append
+        // starts a fresh segment.
+        let mut wal = reopened.wal;
+        wal.truncate_below(12).unwrap();
+        assert_eq!(wal.stats().segments, 0);
+        wal.append(13, &batch(13)).unwrap();
+        assert_eq!(wal.stats().segments, 1);
+        drop(wal);
+        let opened = Wal::open(&dir, config).unwrap();
+        assert_eq!(opened.records.len(), 1);
+        assert_eq!(opened.records[0].version, 13);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_append_version_is_rejected() {
+        let dir = test_dir("version_order");
+        let mut opened = Wal::open(&dir, WalConfig::default()).unwrap();
+        opened.wal.append(5, &batch(1)).unwrap();
+        match opened.wal.append(5, &batch(2)) {
+            Err(WalError::VersionOrder { last: 5, got: 5 }) => {}
+            other => panic!("expected version-order error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parsing() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("off").unwrap(), FsyncPolicy::Off);
+        assert_eq!(
+            FsyncPolicy::parse("every_n").unwrap(),
+            FsyncPolicy::EveryN(8)
+        );
+        assert_eq!(
+            FsyncPolicy::parse("every_n:32").unwrap(),
+            FsyncPolicy::EveryN(32)
+        );
+        assert!(FsyncPolicy::parse("every_n:0").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert_eq!(
+            FsyncPolicy::parse("every_n:32").unwrap().as_str(),
+            "every_n:32"
+        );
+    }
+}

@@ -13,11 +13,18 @@
 //! * `POST /admin/ingest` — a `DeltaBatch` in JSON → applies it and
 //!   swaps in the next `(snapshot, retrieval index)` pair, reporting
 //!   old/new version, the published `index_version`, the new graph's
-//!   node/edge counts, and the apply/derive/swap timings
+//!   node/edge counts, and the apply/derive/swap timings. With a data
+//!   directory configured the batch is WAL-appended before the publish;
+//!   a WAL failure answers 503 + `Retry-After` (nothing published),
+//!   while an invalid batch stays a 400
+//! * `POST /admin/checkpoint` — saves the current snapshot atomically
+//!   and truncates WAL segments it covers; 400 without `--data-dir`
 //! * `GET  /stats` — graph shape + live snapshot version + paired
-//!   retrieval-index version + cache counters (JSON)
+//!   retrieval-index version + cache counters + a `durability` block
+//!   (`null` unless serving with a data directory) (JSON)
 //! * `GET  /metrics` — Prometheus text exposition (stage + HTTP
-//!   histograms, cache counters, graph + index gauges)
+//!   histograms, cache counters, graph + index gauges, WAL/recovery
+//!   series when durability is configured)
 //!
 //! Every request resolves the pipeline's current
 //! `(GraphSnapshot, RetrievalIndex)` pair **once** in [`handle`] (via
@@ -26,7 +33,7 @@
 //! retrieval-index version a request reports always match.
 
 use crate::http::{Request, Response};
-use chatiyp_core::{ChatIyp, CypherExecError, RetrievalHandle};
+use chatiyp_core::{ChatIyp, CypherExecError, IngestError, RetrievalHandle};
 use iyp_graphdb::{DeltaBatch, GraphSnapshot};
 use iyp_obs::TraceTree;
 use serde::{Deserialize, Serialize};
@@ -176,6 +183,7 @@ fn dispatch(state: &AppState, chat: &ChatIyp, handle: &RetrievalHandle, req: &Re
         ("POST", "/ask") => handle_ask(chat, req),
         ("POST", "/cypher") => handle_cypher(chat, snap, req),
         ("POST", "/admin/ingest") => handle_ingest(chat, req),
+        ("POST", "/admin/checkpoint") => handle_checkpoint(chat),
         ("GET", "/health") => handle_health(snap),
         ("GET", "/healthz") => handle_healthz(snap),
         ("GET", "/stats") => handle_stats(state, chat, handle),
@@ -183,7 +191,7 @@ fn dispatch(state: &AppState, chat: &ChatIyp, handle: &RetrievalHandle, req: &Re
         ("GET", "/schema") => Response::text(200, iyp_data::schema::schema_summary()),
         ("GET", _) | ("POST", _) => Response::json(
             404,
-            json!({"error": "unknown endpoint", "endpoints": ["/admin/ingest", "/ask", "/cypher", "/health", "/healthz", "/metrics", "/schema", "/stats"]})
+            json!({"error": "unknown endpoint", "endpoints": ["/admin/checkpoint", "/admin/ingest", "/ask", "/cypher", "/health", "/healthz", "/metrics", "/schema", "/stats"]})
                 .to_string(),
         ),
         (method, _) => Response::json(
@@ -198,6 +206,7 @@ fn dispatch(state: &AppState, chat: &ChatIyp, handle: &RetrievalHandle, req: &Re
 /// request targets cannot grow the label set.
 fn metric_path(path: &str) -> &'static str {
     match path {
+        "/admin/checkpoint" => "/admin/checkpoint",
         "/admin/ingest" => "/admin/ingest",
         "/ask" => "/ask",
         "/cypher" => "/cypher",
@@ -219,6 +228,7 @@ fn status_label(status: u16) -> &'static str {
         405 => "405",
         413 => "413",
         429 => "429",
+        500 => "500",
         503 => "503",
         504 => "504",
         _ => "other",
@@ -548,6 +558,35 @@ fn handle_metrics(state: &AppState, chat: &ChatIyp, handle: &RetrievalHandle) ->
     ] {
         writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}").expect("write");
     }
+
+    // Durability series exist only when the server persists (the WAL
+    // append/fsync/checkpoint histograms come from the registry above;
+    // these are the scrape-time counters and gauges beside them).
+    if let Some(d) = chat.durability_stats() {
+        writeln!(
+            out,
+            "# HELP chatiyp_recovery_replayed_total WAL records replayed by this process's boot-time recovery.\n\
+             # TYPE chatiyp_recovery_replayed_total counter\n\
+             chatiyp_recovery_replayed_total {}",
+            d.replayed
+        )
+        .expect("write");
+        for (name, help, v) in [
+            (
+                "chatiyp_wal_segments",
+                "WAL segment files on disk.",
+                d.wal_segments as u64,
+            ),
+            ("chatiyp_wal_bytes", "Total WAL bytes on disk.", d.wal_bytes),
+            (
+                "chatiyp_checkpoint_version",
+                "Version of the last checkpoint (0 = never checkpointed).",
+                d.last_checkpoint_version,
+            ),
+        ] {
+            writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}").expect("write");
+        }
+    }
     Response::text(200, out)
 }
 
@@ -594,6 +633,21 @@ fn handle_stats(state: &AppState, chat: &ChatIyp, handle: &RetrievalHandle) -> R
         entries.push((
             "snapshot_retained_bytes".to_string(),
             serde_json::to_value(&mem.retained_bytes),
+        ));
+        // Durability is always present so dashboards can key on it:
+        // `null` when serving purely in memory, otherwise the WAL shape
+        // and checkpoint/recovery progress.
+        entries.push((
+            "durability".to_string(),
+            match chat.durability_stats() {
+                Some(d) => json!({
+                    "wal_segments": d.wal_segments,
+                    "wal_bytes": d.wal_bytes,
+                    "last_checkpoint_version": d.last_checkpoint_version,
+                    "replayed": d.replayed,
+                }),
+                None => serde_json::Value::Null,
+            },
         ));
         entries.push((
             "pages".to_string(),
@@ -669,7 +723,52 @@ fn handle_ingest(chat: &ChatIyp, req: &Request) -> Response {
             })
             .to_string(),
         ),
-        Err(e) => Response::json(400, json!({"error": e.to_string()}).to_string()),
+        // An invalid batch is the caller's fault; a WAL append failure
+        // (real or fault-injected) is the substrate's. Keeping the
+        // status codes apart lets ingest clients retry 503s blindly
+        // without ever retrying a batch that can never apply.
+        Err(IngestError::Delta(e)) => {
+            Response::json(400, json!({"error": e.to_string()}).to_string())
+        }
+        Err(IngestError::Durability(e)) => Response::json(
+            503,
+            json!({"error": format!("ingest not persisted: {e}")}).to_string(),
+        )
+        .with_header("retry-after", "1"),
+    }
+}
+
+/// `POST /admin/checkpoint`: atomically saves the current snapshot to
+/// the data directory and deletes WAL segments it fully covers. Answers
+/// 400 when the server runs without durability (no `--data-dir`), 500
+/// when the save or truncation itself fails.
+fn handle_checkpoint(chat: &ChatIyp) -> Response {
+    use chatiyp_core::DurabilityError;
+    match chat.checkpoint() {
+        Ok(report) => Response::json(
+            200,
+            json!({
+                "version": report.version,
+                "snapshot_bytes": report.snapshot_bytes,
+                "truncated_segments": report
+                    .truncated_segments
+                    .iter()
+                    .map(|p| p.display().to_string())
+                    .collect::<Vec<_>>(),
+                "wal_segments": report.wal.segments,
+                "wal_bytes": report.wal.bytes,
+                "duration_us": report.duration.as_micros() as u64,
+            })
+            .to_string(),
+        ),
+        Err(DurabilityError::NotConfigured) => Response::json(
+            400,
+            json!({"error": DurabilityError::NotConfigured.to_string()}).to_string(),
+        ),
+        Err(e) => Response::json(
+            500,
+            json!({"error": format!("checkpoint failed: {e}")}).to_string(),
+        ),
     }
 }
 
@@ -692,6 +791,41 @@ mod tests {
                 ..Default::default()
             },
         )))
+    }
+
+    /// A scratch data directory under the OS temp dir, wiped per test.
+    fn fresh_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("chatiyp_server_api_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A durable pipeline over `dir` (recovers whatever is there).
+    fn durable_chat(dir: &std::path::Path) -> AppState {
+        let dcfg = chatiyp_core::DurabilityConfig::new(dir);
+        let (chat, _report) = ChatIyp::open_durable(
+            ChatIypConfig {
+                lm: LmConfig {
+                    seed: 42,
+                    skill: 1.0,
+                    variety: 0.0,
+                },
+                ..Default::default()
+            },
+            &dcfg,
+            || generate(&IypConfig::tiny()),
+        )
+        .expect("open durable pipeline");
+        AppState::ready(Arc::new(chat))
+    }
+
+    fn ingest_two_nodes(c: &AppState) -> Response {
+        let mut batch = DeltaBatch::new();
+        batch.add_node(["AS"], iyp_graphdb::props!("asn" => 64512i64));
+        batch.add_node(["AS"], iyp_graphdb::props!("asn" => 64513i64));
+        let body = serde_json::to_string(&batch).unwrap();
+        handle(c, &req("POST", "/admin/ingest", &body))
     }
 
     fn req(method: &str, path: &str, body: &str) -> Request {
@@ -1014,6 +1148,7 @@ mod tests {
         let documented = [
             "cache",
             "degree",
+            "durability",
             "epoch",
             "graph_version",
             "index_version",
@@ -1030,6 +1165,9 @@ mod tests {
             got, documented,
             "stats fields drifted from the documented set"
         );
+        // In-memory pipelines report durability explicitly as null, so
+        // dashboards can tell "not persisting" from "field missing".
+        assert!(body["durability"].is_null(), "{body}");
         // The paged-storage accounting object carries exactly the
         // documented counters, and the retained-bytes figure is a real
         // (nonzero for a generated dataset) number.
@@ -1224,6 +1362,194 @@ mod tests {
         assert!(text.contains("# TYPE chatiyp_degraded_total counter"));
         assert!(text.contains("# TYPE chatiyp_shed_total counter"));
         assert!(text.contains("\nchatiyp_shed_total 2"), "{text}");
+    }
+
+    #[test]
+    fn checkpoint_without_data_dir_is_a_400() {
+        let c = chat();
+        let r = handle(&c, &req("POST", "/admin/checkpoint", ""));
+        assert_eq!(r.status, 400, "{}", String::from_utf8_lossy(&r.body));
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(
+            body["error"].as_str().unwrap().contains("not configured"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn durable_stats_expose_the_wal_shape() {
+        let dir = fresh_dir("durable_stats");
+        let c = durable_chat(&dir);
+        assert_eq!(ingest_two_nodes(&c).status, 200);
+
+        let r = handle(&c, &req("GET", "/stats", ""));
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        let d = &body["durability"];
+        assert!(!d.is_null(), "{body}");
+        assert_eq!(d["wal_segments"].as_u64(), Some(1), "{body}");
+        assert!(d["wal_bytes"].as_u64().unwrap() > 0, "{body}");
+        assert_eq!(d["last_checkpoint_version"].as_u64(), Some(0), "{body}");
+        assert_eq!(d["replayed"].as_u64(), Some(0), "{body}");
+    }
+
+    #[test]
+    fn checkpoint_endpoint_saves_and_truncates() {
+        let dir = fresh_dir("checkpoint_endpoint");
+        let c = durable_chat(&dir);
+        assert_eq!(ingest_two_nodes(&c).status, 200);
+
+        let r = handle(&c, &req("POST", "/admin/checkpoint", ""));
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(body["version"].as_u64(), Some(2), "{body}");
+        assert!(body["snapshot_bytes"].as_u64().unwrap() > 0, "{body}");
+        // The active segment was fully covered, so it went away.
+        assert_eq!(
+            body["truncated_segments"].as_array().unwrap().len(),
+            1,
+            "{body}"
+        );
+        assert_eq!(body["wal_segments"].as_u64(), Some(0), "{body}");
+        assert!(body["duration_us"].as_u64().is_some(), "{body}");
+        assert!(dir.join("checkpoint.json").exists());
+
+        // /stats reflects the checkpoint.
+        let r = handle(&c, &req("GET", "/stats", ""));
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(
+            body["durability"]["last_checkpoint_version"].as_u64(),
+            Some(2),
+            "{body}"
+        );
+        assert_eq!(body["durability"]["wal_bytes"].as_u64(), Some(0), "{body}");
+    }
+
+    #[test]
+    fn durable_recovery_replays_and_reports_in_metrics() {
+        let dir = fresh_dir("durable_recovery_metrics");
+        {
+            let c = durable_chat(&dir);
+            assert_eq!(ingest_two_nodes(&c).status, 200);
+        }
+        // A second boot over the same directory replays the WAL record.
+        let c = durable_chat(&dir);
+        let r = handle(&c, &req("GET", "/healthz", ""));
+        let hz: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(hz["graph_version"].as_u64(), Some(2), "{hz}");
+
+        let r = handle(&c, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(
+            text.contains("# TYPE chatiyp_recovery_replayed_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\nchatiyp_recovery_replayed_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE chatiyp_wal_segments gauge"), "{text}");
+        assert!(text.contains("# TYPE chatiyp_wal_bytes gauge"), "{text}");
+        assert!(
+            text.contains("# TYPE chatiyp_checkpoint_version gauge"),
+            "{text}"
+        );
+
+        let r = handle(&c, &req("GET", "/stats", ""));
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(body["durability"]["replayed"].as_u64(), Some(1), "{body}");
+    }
+
+    #[test]
+    fn durable_ingest_records_wal_histograms() {
+        let dir = fresh_dir("durable_ingest_histograms");
+        let c = durable_chat(&dir);
+        assert_eq!(ingest_two_nodes(&c).status, 200);
+        let r = handle(&c, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(
+            text.contains("chatiyp_wal_append_seconds_count 1"),
+            "{text}"
+        );
+        // fsync=always: every append synced.
+        assert!(text.contains("chatiyp_wal_fsync_seconds_count 1"), "{text}");
+
+        assert_eq!(
+            handle(&c, &req("POST", "/admin/checkpoint", "")).status,
+            200
+        );
+        let r = handle(&c, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(
+            text.contains("chatiyp_checkpoint_seconds_count 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn memory_only_metrics_omit_durability_series() {
+        let c = chat();
+        let r = handle(&c, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(!text.contains("chatiyp_recovery_replayed_total"), "{text}");
+        assert!(!text.contains("chatiyp_wal_segments"), "{text}");
+    }
+
+    #[test]
+    fn wal_outage_answers_503_and_publishes_nothing() {
+        use chatiyp_core::{DurabilityConfig, FaultPlan, FaultPoint, FaultRule};
+        let dir = fresh_dir("wal_outage_503");
+        let plan = FaultPlan::new(7).rule(FaultPoint::Wal, FaultRule::window(0, u64::MAX));
+        let (chat, _report) = ChatIyp::open_durable(
+            ChatIypConfig {
+                lm: LmConfig {
+                    seed: 42,
+                    skill: 1.0,
+                    variety: 0.0,
+                },
+                resilience: chatiyp_core::ResilienceConfig {
+                    faults: Some(plan.into_arc()),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            &DurabilityConfig::new(&dir),
+            || generate(&IypConfig::tiny()),
+        )
+        .unwrap();
+        let c = AppState::ready(Arc::new(chat));
+
+        let r = ingest_two_nodes(&c);
+        assert_eq!(r.status, 503, "{}", String::from_utf8_lossy(&r.body));
+        assert!(
+            r.extra_headers
+                .iter()
+                .any(|(n, v)| *n == "retry-after" && v == "1"),
+            "503 lacks retry-after"
+        );
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(
+            body["error"].as_str().unwrap().contains("not persisted"),
+            "{body}"
+        );
+        // Nothing published, nothing on disk to replay.
+        let r = handle(&c, &req("GET", "/healthz", ""));
+        let hz: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(hz["graph_version"].as_u64(), Some(1), "{hz}");
+        let r = handle(&c, &req("GET", "/stats", ""));
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(body["durability"]["wal_bytes"].as_u64(), Some(0), "{body}");
+        // A bad batch on the same durable pipeline is still a 400.
+        let mut bad = DeltaBatch::new();
+        bad.remove_node(iyp_graphdb::NodeId(u64::MAX));
+        let r = handle(
+            &c,
+            &req(
+                "POST",
+                "/admin/ingest",
+                &serde_json::to_string(&bad).unwrap(),
+            ),
+        );
+        assert_eq!(r.status, 400, "{}", String::from_utf8_lossy(&r.body));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Kill-and-recover acceptance test: boot `chatiyp serve --data-dir`,
+//! ingest over HTTP, snapshot the parity-corpus response bytes, then
+//! `SIGKILL` the process mid-flight and boot a second one over the same
+//! directory. The recovered server must:
+//!
+//! 1. hold `/healthz` at 503 until WAL replay finishes, and answer the
+//!    **first** 200 with the fully recovered graph version;
+//! 2. serve the parity corpus byte-identically to the killed process.
+//!
+//! This is the process-level twin of
+//! `crates/core/tests/durability_recovery.rs` — same contract, but with
+//! a real bind/boot/kill lifecycle and the WAL written by another
+//! process.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The spawned server, killed on drop so a failing assert never leaks a
+/// process.
+struct Serve {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `chatiyp serve 0 --data-dir <dir> --tiny` and parses the bound
+/// address from the listen line (printed before the graph loads).
+fn spawn_serve(dir: &Path) -> Serve {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_chatiyp"))
+        .arg("serve")
+        .arg("0")
+        .arg("--data-dir")
+        .arg(dir)
+        .arg("--tiny")
+        .arg("--fsync")
+        .arg("always")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn chatiyp serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let listen = lines
+        .next()
+        .expect("server prints a listen line")
+        .expect("read listen line");
+    let addr: SocketAddr = listen
+        .rsplit("http://")
+        .next()
+        .expect("listen line carries the address")
+        .trim()
+        .parse()
+        .expect("parse bound address");
+    // Keep draining stdout so the server never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    Serve { child, addr }
+}
+
+/// One HTTP/1.1 request over a fresh connection; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(raw.as_bytes()).expect("write request");
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("read reply");
+    let status: u16 = reply
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let payload = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+/// Polls `/healthz` until it answers 200, returning the **first** ready
+/// body — the recovery assertions key on what that very first 200 says.
+fn await_ready(addr: SocketAddr) -> serde_json::Value {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        // Connection errors are expected while the socket is still
+        // binding in the child; only a served 200 ends the wait.
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let raw = "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+                       Content-Length: 0\r\n\r\n";
+            if s.write_all(raw.as_bytes()).is_ok() {
+                let mut reply = String::new();
+                if s.read_to_string(&mut reply).is_ok() && reply.starts_with("HTTP/1.1 200") {
+                    let body = reply.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+                    return serde_json::from_str(body).expect("healthz body is JSON");
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "server never became ready");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The parity corpus as served over `POST /cypher` — raw body bytes.
+fn corpus_over_http(addr: SocketAddr) -> Vec<String> {
+    chatiyp_suite::cypher::corpus::PARITY_QUERIES
+        .iter()
+        .map(|q| {
+            let body = serde_json::json!({ "query": q }).to_string();
+            let (status, payload) = request(addr, "POST", "/cypher", &body);
+            format!("{status}:{payload}")
+        })
+        .collect()
+}
+
+#[test]
+fn killed_server_recovers_byte_identically_from_its_wal() {
+    let dir = std::env::temp_dir().join("chatiyp_kill_recover");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    const INGESTS: u64 = 5;
+
+    // Boot over the empty directory and grow the graph over HTTP. The
+    // batches are built against a local twin of the server's graph
+    // (same tiny dataset, same seeds — growth_batch is deterministic),
+    // applied locally in lockstep so each next batch references real
+    // node ids.
+    let first = spawn_serve(&dir);
+    let ready = await_ready(first.addr);
+    assert_eq!(ready["graph_version"].as_u64(), Some(1));
+
+    let mut twin = chatiyp_suite::data::generate(&chatiyp_suite::data::IypConfig::tiny()).graph;
+    for seed in 0..INGESTS {
+        let batch = chatiyp_suite::data::growth_batch(&twin, seed, 4);
+        let body = serde_json::to_string(&batch).unwrap();
+        let (status, payload) = request(first.addr, "POST", "/admin/ingest", &body);
+        assert_eq!(status, 200, "ingest {seed}: {payload}");
+        batch.apply(&mut twin).expect("twin applies the same batch");
+    }
+    let want = corpus_over_http(first.addr);
+    assert_eq!(
+        want.len(),
+        chatiyp_suite::cypher::corpus::PARITY_QUERIES.len(),
+        "every parity query got a recorded response"
+    );
+
+    // SIGKILL: no shutdown hook runs, nothing flushes — the WAL written
+    // by the (fsync=always) ingests is all the next process gets.
+    drop(first);
+
+    let second = spawn_serve(&dir);
+    let ready = await_ready(second.addr);
+    assert_eq!(
+        ready["graph_version"].as_u64(),
+        Some(1 + INGESTS),
+        "the first ready signal must already carry the replayed graph: {ready}"
+    );
+    assert_eq!(
+        corpus_over_http(second.addr),
+        want,
+        "recovered corpus bytes differ from the killed process"
+    );
+}
